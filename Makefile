@@ -1,0 +1,27 @@
+# Convenience targets; everything works with plain pytest too.
+
+.PHONY: install test bench bench-full experiments experiments-fast examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.bench
+
+experiments-fast:
+	python -m repro.bench --fast
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; python $$f; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +; rm -rf .pytest_cache

@@ -1,0 +1,40 @@
+"""Benchmark-suite plumbing.
+
+Every experiment bench runs its DESIGN.md experiment once under
+pytest-benchmark (timing the whole regeneration), prints the regenerated
+table, and asserts the experiment's shape checks — so
+``pytest benchmarks/ --benchmark-only`` both reproduces and validates
+every figure.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full EXPERIMENTS.md parameter sweeps
+instead of the fast ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.tables import render_experiment
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    """True when REPRO_BENCH_FULL requests the complete sweeps."""
+    return FULL
+
+
+def run_experiment_bench(benchmark, experiment_id: str):
+    """Shared driver: time the experiment, print its table, assert shape."""
+    func = ALL_EXPERIMENTS[experiment_id]
+    result = benchmark.pedantic(
+        lambda: func(fast=not FULL), rounds=1, iterations=1
+    )
+    print()
+    print(render_experiment(result))
+    assert result.passed, f"{experiment_id} shape checks failed"
+    return result

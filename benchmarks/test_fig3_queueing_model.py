@@ -1,0 +1,12 @@
+"""Bench target for experiment FIG3 (see DESIGN.md's experiment index).
+
+Regenerates the FIG3 table/figure, prints it, and asserts the paper's
+claimed shape. Set REPRO_BENCH_FULL=1 for the full parameter sweep used in
+EXPERIMENTS.md.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_fig3_queueing_model(benchmark):
+    run_experiment_bench(benchmark, "FIG3")

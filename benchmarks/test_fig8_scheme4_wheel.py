@@ -1,0 +1,12 @@
+"""Bench target for experiment FIG8 (see DESIGN.md's experiment index).
+
+Regenerates the FIG8 table/figure, prints it, and asserts the paper's
+claimed shape. Set REPRO_BENCH_FULL=1 for the full parameter sweep used in
+EXPERIMENTS.md.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_fig8_scheme4_wheel(benchmark):
+    run_experiment_bench(benchmark, "FIG8")

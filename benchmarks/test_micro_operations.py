@@ -1,0 +1,89 @@
+"""Wall-clock micro-benchmarks: START / STOP / PER-TICK across schemes.
+
+The experiment benches measure abstract operation counts (the paper's
+currency); these measure actual Python wall-clock per operation at a fixed
+population, so the asymptotic story is visible in seconds too:
+``pytest benchmarks/test_micro_operations.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.cost.counters import NULL_COUNTER
+
+#: (scheme, ctor kwargs) — every family, with ranges fitting the workload.
+SCHEMES = [
+    ("scheme1", {}),
+    ("scheme2", {}),
+    ("scheme3-heap", {}),
+    ("scheme3-rbtree", {}),
+    ("scheme4", {"max_interval": 1 << 16}),
+    ("scheme5", {"table_size": 256}),
+    ("scheme6", {"table_size": 256}),
+    ("scheme7", {"slot_counts": (64, 64, 64)}),
+]
+
+N_OUTSTANDING = 1_000
+
+
+def _build(name, kwargs):
+    scheduler = make_scheduler(name, counter=NULL_COUNTER, **kwargs)
+    rng = random.Random(50)
+    max_iv = scheduler.max_start_interval()
+    bound = (max_iv - 1) if max_iv is not None else 50_000
+    for _ in range(N_OUTSTANDING):
+        scheduler.start_timer(rng.randint(1, bound))
+    return scheduler, rng, bound
+
+
+@pytest.mark.parametrize("name,kwargs", SCHEMES, ids=[s for s, _ in SCHEMES])
+def test_start_stop_pair(benchmark, name, kwargs):
+    """One START_TIMER + STOP_TIMER round trip at n=1000."""
+    scheduler, rng, bound = _build(name, kwargs)
+
+    def start_stop():
+        timer = scheduler.start_timer(rng.randint(1, bound))
+        scheduler.stop_timer(timer)
+
+    benchmark(start_stop)
+
+
+@pytest.mark.parametrize("name,kwargs", SCHEMES, ids=[s for s, _ in SCHEMES])
+def test_per_tick_bookkeeping(benchmark, name, kwargs):
+    """One PER_TICK_BOOKKEEPING call at n=1000 with expiry replenishment."""
+    scheduler, rng, bound = _build(name, kwargs)
+
+    def tick():
+        for _ in scheduler.tick():
+            scheduler.start_timer(rng.randint(1, bound))
+
+    benchmark(tick)
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [("scheme2", {}), ("scheme6", {"table_size": 256})],
+    ids=["scheme2", "scheme6"],
+)
+def test_server_200x3_sustained(benchmark, name, kwargs):
+    """Section 1's host shape: 600 outstanding timers, churn + ticks."""
+    scheduler = make_scheduler(name, counter=NULL_COUNTER, **kwargs)
+    rng = random.Random(51)
+    live = []
+    for _ in range(600):
+        live.append(scheduler.start_timer(rng.randint(1, 5_000)))
+
+    def churn_round():
+        # Model one tick of a busy server: a stop, a start, a tick.
+        victim = live.pop(rng.randrange(len(live)))
+        if victim.pending:
+            scheduler.stop_timer(victim)
+        live.append(scheduler.start_timer(rng.randint(1, 5_000)))
+        for expired in scheduler.tick():
+            live.append(scheduler.start_timer(rng.randint(1, 5_000)))
+
+    benchmark(churn_round)

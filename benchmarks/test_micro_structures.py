@@ -1,0 +1,106 @@
+"""Wall-clock micro-benchmarks of the priority-queue substrates.
+
+The Scheme 3 comparison in operation counts lives in FIG6; these measure
+the actual Python time of the push / pop-min / remove-by-reference
+primitives at a fixed population, for each substrate the paper names:
+``pytest benchmarks/test_micro_structures.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.structures.bst import BSTNode, UnbalancedBST
+from repro.structures.heap import BinaryHeap, HeapNode
+from repro.structures.leftist import LeftistHeap, LeftistNode
+from repro.structures.rbtree import RBNode, RedBlackTree
+from repro.structures.sorted_list import SortedDList
+from repro.structures.dlist import DNode
+
+N = 2_000
+
+STRUCTURES = [
+    ("heap", BinaryHeap, HeapNode, "push", "pop", "remove"),
+    ("bst", UnbalancedBST, BSTNode, "insert", "pop_min", "remove"),
+    ("rbtree", RedBlackTree, RBNode, "insert", "pop_min", "remove"),
+    ("leftist", LeftistHeap, LeftistNode, "push", "pop", "remove"),
+]
+
+
+def _filled(container_cls, node_cls, insert_name):
+    container = container_cls()
+    rng = random.Random(90)
+    insert = getattr(container, insert_name)
+    nodes = []
+    for _ in range(N):
+        node = node_cls(rng.randint(0, 1 << 30))
+        insert(node)
+        nodes.append(node)
+    return container, nodes, rng
+
+
+@pytest.mark.parametrize(
+    "label,container_cls,node_cls,insert_name,pop_name,remove_name",
+    STRUCTURES,
+    ids=[s[0] for s in STRUCTURES],
+)
+def test_push_then_remove(
+    benchmark, label, container_cls, node_cls, insert_name, pop_name, remove_name
+):
+    """One insert + one by-reference delete at population N."""
+    container, _nodes, rng = _filled(container_cls, node_cls, insert_name)
+    insert = getattr(container, insert_name)
+    remove = getattr(container, remove_name)
+
+    def round_trip():
+        node = node_cls(rng.randint(0, 1 << 30))
+        insert(node)
+        remove(node)
+
+    benchmark(round_trip)
+
+
+@pytest.mark.parametrize(
+    "label,container_cls,node_cls,insert_name,pop_name,remove_name",
+    STRUCTURES,
+    ids=[s[0] for s in STRUCTURES],
+)
+def test_pop_min_then_reinsert(
+    benchmark, label, container_cls, node_cls, insert_name, pop_name, remove_name
+):
+    """One pop-min + one re-insert at population N."""
+    container, _nodes, rng = _filled(container_cls, node_cls, insert_name)
+    insert = getattr(container, insert_name)
+    pop = getattr(container, pop_name)
+
+    def cycle():
+        pop()
+        insert(node_cls(rng.randint(0, 1 << 30)))
+
+    benchmark(cycle)
+
+
+class _Keyed(DNode):
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        super().__init__()
+        self.key = key
+
+
+def test_sorted_list_insert_is_the_odd_one_out(benchmark):
+    """The linear-scan insert that motivates everything else (at N=2000
+    the walk is visible in wall-clock, not just op counts)."""
+    lst = SortedDList(key=lambda n: n.key)
+    rng = random.Random(91)
+    for _ in range(N):
+        lst.insert(_Keyed(rng.randint(0, 1 << 30)))
+
+    def round_trip():
+        node = _Keyed(rng.randint(0, 1 << 30))
+        lst.insert(node)
+        lst.remove(node)
+
+    benchmark(round_trip)

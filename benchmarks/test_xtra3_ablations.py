@@ -1,0 +1,11 @@
+"""Bench target for experiment XTRA3 (see DESIGN.md's experiment index).
+
+Regenerates the ablation tables — Section 5's hybrid wheel and Scheme 7's
+placement rules — and asserts their shape.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_xtra3_hybrid_and_placement(benchmark):
+    run_experiment_bench(benchmark, "XTRA3")

@@ -1,0 +1,11 @@
+"""Bench target for experiment XTRA4 (see DESIGN.md's experiment index).
+
+Regenerates the Scheme 6 hash-burstiness table: same average per-tick
+cost across hash patterns, wildly different variance.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_xtra4_hash_burstiness(benchmark):
+    run_experiment_bench(benchmark, "XTRA4")

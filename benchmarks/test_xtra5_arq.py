@@ -1,0 +1,11 @@
+"""Bench target for experiment XTRA5 (see DESIGN.md's experiment index).
+
+Regenerates the ARQ timer-pressure table: per-connection (go-back-N) vs
+per-packet (selective repeat) timers across schemes.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_xtra5_arq_timer_pressure(benchmark):
+    run_experiment_bench(benchmark, "XTRA5")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Digital logic simulation on three interchangeable time-flow mechanisms.
+
+Section 4.2's two-way street: timing wheels came from logic simulators
+(TEGAS, DECSIM), and timer modules can serve as simulation time flow.
+This example simulates a 4-bit ripple counter with some combinational
+decode logic on:
+
+  1. a priority-queue event list (the GPSS/SIMULA mechanism),
+  2. the Figure 7 TEGAS wheel (array of lists + overflow list),
+  3. a hierarchical timing wheel timer module (Scheme 7) via the adapter,
+
+and verifies the waveforms are identical.
+
+    python examples/logic_simulation.py
+"""
+
+import pathlib
+
+from repro.core import HierarchicalWheelScheduler
+from repro.simulation import (
+    EventListEngine,
+    TegasWheelEngine,
+    TimerSchedulerEngine,
+)
+from repro.simulation.logic import Circuit, LogicSimulator
+from repro.simulation.logic.netlist import load_file
+
+NETLIST = pathlib.Path(__file__).parent / "circuits" / "counter_decode.net"
+
+
+def build_circuit() -> Circuit:
+    # A 4-bit ripple counter decoding the value 0b1010, shipped in the
+    # repo's text netlist format (see repro.simulation.logic.netlist).
+    return load_file(str(NETLIST))
+
+
+def run_on(engine, label: str):
+    circuit = build_circuit()
+    sim = LogicSimulator(circuit, engine)
+    sim.drive_clock("clk", half_period=5, edges=60)  # 30 rising edges
+    sim.run_until(400)
+    counter = sum(
+        int(circuit.value(f"cnt_q{i}")) << i for i in range(4)
+    )
+    match_times = [e.time for e in sim.trace_of("match") if e.value]
+    print(
+        f"  {label:28s} events={len(sim.trace):4d} "
+        f"counter={counter:2d} match asserted at {match_times}"
+    )
+    return [(e.time, e.net, e.value) for e in sim.trace]
+
+
+def main() -> None:
+    print("simulating the same netlist on three time-flow mechanisms:")
+    reference = run_on(EventListEngine(), "event list (GPSS/SIMULA)")
+    wheel = run_on(TegasWheelEngine(cycle_length=32), "TEGAS wheel (Figure 7)")
+    timer = run_on(
+        TimerSchedulerEngine(HierarchicalWheelScheduler((16, 16, 16))),
+        "Scheme 7 timer module",
+    )
+    assert reference == wheel == timer
+    print("\nall three traces are identical, event for event —")
+    print("Section 4.2's equivalence, demonstrated in both directions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The paper's motivating workload, end to end.
+
+Section 1: "consider a server with 200 connections and 3 timers per
+connection". This example runs that server — go-back-N connections over a
+lossy network, each with retransmission, keepalive and TIME-WAIT timers —
+on several timer schemes and shows the punchline: the protocol behaves
+identically, but the timer module's bookkeeping cost differs by an order
+of magnitude.
+
+    python examples/retransmission_server.py [--connections N]
+"""
+
+import argparse
+
+from repro.bench.tables import render_table
+from repro.core import make_scheduler
+from repro.protocols.host import run_server_scenario
+
+SCHEMES = [
+    ("scheme1", {}, "per-tick decrement of every timer"),
+    ("scheme2", {}, "sorted list (the VMS/UNIX way)"),
+    ("scheme3-heap", {}, "binary heap"),
+    ("scheme6", {"table_size": 256}, "hashed wheel, unsorted buckets"),
+    ("scheme7", {"slot_counts": (64, 64, 64)}, "hierarchical wheels"),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--connections", type=int, default=100)
+    parser.add_argument("--messages", type=int, default=20)
+    parser.add_argument("--duration", type=int, default=5000)
+    parser.add_argument("--loss", type=float, default=0.05)
+    args = parser.parse_args()
+
+    rows = []
+    for name, kwargs, blurb in SCHEMES:
+        scheduler = make_scheduler(name, **kwargs)
+        run = run_server_scenario(
+            scheduler,
+            n_connections=args.connections,
+            messages_per_connection=args.messages,
+            duration=args.duration,
+            loss_rate=args.loss,
+            seed=7,
+        )
+        rows.append(
+            (
+                name,
+                run.delivered,
+                run.retransmissions,
+                run.connections_closed,
+                run.max_outstanding,
+                f"{run.ops_per_tick:.1f}",
+            )
+        )
+        print(f"ran {name:14s} ({blurb})")
+
+    print()
+    print(
+        render_table(
+            ["scheme", "delivered", "retx", "closed", "max timers", "ops/tick"],
+            rows,
+        )
+    )
+    print(
+        "\nSame protocol outcome on every scheme; the timer module's "
+        "per-tick cost is what changes.\n"
+        "This is the paper's closing point: timer-heavy protocols are only "
+        "expensive under poor timer implementations."
+    )
+
+
+if __name__ == "__main__":
+    main()

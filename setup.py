@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The offline environment has setuptools but not ``wheel``, so PEP 517
+editable installs (which build an editable wheel) fail. This shim lets
+``pip install -e . --no-use-pep517`` / ``python setup.py develop`` work;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a full reproduction of Varghese & Lauck's timer facility (SOSP 1987).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: Schemes 1–7 (straightforward, ordered list,
+    tree-based, timing wheel, hashed wheels, hierarchical wheels) plus the
+    Nichols precision variants, all behind one ``TimerScheduler`` interface.
+``repro.structures``
+    Intrusive substrates: doubly linked lists, sorted lists, binary heap,
+    unbalanced BST, red-black tree, leftist tree.
+``repro.cost``
+    Abstract operation counting and the VAX "cheap instruction" cost model
+    of Section 7.
+``repro.analysis``
+    The Section 3.2 queueing analysis: Little's law, residual life,
+    closed-form insertion costs.
+``repro.simulation``
+    Discrete-event time-flow mechanisms (Section 4.2) and a gate-level logic
+    simulator built on them.
+``repro.workloads``
+    Deterministic arrival processes, interval distributions, and workload
+    drivers.
+``repro.protocols``
+    A go-back-N transport over a lossy network: the paper's motivating
+    "200 connections x 3 timers" scenario, runnable end to end.
+``repro.hardware``
+    The Appendix A hardware-assist models (scanning timer chip, single-timer
+    assist).
+``repro.smp``
+    The Appendix A.2 symmetric-multiprocessing lock-contention model.
+``repro.bench``
+    Experiment harness regenerating every table and figure (see
+    EXPERIMENTS.md).
+"""
+
+__version__ = "1.0.0"

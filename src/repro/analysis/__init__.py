@@ -1,0 +1,47 @@
+"""The Section 3.2 queueing analysis, reproducible in closed form.
+
+The paper models the timer module as "a single queue with infinite servers"
+(Figure 3): every outstanding timer is served simultaneously, so Little's
+law gives the average number outstanding, and "the distribution of the
+remaining time of elements in the timer queue seen by a new request is the
+residual life density of the timer interval distribution".
+
+This package implements that machinery — M/G/∞ occupancy, residual-life
+densities, and the expected linear-search insertion cost for Scheme 2 under
+arbitrary interval distributions — so the SEC32 experiments can put
+*derived* curves next to *measured* ones.
+"""
+
+from repro.analysis.queueing import MGInfinityModel, residual_life_cdf
+from repro.analysis.insertion_cost import (
+    expected_insert_compares,
+    expected_pass_fraction,
+)
+from repro.analysis.littles_law import LittlesLawEstimate, validate_littles_law
+from repro.analysis.burstiness import (
+    TickCostProfile,
+    measure_tick_profile,
+    profile_tick_costs,
+)
+from repro.analysis.sizing import (
+    Recommendation,
+    Workload,
+    best_general_purpose,
+    recommend,
+)
+
+__all__ = [
+    "MGInfinityModel",
+    "residual_life_cdf",
+    "expected_pass_fraction",
+    "expected_insert_compares",
+    "LittlesLawEstimate",
+    "validate_littles_law",
+    "TickCostProfile",
+    "profile_tick_costs",
+    "measure_tick_profile",
+    "Workload",
+    "Recommendation",
+    "recommend",
+    "best_general_purpose",
+]

@@ -1,0 +1,86 @@
+"""Per-tick cost burstiness — Section 6.1.2's hash-distribution claim.
+
+"Thus the hash distribution in Scheme 6 only controls the 'burstiness'
+(variance) of the latency of PER_TICK_BOOKKEEPING, and not the average
+latency. Since the worst-case latency of PER_TICK_BOOKKEEPING is always
+O(n) ... we believe that the choice of hash function for Scheme 6 is
+insignificant."
+
+This module quantifies that: run a scheduler over a window, record each
+tick's cost, and summarise mean / variance / max / an index of dispersion.
+The XTRA4 experiment feeds it workloads whose intervals either spread
+uniformly over the table or collide into one bucket, showing equal means
+with wildly different variance — the paper's exact argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.interface import TimerScheduler
+
+
+@dataclass(frozen=True)
+class TickCostProfile:
+    """Summary statistics of per-tick bookkeeping costs."""
+
+    ticks: int
+    mean: float
+    variance: float
+    maximum: int
+    minimum: int
+
+    @property
+    def std_dev(self) -> float:
+        """Standard deviation of per-tick cost."""
+        return math.sqrt(self.variance)
+
+    @property
+    def index_of_dispersion(self) -> float:
+        """Variance-to-mean ratio: the burstiness figure of merit."""
+        return self.variance / self.mean if self.mean else 0.0
+
+
+def profile_tick_costs(costs: Sequence[int]) -> TickCostProfile:
+    """Summarise a series of per-tick operation counts."""
+    if not costs:
+        raise ValueError("need at least one tick cost")
+    n = len(costs)
+    mean = sum(costs) / n
+    variance = sum((c - mean) ** 2 for c in costs) / n
+    return TickCostProfile(
+        ticks=n,
+        mean=mean,
+        variance=variance,
+        maximum=max(costs),
+        minimum=min(costs),
+    )
+
+
+def measure_tick_profile(
+    scheduler: TimerScheduler,
+    intervals: Sequence[int],
+    window_ticks: int,
+    rearm: bool = True,
+) -> TickCostProfile:
+    """Install ``intervals``, run ``window_ticks``, profile each tick's cost.
+
+    With ``rearm`` every expiring timer is restarted with its original
+    interval (outside the metered snapshot), holding the population and
+    the bucket pattern steady — the steady state Section 6.1.2 reasons
+    about.
+    """
+    for interval in intervals:
+        scheduler.start_timer(interval, user_data=interval)
+    costs: List[int] = []
+    counter = scheduler.counter
+    for _ in range(window_ticks):
+        before = counter.snapshot()
+        expired = scheduler.tick()
+        costs.append(counter.since(before).total)
+        if rearm:
+            for timer in expired:
+                scheduler.start_timer(timer.user_data, user_data=timer.user_data)
+    return profile_tick_costs(costs)

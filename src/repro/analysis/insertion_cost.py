@@ -1,0 +1,139 @@
+"""Expected Scheme 2 insertion cost under an interval distribution.
+
+Section 3.2's model: a new timer with interval ``X`` is inserted into a
+sorted queue of ``n`` timers whose remaining times are i.i.d. draws ``R``
+from the residual-life density (see :mod:`repro.analysis.queueing`).
+Searching from the head passes every element with remaining time below
+``X`` — on average ``n · P[R < X]`` elements — plus one terminating
+comparison; searching from the rear passes ``n · P[R > X]``.
+
+Evaluating ``P[R < X]`` for the paper's two cases:
+
+* uniform intervals → ``2/3`` from the head (``1/3`` from the rear);
+* exponential intervals → ``1/2`` from either end (memorylessness makes
+  the new interval and a queued residual exchangeable).
+
+The paper prints the constants the other way around ("2 + 2/3n — negative
+exponential; 2 + 1/2n — uniform", rear-exponential "2 + n/3"). Both the
+closed-form integral and the repo's measurements (SEC32 bench, and an
+independent hold-model simulation in the tests) give the pairing above, so
+we reproduce the *structure* — linear growth, constants drawn from
+{1/3, 1/2, 2/3}, rear search cheaper for skewed-right distributions — and
+record the transposition in EXPERIMENTS.md.
+
+``constant`` intervals are the degenerate case the paper calls out: every
+new timer has the latest deadline, so head search passes everything
+(fraction 1) and rear search is O(1) (fraction 0).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.analysis.queueing import residual_life_cdf
+from repro.structures.sorted_list import SearchDirection
+from repro.workloads.distributions import (
+    ConstantIntervals,
+    ExponentialIntervals,
+    IntervalDistribution,
+    UniformIntervals,
+)
+
+
+def expected_pass_fraction(
+    dist: IntervalDistribution,
+    direction: SearchDirection = SearchDirection.FROM_HEAD,
+    samples: int = 200_000,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """``P[R < X]`` (head) or ``P[R > X]`` (rear): mean fraction of the
+    queue a new insertion walks past.
+
+    Closed forms are used for exponential, uniform, and constant intervals;
+    anything else falls back to Monte Carlo over the residual-life law
+    (length-biased interval draw times a uniform fraction).
+    """
+    front = _pass_fraction_front(dist, samples, rng)
+    if direction is SearchDirection.FROM_HEAD:
+        return front
+    return 1.0 - front
+
+
+def _pass_fraction_front(
+    dist: IntervalDistribution,
+    samples: int,
+    rng: Optional[random.Random],
+) -> float:
+    if isinstance(dist, ExponentialIntervals):
+        # P[R < X] with R and X i.i.d. exponential: exactly 1/2.
+        return 0.5
+    if isinstance(dist, ConstantIntervals):
+        # New deadline is always the latest (FIFO among equals).
+        return 1.0
+    if isinstance(dist, UniformIntervals):
+        # E[F_R(X)] via the closed-form residual CDF; exact value for
+        # U(0, b) is 2/3, and the integral below handles general [a, b].
+        return _integrate_uniform_case(dist)
+    return _monte_carlo_front(dist, samples, rng)
+
+
+def _integrate_uniform_case(dist: UniformIntervals, steps: int = 4096) -> float:
+    """Numerically evaluate ``E[F_R(X)]`` for X ~ U(a, b) (trapezoid rule)."""
+    cdf = residual_life_cdf(dist)
+    a, b = float(dist.low), float(dist.high)
+    if b == a:
+        return 1.0  # degenerate: behaves like constant intervals
+    total = 0.0
+    for i in range(steps + 1):
+        x = a + (b - a) * i / steps
+        weight = 0.5 if i in (0, steps) else 1.0
+        total += weight * cdf(x)
+    return total / steps
+
+
+def _monte_carlo_front(
+    dist: IntervalDistribution,
+    samples: int,
+    rng: Optional[random.Random],
+) -> float:
+    """Estimate ``P[R < X]`` by sampling.
+
+    A residual-life draw is a *length-biased* interval times a uniform
+    fraction; length-biasing is done by acceptance-rejection against an
+    empirical interval bound.
+    """
+    rng = rng if rng is not None else random.Random(0x5EC32)
+    # Pre-draw a pool and its max for the rejection envelope.
+    pool = [dist.sample(rng) for _ in range(4096)]
+    bound = float(max(pool))
+    hits = 0
+    for _ in range(samples):
+        x_new = dist.sample(rng)
+        # Length-biased draw of the in-progress interval.
+        while True:
+            candidate = dist.sample(rng)
+            if rng.random() * bound <= candidate:
+                biased = candidate
+                break
+        residual = rng.random() * biased
+        if residual < x_new:
+            hits += 1
+    return hits / samples
+
+
+def expected_insert_compares(
+    dist: IntervalDistribution,
+    n: float,
+    direction: SearchDirection = SearchDirection.FROM_HEAD,
+) -> float:
+    """Predicted comparisons per insertion: ``1 + n · pass_fraction``.
+
+    The ``1`` is the terminating comparison against the first element that
+    does not need to be passed (when the insertion lands at the far end
+    there is no terminator, which the formula slightly over-counts; the
+    effect vanishes for large n).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return 1.0 + n * expected_pass_fraction(dist, direction)

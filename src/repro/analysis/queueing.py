@@ -1,0 +1,117 @@
+"""The G/G/∞ model of Figure 3 and residual-life machinery.
+
+"Interestingly, this can be modeled as a single queue with infinite
+servers; this is valid because every timer in the queue is essentially
+decremented (or served) every timer tick. It is shown in [4] that we can
+use Little's result to obtain the average number in the queue; also the
+distribution of the remaining time of elements in the timer queue seen by a
+new request is the residual life density of the timer interval
+distribution."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.distributions import (
+    ConstantIntervals,
+    ExponentialIntervals,
+    IntervalDistribution,
+    UniformIntervals,
+)
+
+
+def residual_life_cdf(dist: IntervalDistribution) -> Callable[[float], float]:
+    """CDF of the remaining time of an in-progress interval.
+
+    For service distribution ``F`` with mean ``m`` the equilibrium
+    (residual-life) CDF is ``F_R(t) = (1/m) ∫_0^t (1 - F(u)) du``.
+    Closed forms are returned for the distributions the paper analyses;
+    other distributions raise ``NotImplementedError`` (the experiments use
+    Monte Carlo for those — see
+    :func:`repro.analysis.insertion_cost.expected_pass_fraction`).
+    """
+    if isinstance(dist, ExponentialIntervals):
+        mean = dist.mean
+
+        def exp_cdf(t: float) -> float:
+            if t <= 0:
+                return 0.0
+            return 1.0 - pow(2.718281828459045, -t / mean)
+
+        return exp_cdf
+
+    if isinstance(dist, UniformIntervals):
+        a, b = float(dist.low), float(dist.high)
+        mean = (a + b) / 2.0
+
+        def unif_cdf(t: float) -> float:
+            if t <= 0:
+                return 0.0
+            if t >= b:
+                return 1.0
+            if t <= a:
+                # Below a, 1 - F(u) = 1, so the integral is just t.
+                return t / mean
+            # Between a and b: integral of (b - u)/(b - a).
+            tail = (b - t) * (b - t) / (2.0 * (b - a))
+            full = a + (b - a) / 2.0
+            return (full - tail) / mean
+
+        return unif_cdf
+
+    if isinstance(dist, ConstantIntervals):
+        c = float(dist.value)
+
+        def const_cdf(t: float) -> float:
+            if t <= 0:
+                return 0.0
+            return min(1.0, t / c)
+
+        return const_cdf
+
+    raise NotImplementedError(
+        f"no closed-form residual life for {dist.name}; use Monte Carlo"
+    )
+
+
+@dataclass(frozen=True)
+class MGInfinityModel:
+    """M/G/∞ predictions for a timer workload.
+
+    ``rate`` is λ (START_TIMER calls per tick); ``intervals`` is the service
+    distribution; ``stop_fraction`` is the probability a timer is cancelled
+    at a uniformly random point inside its interval (the driver's model of
+    failure-recovery timers that "rarely expire").
+    """
+
+    rate: float
+    intervals: IntervalDistribution
+    stop_fraction: float = 0.0
+
+    @property
+    def mean_lifetime(self) -> float:
+        """Expected time a timer spends in the module.
+
+        A never-stopped timer lives its full interval; a stopped one lives a
+        uniform fraction of it, i.e. half on average.
+        """
+        full = self.intervals.mean
+        return (1.0 - self.stop_fraction) * full + self.stop_fraction * full / 2.0
+
+    @property
+    def expected_outstanding(self) -> float:
+        """Little's law: ``n = λ · E[lifetime]``, the paper's average n."""
+        return self.rate * self.mean_lifetime
+
+    @property
+    def mean_residual_seen_by_arrival(self) -> float:
+        """Mean remaining time of a queued timer at an arrival instant.
+
+        By PASTA, an arriving START_TIMER call sees stationary state; each
+        outstanding timer's remaining time follows the residual-life density
+        with mean ``E[X²] / (2 E[X])``. (Cancellation shortens lifetimes;
+        this figure ignores it, matching the paper's un-cancelled model.)
+        """
+        return self.intervals.mean_residual_life

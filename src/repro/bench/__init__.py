@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment lives in :mod:`repro.bench.experiments` as a function
+returning an :class:`~repro.bench.result.ExperimentResult` — the experiment
+id from DESIGN.md, the paper's claim, the regenerated rows, and a pass/fail
+judgement on the claim's *shape* (who wins, how costs grow), since absolute
+1987-VAX numbers are out of reach by design.
+
+``python -m repro.bench`` runs everything and prints the tables;
+``benchmarks/`` wraps the same functions in pytest-benchmark targets.
+"""
+
+from repro.bench.result import ExperimentResult
+from repro.bench.tables import render_table
+from repro.bench.harness import (
+    measure_start_cost,
+    measure_stop_cost,
+    measure_tick_cost,
+    prefill,
+)
+from repro.bench.experiments import ALL_EXPERIMENTS, get_experiment, run_all
+
+__all__ = [
+    "ExperimentResult",
+    "render_table",
+    "prefill",
+    "measure_start_cost",
+    "measure_stop_cost",
+    "measure_tick_cost",
+    "ALL_EXPERIMENTS",
+    "get_experiment",
+    "run_all",
+]

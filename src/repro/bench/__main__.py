@@ -1,0 +1,50 @@
+"""Run every experiment and print the regenerated tables.
+
+Usage::
+
+    python -m repro.bench            # full parameters (EXPERIMENTS.md)
+    python -m repro.bench --fast     # shrunken sweeps
+    python -m repro.bench FIG4 SEC7  # a subset by experiment id
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS, get_experiment
+from repro.bench.tables import render_experiment
+
+
+def main(argv=None) -> int:
+    """Parse arguments, run the requested experiments, return an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+        metavar="ID",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="shrink sweeps for a quick pass"
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or list(ALL_EXPERIMENTS)
+    failures = 0
+    for experiment_id in ids:
+        func = get_experiment(experiment_id)
+        result = func(fast=args.fast)
+        print(render_experiment(result))
+        print()
+        if not result.passed:
+            failures += 1
+    print(f"{len(ids)} experiments, {failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""One function per paper table/figure (see DESIGN.md's experiment index).
+
+Each function takes an optional ``fast`` flag: the default parameters match
+EXPERIMENTS.md; ``fast=True`` shrinks sweeps for use inside the pytest
+suites.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.bench.result import ExperimentResult
+from repro.bench.experiments.exp_queueing import fig3_queueing_model
+from repro.bench.experiments.exp_lists import (
+    fig4_scheme1_vs_scheme2,
+    sec32_insertion_cost,
+)
+from repro.bench.experiments.exp_trees import fig6_tree_schemes
+from repro.bench.experiments.exp_sim import fig7_simulation_engines
+from repro.bench.experiments.exp_wheels import (
+    fig8_scheme4_wheel,
+    fig9_hashed_wheels,
+)
+from repro.bench.experiments.exp_hierarchy import (
+    fig10_hierarchical,
+    sec62_scheme6_vs_scheme7,
+    xtra_nichols_variants,
+)
+from repro.bench.experiments.exp_vax import sec7_vax_costs
+from repro.bench.experiments.exp_hardware import apxa_hardware_assist
+from repro.bench.experiments.exp_smp import apxa2_smp_contention
+from repro.bench.experiments.exp_transport import xtra_transport_scenario
+from repro.bench.experiments.exp_ablations import xtra3_hybrid_and_placement
+from repro.bench.experiments.exp_burstiness import xtra4_hash_burstiness
+from repro.bench.experiments.exp_arq import xtra5_arq_timer_pressure
+
+#: Experiment id -> callable(fast: bool) -> ExperimentResult
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "FIG3": fig3_queueing_model,
+    "SEC32": sec32_insertion_cost,
+    "FIG4": fig4_scheme1_vs_scheme2,
+    "FIG6": fig6_tree_schemes,
+    "FIG7": fig7_simulation_engines,
+    "FIG8": fig8_scheme4_wheel,
+    "FIG9": fig9_hashed_wheels,
+    "FIG10": fig10_hierarchical,
+    "SEC62": sec62_scheme6_vs_scheme7,
+    "SEC7": sec7_vax_costs,
+    "APXA1": apxa_hardware_assist,
+    "APXA2": apxa2_smp_contention,
+    "XTRA1": xtra_nichols_variants,
+    "XTRA2": xtra_transport_scenario,
+    "XTRA3": xtra3_hybrid_and_placement,
+    "XTRA4": xtra4_hash_burstiness,
+    "XTRA5": xtra5_arq_timer_pressure,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment by DESIGN.md id."""
+    try:
+        return ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_all(fast: bool = False) -> List[ExperimentResult]:
+    """Run every experiment in index order."""
+    return [func(fast=fast) for func in ALL_EXPERIMENTS.values()]

@@ -1,0 +1,85 @@
+"""XTRA4: the hash distribution controls burstiness, not the average."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.burstiness import measure_tick_profile
+from repro.bench.result import ExperimentResult
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+
+
+def xtra4_hash_burstiness(fast: bool = False) -> ExperimentResult:
+    """Section 6.1.2: 'the hash distribution in Scheme 6 only controls the
+    burstiness (variance) of the latency of PER_TICK_BOOKKEEPING, and not
+    the average latency ... the choice of hash function for Scheme 6 is
+    insignificant.'"""
+    result = ExperimentResult(
+        experiment_id="XTRA4",
+        title="Scheme 6 per-tick cost: hash spread vs collision",
+        paper_claim=(
+            "average per-tick work is n/TableSize regardless of the hash; "
+            "a bad distribution only makes it bursty (all-collide: O(n) "
+            "every TableSize ticks, O(1) in between)"
+        ),
+        headers=[
+            "bucket pattern",
+            "n",
+            "mean ops/tick",
+            "std dev",
+            "max",
+            "min",
+        ],
+    )
+    table = 128
+    n = 128 if fast else 512
+    window = table * (4 if fast else 16)
+    rng = random.Random(0xB5)
+
+    # Three interval patterns with (near-)equal mean lifetime — so expiry
+    # work per tick matches — but different bucket placement.
+    patterns = {
+        # Spread: one timer per consecutive offset (perfect hash).
+        "uniform spread": [table + 1 + (i % (table - 1)) for i in range(n)],
+        # Random: the generic case.
+        "random offsets": [table + rng.randint(1, table - 1) for _ in range(n)],
+        # Collide: every timer in the same bucket (the worst hash), with
+        # the same mean lifetime as the spread patterns.
+        "all one bucket": [table + table // 2 for _ in range(n)],
+    }
+    profiles = {}
+    for label, intervals in patterns.items():
+        scheduler = HashedWheelUnsortedScheduler(table_size=table)
+        profile = measure_tick_profile(scheduler, intervals, window)
+        profiles[label] = profile
+        result.add_row(
+            label, n, profile.mean, profile.std_dev, profile.maximum,
+            profile.minimum,
+        )
+
+    means = [p.mean for p in profiles.values()]
+    spread_mean = max(means) - min(means)
+    result.check(
+        "mean per-tick cost is (near-)identical across hash patterns",
+        spread_mean <= 0.1 * max(means),
+    )
+    result.check(
+        "the colliding pattern is far burstier (std dev >= 5x the spread "
+        "pattern's)",
+        profiles["all one bucket"].std_dev
+        >= 5 * max(profiles["uniform spread"].std_dev, 0.1),
+    )
+    result.check(
+        "colliding worst tick touches every timer (O(n) burst)",
+        profiles["all one bucket"].maximum
+        >= n * 6,  # n decrement-and-advance visits at 6 ops each
+    )
+    result.check(
+        "between bursts the colliding pattern costs the empty-tick floor",
+        profiles["all one bucket"].minimum == 4,
+    )
+    result.note(
+        f"table size {table}, window {window} ticks, expiring timers "
+        "re-armed with their original interval to hold the pattern steady"
+    )
+    return result

@@ -1,0 +1,97 @@
+"""APXA1: hardware assist — interrupts fielded by the host."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.result import ExperimentResult
+from repro.core.scheme2_ordered_list import OrderedListScheduler
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+from repro.core.scheme7_hierarchical import HierarchicalWheelScheduler
+from repro.hardware.chip import ScanningChipAssist
+from repro.hardware.single_timer import SingleTimerAssist
+
+
+def apxa_hardware_assist(fast: bool = False) -> ExperimentResult:
+    """Appendix A: with a scanning chip, the host is interrupted about
+    ``T/M`` times per timer under Scheme 6 and at most ``m`` times under
+    Scheme 7; with a single-timer comparator, Scheme 2's host sees only
+    actual expiries."""
+    result = ExperimentResult(
+        experiment_id="APXA1",
+        title="Hardware assist: host interrupts per timer",
+        paper_claim=(
+            "Scheme 6 chip: ~T/M host interrupts per timer interval; "
+            "Scheme 7 chip: at most m; Scheme 2 single-timer assist: "
+            "interrupt only on expiry"
+        ),
+        headers=["assist", "T", "M or m", "intr/timer", "bound", "within"],
+    )
+    timers = 150 if fast else 400
+    rng = random.Random(0xA1)
+
+    # Scheme 6 chip: sparse timers (so bucket visits are dominated by one
+    # timer each) with T >> M.
+    for T, M in [(2_000, 64), (2_000, 256)] + ([] if fast else [(8_000, 256)]):
+        chip = ScanningChipAssist(HashedWheelUnsortedScheduler(table_size=M))
+        for _ in range(timers):
+            chip.start_timer(rng.randint(T // 2, 3 * T // 2))
+        while chip.pending_count:
+            chip.advance(M)
+        per_timer = chip.report.interrupts_per_timer
+        bound = T / M  # the appendix's expected order
+        ok = per_timer <= 2.5 * bound + 1
+        result.add_row("scheme6 chip", T, M, per_timer, bound, ok)
+        result.check(
+            f"scheme6 chip interrupts/timer ≈ T/M at T={T}, M={M}", ok
+        )
+
+    # Scheme 7 chip: interrupts per timer bounded by the level count.
+    levels = (16, 16, 16)
+    T = 2_000
+    chip7 = ScanningChipAssist(HierarchicalWheelScheduler(levels))
+    for _ in range(timers):
+        chip7.start_timer(rng.randint(T // 2, 3 * T // 2))
+    while chip7.pending_count:
+        chip7.advance(64)
+    per_timer7 = chip7.report.interrupts_per_timer
+    m = len(levels)
+    ok7 = per_timer7 <= m
+    result.add_row("scheme7 chip", T, m, per_timer7, m, ok7)
+    result.check("scheme7 chip interrupts/timer <= m (levels)", ok7)
+    result.check(
+        "scheme7 chip beats scheme6 chip at large T / small M",
+        per_timer7 < chip_interrupts_large_t(result),
+    )
+
+    # Scheme 2 single-timer assist.
+    assist = SingleTimerAssist(OrderedListScheduler())
+    rng2 = random.Random(0xA2)
+    expiries = 0
+    distinct_instants = set()
+    for _ in range(timers):
+        t = assist.start_timer(rng2.randint(100, 5_000))
+        distinct_instants.add(t.deadline)
+        expiries += 1
+    assist.run(6_000)
+    result.add_row(
+        "scheme2 single-timer", 5_000, 1,
+        assist.report.host_interrupts / timers,
+        len(distinct_instants) / timers,
+        assist.report.host_interrupts <= len(distinct_instants),
+    )
+    result.check(
+        "single-timer assist interrupts only at expiry instants",
+        assist.report.host_interrupts <= len(distinct_instants),
+    )
+    result.check(
+        "single-timer assist absorbed the vast majority of clock ticks",
+        assist.report.interrupts_avoided > 0.8 * assist.report.ticks,
+    )
+    return result
+
+
+def chip_interrupts_large_t(result: ExperimentResult) -> float:
+    """The scheme6-chip interrupts/timer from the first table row."""
+    first = result.rows[0]
+    return float(first[3])

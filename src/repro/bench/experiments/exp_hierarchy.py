@@ -1,0 +1,241 @@
+"""FIG10/11, SEC62 and XTRA1: the hierarchical wheels."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import measure_start_cost
+from repro.bench.result import ExperimentResult
+from repro.core.interface import TimerScheduler
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+from repro.core.scheme7_hierarchical import HierarchicalWheelScheduler
+from repro.core.scheme7_variants import (
+    LossyHierarchicalScheduler,
+    SingleMigrationHierarchicalScheduler,
+)
+from repro.cost import formulas
+from repro.workloads.distributions import UniformIntervals
+
+
+def fig10_hierarchical(fast: bool = False) -> ExperimentResult:
+    """Figures 10–11: the worked hour/minute/second example, plus O(m)
+    START and O(1) STOP across n."""
+    result = ExperimentResult(
+        experiment_id="FIG10",
+        title="Scheme 7 hierarchy: worked example and flat latencies",
+        paper_claim=(
+            "a 50m45s timer set at 11d 10:24:30 lands 1 hour ahead, "
+            "migrates to minute slot 15, then second slot 15, and expires "
+            "exactly; START is O(m), STOP O(1)"
+        ),
+        headers=["probe", "value", "expected", "match"],
+    )
+    # The worked example on the paper's own (sec, min, hour, day) hierarchy.
+    sched = HierarchicalWheelScheduler(slot_counts=(60, 60, 24, 100))
+    start_clock = ((11 * 24 + 10) * 60 + 24) * 60 + 30  # 11d 10:24:30
+    sched._now = start_clock  # position the clock exactly as the figure does
+    interval = 50 * 60 + 45  # 50 minutes 45 seconds
+    fired = []
+    timer = sched.start_timer(interval, callback=lambda t: fired.append(sched.now))
+    hour_cursor = sched.cursor_positions()[2]
+    result.add_row("insert level", timer._level, 2, timer._level == 2)
+    result.add_row(
+        "hour slot (cursor 10 + 1)", timer._slot_index, 11, timer._slot_index == 11
+    )
+    result.add_row("hour cursor", hour_cursor, 10, hour_cursor == 10)
+    # Run to the hour boundary: the timer must migrate to minute slot 15.
+    to_hour = ((start_clock // 3600) + 1) * 3600 - start_clock
+    sched.advance(to_hour)
+    result.add_row(
+        "level after hour cascade", timer._level, 1, timer._level == 1
+    )
+    result.add_row(
+        "minute slot after cascade", timer._slot_index, 15, timer._slot_index == 15
+    )
+    # Run to the minute boundary +15s: exact expiry.
+    sched.advance(15 * 60 + 15)
+    expected_fire = start_clock + interval
+    result.add_row(
+        "fired at", fired[0] if fired else -1, expected_fire,
+        bool(fired) and fired[0] == expected_fire,
+    )
+    result.check("Figure 10/11 worked example reproduced", all(r[3] for r in result.rows))
+
+    # Latency flatness across n.
+    levels = (256, 64, 64)
+    dist = UniformIntervals(1, 256 * 64 * 64 - 1)
+    ns = [64, 1024] if fast else [64, 1024, 8192]
+    start_costs = {}
+    for n in ns:
+        start = measure_start_cost(
+            lambda: HierarchicalWheelScheduler(levels), n, dist, seed=10
+        )
+        start_costs[n] = start.total_ops
+        result.add_row(f"start ops @ n={n}", start.total_ops, "O(m) flat", True)
+    result.check(
+        "START cost flat in n (O(m), m fixed)",
+        start_costs[ns[-1]] < 2.5 * start_costs[ns[0]],
+    )
+    return result
+
+
+def _run_to_idle(scheduler: TimerScheduler, T: int, timers: int, seed: int) -> None:
+    rng = random.Random(seed)
+    lo = max(1, T // 2)
+    hi = max(lo + 1, 3 * T // 2)
+    for _ in range(timers):
+        scheduler.start_timer(rng.randint(lo, hi))
+    scheduler.run_until_idle(max_ticks=T * 4)
+
+
+def sec62_scheme6_vs_scheme7(fast: bool = False) -> ExperimentResult:
+    """Section 6.2: bookkeeping work per timer is c6·T/M for Scheme 6 (one
+    bucket-entry touch per wheel revolution survived) versus at most c7·m
+    for Scheme 7 (one migration per level). With c6 = c7 = 1 touch, the
+    measured touches land on the formulas and the winner flips at
+    T/M ≈ m."""
+    result = ExperimentResult(
+        experiment_id="SEC62",
+        title="Scheme 6 vs Scheme 7 bookkeeping touches across T and M",
+        paper_claim=(
+            "work per timer: c6*T/M (Scheme 6) vs <= c7*m (Scheme 7); "
+            "Scheme 7 better for large T / small M, worse for small T / "
+            "large M"
+        ),
+        headers=[
+            "T (mean ivl)",
+            "M (slots)",
+            "s6 touch/timer",
+            "model T/M",
+            "s7 touch/timer",
+            "bound m",
+            "winner",
+        ],
+    )
+    timers = 100 if fast else 400
+    Ts = [500, 20_000] if fast else [500, 5_000, 50_000]
+    Ms = [64, 1024] if fast else [64, 256, 2048]
+    levels = 3
+    wins = {}
+    model_ok = True
+    bound_ok = True
+    for T in Ts:
+        for M in Ms:
+            s6 = HashedWheelUnsortedScheduler(table_size=M)
+            _run_to_idle(s6, T, timers, seed=62)
+            s6_touches = s6.entry_visits / timers
+            # Scheme 7 with m levels spanning at least the interval range.
+            per_level = max(4, round((2 * T) ** (1 / levels)) + 1)
+            s7 = HierarchicalWheelScheduler((per_level,) * levels)
+            _run_to_idle(s7, T, timers, seed=62)
+            # Touches: each migration plus the final expiry drain.
+            s7_touches = s7.migrations / timers + 1.0
+            winner = "s6" if s6_touches < s7_touches else "s7"
+            wins[(T, M)] = winner
+            model = T / M
+            # The formula predicts touches ≈ T/M (+1 for the expiry visit).
+            if abs(s6_touches - (model + 1.0)) > 0.5 * model + 1.0:
+                model_ok = False
+            if s7_touches > levels:
+                bound_ok = False
+            result.add_row(T, M, s6_touches, model, s7_touches, levels, winner)
+
+    result.check(
+        "Scheme 6 touches/timer track T/M (+1 expiry visit)", model_ok
+    )
+    result.check("Scheme 7 touches/timer never exceed m", bound_ok)
+    result.check(
+        "Scheme 7 wins at large T, small M",
+        wins[(Ts[-1], Ms[0])] == "s7",
+    )
+    result.check(
+        "Scheme 6 wins at small T, large M",
+        wins[(Ts[0], Ms[-1])] == "s6",
+    )
+    result.note(
+        "touches are bucket-entry visits (Scheme 6) and migrations+expiry "
+        "(Scheme 7): the paper's c6/c7 units with both constants at 1"
+    )
+    result.note(
+        f"analytic crossover for T={Ts[-1]}, m={levels}: M ≈ "
+        f"{formulas.crossover_table_size(Ts[-1], levels):.0f} slots"
+    )
+    return result
+
+
+def xtra_nichols_variants(fast: bool = False) -> ExperimentResult:
+    """XTRA1: the Nichols no-migration and single-migration hierarchies.
+
+    Lossy: zero migrations, firing error bounded by the insertion level's
+    granularity (≤50% of the interval); single-migration: at most one hop,
+    error below one slot of the adjacent finer level; full Scheme 7: exact.
+    """
+    result = ExperimentResult(
+        experiment_id="XTRA1",
+        title="Nichols precision variants of the hierarchy",
+        paper_claim=(
+            "no migration costs up to 50% precision; one migration between "
+            "adjacent lists restores most precision; full migration is exact"
+        ),
+        headers=[
+            "variant",
+            "timers",
+            "migrations",
+            "max |err|",
+            "max err bound",
+            "within bound",
+        ],
+    )
+    levels = (60, 60, 24)
+    count = 200 if fast else 1000
+    span = 60 * 60 * 24
+
+    def run_variant(factory):
+        sched = factory()
+        rng = random.Random(41)
+        errors = []
+        timers = []
+        for _ in range(count):
+            iv = rng.randint(1, span - 1)
+            timers.append(sched.start_timer(iv))
+        sched.run_until_idle(max_ticks=2 * span)
+        for t in timers:
+            errors.append(abs(t.fired_at - t.deadline))
+        return sched, max(errors)
+
+    s7, err7 = run_variant(lambda: HierarchicalWheelScheduler(levels))
+    lossy, err_lossy = run_variant(lambda: LossyHierarchicalScheduler(levels))
+    onemig, err_one = run_variant(
+        lambda: SingleMigrationHierarchicalScheduler(levels)
+    )
+
+    # Bounds: coarsest insertion level granularity is 3600 ticks.
+    lossy_bound = lossy.firing_error_bound(2)
+    one_bound = onemig.firing_error_bound(2)
+    result.add_row("scheme7 (full)", count, s7.migrations, float(err7), 0, err7 == 0)
+    result.add_row(
+        "lossy (no migration)", count, lossy.migrations, float(err_lossy),
+        lossy_bound, err_lossy <= lossy_bound,
+    )
+    result.add_row(
+        "single migration", count, onemig.migrations, float(err_one),
+        one_bound, err_one <= one_bound,
+    )
+    result.check("full Scheme 7 fires exactly", err7 == 0)
+    result.check("lossy variant performs zero migrations", lossy.migrations == 0)
+    result.check(
+        "lossy firing error within half a coarse slot (nearest rounding)",
+        err_lossy <= lossy_bound,
+    )
+    result.check(
+        "single-migration error within one finer slot", err_one <= one_bound
+    )
+    result.check(
+        "single migration does at most one hop per timer",
+        onemig.migrations <= count,
+    )
+    result.check(
+        "precision ordering: lossy >= single-migration >= full",
+        err_lossy >= err_one >= err7,
+    )
+    return result

@@ -1,0 +1,134 @@
+"""FIG7: time-flow mechanisms — event list vs TEGAS wheel vs timer modules."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.bench.result import ExperimentResult
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+from repro.core.scheme7_hierarchical import HierarchicalWheelScheduler
+from repro.simulation.decsim_wheel import DecsimWheelEngine
+from repro.simulation.engine import EventListEngine
+from repro.simulation.event import TimeFlow
+from repro.simulation.logic import Circuit, GateKind, LogicSimulator
+from repro.simulation.timer_driven import TimerSchedulerEngine
+from repro.simulation.wheel_engine import TegasWheelEngine
+
+
+def _build_benchmark_circuit() -> Circuit:
+    """A mixed combinational + sequential netlist."""
+    c = Circuit()
+    c.add_input("clk")
+    c.add_input("a", initial=True)
+    c.add_input("b")
+    c.add_gate("g_xor", GateKind.XOR, ["a", "b"], "sum", delay=2)
+    c.add_gate("g_and", GateKind.AND, ["a", "b"], "carry", delay=3)
+    c.add_gate("g_nor", GateKind.NOR, ["sum", "carry"], "flag", delay=1)
+    c.add_ripple_counter("cnt", "clk", bits=6, delay=1)
+    c.add_gate("g_out", GateKind.XOR, ["cnt_q0", "cnt_q5"], "mix", delay=2)
+    return c
+
+
+def _run_circuit(
+    engine_factory: Callable[[], TimeFlow], horizon: int
+) -> Tuple[List[Tuple[int, str, bool]], TimeFlow]:
+    circuit = _build_benchmark_circuit()
+    engine = engine_factory()
+    sim = LogicSimulator(circuit, engine)
+    sim.set_input("b", True, at=4)
+    sim.set_input("a", False, at=11)
+    sim.set_input("a", True, at=23)
+    sim.drive_clock("clk", half_period=7, edges=horizon // 8)
+    sim.run_until(horizon)
+    return [(e.time, e.net, e.value) for e in sim.trace], engine
+
+
+def fig7_simulation_engines(fast: bool = False) -> ExperimentResult:
+    """Figure 7 and Section 4.2: all time-flow mechanisms are equivalent,
+    and the conventional wheel's overflow list fills as the cycle ages."""
+    result = ExperimentResult(
+        experiment_id="FIG7",
+        title="Time-flow mechanisms: event list, TEGAS wheel, timer modules",
+        paper_claim=(
+            "timing-wheel time flow (array of lists + overflow list + "
+            "cycle counter) is equivalent to event-list time flow; timer "
+            "algorithms also implement time flow"
+        ),
+        headers=["mechanism", "trace events", "identical trace"],
+    )
+    horizon = 400 if fast else 2000
+    reference, _ = _run_circuit(EventListEngine, horizon)
+    mechanisms = [
+        ("event-list (GPSS/SIMULA)", EventListEngine),
+        ("tegas-wheel N=32", lambda: TegasWheelEngine(cycle_length=32)),
+        ("tegas-wheel N=128", lambda: TegasWheelEngine(cycle_length=128)),
+        ("decsim-wheel N=32", lambda: DecsimWheelEngine(cycle_length=32)),
+        (
+            "timer scheme6",
+            lambda: TimerSchedulerEngine(HashedWheelUnsortedScheduler(64)),
+        ),
+        (
+            "timer scheme7",
+            lambda: TimerSchedulerEngine(
+                HierarchicalWheelScheduler((16, 16, 16))
+            ),
+        ),
+    ]
+    tegas_engine = None
+    decsim_engine = None
+    for label, factory in mechanisms:
+        trace, engine = _run_circuit(factory, horizon)
+        identical = trace == reference
+        result.add_row(label, len(trace), identical)
+        result.check(f"{label} reproduces the reference trace", identical)
+        if label == "tegas-wheel N=32":
+            tegas_engine = engine
+        elif label == "decsim-wheel N=32":
+            decsim_engine = engine
+
+    assert tegas_engine is not None and decsim_engine is not None
+
+    def overflow_fraction(engine) -> float:
+        total = engine.direct_insertions + engine.overflow_insertions
+        return engine.overflow_insertions / total if total else 0.0
+
+    tegas_frac = overflow_fraction(tegas_engine)
+    result.add_row(
+        "tegas overflow fraction (logic sim)", f"{tegas_frac:.3f}",
+        tegas_frac > 0.0,
+    )
+    result.check(
+        "the conventional wheel does push some events to its overflow list "
+        "(the inefficiency Scheme 4 removes)",
+        tegas_frac > 0.0,
+    )
+
+    # Synthetic probe for the TEGAS-vs-DECSIM rotation policies: one event
+    # per tick with delay uniform on [1, N-1], so look-ahead coverage is
+    # what decides overflow. TEGAS coverage decays N -> 1 within a cycle;
+    # DECSIM's half-rotation keeps it between N/2 and N.
+    import random as _random
+
+    def probe(engine_factory) -> float:
+        engine = engine_factory()
+        rng = _random.Random(0x417)
+        events = 800 if fast else 4000
+        for _ in range(events):
+            engine.schedule_after(rng.randint(1, 31), lambda: None)
+            engine.run_until(engine.now + 1)
+        return overflow_fraction(engine)
+
+    tegas_probe = probe(lambda: TegasWheelEngine(cycle_length=32))
+    decsim_probe = probe(lambda: DecsimWheelEngine(cycle_length=32))
+    result.add_row("tegas overflow (delay probe)", f"{tegas_probe:.3f}", True)
+    result.add_row("decsim overflow (delay probe)", f"{decsim_probe:.3f}", True)
+    result.check(
+        "half-rotation (DECSIM) reduces but does not eliminate overflow "
+        "insertions, exactly as Section 4.2 says",
+        0.0 < decsim_probe < tegas_probe,
+    )
+    result.note(
+        "identical traces across six mechanisms demonstrate both "
+        "directions of Section 4.2's equivalence"
+    )
+    return result

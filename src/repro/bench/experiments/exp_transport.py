@@ -1,0 +1,90 @@
+"""XTRA2: the motivating end-to-end transport scenario."""
+
+from __future__ import annotations
+
+from repro.bench.result import ExperimentResult
+from repro.core.registry import make_scheduler
+from repro.protocols.host import run_server_scenario
+
+
+def xtra_transport_scenario(fast: bool = False) -> ExperimentResult:
+    """Section 1's server: many connections × three timers each, multiplexed
+    on one scheduler. Protocol outcome must not depend on the scheme; the
+    scheduler's bookkeeping cost must."""
+    result = ExperimentResult(
+        experiment_id="XTRA2",
+        title="200-connection transport workload across schemes",
+        paper_claim=(
+            "protocols that use a large number of timers are only "
+            "expensive under poor timer implementations — with wheels, "
+            "cost per tick collapses while behaviour is unchanged"
+        ),
+        headers=[
+            "scheme",
+            "delivered",
+            "retx",
+            "closed",
+            "failed",
+            "max outst",
+            "ops/tick",
+        ],
+    )
+    if fast:
+        n_conn, msgs, duration = 40, 8, 2_500
+    else:
+        n_conn, msgs, duration = 200, 30, 8_000
+    schemes = [
+        ("scheme1", {}),
+        ("scheme2", {}),
+        ("scheme3-heap", {}),
+        ("scheme6", {"table_size": 256}),
+        ("scheme7", {"slot_counts": (64, 64, 64)}),
+    ]
+    outcomes = {}
+    for name, kwargs in schemes:
+        scheduler = make_scheduler(name, **kwargs)
+        run = run_server_scenario(
+            scheduler,
+            n_connections=n_conn,
+            messages_per_connection=msgs,
+            duration=duration,
+            loss_rate=0.05,
+            seed=7,
+        )
+        outcomes[name] = run
+        result.add_row(
+            name,
+            run.delivered,
+            run.retransmissions,
+            run.connections_closed,
+            run.connections_failed,
+            run.max_outstanding,
+            run.ops_per_tick,
+        )
+
+    expected = n_conn * msgs
+    result.check(
+        "every scheme delivers the full message load",
+        all(r.delivered == expected for r in outcomes.values()),
+    )
+    result.check(
+        "every connection closes cleanly under every scheme",
+        all(
+            r.connections_closed == n_conn and r.connections_failed == 0
+            for r in outcomes.values()
+        ),
+    )
+    result.check(
+        "scheme1 per-tick cost dwarfs scheme6's (O(n) per tick vs O(1))",
+        outcomes["scheme1"].ops_per_tick > 3 * outcomes["scheme6"].ops_per_tick,
+    )
+    result.check(
+        "scheme2 per-tick cost exceeds scheme7's",
+        outcomes["scheme2"].ops_per_tick > outcomes["scheme7"].ops_per_tick,
+    )
+    result.note(
+        f"{n_conn} connections x {msgs} messages, 5% loss; each connection "
+        "runs retransmission + keepalive + TIME-WAIT timers on the shared "
+        "scheduler"
+    )
+    return result

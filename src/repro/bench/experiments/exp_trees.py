@@ -1,0 +1,89 @@
+"""FIG6: tree-based schemes (Scheme 3) including the BST degeneration."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import measure_start_cost, measure_stop_cost, prefill
+from repro.bench.result import ExperimentResult
+from repro.core.scheme3_trees import (
+    HeapScheduler,
+    LeftistTreeScheduler,
+    RedBlackTreeScheduler,
+    UnbalancedBSTScheduler,
+)
+from repro.workloads.distributions import ConstantIntervals, UniformIntervals
+
+
+def fig6_tree_schemes(fast: bool = False) -> ExperimentResult:
+    """Figure 6: START O(log n); STOP O(1) unbalanced / O(log n) balanced;
+    and Section 4.1.1's warning that the unbalanced BST degenerates to a
+    linear list when equal timer intervals are inserted."""
+    result = ExperimentResult(
+        experiment_id="FIG6",
+        title="Tree-based schemes: logarithmic START, BST degeneration",
+        paper_claim=(
+            "START_TIMER O(log n); STOP O(1) unbalanced / O(log n) "
+            "balanced; unbalanced BSTs degenerate on equal intervals"
+        ),
+        headers=["structure", "n", "start ops", "start cmps", "stop ops"],
+    )
+    schedulers = [
+        ("heap", HeapScheduler),
+        ("unbalanced-bst", UnbalancedBSTScheduler),
+        ("red-black", RedBlackTreeScheduler),
+        ("leftist", LeftistTreeScheduler),
+    ]
+    ns = [64, 512] if fast else [64, 512, 4096]
+    dist = UniformIntervals(1, 100_000)
+    start_cmps = {}
+    stop_costs = {}
+    for label, factory in schedulers:
+        for n in ns:
+            start = measure_start_cost(factory, n, dist, seed=6)
+            stop = measure_stop_cost(factory, n, dist, seed=6)
+            start_cmps[(label, n)] = start.compares
+            stop_costs[(label, n)] = stop.total_ops
+            result.add_row(label, n, start.total_ops, start.compares, stop.total_ops)
+
+    lo, hi = ns[0], ns[-1]
+    log_ratio = math.log2(hi) / math.log2(lo)
+    for label, _ in schedulers:
+        # O(log n): comparisons grow at most ~log-proportionally, far
+        # slower than the linear n ratio.
+        result.check(
+            f"{label} START grows sublinearly (≈O(log n))",
+            start_cmps[(label, hi)]
+            < start_cmps[(label, lo)] * max(3.0, 2.0 * log_ratio),
+        )
+
+    result.check(
+        "the unbalanced BST's STOP undercuts the red-black tree's "
+        "(Figure 6's note: balanced deletion pays for rebalancing)",
+        stop_costs[("unbalanced-bst", hi)] < stop_costs[("red-black", hi)],
+    )
+
+    # Degeneration probe: equal intervals inserted back to back.
+    n_adv = 256 if fast else 1024
+    bst = UnbalancedBSTScheduler()
+    prefill(bst, n_adv, ConstantIntervals(5000))
+    rbt = RedBlackTreeScheduler()
+    prefill(rbt, n_adv, ConstantIntervals(5000))
+    bst_height = bst.structure_height()
+    rbt_height = rbt.structure_height()
+    result.add_row("bst@equal-ivals", n_adv, float(bst_height), 0.0, 0.0)
+    result.add_row("rbtree@equal-ivals", n_adv, float(rbt_height), 0.0, 0.0)
+    result.check(
+        "unbalanced BST degenerates to a linear list on equal intervals "
+        "(height == n)",
+        bst_height == n_adv,
+    )
+    result.check(
+        "red-black tree stays balanced on equal intervals "
+        "(height <= 2*log2(n)+2)",
+        rbt_height <= 2 * math.log2(n_adv) + 2,
+    )
+    result.note(
+        "degeneration rows report tree height in the 'start ops' column"
+    )
+    return result

@@ -1,0 +1,102 @@
+"""SEC7: the paper's measured VAX instruction costs for Scheme 6."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.result import ExperimentResult
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+from repro.cost.vax import SECTION7_COSTS, VaxCostModel
+
+
+def sec7_vax_costs(fast: bool = False) -> ExperimentResult:
+    """Section 7: insert 13, delete 7, empty tick 4 cheap instructions;
+    average per-tick cost 4 + 15·n/TableSize when every timer expires
+    within one scan."""
+    model = VaxCostModel()
+    result = ExperimentResult(
+        experiment_id="SEC7",
+        title="Scheme 6 instruction costs vs the published VAX numbers",
+        paper_claim=(
+            "13 cheap instructions to insert, 7 to delete, 4 per empty "
+            "tick; average per-tick cost 4 + 15*n/TableSize"
+        ),
+        headers=["measurement", "measured", "paper", "match"],
+    )
+
+    # Per-operation constants.
+    sched = HashedWheelUnsortedScheduler(table_size=256)
+    before = sched.counter.snapshot()
+    timer = sched.start_timer(1000)
+    insert_cost = model.instructions(sched.counter.since(before))
+    before = sched.counter.snapshot()
+    sched.stop_timer(timer)
+    delete_cost = model.instructions(sched.counter.since(before))
+    before = sched.counter.snapshot()
+    sched.tick()  # nothing outstanding: the empty-bucket path
+    empty_cost = model.instructions(sched.counter.since(before))
+
+    result.add_row(
+        "insert (START_TIMER)", insert_cost, SECTION7_COSTS["insert"],
+        insert_cost == SECTION7_COSTS["insert"],
+    )
+    result.add_row(
+        "delete (STOP_TIMER)", delete_cost, SECTION7_COSTS["delete"],
+        delete_cost == SECTION7_COSTS["delete"],
+    )
+    result.add_row(
+        "empty tick", empty_cost, SECTION7_COSTS["empty_tick"],
+        empty_cost == SECTION7_COSTS["empty_tick"],
+    )
+    result.check("insert costs exactly 13", insert_cost == 13)
+    result.check("delete costs exactly 7", delete_cost == 7)
+    result.check("empty tick costs exactly 4", empty_cost == 4)
+
+    # The per-tick average formula, under the section's regime: "every
+    # outstanding timer expires during one scan of the table", i.e. each of
+    # the n timers is visited (6) and expired (9) once per TableSize ticks.
+    # Timers with interval == TableSize expire on exactly their first
+    # bucket visit, one scan after insertion; re-arms keep n constant and
+    # are metered outside the per-tick snapshot.
+    table_size = 256
+    cases = [(16, table_size), (64, table_size)] if fast else [
+        (16, table_size),
+        (64, table_size),
+        (128, table_size),
+        (64, 1024),
+    ]
+    formula_ok = True
+    for n, size in cases:
+        sched = HashedWheelUnsortedScheduler(table_size=size)
+        rng = random.Random(7)
+        for _ in range(n):
+            # Spread insertions in time so buckets are spread in space.
+            sched.advance(rng.randint(0, 3))
+            sched.start_timer(size)
+        for _ in range(size):  # warm one full revolution, re-arming expiries
+            for _t in sched.tick():
+                sched.start_timer(size)
+        tick_instructions = 0.0
+        measure = 4 * size
+        for _ in range(measure):
+            before = sched.counter.snapshot()
+            expired = sched.tick()
+            tick_instructions += model.instructions(sched.counter.since(before))
+            for _t in expired:
+                sched.start_timer(size)  # re-arm, outside the snapshot
+        measured = tick_instructions / measure
+        predicted = VaxCostModel.predicted_per_tick(n, size)
+        ok = abs(measured - predicted) <= 0.05 * predicted
+        formula_ok = formula_ok and ok
+        result.add_row(
+            f"avg/tick n={n} M={size}", measured, predicted, ok
+        )
+    result.check(
+        "per-tick average tracks 4 + 15*n/TableSize within 5%", formula_ok
+    )
+    result.note(
+        "abstract op mixes are calibrated so one op = one cheap "
+        "instruction reproduces the published constants; the per-tick "
+        "formula then follows from the same hot paths"
+    )
+    return result

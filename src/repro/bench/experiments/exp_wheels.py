@@ -1,0 +1,103 @@
+"""FIG8 and FIG9: the basic timing wheel and the hashed wheels."""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    measure_start_cost,
+    measure_stop_cost,
+    measure_tick_cost,
+)
+from repro.bench.result import ExperimentResult
+from repro.core.scheme4_wheel import TimingWheelScheduler
+from repro.core.scheme5_hashed_sorted import HashedWheelSortedScheduler
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+from repro.workloads.distributions import UniformIntervals
+
+
+def fig8_scheme4_wheel(fast: bool = False) -> ExperimentResult:
+    """Figure 8 / Section 5: O(1) START, STOP, PER-TICK within MaxInterval."""
+    max_interval = 8192
+    result = ExperimentResult(
+        experiment_id="FIG8",
+        title="Scheme 4 timing wheel: constant-time everything in range",
+        paper_claim=(
+            "O(1) latency for START_TIMER, STOP_TIMER and "
+            "PER_TICK_BOOKKEEPING for intervals under MaxInterval"
+        ),
+        headers=["n", "start ops", "stop ops", "tick ops"],
+    )
+    dist = UniformIntervals(1, max_interval - 1)
+    ns = [16, 256] if fast else [16, 256, 4096]
+    rows = {}
+    for n in ns:
+        factory = lambda: TimingWheelScheduler(max_interval)  # noqa: E731
+        start = measure_start_cost(factory, n, dist).total_ops
+        stop = measure_stop_cost(factory, n, dist).total_ops
+        tick = measure_tick_cost(factory, n, dist).total_ops
+        rows[n] = (start, stop, tick)
+        result.add_row(n, start, stop, tick)
+    lo, hi = ns[0], ns[-1]
+    result.check("START is O(1) across n", rows[hi][0] < 3 * rows[lo][0])
+    result.check("STOP is O(1) across n", rows[hi][1] < 3 * max(rows[lo][1], 1.0))
+    result.check(
+        "PER-TICK stays near-constant (only unavoidable expiry work grows)",
+        rows[hi][2] < rows[lo][2] + 10 * (hi / max_interval) * 10 + 10,
+    )
+    result.note(f"wheel size (MaxInterval) = {max_interval}")
+    return result
+
+
+def fig9_hashed_wheels(fast: bool = False) -> ExperimentResult:
+    """Figure 9 / Section 6.1: Scheme 5 vs Scheme 6 on one hash array.
+
+    Scheme 5 keeps buckets sorted: START averages O(1) only while
+    n < TableSize (worst case O(n)); Scheme 6 keeps buckets unsorted:
+    START is O(1) always and PER-TICK averages n/TableSize work.
+    """
+    table_size = 256
+    result = ExperimentResult(
+        experiment_id="FIG9",
+        title="Hashed wheels: sorted (Scheme 5) vs unsorted (Scheme 6) buckets",
+        paper_claim=(
+            "Scheme 5 START O(1) avg while n < TableSize but O(n) worst; "
+            "Scheme 6 START O(1) always, PER-TICK avg n/TableSize"
+        ),
+        headers=["scheme", "n", "start ops", "start cmps", "tick ops"],
+    )
+    dist = UniformIntervals(1, 1 << 20)
+    ns = [128, 2048] if fast else [128, 1024, 8192]
+    start_cost = {}
+    tick_cost = {}
+    for label, factory in (
+        ("scheme5", lambda: HashedWheelSortedScheduler(table_size)),
+        ("scheme6", lambda: HashedWheelUnsortedScheduler(table_size)),
+    ):
+        for n in ns:
+            start = measure_start_cost(factory, n, dist, seed=9)
+            tick = measure_tick_cost(factory, n, dist, seed=9)
+            start_cost[(label, n)] = start
+            tick_cost[(label, n)] = tick.total_ops
+            result.add_row(label, n, start.total_ops, start.compares, tick.total_ops)
+
+    lo, hi = ns[0], ns[-1]
+    result.check(
+        "Scheme 6 START is O(1) regardless of n",
+        start_cost[("scheme6", hi)].total_ops
+        < 2 * start_cost[("scheme6", lo)].total_ops,
+    )
+    result.check(
+        "Scheme 5 START degrades once n >> TableSize (sorted buckets fill)",
+        start_cost[("scheme5", hi)].compares
+        > 4 * max(start_cost[("scheme5", lo)].compares, 0.5),
+    )
+    result.check(
+        "Scheme 6 PER-TICK grows ≈ linearly in n/TableSize",
+        tick_cost[("scheme6", hi)] > tick_cost[("scheme6", lo)] * (hi / lo) / 4,
+    )
+    result.check(
+        "Scheme 5 PER-TICK touches only due heads (cheaper than Scheme 6 "
+        "at large n)",
+        tick_cost[("scheme5", hi)] < tick_cost[("scheme6", hi)],
+    )
+    result.note(f"table size = {table_size}; intervals up to 2^20 ticks")
+    return result

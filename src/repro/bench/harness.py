@@ -1,0 +1,174 @@
+"""Measurement loops shared by the experiments.
+
+Costs are *operation counts* from the scheme's
+:class:`~repro.cost.counters.OpCounter` (the paper's latency currency),
+measured at a controlled number of outstanding timers ``n``: prefill the
+scheduler to ``n``, meter a batch of operations, report the mean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.interface import Timer, TimerScheduler
+from repro.workloads.distributions import IntervalDistribution, UniformIntervals
+
+#: Builds a fresh scheduler for one measurement.
+SchedulerFactory = Callable[[], TimerScheduler]
+
+
+@dataclass(frozen=True)
+class OpCostSample:
+    """Mean and worst per-operation cost over a measured batch.
+
+    Figure 4 compares *both* "average and worst-case latencies", so every
+    measurement keeps its maximum alongside its mean.
+    """
+
+    total_ops: float  # mean reads + writes + compares + links per operation
+    compares: float  # mean comparisons per operation (Section 3.2's unit)
+    batch: int  # operations measured
+    worst_ops: int = 0  # costliest single operation in the batch
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total_ops:.1f} ops ({self.compares:.1f} cmp, "
+            f"worst {self.worst_ops})"
+        )
+
+
+def _default_intervals() -> IntervalDistribution:
+    return UniformIntervals(1, 10_000)
+
+
+def prefill(
+    scheduler: TimerScheduler,
+    n: int,
+    intervals: Optional[IntervalDistribution] = None,
+    seed: int = 0,
+) -> List[Timer]:
+    """Install ``n`` timers drawn from ``intervals``; returns the records.
+
+    Intervals beyond the scheduler's range are clamped into it.
+    """
+    dist = intervals if intervals is not None else _default_intervals()
+    rng = random.Random(seed)
+    max_iv = scheduler.max_start_interval()
+    timers = []
+    for _ in range(n):
+        interval = dist.sample(rng)
+        if max_iv is not None and interval >= max_iv:
+            interval = max_iv - 1
+        timers.append(scheduler.start_timer(interval))
+    return timers
+
+
+def measure_start_cost(
+    factory: SchedulerFactory,
+    n: int,
+    intervals: Optional[IntervalDistribution] = None,
+    batch: int = 50,
+    seed: int = 0,
+) -> OpCostSample:
+    """Mean START_TIMER cost with ``n`` timers already outstanding.
+
+    Each measured start is followed by stopping the timer it created, so
+    the population stays at ``n`` throughout the batch.
+    """
+    dist = intervals if intervals is not None else _default_intervals()
+    scheduler = factory()
+    prefill(scheduler, n, dist, seed)
+    rng = random.Random(seed + 1)
+    counter = scheduler.counter
+    max_iv = scheduler.max_start_interval()
+    total = 0
+    compares = 0
+    worst = 0
+    for _ in range(batch):
+        interval = dist.sample(rng)
+        if max_iv is not None and interval >= max_iv:
+            interval = max_iv - 1
+        before = counter.snapshot()
+        timer = scheduler.start_timer(interval)
+        delta = counter.since(before)
+        total += delta.total
+        compares += delta.compares
+        worst = max(worst, delta.total)
+        scheduler.stop_timer(timer)  # keep n constant (not metered)
+    return OpCostSample(total / batch, compares / batch, batch, worst)
+
+
+def measure_stop_cost(
+    factory: SchedulerFactory,
+    n: int,
+    intervals: Optional[IntervalDistribution] = None,
+    batch: int = 50,
+    seed: int = 0,
+) -> OpCostSample:
+    """Mean STOP_TIMER cost with ``n`` timers outstanding (stop + restart)."""
+    dist = intervals if intervals is not None else _default_intervals()
+    scheduler = factory()
+    timers = prefill(scheduler, n, dist, seed)
+    rng = random.Random(seed + 2)
+    counter = scheduler.counter
+    total = 0
+    compares = 0
+    worst = 0
+    measured = 0
+    for _ in range(batch):
+        if not timers:
+            break
+        victim = timers.pop(rng.randrange(len(timers)))
+        before = counter.snapshot()
+        scheduler.stop_timer(victim)
+        delta = counter.since(before)
+        total += delta.total
+        compares += delta.compares
+        worst = max(worst, delta.total)
+        measured += 1
+        timers.append(scheduler.start_timer(victim.interval))  # refill
+    if measured == 0:
+        return OpCostSample(0.0, 0.0, 0)
+    return OpCostSample(total / measured, compares / measured, measured, worst)
+
+
+def measure_tick_cost(
+    factory: SchedulerFactory,
+    n: int,
+    intervals: Optional[IntervalDistribution] = None,
+    ticks: int = 200,
+    seed: int = 0,
+    replenish: bool = True,
+) -> OpCostSample:
+    """Mean PER_TICK_BOOKKEEPING cost over ``ticks`` ticks at population ``n``.
+
+    With ``replenish`` every expiry is replaced (a new timer with the same
+    drawn distribution), holding the population near ``n`` — the
+    steady-state regime the paper's per-tick formulas describe.
+    Replenishment inserts are not metered.
+    """
+    dist = intervals if intervals is not None else _default_intervals()
+    scheduler = factory()
+    prefill(scheduler, n, dist, seed)
+    rng = random.Random(seed + 3)
+    counter = scheduler.counter
+    max_iv = scheduler.max_start_interval()
+    total = 0
+    compares = 0
+    worst = 0
+    for _ in range(ticks):
+        before = counter.snapshot()
+        expired = scheduler.tick()
+        delta = counter.since(before)
+        total += delta.total
+        compares += delta.compares
+        worst = max(worst, delta.total)
+        if replenish:
+            for _ in expired:
+                interval = dist.sample(rng)
+                if max_iv is not None and interval >= max_iv:
+                    interval = max_iv - 1
+                scheduler.start_timer(interval)
+    return OpCostSample(total / ticks, compares / ticks, ticks, worst)

@@ -1,0 +1,103 @@
+"""Live scheduler monitoring: time series of cost and occupancy.
+
+A :class:`SchedulerMonitor` drives a scheduler's ticks (or observes them
+via :meth:`tick`) while recording per-tick operation cost, occupancy, and
+expiry counts. :func:`sparkline` renders any series as a compact ASCII
+strip for terminal output — the examples use it to make burstiness
+visible at a glance::
+
+    occupancy  ▂▃▅▇█▇▅▅▃▂▁▁▂▃ ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.interface import Timer, TimerScheduler
+
+#: glyphs from low to high.
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a fixed-width ASCII sparkline.
+
+    Longer series are bucketed by mean; the scale runs from the series
+    minimum (lowest bar) to its maximum (full bar).
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket means so the strip stays `width` cells wide.
+        bucket = len(values) / width
+        condensed = []
+        for i in range(width):
+            lo = int(i * bucket)
+            hi = max(lo + 1, int((i + 1) * bucket))
+            chunk = values[lo:hi]
+            condensed.append(sum(chunk) / len(chunk))
+        values = condensed
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _BARS[1] * len(values)
+    span = high - low
+    out = []
+    for value in values:
+        index = 1 + int((value - low) / span * (len(_BARS) - 2))
+        out.append(_BARS[min(index, len(_BARS) - 1)])
+    return "".join(out)
+
+
+@dataclass
+class MonitorSeries:
+    """The recorded time series."""
+
+    tick_costs: List[int] = field(default_factory=list)
+    occupancy: List[int] = field(default_factory=list)
+    expiries: List[int] = field(default_factory=list)
+
+    @property
+    def ticks(self) -> int:
+        """Ticks observed."""
+        return len(self.tick_costs)
+
+
+class SchedulerMonitor:
+    """Observe a scheduler tick by tick, recording its vital signs."""
+
+    def __init__(self, scheduler: TimerScheduler) -> None:
+        self.scheduler = scheduler
+        self.series = MonitorSeries()
+
+    def tick(self) -> List[Timer]:
+        """One observed PER_TICK_BOOKKEEPING call."""
+        counter = self.scheduler.counter
+        before = counter.snapshot()
+        expired = self.scheduler.tick()
+        self.series.tick_costs.append(counter.since(before).total)
+        self.series.occupancy.append(self.scheduler.pending_count)
+        self.series.expiries.append(len(expired))
+        return expired
+
+    def run(self, ticks: int) -> None:
+        """Observe ``ticks`` consecutive ticks."""
+        for _ in range(ticks):
+            self.tick()
+
+    def report(self, width: int = 60) -> str:
+        """Multi-line text report with sparklines."""
+        series = self.series
+        if not series.ticks:
+            return "no ticks observed"
+        mean_cost = sum(series.tick_costs) / series.ticks
+        lines = [
+            f"ticks observed : {series.ticks}",
+            f"mean tick cost : {mean_cost:.2f} ops "
+            f"(max {max(series.tick_costs)})",
+            f"tick cost      {sparkline(series.tick_costs, width)}",
+            f"occupancy      {sparkline(series.occupancy, width)}",
+            f"expiries       {sparkline(series.expiries, width)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Structured experiment results shared by benches, tests, and docs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    ``checks`` carries named boolean assertions about the *shape* of the
+    result (the reproduction criteria from DESIGN.md); ``passed`` is their
+    conjunction. ``rows`` are pre-formatted cells for the table renderer.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    checks: List[Tuple[str, bool]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every shape check held."""
+        return all(ok for _, ok in self.checks)
+
+    def check(self, description: str, condition: bool) -> None:
+        """Record one shape assertion."""
+        self.checks.append((description, bool(condition)))
+
+    def note(self, text: str) -> None:
+        """Attach a free-form observation (shown under the table)."""
+        self.notes.append(text)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one table row."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has "
+                f"{len(self.headers)} headers"
+            )
+        self.rows.append(cells)
+
+    def summary_line(self) -> str:
+        """One-line pass/fail summary."""
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.experiment_id}: {self.title}"

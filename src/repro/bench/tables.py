@@ -1,0 +1,52 @@
+"""Fixed-width table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bench.result import ExperimentResult
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    parts: List[str] = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    parts.append(header_line)
+    parts.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        parts.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(parts)
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Render a full experiment block: title, claim, table, checks, notes."""
+    parts = [
+        "=" * 72,
+        f"{result.experiment_id} — {result.title}",
+        f"paper: {result.paper_claim}",
+        "",
+        render_table(result.headers, result.rows),
+        "",
+    ]
+    for description, ok in result.checks:
+        marker = "ok " if ok else "FAIL"
+        parts.append(f"  [{marker}] {description}")
+    for note in result.notes:
+        parts.append(f"  note: {note}")
+    parts.append(result.summary_line())
+    return "\n".join(parts)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``schemes``
+    List every registered timer scheme with its complexity summary.
+``experiments [IDS...] [--fast]``
+    Regenerate paper tables/figures (same engine as ``python -m repro.bench``).
+``scenario NAME [--scheme S] [--ticks N] [--seed K]``
+    Run a named workload scenario against a scheme and print the measured
+    costs and occupancy.
+``replay TRACEFILE [--scheme S]``
+    Replay a recorded START/STOP trace (see ``repro.workloads.trace``).
+``recommend [--rate R] [--mean-interval T] [--stop-fraction F] [--memory M]``
+    Rank scheme configurations for a workload with the paper's cost models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.tables import render_table
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.core import make_scheduler, scheme_names
+
+    summaries = {
+        "scheme1": "per-tick decrement scan: START O(1), TICK O(n)",
+        "scheme1-compare": "scheme1 storing absolute times (no per-tick write)",
+        "scheme2": "sorted list (VMS/UNIX): START O(n), TICK O(1)",
+        "scheme2-rear": "scheme2 searching from the rear",
+        "scheme3-heap": "binary heap: START O(log n)",
+        "scheme3-bst": "unbalanced BST (degenerates on equal intervals)",
+        "scheme3-rbtree": "red-black tree: balanced, STOP O(log n)",
+        "scheme3-leftist": "leftist tree: merge-based heap",
+        "scheme4": "timing wheel: O(1) within MaxInterval",
+        "scheme4-hybrid": "wheel + Scheme 2 overflow (Section 5 hybrid)",
+        "scheme5": "hashed wheel, sorted buckets",
+        "scheme6": "hashed wheel, unsorted buckets (the paper's VAX impl)",
+        "scheme7": "hierarchical wheels: O(m) START, <=m migrations",
+        "scheme7-lossy": "Nichols: no migration, rounded firing",
+        "scheme7-onemigration": "Nichols: one migration, fires early < one slot",
+    }
+    rows = []
+    for name in scheme_names():
+        cls = type(make_scheduler(name, **({"max_interval": 64} if name == "scheme4" else {})))
+        rows.append((name, cls.__name__, summaries.get(name, "")))
+    print(render_table(["name", "class", "summary"], rows))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = list(args.ids)
+    if args.fast:
+        argv.append("--fast")
+    return bench_main(argv)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.core import make_scheduler
+    from repro.workloads import get_scenario, run_steady_state
+
+    scenario = get_scenario(args.name)
+    kwargs = {}
+    if args.scheme == "scheme4":
+        kwargs["max_interval"] = 1 << 16
+    scheduler = make_scheduler(args.scheme, **kwargs)
+    stats = run_steady_state(
+        scheduler,
+        scenario.arrivals(),
+        scenario.intervals(),
+        warmup_ticks=args.ticks // 3,
+        measure_ticks=args.ticks,
+        stop_fraction=scenario.stop_fraction,
+        seed=args.seed,
+    )
+    print(f"scenario : {scenario.name} — {scenario.description}")
+    print(f"scheme   : {args.scheme}, window {args.ticks} ticks")
+    rows = [
+        ("timers started", stats.started),
+        ("timers stopped", stats.stopped),
+        ("timers expired", stats.expired),
+        ("mean outstanding (n)", f"{stats.mean_occupancy:.1f}"),
+        ("mean START cost (ops)", f"{stats.mean_insert_cost:.2f}"),
+        ("mean STOP cost (ops)", f"{stats.mean_stop_cost:.2f}"),
+        ("mean PER-TICK cost (ops)", f"{stats.mean_tick_cost:.2f}"),
+        ("worst PER-TICK cost (ops)", stats.max_tick_cost),
+    ]
+    print(render_table(["measure", "value"], rows))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core import make_scheduler
+    from repro.workloads.trace import TimerTrace, replay
+
+    trace = TimerTrace.load(args.tracefile)
+    kwargs = {"max_interval": 1 << 16} if args.scheme == "scheme4" else {}
+    outcome = replay(trace, make_scheduler(args.scheme, **kwargs))
+    print(f"replayed {len(trace)} operations on {args.scheme}")
+    rows = [
+        ("starts", outcome.started),
+        ("stops", outcome.stopped),
+        ("expiries", len(outcome.expiries)),
+        ("still pending", outcome.final_pending),
+        ("total scheduler ops", outcome.total_ops),
+    ]
+    print(render_table(["measure", "value"], rows))
+    if args.show_schedule:
+        for tick, request_id in outcome.expiry_schedule():
+            print(f"  t={tick}: {request_id}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.analysis.sizing import Workload, recommend
+    from repro.workloads.distributions import (
+        ExponentialIntervals,
+        UniformIntervals,
+    )
+
+    if args.dist == "exponential":
+        intervals = ExponentialIntervals(args.mean_interval)
+    else:
+        intervals = UniformIntervals(1, int(2 * args.mean_interval))
+    workload = Workload(
+        rate=args.rate, intervals=intervals, stop_fraction=args.stop_fraction
+    )
+    print(
+        f"workload: rate={args.rate}/tick, {intervals.name}, "
+        f"stop_fraction={args.stop_fraction} -> "
+        f"n~{workload.expected_outstanding:.0f}, T~{workload.mean_lifetime:.0f}"
+    )
+    rows = []
+    for rec in recommend(workload, memory_slots=args.memory):
+        rows.append(
+            (
+                rec.scheme,
+                rec.memory_slots,
+                f"{rec.start_cost:.1f}",
+                f"{rec.bookkeeping_per_timer:.1f}",
+                f"{rec.total_cost_per_timer:.1f}",
+                rec.rationale,
+            )
+        )
+    print(
+        render_table(
+            ["scheme", "slots", "start", "bookkeeping", "total", "why"], rows
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Hashed and hierarchical timing wheels — reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list registered timer schemes")
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("ids", nargs="*", metavar="ID")
+    p_exp.add_argument("--fast", action="store_true")
+
+    p_scn = sub.add_parser("scenario", help="run a named workload scenario")
+    p_scn.add_argument("name")
+    p_scn.add_argument("--scheme", default="scheme6")
+    p_scn.add_argument("--ticks", type=int, default=6000)
+    p_scn.add_argument("--seed", type=int, default=0)
+
+    p_rpl = sub.add_parser("replay", help="replay a recorded timer trace")
+    p_rpl.add_argument("tracefile")
+    p_rpl.add_argument("--scheme", default="scheme6")
+    p_rpl.add_argument("--show-schedule", action="store_true")
+
+    p_rec = sub.add_parser("recommend", help="rank configurations for a workload")
+    p_rec.add_argument("--rate", type=float, default=2.0)
+    p_rec.add_argument("--mean-interval", type=float, default=500.0)
+    p_rec.add_argument(
+        "--dist", choices=["exponential", "uniform"], default="exponential"
+    )
+    p_rec.add_argument("--stop-fraction", type=float, default=0.5)
+    p_rec.add_argument("--memory", type=int, default=4096)
+
+    return parser
+
+
+_HANDLERS = {
+    "schemes": _cmd_schemes,
+    "experiments": _cmd_experiments,
+    "scenario": _cmd_scenario,
+    "replay": _cmd_replay,
+    "recommend": _cmd_recommend,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The paper's primary contribution: seven timer schemes behind one interface.
+
+Quick use::
+
+    from repro.core import HierarchicalWheelScheduler
+
+    sched = HierarchicalWheelScheduler(slot_counts=(60, 60, 24, 100))
+    t = sched.start_timer(3645, callback=lambda timer: print("expired", timer))
+    sched.advance(3645)   # fires the callback on the final tick
+"""
+
+from repro.core.errors import (
+    SchedulerShutdownError,
+    TimerConfigurationError,
+    TimerError,
+    TimerIntervalError,
+    TimerStateError,
+    UnknownTimerError,
+)
+from repro.core.interface import ExpiryAction, Timer, TimerScheduler, TimerState
+from repro.core.registry import make_scheduler, register_scheme, scheme_names
+from repro.core.scheme1_unordered import StraightforwardScheduler
+from repro.core.scheme2_ordered_list import OrderedListScheduler
+from repro.core.scheme3_trees import (
+    HeapScheduler,
+    LeftistTreeScheduler,
+    PriorityQueueScheduler,
+    RedBlackTreeScheduler,
+    UnbalancedBSTScheduler,
+)
+from repro.core.clock import VirtualClock
+from repro.core.periodic import PeriodicTimer, every
+from repro.core.threadsafe import ThreadSafeScheduler
+from repro.core.scheme4_hybrid import HybridWheelScheduler
+from repro.core.scheme4_wheel import TimingWheelScheduler
+from repro.core.scheme5_hashed_sorted import HashedWheelSortedScheduler
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+from repro.core.scheme7_hierarchical import (
+    BINARY_LEVELS,
+    PAPER_LEVELS,
+    HierarchicalWheelScheduler,
+)
+from repro.core.scheme7_variants import (
+    LossyHierarchicalScheduler,
+    SingleMigrationHierarchicalScheduler,
+)
+
+__all__ = [
+    "Timer",
+    "TimerScheduler",
+    "TimerState",
+    "ExpiryAction",
+    "TimerError",
+    "TimerConfigurationError",
+    "TimerIntervalError",
+    "TimerStateError",
+    "UnknownTimerError",
+    "SchedulerShutdownError",
+    "StraightforwardScheduler",
+    "OrderedListScheduler",
+    "PriorityQueueScheduler",
+    "HeapScheduler",
+    "UnbalancedBSTScheduler",
+    "RedBlackTreeScheduler",
+    "LeftistTreeScheduler",
+    "TimingWheelScheduler",
+    "HybridWheelScheduler",
+    "PeriodicTimer",
+    "every",
+    "VirtualClock",
+    "ThreadSafeScheduler",
+    "HashedWheelSortedScheduler",
+    "HashedWheelUnsortedScheduler",
+    "HierarchicalWheelScheduler",
+    "LossyHierarchicalScheduler",
+    "SingleMigrationHierarchicalScheduler",
+    "PAPER_LEVELS",
+    "BINARY_LEVELS",
+    "make_scheduler",
+    "register_scheme",
+    "scheme_names",
+]

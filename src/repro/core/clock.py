@@ -1,0 +1,78 @@
+"""Virtual clock: one tick source driving many components in lockstep.
+
+The paper's model has a single hardware clock whose ticks invoke
+PER_TICK_BOOKKEEPING. In a program composed of several tick-driven pieces
+— a timer module, a simulation engine, a protocol world — keeping their
+notions of "now" aligned by hand is error-prone. :class:`VirtualClock`
+owns the tick: components subscribe, and every :meth:`tick` advances all
+of them exactly once, in subscription order.
+
+Anything exposing a ``tick()`` method subscribes directly; a
+:class:`~repro.simulation.event.TimeFlow` engine subscribes through
+:meth:`attach_engine` (which runs it to the clock's new time).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Protocol
+
+#: A subscriber: called once per tick with the new absolute time.
+TickHandler = Callable[[int], None]
+
+
+class _Tickable(Protocol):
+    def tick(self) -> object: ...
+
+
+class VirtualClock:
+    """A shared tick source with deterministic subscriber ordering."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._handlers: List[TickHandler] = []
+
+    @property
+    def now(self) -> int:
+        """Ticks elapsed since the clock was created."""
+        return self._now
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of attached handlers."""
+        return len(self._handlers)
+
+    def subscribe(self, handler: TickHandler) -> TickHandler:
+        """Attach a per-tick callback; returns it for later removal."""
+        self._handlers.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: TickHandler) -> None:
+        """Detach a previously subscribed callback."""
+        self._handlers.remove(handler)
+
+    def attach_scheduler(self, scheduler: _Tickable) -> TickHandler:
+        """Drive a timer scheduler (anything with ``tick()``) off this clock.
+
+        The scheduler must not be ticked by anyone else afterwards, or its
+        time will run ahead of the clock's.
+        """
+        return self.subscribe(lambda _now: scheduler.tick())
+
+    def attach_engine(self, engine) -> TickHandler:
+        """Drive a :class:`TimeFlow` engine off this clock."""
+        return self.subscribe(lambda now: engine.run_until(now))
+
+    def tick(self) -> int:
+        """Advance one tick; notify every subscriber in order."""
+        self._now += 1
+        for handler in self._handlers:
+            handler(self._now)
+        return self._now
+
+    def run(self, ticks: int) -> int:
+        """Advance ``ticks`` ticks; returns the new time."""
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        for _ in range(ticks):
+            self.tick()
+        return self._now

@@ -1,0 +1,403 @@
+"""The paper's timer-module model: four routines, one abstract scheduler.
+
+Section 2 defines the interface every scheme implements:
+
+* ``START_TIMER(Interval, Request_ID, Expiry_Action)`` →
+  :meth:`TimerScheduler.start_timer`
+* ``STOP_TIMER(Request_ID)`` → :meth:`TimerScheduler.stop_timer`
+* ``PER_TICK_BOOKKEEPING`` → :meth:`TimerScheduler.tick`
+* ``EXPIRY_PROCESSING`` → the scheduler invoking ``timer.callback`` when a
+  timer expires.
+
+Time is a virtual integer tick counter owned by the scheduler (the paper's
+granularity-``T`` clock); nothing here touches the wall clock, which makes
+every experiment deterministic and lets the discrete-event substrates drive
+schedulers directly.
+
+Concrete schemes implement three hooks — ``_insert``, ``_remove`` and
+``_collect_expired`` — and charge their abstract operation costs to
+``self.counter`` (see :mod:`repro.cost`). The base class handles request-id
+bookkeeping, state transitions, and callback dispatch; that bookkeeping is
+*not* charged to the counter, since the paper's cost analyses price only the
+data-structure work.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import itertools
+from typing import Callable, Dict, Hashable, List, Optional, Union
+
+from repro.core.errors import (
+    SchedulerShutdownError,
+    TimerStateError,
+    UnknownTimerError,
+)
+from repro.core.validation import check_interval
+from repro.cost.counters import OpCounter
+from repro.structures.dlist import DNode
+
+#: Signature of an Expiry_Action: called with the expired timer.
+ExpiryAction = Callable[["Timer"], None]
+
+
+class TimerState(enum.Enum):
+    """Lifecycle of a timer record."""
+
+    PENDING = "pending"  #: started, neither stopped nor expired yet
+    EXPIRED = "expired"  #: EXPIRY_PROCESSING ran (or will run this tick)
+    STOPPED = "stopped"  #: cancelled by STOP_TIMER before expiry
+
+
+class Timer(DNode):
+    """One outstanding timer: the record START_TIMER creates.
+
+    Inherits :class:`~repro.structures.dlist.DNode` so list- and
+    wheel-based schemes link the record itself into their buckets —
+    the intrusive layout that makes STOP_TIMER O(1). Tree-based schemes
+    instead park their own node in :attr:`_pq_node`.
+
+    Public attributes
+    -----------------
+    ``request_id``
+        The client-chosen (or auto-assigned) identifier.
+    ``interval``
+        Requested duration in ticks.
+    ``deadline``
+        Absolute tick at which the timer is due (``started_at + interval``).
+    ``callback`` / ``user_data``
+        The Expiry_Action and an arbitrary client payload.
+    ``state`` / ``started_at`` / ``stopped_at`` / ``expired_at``
+        Lifecycle bookkeeping (absolute ticks; ``None`` until they happen).
+    ``fired_at``
+        Actual expiry tick. Normally equals ``deadline``; the lossy
+        hierarchical variants (Scheme 7 + Nichols) may fire early or late,
+        and the precision experiments read this field.
+    """
+
+    __slots__ = (
+        "request_id",
+        "interval",
+        "deadline",
+        "callback",
+        "user_data",
+        "state",
+        "started_at",
+        "stopped_at",
+        "expired_at",
+        "fired_at",
+        # scheme-private scratch fields (documented in each scheme):
+        "_remaining",
+        "_rounds",
+        "_level",
+        "_slot_index",
+        "_pq_node",
+        "_fire_at",
+        "_migrated",
+    )
+
+    def __init__(
+        self,
+        request_id: Hashable,
+        interval: int,
+        started_at: int,
+        callback: Optional[ExpiryAction] = None,
+        user_data: object = None,
+    ) -> None:
+        super().__init__()
+        self.request_id = request_id
+        self.interval = interval
+        self.deadline = started_at + interval
+        self.callback = callback
+        self.user_data = user_data
+        self.state = TimerState.PENDING
+        self.started_at = started_at
+        self.stopped_at: Optional[int] = None
+        self.expired_at: Optional[int] = None
+        self.fired_at: Optional[int] = None
+        self._remaining = interval
+        self._rounds = 0
+        self._level = -1
+        self._slot_index = -1
+        self._pq_node = None
+        self._fire_at = self.deadline
+        self._migrated = False
+
+    @property
+    def pending(self) -> bool:
+        """True while the timer is outstanding."""
+        return self.state is TimerState.PENDING
+
+    def __repr__(self) -> str:
+        return (
+            f"Timer(id={self.request_id!r}, interval={self.interval}, "
+            f"deadline={self.deadline}, state={self.state.value})"
+        )
+
+
+class TimerScheduler(abc.ABC):
+    """Abstract timer module: the contract shared by Schemes 1–7.
+
+    Subclasses implement the three structure hooks; clients use
+    :meth:`start_timer`, :meth:`stop_timer`, :meth:`tick` and
+    :meth:`advance`.
+    """
+
+    #: Short machine name used by the registry and the benches.
+    scheme_name: str = "abstract"
+
+    #: How Expiry_Action exceptions are handled (see ``set_error_policy``):
+    #: "propagate" re-raises out of tick(); "collect" records the failure
+    #: in ``callback_errors`` and keeps expiring (a production timer
+    #: facility must not let one bad client action starve the rest).
+    ERROR_POLICIES = ("propagate", "collect")
+
+    def __init__(self, counter: Optional[OpCounter] = None) -> None:
+        self.counter = counter if counter is not None else OpCounter()
+        self._now = 0
+        self._active: Dict[Hashable, Timer] = {}
+        self._auto_ids = itertools.count()
+        self.total_started = 0
+        self.total_stopped = 0
+        self.total_expired = 0
+        self._error_policy = "propagate"
+        #: (timer, exception) pairs captured under the "collect" policy.
+        self.callback_errors: List["tuple[Timer, BaseException]"] = []
+        self._shut_down = False
+
+    def set_error_policy(self, policy: str) -> None:
+        """Choose what happens when an Expiry_Action raises.
+
+        ``"propagate"`` (default) re-raises from :meth:`tick` after the
+        failing timer is finalised; ``"collect"`` appends
+        ``(timer, exception)`` to :attr:`callback_errors` and continues
+        with the remaining expiries.
+        """
+        if policy not in self.ERROR_POLICIES:
+            raise ValueError(
+                f"policy must be one of {self.ERROR_POLICIES}, got {policy!r}"
+            )
+        self._error_policy = policy
+
+    # ------------------------------------------------------------ client API
+
+    def start_timer(
+        self,
+        interval: int,
+        request_id: Optional[Hashable] = None,
+        callback: Optional[ExpiryAction] = None,
+        user_data: object = None,
+    ) -> Timer:
+        """START_TIMER: schedule expiry ``interval`` ticks from now.
+
+        ``request_id`` distinguishes this timer among the client's
+        outstanding timers; when omitted, a unique id is assigned. Starting
+        a second timer under an id that is still pending raises
+        :class:`~repro.core.errors.TimerStateError` (the paper's model keys
+        STOP_TIMER on the id, so live ids must be unambiguous).
+        """
+        self._check_open()
+        check_interval(interval, self.max_start_interval())
+        if request_id is None:
+            request_id = self._make_auto_id()
+        elif request_id in self._active:
+            raise TimerStateError(
+                f"request_id {request_id!r} already names a pending timer"
+            )
+        timer = Timer(
+            request_id=request_id,
+            interval=interval,
+            started_at=self._now,
+            callback=callback,
+            user_data=user_data,
+        )
+        self._insert(timer)
+        self._active[request_id] = timer
+        self.total_started += 1
+        return timer
+
+    def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
+        """STOP_TIMER: cancel a pending timer by record or by request id.
+
+        Returns the stopped record. Raises
+        :class:`~repro.core.errors.UnknownTimerError` for an unknown id and
+        :class:`~repro.core.errors.TimerStateError` when the timer already
+        expired or was already stopped.
+        """
+        timer = self._resolve(timer_or_id)
+        if timer.state is not TimerState.PENDING:
+            raise TimerStateError(
+                f"timer {timer.request_id!r} is {timer.state.value}, not pending"
+            )
+        self._remove(timer)
+        timer.state = TimerState.STOPPED
+        timer.stopped_at = self._now
+        del self._active[timer.request_id]
+        self.total_stopped += 1
+        return timer
+
+    def tick(self) -> List[Timer]:
+        """PER_TICK_BOOKKEEPING: advance the clock one tick, expire what's due.
+
+        Returns the timers expired on this tick, after running each one's
+        Expiry_Action. Callbacks may start or stop other timers re-entrantly
+        (protocol code does); timers started inside a callback are due
+        strictly in the future, so they cannot expire within the same tick.
+
+        Expiry is atomic per tick: every timer due at this tick is marked
+        EXPIRED (and its request id released) *before* any Expiry_Action
+        runs, so a callback that tries to stop a sibling timer due at the
+        same tick sees it already expired (``TimerStateError``) rather
+        than a half-removed record.
+        """
+        self._check_open()
+        self._now += 1
+        expired = self._collect_expired()
+        for timer in expired:
+            self._mark_expired(timer)
+        for timer in expired:
+            self._run_expiry_action(timer)
+        return expired
+
+    def advance(self, ticks: int) -> List[Timer]:
+        """Run ``ticks`` consecutive ticks; returns all timers expired."""
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        expired: List[Timer] = []
+        for _ in range(ticks):
+            expired.extend(self.tick())
+        return expired
+
+    def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
+        """Tick until no timers remain pending (or ``max_ticks`` elapse)."""
+        expired: List[Timer] = []
+        ticks = 0
+        while self._active and ticks < max_ticks:
+            expired.extend(self.tick())
+            ticks += 1
+        return expired
+
+    def shutdown(self) -> List[Timer]:
+        """Stop the module: cancel every pending timer, refuse further work.
+
+        Returns the timers that were cancelled (state ``STOPPED``). After
+        shutdown, :meth:`start_timer` and :meth:`tick` raise
+        :class:`~repro.core.errors.SchedulerShutdownError`; inspection
+        methods keep working. Idempotent.
+        """
+        if self._shut_down:
+            return []
+        cancelled = []
+        for timer in list(self._active.values()):
+            self._remove(timer)
+            timer.state = TimerState.STOPPED
+            timer.stopped_at = self._now
+            cancelled.append(timer)
+            self.total_stopped += 1
+        self._active.clear()
+        self._shut_down = True
+        return cancelled
+
+    @property
+    def is_shut_down(self) -> bool:
+        """True after :meth:`shutdown`."""
+        return self._shut_down
+
+    def _check_open(self) -> None:
+        if self._shut_down:
+            raise SchedulerShutdownError(
+                f"{type(self).__name__} has been shut down"
+            )
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in ticks."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of outstanding timers (the paper's ``n``)."""
+        return len(self._active)
+
+    def pending_timers(self) -> List[Timer]:
+        """Snapshot of the outstanding timer records (unspecified order)."""
+        return list(self._active.values())
+
+    def is_pending(self, request_id: Hashable) -> bool:
+        """True when ``request_id`` names an outstanding timer."""
+        return request_id in self._active
+
+    def get_timer(self, request_id: Hashable) -> Timer:
+        """Look up a pending timer by id (raises ``UnknownTimerError``)."""
+        try:
+            return self._active[request_id]
+        except KeyError:
+            raise UnknownTimerError(
+                f"no pending timer with request_id {request_id!r}"
+            ) from None
+
+    def max_start_interval(self) -> Optional[int]:
+        """Exclusive upper bound on accepted intervals, or ``None`` if unbounded.
+
+        Scheme 4 returns its ``MaxInterval``; bounded hierarchies return
+        their total span; everything else returns ``None``.
+        """
+        return None
+
+    # ------------------------------------------------------- subclass hooks
+
+    @abc.abstractmethod
+    def _insert(self, timer: Timer) -> None:
+        """Place ``timer`` into the scheme's structure (charges ops)."""
+
+    @abc.abstractmethod
+    def _remove(self, timer: Timer) -> None:
+        """Remove a pending ``timer`` from the structure (charges ops)."""
+
+    @abc.abstractmethod
+    def _collect_expired(self) -> List[Timer]:
+        """Detach and return every timer due at the (just-advanced) tick."""
+
+    # -------------------------------------------------------------- plumbing
+
+    def _make_auto_id(self) -> str:
+        while True:
+            candidate = f"auto-{next(self._auto_ids)}"
+            if candidate not in self._active:
+                return candidate
+
+    def _resolve(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
+        if isinstance(timer_or_id, Timer):
+            return timer_or_id
+        return self.get_timer(timer_or_id)
+
+    def _mark_expired(self, timer: Timer) -> None:
+        """First phase of EXPIRY_PROCESSING: state + bookkeeping."""
+        timer.state = TimerState.EXPIRED
+        timer.expired_at = self._now
+        if timer.fired_at is None:
+            timer.fired_at = self._now
+        # The record leaves the pending map before any callback runs, so
+        # re-entrant start_timer may reuse the id.
+        self._active.pop(timer.request_id, None)
+        self.total_expired += 1
+
+    def _run_expiry_action(self, timer: Timer) -> None:
+        """Second phase of EXPIRY_PROCESSING: the client's Expiry_Action."""
+        if timer.callback is not None:
+            try:
+                timer.callback(timer)
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                if self._error_policy == "collect":
+                    self.callback_errors.append((timer, exc))
+                else:
+                    raise
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(now={self._now}, "
+            f"pending={self.pending_count})"
+        )

@@ -1,0 +1,123 @@
+"""Periodic timers on top of the one-shot facility.
+
+The paper's second timer class — "algorithms in which the notion of time
+is integral: ... control the rate of production of some entity" — is
+periodic in practice (rate control, polling for memory corruption, the
+hierarchy's own internal 60-second timer). This helper re-arms a one-shot
+timer from its own Expiry_Action, the exact pattern Section 6.2 describes
+("every time the 60 second timer expires ... re-insert another 60 second
+timer"), so it works unchanged on every scheme.
+
+Two cadence policies:
+
+* ``fixed_delay`` (default False → fixed *rate*): with fixed rate the
+  next deadline is ``previous_deadline + period`` so long-run frequency
+  is exact even though re-arming happens inside the expiry tick; with
+  fixed delay the next deadline is ``now + period``.
+* a ``max_firings`` bound, after which the cycle stops on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional
+
+from repro.core.interface import Timer, TimerScheduler
+from repro.core.validation import check_interval, check_positive_int
+
+#: Periodic action: called with (firing_index, timer).
+PeriodicAction = Callable[[int, Timer], None]
+
+
+class PeriodicTimer:
+    """A self-re-arming timer bound to one scheduler.
+
+    >>> sched = ...any TimerScheduler...
+    >>> beat = PeriodicTimer(sched, period=60, action=lambda i, t: None)
+    >>> beat.start()
+    """
+
+    def __init__(
+        self,
+        scheduler: TimerScheduler,
+        period: int,
+        action: Optional[PeriodicAction] = None,
+        fixed_delay: bool = False,
+        max_firings: Optional[int] = None,
+        request_id: Optional[Hashable] = None,
+    ) -> None:
+        check_interval(period, scheduler.max_start_interval())
+        if max_firings is not None:
+            check_positive_int("max_firings", max_firings)
+        self.scheduler = scheduler
+        self.period = period
+        self.action = action
+        self.fixed_delay = fixed_delay
+        self.max_firings = max_firings
+        self.request_id = request_id
+        self.firings = 0
+        self.fire_times: List[int] = []
+        self._current: Optional[Timer] = None
+        self._next_deadline: Optional[int] = None
+
+    @property
+    def running(self) -> bool:
+        """True while the cycle has a pending underlying timer."""
+        return self._current is not None and self._current.pending
+
+    def start(self) -> "PeriodicTimer":
+        """Arm the first firing, ``period`` ticks from now."""
+        if self.running:
+            raise RuntimeError("periodic timer is already running")
+        self.firings = 0
+        self.fire_times = []
+        self._next_deadline = self.scheduler.now + self.period
+        self._arm(self.period)
+        return self
+
+    def cancel(self) -> None:
+        """Stop the cycle; safe to call whether or not it is running."""
+        if self._current is not None and self._current.pending:
+            self.scheduler.stop_timer(self._current)
+        self._current = None
+
+    def _arm(self, interval: int) -> None:
+        self._current = self.scheduler.start_timer(
+            interval,
+            request_id=self.request_id,
+            callback=self._on_expiry,
+        )
+        # Allow the same client id to be reused for each cycle leg.
+        if self.request_id is not None:
+            self.request_id = self._current.request_id
+
+    def _on_expiry(self, timer: Timer) -> None:
+        self._current = None
+        self.firings += 1
+        self.fire_times.append(self.scheduler.now)
+        index = self.firings
+        if self.action is not None:
+            self.action(index, timer)
+        if self.max_firings is not None and self.firings >= self.max_firings:
+            return
+        if self.fixed_delay:
+            self._arm(self.period)
+        else:
+            # Fixed rate: anchor on the previous deadline so drift never
+            # accumulates; clamp to >= 1 tick if a slow action (re-entrant
+            # ticks) pushed us past the next anchor.
+            self._next_deadline += self.period
+            delay = max(1, self._next_deadline - self.scheduler.now)
+            self._arm(delay)
+
+
+def every(
+    scheduler: TimerScheduler,
+    period: int,
+    action: PeriodicAction,
+    max_firings: Optional[int] = None,
+) -> PeriodicTimer:
+    """Convenience: build and start a fixed-rate periodic timer."""
+    timer = PeriodicTimer(
+        scheduler, period, action=action, max_firings=max_firings
+    )
+    return timer.start()

@@ -1,0 +1,81 @@
+"""Name → scheduler factory registry used by benches, examples, and tests.
+
+Every scheme the paper describes is constructible by its short name, so
+experiment code can sweep "all schemes" without importing each class:
+
+>>> from repro.core.registry import make_scheduler, scheme_names
+>>> sched = make_scheduler("scheme6", table_size=512)
+>>> sorted(scheme_names())[:3]
+['scheme1', 'scheme2', 'scheme2-rear']
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.interface import TimerScheduler
+from repro.core.scheme1_unordered import StraightforwardScheduler
+from repro.core.scheme2_ordered_list import OrderedListScheduler
+from repro.core.scheme3_trees import (
+    HeapScheduler,
+    LeftistTreeScheduler,
+    RedBlackTreeScheduler,
+    UnbalancedBSTScheduler,
+)
+from repro.core.scheme4_hybrid import HybridWheelScheduler
+from repro.core.scheme4_wheel import TimingWheelScheduler
+from repro.core.scheme5_hashed_sorted import HashedWheelSortedScheduler
+from repro.core.scheme6_hashed_unsorted import HashedWheelUnsortedScheduler
+from repro.core.scheme7_hierarchical import HierarchicalWheelScheduler
+from repro.core.scheme7_variants import (
+    LossyHierarchicalScheduler,
+    SingleMigrationHierarchicalScheduler,
+)
+from repro.structures.sorted_list import SearchDirection
+
+_FACTORIES: Dict[str, Callable[..., TimerScheduler]] = {
+    "scheme1": StraightforwardScheduler,
+    "scheme1-compare": lambda **kw: StraightforwardScheduler(mode="compare", **kw),
+    "scheme2": OrderedListScheduler,
+    "scheme2-rear": lambda **kw: OrderedListScheduler(
+        direction=SearchDirection.FROM_REAR, **kw
+    ),
+    "scheme3-heap": HeapScheduler,
+    "scheme3-bst": UnbalancedBSTScheduler,
+    "scheme3-rbtree": RedBlackTreeScheduler,
+    "scheme3-leftist": LeftistTreeScheduler,
+    "scheme4": TimingWheelScheduler,
+    "scheme4-hybrid": HybridWheelScheduler,
+    "scheme5": HashedWheelSortedScheduler,
+    "scheme6": HashedWheelUnsortedScheduler,
+    "scheme7": HierarchicalWheelScheduler,
+    "scheme7-lossy": LossyHierarchicalScheduler,
+    "scheme7-onemigration": SingleMigrationHierarchicalScheduler,
+}
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_scheduler(name: str, **kwargs) -> TimerScheduler:
+    """Construct a scheduler by registry name.
+
+    Keyword arguments are forwarded to the scheme's constructor
+    (``table_size`` for the hashed wheels, ``max_interval`` for Scheme 4,
+    ``slot_counts`` for the hierarchies, ``counter`` everywhere).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(scheme_names())
+        raise KeyError(f"unknown scheme {name!r}; known schemes: {known}") from None
+    return factory(**kwargs)
+
+
+def register_scheme(name: str, factory: Callable[..., TimerScheduler]) -> None:
+    """Register a custom scheduler factory (for downstream extensions)."""
+    if name in _FACTORIES:
+        raise ValueError(f"scheme {name!r} is already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,250 @@
+"""Scheme 7 — hierarchical timing wheels (Section 6.2).
+
+"Instead [of one huge array] we can use a number of arrays, each of
+different granularity. For instance ... a 100 element array in which each
+element represents a day, a 24 element array [hours], a 60 element array
+[minutes], a 60 element array [seconds]. Thus instead of 100*24*60*60 =
+8.64 million locations to store timers up to 100 days, we need only
+100 + 24 + 60 + 60 = 244 locations."
+
+Level ``k`` has ``slot_counts[k]`` slots of granularity
+``g[k] = slot_counts[0] * ... * slot_counts[k-1]`` ticks (``g[0] = 1``).
+A timer is inserted at the lowest level whose span covers its remaining
+time; when its slot is reached the timer *migrates* down ("EXPIRY_PROCESSING
+will insert the remainder ... in the minute array"), expiring from level 0
+with exact precision. The worked example of Figures 10–11 — an
+(hour, minute, second) hierarchy at 11d 10:24:30 setting a 50m45s timer —
+is reproduced verbatim in ``tests/core/test_scheme7.py``.
+
+Costs (Section 6.2): START_TIMER is O(m) to find the right array among the
+``m`` levels; STOP_TIMER is O(1) with doubly linked lists; a timer migrates
+between at most ``m`` lists over its lifetime, so bookkeeping work per timer
+is bounded by ``c7 * m`` versus Scheme 6's ``c6 * T / M`` — the trade the
+SEC62 bench maps out.
+
+The paper's formulation runs each coarser array off an internal 60-second /
+60-minute / 24-hour timer ("there will always be a 60 second timer that is
+used to update the minute array"). Equivalently — and how this module does
+it — level ``k``'s cursor advances whenever ``now`` crosses a multiple of
+``g[k]``, at which point its current slot *cascades*: every timer in it is
+re-inserted by remaining time (or expired when due now). The observable
+behaviour is identical; a test asserts cascade counts match the internal-
+timer formulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import TimerConfigurationError
+from repro.core.interface import Timer, TimerScheduler
+from repro.core.validation import check_positive_int
+from repro.cost.counters import OpCounter
+from repro.structures.dlist import DLinkedList
+
+#: Seconds / minutes / hours / days, the paper's worked example (Figure 10),
+#: with granularity 1 tick = 1 second. Spans 100 days of ticks.
+PAPER_LEVELS: Tuple[int, ...] = (60, 60, 24, 100)
+
+#: A power-of-two hierarchy similar to kernel timer wheels: four levels of
+#: 256 slots spanning 2**32 ticks.
+BINARY_LEVELS: Tuple[int, ...] = (256, 256, 256, 256)
+
+
+class _Level:
+    """One wheel in the hierarchy."""
+
+    __slots__ = ("index", "slot_count", "granularity", "span", "slots")
+
+    def __init__(self, index: int, slot_count: int, granularity: int) -> None:
+        self.index = index
+        self.slot_count = slot_count
+        self.granularity = granularity
+        self.span = granularity * slot_count
+        self.slots = [DLinkedList() for _ in range(slot_count)]
+
+    def slot_for(self, deadline: int) -> int:
+        return (deadline // self.granularity) % self.slot_count
+
+
+class HierarchicalWheelScheduler(TimerScheduler):
+    """Scheme 7: a hierarchy of timing wheels with coarsening granularity."""
+
+    scheme_name = "scheme7"
+
+    def __init__(
+        self,
+        slot_counts: Sequence[int] = PAPER_LEVELS,
+        counter: Optional[OpCounter] = None,
+        placement: str = "paper",
+    ) -> None:
+        """``placement`` selects the insertion rule (an ablation knob):
+
+        * ``"paper"`` (default) — the paper's mixed-radix rule: insert at
+          the *highest* level whose time digit differs between now and the
+          deadline (Figure 10 puts a 50m45s timer in the hour array because
+          the hour digit changes 10 → 11). Timers may migrate up to m-1
+          times.
+        * ``"span"`` — insert at the *lowest* level whose span covers the
+          remaining time (the rule modern kernel wheels use). Fewer
+          migrations, same expiry ticks; the ablation bench quantifies the
+          difference.
+        """
+        super().__init__(counter)
+        if placement not in ("paper", "span"):
+            raise TimerConfigurationError(
+                f"placement must be 'paper' or 'span', got {placement!r}"
+            )
+        self.placement = placement
+        if not slot_counts:
+            raise TimerConfigurationError("at least one level is required")
+        self._levels: List[_Level] = []
+        granularity = 1
+        for index, count in enumerate(slot_counts):
+            check_positive_int(f"slot_counts[{index}]", count)
+            if count < 2:
+                raise TimerConfigurationError(
+                    f"slot_counts[{index}] must be >= 2 to be a wheel"
+                )
+            self._levels.append(_Level(index, count, granularity))
+            granularity *= count
+        self.total_span = granularity  # product of all slot counts
+        self.total_slots = sum(level.slot_count for level in self._levels)
+        #: migrations performed, per level migrated *into* (SEC62 metering).
+        self.migrations = 0
+        #: cascades (coarse-slot drains) performed, even if the slot was empty.
+        self.cascades = 0
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def levels(self) -> int:
+        """Number of wheels (the paper's ``m``)."""
+        return len(self._levels)
+
+    def level_granularities(self) -> List[int]:
+        """Tick width of one slot at each level."""
+        return [level.granularity for level in self._levels]
+
+    def level_spans(self) -> List[int]:
+        """Total ticks covered by each level's wheel."""
+        return [level.span for level in self._levels]
+
+    def cursor_positions(self) -> List[int]:
+        """Current slot index of each level's conceptual cursor."""
+        return [
+            (self._now // level.granularity) % level.slot_count
+            for level in self._levels
+        ]
+
+    def slot_sizes(self, level: int) -> List[int]:
+        """Occupancy of each slot at ``level``, for inspection and tests."""
+        return [len(slot) for slot in self._levels[level].slots]
+
+    def max_start_interval(self) -> Optional[int]:
+        return self.total_span
+
+    def level_for_remaining(self, remaining: int) -> int:
+        """Lowest level whose span covers ``remaining`` ticks.
+
+        This is the O(m) search Section 6.2 charges START_TIMER for.
+        """
+        for level in self._levels:
+            self.counter.compare(1)
+            if remaining < level.span:
+                return level.index
+        raise AssertionError("interval validated against total_span")
+
+    # ------------------------------------------------------------- internals
+
+    def _place(self, timer: Timer) -> None:
+        """Insert ``timer`` at the level its placement rule selects.
+
+        Correctness argument (either rule): the destination level ``ℓ`` has
+        ``deadline // g[ℓ] > now // g[ℓ]`` and the unit difference is at
+        most ``s[ℓ]``, so the destination slot's next drain is exactly the
+        deadline's unit boundary — never earlier, never a revolution late —
+        and cascading there leaves ``remaining < g[ℓ]``, which re-places
+        strictly downward until level 0 expires the timer exactly.
+        """
+        deadline = timer.deadline
+        if self.placement == "paper":
+            level = self._level_by_digits(deadline)
+        else:
+            level = self._levels[self.level_for_remaining(deadline - self._now)]
+        slot_index = level.slot_for(deadline)
+        timer._level = level.index
+        timer._slot_index = slot_index
+        self.counter.charge(reads=1, writes=1, links=1)
+        level.slots[slot_index].push_front(timer)
+
+    def _level_by_digits(self, deadline: int) -> _Level:
+        """The paper's rule: highest level whose unit digit changes.
+
+        "We first calculate the absolute time at which the timer will
+        expire ... then we insert the timer into a list beginning (11 - 10
+        hours) ahead of the current hour pointer in the hour array."
+        """
+        now = self._now
+        for level in reversed(self._levels):
+            self.counter.compare(1)
+            if deadline // level.granularity != now // level.granularity:
+                return level
+        raise AssertionError("placement requires deadline > now")
+
+    def _insert(self, timer: Timer) -> None:
+        self._place(timer)
+
+    def _handle_cascaded(self, timer: Timer, expired: List[Timer]) -> None:
+        """Process one timer drained from a cascading coarse slot.
+
+        Scheme 7 proper migrates the timer toward finer wheels until level 0
+        expires it exactly; the Nichols variants in
+        :mod:`repro.core.scheme7_variants` override this to trade precision
+        for fewer migrations.
+        """
+        if timer.deadline == self._now:
+            timer._level = -1
+            timer._slot_index = -1
+            expired.append(timer)
+        else:
+            self.migrations += 1
+            self._place(timer)
+
+    def _remove(self, timer: Timer) -> None:
+        self._levels[timer._level].slots[timer._slot_index].remove(timer)
+        timer._level = -1
+        timer._slot_index = -1
+        self.counter.link(1)
+
+    def _collect_expired(self) -> List[Timer]:
+        expired: List[Timer] = []
+        now = self._now
+        self.counter.write(1)  # advance the clock
+
+        # Coarse levels first: whenever `now` crosses a level boundary the
+        # level's new slot cascades — each timer either expires now or
+        # migrates to a finer wheel ("EXPIRY_PROCESSING will insert the
+        # remainder in the minute array").
+        for level in reversed(self._levels[1:]):
+            if now % level.granularity != 0:
+                continue
+            self.cascades += 1
+            slot = level.slots[level.slot_for(now)]
+            self.counter.charge(reads=1, compares=1)
+            for node in slot.drain():
+                timer: Timer = node  # slots hold only Timers
+                self.counter.charge(reads=1, links=1)
+                self._handle_cascaded(timer, expired)
+
+        # Level 0 advances every tick and expires with exact precision.
+        base = self._levels[0]
+        slot = base.slots[base.slot_for(now)]
+        self.counter.charge(writes=1, reads=1, compares=1)
+        for node in slot.drain():
+            timer = node
+            self.counter.charge(reads=1, links=1)
+            timer._level = -1
+            timer._slot_index = -1
+            expired.append(timer)
+        return expired

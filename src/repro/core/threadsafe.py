@@ -1,0 +1,125 @@
+"""A thread-safe front for any scheduler (the real-lock cousin of A.2).
+
+The Appendix A.2 *model* in :mod:`repro.smp` simulates lock contention;
+this module is the practical counterpart for programs where client
+threads call START/STOP while another thread drives the clock. It is the
+paper's "global semaphore" discipline: one lock around the whole module —
+correct for every scheme, with exactly the serialisation cost Appendix
+A.2 warns about for long critical sections (Scheme 2) and shrugs off for
+the O(1) wheels.
+
+The wrapper reproduces the public :class:`TimerScheduler` surface; the
+wrapped scheduler must not be touched directly once wrapped.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, List, Optional, Union
+
+from repro.core.interface import ExpiryAction, Timer, TimerScheduler
+
+
+class ThreadSafeScheduler:
+    """Mutex-serialised facade over a :class:`TimerScheduler`.
+
+    Expiry callbacks run while the lock is held (they are part of
+    PER_TICK_BOOKKEEPING); re-entrant calls from the ticking thread's own
+    callbacks are supported via an RLock. Calls from *other* threads
+    inside a callback would deadlock by design — the module is a single
+    serialised resource, per the appendix's global-semaphore picture.
+    """
+
+    def __init__(self, scheduler: TimerScheduler) -> None:
+        self._scheduler = scheduler
+        self._lock = threading.RLock()
+        #: acquisitions that had to wait (best effort; uses non-blocking
+        #: probe so it undercounts under heavy contention races).
+        self.contended_acquisitions = 0
+
+    def _acquire(self) -> None:
+        if not self._lock.acquire(blocking=False):
+            self.contended_acquisitions += 1
+            self._lock.acquire()
+
+    # ----------------------------------------------------------- client API
+
+    def start_timer(
+        self,
+        interval: int,
+        request_id: Optional[Hashable] = None,
+        callback: Optional[ExpiryAction] = None,
+        user_data: object = None,
+    ) -> Timer:
+        """Serialised START_TIMER."""
+        self._acquire()
+        try:
+            return self._scheduler.start_timer(
+                interval,
+                request_id=request_id,
+                callback=callback,
+                user_data=user_data,
+            )
+        finally:
+            self._lock.release()
+
+    def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
+        """Serialised STOP_TIMER."""
+        self._acquire()
+        try:
+            return self._scheduler.stop_timer(timer_or_id)
+        finally:
+            self._lock.release()
+
+    def tick(self) -> List[Timer]:
+        """Serialised PER_TICK_BOOKKEEPING (callbacks run under the lock)."""
+        self._acquire()
+        try:
+            return self._scheduler.tick()
+        finally:
+            self._lock.release()
+
+    def advance(self, ticks: int) -> List[Timer]:
+        """Run ``ticks`` serialised ticks (the lock is released between
+        ticks so client threads can interleave)."""
+        expired: List[Timer] = []
+        for _ in range(ticks):
+            expired.extend(self.tick())
+        return expired
+
+    def shutdown(self) -> List[Timer]:
+        """Serialised shutdown."""
+        self._acquire()
+        try:
+            return self._scheduler.shutdown()
+        finally:
+            self._lock.release()
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def now(self) -> int:
+        """Current tick (reads are serialised too, for a coherent view)."""
+        with self._lock:
+            return self._scheduler.now
+
+    @property
+    def pending_count(self) -> int:
+        """Outstanding timers."""
+        with self._lock:
+            return self._scheduler.pending_count
+
+    def is_pending(self, request_id: Hashable) -> bool:
+        """True when ``request_id`` names an outstanding timer."""
+        with self._lock:
+            return self._scheduler.is_pending(request_id)
+
+    @property
+    def scheme_name(self) -> str:
+        """Wrapped scheme's registry name."""
+        return self._scheduler.scheme_name
+
+    @property
+    def counter(self):
+        """The wrapped scheduler's op counter."""
+        return self._scheduler.counter

@@ -1,0 +1,39 @@
+"""Shared argument checking for the timer facility."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import TimerConfigurationError, TimerIntervalError
+
+
+def check_interval(interval: int, max_interval: Optional[int] = None) -> int:
+    """Validate a START_TIMER interval.
+
+    Intervals are positive integer tick counts (the paper's granularity-T
+    model: a timer for "Interval units of time"). When ``max_interval`` is
+    given (Scheme 4 and bounded hierarchies), the interval must fit below it.
+    """
+    if isinstance(interval, bool) or not isinstance(interval, int):
+        raise TimerIntervalError(
+            f"interval must be an int number of ticks, got {type(interval).__name__}"
+        )
+    if interval <= 0:
+        raise TimerIntervalError(f"interval must be >= 1 tick, got {interval}")
+    if max_interval is not None and interval >= max_interval:
+        raise TimerIntervalError(
+            f"interval {interval} out of range: this scheduler accepts "
+            f"intervals strictly below {max_interval}"
+        )
+    return interval
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Validate a positive-integer configuration parameter."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TimerConfigurationError(
+            f"{name} must be an int, got {type(value).__name__}"
+        )
+    if value <= 0:
+        raise TimerConfigurationError(f"{name} must be positive, got {value}")
+    return value

@@ -1,0 +1,16 @@
+"""Operation-count accounting: the repo's substitute for the paper's VAX.
+
+Section 3.2 of the paper prices list insertion in abstract units ("reads and
+writes both cost one unit") and Section 7 reports the Scheme 6 implementation
+in "cheap VAX instructions". Neither is measurable on modern hardware, so the
+schemes charge abstract operations (reads, writes, comparisons, pointer
+links) to an :class:`~repro.cost.counters.OpCounter`, and
+:class:`~repro.cost.vax.VaxCostModel` maps those to cheap-instruction
+equivalents calibrated against the Section 7 constants.
+"""
+
+from repro.cost.counters import OpCounter, OpSnapshot
+from repro.cost.vax import VaxCostModel, SECTION7_COSTS
+from repro.cost import formulas
+
+__all__ = ["OpCounter", "OpSnapshot", "VaxCostModel", "SECTION7_COSTS", "formulas"]

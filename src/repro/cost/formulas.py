@@ -1,0 +1,120 @@
+"""Closed-form cost predictions quoted in the paper.
+
+Each function reproduces one analytic expression so experiments can plot
+"paper-predicted" next to "measured". Sources:
+
+* Section 3.2 — average Scheme 2 insertion cost under Poisson arrivals,
+  pricing reads and writes at one unit each:
+  ``2 + 2n/3`` (negative-exponential intervals, search from the head),
+  ``2 + n/2`` (uniform intervals, search from the head),
+  ``2 + n/3`` (negative-exponential intervals, search from the rear).
+* Section 6.2 — per-unit-time bookkeeping cost of Scheme 6 vs Scheme 7:
+  ``n * c6 / M`` and ``n * c7 * m / M``.
+* Section 7 — Scheme 6 average per-tick instruction cost
+  ``4 + 15 n / TableSize`` (see :mod:`repro.cost.vax`).
+* Appendix A — host interrupts per timer under hardware assist:
+  ``T / M`` for Scheme 6, ``<= m`` for Scheme 7.
+"""
+
+from __future__ import annotations
+
+
+def _require_nonnegative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def scheme2_insert_cost_exponential(n: float) -> float:
+    """Average insertion cost ``2 + 2n/3``: exponential intervals, head search.
+
+    ``n`` is the average number of outstanding timers seen by an arrival.
+    """
+    _require_nonnegative("n", n)
+    return 2.0 + 2.0 * n / 3.0
+
+
+def scheme2_insert_cost_uniform(n: float) -> float:
+    """Average insertion cost ``2 + n/2``: uniform intervals, head search."""
+    _require_nonnegative("n", n)
+    return 2.0 + n / 2.0
+
+
+def scheme2_insert_cost_exponential_rear(n: float) -> float:
+    """Average insertion cost ``2 + n/3``: exponential intervals, rear search."""
+    _require_nonnegative("n", n)
+    return 2.0 + n / 3.0
+
+
+def scheme6_per_tick_cost(n: float, table_size: int, c6: float = 1.0) -> float:
+    """Section 6.2: average per-unit-time cost ``n * c6 / M`` for Scheme 6.
+
+    ``c6`` is the constant cost of decrementing the high-order bits and
+    indexing; a timer alive for ``T`` units is touched ``T / M`` times.
+    """
+    _require_nonnegative("n", n)
+    _require_positive("table_size", table_size)
+    _require_positive("c6", c6)
+    return n * c6 / table_size
+
+
+def scheme7_per_tick_cost(
+    n: float, total_slots: int, levels: int, c7: float = 1.0
+) -> float:
+    """Section 6.2: average per-unit-time cost ``n * c7 * m / M`` for Scheme 7.
+
+    ``levels`` is ``m``, the maximum number of lists a timer migrates
+    between; ``total_slots`` is ``M``, the total array elements available.
+    """
+    _require_nonnegative("n", n)
+    _require_positive("total_slots", total_slots)
+    _require_positive("levels", levels)
+    _require_positive("c7", c7)
+    return n * c7 * levels / total_slots
+
+
+def scheme6_work_per_timer(T: float, table_size: int, c6: float = 1.0) -> float:
+    """Section 6.2: total bookkeeping work ``c6 * T / M`` for one timer.
+
+    A timer that lives ``T`` units is decremented once per wheel revolution,
+    i.e. ``T / M`` times.
+    """
+    _require_nonnegative("T", T)
+    _require_positive("table_size", table_size)
+    return c6 * T / table_size
+
+
+def scheme7_work_per_timer(levels: int, c7: float = 1.0) -> float:
+    """Section 6.2: total migration work bounded by ``c7 * m`` for one timer."""
+    _require_positive("levels", levels)
+    return c7 * levels
+
+
+def hardware_interrupts_scheme6(T: float, table_size: int) -> float:
+    """Appendix A: host interrupts per timer interval ``T / M`` (Scheme 6)."""
+    _require_nonnegative("T", T)
+    _require_positive("table_size", table_size)
+    return T / table_size
+
+
+def hardware_interrupts_scheme7_bound(levels: int) -> int:
+    """Appendix A: host interrupts per timer are at most ``m`` (Scheme 7)."""
+    _require_positive("levels", levels)
+    return levels
+
+
+def crossover_table_size(T: float, levels: int, c6: float = 1.0, c7: float = 1.0) -> float:
+    """Table size at which Schemes 6 and 7 cost the same per timer.
+
+    Setting ``c6 * T / M == c7 * m`` gives ``M = c6 * T / (c7 * m)``: for
+    larger ``M`` Scheme 6 wins, for smaller ``M`` Scheme 7 wins — the
+    trade-off Section 6.2 describes ("for large values of T and small values
+    of M, Scheme 7 will have a better average cost").
+    """
+    _require_positive("T", T)
+    _require_positive("levels", levels)
+    return c6 * T / (c7 * levels)

@@ -1,0 +1,87 @@
+"""Mapping abstract operation counts to 'cheap VAX instruction' estimates.
+
+Section 7 of the paper measures a MACRO-11 implementation of Scheme 6 on a
+VAX, pricing everything in "cheap" instructions (cost of a ``CLRL``):
+
+========================================  =====
+Operation                                 Cost
+========================================  =====
+insert a timer (START_TIMER)               13
+delete a timer (STOP_TIMER)                 7
+skip an empty array location (per tick)     4
+decrement a timer and move to next entry    6
+delete expired timer + call expiry          9
+========================================  =====
+
+giving an average per-tick cost of ``4 + 15 * n / TableSize`` when every
+outstanding timer expires during one scan of the table (6 to visit and
+decrement + 9 to expire = 15 per timer per table scan).
+
+:class:`VaxCostModel` reproduces those constants from abstract operation
+counts, so the repo's instrumented schemes can report Section 7's numbers
+without VAX hardware: each abstract operation class is assigned a weight in
+cheap instructions, and the weights are calibrated (see
+``tests/cost/test_vax.py``) so the Scheme 6 hot paths land on the published
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cost.counters import OpSnapshot
+
+#: The published Section 7 constants, in cheap VAX instructions.
+SECTION7_COSTS: Mapping[str, int] = {
+    "insert": 13,
+    "delete": 7,
+    "empty_tick": 4,
+    "decrement_and_advance": 6,
+    "expire": 9,
+    # Derived: per-timer cost during one full scan of the table when the
+    # timer expires within the scan: decrement_and_advance + expire.
+    "per_timer_per_scan": 15,
+}
+
+
+@dataclass(frozen=True)
+class VaxCostModel:
+    """Weights (in cheap instructions) for each abstract operation class.
+
+    The defaults price one read, write, comparison, or pointer link at one
+    cheap instruction each — a deliberately simple mapping under which the
+    repo's Scheme 6 implementation charges exactly the Section 7 mix on its
+    hot paths (validated by tests). Alternative weightings model machines
+    where, e.g., memory writes cost more than register compares.
+    """
+
+    read_cost: float = 1.0
+    write_cost: float = 1.0
+    compare_cost: float = 1.0
+    link_cost: float = 1.0
+
+    def instructions(self, ops: OpSnapshot) -> float:
+        """Price an operation mix in cheap-instruction equivalents."""
+        return (
+            ops.reads * self.read_cost
+            + ops.writes * self.write_cost
+            + ops.compares * self.compare_cost
+            + ops.links * self.link_cost
+        )
+
+    @staticmethod
+    def predicted_per_tick(n: int, table_size: int) -> float:
+        """Section 7's average per-tick cost formula: ``4 + 15 n / TableSize``.
+
+        Valid under the section's assumption that every outstanding timer
+        expires during one scan of the table.
+        """
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return (
+            SECTION7_COSTS["empty_tick"]
+            + SECTION7_COSTS["per_timer_per_scan"] * n / table_size
+        )

@@ -1,0 +1,32 @@
+"""Appendix A hardware-assist models, simulated.
+
+The paper cannot be reproduced on its hardware (a timer chip beside a VAX),
+so the chip is *simulated*: what the appendix reasons about — how many
+times the host is interrupted — is exactly what these models count.
+
+* :class:`~repro.hardware.chip.ScanningChipAssist` — "a chip (actually
+  just a counter) that steps through the timer arrays, and interrupts the
+  host only if there is work to be done", with busy bits maintained by
+  host-side insert/delete notifications. Backed by Scheme 6 or Scheme 7.
+* :class:`~repro.hardware.single_timer.SingleTimerAssist` — Scheme 2's
+  "hardware support to maintain a single timer": the hardware intercepts
+  every clock tick and interrupts the host only when the earliest timer
+  actually expires.
+
+The APXA bench validates the appendix's counts: with Scheme 6 the host
+fields about ``T / M`` interrupts per timer interval; with Scheme 7 at most
+``m``, the number of levels.
+"""
+
+from repro.hardware.chip import ChipReport, ScanningChipAssist
+from repro.hardware.full_offload import FullOffloadChip, OffloadReport
+from repro.hardware.single_timer import SingleTimerAssist, SingleTimerReport
+
+__all__ = [
+    "ScanningChipAssist",
+    "ChipReport",
+    "FullOffloadChip",
+    "OffloadReport",
+    "SingleTimerAssist",
+    "SingleTimerReport",
+]

@@ -1,0 +1,92 @@
+"""Appendix A's first option: the chip owns *all* the data structures.
+
+"In the extreme, we can use a timer chip which maintains all the data
+structures (say in Scheme 6) and interrupts host software only when a
+timer expires. ... if Schemes 6 and 7 are implemented as a single chip
+that operates on a separate memory ... there is no a priori limit on the
+number of timers that can be handled by the chip. Clearly the array sizes
+need to be parameters that must be supplied to the chip on
+initialization."
+
+The model wraps any scheduler as the chip's internal engine (its array
+sizes are exactly the constructor parameters the appendix mentions) and
+accounts host work separately: the host pays a fixed command cost per
+START/STOP it issues and one interrupt per tick on which expiries occur —
+*nothing* per quiet tick, since the chip intercepts the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.interface import Timer, TimerScheduler
+
+
+@dataclass
+class OffloadReport:
+    """Host-side accounting when the chip owns the timer structures."""
+
+    ticks: int = 0
+    host_interrupts: int = 0
+    commands_issued: int = 0  # START/STOP messages to the chip
+    timers_completed: int = 0
+
+    @property
+    def interrupts_per_tick(self) -> float:
+        """Fraction of clock ticks on which the host was interrupted."""
+        return self.host_interrupts / self.ticks if self.ticks else 0.0
+
+    @property
+    def host_work_per_timer(self) -> float:
+        """Commands plus interrupts per completed timer — the host's whole
+        involvement under full offload."""
+        if not self.timers_completed:
+            return 0.0
+        return (self.commands_issued + self.host_interrupts) / self.timers_completed
+
+
+class FullOffloadChip:
+    """A timer chip owning the data structures; the host only commands it."""
+
+    def __init__(self, engine: TimerScheduler) -> None:
+        self.engine = engine
+        self.report = OffloadReport()
+
+    def start_timer(self, interval: int, **kwargs) -> Timer:
+        """Host→chip START command (one message, O(1) host work)."""
+        self.report.commands_issued += 1
+        return self.engine.start_timer(interval, **kwargs)
+
+    def stop_timer(self, timer_or_id) -> Timer:
+        """Host→chip STOP command (one message, O(1) host work)."""
+        self.report.commands_issued += 1
+        return self.engine.stop_timer(timer_or_id)
+
+    def tick(self) -> List[Timer]:
+        """One hardware clock tick, absorbed by the chip unless timers
+        expire — in which case the host takes exactly one interrupt and
+        receives the expired set."""
+        expired = self.engine.tick()
+        self.report.ticks += 1
+        if expired:
+            self.report.host_interrupts += 1
+            self.report.timers_completed += len(expired)
+        return expired
+
+    def advance(self, ticks: int) -> List[Timer]:
+        """Run ``ticks`` hardware ticks."""
+        expired: List[Timer] = []
+        for _ in range(ticks):
+            expired.extend(self.tick())
+        return expired
+
+    @property
+    def now(self) -> int:
+        """Chip time."""
+        return self.engine.now
+
+    @property
+    def pending_count(self) -> int:
+        """Outstanding timers inside the chip."""
+        return self.engine.pending_count

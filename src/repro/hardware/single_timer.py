@@ -1,0 +1,99 @@
+"""Scheme 2's single-hardware-timer assist (Sections 3.2 and 7).
+
+"If Scheme 2 is implemented by a host processor, the interrupt overhead on
+every tick can be avoided if there is hardware support to maintain a single
+timer. The hardware timer is set to expire at the time at which the timer
+at the head of the list is due to expire. The hardware intercepts all clock
+ticks and interrupts the host only when a timer actually expires."
+
+The model wraps any scheduler exposing ``earliest_deadline()`` (Schemes 2
+and 3). Running ``T`` ticks, the hardware absorbs every tick on which
+nothing is due; the host is interrupted once per distinct expiry instant
+and re-arms the hardware comparator with the new head-of-list deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.interface import Timer, TimerScheduler
+
+
+@dataclass
+class SingleTimerReport:
+    """Interrupt accounting for one run."""
+
+    ticks: int = 0
+    host_interrupts: int = 0
+    comparator_rearms: int = 0
+    timers_completed: int = 0
+
+    @property
+    def interrupts_avoided(self) -> int:
+        """Clock ticks the hardware absorbed without bothering the host."""
+        return self.ticks - self.host_interrupts
+
+
+class SingleTimerAssist:
+    """Hardware comparator in front of a head-of-queue scheduler."""
+
+    def __init__(self, scheduler: TimerScheduler) -> None:
+        if not hasattr(scheduler, "earliest_deadline"):
+            raise TypeError(
+                "single-timer assist needs a scheduler exposing "
+                "earliest_deadline() (Schemes 2 and 3); got "
+                f"{type(scheduler).__name__}"
+            )
+        self.scheduler = scheduler
+        self.report = SingleTimerReport()
+
+    def start_timer(self, interval: int, **kwargs) -> Timer:
+        """START_TIMER; re-arms the comparator when the head changes."""
+        head_before = self.scheduler.earliest_deadline()
+        timer = self.scheduler.start_timer(interval, **kwargs)
+        if self.scheduler.earliest_deadline() != head_before:
+            self.report.comparator_rearms += 1
+        return timer
+
+    def stop_timer(self, timer_or_id) -> Timer:
+        """STOP_TIMER; re-arms the comparator when the head changes."""
+        head_before = self.scheduler.earliest_deadline()
+        timer = self.scheduler.stop_timer(timer_or_id)
+        if self.scheduler.earliest_deadline() != head_before:
+            self.report.comparator_rearms += 1
+        return timer
+
+    def run(self, ticks: int) -> List[Timer]:
+        """Let ``ticks`` hardware clock ticks elapse.
+
+        The hardware swallows tick interrupts until the comparator matches;
+        each match is one host interrupt, at which the host pops every due
+        timer and re-arms.
+        """
+        target = self.scheduler.now + ticks
+        expired: List[Timer] = []
+        while True:
+            deadline = self.scheduler.earliest_deadline()
+            if deadline is None or deadline > target:
+                break
+            # Hardware sleeps to the deadline; the scheduler's internal
+            # clock catches up without host involvement.
+            expired.extend(self.scheduler.advance(deadline - self.scheduler.now))
+            self.report.host_interrupts += 1
+            self.report.comparator_rearms += 1
+        # Quiet remainder of the window.
+        expired.extend(self.scheduler.advance(target - self.scheduler.now))
+        self.report.ticks += ticks
+        self.report.timers_completed += len(expired)
+        return expired
+
+    @property
+    def now(self) -> int:
+        """Host scheduler time."""
+        return self.scheduler.now
+
+    @property
+    def pending_count(self) -> int:
+        """Outstanding timers on the host."""
+        return self.scheduler.pending_count

@@ -1,0 +1,44 @@
+"""A transport protocol over a lossy network: the paper's motivating load.
+
+Section 1 motivates fast timers with "a server with 200 connections and 3
+timers per connection" and the two timer classes: failure-recovery timers
+that "rarely expire" (retransmission, keepalive — usually stopped by the
+positive action arriving) and timers "in which the notion of time is
+integral" that "almost always expire" (packet lifetime / TIME-WAIT).
+
+This package builds that workload for real: a go-back-N sliding-window
+transport (:mod:`repro.protocols.transport`) over a lossy, delaying network
+(:mod:`repro.protocols.network`), with hosts that multiplex every
+connection's three timers — retransmission, keepalive, TIME-WAIT — onto one
+shared :class:`~repro.core.interface.TimerScheduler`
+(:mod:`repro.protocols.host`). Any Scheme 1–7 scheduler slots in; the
+XTRA2 bench shows the protocol outcome is scheme-independent while the
+bookkeeping cost is not.
+"""
+
+from repro.protocols.network import LossyNetwork, NetworkStats, Packet, PacketKind
+from repro.protocols.transport import Connection, ConnectionStats, TransportConfig
+from repro.protocols.host import Host, World
+from repro.protocols.rate_control import LeakyBucketShaper, TokenBucket
+from repro.protocols.failure_detector import (
+    HeartbeatFailureDetector,
+    PeerState,
+    PeriodicChecker,
+)
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "LossyNetwork",
+    "NetworkStats",
+    "TransportConfig",
+    "Connection",
+    "ConnectionStats",
+    "Host",
+    "World",
+    "TokenBucket",
+    "LeakyBucketShaper",
+    "PeriodicChecker",
+    "HeartbeatFailureDetector",
+    "PeerState",
+]

@@ -1,0 +1,163 @@
+"""Timeout-based failure detection — Section 1's first timer class.
+
+"Several kinds of failures cannot be detected asynchronously. Some can be
+detected by periodic checking (e.g. memory corruption) and such timers
+always expire. Other failures can only be inferred by the lack of some
+positive action (e.g. message acknowledgment) within a specified period.
+If failures are infrequent these timers rarely expire."
+
+Both patterns, on the timer facility:
+
+* :class:`PeriodicChecker` — the always-expiring kind: run a check
+  function every ``period`` ticks (memory scrubbing, invariant audits).
+* :class:`HeartbeatFailureDetector` — the rarely-expiring kind: each
+  monitored peer sends heartbeats over the lossy network; a per-peer
+  watchdog timer is *stopped and re-armed* by every arrival (positive
+  action) and declares the peer suspect only when ``timeout`` ticks pass
+  in silence. The suspicion is withdrawn if a late heartbeat arrives.
+
+The detector's operating curve — detection latency versus false-suspicion
+rate as a function of the timeout and the network loss rate — is exactly
+the engineering trade the paper's "failure recovery" timers implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.core.interface import Timer, TimerScheduler
+from repro.core.periodic import PeriodicTimer
+from repro.core.validation import check_positive_int
+
+
+class PeriodicChecker:
+    """Always-expiring periodic check (the memory-corruption pattern)."""
+
+    def __init__(
+        self,
+        scheduler: TimerScheduler,
+        period: int,
+        check: Callable[[], bool],
+        on_failure: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """``check`` returns True when healthy; ``on_failure`` is called
+        with the tick whenever it returns False."""
+        self.scheduler = scheduler
+        self.check = check
+        self.on_failure = on_failure
+        self.checks_run = 0
+        self.failures_found = 0
+        self._cycle = PeriodicTimer(scheduler, period, action=self._run).start()
+
+    def _run(self, index: int, timer: Timer) -> None:
+        self.checks_run += 1
+        if not self.check():
+            self.failures_found += 1
+            if self.on_failure is not None:
+                self.on_failure(self.scheduler.now)
+
+    def stop(self) -> None:
+        """Cancel the check cycle."""
+        self._cycle.cancel()
+
+
+@dataclass
+class PeerState:
+    """Monitoring record for one peer."""
+
+    peer_id: Hashable
+    heartbeats_seen: int = 0
+    suspected: bool = False
+    suspected_at: Optional[int] = None
+    suspicions: int = 0  # times declared suspect (incl. withdrawn ones)
+    recoveries: int = 0  # suspicions withdrawn by a late heartbeat
+    watchdog: Optional[Timer] = field(default=None, repr=False)
+
+
+class HeartbeatFailureDetector:
+    """Per-peer watchdogs re-armed by heartbeats (rarely-expiring timers)."""
+
+    def __init__(
+        self,
+        scheduler: TimerScheduler,
+        timeout: int,
+        on_suspect: Optional[Callable[[Hashable, int], None]] = None,
+    ) -> None:
+        check_positive_int("timeout", timeout)
+        self.scheduler = scheduler
+        self.timeout = timeout
+        self.on_suspect = on_suspect
+        self.peers: Dict[Hashable, PeerState] = {}
+        self.watchdog_starts = 0
+        self.watchdog_stops = 0
+        self.watchdog_expiries = 0
+
+    # ------------------------------------------------------------- monitors
+
+    def watch(self, peer_id: Hashable) -> PeerState:
+        """Begin monitoring a peer; the watchdog arms immediately."""
+        if peer_id in self.peers:
+            raise ValueError(f"already watching {peer_id!r}")
+        state = PeerState(peer_id)
+        self.peers[peer_id] = state
+        self._arm(state)
+        return state
+
+    def unwatch(self, peer_id: Hashable) -> None:
+        """Stop monitoring; cancels the outstanding watchdog."""
+        state = self.peers.pop(peer_id)
+        if state.watchdog is not None and state.watchdog.pending:
+            self.scheduler.stop_timer(state.watchdog)
+            self.watchdog_stops += 1
+        state.watchdog = None
+
+    def on_heartbeat(self, peer_id: Hashable) -> None:
+        """Positive action from a peer: re-arm its watchdog.
+
+        This is the paper's rarely-expiring pattern: on a healthy path the
+        watchdog is stopped (by the heartbeat) far more often than it
+        expires.
+        """
+        state = self.peers.get(peer_id)
+        if state is None:
+            return  # heartbeat from an unmonitored peer
+        state.heartbeats_seen += 1
+        if state.suspected:
+            state.suspected = False
+            state.recoveries += 1
+        if state.watchdog is not None and state.watchdog.pending:
+            self.scheduler.stop_timer(state.watchdog)
+            self.watchdog_stops += 1
+        self._arm(state)
+
+    # ------------------------------------------------------------ internals
+
+    def _arm(self, state: PeerState) -> None:
+        self.watchdog_starts += 1
+        state.watchdog = self.scheduler.start_timer(
+            self.timeout,
+            callback=lambda timer, s=state: self._on_expiry(s),
+        )
+
+    def _on_expiry(self, state: PeerState) -> None:
+        state.watchdog = None
+        self.watchdog_expiries += 1
+        if not state.suspected:
+            state.suspected = True
+            state.suspected_at = self.scheduler.now
+            state.suspicions += 1
+            if self.on_suspect is not None:
+                self.on_suspect(state.peer_id, self.scheduler.now)
+        # Keep watching: a late heartbeat may still withdraw the suspicion.
+        self._arm(state)
+
+    # ------------------------------------------------------------- queries
+
+    def suspected_peers(self) -> List[Hashable]:
+        """Currently suspected peer ids."""
+        return [p for p, s in self.peers.items() if s.suspected]
+
+    def is_suspected(self, peer_id: Hashable) -> bool:
+        """True when ``peer_id`` is currently suspect."""
+        return self.peers[peer_id].suspected

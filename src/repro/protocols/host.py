@@ -1,0 +1,235 @@
+"""Hosts multiplexing many connections onto one timer module, plus a world.
+
+This is where Section 1's arithmetic becomes runnable: a server host
+carrying N connections, each contributing its retransmission / keepalive /
+TIME-WAIT timers, all multiplexed onto a *single* shared scheduler — so the
+scheduler's ``n`` is hundreds, exactly the regime where Scheme 1 and 2
+break down and the wheels shine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.interface import TimerScheduler
+from repro.cost.counters import OpSnapshot
+from repro.protocols.network import LossyNetwork, Packet
+from repro.protocols.transport import Connection, TransportConfig
+from repro.simulation.engine import EventListEngine
+
+
+class World:
+    """A simulated universe: one network, one shared clock, many hosts.
+
+    The engine carries packet-delivery and application events; the timer
+    scheduler carries protocol timers. :meth:`run` advances both in
+    lockstep, one tick at a time — the paper's hardware-clock model.
+    """
+
+    def __init__(
+        self,
+        scheduler: TimerScheduler,
+        loss_rate: float = 0.0,
+        min_latency: int = 1,
+        max_latency: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if scheduler.now != 0:
+            raise ValueError("scheduler must start at time 0")
+        self.engine = EventListEngine()
+        self.scheduler = scheduler
+        self.network = LossyNetwork(
+            self.engine,
+            loss_rate=loss_rate,
+            min_latency=min_latency,
+            max_latency=max_latency,
+            seed=seed,
+        )
+        self.rng = random.Random(seed ^ 0x5A17)
+        self.time = 0
+        self.hosts: Dict[Hashable, "Host"] = {}
+
+    def add_host(self, address: Hashable) -> "Host":
+        """Create and attach a host at ``address``."""
+        host = Host(address, self)
+        self.hosts[address] = host
+        return host
+
+    def connect(
+        self,
+        a: "Host",
+        b: "Host",
+        conn_id: Hashable,
+        config: Optional[TransportConfig] = None,
+        close_after: Optional[int] = None,
+    ) -> Tuple[Connection, Connection]:
+        """Open a connection pair between two hosts (same ``conn_id``)."""
+        conn_a = a._open(conn_id, b.address, config, close_after)
+        conn_b = b._open(conn_id, a.address, config, close_after)
+        return conn_a, conn_b
+
+    def run(self, ticks: int) -> None:
+        """Advance the world ``ticks`` ticks (network, then timers, each tick)."""
+        for _ in range(ticks):
+            self.time += 1
+            self.engine.run_until(self.time)
+            self.scheduler.tick()
+
+
+class Host:
+    """One endpoint carrying many connections on the world's shared timer
+    module."""
+
+    def __init__(self, address: Hashable, world: World) -> None:
+        self.address = address
+        self.world = world
+        self.connections: Dict[Hashable, Connection] = {}
+        world.network.attach(address, self._on_packet)
+
+    def _open(
+        self,
+        conn_id: Hashable,
+        peer: Hashable,
+        config: Optional[TransportConfig],
+        close_after: Optional[int],
+    ) -> Connection:
+        if conn_id in self.connections:
+            raise ValueError(f"connection {conn_id!r} already open on {self.address!r}")
+        conn = Connection(
+            conn_id=conn_id,
+            local=self.address,
+            peer=peer,
+            network=self.world.network,
+            scheduler=self.world.scheduler,
+            config=config,
+            close_after=close_after,
+        )
+        self.connections[conn_id] = conn
+        return conn
+
+    def _on_packet(self, packet: Packet) -> None:
+        conn = self.connections.get(packet.conn_id)
+        if conn is not None:
+            conn.on_packet(packet)
+        # Packets for closed/unknown connections are silently dropped, as a
+        # real stack would after TIME-WAIT ends.
+
+    def aggregate(self, field_name: str) -> int:
+        """Sum one ConnectionStats field across this host's connections."""
+        return sum(
+            getattr(conn.stats, field_name) for conn in self.connections.values()
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of :func:`run_server_scenario`."""
+
+    scheme_name: str
+    n_connections: int
+    duration: int
+    delivered: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    keepalive_probes: int = 0
+    connections_closed: int = 0
+    connections_failed: int = 0
+    timer_starts: int = 0
+    timer_stops: int = 0
+    timer_expiries: int = 0
+    max_outstanding: int = 0
+    ops: OpSnapshot = field(default_factory=OpSnapshot)
+    ticks: int = 0
+
+    @property
+    def ops_per_tick(self) -> float:
+        """Mean scheduler operations per tick — the figure of merit that
+        separates the schemes while everything above stays identical."""
+        return self.ops.total / self.ticks if self.ticks else 0.0
+
+
+def run_server_scenario(
+    scheduler: TimerScheduler,
+    n_connections: int = 200,
+    messages_per_connection: int = 30,
+    duration: int = 6000,
+    loss_rate: float = 0.05,
+    seed: int = 7,
+) -> ScenarioResult:
+    """Section 1's motivating host, end to end.
+
+    A server pushes ``messages_per_connection`` messages down each of
+    ``n_connections`` go-back-N connections over a lossy network, with all
+    timers multiplexed on ``scheduler``. Message submissions are spread
+    over the first two thirds of the run by a seeded RNG, so windows,
+    retransmissions, keepalives and TIME-WAITs overlap realistically.
+    """
+    world = World(
+        scheduler,
+        loss_rate=loss_rate,
+        min_latency=2,
+        max_latency=12,
+        seed=seed,
+    )
+    server = world.add_host("server")
+    client = world.add_host("client")
+    config = TransportConfig(window=8, rto=60, keepalive_interval=900, time_wait=150)
+    senders: List[Connection] = []
+    for i in range(n_connections):
+        conn_s, _conn_c = world.connect(
+            server,
+            client,
+            conn_id=f"conn-{i}",
+            config=config,
+            close_after=messages_per_connection,
+        )
+        senders.append(conn_s)
+
+    # Schedule message submissions: bursts at random instants in the first
+    # two thirds of the run.
+    submit_window = max(1, (2 * duration) // 3)
+    for conn in senders:
+        remaining = messages_per_connection
+        while remaining > 0:
+            burst = min(remaining, world.rng.randint(1, 5))
+            remaining -= burst
+            at = world.rng.randint(1, submit_window)
+            world.engine.schedule_at(
+                at, lambda c=conn, k=burst: c.send_message(k) if not (c.closed or c.failed) else None
+            )
+
+    result = ScenarioResult(
+        scheme_name=scheduler.scheme_name,
+        n_connections=n_connections,
+        duration=duration,
+        ticks=duration,
+    )
+    before = scheduler.counter.snapshot()
+    step = max(1, duration // 100)
+    remaining = duration
+    while remaining > 0:
+        chunk = min(step, remaining)
+        world.run(chunk)
+        remaining -= chunk
+        result.max_outstanding = max(
+            result.max_outstanding, scheduler.pending_count
+        )
+    result.ops = scheduler.counter.since(before)
+
+    for host in (server, client):
+        result.delivered += host.aggregate("delivered_in_order")
+        result.retransmissions += host.aggregate("retransmissions")
+        result.timeouts += host.aggregate("timeouts")
+        result.keepalive_probes += host.aggregate("keepalive_probes")
+        result.timer_starts += host.aggregate("timer_starts")
+        result.timer_stops += host.aggregate("timer_stops")
+        result.timer_expiries += host.aggregate("timer_expiries")
+    result.connections_closed = sum(
+        1 for c in server.connections.values() if c.closed
+    )
+    result.connections_failed = sum(
+        1 for c in server.connections.values() if c.failed
+    )
+    return result

@@ -1,0 +1,109 @@
+"""A lossy, delaying datagram network driven by a time-flow engine.
+
+"Since messages can be lost in the underlying network, timers are needed at
+some level to trigger retransmissions." (Section 1.) Packets are dropped
+i.i.d. with probability ``loss_rate`` and otherwise delivered after an
+integer latency drawn uniformly from ``[min_latency, max_latency]``.
+Delivery order between packets is therefore not guaranteed — exactly the
+environment a transport's timers exist to survive.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable
+
+from repro.simulation.event import TimeFlow
+
+
+class PacketKind(enum.Enum):
+    """Transport packet types."""
+
+    DATA = "data"
+    ACK = "ack"
+    KEEPALIVE = "keepalive"
+    KEEPALIVE_ACK = "keepalive-ack"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One datagram. ``seq`` is cumulative for ACKs."""
+
+    kind: PacketKind
+    conn_id: Hashable
+    seq: int
+    src: Hashable
+    dst: Hashable
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate network behaviour counters."""
+
+    sent: int = 0
+    dropped: int = 0
+    delivered: int = 0
+    by_kind: Dict[PacketKind, int] = field(default_factory=dict)
+
+    def count(self, kind: PacketKind) -> None:
+        """Bump the per-kind transmit counter."""
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class LossyNetwork:
+    """Bernoulli-loss, uniform-latency datagram fabric."""
+
+    def __init__(
+        self,
+        engine: TimeFlow,
+        loss_rate: float = 0.0,
+        min_latency: int = 1,
+        max_latency: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if min_latency < 1 or max_latency < min_latency:
+            raise ValueError(
+                f"need 1 <= min_latency <= max_latency, got "
+                f"[{min_latency}, {max_latency}]"
+            )
+        self.engine = engine
+        self.loss_rate = loss_rate
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.rng = random.Random(seed)
+        self.stats = NetworkStats()
+        self._endpoints: Dict[Hashable, Callable[[Packet], None]] = {}
+
+    def attach(self, address: Hashable, handler: Callable[[Packet], None]) -> None:
+        """Register a receive handler for ``address``."""
+        if address in self._endpoints:
+            raise ValueError(f"address {address!r} is already attached")
+        self._endpoints[address] = handler
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit; returns False when the network dropped the packet."""
+        self.stats.sent += 1
+        self.stats.count(packet.kind)
+        if packet.dst not in self._endpoints:
+            raise KeyError(f"no endpoint attached at {packet.dst!r}")
+        if self.rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            return False
+        latency = self.rng.randint(self.min_latency, self.max_latency)
+        handler = self._endpoints[packet.dst]
+
+        def deliver() -> None:
+            self.stats.delivered += 1
+            handler(packet)
+
+        self.engine.schedule_after(latency, deliver)
+        return True
+
+    @property
+    def loss_fraction(self) -> float:
+        """Observed drop fraction so far."""
+        return self.stats.dropped / self.stats.sent if self.stats.sent else 0.0

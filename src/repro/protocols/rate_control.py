@@ -1,0 +1,144 @@
+"""Rate-based flow control on timers — Section 1's second timer class.
+
+"Algorithms in which the notion of time or relative time is integral:
+Examples include algorithms that control the rate of production of some
+entity (process control, rate-based flow control in communications) ...
+These timers almost always expire."
+
+Two classic regulators, both driven entirely by the timer facility (so
+they run on any Scheme 1–7 scheduler):
+
+* :class:`TokenBucket` — a bucket of ``capacity`` tokens refilled with
+  ``tokens_per_refill`` every ``refill_period`` ticks by a periodic timer;
+  a request consumes tokens or is rejected. Allows bursts up to the
+  capacity while bounding the long-run rate.
+* :class:`LeakyBucketShaper` — queues work and releases exactly one item
+  every ``drain_period`` ticks (the drain timer runs only while the queue
+  is non-empty), smoothing bursts into a constant output rate.
+
+These are the "almost always expire" timers: every refill and every drain
+is an expiry, never a cancellation — the opposite duty cycle from the
+retransmission timers in :mod:`repro.protocols.transport`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.core.interface import Timer, TimerScheduler
+from repro.core.periodic import PeriodicTimer
+from repro.core.validation import check_positive_int
+
+
+class TokenBucket:
+    """Token-bucket rate limiter with timer-driven refill."""
+
+    def __init__(
+        self,
+        scheduler: TimerScheduler,
+        capacity: int,
+        refill_period: int,
+        tokens_per_refill: int = 1,
+        initial_tokens: Optional[int] = None,
+    ) -> None:
+        check_positive_int("capacity", capacity)
+        check_positive_int("refill_period", refill_period)
+        check_positive_int("tokens_per_refill", tokens_per_refill)
+        self.scheduler = scheduler
+        self.capacity = capacity
+        self.tokens_per_refill = tokens_per_refill
+        self.tokens = capacity if initial_tokens is None else initial_tokens
+        if not 0 <= self.tokens <= capacity:
+            raise ValueError("initial_tokens must be within [0, capacity]")
+        self.accepted = 0
+        self.rejected = 0
+        self._refill = PeriodicTimer(
+            scheduler, refill_period, action=self._on_refill
+        ).start()
+
+    def _on_refill(self, index: int, timer: Timer) -> None:
+        self.tokens = min(self.capacity, self.tokens + self.tokens_per_refill)
+
+    def try_acquire(self, tokens: int = 1) -> bool:
+        """Consume ``tokens`` if available; returns acceptance."""
+        if tokens < 1:
+            raise ValueError(f"tokens must be >= 1, got {tokens}")
+        if tokens <= self.tokens:
+            self.tokens -= tokens
+            self.accepted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def shutdown(self) -> None:
+        """Stop the refill timer (the bucket stops replenishing)."""
+        self._refill.cancel()
+
+    @property
+    def long_run_rate(self) -> float:
+        """Sustained tokens per tick the bucket admits."""
+        return self.tokens_per_refill / self._refill.period
+
+
+class LeakyBucketShaper:
+    """Queue-and-drain shaper: one release per ``drain_period`` ticks."""
+
+    def __init__(
+        self,
+        scheduler: TimerScheduler,
+        drain_period: int,
+        on_release: Callable[[object], None],
+        max_queue: Optional[int] = None,
+    ) -> None:
+        check_positive_int("drain_period", drain_period)
+        if max_queue is not None:
+            check_positive_int("max_queue", max_queue)
+        self.scheduler = scheduler
+        self.drain_period = drain_period
+        self.on_release = on_release
+        self.max_queue = max_queue
+        self._queue: Deque[object] = deque()
+        self._drain_timer: Optional[Timer] = None
+        self.released = 0
+        self.dropped = 0
+        self.release_times: List[int] = []
+
+    @property
+    def queue_depth(self) -> int:
+        """Items waiting to be released."""
+        return len(self._queue)
+
+    def submit(self, item: object) -> bool:
+        """Queue an item; returns False when the queue is full (dropped)."""
+        if self.max_queue is not None and len(self._queue) >= self.max_queue:
+            self.dropped += 1
+            return False
+        self._queue.append(item)
+        # The drain timer runs only while there is work: started on the
+        # first enqueue, re-armed from its own expiry while items remain.
+        if self._drain_timer is None:
+            self._arm()
+        return True
+
+    def _arm(self) -> None:
+        self._drain_timer = self.scheduler.start_timer(
+            self.drain_period, callback=self._on_drain
+        )
+
+    def _on_drain(self, timer: Timer) -> None:
+        self._drain_timer = None
+        if not self._queue:
+            return
+        item = self._queue.popleft()
+        self.released += 1
+        self.release_times.append(self.scheduler.now)
+        self.on_release(item)
+        if self._queue:
+            self._arm()
+
+    def shutdown(self) -> None:
+        """Cancel the drain timer; queued items stay queued."""
+        if self._drain_timer is not None and self._drain_timer.pending:
+            self.scheduler.stop_timer(self._drain_timer)
+        self._drain_timer = None

@@ -1,0 +1,239 @@
+"""Selective-repeat ARQ: one retransmission timer per in-flight packet.
+
+The go-back-N transport (:mod:`repro.protocols.transport`) keeps a single
+retransmission timer per connection. Selective repeat is the other
+classic ARQ: the receiver buffers out-of-order packets and acknowledges
+each sequence number individually, and the sender retransmits *only* the
+timed-out packet — which requires **one timer per in-flight packet**.
+
+That multiplies the paper's motivating arithmetic: a server with 200
+connections and window 8 can have 1600 retransmission timers outstanding,
+started and stopped at packet rate. "As networks scale to higher speeds,
+both the required resolution and the rate at which timers are started and
+stopped will increase" (Section 1) — selective repeat is exactly the
+protocol trend that sentence anticipates, and why O(1) START/STOP
+matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.interface import Timer, TimerScheduler
+from repro.protocols.network import LossyNetwork, Packet, PacketKind
+
+
+@dataclass(frozen=True)
+class SRConfig:
+    """Selective-repeat parameters."""
+
+    window: int = 8
+    rto: int = 50
+    max_retries: int = 20
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.rto < 1:
+            raise ValueError(f"rto must be >= 1 tick, got {self.rto}")
+
+
+@dataclass
+class SRStats:
+    """Per-connection counters."""
+
+    data_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    sacks_received: int = 0
+    delivered_in_order: int = 0
+    buffered_out_of_order: int = 0
+    duplicates_discarded: int = 0
+    timer_starts: int = 0
+    timer_stops: int = 0
+
+    @property
+    def timer_churn(self) -> int:
+        """Total START + STOP traffic this connection generated."""
+        return self.timer_starts + self.timer_stops
+
+
+class SRConnection:
+    """One selective-repeat endpoint (sender and receiver roles)."""
+
+    def __init__(
+        self,
+        conn_id: Hashable,
+        local: Hashable,
+        peer: Hashable,
+        network: LossyNetwork,
+        scheduler: TimerScheduler,
+        config: Optional[SRConfig] = None,
+    ) -> None:
+        self.conn_id = conn_id
+        self.local = local
+        self.peer = peer
+        self.network = network
+        self.scheduler = scheduler
+        self.config = config if config is not None else SRConfig()
+        self.stats = SRStats()
+        self.failed = False
+
+        # Sender state: per-packet bookkeeping.
+        self._base = 0
+        self._next_seq = 0
+        self._pending_payloads: List[int] = []
+        self._acked: Dict[int, bool] = {}
+        self._rto_timers: Dict[int, Timer] = {}
+        self._retries: Dict[int, int] = {}
+
+        # Receiver state.
+        self._expected = 0
+        self._rx_buffer: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------ client API
+
+    def send_message(self, count: int = 1) -> None:
+        """Queue ``count`` messages for reliable delivery."""
+        if self.failed:
+            raise RuntimeError(f"connection {self.conn_id!r} has failed")
+        self._pending_payloads.extend(range(count))
+        self._fill_window()
+
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged sequence numbers currently in the window."""
+        return sum(
+            1
+            for seq in range(self._base, self._next_seq)
+            if not self._acked.get(seq, False)
+        )
+
+    @property
+    def all_acked(self) -> bool:
+        """True when nothing is queued or unacknowledged."""
+        return self.in_flight == 0 and not self._pending_payloads
+
+    @property
+    def outstanding_timers(self) -> int:
+        """Live per-packet retransmission timers (the paper's n, per
+        connection)."""
+        return len(self._rto_timers)
+
+    # -------------------------------------------------------------- receive
+
+    def on_packet(self, packet: Packet) -> None:
+        """Network deliver upcall."""
+        if packet.kind is PacketKind.DATA:
+            self._on_data(packet)
+        elif packet.kind is PacketKind.ACK:
+            self._on_sack(packet)
+
+    def _on_data(self, packet: Packet) -> None:
+        seq = packet.seq
+        window_end = self._expected + self.config.window
+        if seq < self._expected or seq in self._rx_buffer:
+            self.stats.duplicates_discarded += 1
+        elif seq < window_end:
+            if seq == self._expected:
+                self._expected += 1
+                self.stats.delivered_in_order += 1
+                # Drain any contiguous run that was buffered.
+                while self._rx_buffer.pop(self._expected, None):
+                    self._expected += 1
+                    self.stats.delivered_in_order += 1
+            else:
+                self._rx_buffer[seq] = True
+                self.stats.buffered_out_of_order += 1
+        else:
+            self.stats.duplicates_discarded += 1  # beyond window: drop
+        # Selective ack of exactly this sequence number.
+        self._transmit(PacketKind.ACK, seq)
+
+    def _on_sack(self, packet: Packet) -> None:
+        seq = packet.seq
+        self.stats.sacks_received += 1
+        if seq < self._base or self._acked.get(seq, False):
+            return  # stale or duplicate sack
+        if seq >= self._next_seq:
+            return  # sack for something we never sent (corruption guard)
+        self._acked[seq] = True
+        self._cancel_rto(seq)
+        # Slide the base past the contiguous acked prefix.
+        while self._acked.get(self._base, False):
+            del self._acked[self._base]
+            self._retries.pop(self._base, None)
+            self._base += 1
+        self._fill_window()
+
+    # ---------------------------------------------------------------- sender
+
+    def _fill_window(self) -> None:
+        while (
+            self._pending_payloads
+            and self._next_seq < self._base + self.config.window
+        ):
+            self._pending_payloads.pop(0)
+            seq = self._next_seq
+            self._next_seq += 1
+            self._acked[seq] = False
+            self.stats.data_sent += 1
+            self._transmit(PacketKind.DATA, seq)
+            self._arm_rto(seq)
+
+    def _arm_rto(self, seq: int) -> None:
+        self.stats.timer_starts += 1
+        self._rto_timers[seq] = self.scheduler.start_timer(
+            self.config.rto,
+            callback=lambda timer, s=seq: self._on_rto_expiry(s),
+        )
+
+    def _cancel_rto(self, seq: int) -> None:
+        timer = self._rto_timers.pop(seq, None)
+        if timer is not None and timer.pending:
+            self.scheduler.stop_timer(timer)
+            self.stats.timer_stops += 1
+
+    def _on_rto_expiry(self, seq: int) -> None:
+        self._rto_timers.pop(seq, None)
+        if self._acked.get(seq, True):
+            return  # raced with a sack that arrived this tick
+        self.stats.timeouts += 1
+        retries = self._retries.get(seq, 0) + 1
+        self._retries[seq] = retries
+        if retries > self.config.max_retries:
+            self.failed = True
+            self._teardown()
+            return
+        # Selective repeat: resend only this packet.
+        self.stats.retransmissions += 1
+        self._transmit(PacketKind.DATA, seq)
+        self._arm_rto(seq)
+
+    def _teardown(self) -> None:
+        for seq in list(self._rto_timers):
+            self._cancel_rto(seq)
+
+    # -------------------------------------------------------------- plumbing
+
+    def _transmit(self, kind: PacketKind, seq: int) -> None:
+        self.network.send(
+            Packet(kind=kind, conn_id=self.conn_id, seq=seq, src=self.local, dst=self.peer)
+        )
+
+
+def open_sr_pair(world, host_a, host_b, conn_id, config: Optional[SRConfig] = None):
+    """Open a selective-repeat connection pair on two hosts of a
+    :class:`~repro.protocols.host.World`, wired through its network."""
+    conn_a = SRConnection(
+        conn_id, host_a.address, host_b.address, world.network,
+        world.scheduler, config,
+    )
+    conn_b = SRConnection(
+        conn_id, host_b.address, host_a.address, world.network,
+        world.scheduler, config,
+    )
+    host_a.connections[conn_id] = conn_a
+    host_b.connections[conn_id] = conn_b
+    return conn_a, conn_b

@@ -1,0 +1,267 @@
+"""Go-back-N sliding-window transport with the paper's three timer classes.
+
+Each connection keeps exactly the Section 1 timer complement:
+
+* a **retransmission timer** covering the oldest unacknowledged packet —
+  started on send, *stopped* when the cumulative ACK arrives (the
+  failure-recovery timer that "rarely expires" on a healthy path);
+* a **keepalive timer**, restarted whenever anything arrives from the peer
+  and expiring only in silence (probes the peer, also rarely expires);
+* a **TIME-WAIT timer** armed when the sender finishes — the
+  packet-lifetime class that "almost always expire[s]".
+
+All three run on whichever shared :class:`~repro.core.interface.TimerScheduler`
+the owning :class:`~repro.protocols.host.Host` was given, so the protocol
+generates realistic START/STOP/expiry traffic against any of Schemes 1–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from repro.core.interface import Timer, TimerScheduler
+from repro.protocols.network import LossyNetwork, Packet, PacketKind
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Protocol parameters."""
+
+    window: int = 8
+    rto: int = 50  # retransmission timeout, ticks
+    keepalive_interval: int = 400
+    time_wait: int = 200  # 2 * maximum segment lifetime
+    max_retries: int = 20  # give up (connection failure) after this many
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        for name in ("rto", "keepalive_interval", "time_wait"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1 tick")
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection counters (the XTRA2 experiment's raw material)."""
+
+    data_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    acks_received: int = 0
+    delivered_in_order: int = 0
+    duplicates_discarded: int = 0
+    keepalive_probes: int = 0
+    timer_starts: int = 0
+    timer_stops: int = 0
+    timer_expiries: int = 0
+
+
+class Connection:
+    """One reliable go-back-N sender/receiver pair endpoint.
+
+    A connection object lives on one host and talks to its ``peer`` address;
+    the same class acts as sender (``send_message``) and receiver.
+    """
+
+    def __init__(
+        self,
+        conn_id: Hashable,
+        local: Hashable,
+        peer: Hashable,
+        network: LossyNetwork,
+        scheduler: TimerScheduler,
+        config: Optional[TransportConfig] = None,
+        close_after: Optional[int] = None,
+    ) -> None:
+        """``close_after``: once this many messages have been queued and all
+        acknowledged, the sender enters TIME-WAIT and then closes. ``None``
+        keeps the connection open indefinitely (a long-lived session whose
+        only always-expiring timers are keepalives)."""
+        self.conn_id = conn_id
+        self.close_after = close_after
+        self._total_queued = 0
+        self.local = local
+        self.peer = peer
+        self.network = network
+        self.scheduler = scheduler
+        self.config = config if config is not None else TransportConfig()
+        self.stats = ConnectionStats()
+
+        # Sender state.
+        self._next_seq = 0  # next brand-new sequence number
+        self._base = 0  # oldest unacknowledged
+        self._pending_payloads: List[int] = []  # queued, not yet in window
+        self._retries = 0
+        self._rto_timer: Optional[Timer] = None
+        self.failed = False  # max_retries exhausted
+        self.closed = False  # passed through TIME-WAIT
+
+        # Receiver state.
+        self._expected_seq = 0
+
+        # Liveness.
+        self._keepalive_timer: Optional[Timer] = None
+        self._time_wait_timer: Optional[Timer] = None
+        self._arm_keepalive()
+
+    # ------------------------------------------------------------ client API
+
+    def send_message(self, count: int = 1) -> None:
+        """Queue ``count`` messages for reliable delivery."""
+        if self.closed or self.failed:
+            raise RuntimeError(f"connection {self.conn_id!r} is not open")
+        for _ in range(count):
+            self._pending_payloads.append(self._next_seq + len(self._pending_payloads))
+        self._total_queued += count
+        self._fill_window()
+
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged packets currently in the window."""
+        return self._next_seq - self._base
+
+    @property
+    def all_acked(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return self.in_flight == 0 and not self._pending_payloads
+
+    # -------------------------------------------------------------- receive
+
+    def on_packet(self, packet: Packet) -> None:
+        """Network deliver upcall."""
+        if self.closed:
+            return
+        self._arm_keepalive()  # any traffic proves the peer is alive
+        if packet.kind is PacketKind.DATA:
+            self._on_data(packet)
+        elif packet.kind is PacketKind.ACK:
+            self._on_ack(packet)
+        elif packet.kind is PacketKind.KEEPALIVE:
+            self._transmit(PacketKind.KEEPALIVE_ACK, seq=0)
+        # KEEPALIVE_ACK needs no action beyond the keepalive refresh above.
+
+    def _on_data(self, packet: Packet) -> None:
+        if packet.seq == self._expected_seq:
+            self._expected_seq += 1
+            self.stats.delivered_in_order += 1
+        else:
+            self.stats.duplicates_discarded += 1
+        # Cumulative ACK for everything below _expected_seq (also re-acks
+        # after discarding out-of-order data, as go-back-N requires).
+        self._transmit(PacketKind.ACK, seq=self._expected_seq - 1)
+
+    def _on_ack(self, packet: Packet) -> None:
+        self.stats.acks_received += 1
+        if packet.seq < self._base:
+            return  # stale cumulative ack
+        self._base = packet.seq + 1
+        self._retries = 0
+        self._stop_rto()
+        self._fill_window()
+        if self.in_flight > 0:
+            self._start_rto()
+        elif not self._pending_payloads and self._should_close():
+            self._enter_time_wait()
+
+    # ---------------------------------------------------------------- sender
+
+    def _fill_window(self) -> None:
+        while (
+            self._pending_payloads
+            and self.in_flight < self.config.window
+        ):
+            self._pending_payloads.pop(0)
+            seq = self._next_seq
+            self._next_seq += 1
+            self.stats.data_sent += 1
+            self._transmit(PacketKind.DATA, seq)
+        if self.in_flight > 0 and self._rto_timer is None:
+            self._start_rto()
+
+    def _on_rto_expiry(self, timer: Timer) -> None:
+        self._rto_timer = None
+        self.stats.timeouts += 1
+        self.stats.timer_expiries += 1
+        self._retries += 1
+        if self._retries > self.config.max_retries:
+            self.failed = True
+            self._teardown_timers()
+            return
+        # Go-back-N: resend every unacknowledged packet.
+        for seq in range(self._base, self._next_seq):
+            self.stats.retransmissions += 1
+            self._transmit(PacketKind.DATA, seq)
+        self._start_rto()
+
+    def _start_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._stop_rto()
+        self.stats.timer_starts += 1
+        self._rto_timer = self.scheduler.start_timer(
+            self.config.rto, callback=self._on_rto_expiry
+        )
+
+    def _stop_rto(self) -> None:
+        if self._rto_timer is not None:
+            self.scheduler.stop_timer(self._rto_timer)
+            self.stats.timer_stops += 1
+            self._rto_timer = None
+
+    # -------------------------------------------------------------- liveness
+
+    def _arm_keepalive(self) -> None:
+        if self.closed or self.failed:
+            return
+        if self._keepalive_timer is not None:
+            self.scheduler.stop_timer(self._keepalive_timer)
+            self.stats.timer_stops += 1
+        self.stats.timer_starts += 1
+        self._keepalive_timer = self.scheduler.start_timer(
+            self.config.keepalive_interval, callback=self._on_keepalive_expiry
+        )
+
+    def _on_keepalive_expiry(self, timer: Timer) -> None:
+        self._keepalive_timer = None
+        self.stats.timer_expiries += 1
+        self.stats.keepalive_probes += 1
+        self._transmit(PacketKind.KEEPALIVE, seq=0)
+        self._arm_keepalive()
+
+    def _should_close(self) -> bool:
+        return (
+            self.close_after is not None
+            and self._total_queued >= self.close_after
+        )
+
+    def _enter_time_wait(self) -> None:
+        if self._time_wait_timer is not None:
+            return
+        self.stats.timer_starts += 1
+        self._time_wait_timer = self.scheduler.start_timer(
+            self.config.time_wait, callback=self._on_time_wait_expiry
+        )
+
+    def _on_time_wait_expiry(self, timer: Timer) -> None:
+        # The packet-lifetime timer: it always expires (Section 1's second
+        # class). Old duplicates have now died in the network; close.
+        self._time_wait_timer = None
+        self.stats.timer_expiries += 1
+        self.closed = True
+        self._teardown_timers()
+
+    def _teardown_timers(self) -> None:
+        for attr in ("_rto_timer", "_keepalive_timer", "_time_wait_timer"):
+            timer = getattr(self, attr)
+            if timer is not None and timer.pending:
+                self.scheduler.stop_timer(timer)
+                self.stats.timer_stops += 1
+            setattr(self, attr, None)
+
+    # -------------------------------------------------------------- plumbing
+
+    def _transmit(self, kind: PacketKind, seq: int) -> None:
+        self.network.send(
+            Packet(kind=kind, conn_id=self.conn_id, seq=seq, src=self.local, dst=self.peer)
+        )

@@ -1,0 +1,37 @@
+"""Time-flow mechanisms for discrete event simulation (Section 4.2).
+
+The paper's Section 4.2 observes a two-way street: "time flow algorithms
+used for digital simulation can be used to implement timer algorithms;
+conversely, timer algorithms can be used to implement time flow mechanisms
+in simulations". This package implements all three corners:
+
+* :class:`~repro.simulation.engine.EventListEngine` — the GPSS/SIMULA way:
+  a priority queue of event notices, clock jumps to the earliest event;
+* :class:`~repro.simulation.wheel_engine.TegasWheelEngine` — the
+  TEGAS/DECSIM way (Figure 7): an array of lists indexed by time within a
+  cycle plus a single overflow list, clock marches tick by tick;
+* :class:`~repro.simulation.timer_driven.TimerSchedulerEngine` — the
+  converse: any of the repo's Scheme 1–7 timer modules driving a
+  simulation.
+
+All three implement the same :class:`~repro.simulation.event.TimeFlow`
+interface and process simultaneous events FIFO (the ordering guarantee
+Section 4.2 notes simulations need but timer modules do not), so the logic
+simulator in :mod:`repro.simulation.logic` runs identically on any of them
+— the FIG7 experiment checks exactly that.
+"""
+
+from repro.simulation.event import Event, TimeFlow
+from repro.simulation.engine import EventListEngine
+from repro.simulation.wheel_engine import TegasWheelEngine
+from repro.simulation.decsim_wheel import DecsimWheelEngine
+from repro.simulation.timer_driven import TimerSchedulerEngine
+
+__all__ = [
+    "Event",
+    "TimeFlow",
+    "EventListEngine",
+    "TegasWheelEngine",
+    "DecsimWheelEngine",
+    "TimerSchedulerEngine",
+]

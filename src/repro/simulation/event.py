@@ -1,0 +1,119 @@
+"""Event notices and the common time-flow interface (Section 4.2)."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+#: An event's action: a no-argument callable run when the event fires.
+Action = Callable[[], None]
+
+
+class Event:
+    """One event notice.
+
+    Simulation languages "assume that canceling event notices is very rare
+    ... it is sufficient to mark the notice as 'Canceled'" (Section 4.2).
+    The engines here follow that convention: :meth:`cancel` tombstones the
+    notice and the engine discards it when its time comes. (The paper
+    contrasts this with timer modules, where STOP_TIMER is frequent and
+    must physically unlink — which the Scheme 1–7 schedulers do.)
+    """
+
+    __slots__ = ("time", "action", "cancelled", "_seq")
+
+    def __init__(self, time: int, action: Action, seq: int) -> None:
+        self.time = time
+        self.action = action
+        self.cancelled = False
+        self._seq = seq
+
+    def cancel(self) -> None:
+        """Tombstone this notice; the engine skips it when due."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(time={self.time}, {state})"
+
+
+class TimeFlow(abc.ABC):
+    """A mechanism that advances simulated time and fires due events.
+
+    Simultaneous events fire in FIFO scheduling order (the digital-
+    simulation requirement of Section 4.2). Actions may schedule further
+    events, including at the current instant (delta-cycle semantics used by
+    zero-delay logic).
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total live events executed so far."""
+        return self._fired
+
+    def schedule_after(self, delay: int, action: Action) -> Event:
+        """Schedule ``action`` ``delay`` units from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: int, action: Action) -> Event:
+        """Schedule ``action`` at absolute ``time`` (``>= now``)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = Event(time, action, self._seq)
+        self._seq += 1
+        self._enqueue(event)
+        return event
+
+    @abc.abstractmethod
+    def _enqueue(self, event: Event) -> None:
+        """Store a new event notice."""
+
+    @abc.abstractmethod
+    def run_until(self, time: int) -> int:
+        """Fire every event with ``event.time <= time``; set ``now = time``.
+
+        Returns the number of live events fired.
+        """
+
+    @abc.abstractmethod
+    def pending_events(self) -> int:
+        """Number of stored, non-cancelled event notices."""
+
+    def run_to_completion(self, max_time: int = 10_000_000) -> int:
+        """Fire everything outstanding (bounded by ``max_time``).
+
+        Returns the number of live events fired. This is the paper's
+        "simulation continues until the event list is empty or clock >
+        MAX-SIMULATION-TIME" loop.
+        """
+        fired_before = self._fired
+        while self.pending_events() and self._now < max_time:
+            self.run_until(min(self._next_time_hint(), max_time))
+        return self._fired - fired_before
+
+    def _next_time_hint(self) -> int:
+        """Earliest pending event time if cheaply known, else ``now + 1``.
+
+        Engines that can peek (priority queues) override this so
+        :meth:`run_to_completion` jumps; tick-based engines use the default
+        and march one tick per loop pass.
+        """
+        return self._now + 1
+
+    def _fire(self, event: Event) -> None:
+        if event.cancelled:
+            return
+        self._fired += 1
+        event.action()

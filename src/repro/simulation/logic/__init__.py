@@ -1,0 +1,25 @@
+"""Gate-level logic simulation — the domain timing wheels came from.
+
+The timing-wheel technique the paper extends was built for digital logic
+simulators (TEGAS, DECSIM — Section 4.2 and references [11,12]). This
+subpackage is a small but real event-driven gate-level simulator: netlists
+of delayed gates whose signal changes are the events. It runs unchanged on
+any :class:`~repro.simulation.event.TimeFlow` — the priority-queue engine,
+the Figure 7 TEGAS wheel, or a Scheme 1–7 timer module via the adapter —
+demonstrating both directions of the paper's timer ⟷ simulation
+equivalence.
+"""
+
+from repro.simulation.logic.gates import GATE_FUNCTIONS, GateKind
+from repro.simulation.logic.circuit import Circuit, Gate, Net
+from repro.simulation.logic.simulator import LogicSimulator, TraceEntry
+
+__all__ = [
+    "GateKind",
+    "GATE_FUNCTIONS",
+    "Circuit",
+    "Gate",
+    "Net",
+    "LogicSimulator",
+    "TraceEntry",
+]

@@ -1,0 +1,184 @@
+"""Netlist model: nets, gates, and a builder API.
+
+A :class:`Circuit` is a static description — nets (named boolean signals)
+and gates (kind, input nets, one output net, integer propagation delay).
+The :class:`~repro.simulation.logic.simulator.LogicSimulator` animates it
+on any time-flow engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.simulation.logic.gates import GateKind, check_arity
+
+
+class Net:
+    """One named signal. ``value`` holds the current simulated level."""
+
+    __slots__ = ("name", "value", "fanout", "is_input")
+
+    def __init__(self, name: str, initial: bool = False) -> None:
+        self.name = name
+        self.value = initial
+        self.fanout: List["Gate"] = []
+        self.is_input = False
+
+    def __repr__(self) -> str:
+        return f"Net({self.name}={int(self.value)})"
+
+
+class Gate:
+    """One gate instance: ``kind(inputs) -> output`` after ``delay`` ticks."""
+
+    __slots__ = ("name", "kind", "inputs", "output", "delay", "dff_state")
+
+    def __init__(
+        self,
+        name: str,
+        kind: GateKind,
+        inputs: Sequence[Net],
+        output: Net,
+        delay: int,
+    ) -> None:
+        if delay < 1:
+            # Zero-delay gates would create same-instant event cascades whose
+            # ordering differs between time-flow mechanisms; unit delay keeps
+            # every engine's trace identical (and is physically honest).
+            raise ValueError(f"gate delay must be >= 1 tick, got {delay}")
+        check_arity(kind, len(inputs))
+        self.name = name
+        self.kind = kind
+        self.inputs = list(inputs)
+        self.output = output
+        self.delay = delay
+        self.dff_state = False  # only used by DFF gates
+
+    def __repr__(self) -> str:
+        ins = ",".join(net.name for net in self.inputs)
+        return f"Gate({self.name}: {self.kind.value}({ins}) -> {self.output.name})"
+
+
+class Circuit:
+    """A netlist builder.
+
+    >>> c = Circuit()
+    >>> c.add_input("a"); c.add_input("b")
+    Net(a=0)
+    Net(b=0)
+    >>> _ = c.add_gate("g1", GateKind.AND, ["a", "b"], "y", delay=2)
+    """
+
+    def __init__(self) -> None:
+        self._nets: Dict[str, Net] = {}
+        self._gates: Dict[str, Gate] = {}
+
+    # ------------------------------------------------------------- building
+
+    def add_net(self, name: str, initial: bool = False) -> Net:
+        """Declare a net (idempotent only for brand-new names)."""
+        if name in self._nets:
+            raise ValueError(f"net {name!r} already exists")
+        net = Net(name, initial)
+        self._nets[name] = net
+        return net
+
+    def add_input(self, name: str, initial: bool = False) -> Net:
+        """Declare a primary input net."""
+        net = self.add_net(name, initial)
+        net.is_input = True
+        return net
+
+    def add_gate(
+        self,
+        name: str,
+        kind: GateKind,
+        inputs: Sequence[str],
+        output: str,
+        delay: int = 1,
+    ) -> Gate:
+        """Add a gate; creates the output net if needed.
+
+        Input nets must already exist (catches netlist typos early). A net
+        may be driven by at most one gate.
+        """
+        if name in self._gates:
+            raise ValueError(f"gate {name!r} already exists")
+        input_nets = []
+        for net_name in inputs:
+            if net_name not in self._nets:
+                raise ValueError(f"unknown input net {net_name!r}")
+            input_nets.append(self._nets[net_name])
+        if output in self._nets:
+            out_net = self._nets[output]
+            if any(g.output is out_net for g in self._gates.values()):
+                raise ValueError(f"net {output!r} already has a driver")
+            if out_net.is_input:
+                raise ValueError(f"cannot drive primary input {output!r}")
+        else:
+            out_net = self.add_net(output)
+        gate = Gate(name, kind, input_nets, out_net, delay)
+        for net in input_nets:
+            net.fanout.append(gate)
+        self._gates[name] = gate
+        return gate
+
+    # ------------------------------------------------------------- querying
+
+    def net(self, name: str) -> Net:
+        """Look up a net by name."""
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise KeyError(f"unknown net {name!r}") from None
+
+    def gate(self, name: str) -> Gate:
+        """Look up a gate by name."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise KeyError(f"unknown gate {name!r}") from None
+
+    def nets(self) -> List[Net]:
+        """All nets, in declaration order."""
+        return list(self._nets.values())
+
+    def gates(self) -> List[Gate]:
+        """All gates, in declaration order."""
+        return list(self._gates.values())
+
+    def inputs(self) -> List[Net]:
+        """Primary input nets, in declaration order."""
+        return [n for n in self._nets.values() if n.is_input]
+
+    def value(self, name: str) -> bool:
+        """Current level of a net."""
+        return self.net(name).value
+
+    # --------------------------------------------------- canned sub-circuits
+
+    def add_ripple_counter(
+        self, name: str, clock: str, bits: int, delay: int = 1
+    ) -> List[str]:
+        """Build a ``bits``-wide ripple counter clocked by ``clock``.
+
+        Returns the output net names, least significant first. Each stage is
+        a DFF whose D input is its own inverted output and whose clock is
+        the previous stage's inverted output — a classic asynchronous
+        counter that gives the simulators a deep sequential workload.
+        """
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        outputs: List[str] = []
+        clk = clock
+        for bit in range(bits):
+            q = f"{name}_q{bit}"
+            nq = f"{name}_nq{bit}"
+            # nq feeds the DFF's D input but is driven by the inverter added
+            # afterwards, so declare the net up front (initially 1 = ~q).
+            self.add_net(nq, initial=True)
+            self.add_gate(f"{name}_dff{bit}", GateKind.DFF, [nq, clk], q, delay)
+            self.add_gate(f"{name}_inv{bit}", GateKind.NOT, [q], nq, delay)
+            outputs.append(q)
+            clk = nq
+        return outputs

@@ -1,0 +1,96 @@
+"""Combinational gate kinds and their boolean functions."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Sequence
+
+
+class GateKind(enum.Enum):
+    """Supported gate types. DFF is the one sequential element."""
+
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    DFF = "dff"  # rising-edge D flip-flop: inputs (D, CLK)
+
+
+def _buf(inputs: Sequence[bool]) -> bool:
+    (value,) = inputs
+    return value
+
+
+def _not(inputs: Sequence[bool]) -> bool:
+    (value,) = inputs
+    return not value
+
+
+def _and(inputs: Sequence[bool]) -> bool:
+    return all(inputs)
+
+
+def _or(inputs: Sequence[bool]) -> bool:
+    return any(inputs)
+
+
+def _nand(inputs: Sequence[bool]) -> bool:
+    return not all(inputs)
+
+
+def _nor(inputs: Sequence[bool]) -> bool:
+    return not any(inputs)
+
+
+def _xor(inputs: Sequence[bool]) -> bool:
+    result = False
+    for value in inputs:
+        result ^= value
+    return result
+
+
+def _xnor(inputs: Sequence[bool]) -> bool:
+    return not _xor(inputs)
+
+
+#: Combinational evaluation functions by kind (DFF is handled by the
+#: simulator since it needs edge detection and state).
+GATE_FUNCTIONS: Dict[GateKind, Callable[[Sequence[bool]], bool]] = {
+    GateKind.BUF: _buf,
+    GateKind.NOT: _not,
+    GateKind.AND: _and,
+    GateKind.OR: _or,
+    GateKind.NAND: _nand,
+    GateKind.NOR: _nor,
+    GateKind.XOR: _xor,
+    GateKind.XNOR: _xnor,
+}
+
+#: Required input count per kind; None means "two or more".
+GATE_ARITY: Dict[GateKind, object] = {
+    GateKind.BUF: 1,
+    GateKind.NOT: 1,
+    GateKind.AND: None,
+    GateKind.OR: None,
+    GateKind.NAND: None,
+    GateKind.NOR: None,
+    GateKind.XOR: None,
+    GateKind.XNOR: None,
+    GateKind.DFF: 2,
+}
+
+
+def check_arity(kind: GateKind, n_inputs: int) -> None:
+    """Validate an input count for a gate kind."""
+    required = GATE_ARITY[kind]
+    if required is None:
+        if n_inputs < 2:
+            raise ValueError(f"{kind.value} gate needs >= 2 inputs, got {n_inputs}")
+    elif n_inputs != required:
+        raise ValueError(
+            f"{kind.value} gate needs exactly {required} inputs, got {n_inputs}"
+        )

@@ -1,0 +1,112 @@
+"""Canned sub-circuits: adders, multiplexers, LFSRs.
+
+Builders compose onto an existing :class:`Circuit` using only the basic
+gate set, giving the simulators (and their cross-engine equivalence
+tests) realistic combinational and sequential workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.simulation.logic.circuit import Circuit
+from repro.simulation.logic.gates import GateKind
+
+
+def full_adder(
+    circuit: Circuit,
+    name: str,
+    a: str,
+    b: str,
+    cin: str,
+    delay: int = 1,
+) -> Tuple[str, str]:
+    """One-bit full adder; returns the (sum, carry-out) net names."""
+    s1 = f"{name}_s1"
+    c1 = f"{name}_c1"
+    c2 = f"{name}_c2"
+    sum_net = f"{name}_sum"
+    cout_net = f"{name}_cout"
+    circuit.add_gate(f"{name}_x1", GateKind.XOR, [a, b], s1, delay)
+    circuit.add_gate(f"{name}_x2", GateKind.XOR, [s1, cin], sum_net, delay)
+    circuit.add_gate(f"{name}_a1", GateKind.AND, [a, b], c1, delay)
+    circuit.add_gate(f"{name}_a2", GateKind.AND, [s1, cin], c2, delay)
+    circuit.add_gate(f"{name}_o1", GateKind.OR, [c1, c2], cout_net, delay)
+    return sum_net, cout_net
+
+
+def ripple_carry_adder(
+    circuit: Circuit,
+    name: str,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    cin: str,
+    delay: int = 1,
+) -> Tuple[List[str], str]:
+    """N-bit ripple-carry adder; returns (sum bit nets LSB-first, carry out)."""
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise ValueError("operand widths must match and be non-zero")
+    sums: List[str] = []
+    carry = cin
+    for i, (a, b) in enumerate(zip(a_bits, b_bits)):
+        s, carry = full_adder(circuit, f"{name}_fa{i}", a, b, carry, delay)
+        sums.append(s)
+    return sums, carry
+
+
+def mux2(
+    circuit: Circuit,
+    name: str,
+    a: str,
+    b: str,
+    select: str,
+    delay: int = 1,
+) -> str:
+    """2:1 multiplexer (``select`` low → a, high → b); returns the output."""
+    nsel = f"{name}_nsel"
+    ga = f"{name}_ga"
+    gb = f"{name}_gb"
+    out = f"{name}_out"
+    circuit.add_gate(f"{name}_inv", GateKind.NOT, [select], nsel, delay)
+    circuit.add_gate(f"{name}_and_a", GateKind.AND, [a, nsel], ga, delay)
+    circuit.add_gate(f"{name}_and_b", GateKind.AND, [b, select], gb, delay)
+    circuit.add_gate(f"{name}_or", GateKind.OR, [ga, gb], out, delay)
+    return out
+
+
+def fibonacci_lfsr(
+    circuit: Circuit,
+    name: str,
+    clock: str,
+    taps: Sequence[int],
+    width: int,
+    delay: int = 1,
+) -> List[str]:
+    """Fibonacci LFSR of ``width`` DFF stages; returns stage outputs.
+
+    ``taps`` are 1-based stage indices XORed into the feedback. Stage 1 is
+    the input end. The register initialises to all-ones (a zero state
+    would be a fixed point).
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if not taps or any(t < 1 or t > width for t in taps):
+        raise ValueError(f"taps must be within 1..{width}")
+    stages = [f"{name}_q{i}" for i in range(1, width + 1)]
+    feedback = f"{name}_fb"
+    # Pre-declare stage nets (feedback reads them before their DFFs exist);
+    # initial all-ones.
+    for stage in stages:
+        circuit.add_net(stage, initial=True)
+    tap_nets = [stages[t - 1] for t in taps]
+    if len(tap_nets) == 1:
+        circuit.add_gate(f"{name}_fbuf", GateKind.BUF, tap_nets, feedback, delay)
+    else:
+        circuit.add_gate(f"{name}_fxor", GateKind.XOR, tap_nets, feedback, delay)
+    previous = feedback
+    for i, stage in enumerate(stages, start=1):
+        circuit.add_gate(
+            f"{name}_dff{i}", GateKind.DFF, [previous, clock], stage, delay
+        )
+        previous = stage
+    return stages

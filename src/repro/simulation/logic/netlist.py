@@ -1,0 +1,160 @@
+"""A small text netlist format for the logic simulator.
+
+Line-oriented, ``#`` comments, four statements::
+
+    input clk          # primary input, initial 0
+    input en = 1       # primary input, initial 1
+    net   carry = 1    # plain net with an initial level
+    gate  g1 AND a b -> y @ 2      # kind, input nets, output net, delay
+    counter cnt clk 4 @ 1          # ripple counter: name, clock, bits, delay
+
+Round-trips: :func:`loads` parses into a
+:class:`~repro.simulation.logic.circuit.Circuit`; :func:`dumps`
+serialises one back (counters are expanded, so they serialise as their
+constituent gates).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simulation.logic.circuit import Circuit
+from repro.simulation.logic.gates import GateKind
+
+
+class NetlistError(ValueError):
+    """A malformed netlist line (message carries the line number)."""
+
+
+def _parse_initial(tokens: List[str], line_no: int) -> bool:
+    if not tokens:
+        return False
+    if len(tokens) == 2 and tokens[0] == "=" and tokens[1] in ("0", "1"):
+        return tokens[1] == "1"
+    raise NetlistError(f"line {line_no}: expected '= 0|1', got {' '.join(tokens)!r}")
+
+
+def loads(text: str) -> Circuit:
+    """Parse a netlist document into a fresh :class:`Circuit`."""
+    circuit = Circuit()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        try:
+            if keyword == "input":
+                if len(tokens) < 2:
+                    raise NetlistError(f"line {line_no}: input needs a name")
+                circuit.add_input(tokens[1], _parse_initial(tokens[2:], line_no))
+            elif keyword == "net":
+                if len(tokens) < 2:
+                    raise NetlistError(f"line {line_no}: net needs a name")
+                circuit.add_net(tokens[1], _parse_initial(tokens[2:], line_no))
+            elif keyword == "gate":
+                _parse_gate(circuit, tokens[1:], line_no)
+            elif keyword == "counter":
+                _parse_counter(circuit, tokens[1:], line_no)
+            else:
+                raise NetlistError(f"line {line_no}: unknown keyword {keyword!r}")
+        except NetlistError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise NetlistError(f"line {line_no}: {exc}") from exc
+    return circuit
+
+
+def _split_delay(tokens: List[str], line_no: int) -> "tuple[List[str], int]":
+    delay = 1
+    if "@" in tokens:
+        at = tokens.index("@")
+        if at != len(tokens) - 2:
+            raise NetlistError(f"line {line_no}: '@ <delay>' must end the line")
+        try:
+            delay = int(tokens[at + 1])
+        except ValueError:
+            raise NetlistError(
+                f"line {line_no}: delay must be an integer, got {tokens[at + 1]!r}"
+            ) from None
+        tokens = tokens[:at]
+    return tokens, delay
+
+
+def _parse_gate(circuit: Circuit, tokens: List[str], line_no: int) -> None:
+    tokens, delay = _split_delay(tokens, line_no)
+    if "->" not in tokens:
+        raise NetlistError(f"line {line_no}: gate needs '-> output'")
+    arrow = tokens.index("->")
+    head, outputs = tokens[:arrow], tokens[arrow + 1 :]
+    if len(head) < 3 or len(outputs) != 1:
+        raise NetlistError(
+            f"line {line_no}: expected 'gate NAME KIND in... -> out'"
+        )
+    name, kind_token, inputs = head[0], head[1], head[2:]
+    try:
+        kind = GateKind(kind_token.lower())
+    except ValueError:
+        known = ", ".join(k.value for k in GateKind)
+        raise NetlistError(
+            f"line {line_no}: unknown gate kind {kind_token!r} (known: {known})"
+        ) from None
+    circuit.add_gate(name, kind, inputs, outputs[0], delay=delay)
+
+
+def _parse_counter(circuit: Circuit, tokens: List[str], line_no: int) -> None:
+    tokens, delay = _split_delay(tokens, line_no)
+    if len(tokens) != 3:
+        raise NetlistError(
+            f"line {line_no}: expected 'counter NAME CLOCK BITS [@ delay]'"
+        )
+    name, clock, bits_token = tokens
+    try:
+        bits = int(bits_token)
+    except ValueError:
+        raise NetlistError(
+            f"line {line_no}: counter bits must be an integer"
+        ) from None
+    circuit.add_ripple_counter(name, clock, bits, delay=delay)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise a circuit to the line format (counters as plain gates)."""
+    lines = ["# repro logic netlist v1"]
+    driven = {gate.output.name for gate in circuit.gates()}
+    for net in circuit.nets():
+        if net.is_input:
+            suffix = " = 1" if net.value else ""
+            lines.append(f"input {net.name}{suffix}")
+        elif net.name not in driven:
+            suffix = " = 1" if net.value else ""
+            lines.append(f"net {net.name}{suffix}")
+    # Nets that are driven but need pre-declaration (feedback loops, e.g.
+    # the counter's nq nets) must exist before a gate reads them; emit any
+    # driven net that some earlier-reading gate needs.
+    emitted = {n.name for n in circuit.nets() if n.is_input or n.name not in driven}
+    for gate in circuit.gates():
+        for net in gate.inputs:
+            if net.name not in emitted:
+                suffix = " = 1" if net.value else ""
+                lines.append(f"net {net.name} {suffix}".rstrip())
+                emitted.add(net.name)
+        ins = " ".join(net.name for net in gate.inputs)
+        lines.append(
+            f"gate {gate.name} {gate.kind.value.upper()} {ins} -> "
+            f"{gate.output.name} @ {gate.delay}"
+        )
+        emitted.add(gate.output.name)
+    return "\n".join(lines) + "\n"
+
+
+def load_file(path: str) -> Circuit:
+    """Read a netlist file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def save_file(circuit: Circuit, path: str) -> None:
+    """Write a netlist file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(circuit))

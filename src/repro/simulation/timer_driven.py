@@ -1,0 +1,69 @@
+"""The converse direction: a timer module as a simulation time flow.
+
+Section 4.2: "timer algorithms can be used to implement time flow
+mechanisms in simulations." This adapter wraps any
+:class:`~repro.core.interface.TimerScheduler` — Scheme 1 through Scheme 7 —
+behind the :class:`~repro.simulation.event.TimeFlow` interface, so the
+logic simulator (or any other discrete-event model) can run its event list
+on, say, a hierarchical timing wheel. The FIG7 bench exercises one circuit
+across all three mechanisms and checks identical traces.
+
+FIFO among simultaneous events is *not* guaranteed by timer modules
+(Section 4.2 lists this as a difference), so the adapter restores it: due
+timers are buffered and replayed in scheduling order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.interface import Timer, TimerScheduler
+from repro.simulation.event import Event, TimeFlow
+
+
+class TimerSchedulerEngine(TimeFlow):
+    """Drive a simulation off any of the paper's timer schemes."""
+
+    def __init__(self, scheduler: TimerScheduler) -> None:
+        super().__init__()
+        if scheduler.now != 0 or scheduler.pending_count:
+            raise ValueError("scheduler must be fresh (time 0, no timers)")
+        self.scheduler = scheduler
+        self._live = 0
+        self._due_buffer: List[Tuple[int, Event]] = []
+
+    def pending_events(self) -> int:
+        return self._live
+
+    def _enqueue(self, event: Event) -> None:
+        self._live += 1
+        if event.time == self._now:
+            # Timer modules cannot express zero-length intervals; run the
+            # action synchronously, preserving this-instant FIFO order.
+            self._live -= 1
+            self._fire(event)
+            return
+        self.scheduler.start_timer(
+            event.time - self.scheduler.now,
+            callback=self._on_expiry,
+            user_data=event,
+        )
+
+    def _on_expiry(self, timer: Timer) -> None:
+        event: Event = timer.user_data
+        self._due_buffer.append((event._seq, event))
+
+    def run_until(self, time: int) -> int:
+        """Tick the wrapped scheduler up to ``time``, firing due events."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards ({time} < {self._now})")
+        fired_before = self.events_fired
+        while self._now < time:
+            self._due_buffer = []
+            self.scheduler.tick()
+            self._now = self.scheduler.now
+            # Restore FIFO order among simultaneous expiries before firing.
+            for _, event in sorted(self._due_buffer, key=lambda pair: pair[0]):
+                self._live -= 1
+                self._fire(event)
+        return self.events_fired - fired_before

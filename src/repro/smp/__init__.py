@@ -1,0 +1,28 @@
+"""Appendix A.2: timer modules under symmetric multiprocessing.
+
+"Steve Glaser has pointed out that algorithms that tie up a common data
+structure for a large period of time will reduce efficiency. For instance
+in Scheme 2, when Processor A inserts a timer into the ordered list other
+processors cannot process timer module routines until Processor A finishes
+and releases its semaphore. Scheme 5, 6, and 7 seem suited for
+implementation in symmetric multiprocessors."
+
+There are no real processors here; contention is *simulated* with a
+discrete-event model: N processors issue timer operations at random
+instants, each operation needs a lock for a hold time derived from the
+scheme's operation cost, and the locking discipline is either one global
+mutex (Scheme 2's single ordered list) or one mutex per wheel bucket
+(Schemes 5–7). The APXA2 bench shows per-bucket locking collapsing the
+wait times the global lock accumulates.
+"""
+
+from repro.smp.locks import LockStats, SimMutex
+from repro.smp.model import SmpConfig, SmpResult, run_smp_experiment
+
+__all__ = [
+    "SimMutex",
+    "LockStats",
+    "SmpConfig",
+    "SmpResult",
+    "run_smp_experiment",
+]

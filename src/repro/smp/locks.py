@@ -1,0 +1,93 @@
+"""A simulated mutex with FIFO waiters and wait/hold accounting."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Tuple
+
+from repro.simulation.event import TimeFlow
+
+
+@dataclass
+class LockStats:
+    """Contention accounting for one mutex."""
+
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+    total_wait: int = 0
+    max_wait: int = 0
+    total_hold: int = 0
+    max_queue_depth: int = 0
+    wait_samples: List[int] = field(default_factory=list)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean ticks spent queued per acquisition."""
+        return self.total_wait / self.acquisitions if self.acquisitions else 0.0
+
+    @property
+    def contention_fraction(self) -> float:
+        """Fraction of acquisitions that had to wait."""
+        if not self.acquisitions:
+            return 0.0
+        return self.contended_acquisitions / self.acquisitions
+
+
+class SimMutex:
+    """FIFO mutex living inside a :class:`TimeFlow` simulation.
+
+    Usage: ``lock.acquire(cb)`` — ``cb()`` runs (possibly immediately) when
+    the lock is granted; the holder must arrange ``lock.release()`` later
+    (typically via an engine event after its hold time).
+    """
+
+    def __init__(self, engine: TimeFlow, name: str = "lock") -> None:
+        self.engine = engine
+        self.name = name
+        self.stats = LockStats()
+        self._held = False
+        self._granted_at = 0
+        self._waiters: Deque[Tuple[int, Callable[[], None]]] = deque()
+
+    @property
+    def held(self) -> bool:
+        """True while some requester holds the lock."""
+        return self._held
+
+    @property
+    def queue_depth(self) -> int:
+        """Requesters currently waiting."""
+        return len(self._waiters)
+
+    def acquire(self, on_granted: Callable[[], None]) -> None:
+        """Request the lock; ``on_granted`` fires at grant time."""
+        if not self._held:
+            self._held = True
+            self.stats.acquisitions += 1
+            self.stats.wait_samples.append(0)
+            self._granted_at = self.engine.now
+            on_granted()
+            return
+        self._waiters.append((self.engine.now, on_granted))
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, len(self._waiters)
+        )
+
+    def release(self) -> None:
+        """Release and hand off to the next FIFO waiter, if any."""
+        if not self._held:
+            raise RuntimeError(f"release of unheld lock {self.name!r}")
+        self.stats.total_hold += self.engine.now - self._granted_at
+        if not self._waiters:
+            self._held = False
+            return
+        requested_at, on_granted = self._waiters.popleft()
+        wait = self.engine.now - requested_at
+        self.stats.acquisitions += 1
+        self.stats.contended_acquisitions += 1
+        self.stats.total_wait += wait
+        self.stats.max_wait = max(self.stats.max_wait, wait)
+        self.stats.wait_samples.append(wait)
+        self._granted_at = self.engine.now
+        on_granted()

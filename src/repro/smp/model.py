@@ -1,0 +1,117 @@
+"""N simulated processors hammering a shared timer module's locks.
+
+Two disciplines, per Appendix A.2:
+
+* ``"global"`` — every operation serialises on one mutex (Scheme 2's
+  single ordered list);
+* ``"per-bucket"`` — each operation locks only its wheel bucket
+  (Schemes 5–7), so operations on different buckets overlap.
+
+Hold times model the data-structure work done under the lock: the caller
+supplies a sampler, typically constant O(1) ticks for the wheels and a
+linear-in-n sampler for the ordered list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.simulation.engine import EventListEngine
+from repro.smp.locks import LockStats, SimMutex
+
+#: Hold-time sampler: rng -> ticks the operation keeps its lock.
+HoldSampler = Callable[[random.Random], int]
+
+
+@dataclass(frozen=True)
+class SmpConfig:
+    """One contention experiment."""
+
+    processors: int
+    duration: int
+    op_rate: float  # operations per processor per tick (Poisson thinning)
+    discipline: str  # "global" or "per-bucket"
+    n_buckets: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+        if self.discipline not in ("global", "per-bucket"):
+            raise ValueError(
+                f"discipline must be 'global' or 'per-bucket', got "
+                f"{self.discipline!r}"
+            )
+        if not 0.0 < self.op_rate <= 1.0:
+            raise ValueError("op_rate must be in (0, 1] per tick")
+
+
+@dataclass
+class SmpResult:
+    """Aggregated contention outcome."""
+
+    config: SmpConfig
+    operations: int
+    mean_wait: float
+    max_wait: int
+    contention_fraction: float
+    total_wait: int
+
+    @property
+    def wait_per_op(self) -> float:
+        """Mean queued ticks per timer operation."""
+        return self.total_wait / self.operations if self.operations else 0.0
+
+
+def run_smp_experiment(config: SmpConfig, hold_sampler: HoldSampler) -> SmpResult:
+    """Simulate the processors and return contention statistics."""
+    engine = EventListEngine()
+    rng = random.Random(config.seed)
+    if config.discipline == "global":
+        locks = [SimMutex(engine, "global")]
+    else:
+        locks = [
+            SimMutex(engine, f"bucket-{i}") for i in range(config.n_buckets)
+        ]
+
+    operations = 0
+
+    def issue_op(lock: SimMutex, hold: int) -> None:
+        def on_granted() -> None:
+            engine.schedule_after(hold, lock.release)
+
+        lock.acquire(on_granted)
+
+    # Pre-schedule each processor's operation instants (Bernoulli per tick,
+    # the discrete Poisson thinning), with the bucket and hold time drawn
+    # up front so the schedule is independent of execution order.
+    for _proc in range(config.processors):
+        for t in range(1, config.duration + 1):
+            if rng.random() >= config.op_rate:
+                continue
+            operations += 1
+            # Draw the bucket unconditionally so both disciplines consume
+            # the identical random stream (comparable op schedules).
+            bucket = rng.randrange(config.n_buckets)
+            lock = locks[0] if len(locks) == 1 else locks[bucket]
+            hold = max(1, hold_sampler(rng))
+            engine.schedule_at(t, lambda lk=lock, h=hold: issue_op(lk, h))
+
+    engine.run_to_completion(max_time=config.duration * 1000)
+
+    merged = LockStats()
+    for lock in locks:
+        merged.acquisitions += lock.stats.acquisitions
+        merged.contended_acquisitions += lock.stats.contended_acquisitions
+        merged.total_wait += lock.stats.total_wait
+        merged.max_wait = max(merged.max_wait, lock.stats.max_wait)
+    return SmpResult(
+        config=config,
+        operations=operations,
+        mean_wait=merged.mean_wait,
+        max_wait=merged.max_wait,
+        contention_fraction=merged.contention_fraction,
+        total_wait=merged.total_wait,
+    )

@@ -1,0 +1,30 @@
+"""Intrusive data structures used as substrates by the timer schemes.
+
+The paper's STOP_TIMER trick (Section 3.2) — "if the list is doubly linked
+... STOP_TIMER can use this pointer to delete the element in O(1) time" —
+requires *intrusive* containers: the timer record itself carries the link
+fields, so holding a reference to the record is enough to unlink it without
+any search. Every container here follows that idiom.
+"""
+
+from repro.structures.dlist import DLinkedList, DNode
+from repro.structures.sorted_list import SearchDirection, SortedDList
+from repro.structures.heap import BinaryHeap, HeapNode
+from repro.structures.bst import BSTNode, UnbalancedBST
+from repro.structures.rbtree import RBNode, RedBlackTree
+from repro.structures.leftist import LeftistHeap, LeftistNode
+
+__all__ = [
+    "DLinkedList",
+    "DNode",
+    "SortedDList",
+    "SearchDirection",
+    "BinaryHeap",
+    "HeapNode",
+    "UnbalancedBST",
+    "BSTNode",
+    "RedBlackTree",
+    "RBNode",
+    "LeftistHeap",
+    "LeftistNode",
+]

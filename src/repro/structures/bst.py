@@ -1,0 +1,221 @@
+"""Unbalanced binary search tree — the Scheme 3 comparator that degenerates.
+
+Section 4.1.1 reports that "unbalanced binary trees are less expensive than
+balanced binary trees" on average, but "easily degenerate into a linear
+list; this can happen, for instance, if a set of equal timer intervals are
+inserted." This implementation reproduces that behaviour faithfully: equal
+keys are inserted into the right subtree (FIFO among ties), so a stream of
+identical deadlines builds a right spine and START_TIMER degrades to O(n) —
+exactly the failure mode the paper warns about (and the FIG6 bench measures).
+
+Nodes are removed by reference in O(1) *search* time (no descent needed to
+find the node) plus O(1) restructure (standard BST delete via successor
+swap), so STOP_TIMER is cheap — the paper's Figure 6 marks STOP_TIMER O(1)
+for unbalanced trees.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.cost.counters import NULL_COUNTER, OpCounter
+
+P = TypeVar("P")
+
+
+class BSTNode(Generic[P]):
+    """An entry owned by at most one :class:`UnbalancedBST`."""
+
+    __slots__ = ("key", "payload", "_seq", "_left", "_right", "_parent", "_tree")
+
+    def __init__(self, key: int, payload: P = None) -> None:
+        self.key = key
+        self.payload = payload
+        self._seq: int = -1
+        self._left: Optional["BSTNode[P]"] = None
+        self._right: Optional["BSTNode[P]"] = None
+        self._parent: Optional["BSTNode[P]"] = None
+        self._tree: Optional["UnbalancedBST"] = None
+
+    @property
+    def in_tree(self) -> bool:
+        """True while this node is a member of some tree."""
+        return self._tree is not None
+
+    def _rank(self) -> "tuple[int, int]":
+        return (self.key, self._seq)
+
+
+class UnbalancedBST(Generic[P]):
+    """Plain BST ordered by ``(key, insertion sequence)``; no rebalancing."""
+
+    __slots__ = ("_root", "_size", "_next_seq", "counter")
+
+    def __init__(self, counter: Optional[OpCounter] = None) -> None:
+        self._root: Optional[BSTNode[P]] = None
+        self._size = 0
+        self._next_seq = 0
+        self.counter = counter if counter is not None else NULL_COUNTER
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, node: BSTNode[P]) -> bool:
+        return node._tree is self
+
+    def insert(self, node: BSTNode[P]) -> int:
+        """Insert ``node``; returns the descent depth (comparisons made)."""
+        if node._tree is not None:
+            raise ValueError("node is already a member of a tree")
+        node._seq = self._next_seq
+        self._next_seq += 1
+        node._tree = self
+        node._left = node._right = node._parent = None
+        depth = 0
+        if self._root is None:
+            self._root = node
+        else:
+            cur = self._root
+            rank = node._rank()
+            while True:
+                depth += 1
+                self.counter.compare(1)
+                if rank < cur._rank():
+                    if cur._left is None:
+                        cur._left = node
+                        node._parent = cur
+                        break
+                    cur = cur._left
+                else:
+                    if cur._right is None:
+                        cur._right = node
+                        node._parent = cur
+                        break
+                    cur = cur._right
+        self.counter.link(1)
+        self.counter.write(1)
+        self._size += 1
+        return depth
+
+    def find_min(self) -> Optional[BSTNode[P]]:
+        """Leftmost node, or ``None`` when empty."""
+        cur = self._root
+        if cur is None:
+            return None
+        while cur._left is not None:
+            self.counter.read(1)
+            cur = cur._left
+        return cur
+
+    def min_key(self) -> Optional[int]:
+        """Smallest key, or ``None`` when empty."""
+        node = self.find_min()
+        return None if node is None else node.key
+
+    def pop_min(self) -> BSTNode[P]:
+        """Remove and return the leftmost node."""
+        node = self.find_min()
+        if node is None:
+            raise IndexError("pop from an empty UnbalancedBST")
+        self.remove(node)
+        return node
+
+    def remove(self, node: BSTNode[P]) -> None:
+        """Delete ``node`` by reference (no search: STOP_TIMER is O(1) here,
+        amortising the successor walk which touches at most the node's right
+        spine)."""
+        if node._tree is not self:
+            raise ValueError("node is not a member of this tree")
+        if node._left is not None and node._right is not None:
+            # Two children: splice in the in-order successor (leftmost of the
+            # right subtree), then delete the successor's old slot.
+            successor = node._right
+            while successor._left is not None:
+                self.counter.read(1)
+                successor = successor._left
+            self._detach_simple(successor)
+            # Put the successor where node was.
+            self._replace_child(node, successor)
+            successor._left = node._left
+            if successor._left is not None:
+                successor._left._parent = successor
+            successor._right = node._right
+            if successor._right is not None:
+                successor._right._parent = successor
+            self.counter.link(2)
+        else:
+            self._detach_simple(node)
+        node._left = node._right = node._parent = None
+        node._tree = None
+        self._size -= 1
+        self.counter.link(1)
+
+    def _detach_simple(self, node: BSTNode[P]) -> None:
+        """Detach a node with at most one child, promoting that child."""
+        child = node._left if node._left is not None else node._right
+        self._replace_child(node, child)
+        if child is not None:
+            child._parent = node._parent
+
+    def _replace_child(self, node: BSTNode[P], replacement: Optional[BSTNode[P]]) -> None:
+        parent = node._parent
+        if parent is None:
+            self._root = replacement
+        elif parent._left is node:
+            parent._left = replacement
+        else:
+            parent._right = replacement
+        if replacement is not None:
+            replacement._parent = parent
+        self.counter.link(1)
+
+    def height(self) -> int:
+        """Tree height (0 for empty); used to demonstrate degeneration.
+
+        Iterative: the degenerate case this probe exists for is a spine
+        deeper than Python's recursion limit.
+        """
+        if self._root is None:
+            return 0
+        height = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > height:
+                height = depth
+            if node._left is not None:
+                stack.append((node._left, depth + 1))
+            if node._right is not None:
+                stack.append((node._right, depth + 1))
+        return height
+
+    def in_order(self) -> Iterator[BSTNode[P]]:
+        """Yield nodes in ascending ``(key, seq)`` order (iterative walk)."""
+        stack: list = []
+        cur = self._root
+        while stack or cur is not None:
+            while cur is not None:
+                stack.append(cur)
+                cur = cur._left
+            cur = stack.pop()
+            yield cur
+            cur = cur._right
+
+    def check_invariants(self) -> None:
+        """Verification helper: assert BST order and parent/size consistency."""
+        count = 0
+        prev_rank = None
+        for node in self.in_order():
+            count += 1
+            assert node._tree is self
+            rank = node._rank()
+            if prev_rank is not None:
+                assert rank > prev_rank, "duplicate or out-of-order rank"
+            prev_rank = rank
+            for child in (node._left, node._right):
+                if child is not None:
+                    assert child._parent is node, "parent pointer broken"
+        assert count == self._size, "size mismatch"

@@ -1,0 +1,169 @@
+"""Binary min-heap with a position map for O(log n) arbitrary deletion.
+
+One of Scheme 3's tree-based priority queues (Section 4.1.1). The stdlib
+``heapq`` cannot delete an arbitrary element without rebuilding or lazy
+tombstones — and the paper explicitly warns (Section 4.2) that lazy
+cancellation "can cause the memory needs to grow unboundedly", so timers must
+be physically removed by STOP_TIMER. Storing each node's array index makes
+removal a sift from the vacated slot: O(log n), no tombstones.
+
+Ties on ``key`` are broken by an insertion sequence number so equal-deadline
+timers pop FIFO, matching the list-based schemes' observable order.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, TypeVar
+
+from repro.cost.counters import NULL_COUNTER, OpCounter
+
+P = TypeVar("P")
+
+
+class HeapNode(Generic[P]):
+    """An entry owned by at most one :class:`BinaryHeap`."""
+
+    __slots__ = ("key", "payload", "_index", "_seq", "_heap")
+
+    def __init__(self, key: int, payload: P = None) -> None:
+        self.key = key
+        self.payload = payload
+        self._index: int = -1
+        self._seq: int = -1
+        self._heap: Optional["BinaryHeap"] = None
+
+    @property
+    def in_heap(self) -> bool:
+        """True while this node is a member of some heap."""
+        return self._heap is not None
+
+    def _rank(self) -> "tuple[int, int]":
+        return (self.key, self._seq)
+
+
+class BinaryHeap(Generic[P]):
+    """Array-backed min-heap of :class:`HeapNode` with by-reference delete."""
+
+    __slots__ = ("_nodes", "_next_seq", "counter")
+
+    def __init__(self, counter: Optional[OpCounter] = None) -> None:
+        self._nodes: List[HeapNode[P]] = []
+        self._next_seq = 0
+        self.counter = counter if counter is not None else NULL_COUNTER
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self._nodes)
+
+    def __contains__(self, node: HeapNode[P]) -> bool:
+        return node._heap is self
+
+    def push(self, node: HeapNode[P]) -> None:
+        """Insert ``node``; O(log n)."""
+        if node._heap is not None:
+            raise ValueError("node is already a member of a heap")
+        node._heap = self
+        node._seq = self._next_seq
+        self._next_seq += 1
+        node._index = len(self._nodes)
+        self._nodes.append(node)
+        self.counter.write(1)
+        self._sift_up(node._index)
+
+    def peek(self) -> Optional[HeapNode[P]]:
+        """Smallest node without removing it, or ``None`` when empty."""
+        if not self._nodes:
+            return None
+        self.counter.read(1)
+        return self._nodes[0]
+
+    def pop(self) -> HeapNode[P]:
+        """Remove and return the smallest node; O(log n)."""
+        if not self._nodes:
+            raise IndexError("pop from an empty BinaryHeap")
+        return self._delete_at(0)
+
+    def remove(self, node: HeapNode[P]) -> None:
+        """Delete ``node`` by reference; O(log n)."""
+        if node._heap is not self:
+            raise ValueError("node is not a member of this heap")
+        self._delete_at(node._index)
+
+    def min_key(self) -> Optional[int]:
+        """Key of the smallest node, or ``None`` when empty."""
+        return self._nodes[0].key if self._nodes else None
+
+    def _delete_at(self, index: int) -> HeapNode[P]:
+        nodes = self._nodes
+        node = nodes[index]
+        last = nodes.pop()
+        self.counter.write(1)
+        if last is not node:
+            nodes[index] = last
+            last._index = index
+            self.counter.write(1)
+            # The replacement may need to move either direction.
+            self._sift_down(index)
+            self._sift_up(last._index)
+        node._heap = None
+        node._index = -1
+        return node
+
+    def _sift_up(self, index: int) -> None:
+        nodes = self._nodes
+        node = nodes[index]
+        rank = node._rank()
+        while index > 0:
+            parent_index = (index - 1) >> 1
+            parent = nodes[parent_index]
+            self.counter.compare(1)
+            if parent._rank() <= rank:
+                break
+            nodes[index] = parent
+            parent._index = index
+            self.counter.write(1)
+            index = parent_index
+        nodes[index] = node
+        node._index = index
+        self.counter.write(1)
+
+    def _sift_down(self, index: int) -> None:
+        nodes = self._nodes
+        size = len(nodes)
+        if index >= size:
+            return
+        node = nodes[index]
+        rank = node._rank()
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size:
+                self.counter.compare(1)
+                if nodes[right]._rank() < nodes[child]._rank():
+                    child = right
+            self.counter.compare(1)
+            if nodes[child]._rank() >= rank:
+                break
+            nodes[index] = nodes[child]
+            nodes[index]._index = index
+            self.counter.write(1)
+            index = child
+        nodes[index] = node
+        node._index = index
+        self.counter.write(1)
+
+    def check_invariants(self) -> None:
+        """Verification helper: raise ``AssertionError`` on a broken heap."""
+        nodes = self._nodes
+        for i, node in enumerate(nodes):
+            assert node._index == i, f"position map broken at {i}"
+            assert node._heap is self, f"ownership broken at {i}"
+            left, right = 2 * i + 1, 2 * i + 2
+            if left < len(nodes):
+                assert nodes[left]._rank() >= node._rank(), f"heap order at {i}"
+            if right < len(nodes):
+                assert nodes[right]._rank() >= node._rank(), f"heap order at {i}"

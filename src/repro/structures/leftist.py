@@ -1,0 +1,212 @@
+"""Leftist tree (leftist heap) — named explicitly by Section 4.1.1.
+
+The paper lists "leftist-trees [4,6]" among Scheme 3's tree-based event-set
+structures. A leftist heap is a merge-centric heap-ordered binary tree: the
+null-path length (npl) of every left child is >= that of the right child, so
+the right spine has length O(log n) and ``merge`` — from which insert and
+pop-min follow — is O(log n).
+
+By-reference deletion (STOP_TIMER) detaches the node, merges its two
+subtrees, reattaches the merged subtree where the node was, and repairs npl
+values up the parent chain — O(log n) expected.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.cost.counters import NULL_COUNTER, OpCounter
+
+P = TypeVar("P")
+
+
+class LeftistNode(Generic[P]):
+    """An entry owned by at most one :class:`LeftistHeap`."""
+
+    __slots__ = ("key", "payload", "_seq", "_left", "_right", "_parent", "_npl", "_heap")
+
+    def __init__(self, key: int, payload: P = None) -> None:
+        self.key = key
+        self.payload = payload
+        self._seq: int = -1
+        self._left: Optional["LeftistNode[P]"] = None
+        self._right: Optional["LeftistNode[P]"] = None
+        self._parent: Optional["LeftistNode[P]"] = None
+        self._npl: int = 1
+        self._heap: Optional["LeftistHeap"] = None
+
+    @property
+    def in_heap(self) -> bool:
+        """True while this node is a member of some heap."""
+        return self._heap is not None
+
+    def _rank(self) -> "tuple[int, int]":
+        return (self.key, self._seq)
+
+
+def _npl(node: Optional[LeftistNode]) -> int:
+    return 0 if node is None else node._npl
+
+
+class LeftistHeap(Generic[P]):
+    """Leftist min-heap keyed by ``(key, seq)`` with by-reference delete."""
+
+    __slots__ = ("_root", "_size", "_next_seq", "counter")
+
+    def __init__(self, counter: Optional[OpCounter] = None) -> None:
+        self._root: Optional[LeftistNode[P]] = None
+        self._size = 0
+        self._next_seq = 0
+        self.counter = counter if counter is not None else NULL_COUNTER
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, node: LeftistNode[P]) -> bool:
+        return node._heap is self
+
+    def _merge(
+        self, a: Optional[LeftistNode[P]], b: Optional[LeftistNode[P]]
+    ) -> Optional[LeftistNode[P]]:
+        """Merge two heap-ordered leftist trees, returning the new root."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        self.counter.compare(1)
+        if b._rank() < a._rank():
+            a, b = b, a
+        # a has the smaller root; merge b into a's right subtree.
+        merged = self._merge(a._right, b)
+        a._right = merged
+        merged._parent = a
+        self.counter.link(1)
+        # Restore the leftist property: left npl must dominate.
+        if _npl(a._left) < _npl(a._right):
+            a._left, a._right = a._right, a._left
+            self.counter.link(1)
+        a._npl = _npl(a._right) + 1
+        self.counter.write(1)
+        return a
+
+    def push(self, node: LeftistNode[P]) -> None:
+        """Insert ``node``; O(log n)."""
+        if node._heap is not None:
+            raise ValueError("node is already a member of a heap")
+        node._seq = self._next_seq
+        self._next_seq += 1
+        node._heap = self
+        node._left = node._right = node._parent = None
+        node._npl = 1
+        self._root = self._merge(self._root, node)
+        self._root._parent = None
+        self._size += 1
+        self.counter.write(1)
+
+    def peek(self) -> Optional[LeftistNode[P]]:
+        """Smallest node without removing it, or ``None`` when empty."""
+        if self._root is not None:
+            self.counter.read(1)
+        return self._root
+
+    def min_key(self) -> Optional[int]:
+        """Smallest key, or ``None`` when empty."""
+        return None if self._root is None else self._root.key
+
+    def pop(self) -> LeftistNode[P]:
+        """Remove and return the smallest node; O(log n)."""
+        root = self._root
+        if root is None:
+            raise IndexError("pop from an empty LeftistHeap")
+        self.remove(root)
+        return root
+
+    def remove(self, node: LeftistNode[P]) -> None:
+        """Delete ``node`` by reference; O(log n) expected."""
+        if node._heap is not self:
+            raise ValueError("node is not a member of this heap")
+        replacement = self._merge(node._left, node._right)
+        parent = node._parent
+        if replacement is not None:
+            replacement._parent = parent
+        if parent is None:
+            self._root = replacement
+        else:
+            if parent._left is node:
+                parent._left = replacement
+            else:
+                parent._right = replacement
+            self.counter.link(1)
+            self._fixup_npl(parent)
+        node._left = node._right = node._parent = None
+        node._heap = None
+        node._npl = 1
+        self._size -= 1
+        self.counter.link(1)
+
+    def _fixup_npl(self, node: Optional[LeftistNode[P]]) -> None:
+        """Re-establish leftist npl invariants from ``node`` up to the root."""
+        while node is not None:
+            if _npl(node._left) < _npl(node._right):
+                node._left, node._right = node._right, node._left
+                self.counter.link(1)
+            new_npl = _npl(node._right) + 1
+            if new_npl == node._npl:
+                break
+            node._npl = new_npl
+            self.counter.write(1)
+            node = node._parent
+
+    def merge(self, other: "LeftistHeap[P]") -> "LeftistHeap[P]":
+        """Absorb ``other`` into this heap in O(log n) structural work.
+
+        Merge is the leftist tree's defining operation (insert and pop
+        are the degenerate cases). ``other`` is left empty. FIFO
+        tie-breaking is preserved within each source heap, with this
+        heap's existing entries ranking ahead of the absorbed ones on
+        equal keys (their sequence numbers are older).
+        """
+        if other is self:
+            raise ValueError("cannot merge a heap with itself")
+        if other._root is None:
+            return self
+        # Re-home the other heap's nodes: fresh ownership and sequence
+        # numbers that preserve their relative order.
+        absorbed = sorted(other._iter_nodes(), key=lambda n: n._seq)
+        for node in absorbed:
+            node._heap = self
+            node._seq = self._next_seq
+            self._next_seq += 1
+        self._size += other._size
+        self._root = self._merge(self._root, other._root)
+        self._root._parent = None
+        other._root = None
+        other._size = 0
+        return self
+
+    def _iter_nodes(self) -> Iterator[LeftistNode[P]]:
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            yield node
+            if node._left is not None:
+                stack.append(node._left)
+            if node._right is not None:
+                stack.append(node._right)
+
+    def check_invariants(self) -> None:
+        """Assert heap order, leftist npl property, parents, and size."""
+        count = 0
+        for node in self._iter_nodes():
+            count += 1
+            assert node._heap is self
+            for child in (node._left, node._right):
+                if child is not None:
+                    assert child._parent is node, "parent pointer broken"
+                    assert child._rank() > node._rank(), "heap order broken"
+            assert _npl(node._left) >= _npl(node._right), "leftist property broken"
+            assert node._npl == _npl(node._right) + 1, "npl value broken"
+        assert count == self._size, "size mismatch"

@@ -1,0 +1,384 @@
+"""Red-black tree — Scheme 3's balanced-tree comparator.
+
+Section 4.1.1 contrasts balanced and unbalanced binary trees: balanced trees
+keep START_TIMER at O(log n) even under the adversarial equal-interval
+workload that degenerates a plain BST, at the price of rebalancing work on
+deletion (Figure 6 marks STOP_TIMER O(log n) for balanced trees "because of
+the need to rebalance the tree after a deletion").
+
+Classic CLRS red-black tree with a shared NIL sentinel. Ordering is by
+``(key, insertion sequence)`` so equal-deadline timers pop FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.cost.counters import NULL_COUNTER, OpCounter
+
+P = TypeVar("P")
+
+_RED = True
+_BLACK = False
+
+
+class RBNode(Generic[P]):
+    """An entry owned by at most one :class:`RedBlackTree`."""
+
+    __slots__ = ("key", "payload", "_seq", "_left", "_right", "_parent", "_color", "_tree")
+
+    def __init__(self, key: int, payload: P = None) -> None:
+        self.key = key
+        self.payload = payload
+        self._seq: int = -1
+        self._left: Optional["RBNode[P]"] = None
+        self._right: Optional["RBNode[P]"] = None
+        self._parent: Optional["RBNode[P]"] = None
+        self._color: bool = _RED
+        self._tree: Optional["RedBlackTree"] = None
+
+    @property
+    def in_tree(self) -> bool:
+        """True while this node is a member of some tree."""
+        return self._tree is not None
+
+    def _rank(self) -> "tuple[int, int]":
+        return (self.key, self._seq)
+
+
+class RedBlackTree(Generic[P]):
+    """CLRS red-black tree keyed by ``(key, seq)`` with by-reference delete."""
+
+    __slots__ = ("_nil", "_root", "_leftmost", "_size", "_next_seq", "counter")
+
+    def __init__(self, counter: Optional[OpCounter] = None) -> None:
+        nil: RBNode[P] = RBNode(0)
+        nil._color = _BLACK
+        nil._left = nil._right = nil._parent = nil
+        self._nil = nil
+        self._root: RBNode[P] = nil
+        # Cached leftmost node (or nil): keeps find_min / min_key O(1) per
+        # call, the way kernel rbtree timer queues cache their first
+        # expiring entry, so PER_TICK_BOOKKEEPING stays O(1) when idle
+        # (Figure 6's column).
+        self._leftmost: RBNode[P] = nil
+        self._size = 0
+        self._next_seq = 0
+        self.counter = counter if counter is not None else NULL_COUNTER
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, node: RBNode[P]) -> bool:
+        return node._tree is self
+
+    # ---------------------------------------------------------------- insert
+
+    def insert(self, node: RBNode[P]) -> int:
+        """Insert ``node``; returns the descent depth (comparisons made)."""
+        if node._tree is not None:
+            raise ValueError("node is already a member of a tree")
+        nil = self._nil
+        node._seq = self._next_seq
+        self._next_seq += 1
+        node._tree = self
+        node._left = node._right = nil
+        node._color = _RED
+
+        parent = nil
+        cur = self._root
+        rank = node._rank()
+        depth = 0
+        while cur is not nil:
+            depth += 1
+            self.counter.compare(1)
+            parent = cur
+            cur = cur._left if rank < cur._rank() else cur._right
+        node._parent = parent
+        if parent is nil:
+            self._root = node
+        elif rank < parent._rank():
+            parent._left = node
+        else:
+            parent._right = node
+        if self._leftmost is nil or rank < self._leftmost._rank():
+            self._leftmost = node
+            self.counter.write(1)
+        self.counter.link(1)
+        self.counter.write(1)
+        self._size += 1
+        self._insert_fixup(node)
+        return depth
+
+    def _insert_fixup(self, z: RBNode[P]) -> None:
+        while z._parent._color is _RED:
+            parent = z._parent
+            grand = parent._parent
+            if parent is grand._left:
+                uncle = grand._right
+                if uncle._color is _RED:
+                    parent._color = _BLACK
+                    uncle._color = _BLACK
+                    grand._color = _RED
+                    self.counter.write(3)
+                    z = grand
+                else:
+                    if z is parent._right:
+                        z = parent
+                        self._rotate_left(z)
+                    z._parent._color = _BLACK
+                    z._parent._parent._color = _RED
+                    self.counter.write(2)
+                    self._rotate_right(z._parent._parent)
+            else:
+                uncle = grand._left
+                if uncle._color is _RED:
+                    parent._color = _BLACK
+                    uncle._color = _BLACK
+                    grand._color = _RED
+                    self.counter.write(3)
+                    z = grand
+                else:
+                    if z is parent._left:
+                        z = parent
+                        self._rotate_right(z)
+                    z._parent._color = _BLACK
+                    z._parent._parent._color = _RED
+                    self.counter.write(2)
+                    self._rotate_left(z._parent._parent)
+        self._root._color = _BLACK
+
+    # ---------------------------------------------------------------- delete
+
+    def remove(self, z: RBNode[P]) -> None:
+        """Delete ``z`` by reference; O(log n) rebalancing (Figure 6)."""
+        if z._tree is not self:
+            raise ValueError("node is not a member of this tree")
+        nil = self._nil
+        if z is self._leftmost:
+            # The leftmost node has no left child; its successor is the
+            # minimum of its right subtree, or its parent.
+            if z._right is not nil:
+                self._leftmost = self._minimum(z._right)
+            else:
+                self._leftmost = z._parent  # nil when z was the last node
+            self.counter.write(1)
+        y = z
+        y_original_color = y._color
+        if z._left is nil:
+            x = z._right
+            self._transplant(z, z._right)
+        elif z._right is nil:
+            x = z._left
+            self._transplant(z, z._left)
+        else:
+            y = self._minimum(z._right)
+            y_original_color = y._color
+            x = y._right
+            if y._parent is z:
+                x._parent = y
+            else:
+                self._transplant(y, y._right)
+                y._right = z._right
+                y._right._parent = y
+            self._transplant(z, y)
+            y._left = z._left
+            y._left._parent = y
+            y._color = z._color
+            self.counter.link(2)
+        self.counter.link(1)
+        if y_original_color is _BLACK:
+            self._delete_fixup(x)
+        z._left = z._right = z._parent = None
+        z._tree = None
+        self._size -= 1
+
+    def _delete_fixup(self, x: RBNode[P]) -> None:
+        while x is not self._root and x._color is _BLACK:
+            parent = x._parent
+            if x is parent._left:
+                w = parent._right
+                if w._color is _RED:
+                    w._color = _BLACK
+                    parent._color = _RED
+                    self.counter.write(2)
+                    self._rotate_left(parent)
+                    w = parent._right
+                if w._left._color is _BLACK and w._right._color is _BLACK:
+                    w._color = _RED
+                    self.counter.write(1)
+                    x = parent
+                else:
+                    if w._right._color is _BLACK:
+                        w._left._color = _BLACK
+                        w._color = _RED
+                        self.counter.write(2)
+                        self._rotate_right(w)
+                        w = parent._right
+                    w._color = parent._color
+                    parent._color = _BLACK
+                    w._right._color = _BLACK
+                    self.counter.write(3)
+                    self._rotate_left(parent)
+                    x = self._root
+            else:
+                w = parent._left
+                if w._color is _RED:
+                    w._color = _BLACK
+                    parent._color = _RED
+                    self.counter.write(2)
+                    self._rotate_right(parent)
+                    w = parent._left
+                if w._right._color is _BLACK and w._left._color is _BLACK:
+                    w._color = _RED
+                    self.counter.write(1)
+                    x = parent
+                else:
+                    if w._left._color is _BLACK:
+                        w._right._color = _BLACK
+                        w._color = _RED
+                        self.counter.write(2)
+                        self._rotate_left(w)
+                        w = parent._left
+                    w._color = parent._color
+                    parent._color = _BLACK
+                    w._left._color = _BLACK
+                    self.counter.write(3)
+                    self._rotate_right(parent)
+                    x = self._root
+        x._color = _BLACK
+
+    # -------------------------------------------------------------- plumbing
+
+    def _transplant(self, u: RBNode[P], v: RBNode[P]) -> None:
+        if u._parent is self._nil:
+            self._root = v
+        elif u is u._parent._left:
+            u._parent._left = v
+        else:
+            u._parent._right = v
+        v._parent = u._parent
+        self.counter.link(1)
+
+    def _rotate_left(self, x: RBNode[P]) -> None:
+        nil = self._nil
+        y = x._right
+        x._right = y._left
+        if y._left is not nil:
+            y._left._parent = x
+        y._parent = x._parent
+        if x._parent is nil:
+            self._root = y
+        elif x is x._parent._left:
+            x._parent._left = y
+        else:
+            x._parent._right = y
+        y._left = x
+        x._parent = y
+        self.counter.link(3)
+
+    def _rotate_right(self, x: RBNode[P]) -> None:
+        nil = self._nil
+        y = x._left
+        x._left = y._right
+        if y._right is not nil:
+            y._right._parent = x
+        y._parent = x._parent
+        if x._parent is nil:
+            self._root = y
+        elif x is x._parent._right:
+            x._parent._right = y
+        else:
+            x._parent._left = y
+        y._right = x
+        x._parent = y
+        self.counter.link(3)
+
+    def _minimum(self, node: RBNode[P]) -> RBNode[P]:
+        while node._left is not self._nil:
+            self.counter.read(1)
+            node = node._left
+        return node
+
+    # ----------------------------------------------------------------- reads
+
+    def find_min(self) -> Optional[RBNode[P]]:
+        """Leftmost node, or ``None`` when empty — O(1) via the cache."""
+        if self._leftmost is self._nil:
+            return None
+        self.counter.read(1)
+        return self._leftmost
+
+    def min_key(self) -> Optional[int]:
+        """Smallest key, or ``None`` when empty."""
+        node = self.find_min()
+        return None if node is None else node.key
+
+    def pop_min(self) -> RBNode[P]:
+        """Remove and return the leftmost node."""
+        node = self.find_min()
+        if node is None:
+            raise IndexError("pop from an empty RedBlackTree")
+        self.remove(node)
+        return node
+
+    def height(self) -> int:
+        """Tree height (0 for empty); stays O(log n) even on equal keys."""
+        def h(node: RBNode[P]) -> int:
+            if node is self._nil:
+                return 0
+            return 1 + max(h(node._left), h(node._right))
+
+        return h(self._root)
+
+    def in_order(self) -> Iterator[RBNode[P]]:
+        """Yield nodes in ascending ``(key, seq)`` order."""
+        nil = self._nil
+        stack: list = []
+        cur = self._root
+        while stack or cur is not nil:
+            while cur is not nil:
+                stack.append(cur)
+                cur = cur._left
+            cur = stack.pop()
+            yield cur
+            cur = cur._right
+
+    def check_invariants(self) -> None:
+        """Assert the five red-black properties plus order and size."""
+        nil = self._nil
+        assert self._root._color is _BLACK, "root must be black"
+        assert nil._color is _BLACK, "NIL must be black"
+        if self._root is nil:
+            assert self._leftmost is nil, "leftmost cache not cleared"
+        else:
+            true_min = self._root
+            while true_min._left is not nil:
+                true_min = true_min._left
+            assert self._leftmost is true_min, "leftmost cache stale"
+
+        count = 0
+        prev_rank = None
+        for node in self.in_order():
+            count += 1
+            rank = node._rank()
+            if prev_rank is not None:
+                assert rank > prev_rank, "order violated"
+            prev_rank = rank
+            if node._color is _RED:
+                assert node._left._color is _BLACK, "red node with red left child"
+                assert node._right._color is _BLACK, "red node with red right child"
+        assert count == self._size, "size mismatch"
+
+        def black_height(node: RBNode[P]) -> int:
+            if node is nil:
+                return 1
+            lh = black_height(node._left)
+            rh = black_height(node._right)
+            assert lh == rh, "black-height mismatch"
+            return lh + (0 if node._color is _RED else 1)
+
+        black_height(self._root)

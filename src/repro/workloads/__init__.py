@@ -1,0 +1,60 @@
+"""Deterministic workload generation for timer experiments.
+
+Section 3.2 notes that Scheme 2's average latency "depends on the
+distribution of timer intervals ... and the distribution of the arrival
+process according to which calls to START_TIMER are made". This package
+provides both knobs — interval distributions and arrival processes — plus
+drivers that push the resulting call streams through any scheduler while
+recording per-operation costs.
+
+All randomness flows through an injected ``random.Random(seed)``, so every
+experiment in the repo is reproducible bit for bit.
+"""
+
+from repro.workloads.distributions import (
+    BimodalIntervals,
+    ConstantIntervals,
+    ExponentialIntervals,
+    IntervalDistribution,
+    ParetoIntervals,
+    UniformIntervals,
+)
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.driver import DriverStats, SteadyStateDriver, run_steady_state
+from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario
+from repro.workloads.trace import (
+    ReplayOutcome,
+    TimerTrace,
+    TraceRecord,
+    TraceRecorder,
+    replay,
+)
+
+__all__ = [
+    "IntervalDistribution",
+    "ExponentialIntervals",
+    "UniformIntervals",
+    "ConstantIntervals",
+    "BimodalIntervals",
+    "ParetoIntervals",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "BurstyArrivals",
+    "SteadyStateDriver",
+    "DriverStats",
+    "run_steady_state",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "TimerTrace",
+    "TraceRecord",
+    "TraceRecorder",
+    "ReplayOutcome",
+    "replay",
+]

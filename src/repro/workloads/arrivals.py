@@ -1,0 +1,138 @@
+"""Arrival processes: how many START_TIMER calls land on each tick.
+
+Section 3.2's analysis assumes Poisson arrivals into the G/G/∞ model of
+Figure 3; the deterministic and bursty processes exist to probe how far the
+measured costs drift when that assumption is broken.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class ArrivalProcess(abc.ABC):
+    """Source of per-tick arrival counts."""
+
+    @abc.abstractmethod
+    def arrivals_on_tick(self, rng: random.Random) -> int:
+        """Number of START_TIMER calls to issue on the current tick (>= 0)."""
+
+    @property
+    @abc.abstractmethod
+    def rate(self) -> float:
+        """Long-run mean arrivals per tick (the λ of Little's law)."""
+
+    @property
+    def name(self) -> str:
+        """Short label used in experiment tables."""
+        return type(self).__name__
+
+
+def _poisson_draw(rng: random.Random, lam: float) -> int:
+    """Knuth's product method; fine for the per-tick rates used here."""
+    if lam <= 0.0:
+        return 0
+    threshold = pow(2.718281828459045, -lam)
+    k = 0
+    product = 1.0
+    while True:
+        product *= rng.random()
+        if product <= threshold:
+            return k
+        k += 1
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Poisson arrivals at ``rate`` per tick (the Section 3.2 assumption)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._rate = rate
+
+    def arrivals_on_tick(self, rng: random.Random) -> int:
+        return _poisson_draw(rng, self._rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def name(self) -> str:
+        return f"poisson(rate={self._rate:g})"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Exactly ``per_tick`` arrivals every ``every`` ticks, else none."""
+
+    def __init__(self, per_tick: int = 1, every: int = 1) -> None:
+        if per_tick < 0:
+            raise ValueError(f"per_tick must be >= 0, got {per_tick}")
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.per_tick = per_tick
+        self.every = every
+        self._tick = 0
+
+    def arrivals_on_tick(self, rng: random.Random) -> int:
+        self._tick += 1
+        if self._tick % self.every == 0:
+            return self.per_tick
+        return 0
+
+    @property
+    def rate(self) -> float:
+        return self.per_tick / self.every
+
+    @property
+    def name(self) -> str:
+        return f"deterministic({self.per_tick}/{self.every})"
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-state on/off (MMPP-like) process.
+
+    Alternates between an "on" state with Poisson rate ``on_rate`` and an
+    "off" state with no arrivals; state flips are geometric with the given
+    mean sojourn lengths. Models bursty connection setups that hammer
+    START_TIMER (Section 1: timer start/stop rates grow with network
+    speed).
+    """
+
+    def __init__(
+        self,
+        on_rate: float,
+        mean_on: float = 50.0,
+        mean_off: float = 50.0,
+    ) -> None:
+        if on_rate < 0:
+            raise ValueError(f"on_rate must be >= 0, got {on_rate}")
+        if mean_on < 1 or mean_off < 1:
+            raise ValueError("mean sojourn times must be >= 1 tick")
+        self.on_rate = on_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._on = True
+
+    def arrivals_on_tick(self, rng: random.Random) -> int:
+        if self._on:
+            count = _poisson_draw(rng, self.on_rate)
+            if rng.random() < 1.0 / self.mean_on:
+                self._on = False
+            return count
+        if rng.random() < 1.0 / self.mean_off:
+            self._on = True
+        return 0
+
+    @property
+    def rate(self) -> float:
+        duty = self.mean_on / (self.mean_on + self.mean_off)
+        return self.on_rate * duty
+
+    @property
+    def name(self) -> str:
+        return (
+            f"bursty(on_rate={self.on_rate:g}, "
+            f"on={self.mean_on:g}, off={self.mean_off:g})"
+        )

@@ -1,0 +1,218 @@
+"""Timer-interval distributions.
+
+Section 3.2 derives Scheme 2 insertion costs for "negative exponential and
+uniform timer interval distributions"; Section 4.1.1's BST degeneration
+needs constant intervals; heavy-tailed and bimodal mixes exercise the
+hierarchical schemes. Every distribution draws positive integer tick counts
+(the granularity-T model) from an injected ``random.Random``.
+
+Each class also reports its ``mean`` and its *mean residual life* — the
+expected remaining time of an in-progress interval observed at a random
+instant, ``E[X^2] / (2 E[X])`` — which the Section 3.2 analysis needs: a
+new arrival walks past queued timers whose remaining times follow the
+residual-life density.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class IntervalDistribution(abc.ABC):
+    """Source of positive integer timer intervals (ticks)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """Draw one interval (>= 1 tick)."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected interval length in ticks."""
+
+    @property
+    @abc.abstractmethod
+    def mean_residual_life(self) -> float:
+        """``E[X^2] / (2 E[X])`` for the underlying continuous law."""
+
+    @property
+    def name(self) -> str:
+        """Short label used in experiment tables."""
+        return type(self).__name__
+
+
+def _clamp_to_tick(value: float) -> int:
+    """Round a continuous draw to an integer tick count of at least 1."""
+    return max(1, round(value))
+
+
+class ExponentialIntervals(IntervalDistribution):
+    """Negative-exponential intervals with the given mean.
+
+    The memoryless case of Section 3.2: residual life equals the full
+    interval distribution, and the head-search insertion cost is
+    ``2 + 2n/3``.
+    """
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = mean
+
+    def sample(self, rng: random.Random) -> int:
+        return _clamp_to_tick(rng.expovariate(1.0 / self._mean))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def mean_residual_life(self) -> float:
+        # E[X^2] = 2 mean^2 for the exponential, so residual life = mean.
+        return self._mean
+
+    @property
+    def name(self) -> str:
+        return f"exponential(mean={self._mean:g})"
+
+
+class UniformIntervals(IntervalDistribution):
+    """Uniform intervals on ``[low, high]`` (inclusive, integer ticks).
+
+    The second case Section 3.2 analyses: head-search insertion cost
+    ``2 + n/2``.
+    """
+
+    def __init__(self, low: int, high: int) -> None:
+        if low < 1 or high < low:
+            raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    @property
+    def mean_residual_life(self) -> float:
+        # For continuous U(a, b): E[X^2] / (2 E[X])
+        a, b = float(self.low), float(self.high)
+        second_moment = (a * a + a * b + b * b) / 3.0
+        return second_moment / (a + b)
+
+    @property
+    def name(self) -> str:
+        return f"uniform[{self.low},{self.high}]"
+
+
+class ConstantIntervals(IntervalDistribution):
+    """Every timer has the same interval.
+
+    The adversarial case: degenerates the unbalanced BST (Section 4.1.1)
+    and makes Scheme 2's rear search O(1) ("if all timer intervals have the
+    same value").
+    """
+
+    def __init__(self, value: int) -> None:
+        if value < 1:
+            raise ValueError(f"value must be >= 1, got {value}")
+        self.value = value
+
+    def sample(self, rng: random.Random) -> int:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return float(self.value)
+
+    @property
+    def mean_residual_life(self) -> float:
+        return self.value / 2.0
+
+    @property
+    def name(self) -> str:
+        return f"constant({self.value})"
+
+
+class BimodalIntervals(IntervalDistribution):
+    """Mixture of two exponential modes — short retransmission-style timers
+    plus long keepalive-style timers, the mix a transport host generates
+    (Section 1's motivating workload)."""
+
+    def __init__(
+        self,
+        short_mean: float,
+        long_mean: float,
+        short_weight: float = 0.9,
+    ) -> None:
+        if not 0.0 < short_weight < 1.0:
+            raise ValueError(f"short_weight must be in (0, 1), got {short_weight}")
+        if short_mean <= 0 or long_mean <= 0:
+            raise ValueError("means must be positive")
+        self.short = ExponentialIntervals(short_mean)
+        self.long = ExponentialIntervals(long_mean)
+        self.short_weight = short_weight
+
+    def sample(self, rng: random.Random) -> int:
+        mode = self.short if rng.random() < self.short_weight else self.long
+        return mode.sample(rng)
+
+    @property
+    def mean(self) -> float:
+        w = self.short_weight
+        return w * self.short.mean + (1.0 - w) * self.long.mean
+
+    @property
+    def mean_residual_life(self) -> float:
+        # E[X^2] of the mixture is the weighted sum of mode second moments
+        # (2 mean^2 each for exponentials).
+        w = self.short_weight
+        second = 2.0 * (
+            w * self.short.mean**2 + (1.0 - w) * self.long.mean**2
+        )
+        return second / (2.0 * self.mean)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"bimodal({self.short.mean:g}/{self.long.mean:g},"
+            f"w={self.short_weight:g})"
+        )
+
+
+class ParetoIntervals(IntervalDistribution):
+    """Heavy-tailed (Pareto) intervals: ``P[X > x] = (xm / x)^alpha``.
+
+    Stresses the hierarchies: most timers are short but a tail reaches the
+    coarse wheels. ``alpha`` must exceed 2 for the residual life to be
+    finite.
+    """
+
+    def __init__(self, alpha: float, xm: float = 1.0) -> None:
+        if alpha <= 2.0:
+            raise ValueError(f"alpha must be > 2 for finite E[X^2], got {alpha}")
+        if xm <= 0:
+            raise ValueError(f"xm must be positive, got {xm}")
+        self.alpha = alpha
+        self.xm = xm
+
+    def sample(self, rng: random.Random) -> int:
+        return _clamp_to_tick(self.xm * rng.paretovariate(self.alpha))
+
+    @property
+    def mean(self) -> float:
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    @property
+    def mean_residual_life(self) -> float:
+        a, xm = self.alpha, self.xm
+        second_moment = a * xm * xm / (a - 2.0)
+        return second_moment / (2.0 * self.mean)
+
+    @property
+    def name(self) -> str:
+        return f"pareto(alpha={self.alpha:g}, xm={self.xm:g})"

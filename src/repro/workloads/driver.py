@@ -1,0 +1,169 @@
+"""Open-loop workload driver: pushes timer traffic through a scheduler.
+
+The driver issues START_TIMER calls according to an arrival process, draws
+each interval from an interval distribution, optionally cancels a fraction
+of timers before expiry (the paper's failure-recovery timers "rarely
+expire" — they are almost always stopped first), and meters every operation
+through the scheduler's :class:`~repro.cost.counters.OpCounter`.
+
+Each tick of the measured phase records:
+
+* the operation cost of every START_TIMER (and its comparison count, the
+  Section 3.2 quantity);
+* the operation cost of every STOP_TIMER;
+* the operation cost of PER_TICK_BOOKKEEPING;
+* the number of outstanding timers (for Little's-law validation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.interface import TimerScheduler
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.distributions import IntervalDistribution
+
+
+@dataclass
+class DriverStats:
+    """Aggregated measurements from one driver run."""
+
+    ticks: int = 0
+    started: int = 0
+    stopped: int = 0
+    expired: int = 0
+    insert_costs: List[int] = field(default_factory=list)
+    insert_compares: List[int] = field(default_factory=list)
+    stop_costs: List[int] = field(default_factory=list)
+    tick_costs: List[int] = field(default_factory=list)
+    occupancy: List[int] = field(default_factory=list)
+
+    @property
+    def mean_insert_cost(self) -> float:
+        """Mean total operations per START_TIMER."""
+        return _mean(self.insert_costs)
+
+    @property
+    def mean_insert_compares(self) -> float:
+        """Mean comparisons per START_TIMER (Section 3.2's unit)."""
+        return _mean(self.insert_compares)
+
+    @property
+    def mean_stop_cost(self) -> float:
+        """Mean total operations per STOP_TIMER."""
+        return _mean(self.stop_costs)
+
+    @property
+    def mean_tick_cost(self) -> float:
+        """Mean total operations per PER_TICK_BOOKKEEPING call."""
+        return _mean(self.tick_costs)
+
+    @property
+    def max_tick_cost(self) -> int:
+        """Worst per-tick cost observed (the 'burstiness' of Section 6.1.2)."""
+        return max(self.tick_costs) if self.tick_costs else 0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean outstanding timers (the paper's ``n``)."""
+        return _mean(self.occupancy)
+
+
+def _mean(values: List[int]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+class SteadyStateDriver:
+    """Warm a scheduler to steady state, then measure a fixed window."""
+
+    def __init__(
+        self,
+        scheduler: TimerScheduler,
+        arrivals: ArrivalProcess,
+        intervals: IntervalDistribution,
+        stop_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= stop_fraction <= 1.0:
+            raise ValueError(f"stop_fraction must be in [0, 1], got {stop_fraction}")
+        self.scheduler = scheduler
+        self.arrivals = arrivals
+        self.intervals = intervals
+        self.stop_fraction = stop_fraction
+        self.rng = random.Random(seed)
+        # request_ids to cancel, keyed by the absolute tick to cancel at.
+        self._planned_stops: Dict[int, List[object]] = {}
+
+    def run(self, warmup_ticks: int, measure_ticks: int) -> DriverStats:
+        """Run the workload; statistics cover only the measurement window."""
+        for _ in range(warmup_ticks):
+            self._one_tick(stats=None)
+        stats = DriverStats()
+        for _ in range(measure_ticks):
+            self._one_tick(stats)
+        stats.ticks = measure_ticks
+        return stats
+
+    def _one_tick(self, stats: Optional[DriverStats]) -> None:
+        scheduler = self.scheduler
+        counter = scheduler.counter
+        now = scheduler.now
+
+        # Cancellations planned for this instant (always strictly before the
+        # timer's own deadline, so the timer is still pending).
+        for request_id in self._planned_stops.pop(now, []):
+            if not scheduler.is_pending(request_id):
+                continue  # e.g. client stopped it another way
+            before = counter.snapshot()
+            scheduler.stop_timer(request_id)
+            if stats is not None:
+                stats.stop_costs.append(counter.since(before).total)
+                stats.stopped += 1
+
+        # New timers for this instant.
+        max_iv = scheduler.max_start_interval()
+        for _ in range(self.arrivals.arrivals_on_tick(self.rng)):
+            interval = self.intervals.sample(self.rng)
+            if max_iv is not None and interval >= max_iv:
+                interval = max_iv - 1  # clamp into the scheduler's range
+            before = counter.snapshot()
+            timer = scheduler.start_timer(interval)
+            if stats is not None:
+                stats.insert_costs.append(counter.since(before).total)
+                stats.insert_compares.append(counter.since(before).compares)
+                stats.started += 1
+            if interval >= 2 and self.rng.random() < self.stop_fraction:
+                stop_at = now + self.rng.randint(1, interval - 1)
+                self._planned_stops.setdefault(stop_at, []).append(
+                    timer.request_id
+                )
+
+        # The tick itself.
+        before = counter.snapshot()
+        expired = scheduler.tick()
+        if stats is not None:
+            stats.tick_costs.append(counter.since(before).total)
+            stats.expired += len(expired)
+            stats.occupancy.append(scheduler.pending_count)
+
+
+def run_steady_state(
+    scheduler: TimerScheduler,
+    arrivals: ArrivalProcess,
+    intervals: IntervalDistribution,
+    warmup_ticks: int,
+    measure_ticks: int,
+    stop_fraction: float = 0.0,
+    seed: int = 0,
+) -> DriverStats:
+    """One-call convenience wrapper around :class:`SteadyStateDriver`."""
+    driver = SteadyStateDriver(
+        scheduler,
+        arrivals,
+        intervals,
+        stop_fraction=stop_fraction,
+        seed=seed,
+    )
+    return driver.run(warmup_ticks, measure_ticks)

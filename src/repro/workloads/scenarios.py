@@ -1,0 +1,155 @@
+"""Named workload scenarios used across benches and examples.
+
+Each scenario bundles an arrival process, an interval distribution, and a
+stop fraction into a reproducible configuration. The headline one is
+``server_200x3`` — Section 1's motivating host, "a server with 200
+connections and 3 timers per connection".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.distributions import (
+    BimodalIntervals,
+    ConstantIntervals,
+    ExponentialIntervals,
+    IntervalDistribution,
+    ParetoIntervals,
+    UniformIntervals,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible workload configuration.
+
+    ``arrivals`` and ``intervals`` are factories so each experiment run gets
+    fresh (stateless-at-start) process objects.
+    """
+
+    name: str
+    description: str
+    arrivals: Callable[[], ArrivalProcess]
+    intervals: Callable[[], IntervalDistribution]
+    stop_fraction: float
+    target_outstanding: float  # expected steady-state n, for sanity checks
+
+
+def _scenario_registry() -> Dict[str, Scenario]:
+    scenarios = [
+        Scenario(
+            name="server_200x3",
+            description=(
+                "Section 1's motivating host: 200 connections x 3 timers. "
+                "Mostly short retransmission timers that are stopped by acks "
+                "plus long keepalives; steady state ~600 outstanding."
+            ),
+            # n = lambda * E[lifetime]; with heavy stopping the effective
+            # lifetime is about half the drawn interval.
+            arrivals=lambda: PoissonArrivals(rate=4.0),
+            intervals=lambda: BimodalIntervals(
+                short_mean=200.0, long_mean=2000.0, short_weight=0.9
+            ),
+            stop_fraction=0.8,
+            target_outstanding=600.0,
+        ),
+        Scenario(
+            name="retransmit_heavy",
+            description=(
+                "Failure-recovery pattern: timers almost always stopped "
+                "before expiry (acks arrive), rare expiries."
+            ),
+            arrivals=lambda: PoissonArrivals(rate=2.0),
+            intervals=lambda: ExponentialIntervals(mean=100.0),
+            stop_fraction=0.95,
+            target_outstanding=110.0,
+        ),
+        Scenario(
+            name="expiry_heavy",
+            description=(
+                "Rate-control / packet-lifetime pattern: timers almost "
+                "always expire (Section 1's second timer class)."
+            ),
+            arrivals=lambda: PoissonArrivals(rate=2.0),
+            intervals=lambda: UniformIntervals(50, 150),
+            stop_fraction=0.0,
+            target_outstanding=200.0,
+        ),
+        Scenario(
+            name="equal_intervals",
+            description=(
+                "Adversarial constant intervals: degenerates the unbalanced "
+                "BST and makes Scheme 2 rear-search O(1)."
+            ),
+            arrivals=lambda: PoissonArrivals(rate=2.0),
+            intervals=lambda: ConstantIntervals(100),
+            stop_fraction=0.0,
+            target_outstanding=200.0,
+        ),
+        Scenario(
+            name="heavy_tail",
+            description=(
+                "Pareto intervals: most timers short, a tail reaching the "
+                "coarse hierarchical wheels."
+            ),
+            arrivals=lambda: PoissonArrivals(rate=2.0),
+            intervals=lambda: ParetoIntervals(alpha=2.5, xm=40.0),
+            stop_fraction=0.3,
+            target_outstanding=100.0,
+        ),
+        Scenario(
+            name="fine_grained",
+            description=(
+                "High-rate, short timers: the fine-granularity regime of "
+                "Section 1 where per-tick and per-op costs dominate."
+            ),
+            arrivals=lambda: PoissonArrivals(rate=20.0),
+            intervals=lambda: ExponentialIntervals(mean=15.0),
+            stop_fraction=0.5,
+            target_outstanding=225.0,
+        ),
+        Scenario(
+            name="long_haul",
+            description=(
+                "Sparse, very long timers (session expiry, lease renewal): "
+                "the hierarchy's home turf — huge range, tiny population "
+                "churn."
+            ),
+            arrivals=lambda: PoissonArrivals(rate=0.2),
+            intervals=lambda: UniformIntervals(1_000, 6_000),
+            stop_fraction=0.2,
+            target_outstanding=630.0,
+        ),
+        Scenario(
+            name="bursty_setup",
+            description=(
+                "On/off connection-setup bursts hammering START_TIMER "
+                "(Section 1: start/stop rates grow with network speed)."
+            ),
+            arrivals=lambda: BurstyArrivals(on_rate=8.0, mean_on=50, mean_off=150),
+            intervals=lambda: ExponentialIntervals(mean=150.0),
+            stop_fraction=0.5,
+            target_outstanding=225.0,
+        ),
+    ]
+    return {s.name: s for s in scenarios}
+
+
+#: All named scenarios, keyed by name.
+SCENARIOS: Dict[str, Scenario] = _scenario_registry()
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name, with a helpful error."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None

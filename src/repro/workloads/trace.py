@@ -1,0 +1,197 @@
+"""Record and replay timer-operation traces.
+
+A trace is the externally observable input to a timer module: a sequence
+of ``(tick, START id interval)`` and ``(tick, STOP id)`` records. Traces
+make timing behaviour reproducible across schemes — replay the same trace
+against Scheme 2 and Scheme 7 and the expiry schedule must be identical —
+and serialise to a simple line format for sharing regression cases.
+
+Usage::
+
+    recorder = TraceRecorder(scheduler)
+    recorder.start_timer(100, request_id="a")
+    recorder.advance(30)
+    recorder.stop_timer("a")
+    trace = recorder.trace
+    trace.save(path)
+
+    outcome = replay(TimerTrace.load(path), make_scheduler("scheme7"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.interface import Timer, TimerScheduler
+
+#: operation tags in the line format.
+_START = "START"
+_STOP = "STOP"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One client operation at an absolute tick."""
+
+    tick: int
+    op: str  # START or STOP
+    request_id: str
+    interval: int = 0  # meaningful for START only
+
+    def to_line(self) -> str:
+        """Serialise to the one-line text form."""
+        if self.op == _START:
+            return f"{self.tick} START {self.request_id} {self.interval}"
+        return f"{self.tick} STOP {self.request_id}"
+
+    @staticmethod
+    def from_line(line: str) -> "TraceRecord":
+        """Parse the one-line text form."""
+        parts = line.split()
+        if len(parts) == 4 and parts[1] == _START:
+            return TraceRecord(int(parts[0]), _START, parts[2], int(parts[3]))
+        if len(parts) == 3 and parts[1] == _STOP:
+            return TraceRecord(int(parts[0]), _STOP, parts[2])
+        raise ValueError(f"malformed trace line: {line!r}")
+
+
+@dataclass
+class TimerTrace:
+    """An ordered sequence of client operations."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        """Add a record; ticks must be non-decreasing."""
+        if self.records and record.tick < self.records[-1].tick:
+            raise ValueError("trace records must be in time order")
+        self.records.append(record)
+
+    def save(self, path: str) -> None:
+        """Write the line format (one record per line, '#' comments ok)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("# repro timer trace v1\n")
+            for record in self.records:
+                handle.write(record.to_line() + "\n")
+
+    @staticmethod
+    def load(path: str) -> "TimerTrace":
+        """Read the line format back."""
+        trace = TimerTrace()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                trace.append(TraceRecord.from_line(line))
+        return trace
+
+
+class TraceRecorder:
+    """A recording front for any scheduler: use it like the scheduler."""
+
+    def __init__(self, scheduler: TimerScheduler) -> None:
+        self.scheduler = scheduler
+        self.trace = TimerTrace()
+
+    def start_timer(self, interval: int, request_id=None, **kwargs) -> Timer:
+        """START_TIMER, recorded."""
+        timer = self.scheduler.start_timer(
+            interval, request_id=request_id, **kwargs
+        )
+        self.trace.append(
+            TraceRecord(
+                self.scheduler.now, _START, str(timer.request_id), interval
+            )
+        )
+        return timer
+
+    def stop_timer(self, timer_or_id) -> Timer:
+        """STOP_TIMER, recorded."""
+        timer = self.scheduler.stop_timer(timer_or_id)
+        self.trace.append(
+            TraceRecord(self.scheduler.now, _STOP, str(timer.request_id))
+        )
+        return timer
+
+    def tick(self):
+        """PER_TICK_BOOKKEEPING (ticks are implicit in record timestamps)."""
+        return self.scheduler.tick()
+
+    def advance(self, ticks: int):
+        """Run several ticks."""
+        return self.scheduler.advance(ticks)
+
+    @property
+    def now(self) -> int:
+        """Scheduler time."""
+        return self.scheduler.now
+
+
+@dataclass
+class ReplayOutcome:
+    """What replaying a trace produced."""
+
+    expiries: List[Tuple[int, str]]  # (tick, request_id), in firing order
+    started: int
+    stopped: int
+    final_pending: int
+    total_ops: int  # scheduler op-count spent on the whole replay
+
+    def expiry_schedule(self) -> List[Tuple[int, str]]:
+        """Expiries sorted by (tick, id) — the scheme-independent view
+        (within-tick order is legitimately scheme-specific)."""
+        return sorted(self.expiries)
+
+
+def replay(
+    trace: TimerTrace,
+    scheduler: TimerScheduler,
+    horizon: Optional[int] = None,
+) -> ReplayOutcome:
+    """Drive ``scheduler`` through ``trace``, then run until idle.
+
+    ``horizon`` caps the drain phase (default: generous bound from the
+    trace's own deadlines).
+    """
+    if scheduler.now != 0:
+        raise ValueError("replay needs a fresh scheduler (time 0)")
+    expiries: List[Tuple[int, str]] = []
+    started = stopped = 0
+    before = scheduler.counter.snapshot()
+    max_deadline = 0
+
+    def on_expiry(timer: Timer) -> None:
+        expiries.append((scheduler.now, str(timer.request_id)))
+
+    for record in trace.records:
+        if record.tick > scheduler.now:
+            scheduler.advance(record.tick - scheduler.now)
+        if record.op == _START:
+            timer = scheduler.start_timer(
+                record.interval, request_id=record.request_id, callback=on_expiry
+            )
+            started += 1
+            max_deadline = max(max_deadline, timer.deadline)
+        else:
+            if scheduler.is_pending(record.request_id):
+                scheduler.stop_timer(record.request_id)
+                stopped += 1
+            # else: the timer expired before the recorded stop — replay on
+            # a different scheme cannot change expiry ticks, so this only
+            # happens when the trace itself recorded a same-tick race.
+
+    drain = horizon if horizon is not None else max_deadline + 1
+    if drain > scheduler.now:
+        scheduler.advance(drain - scheduler.now)
+    return ReplayOutcome(
+        expiries=expiries,
+        started=started,
+        stopped=stopped,
+        final_pending=scheduler.pending_count,
+        total_ops=scheduler.counter.since(before).total,
+    )

@@ -1,0 +1,60 @@
+"""Per-tick burstiness profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.burstiness import (
+    TickCostProfile,
+    measure_tick_profile,
+    profile_tick_costs,
+)
+from repro.core import HashedWheelUnsortedScheduler
+
+
+def test_profile_statistics():
+    profile = profile_tick_costs([4, 4, 4, 20])
+    assert profile.ticks == 4
+    assert profile.mean == 8.0
+    assert profile.maximum == 20
+    assert profile.minimum == 4
+    assert profile.variance == pytest.approx(48.0)
+    assert profile.std_dev == pytest.approx(48.0**0.5)
+    assert profile.index_of_dispersion == pytest.approx(6.0)
+
+
+def test_profile_rejects_empty():
+    with pytest.raises(ValueError):
+        profile_tick_costs([])
+
+
+def test_zero_mean_dispersion():
+    profile = TickCostProfile(ticks=1, mean=0.0, variance=0.0, maximum=0, minimum=0)
+    assert profile.index_of_dispersion == 0.0
+
+
+def test_collided_profile_is_burstier_than_spread():
+    table = 64
+    n = 64
+    spread = measure_tick_profile(
+        HashedWheelUnsortedScheduler(table),
+        [table + 1 + (i % (table - 1)) for i in range(n)],
+        window_ticks=table * 4,
+    )
+    collided = measure_tick_profile(
+        HashedWheelUnsortedScheduler(table),
+        [table + table // 2] * n,
+        window_ticks=table * 4,
+    )
+    assert collided.mean == pytest.approx(spread.mean, rel=0.15)
+    assert collided.std_dev > 3 * spread.std_dev
+    assert collided.minimum == 4  # empty-tick floor between bursts
+
+
+def test_rearm_holds_population():
+    table = 32
+    scheduler = HashedWheelUnsortedScheduler(table)
+    measure_tick_profile(
+        scheduler, [40] * 20, window_ticks=200, rearm=True
+    )
+    assert scheduler.pending_count == 20

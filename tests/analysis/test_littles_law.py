@@ -1,0 +1,49 @@
+"""Empirical Little's-law machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.littles_law import (
+    LittlesLawEstimate,
+    batch_means_ci,
+    validate_littles_law,
+)
+
+
+def test_estimate_fields():
+    estimate = LittlesLawEstimate(predicted=100.0, measured=97.0, ci_halfwidth=2.0)
+    assert estimate.relative_error == pytest.approx(0.03)
+    assert estimate.consistent  # within CI + 10% slack
+
+
+def test_inconsistent_when_far_off():
+    estimate = LittlesLawEstimate(predicted=100.0, measured=50.0, ci_halfwidth=1.0)
+    assert not estimate.consistent
+
+
+def test_zero_prediction_edge():
+    assert LittlesLawEstimate(0.0, 0.0, 0.0).relative_error == 0.0
+    assert LittlesLawEstimate(0.0, 5.0, 0.0).relative_error == float("inf")
+
+
+def test_batch_means_ci_shrinks_with_samples():
+    rng = random.Random(28)
+    small = [rng.randint(90, 110) for _ in range(200)]
+    large = [rng.randint(90, 110) for _ in range(20_000)]
+    assert batch_means_ci(large) < batch_means_ci(small)
+
+
+def test_batch_means_requires_enough_samples():
+    with pytest.raises(ValueError):
+        batch_means_ci([1, 2, 3], batches=20)
+
+
+def test_validate_wraps_samples():
+    samples = [100] * 400
+    estimate = validate_littles_law(100.0, samples)
+    assert estimate.measured == 100.0
+    assert estimate.ci_halfwidth == 0.0
+    assert estimate.consistent

@@ -1,0 +1,72 @@
+"""The M/G/∞ model and residual-life CDFs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queueing import MGInfinityModel, residual_life_cdf
+from repro.workloads.distributions import (
+    BimodalIntervals,
+    ConstantIntervals,
+    ExponentialIntervals,
+    UniformIntervals,
+)
+
+
+def test_littles_law_occupancy():
+    model = MGInfinityModel(rate=2.0, intervals=ExponentialIntervals(100.0))
+    assert model.expected_outstanding == pytest.approx(200.0)
+
+
+def test_cancellation_halves_stopped_lifetimes():
+    model = MGInfinityModel(
+        rate=2.0, intervals=ExponentialIntervals(100.0), stop_fraction=1.0
+    )
+    assert model.mean_lifetime == pytest.approx(50.0)
+    partial = MGInfinityModel(
+        rate=2.0, intervals=ExponentialIntervals(100.0), stop_fraction=0.5
+    )
+    assert partial.mean_lifetime == pytest.approx(75.0)
+
+
+def test_mean_residual_exponential_is_memoryless():
+    model = MGInfinityModel(rate=1.0, intervals=ExponentialIntervals(80.0))
+    assert model.mean_residual_seen_by_arrival == pytest.approx(80.0)
+
+
+def test_mean_residual_uniform():
+    # For U(a, b): E[X^2]/(2 E[X]) with E[X^2] = (a^2+ab+b^2)/3.
+    dist = UniformIntervals(1, 99)
+    expected = (1 + 99 + 99 * 99) / 3 / (1 + 99)
+    assert dist.mean_residual_life == pytest.approx(expected)
+
+
+def test_residual_cdf_exponential_matches_distribution():
+    cdf = residual_life_cdf(ExponentialIntervals(50.0))
+    assert cdf(0) == 0.0
+    assert cdf(50.0) == pytest.approx(1 - 2.718281828 ** -1, rel=1e-6)
+    assert cdf(1e9) == pytest.approx(1.0)
+
+
+def test_residual_cdf_constant_is_uniform():
+    cdf = residual_life_cdf(ConstantIntervals(100))
+    assert cdf(0) == 0.0
+    assert cdf(50) == pytest.approx(0.5)
+    assert cdf(100) == 1.0
+    assert cdf(500) == 1.0
+
+
+def test_residual_cdf_uniform_properties():
+    cdf = residual_life_cdf(UniformIntervals(10, 90))
+    assert cdf(0) == 0.0
+    assert cdf(90) == pytest.approx(1.0)
+    # Monotone non-decreasing.
+    values = [cdf(t) for t in range(0, 95, 5)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    # Below the minimum interval, density is flat 1/mean.
+    assert cdf(10) == pytest.approx(10 / 50)
+
+
+def test_residual_cdf_unsupported_distribution():
+    with pytest.raises(NotImplementedError):
+        residual_life_cdf(BimodalIntervals(10, 100))

@@ -1,0 +1,95 @@
+"""The configuration advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sizing import (
+    Workload,
+    best_general_purpose,
+    recommend,
+)
+from repro.core import make_scheduler
+from repro.workloads.distributions import (
+    ConstantIntervals,
+    ExponentialIntervals,
+    UniformIntervals,
+)
+
+
+def heavy_workload():
+    """Hundreds of outstanding timers — the wheels' home turf."""
+    return Workload(rate=3.0, intervals=ExponentialIntervals(400.0), stop_fraction=0.5)
+
+
+def tiny_workload():
+    """A handful of timers — where Scheme 1's simplicity is defensible."""
+    return Workload(rate=0.05, intervals=ConstantIntervals(20))
+
+
+def test_workload_model_fields():
+    w = heavy_workload()
+    assert w.expected_outstanding == pytest.approx(3.0 * 300.0)
+    assert w.mean_lifetime == pytest.approx(300.0)
+
+
+def test_wheels_win_for_large_n():
+    ranking = recommend(heavy_workload(), memory_slots=4096)
+    top = ranking[0]
+    assert top.scheme in ("scheme6", "scheme7", "scheme4-hybrid")
+    schemes = [r.scheme for r in ranking]
+    # Scheme 2's O(n) insert puts it at or near the bottom.
+    assert schemes.index("scheme2") > schemes.index("scheme6")
+    assert schemes.index("scheme1") > schemes.index("scheme6")
+
+
+def test_list_schemes_competitive_for_tiny_n():
+    ranking = recommend(tiny_workload(), memory_slots=64)
+    costs = {r.scheme: r.total_cost_per_timer for r in ranking}
+    # With ~one outstanding timer, Scheme 2 beats every wheel's insert
+    # constant — the "Scheme 1/2 are appropriate in some cases" caveat.
+    assert costs["scheme2"] < costs["scheme6"]
+    assert costs["scheme2"] <= min(
+        c for s, c in costs.items() if s not in ("scheme2", "scheme3-heap")
+    )
+
+
+def test_memory_budget_respected():
+    for budget in (64, 1024, 8192):
+        for rec in recommend(heavy_workload(), memory_slots=budget):
+            assert rec.memory_slots <= budget
+
+
+def test_small_budget_prefers_hierarchy_over_flat_wheel():
+    """Section 6.2: small M, large T → Scheme 7's c7*m beats c6*T/M."""
+    w = Workload(rate=1.0, intervals=ExponentialIntervals(50_000.0))
+    ranking = recommend(w, memory_slots=128, include_lists=False)
+    costs = {r.scheme: r.total_cost_per_timer for r in ranking}
+    assert costs["scheme7"] < costs["scheme6"]
+
+
+def test_large_budget_prefers_flat_wheel_for_short_timers():
+    w = Workload(rate=2.0, intervals=UniformIntervals(1, 200))
+    best = best_general_purpose(w, memory_slots=65536)
+    assert best.scheme == "scheme6"
+
+
+def test_best_general_purpose_is_scheme6_or_7():
+    for w in (heavy_workload(), tiny_workload()):
+        best = best_general_purpose(w, memory_slots=2048)
+        assert best.scheme in ("scheme6", "scheme7")
+
+
+def test_recommended_params_actually_construct():
+    for rec in recommend(heavy_workload(), memory_slots=2048):
+        scheduler = make_scheduler(rec.scheme, **rec.params)
+        max_iv = scheduler.max_start_interval()
+        interval = 100 if max_iv is None else min(100, max_iv - 1)
+        scheduler.start_timer(interval)
+        scheduler.advance(interval)
+        assert scheduler.pending_count == 0
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        recommend(heavy_workload(), memory_slots=1)

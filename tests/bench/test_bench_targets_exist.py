@@ -1,0 +1,32 @@
+"""Every DESIGN.md experiment has a pytest-benchmark target on disk."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "benchmarks"
+
+
+def test_one_bench_file_per_experiment():
+    sources = "\n".join(
+        p.read_text() for p in BENCH_DIR.glob("test_*.py")
+    )
+    missing = [
+        experiment_id
+        for experiment_id in ALL_EXPERIMENTS
+        if f'"{experiment_id}"' not in sources
+    ]
+    assert not missing, f"experiments without a bench target: {missing}"
+
+
+def test_bench_files_reference_known_experiments_only():
+    known = set(ALL_EXPERIMENTS)
+    for path in BENCH_DIR.glob("test_*.py"):
+        text = path.read_text()
+        if "run_experiment_bench" not in text:
+            continue  # micro-benchmarks
+        for chunk in text.split('run_experiment_bench(benchmark, "')[1:]:
+            experiment_id = chunk.split('"')[0]
+            assert experiment_id in known, (path.name, experiment_id)

@@ -1,0 +1,29 @@
+"""Integration: every DESIGN.md experiment runs and its shape checks hold.
+
+These are the fast-parameter versions; the full sweeps live in
+``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.tables import render_experiment
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_shape_checks_pass(experiment_id):
+    result = ALL_EXPERIMENTS[experiment_id](fast=True)
+    assert result.rows, f"{experiment_id} produced no rows"
+    assert result.checks, f"{experiment_id} asserted nothing"
+    assert result.passed, "\n" + render_experiment(result)
+
+
+def test_registry_covers_design_index():
+    expected = {
+        "FIG3", "SEC32", "FIG4", "FIG6", "FIG7", "FIG8", "FIG9",
+        "FIG10", "SEC62", "SEC7", "APXA1", "APXA2", "XTRA1", "XTRA2",
+        "XTRA3", "XTRA4", "XTRA5",
+    }
+    assert set(ALL_EXPERIMENTS) == expected

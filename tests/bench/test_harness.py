@@ -1,0 +1,68 @@
+"""The measurement harness."""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    measure_start_cost,
+    measure_stop_cost,
+    measure_tick_cost,
+    prefill,
+)
+from repro.core import (
+    HashedWheelUnsortedScheduler,
+    OrderedListScheduler,
+    TimingWheelScheduler,
+)
+from repro.workloads.distributions import ConstantIntervals, UniformIntervals
+
+
+def test_prefill_installs_exactly_n():
+    scheduler = OrderedListScheduler()
+    timers = prefill(scheduler, 37, UniformIntervals(1, 100))
+    assert len(timers) == 37
+    assert scheduler.pending_count == 37
+
+
+def test_prefill_clamps_to_scheduler_range():
+    scheduler = TimingWheelScheduler(max_interval=32)
+    prefill(scheduler, 20, ConstantIntervals(1000))
+    assert scheduler.pending_count == 20
+    assert all(t.interval < 32 for t in scheduler.pending_timers())
+
+
+def test_measure_start_cost_keeps_population_constant():
+    factory = lambda: OrderedListScheduler()  # noqa: E731
+    sample = measure_start_cost(factory, n=50, batch=20)
+    assert sample.batch == 20
+    assert sample.total_ops > 0
+
+
+def test_measure_start_cost_scheme6_constant():
+    sample_small = measure_start_cost(
+        lambda: HashedWheelUnsortedScheduler(128), n=10
+    )
+    sample_large = measure_start_cost(
+        lambda: HashedWheelUnsortedScheduler(128), n=2000
+    )
+    assert sample_small.total_ops == sample_large.total_ops == 13.0
+
+
+def test_measure_stop_cost():
+    sample = measure_stop_cost(lambda: HashedWheelUnsortedScheduler(128), n=40)
+    assert sample.total_ops == 7.0
+
+
+def test_measure_tick_cost_replenishes():
+    sample = measure_tick_cost(
+        lambda: HashedWheelUnsortedScheduler(64),
+        n=30,
+        intervals=UniformIntervals(1, 60),
+        ticks=300,
+    )
+    assert sample.batch == 300
+    assert sample.total_ops >= 4.0  # at least the empty-tick floor
+
+
+def test_opcost_sample_str():
+    sample = measure_stop_cost(lambda: HashedWheelUnsortedScheduler(128), n=10)
+    assert "ops" in str(sample)

@@ -1,0 +1,64 @@
+"""Scheduler monitoring and sparkline rendering."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.monitor import SchedulerMonitor, sparkline
+from repro.core import HashedWheelUnsortedScheduler
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_rises(self):
+        strip = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert strip[0] < strip[-1]
+        assert strip[-1] == "█"
+
+    def test_width_bucketing(self):
+        strip = sparkline(list(range(600)), width=60)
+        assert len(strip) == 60
+        assert strip == "".join(sorted(strip))  # still monotone after bucketing
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 9], width=60)) == 2
+
+
+class TestSchedulerMonitor:
+    def test_records_all_series(self):
+        sched = HashedWheelUnsortedScheduler(table_size=16)
+        monitor = SchedulerMonitor(sched)
+        sched.start_timer(5)
+        sched.start_timer(9)
+        monitor.run(10)
+        assert monitor.series.ticks == 10
+        assert sum(monitor.series.expiries) == 2
+        assert monitor.series.occupancy[-1] == 0
+        assert min(monitor.series.tick_costs) >= 4  # empty-tick floor
+
+    def test_tick_returns_expired(self):
+        sched = HashedWheelUnsortedScheduler(table_size=16)
+        monitor = SchedulerMonitor(sched)
+        timer = sched.start_timer(1)
+        assert monitor.tick() == [timer]
+
+    def test_report_mentions_everything(self):
+        sched = HashedWheelUnsortedScheduler(table_size=16)
+        monitor = SchedulerMonitor(sched)
+        rng = random.Random(0)
+        for _ in range(30):
+            sched.start_timer(rng.randint(1, 40))
+        monitor.run(50)
+        report = monitor.report()
+        assert "mean tick cost" in report
+        assert "occupancy" in report
+        assert "expiries" in report
+
+    def test_report_on_idle_monitor(self):
+        monitor = SchedulerMonitor(HashedWheelUnsortedScheduler(16))
+        assert monitor.report() == "no ticks observed"

@@ -1,0 +1,62 @@
+"""ExperimentResult plumbing and the table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.result import ExperimentResult
+from repro.bench.tables import render_experiment, render_table
+
+
+def make_result():
+    result = ExperimentResult(
+        experiment_id="TEST",
+        title="a title",
+        paper_claim="a claim",
+        headers=["n", "cost"],
+    )
+    result.add_row(1, 2.5)
+    result.add_row(100, 3.14159)
+    return result
+
+
+def test_add_row_validates_width():
+    result = make_result()
+    with pytest.raises(ValueError):
+        result.add_row(1, 2, 3)
+
+
+def test_checks_drive_passed():
+    result = make_result()
+    assert result.passed  # vacuous
+    result.check("holds", True)
+    assert result.passed
+    result.check("fails", False)
+    assert not result.passed
+    assert "FAIL" in result.summary_line()
+
+
+def test_render_table_alignment():
+    text = render_table(["n", "cost"], [(1, 2.5), (100, 3.14159)])
+    lines = text.splitlines()
+    assert lines[0].startswith("n")
+    assert "3.14" in lines[-1]
+    # All rows equal width.
+    assert len({len(line) for line in lines}) <= 2
+
+
+def test_render_table_bools():
+    text = render_table(["ok"], [(True,), (False,)])
+    assert "yes" in text and "no" in text
+
+
+def test_render_experiment_full_block():
+    result = make_result()
+    result.check("shape holds", True)
+    result.note("a note")
+    text = render_experiment(result)
+    assert "TEST — a title" in text
+    assert "paper: a claim" in text
+    assert "[ok ] shape holds" in text
+    assert "note: a note" in text
+    assert "[PASS]" in text

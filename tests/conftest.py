@@ -1,0 +1,48 @@
+"""Shared fixtures: every scheme behind one parametrised factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_scheduler, scheme_names
+
+#: Construction kwargs that give each scheme a usable range for tests that
+#: start timers with intervals up to ~100k ticks.
+SCHEME_KWARGS = {
+    "scheme4": {"max_interval": 1 << 17},
+    "scheme7": {"slot_counts": (64, 64, 64)},
+    "scheme7-lossy": {"slot_counts": (64, 64, 64)},
+    "scheme7-onemigration": {"slot_counts": (64, 64, 64)},
+}
+
+#: Schemes that fire exactly at the requested deadline. The two Nichols
+#: variants trade precision for fewer migrations: the lossy hierarchy
+#: rounds to its insertion level, and the single-migration hierarchy fires
+#: early whenever a timer would need a second migration.
+EXACT_SCHEMES = [
+    n
+    for n in scheme_names()
+    if n not in ("scheme7-lossy", "scheme7-onemigration")
+]
+
+#: Every scheme, including the deliberately imprecise lossy hierarchy.
+ALL_SCHEMES = scheme_names()
+
+
+def build(name: str, **overrides):
+    """Construct a scheduler by name with test-appropriate defaults."""
+    kwargs = dict(SCHEME_KWARGS.get(name, {}))
+    kwargs.update(overrides)
+    return make_scheduler(name, **kwargs)
+
+
+@pytest.fixture(params=EXACT_SCHEMES)
+def exact_scheduler(request):
+    """A fresh scheduler of each exact-firing scheme."""
+    return build(request.param)
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def any_scheduler(request):
+    """A fresh scheduler of every scheme, lossy included."""
+    return build(request.param)

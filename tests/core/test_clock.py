@@ -1,0 +1,66 @@
+"""The shared virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler, OrderedListScheduler
+from repro.core.clock import VirtualClock
+from repro.simulation.engine import EventListEngine
+
+
+def test_tick_advances_and_notifies_in_order():
+    clock = VirtualClock()
+    seen = []
+    clock.subscribe(lambda now: seen.append(("a", now)))
+    clock.subscribe(lambda now: seen.append(("b", now)))
+    clock.tick()
+    clock.tick()
+    assert seen == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+    assert clock.now == 2
+
+
+def test_unsubscribe():
+    clock = VirtualClock()
+    handler = clock.subscribe(lambda now: None)
+    assert clock.subscriber_count == 1
+    clock.unsubscribe(handler)
+    assert clock.subscriber_count == 0
+    with pytest.raises(ValueError):
+        clock.unsubscribe(handler)
+
+
+def test_drives_multiple_schedulers_in_lockstep():
+    clock = VirtualClock()
+    s2 = OrderedListScheduler()
+    s6 = HashedWheelUnsortedScheduler(table_size=32)
+    clock.attach_scheduler(s2)
+    clock.attach_scheduler(s6)
+    fired = []
+    s2.start_timer(40, callback=lambda t: fired.append(("s2", s2.now)))
+    s6.start_timer(40, callback=lambda t: fired.append(("s6", s6.now)))
+    clock.run(50)
+    assert fired == [("s2", 40), ("s6", 40)]
+    assert s2.now == s6.now == clock.now == 50
+
+
+def test_drives_engine_and_scheduler_together():
+    clock = VirtualClock()
+    engine = EventListEngine()
+    scheduler = HashedWheelUnsortedScheduler(table_size=16)
+    clock.attach_engine(engine)
+    clock.attach_scheduler(scheduler)
+    order = []
+    engine.schedule_at(5, lambda: order.append("engine@5"))
+    scheduler.start_timer(5, callback=lambda t: order.append("timer@5"))
+    clock.run(6)
+    # Subscription order decides within-tick order: engine first.
+    assert order == ["engine@5", "timer@5"]
+    assert engine.now == scheduler.now == 6
+
+
+def test_run_validates():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.run(-1)
+    assert clock.run(0) == 0

@@ -1,0 +1,152 @@
+"""Boundary configurations and stress edges across schemes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    HashedWheelUnsortedScheduler,
+    HashedWheelSortedScheduler,
+    HierarchicalWheelScheduler,
+    TimingWheelScheduler,
+)
+from tests.conftest import ALL_SCHEMES, EXACT_SCHEMES, build
+
+
+def test_scheme6_with_one_bucket_degrades_to_scheme1():
+    """TableSize=1: every timer shares the single bucket, so every tick
+    scans all of them — Scheme 1's per-tick behaviour, as the bucket-sort
+    analogy predicts."""
+    sched = HashedWheelUnsortedScheduler(table_size=1)
+    fired = []
+    for iv in (1, 3, 3, 7):
+        sched.start_timer(iv, callback=lambda t: fired.append((sched.now, t.interval)))
+    before = sched.counter.snapshot()
+    sched.tick()
+    # All four entries visited on the very first tick.
+    assert sched.counter.since(before).total >= 4 * 6
+    sched.advance(10)
+    assert sorted(fired) == [(1, 1), (3, 3), (3, 3), (7, 7)]
+
+
+def test_minimal_wheel_sizes():
+    wheel = TimingWheelScheduler(max_interval=2)
+    fired = wheel.start_timer(1)
+    assert wheel.tick() == [fired]
+
+    hashed = HashedWheelSortedScheduler(table_size=2)
+    out = []
+    for iv in (1, 2, 3, 4, 5):
+        hashed.start_timer(iv, callback=lambda t: out.append((hashed.now, t.interval)))
+    hashed.advance(6)
+    assert sorted(out) == [(iv, iv) for iv in (1, 2, 3, 4, 5)]
+
+
+def test_single_level_hierarchy_is_a_plain_wheel():
+    sched = HierarchicalWheelScheduler(slot_counts=(32,))
+    assert sched.total_span == 32
+    fired = []
+    sched.start_timer(31, callback=lambda t: fired.append(sched.now))
+    sched.advance(31)
+    assert fired == [31]
+    assert sched.migrations == 0
+
+
+def test_six_level_hierarchy_long_timer():
+    sched = HierarchicalWheelScheduler(slot_counts=(4, 4, 4, 4, 4, 4))
+    assert sched.total_span == 4**6
+    fired = []
+    interval = 4**6 - 1
+    sched.start_timer(interval, callback=lambda t: fired.append(sched.now))
+    sched.advance(interval)
+    assert fired == [interval]
+    # A timer can migrate through at most m-1 = 5 levels.
+    assert 1 <= sched.migrations <= 5
+
+
+@pytest.mark.parametrize(
+    "scheme", [n for n in EXACT_SCHEMES if n not in ("scheme4",)]
+)
+def test_very_long_intervals(scheme):
+    """Unbounded schemes must handle million-tick intervals; we jump close
+    to the deadline instead of grinding every tick where possible."""
+    sched = build(scheme)
+    max_iv = sched.max_start_interval()
+    interval = 200_000 if max_iv is None else max_iv - 1
+    timer = sched.start_timer(interval)
+    sched.advance(interval - 1)
+    assert timer.pending
+    sched.tick()
+    assert timer.fired_at == interval
+
+
+def test_boundary_interval_on_bounded_schemes():
+    wheel = TimingWheelScheduler(max_interval=100)
+    t = wheel.start_timer(99)
+    wheel.advance(99)
+    assert t.fired_at == 99
+
+    hier = HierarchicalWheelScheduler(slot_counts=(10, 10))
+    t = hier.start_timer(99)
+    hier.advance(99)
+    assert t.fired_at == 99
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_stop_and_restart_same_id_same_tick(scheme):
+    sched = build(scheme)
+    sched.start_timer(10, request_id="x")
+    sched.stop_timer("x")
+    sched.start_timer(20, request_id="x")
+    sched.stop_timer("x")
+    timer = sched.start_timer(5, request_id="x")
+    sched.advance(100)
+    assert timer.fired_at is not None
+
+
+@pytest.mark.parametrize("scheme", EXACT_SCHEMES)
+def test_mass_simultaneous_expiry(scheme):
+    """Thousands of timers due on one tick all fire on that tick."""
+    sched = build(scheme)
+    n = 3000
+    for i in range(n):
+        sched.start_timer(50, request_id=i)
+    sched.advance(49)
+    expired = sched.tick()
+    assert len(expired) == n
+    assert sched.pending_count == 0
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_idle_scheduler_tick_is_cheap(scheme):
+    sched = build(scheme)
+    before = sched.counter.snapshot()
+    sched.advance(100)
+    # No scheme spends more than ~6 ops on a truly empty tick.
+    assert sched.counter.since(before).total <= 600
+
+
+def test_interleaved_schemes_share_nothing():
+    """Two scheduler instances never interfere (no module-global state)."""
+    a = build("scheme6")
+    b = build("scheme6")
+    a.start_timer(5, request_id="x")
+    b.start_timer(9, request_id="x")  # same id on a different instance
+    a.advance(5)
+    assert a.pending_count == 0
+    assert b.pending_count == 1
+
+
+def test_wheel_cursor_many_wraps():
+    sched = HashedWheelUnsortedScheduler(table_size=8)
+    rng = random.Random(7)
+    fired = []
+    for _ in range(50):
+        iv = rng.randint(1, 100)
+        sched.start_timer(iv, callback=lambda t: fired.append(sched.now - t.started_at == t.interval))
+        sched.advance(rng.randint(0, 30))
+    sched.run_until_idle(max_ticks=1000)
+    assert all(fired)
+    assert len(fired) == 50

@@ -1,0 +1,121 @@
+"""Interface-level features: error policy, Scheme 1 modes, registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    StraightforwardScheduler,
+    TimerState,
+    make_scheduler,
+    register_scheme,
+    scheme_names,
+)
+from tests.conftest import ALL_SCHEMES, build
+
+
+class TestCallbackErrorPolicy:
+    def test_default_propagates(self, any_scheduler):
+        def boom(timer):
+            raise RuntimeError("client bug")
+
+        any_scheduler.start_timer(3, callback=boom)
+        with pytest.raises(RuntimeError):
+            any_scheduler.advance(10)
+
+    def test_failed_timer_is_still_finalised_under_propagate(self):
+        sched = build("scheme6")
+        timer = sched.start_timer(3, callback=lambda t: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            sched.advance(3)
+        assert timer.state is TimerState.EXPIRED
+        assert not sched.is_pending(timer.request_id)
+
+    def test_collect_policy_keeps_expiring(self):
+        sched = build("scheme6")
+        sched.set_error_policy("collect")
+        fired = []
+
+        def boom(timer):
+            raise RuntimeError("client bug")
+
+        sched.start_timer(5, request_id="bad", callback=boom)
+        sched.start_timer(5, request_id="good", callback=lambda t: fired.append(t))
+        sched.advance(5)
+        assert [t.request_id for t in fired] == ["good"]
+        assert len(sched.callback_errors) == 1
+        bad_timer, exc = sched.callback_errors[0]
+        assert bad_timer.request_id == "bad"
+        assert isinstance(exc, RuntimeError)
+
+    def test_collect_available_on_every_scheme(self):
+        for name in ALL_SCHEMES:
+            sched = build(name)
+            sched.set_error_policy("collect")
+            sched.start_timer(2, callback=lambda t: 1 / 0)
+            sched.advance(5)
+            assert len(sched.callback_errors) == 1, name
+
+    def test_unknown_policy_rejected(self, any_scheduler):
+        with pytest.raises(ValueError):
+            any_scheduler.set_error_policy("ignore")
+
+
+class TestScheme1Modes:
+    def test_compare_mode_fires_exactly(self):
+        sched = StraightforwardScheduler(mode="compare")
+        fired = []
+        for iv in (1, 5, 5, 9):
+            sched.start_timer(iv, callback=lambda t: fired.append((sched.now, t.interval)))
+        sched.advance(20)
+        assert sorted(fired) == [(1, 1), (5, 5), (5, 5), (9, 9)]
+
+    def test_compare_mode_skips_the_per_record_write(self):
+        n = 50
+        costs = {}
+        for mode in ("decrement", "compare"):
+            sched = StraightforwardScheduler(mode=mode)
+            for _ in range(n):
+                sched.start_timer(1000)
+            before = sched.counter.snapshot()
+            sched.tick()
+            costs[mode] = sched.counter.since(before)
+        assert costs["decrement"].writes == n
+        assert costs["compare"].writes == 0
+        assert costs["compare"].total == costs["decrement"].total - n
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StraightforwardScheduler(mode="guess")
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in scheme_names():
+            kwargs = {"max_interval": 128} if name == "scheme4" else {}
+            sched = make_scheduler(name, **kwargs)
+            sched.start_timer(10)
+            sched.advance(20)
+            assert sched.pending_count == 0 or name == "scheme7-lossy"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_scheduler("scheme99")
+        assert "scheme6" in str(excinfo.value)
+
+    def test_register_custom_scheme(self):
+        register_scheme("custom-test-scheme", StraightforwardScheduler)
+        try:
+            sched = make_scheduler("custom-test-scheme")
+            assert isinstance(sched, StraightforwardScheduler)
+            with pytest.raises(ValueError):
+                register_scheme("custom-test-scheme", StraightforwardScheduler)
+        finally:
+            from repro.core import registry
+
+            del registry._FACTORIES["custom-test-scheme"]
+
+    def test_new_variants_registered(self):
+        names = scheme_names()
+        assert "scheme1-compare" in names
+        assert "scheme4-hybrid" in names

@@ -1,0 +1,98 @@
+"""Periodic timers over the one-shot facility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HashedWheelUnsortedScheduler,
+    HierarchicalWheelScheduler,
+    OrderedListScheduler,
+)
+from repro.core.errors import TimerIntervalError
+from repro.core.periodic import PeriodicTimer, every
+
+
+def test_fires_at_exact_multiples():
+    sched = HashedWheelUnsortedScheduler(table_size=32)
+    beat = every(sched, period=10, action=lambda i, t: None, max_firings=5)
+    sched.advance(60)
+    assert beat.fire_times == [10, 20, 30, 40, 50]
+    assert beat.firings == 5
+    assert not beat.running
+
+
+def test_action_receives_firing_index():
+    sched = OrderedListScheduler()
+    seen = []
+    every(sched, 7, action=lambda i, t: seen.append(i), max_firings=3)
+    sched.advance(30)
+    assert seen == [1, 2, 3]
+
+
+def test_cancel_stops_the_cycle():
+    sched = OrderedListScheduler()
+    beat = every(sched, 5, action=lambda i, t: None)
+    sched.advance(12)
+    assert beat.firings == 2
+    beat.cancel()
+    sched.advance(50)
+    assert beat.firings == 2
+    assert not beat.running
+    beat.cancel()  # idempotent
+
+
+def test_unbounded_cycle_keeps_going():
+    sched = HashedWheelUnsortedScheduler(table_size=16)
+    beat = every(sched, 4, action=lambda i, t: None)
+    sched.advance(400)
+    assert beat.firings == 100
+    assert beat.running
+
+
+def test_fixed_delay_vs_fixed_rate():
+    # With re-entrant advance inside the action, fixed-rate stays anchored
+    # while fixed-delay drifts. Here both behave the same (no delay in the
+    # action), so just verify the fixed_delay flag schedules from now.
+    sched = OrderedListScheduler()
+    fixed = PeriodicTimer(sched, 10, fixed_delay=True, max_firings=3).start()
+    sched.advance(35)
+    assert fixed.fire_times == [10, 20, 30]
+
+
+def test_restart_after_completion():
+    sched = OrderedListScheduler()
+    beat = PeriodicTimer(sched, 5, max_firings=2).start()
+    sched.advance(15)
+    assert beat.firings == 2
+    beat.start()  # restart a finished cycle
+    sched.advance(15)
+    assert beat.firings == 2  # counters reset on start
+    assert beat.fire_times == [20, 25]
+
+
+def test_double_start_rejected():
+    sched = OrderedListScheduler()
+    beat = PeriodicTimer(sched, 5).start()
+    with pytest.raises(RuntimeError):
+        beat.start()
+
+
+def test_period_validated_against_scheduler_range():
+    from repro.core import TimingWheelScheduler
+
+    sched = TimingWheelScheduler(max_interval=32)
+    with pytest.raises(TimerIntervalError):
+        PeriodicTimer(sched, period=32)
+    PeriodicTimer(sched, period=31)  # fits
+
+
+def test_mirrors_the_papers_internal_hierarchy_timer():
+    """Section 6.2: 'there will always be a 60 second timer that is used
+    to update the minute array' — a periodic 60-tick timer on the
+    hierarchy itself fires at every minute boundary."""
+    sched = HierarchicalWheelScheduler((60, 60, 24))
+    minutes = []
+    every(sched, 60, action=lambda i, t: minutes.append(sched.now))
+    sched.advance(600)
+    assert minutes == [60 * k for k in range(1, 11)]

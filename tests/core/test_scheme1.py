@@ -1,0 +1,63 @@
+"""Scheme 1: the straightforward algorithm (Section 3.1)."""
+
+from __future__ import annotations
+
+from repro.core import StraightforwardScheduler
+from repro.cost.counters import OpCounter
+
+
+def test_per_tick_touches_every_outstanding_timer():
+    scheduler = StraightforwardScheduler()
+    for _ in range(10):
+        scheduler.start_timer(100)
+    before = scheduler.counter.snapshot()
+    scheduler.tick()
+    delta = scheduler.counter.since(before)
+    # One read + one write (decrement) + one compare per record.
+    assert delta.reads == 10
+    assert delta.writes == 10
+    assert delta.compares == 10
+
+
+def test_per_tick_cost_scales_linearly():
+    costs = {}
+    for n in (10, 100, 1000):
+        scheduler = StraightforwardScheduler()
+        for _ in range(n):
+            scheduler.start_timer(10_000)
+        before = scheduler.counter.snapshot()
+        scheduler.tick()
+        costs[n] = scheduler.counter.since(before).total
+    assert costs[100] == 10 * costs[10]
+    assert costs[1000] == 100 * costs[10]
+
+
+def test_start_and_stop_are_constant_cost():
+    scheduler = StraightforwardScheduler()
+    for _ in range(500):
+        scheduler.start_timer(10_000)
+    before = scheduler.counter.snapshot()
+    timer = scheduler.start_timer(50)
+    start_cost = scheduler.counter.since(before).total
+    before = scheduler.counter.snapshot()
+    scheduler.stop_timer(timer)
+    stop_cost = scheduler.counter.since(before).total
+    assert start_cost <= 3
+    assert stop_cost <= 2
+
+
+def test_decrement_reaches_zero_exactly_once():
+    scheduler = StraightforwardScheduler()
+    timer = scheduler.start_timer(4)
+    for expected in (3, 2, 1):
+        scheduler.tick()
+        assert timer._remaining == expected
+    expired = scheduler.tick()
+    assert expired == [timer]
+
+
+def test_shares_counter_when_injected():
+    counter = OpCounter()
+    scheduler = StraightforwardScheduler(counter=counter)
+    scheduler.start_timer(5)
+    assert counter.total > 0

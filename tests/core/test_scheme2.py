@@ -1,0 +1,125 @@
+"""Scheme 2: the ordered timer queue (Section 3.2, Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OrderedListScheduler
+from repro.structures.sorted_list import SearchDirection
+
+
+def _hms(h: int, m: int, s: int) -> int:
+    return (h * 60 + m) * 60 + s
+
+
+def test_figure2_worked_example():
+    """Figure 2: queue holds 10:23:12, 10:23:24, 10:24:03; a timer due at
+    10:24:01 is inserted between the second and third elements."""
+    scheduler = OrderedListScheduler()
+    # Express the figure's absolute times as intervals from time zero.
+    for h, m, s in ((10, 23, 12), (10, 23, 24), (10, 24, 3)):
+        scheduler.start_timer(_hms(h, m, s))
+    assert scheduler.deadlines_in_order() == [
+        _hms(10, 23, 12),
+        _hms(10, 23, 24),
+        _hms(10, 24, 3),
+    ]
+    scheduler.start_timer(_hms(10, 24, 1))
+    assert scheduler.deadlines_in_order() == [
+        _hms(10, 23, 12),
+        _hms(10, 23, 24),
+        _hms(10, 24, 1),  # inserted between the 2nd and 3rd elements
+        _hms(10, 24, 3),
+    ]
+
+
+def test_queue_stays_sorted_under_churn():
+    import random
+
+    rng = random.Random(2)
+    scheduler = OrderedListScheduler()
+    live = []
+    for _ in range(300):
+        if rng.random() < 0.6 or not live:
+            live.append(scheduler.start_timer(rng.randint(1, 500)))
+        else:
+            timer = live.pop(rng.randrange(len(live)))
+            if timer.pending:
+                scheduler.stop_timer(timer)
+        scheduler.advance(rng.randint(0, 3))
+        deadlines = scheduler.deadlines_in_order()
+        assert deadlines == sorted(deadlines)
+
+
+def test_head_insert_cost_grows_with_n():
+    costs = {}
+    for n in (10, 200):
+        scheduler = OrderedListScheduler()
+        # All existing timers expire later than the new one, so the new
+        # timer walks... actually earlier: it is inserted near the front.
+        for _ in range(n):
+            scheduler.start_timer(1000)
+        scheduler.start_timer(2000)  # forced full walk for FROM_HEAD
+        costs[n] = scheduler.last_insert_compares
+    # The latest deadline walks past every queued element (no terminator).
+    assert costs[10] == 10
+    assert costs[200] == 200
+
+
+def test_rear_search_is_constant_for_equal_intervals():
+    """Section 3.2: 'if timers are always inserted at the rear of the list,
+    this search strategy yields an O(1) START_TIMER latency ... if all
+    timer intervals have the same value'."""
+    scheduler = OrderedListScheduler(direction=SearchDirection.FROM_REAR)
+    for _ in range(500):
+        scheduler.start_timer(100)
+        assert scheduler.last_insert_compares <= 1
+
+
+def test_head_search_is_worst_case_for_equal_intervals():
+    scheduler = OrderedListScheduler(direction=SearchDirection.FROM_HEAD)
+    for i in range(100):
+        scheduler.start_timer(100)
+        assert scheduler.last_insert_compares == i  # walks every element
+
+
+def test_fifo_among_equal_deadlines():
+    scheduler = OrderedListScheduler()
+    order = []
+    for name in ("a", "b", "c"):
+        scheduler.start_timer(
+            7, request_id=name, callback=lambda t: order.append(t.request_id)
+        )
+    scheduler.advance(7)
+    assert order == ["a", "b", "c"]
+
+
+def test_earliest_deadline_tracks_head():
+    scheduler = OrderedListScheduler()
+    assert scheduler.earliest_deadline() is None
+    scheduler.start_timer(50)
+    early = scheduler.start_timer(10)
+    assert scheduler.earliest_deadline() == 10
+    scheduler.stop_timer(early)
+    assert scheduler.earliest_deadline() == 50
+
+
+def test_per_tick_is_constant_when_nothing_due():
+    scheduler = OrderedListScheduler()
+    for _ in range(1000):
+        scheduler.start_timer(10_000)
+    before = scheduler.counter.snapshot()
+    scheduler.tick()
+    assert scheduler.counter.since(before).total <= 4
+
+
+@pytest.mark.parametrize(
+    "direction", [SearchDirection.FROM_HEAD, SearchDirection.FROM_REAR]
+)
+def test_both_directions_give_identical_expiry_behaviour(direction):
+    scheduler = OrderedListScheduler(direction=direction)
+    fired = []
+    for interval in (5, 3, 9, 3):
+        scheduler.start_timer(interval, callback=lambda t: fired.append((scheduler.now, t.interval)))
+    scheduler.advance(10)
+    assert sorted(fired) == [(3, 3), (3, 3), (5, 5), (9, 9)]

@@ -1,0 +1,112 @@
+"""Scheme 3: tree-based priority-queue schedulers (Section 4.1.1)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    HeapScheduler,
+    LeftistTreeScheduler,
+    RedBlackTreeScheduler,
+    UnbalancedBSTScheduler,
+)
+
+TREES = [
+    HeapScheduler,
+    UnbalancedBSTScheduler,
+    RedBlackTreeScheduler,
+    LeftistTreeScheduler,
+]
+
+
+@pytest.mark.parametrize("factory", TREES)
+def test_earliest_deadline_is_min(factory):
+    scheduler = factory()
+    rng = random.Random(3)
+    timers = [scheduler.start_timer(rng.randint(1, 10_000)) for _ in range(200)]
+    assert scheduler.earliest_deadline() == min(t.deadline for t in timers)
+
+
+@pytest.mark.parametrize("factory", TREES)
+def test_stop_any_timer_keeps_structure_valid(factory):
+    scheduler = factory()
+    rng = random.Random(4)
+    timers = [scheduler.start_timer(rng.randint(1, 5_000)) for _ in range(100)]
+    rng.shuffle(timers)
+    for timer in timers[:60]:
+        scheduler.stop_timer(timer)
+    remaining = [t for t in timers[60:]]
+    assert scheduler.earliest_deadline() == min(t.deadline for t in remaining)
+    fired = []
+    scheduler.run_until_idle(max_ticks=20_000)
+    assert scheduler.pending_count == 0
+    for t in remaining:
+        assert t.expired_at == t.deadline
+
+
+def test_bst_degenerates_on_equal_intervals():
+    """Section 4.1.1: 'unbalanced binary trees easily degenerate into a
+    linear list; this can happen, for instance, if a set of equal timer
+    intervals are inserted.'"""
+    scheduler = UnbalancedBSTScheduler()
+    n = 200
+    for _ in range(n):
+        scheduler.start_timer(1000)
+    assert scheduler.structure_height() == n
+
+
+def test_rbtree_stays_logarithmic_on_equal_intervals():
+    scheduler = RedBlackTreeScheduler()
+    n = 512
+    for _ in range(n):
+        scheduler.start_timer(1000)
+    assert scheduler.structure_height() <= 2 * math.log2(n) + 2
+
+
+def test_bst_insert_depth_tracks_height():
+    scheduler = UnbalancedBSTScheduler()
+    for i in range(50):
+        scheduler.start_timer(1000)
+        assert scheduler.last_insert_compares == i
+
+
+@pytest.mark.parametrize("factory", TREES)
+def test_insert_compares_logarithmic_on_random_input(factory):
+    scheduler = factory()
+    rng = random.Random(5)
+    for _ in range(4096):
+        scheduler.start_timer(rng.randint(1, 1 << 28))
+    # Probe: average descent of the next inserts.
+    samples = []
+    for _ in range(50):
+        timer = scheduler.start_timer(rng.randint(1, 1 << 28))
+        samples.append(scheduler.last_insert_compares)
+        scheduler.stop_timer(timer)
+    mean = sum(samples) / len(samples)
+    assert mean < 6 * math.log2(4096)
+
+
+@pytest.mark.parametrize("factory", TREES)
+def test_fifo_among_equal_deadlines(factory):
+    scheduler = factory()
+    order = []
+    for name in ("a", "b", "c", "d"):
+        scheduler.start_timer(
+            11, request_id=name, callback=lambda t: order.append(t.request_id)
+        )
+    scheduler.advance(11)
+    assert order == ["a", "b", "c", "d"]
+
+
+@pytest.mark.parametrize("factory", TREES)
+def test_per_tick_constant_when_idle(factory):
+    scheduler = factory()
+    for _ in range(1000):
+        scheduler.start_timer(100_000)
+    before = scheduler.counter.snapshot()
+    for _ in range(10):
+        scheduler.tick()
+    assert scheduler.counter.since(before).total <= 40  # ~4 ops/tick

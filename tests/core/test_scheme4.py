@@ -1,0 +1,83 @@
+"""Scheme 4: the basic timing wheel (Section 5, Figure 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TimingWheelScheduler
+from repro.core.errors import TimerConfigurationError, TimerIntervalError
+
+
+def test_interval_must_be_below_max_interval():
+    scheduler = TimingWheelScheduler(max_interval=100)
+    scheduler.start_timer(99)  # boundary-1 accepted
+    with pytest.raises(TimerIntervalError):
+        scheduler.start_timer(100)
+    with pytest.raises(TimerIntervalError):
+        scheduler.start_timer(5_000)
+
+
+def test_configuration_validation():
+    with pytest.raises(TimerConfigurationError):
+        TimingWheelScheduler(max_interval=0)
+    with pytest.raises(TimerConfigurationError):
+        TimingWheelScheduler(max_interval=1)
+    with pytest.raises(TimerConfigurationError):
+        TimingWheelScheduler(max_interval="256")
+
+
+def test_slot_indexing_is_cursor_plus_interval_mod_max():
+    """Figure 8: 'to set a timer at j units past current time, we index
+    into Element (i + j mod MaxInterval)'."""
+    scheduler = TimingWheelScheduler(max_interval=16)
+    scheduler.advance(5)  # cursor = 5
+    timer = scheduler.start_timer(13)
+    assert scheduler.cursor == 5
+    assert timer._slot_index == (5 + 13) % 16
+
+
+def test_wraparound_expiry():
+    scheduler = TimingWheelScheduler(max_interval=8)
+    fired = []
+    scheduler.advance(6)
+    scheduler.start_timer(7, callback=lambda t: fired.append(scheduler.now))
+    scheduler.advance(7)
+    assert fired == [13]
+
+
+def test_multiple_laps_with_repeated_reuse():
+    scheduler = TimingWheelScheduler(max_interval=8)
+    fired = []
+    for lap in range(10):
+        scheduler.start_timer(7, callback=lambda t: fired.append(scheduler.now))
+        scheduler.advance(7)
+    assert fired == [7 * (i + 1) for i in range(10)]
+
+
+def test_empty_tick_is_cheap():
+    scheduler = TimingWheelScheduler(max_interval=1024)
+    scheduler.start_timer(1000)
+    before = scheduler.counter.snapshot()
+    scheduler.advance(100)  # all empty slots
+    assert scheduler.counter.since(before).total == 300  # 3 ops per tick
+
+
+def test_slot_sizes_inventory():
+    scheduler = TimingWheelScheduler(max_interval=8)
+    scheduler.start_timer(3)
+    scheduler.start_timer(3)
+    scheduler.start_timer(5)
+    sizes = scheduler.slot_sizes()
+    assert sizes[3] == 2
+    assert sizes[5] == 1
+    assert sum(sizes) == 3
+
+
+def test_stop_unlinks_from_slot():
+    scheduler = TimingWheelScheduler(max_interval=8)
+    timer = scheduler.start_timer(3)
+    other = scheduler.start_timer(3)
+    scheduler.stop_timer(timer)
+    assert scheduler.slot_sizes()[3] == 1
+    fired = scheduler.advance(3)
+    assert fired == [other]

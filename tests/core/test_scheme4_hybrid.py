@@ -1,0 +1,115 @@
+"""The Section 5 hybrid: wheel within range, Scheme 2 overflow beyond."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import HybridWheelScheduler
+from repro.core.errors import TimerConfigurationError
+
+
+def test_near_timers_live_on_the_wheel():
+    sched = HybridWheelScheduler(max_interval=64)
+    sched.start_timer(10)
+    sched.start_timer(63)
+    assert sched.wheel_count == 2
+    assert sched.overflow_count == 0
+
+
+def test_far_timers_park_in_overflow():
+    sched = HybridWheelScheduler(max_interval=64)
+    sched.start_timer(64)  # exactly the range bound: overflow
+    sched.start_timer(10_000)
+    assert sched.wheel_count == 0
+    assert sched.overflow_count == 2
+
+
+def test_promotion_happens_once_per_revolution():
+    sched = HybridWheelScheduler(max_interval=16)
+    timer = sched.start_timer(40)
+    assert sched.overflow_count == 1
+    # deadline 40: the wrap at t=32 brings it into [32, 48).
+    sched.advance(31)
+    assert sched.overflow_count == 1
+    sched.advance(1)  # t=32: wrap, promote
+    assert sched.overflow_count == 0
+    assert sched.promotions == 1
+    assert timer.pending
+    expired = sched.advance(8)
+    assert expired == [timer]
+    assert timer.fired_at == 40
+
+
+def test_deadline_on_wrap_boundary_fires_exactly():
+    sched = HybridWheelScheduler(max_interval=16)
+    fired = []
+    sched.start_timer(32, callback=lambda t: fired.append(sched.now))
+    sched.advance(32)
+    assert fired == [32]
+
+
+def test_stop_from_wheel_and_overflow():
+    sched = HybridWheelScheduler(max_interval=32)
+    near = sched.start_timer(5)
+    far = sched.start_timer(500)
+    sched.stop_timer(near)
+    sched.stop_timer(far)
+    assert sched.pending_count == 0
+    assert sched.advance(600) == []
+
+
+def test_start_cost_constant_for_near_timers_under_far_load():
+    """The hybrid's point: far timers in the queue never slow near starts."""
+    sched = HybridWheelScheduler(max_interval=128)
+    for i in range(500):
+        sched.start_timer(1000 + i)  # all overflow
+    before = sched.counter.snapshot()
+    sched.start_timer(50)
+    assert sched.counter.since(before).total <= 6
+
+
+def test_far_insert_cost_is_rear_search():
+    """Overflow inserts search from the rear: appending ever-later
+    deadlines costs O(1) even with a long queue."""
+    sched = HybridWheelScheduler(max_interval=16)
+    for i in range(1, 300):
+        before = sched.counter.snapshot()
+        sched.start_timer(100 + i)  # monotically later: rear append
+        assert sched.counter.since(before).compares <= 3
+
+
+def test_exactness_under_random_churn():
+    sched = HybridWheelScheduler(max_interval=64)
+    rng = random.Random(52)
+    timers = []
+    for _ in range(400):
+        sched.advance(rng.randint(0, 3))
+        timers.append(sched.start_timer(rng.randint(1, 2000)))
+    live = [t for t in timers]
+    for victim in rng.sample(live, 100):
+        if victim.pending:
+            sched.stop_timer(victim)
+    sched.run_until_idle(max_ticks=10_000)
+    for t in timers:
+        if t.fired_at is not None:
+            assert t.fired_at == t.deadline
+    assert sched.pending_count == 0
+
+
+def test_configuration_validation():
+    with pytest.raises(TimerConfigurationError):
+        HybridWheelScheduler(max_interval=1)
+    with pytest.raises(TimerConfigurationError):
+        HybridWheelScheduler(max_interval=0)
+
+
+def test_multi_revolution_far_timer():
+    sched = HybridWheelScheduler(max_interval=8)
+    fired = []
+    sched.start_timer(100, callback=lambda t: fired.append(sched.now))
+    sched.advance(100)
+    assert fired == [100]
+    # Promoted exactly once (at the wrap covering t=100).
+    assert sched.promotions == 1

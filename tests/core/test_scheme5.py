@@ -1,0 +1,87 @@
+"""Scheme 5: hashed wheel with sorted buckets (Section 6.1.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import HashedWheelSortedScheduler, OrderedListScheduler
+from repro.core.errors import TimerConfigurationError
+
+
+def test_figure9_hash_placement():
+    """Figure 9: table size 256, cursor 10, remainder 20 -> element 30."""
+    scheduler = HashedWheelSortedScheduler(table_size=256)
+    scheduler.advance(10)  # cursor = 10
+    high = 7  # arbitrary high-order bits
+    timer = scheduler.start_timer(high * 256 + 20)
+    assert scheduler.cursor == 10
+    assert timer._slot_index == 30
+    assert timer._rounds == high  # the stored division result
+
+
+def test_bucket_lists_are_sorted_by_deadline():
+    scheduler = HashedWheelSortedScheduler(table_size=4)
+    rng = random.Random(6)
+    for _ in range(200):
+        scheduler.start_timer(rng.randint(1, 10_000))
+    for bucket in scheduler._buckets:
+        assert bucket.is_sorted()
+
+
+def test_reduces_to_scheme2_with_table_size_1():
+    """Section 6.1.1: 'the scheme reduces to Scheme 2 if the array size
+    is 1' — identical expiry behaviour and identical insertion scan costs."""
+    rng_intervals = [random.Random(7).randint(1, 500) for _ in range(100)]
+    s5 = HashedWheelSortedScheduler(table_size=1)
+    s2 = OrderedListScheduler()
+    fired5, fired2 = [], []
+    for interval in rng_intervals:
+        s5.start_timer(interval, callback=lambda t: fired5.append((s5.now, t.interval)))
+        s2.start_timer(interval, callback=lambda t: fired2.append((s2.now, t.interval)))
+    s5.advance(600)
+    s2.advance(600)
+    assert sorted(fired5) == sorted(fired2)
+    assert s5.pending_count == s2.pending_count == 0
+
+
+def test_per_tick_touches_only_due_heads():
+    scheduler = HashedWheelSortedScheduler(table_size=8)
+    # Two timers in the same bucket, one revolution apart.
+    scheduler.start_timer(3)
+    scheduler.start_timer(3 + 8)
+    fired = scheduler.advance(3)
+    assert len(fired) == 1 and fired[0].interval == 3
+    fired = scheduler.advance(8)
+    assert len(fired) == 1 and fired[0].interval == 11
+
+
+def test_average_start_is_constant_when_n_below_table_size():
+    scheduler = HashedWheelSortedScheduler(table_size=1024)
+    rng = random.Random(8)
+    for _ in range(256):  # n < TableSize
+        scheduler.start_timer(rng.randint(1, 100_000))
+    compares = []
+    for _ in range(100):
+        timer = scheduler.start_timer(rng.randint(1, 100_000))
+        compares.append(scheduler.last_insert_compares)
+        scheduler.stop_timer(timer)
+    assert sum(compares) / len(compares) < 3.0
+
+
+def test_start_degrades_when_one_bucket_holds_everything():
+    """The paper's caveat: Scheme 5 'depends too much on the hash
+    distribution' — all-same-slot timers rebuild Scheme 2's O(n) insert."""
+    scheduler = HashedWheelSortedScheduler(table_size=16)
+    for i in range(1, 101):
+        scheduler.start_timer(16 * i)  # same remainder -> same bucket
+    scheduler.start_timer(16 * 101)
+    assert scheduler.last_insert_compares == 100
+
+
+def test_configuration_validation():
+    with pytest.raises(TimerConfigurationError):
+        HashedWheelSortedScheduler(table_size=0)
+    with pytest.raises(TimerConfigurationError):
+        HashedWheelSortedScheduler(table_size=-4)

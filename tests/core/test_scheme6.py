@@ -1,0 +1,103 @@
+"""Scheme 6: hashed wheel with unsorted buckets (Section 6.1.2, Figure 9)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler
+from repro.core.errors import TimerConfigurationError
+
+
+def test_figure9_worked_example():
+    """Figure 9: a 32-bit timer whose low 8 bits are 20 lands in element
+    (10 + 20) = 30 with the 24 high-order bits stored alongside."""
+    scheduler = HashedWheelUnsortedScheduler(table_size=256)
+    scheduler.advance(10)
+    high_order = 0xABCD  # 24-bit quantity
+    interval = (high_order << 8) | 20
+    timer = scheduler.start_timer(interval)
+    assert timer._slot_index == 30
+    assert timer._rounds == high_order
+    assert scheduler.bucket_sizes()[30] == 1
+
+
+def test_rounds_semantics_exact_multiple_of_table_size():
+    """A timer of exactly k*TableSize must expire after k revolutions (the
+    slot is first visited one full revolution after insertion)."""
+    scheduler = HashedWheelUnsortedScheduler(table_size=8)
+    fired = []
+    for k in (1, 2, 3):
+        scheduler.start_timer(8 * k, callback=lambda t: fired.append(scheduler.now))
+    scheduler.advance(8 * 3)
+    assert fired == [8, 16, 24]
+
+
+def test_start_is_constant_regardless_of_population():
+    scheduler = HashedWheelUnsortedScheduler(table_size=64)
+    rng = random.Random(9)
+    for _ in range(5000):
+        scheduler.start_timer(rng.randint(1, 1_000_000))
+    before = scheduler.counter.snapshot()
+    scheduler.start_timer(123_456)
+    assert scheduler.counter.since(before).total == 13  # the VAX constant
+
+
+def test_per_tick_decrements_whole_bucket():
+    scheduler = HashedWheelUnsortedScheduler(table_size=4)
+    # Three timers in the same bucket with different rounds.
+    scheduler.start_timer(3)  # rounds 0
+    scheduler.start_timer(7)  # rounds 1
+    scheduler.start_timer(11)  # rounds 2
+    fired = scheduler.advance(3)
+    assert [t.interval for t in fired] == [3]
+    fired = scheduler.advance(4)
+    assert [t.interval for t in fired] == [7]
+    fired = scheduler.advance(4)
+    assert [t.interval for t in fired] == [11]
+
+
+def test_entry_visits_average_n_over_table_size():
+    """Section 6.1.2: 'every TableSize ticks we decrement once all timers
+    that are still living. Thus for n timers we do n/TableSize work on
+    average per tick.'"""
+    table = 64
+    scheduler = HashedWheelUnsortedScheduler(table_size=table)
+    n = 128
+    for i in range(n):
+        scheduler.start_timer(100_000 + i)  # long-lived
+    ticks = table * 4
+    scheduler.advance(ticks)
+    visits_per_tick = scheduler.entry_visits / ticks
+    assert abs(visits_per_tick - n / table) < 0.3
+
+
+def test_worst_case_burstiness_when_hash_collides():
+    """All timers in one bucket: every TableSize ticks costs O(n), the
+    intermediate ticks O(1) — the 'burstiness' note of Section 6.1.2."""
+    table = 16
+    scheduler = HashedWheelUnsortedScheduler(table_size=table)
+    n = 50
+    for i in range(1, n + 1):
+        scheduler.start_timer(table * i)  # all to the cursor bucket
+    costs = []
+    for _ in range(table):
+        before = scheduler.counter.snapshot()
+        scheduler.tick()
+        costs.append(scheduler.counter.since(before).total)
+    # One expensive tick (the collision bucket), the rest cheap.
+    expensive = [c for c in costs if c > 10]
+    assert len(expensive) == 1
+    assert costs.count(4) == table - 1
+
+
+def test_interval_of_one_fires_next_tick():
+    scheduler = HashedWheelUnsortedScheduler(table_size=256)
+    fired = scheduler.start_timer(1)
+    assert scheduler.tick() == [fired]
+
+
+def test_configuration_validation():
+    with pytest.raises(TimerConfigurationError):
+        HashedWheelUnsortedScheduler(table_size=0)

@@ -1,0 +1,162 @@
+"""Scheme 7: hierarchical timing wheels (Section 6.2, Figures 10-11)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import HierarchicalWheelScheduler, PAPER_LEVELS
+from repro.core.errors import TimerConfigurationError, TimerIntervalError
+
+
+def _clock(d: int, h: int, m: int, s: int) -> int:
+    return ((d * 24 + h) * 60 + m) * 60 + s
+
+
+class TestFigure10WorkedExample:
+    """'Let the current time be 11 days 10 hours, 24 minutes, 30 seconds.
+    Then to set a timer of 50 minutes and 45 seconds ... insert the timer
+    into a list beginning 1 element ahead of the current hour pointer.'"""
+
+    def setup_method(self):
+        self.sched = HierarchicalWheelScheduler(slot_counts=PAPER_LEVELS)
+        self.start = _clock(11, 10, 24, 30)
+        self.sched._now = self.start  # position the clock as the figure does
+        self.timer = self.sched.start_timer(50 * 60 + 45)
+
+    def test_absolute_expiry_time(self):
+        assert self.timer.deadline == _clock(11, 11, 15, 15)
+
+    def test_inserted_into_hour_array(self):
+        assert self.timer._level == 2  # seconds=0, minutes=1, hours=2
+        assert self.sched.cursor_positions()[2] == 10
+        assert self.timer._slot_index == 11  # 1 ahead of the hour pointer
+
+    def test_migrates_to_minute_15_after_hour_cascade(self):
+        """Figure 11: 'when the hour timer reaches 11 ... EXPIRY_PROCESSING
+        will insert the remainder of the seconds in the minute array, 15
+        elements after the current minute pointer (0).'"""
+        to_boundary = _clock(11, 11, 0, 0) - self.start
+        self.sched.advance(to_boundary)
+        assert self.sched.cursor_positions()[1] == 0
+        assert self.timer._level == 1
+        assert self.timer._slot_index == 15
+
+    def test_migrates_to_second_array_then_expires(self):
+        self.sched.advance(_clock(11, 11, 15, 0) - self.start)
+        assert self.timer._level == 0
+        assert self.timer._slot_index == 15
+        expired = self.sched.advance(15)
+        assert expired == [self.timer]
+        assert self.timer.fired_at == self.timer.deadline
+
+    def test_two_migrations_total(self):
+        self.sched.advance(2 * 3600)
+        assert self.sched.migrations == 2  # hour->minute, minute->second
+
+
+def test_space_matches_paper_arithmetic():
+    """'Instead of 100*24*60*60 = 8.64 million locations ... we need only
+    100 + 24 + 60 + 60 = 244 locations.'"""
+    sched = HierarchicalWheelScheduler(slot_counts=PAPER_LEVELS)
+    assert sched.total_slots == 244
+    assert sched.total_span == 8_640_000
+
+
+def test_interval_beyond_span_rejected():
+    sched = HierarchicalWheelScheduler(slot_counts=(10, 10))
+    sched.start_timer(99)
+    with pytest.raises(TimerIntervalError):
+        sched.start_timer(100)
+
+
+def test_configuration_validation():
+    with pytest.raises(TimerConfigurationError):
+        HierarchicalWheelScheduler(slot_counts=())
+    with pytest.raises(TimerConfigurationError):
+        HierarchicalWheelScheduler(slot_counts=(10, 1))
+    with pytest.raises(TimerConfigurationError):
+        HierarchicalWheelScheduler(slot_counts=(10,), placement="bogus")
+
+
+def test_level_granularities_and_spans():
+    sched = HierarchicalWheelScheduler(slot_counts=(60, 60, 24, 100))
+    assert sched.level_granularities() == [1, 60, 3600, 86400]
+    assert sched.level_spans() == [60, 3600, 86400, 8_640_000]
+
+
+def test_boundary_crossing_short_timer_uses_coarse_level():
+    """A 2-minute timer that crosses an hour boundary sits in the hour
+    array under the paper's digit rule, then migrates down precisely."""
+    sched = HierarchicalWheelScheduler(slot_counts=PAPER_LEVELS)
+    sched._now = _clock(0, 10, 59, 0)
+    timer = sched.start_timer(120)  # expires 11:01:00
+    assert timer._level == 2
+    expired = sched.advance(120)
+    assert expired == [timer]
+    assert timer.fired_at == timer.deadline
+
+
+@pytest.mark.parametrize("placement", ["paper", "span"])
+def test_both_placement_rules_fire_exactly(placement):
+    sched = HierarchicalWheelScheduler(
+        slot_counts=(16, 16, 16), placement=placement
+    )
+    rng = random.Random(10)
+    timers = [sched.start_timer(rng.randint(1, 16**3 - 1)) for _ in range(300)]
+    sched.run_until_idle(max_ticks=2 * 16**3)
+    for t in timers:
+        assert t.fired_at == t.deadline
+
+
+def test_span_placement_makes_fewer_migrations():
+    """The ablation DESIGN.md calls out: the kernel-style lowest-covering-
+    level rule migrates strictly less than the paper's digit rule on a
+    staggered workload (boundary-crossing timers climb under the digit
+    rule), while both fire at the exact deadlines."""
+    rng = random.Random(11)
+    schedule = [(rng.randint(0, 20), rng.randint(1, 16**3 // 2)) for _ in range(300)]
+    results = {}
+    for placement in ("paper", "span"):
+        sched = HierarchicalWheelScheduler(
+            slot_counts=(16, 16, 16), placement=placement
+        )
+        timers = []
+        for gap, iv in schedule:
+            sched.advance(gap)
+            timers.append(sched.start_timer(iv))
+        sched.run_until_idle(max_ticks=3 * 16**3 + 21 * 300)
+        assert all(t.fired_at == t.deadline for t in timers)
+        results[placement] = sched.migrations
+    assert results["span"] < results["paper"]
+
+
+def test_cascades_counted_even_when_empty():
+    sched = HierarchicalWheelScheduler(slot_counts=(10, 10))
+    sched.advance(100)
+    assert sched.cascades == 10  # one level-1 cascade per 10 ticks
+
+
+def test_paper_formulation_internal_timers_equivalence():
+    """The paper describes coarse arrays driven by internal 60s/60m/24h
+    timers; our cascade-on-boundary formulation must cascade exactly as
+    often as those internal timers would fire."""
+    sched = HierarchicalWheelScheduler(slot_counts=(60, 60, 24))
+    horizon = 2 * 86400
+    sched.advance(horizon)
+    minute_firings = horizon // 60  # the "60 second timer" expiries
+    hour_firings = horizon // 3600  # the "60 minute timer" expiries
+    assert sched.cascades == minute_firings + hour_firings
+
+
+def test_deep_hierarchy_long_timer():
+    sched = HierarchicalWheelScheduler(slot_counts=(60, 60, 24, 100))
+    fired = []
+    interval = _clock(42, 13, 59, 59)
+    sched.start_timer(interval, callback=lambda t: fired.append(sched.now))
+    # Jump close to the deadline cheaply, then verify exact firing.
+    sched.advance(interval - 2)
+    assert fired == []
+    sched.advance(2)
+    assert fired == [interval]

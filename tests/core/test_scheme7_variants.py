@@ -1,0 +1,141 @@
+"""The Nichols variants: lossy and single-migration hierarchies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    HierarchicalWheelScheduler,
+    LossyHierarchicalScheduler,
+    SingleMigrationHierarchicalScheduler,
+)
+from repro.core.errors import TimerConfigurationError
+
+LEVELS = (60, 60, 24)
+
+
+class TestLossy:
+    def test_never_migrates(self):
+        sched = LossyHierarchicalScheduler(LEVELS)
+        rng = random.Random(12)
+        for _ in range(300):
+            sched.start_timer(rng.randint(1, 86_399))
+        sched.run_until_idle(max_ticks=2 * 86_400)
+        assert sched.migrations == 0
+
+    def test_level0_timers_are_exact(self):
+        sched = LossyHierarchicalScheduler(LEVELS)
+        timers = [sched.start_timer(iv) for iv in (1, 10, 59)]
+        sched.advance(60)
+        for t in timers:
+            assert t.fired_at == t.deadline
+
+    def test_paper_example_rounds_to_the_hour(self):
+        """'we would round off to the nearest hour and only set the timer
+        in hours' — the Figure 10 timer fires at 11:00:00 instead of
+        11:15:15 under rounding-down."""
+        sched = LossyHierarchicalScheduler(LEVELS, rounding="down")
+        start = ((10 * 60) + 24) * 60 + 30  # 10:24:30
+        sched._now = start
+        timer = sched.start_timer(50 * 60 + 45)  # due 11:15:15
+        sched.advance(3600)
+        assert timer.fired_at == 11 * 3600  # rounded to the hour
+
+    def test_nearest_rounding_error_within_half_slot(self):
+        sched = LossyHierarchicalScheduler(LEVELS, rounding="nearest")
+        rng = random.Random(13)
+        timers = [sched.start_timer(rng.randint(60, 86_399)) for _ in range(400)]
+        sched.run_until_idle(max_ticks=3 * 86_400)
+        for t in timers:
+            assert abs(t.fired_at - t.deadline) <= 1800
+
+    def test_down_rounding_never_fires_late_beyond_slot(self):
+        sched = LossyHierarchicalScheduler(LEVELS, rounding="down")
+        rng = random.Random(14)
+        timers = [sched.start_timer(rng.randint(60, 86_399)) for _ in range(400)]
+        sched.run_until_idle(max_ticks=3 * 86_400)
+        for t in timers:
+            error = t.fired_at - t.deadline
+            # Truncation fires early, except the clamp to the next boundary
+            # which can push a hair late; never beyond one slot.
+            assert -3600 < error <= 3600
+
+    def test_rejects_unknown_rounding(self):
+        with pytest.raises(TimerConfigurationError):
+            LossyHierarchicalScheduler(LEVELS, rounding="up")
+
+    def test_stop_works_before_rounded_firing(self):
+        sched = LossyHierarchicalScheduler(LEVELS)
+        timer = sched.start_timer(7200)
+        sched.advance(100)
+        sched.stop_timer(timer)
+        sched.run_until_idle(max_ticks=2 * 86_400)
+        assert timer.fired_at is None
+
+    def test_fewer_timer_touches_than_full_scheme7(self):
+        """The variant's point: PER_TICK_BOOKKEEPING handles each timer
+        once (its rounded slot drain) instead of once per migration hop."""
+        rng_ints = [random.Random(15).randint(3600, 86_399) for _ in range(300)]
+
+        def run(factory):
+            sched = factory()
+            for iv in rng_ints:
+                sched.start_timer(iv)
+            sched.run_until_idle(max_ticks=3 * 86_400)
+            return sched
+
+        lossy = run(lambda: LossyHierarchicalScheduler(LEVELS))
+        full = run(lambda: HierarchicalWheelScheduler(LEVELS))
+        # Touches per timer: migrations + the final drain.
+        assert lossy.migrations == 0
+        assert full.migrations >= len(rng_ints)  # hour timers hop >= once
+        assert (lossy.migrations + 300) < (full.migrations + 300)
+
+
+class TestSingleMigration:
+    def test_at_most_one_migration_each(self):
+        sched = SingleMigrationHierarchicalScheduler(LEVELS)
+        rng = random.Random(16)
+        count = 300
+        for _ in range(count):
+            sched.start_timer(rng.randint(1, 86_399))
+        sched.run_until_idle(max_ticks=3 * 86_400)
+        assert sched.migrations <= count
+
+    def test_minute_range_timers_are_exact(self):
+        """A timer inserted at the minute level migrates once to seconds
+        and fires exactly."""
+        sched = SingleMigrationHierarchicalScheduler(LEVELS)
+        timers = [sched.start_timer(iv) for iv in (75, 119, 3599)]
+        sched.advance(3600)
+        for t in timers:
+            assert t.fired_at == t.deadline
+
+    def test_hour_range_fires_within_one_minute_early(self):
+        sched = SingleMigrationHierarchicalScheduler(LEVELS)
+        rng = random.Random(17)
+        timers = [sched.start_timer(rng.randint(3601, 86_399)) for _ in range(200)]
+        sched.run_until_idle(max_ticks=3 * 86_400)
+        for t in timers:
+            assert 0 <= t.deadline - t.fired_at < 60
+
+    def test_more_precise_than_lossy(self):
+        rng_ints = [random.Random(18).randint(3600, 86_399) for _ in range(300)]
+
+        def max_error(factory):
+            sched = factory()
+            timers = [sched.start_timer(iv) for iv in rng_ints]
+            sched.run_until_idle(max_ticks=3 * 86_400)
+            return max(abs(t.fired_at - t.deadline) for t in timers)
+
+        lossy = max_error(lambda: LossyHierarchicalScheduler(LEVELS))
+        onemig = max_error(lambda: SingleMigrationHierarchicalScheduler(LEVELS))
+        assert onemig < lossy
+
+    def test_error_bound_helper(self):
+        sched = SingleMigrationHierarchicalScheduler(LEVELS)
+        assert sched.firing_error_bound(0) == 0
+        assert sched.firing_error_bound(1) == 0  # migrates to exact level 0
+        assert sched.firing_error_bound(2) == 59

@@ -1,0 +1,74 @@
+"""Scheduler shutdown semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TimerState
+from repro.core.errors import SchedulerShutdownError
+from tests.conftest import ALL_SCHEMES, build
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_shutdown_cancels_all_pending(scheme):
+    sched = build(scheme)
+    timers = [sched.start_timer(100 + i) for i in range(20)]
+    cancelled = sched.shutdown()
+    assert len(cancelled) == 20
+    assert all(t.state is TimerState.STOPPED for t in timers)
+    assert sched.pending_count == 0
+    assert sched.is_shut_down
+
+
+def test_shutdown_refuses_further_work():
+    sched = build("scheme6")
+    sched.start_timer(10)
+    sched.shutdown()
+    with pytest.raises(SchedulerShutdownError):
+        sched.start_timer(5)
+    with pytest.raises(SchedulerShutdownError):
+        sched.tick()
+    with pytest.raises(SchedulerShutdownError):
+        sched.advance(3)
+
+
+def test_shutdown_is_idempotent():
+    sched = build("scheme7")
+    sched.start_timer(50)
+    first = sched.shutdown()
+    assert len(first) == 1
+    assert sched.shutdown() == []
+
+
+def test_inspection_survives_shutdown():
+    sched = build("scheme2")
+    sched.start_timer(50)
+    sched.advance(7)
+    sched.shutdown()
+    assert sched.now == 7
+    assert sched.pending_count == 0
+    assert sched.total_started == 1
+    assert sched.total_stopped == 1
+
+
+def test_no_callbacks_fire_after_shutdown():
+    sched = build("scheme4-hybrid")
+    fired = []
+    sched.start_timer(5, callback=fired.append)
+    sched.shutdown()
+    with pytest.raises(SchedulerShutdownError):
+        sched.advance(10)
+    assert fired == []
+
+
+def test_counters_balance_after_shutdown():
+    sched = build("scheme3-heap")
+    for _ in range(10):
+        sched.start_timer(30)
+    sched.advance(30)  # all expire
+    for _ in range(5):
+        sched.start_timer(40)
+    sched.shutdown()
+    assert sched.total_started == 15
+    assert sched.total_expired == 10
+    assert sched.total_stopped == 5

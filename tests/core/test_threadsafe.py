@@ -1,0 +1,95 @@
+"""The thread-safe scheduler facade under real concurrency."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.core import HashedWheelUnsortedScheduler, OrderedListScheduler
+from repro.core.threadsafe import ThreadSafeScheduler
+
+
+def test_single_threaded_behaviour_unchanged():
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=64))
+    fired = []
+    wrapped.start_timer(5, request_id="a", callback=lambda t: fired.append(t.request_id))
+    wrapped.start_timer(9, request_id="b")
+    wrapped.stop_timer("b")
+    wrapped.advance(10)
+    assert fired == ["a"]
+    assert wrapped.pending_count == 0
+    assert wrapped.now == 10
+    assert wrapped.scheme_name == "scheme6"
+
+
+def test_reentrant_callbacks_from_ticking_thread():
+    wrapped = ThreadSafeScheduler(OrderedListScheduler())
+    fired = []
+
+    def rearm(timer):
+        fired.append(wrapped.now)
+        if len(fired) < 3:
+            wrapped.start_timer(4, callback=rearm)
+
+    wrapped.start_timer(4, callback=rearm)
+    wrapped.advance(20)
+    assert fired == [4, 8, 12]
+
+
+def test_concurrent_clients_and_ticker():
+    """Client threads start/stop while a ticker thread drives the clock;
+    bookkeeping must balance exactly at the end."""
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=128))
+    stop_flag = threading.Event()
+    errors = []
+
+    def ticker():
+        try:
+            while not stop_flag.is_set():
+                wrapped.tick()
+        except Exception as exc:  # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    def client(seed):
+        rng = random.Random(seed)
+        mine = []
+        try:
+            for _ in range(300):
+                if rng.random() < 0.6 or not mine:
+                    mine.append(wrapped.start_timer(rng.randint(1, 400)))
+                else:
+                    victim = mine.pop(rng.randrange(len(mine)))
+                    try:
+                        wrapped.stop_timer(victim)
+                    except Exception:
+                        pass  # expired concurrently: legitimate race
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    ticker_thread = threading.Thread(target=ticker)
+    clients = [threading.Thread(target=client, args=(s,)) for s in range(4)]
+    ticker_thread.start()
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    stop_flag.set()
+    ticker_thread.join()
+
+    assert errors == []
+    inner = wrapped._scheduler
+    assert (
+        inner.total_started
+        == inner.total_stopped + inner.total_expired + inner.pending_count
+    )
+    # Drain and confirm structural integrity end to end.
+    wrapped.advance(500)
+    assert wrapped.pending_count == 0
+
+
+def test_shutdown_under_lock():
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=32))
+    for _ in range(5):
+        wrapped.start_timer(100)
+    cancelled = wrapped.shutdown()
+    assert len(cancelled) == 5

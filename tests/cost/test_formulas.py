@@ -1,0 +1,56 @@
+"""The closed-form paper predictions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost import formulas
+
+
+def test_section32_formulas():
+    assert formulas.scheme2_insert_cost_exponential(0) == 2.0
+    assert formulas.scheme2_insert_cost_exponential(300) == pytest.approx(202.0)
+    assert formulas.scheme2_insert_cost_uniform(200) == 102.0
+    assert formulas.scheme2_insert_cost_exponential_rear(300) == 102.0
+
+
+def test_section62_costs():
+    assert formulas.scheme6_per_tick_cost(n=100, table_size=50) == 2.0
+    assert formulas.scheme7_per_tick_cost(
+        n=100, total_slots=50, levels=4
+    ) == pytest.approx(8.0)
+    assert formulas.scheme6_work_per_timer(T=1000, table_size=100) == 10.0
+    assert formulas.scheme7_work_per_timer(levels=4) == 4.0
+
+
+def test_hardware_interrupt_formulas():
+    assert formulas.hardware_interrupts_scheme6(T=1024, table_size=256) == 4.0
+    assert formulas.hardware_interrupts_scheme7_bound(levels=4) == 4
+
+
+def test_crossover():
+    # c6*T/M == c7*m  =>  M = T/m with unit constants.
+    assert formulas.crossover_table_size(T=9000, levels=3) == 3000.0
+    # Larger c6 pushes the crossover to a bigger table.
+    assert formulas.crossover_table_size(T=9000, levels=3, c6=2.0) == 6000.0
+
+
+@pytest.mark.parametrize(
+    "func,args",
+    [
+        (formulas.scheme2_insert_cost_exponential, (-1,)),
+        (formulas.scheme2_insert_cost_uniform, (-1,)),
+        (formulas.scheme2_insert_cost_exponential_rear, (-0.5,)),
+        (formulas.scheme6_per_tick_cost, (10, 0)),
+        (formulas.scheme7_per_tick_cost, (10, 0, 3)),
+        (formulas.scheme7_per_tick_cost, (10, 100, 0)),
+        (formulas.scheme6_work_per_timer, (10, -5)),
+        (formulas.scheme7_work_per_timer, (0,)),
+        (formulas.hardware_interrupts_scheme6, (10, 0)),
+        (formulas.hardware_interrupts_scheme7_bound, (0,)),
+        (formulas.crossover_table_size, (0, 3)),
+    ],
+)
+def test_validation(func, args):
+    with pytest.raises(ValueError):
+        func(*args)

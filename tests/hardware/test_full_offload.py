@@ -1,0 +1,67 @@
+"""The full-offload timer chip (Appendix A's extreme option)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    HashedWheelUnsortedScheduler,
+    HierarchicalWheelScheduler,
+)
+from repro.hardware.full_offload import FullOffloadChip
+
+
+def test_quiet_ticks_never_interrupt():
+    chip = FullOffloadChip(HashedWheelUnsortedScheduler(table_size=64))
+    chip.start_timer(1000)
+    chip.advance(999)
+    assert chip.report.host_interrupts == 0
+    chip.advance(1)
+    assert chip.report.host_interrupts == 1
+
+
+def test_one_interrupt_covers_simultaneous_expiries():
+    chip = FullOffloadChip(HashedWheelUnsortedScheduler(table_size=64))
+    for _ in range(10):
+        chip.start_timer(50)
+    chip.advance(50)
+    assert chip.report.host_interrupts == 1
+    assert chip.report.timers_completed == 10
+
+
+def test_host_work_is_commands_plus_interrupts():
+    chip = FullOffloadChip(HierarchicalWheelScheduler((16, 16, 16)))
+    rng = random.Random(70)
+    for _ in range(100):
+        chip.start_timer(rng.randint(1, 4000))
+    victim = chip.start_timer(4000, request_id="v")
+    chip.stop_timer("v")
+    while chip.pending_count:
+        chip.advance(64)
+    report = chip.report
+    assert report.commands_issued == 102  # 101 starts + 1 stop
+    assert report.timers_completed == 100
+    # Per completed timer: ~1 start command + <=1 interrupt share.
+    assert report.host_work_per_timer < 2.5
+
+
+def test_no_a_priori_timer_limit():
+    """'there is no a priori limit on the number of timers that can be
+    handled by the chip' — array sizes are just constructor parameters."""
+    chip = FullOffloadChip(HashedWheelUnsortedScheduler(table_size=8))
+    for i in range(5000):  # population far beyond the array size
+        chip.start_timer(1 + (i % 2000))
+    assert chip.pending_count == 5000
+    chip.advance(2000)
+    assert chip.pending_count == 0
+    assert chip.report.timers_completed == 5000
+
+
+def test_interrupts_per_tick_bounded_by_one():
+    chip = FullOffloadChip(HashedWheelUnsortedScheduler(table_size=16))
+    rng = random.Random(71)
+    for _ in range(300):
+        chip.start_timer(rng.randint(1, 100))
+    chip.advance(120)
+    assert chip.report.interrupts_per_tick <= 1.0
+    assert chip.report.host_interrupts <= 100  # at most one per distinct tick

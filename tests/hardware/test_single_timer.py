@@ -1,0 +1,71 @@
+"""Scheme 2's single-timer hardware assist."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HeapScheduler,
+    OrderedListScheduler,
+    TimingWheelScheduler,
+)
+from repro.hardware.single_timer import SingleTimerAssist
+
+
+def test_rejects_schedulers_without_earliest_deadline():
+    with pytest.raises(TypeError):
+        SingleTimerAssist(TimingWheelScheduler(max_interval=64))
+
+
+def test_host_interrupted_only_at_expiry_instants():
+    assist = SingleTimerAssist(OrderedListScheduler())
+    for interval in (10, 10, 25, 40):
+        assist.start_timer(interval)
+    expired = assist.run(100)
+    assert len(expired) == 4
+    # Three distinct expiry instants: 10 (two timers), 25, 40.
+    assert assist.report.host_interrupts == 3
+    assert assist.report.interrupts_avoided == 97
+
+
+def test_quiet_window_interrupts_nothing():
+    assist = SingleTimerAssist(OrderedListScheduler())
+    assist.start_timer(1000)
+    assist.run(500)
+    assert assist.report.host_interrupts == 0
+    assert assist.pending_count == 1
+    assert assist.now == 500
+
+
+def test_rearm_counted_on_head_change():
+    assist = SingleTimerAssist(OrderedListScheduler())
+    assist.start_timer(100, request_id="a")  # head: rearm
+    assist.start_timer(200, request_id="b")  # not head: no rearm
+    assert assist.report.comparator_rearms == 1
+    assist.start_timer(50, request_id="c")  # new head: rearm
+    assert assist.report.comparator_rearms == 2
+    assist.stop_timer("c")  # head removed: rearm
+    assert assist.report.comparator_rearms == 3
+    assist.stop_timer("b")  # tail removed: no change
+    assert assist.report.comparator_rearms == 3
+
+
+def test_works_with_tree_scheduler():
+    assist = SingleTimerAssist(HeapScheduler())
+    for interval in (5, 15, 15, 30):
+        assist.start_timer(interval)
+    assist.run(30)
+    assert assist.report.host_interrupts == 3
+    assert assist.report.timers_completed == 4
+
+
+def test_timers_fire_at_exact_deadlines_through_assist():
+    assist = SingleTimerAssist(OrderedListScheduler())
+    fired = []
+    for interval in (7, 3, 23):
+        assist.start_timer(
+            interval,
+            callback=lambda t: fired.append((assist.scheduler.now, t.interval)),
+        )
+    assist.run(50)
+    assert sorted(fired) == [(3, 3), (7, 7), (23, 23)]

@@ -1,0 +1,209 @@
+"""Cross-package integration: the substrates composed as a user would.
+
+Each test wires several subsystems together — clock + scheduler + engine,
+protocols + failure detection + rate control, logic sim on timer modules,
+hardware assist under protocol load — and checks end-to-end outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.sizing import Workload, best_general_purpose
+from repro.core import (
+    HashedWheelUnsortedScheduler,
+    HierarchicalWheelScheduler,
+    VirtualClock,
+    make_scheduler,
+)
+from repro.core.periodic import every
+from repro.hardware import FullOffloadChip
+from repro.protocols import (
+    HeartbeatFailureDetector,
+    TokenBucket,
+)
+from repro.protocols.host import World, run_server_scenario
+from repro.simulation import EventListEngine, TimerSchedulerEngine
+from repro.simulation.logic import Circuit, GateKind, LogicSimulator
+from repro.workloads import (
+    ExponentialIntervals,
+    PoissonArrivals,
+    TraceRecorder,
+    replay,
+    run_steady_state,
+)
+
+
+def test_clock_drives_scheduler_engine_and_periodic_together():
+    """One VirtualClock, three tick-driven components, one timeline."""
+    clock = VirtualClock()
+    scheduler = HashedWheelUnsortedScheduler(table_size=64)
+    engine = EventListEngine()
+    clock.attach_engine(engine)
+    clock.attach_scheduler(scheduler)
+
+    events = []
+    every(scheduler, 10, action=lambda i, t: events.append(("beat", clock.now)))
+    engine.schedule_at(25, lambda: events.append(("engine", clock.now)))
+    scheduler.start_timer(7, callback=lambda t: events.append(("oneshot", clock.now)))
+    clock.run(30)
+    assert events == [
+        ("oneshot", 7),
+        ("beat", 10),
+        ("beat", 20),
+        ("engine", 25),
+        ("beat", 30),
+    ]
+
+
+def test_advisor_choice_survives_the_actual_workload():
+    """Pick a configuration with the Section 7 advisor, then actually run
+    the workload it was sized for and verify the predicted population."""
+    workload = Workload(
+        rate=2.0, intervals=ExponentialIntervals(300.0), stop_fraction=0.4
+    )
+    choice = best_general_purpose(workload, memory_slots=2048)
+    scheduler = make_scheduler(choice.scheme, **choice.params)
+    stats = run_steady_state(
+        scheduler,
+        PoissonArrivals(workload.rate),
+        workload.intervals,
+        warmup_ticks=2500,
+        measure_ticks=5000,
+        stop_fraction=workload.stop_fraction,
+        seed=77,
+    )
+    assert stats.mean_occupancy == pytest.approx(
+        workload.expected_outstanding, rel=0.15
+    )
+    # And the wheel's O(1) promise held under it.
+    assert stats.mean_insert_cost <= 25.0
+
+
+def test_protocol_world_with_detector_and_rate_limits():
+    """Transport + failure detection + rate limiting on one scheduler."""
+    world = World(
+        HierarchicalWheelScheduler((64, 64, 64)),
+        loss_rate=0.05,
+        min_latency=2,
+        max_latency=8,
+        seed=21,
+    )
+    a = world.add_host("a")
+    b = world.add_host("b")
+    sender, receiver = world.connect(a, b, "bulk")
+    detector = HeartbeatFailureDetector(world.scheduler, timeout=500)
+    detector.watch("peer")
+    bucket = TokenBucket(world.scheduler, capacity=5, refill_period=20)
+
+    rng = random.Random(21)
+    submitted = 0
+    for _ in range(80):
+        world.run(rng.randint(5, 15))
+        detector.on_heartbeat("peer")
+        if bucket.try_acquire():
+            sender.send_message(1)
+            submitted += 1
+    assert not detector.is_suspected("peer")  # heartbeats kept it alive
+    world.run(3000)  # drain phase: traffic (and heartbeats) stop
+    assert receiver.stats.delivered_in_order == submitted
+    assert detector.is_suspected("peer")  # silence now exceeds the timeout
+    assert bucket.rejected > 0  # the limiter actually limited
+    # One shared module carried every subsystem's timers.
+    sched = world.scheduler
+    assert sched.total_started > submitted * 2
+
+
+def test_logic_sim_on_offloaded_timer_chip():
+    """A logic simulation whose time flow is a timer module living inside
+    the full-offload chip model: three layers deep, still exact."""
+    chip_engine = HierarchicalWheelScheduler((16, 16, 16))
+    chip = FullOffloadChip(chip_engine)
+
+    # The chip exposes tick(); wrap it to look like a scheduler for the
+    # TimeFlow adapter by delegating the three methods it uses.
+    class ChipScheduler:
+        now = property(lambda self: chip.now)
+        pending_count = property(lambda self: chip.pending_count)
+
+        def start_timer(self, *args, **kwargs):
+            return chip.start_timer(*args, **kwargs)
+
+        def tick(self):
+            return chip.tick()
+
+    engine = TimerSchedulerEngine(ChipScheduler())
+    circuit = Circuit()
+    circuit.add_input("clk")
+    outs = circuit.add_ripple_counter("cnt", "clk", bits=4)
+    sim = LogicSimulator(circuit, engine)
+    sim.drive_clock("clk", half_period=5, edges=40)  # 20 rising edges
+    sim.run_until(300)
+    value = sum(int(circuit.value(q)) << i for i, q in enumerate(outs))
+    assert value == 20 % 16
+    # The chip absorbed most quiet ticks.
+    assert chip.report.host_interrupts < chip.report.ticks / 2
+
+
+def test_trace_recorded_from_protocol_replays_identically():
+    """Record the timer trace a real protocol run generates, then replay
+    it on a different scheme and match the expiry schedule."""
+    world = World(
+        HashedWheelUnsortedScheduler(table_size=128),
+        loss_rate=0.1,
+        min_latency=2,
+        max_latency=6,
+        seed=33,
+    )
+    a = world.add_host("a")
+    b = world.add_host("b")
+    recorder = TraceRecorder(world.scheduler)
+    # Route the connection's timer calls through the recorder.
+    sender, _receiver = world.connect(a, b, "c1")
+    sender.scheduler = recorder
+    sender.send_message(15)
+    world.run(3000)
+    assert sender.all_acked
+    trace = recorder.trace
+    assert len(trace) > 15
+
+    out_a = replay(trace, make_scheduler("scheme2"))
+    out_b = replay(trace, make_scheduler("scheme7", slot_counts=(32, 32, 32)))
+    assert out_a.expiry_schedule() == out_b.expiry_schedule()
+
+
+def test_server_scenario_on_thread_safe_wrapper():
+    """The protocol world runs unchanged behind the thread-safe facade."""
+    from repro.core.threadsafe import ThreadSafeScheduler
+
+    inner = HashedWheelUnsortedScheduler(table_size=256)
+    result = run_server_scenario(
+        ThreadSafeScheduler(inner),
+        n_connections=10,
+        messages_per_connection=4,
+        duration=1500,
+        loss_rate=0.03,
+        seed=3,
+    )
+    assert result.delivered == 40
+    assert result.connections_failed == 0
+
+
+def test_scheme_comparison_is_deterministic_end_to_end():
+    """Re-running the flagship scenario bit-for-bit reproduces itself."""
+    def run():
+        return run_server_scenario(
+            HashedWheelUnsortedScheduler(table_size=256),
+            n_connections=15,
+            messages_per_connection=5,
+            duration=1800,
+            loss_rate=0.05,
+            seed=4,
+        )
+
+    first, second = run(), run()
+    assert first.delivered == second.delivered
+    assert first.retransmissions == second.retransmissions
+    assert first.ops.total == second.ops.total

@@ -1,0 +1,159 @@
+"""Timeout-based failure detection over the lossy network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler
+from repro.core.periodic import every
+from repro.protocols.failure_detector import (
+    HeartbeatFailureDetector,
+    PeriodicChecker,
+)
+from repro.protocols.host import World
+
+
+def make_sched():
+    return HashedWheelUnsortedScheduler(table_size=128)
+
+
+class TestPeriodicChecker:
+    def test_checks_always_expire(self):
+        sched = make_sched()
+        checker = PeriodicChecker(sched, period=10, check=lambda: True)
+        sched.advance(100)
+        assert checker.checks_run == 10
+        assert checker.failures_found == 0
+
+    def test_failure_callback(self):
+        sched = make_sched()
+        state = {"healthy": True}
+        failures = []
+        PeriodicChecker(
+            sched,
+            period=5,
+            check=lambda: state["healthy"],
+            on_failure=failures.append,
+        )
+        sched.advance(12)
+        state["healthy"] = False
+        sched.advance(10)
+        assert failures == [15, 20]
+
+    def test_stop(self):
+        sched = make_sched()
+        checker = PeriodicChecker(sched, period=5, check=lambda: True)
+        sched.advance(10)
+        checker.stop()
+        sched.advance(50)
+        assert checker.checks_run == 2
+
+
+class TestHeartbeatDetector:
+    def test_healthy_peer_never_suspected(self):
+        sched = make_sched()
+        detector = HeartbeatFailureDetector(sched, timeout=30)
+        detector.watch("peer")
+        for _ in range(20):
+            sched.advance(10)
+            detector.on_heartbeat("peer")
+        assert not detector.is_suspected("peer")
+        assert detector.watchdog_expiries == 0
+        # Rarely-expiring pattern: many stops, no expiries.
+        assert detector.watchdog_stops == 20
+
+    def test_silent_peer_suspected_after_timeout(self):
+        sched = make_sched()
+        suspects = []
+        detector = HeartbeatFailureDetector(
+            sched, timeout=25, on_suspect=lambda p, t: suspects.append((p, t))
+        )
+        detector.watch("peer")
+        sched.advance(24)
+        assert not detector.is_suspected("peer")
+        sched.advance(1)
+        assert detector.is_suspected("peer")
+        assert suspects == [("peer", 25)]
+
+    def test_late_heartbeat_withdraws_suspicion(self):
+        sched = make_sched()
+        detector = HeartbeatFailureDetector(sched, timeout=20)
+        state = detector.watch("peer")
+        sched.advance(30)  # suspected at 20
+        assert state.suspected
+        detector.on_heartbeat("peer")
+        assert not state.suspected
+        assert state.recoveries == 1
+
+    def test_unwatch_cancels_watchdog(self):
+        sched = make_sched()
+        detector = HeartbeatFailureDetector(sched, timeout=20)
+        detector.watch("peer")
+        detector.unwatch("peer")
+        sched.advance(100)
+        assert detector.watchdog_expiries == 0
+        assert sched.pending_count == 0
+
+    def test_duplicate_watch_rejected(self):
+        detector = HeartbeatFailureDetector(make_sched(), timeout=10)
+        detector.watch("p")
+        with pytest.raises(ValueError):
+            detector.watch("p")
+
+    def test_heartbeat_from_unknown_peer_ignored(self):
+        detector = HeartbeatFailureDetector(make_sched(), timeout=10)
+        detector.on_heartbeat("ghost")  # no error
+
+    def test_detection_latency_bounded_by_timeout(self):
+        """A peer that dies is suspected within timeout ticks of its last
+        heartbeat."""
+        sched = make_sched()
+        detector = HeartbeatFailureDetector(sched, timeout=40)
+        detector.watch("peer")
+        last_beat = 0
+        for t in (10, 20, 30):
+            sched.advance(t - last_beat)
+            detector.on_heartbeat("peer")
+            last_beat = t
+        # Peer dies at t=30. Suspicion must land at exactly 70.
+        sched.advance(39)
+        assert not detector.is_suspected("peer")
+        sched.advance(1)
+        assert detector.peers["peer"].suspected_at == 70
+
+
+class TestOverLossyNetwork:
+    def _run(self, loss_rate: float, timeout: int, seed: int = 5):
+        """Peer heartbeats every 20 ticks through the lossy network; the
+        monitor side feeds arrivals to the detector."""
+        world = World(
+            make_sched(), loss_rate=loss_rate, min_latency=1, max_latency=3,
+            seed=seed,
+        )
+        detector = HeartbeatFailureDetector(world.scheduler, timeout=timeout)
+        detector.watch("peer")
+        world.network.attach("monitor", lambda pkt: detector.on_heartbeat("peer"))
+        from repro.protocols.network import Packet, PacketKind
+
+        def send_heartbeat(i, timer):
+            world.network.send(
+                Packet(PacketKind.KEEPALIVE, "hb", i, "peer", "monitor")
+            )
+
+        world.network.attach("peer", lambda pkt: None)
+        every(world.scheduler, 20, send_heartbeat)
+        world.run(2000)
+        return detector.peers["peer"]
+
+    def test_no_false_suspicion_without_loss(self):
+        state = self._run(loss_rate=0.0, timeout=50)
+        assert state.suspicions == 0
+
+    def test_tight_timeout_with_loss_causes_false_suspicions(self):
+        """One lost heartbeat exceeds a 1.5-period timeout: the paper's
+        trade between detection latency and false alarms."""
+        tight = self._run(loss_rate=0.3, timeout=30)
+        loose = self._run(loss_rate=0.3, timeout=110)
+        assert tight.suspicions > 0
+        assert tight.recoveries > 0  # withdrawn by later heartbeats
+        assert loose.suspicions < tight.suspicions

@@ -1,0 +1,98 @@
+"""Hosts, the world, and the motivating server scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler, HierarchicalWheelScheduler
+from repro.protocols.host import World, run_server_scenario
+
+
+def test_world_requires_fresh_scheduler():
+    scheduler = HashedWheelUnsortedScheduler()
+    scheduler.advance(1)
+    with pytest.raises(ValueError):
+        World(scheduler)
+
+
+def test_world_clocks_stay_in_lockstep():
+    world = World(HashedWheelUnsortedScheduler(table_size=64))
+    world.run(123)
+    assert world.time == 123
+    assert world.scheduler.now == 123
+    assert world.engine.now == 123
+
+
+def test_duplicate_connection_id_rejected():
+    world = World(HashedWheelUnsortedScheduler(table_size=64))
+    a = world.add_host("a")
+    b = world.add_host("b")
+    world.connect(a, b, "c1")
+    with pytest.raises(ValueError):
+        world.connect(a, b, "c1")
+
+
+def test_many_connections_share_one_scheduler():
+    world = World(HashedWheelUnsortedScheduler(table_size=256))
+    a = world.add_host("a")
+    b = world.add_host("b")
+    senders = []
+    for i in range(30):
+        s, _ = world.connect(a, b, f"c{i}")
+        senders.append(s)
+    for s in senders:
+        s.send_message(3)
+    # Timers from every connection live on the same module: keepalives
+    # alone put one pending timer per endpoint.
+    assert world.scheduler.pending_count >= 60
+    world.run(800)
+    assert all(s.all_acked for s in senders)
+
+
+def test_server_scenario_outcome_is_scheme_independent():
+    results = []
+    for scheduler in (
+        HashedWheelUnsortedScheduler(table_size=256),
+        HierarchicalWheelScheduler((32, 32, 32)),
+    ):
+        results.append(
+            run_server_scenario(
+                scheduler,
+                n_connections=20,
+                messages_per_connection=5,
+                duration=2500,
+                loss_rate=0.05,
+                seed=7,
+            )
+        )
+    assert all(r.delivered == 100 for r in results)
+    assert all(r.connections_closed == 20 for r in results)
+    assert all(r.connections_failed == 0 for r in results)
+
+
+def test_server_scenario_counts_timer_traffic():
+    result = run_server_scenario(
+        HashedWheelUnsortedScheduler(table_size=256),
+        n_connections=10,
+        messages_per_connection=4,
+        duration=2000,
+        loss_rate=0.02,
+        seed=9,
+    )
+    # Every connection ran at least its RTO + keepalive + TIME-WAIT timers.
+    assert result.timer_starts > 30
+    assert result.timer_expiries >= 10  # at least each TIME-WAIT
+    assert result.max_outstanding >= 20  # keepalives on both endpoints
+    assert result.ops_per_tick > 0
+
+
+def test_host_aggregate():
+    world = World(HashedWheelUnsortedScheduler(table_size=64))
+    a = world.add_host("a")
+    b = world.add_host("b")
+    s1, _ = world.connect(a, b, "c1")
+    s2, _ = world.connect(a, b, "c2")
+    s1.send_message(2)
+    s2.send_message(3)
+    world.run(300)
+    assert a.aggregate("data_sent") == 5

@@ -1,0 +1,90 @@
+"""The lossy network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.network import LossyNetwork, Packet, PacketKind
+from repro.simulation.engine import EventListEngine
+
+
+def make_net(**kwargs):
+    engine = EventListEngine()
+    return engine, LossyNetwork(engine, **kwargs)
+
+
+def packet(dst="b", kind=PacketKind.DATA, seq=0):
+    return Packet(kind=kind, conn_id="c", seq=seq, src="a", dst=dst)
+
+
+def test_delivery_after_latency():
+    engine, net = make_net(min_latency=3, max_latency=3)
+    got = []
+    net.attach("b", got.append)
+    net.send(packet(seq=7))
+    engine.run_until(2)
+    assert got == []
+    engine.run_until(3)
+    assert len(got) == 1 and got[0].seq == 7
+
+
+def test_loss_rate_drops_packets():
+    engine, net = make_net(loss_rate=0.5, seed=40)
+    got = []
+    net.attach("b", got.append)
+    for i in range(2000):
+        net.send(packet(seq=i))
+    engine.run_to_completion()
+    assert net.stats.sent == 2000
+    assert 0.4 < net.loss_fraction < 0.6
+    assert len(got) == net.stats.delivered == 2000 - net.stats.dropped
+
+
+def test_zero_loss_delivers_everything():
+    engine, net = make_net(loss_rate=0.0, min_latency=1, max_latency=9, seed=41)
+    got = []
+    net.attach("b", got.append)
+    for i in range(300):
+        net.send(packet(seq=i))
+    engine.run_to_completion()
+    assert len(got) == 300
+    # Variable latency may reorder.
+    assert sorted(p.seq for p in got) == list(range(300))
+
+
+def test_kind_accounting():
+    engine, net = make_net()
+    net.attach("b", lambda p: None)
+    net.send(packet(kind=PacketKind.DATA))
+    net.send(packet(kind=PacketKind.ACK))
+    net.send(packet(kind=PacketKind.ACK))
+    assert net.stats.by_kind[PacketKind.DATA] == 1
+    assert net.stats.by_kind[PacketKind.ACK] == 2
+
+
+def test_unknown_destination_raises():
+    _, net = make_net()
+    with pytest.raises(KeyError):
+        net.send(packet(dst="ghost"))
+
+
+def test_duplicate_attach_rejected():
+    _, net = make_net()
+    net.attach("b", lambda p: None)
+    with pytest.raises(ValueError):
+        net.attach("b", lambda p: None)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"loss_rate": 1.0},
+        {"loss_rate": -0.1},
+        {"min_latency": 0},
+        {"min_latency": 5, "max_latency": 2},
+    ],
+)
+def test_constructor_validation(kwargs):
+    engine = EventListEngine()
+    with pytest.raises(ValueError):
+        LossyNetwork(engine, **kwargs)

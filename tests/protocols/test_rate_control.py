@@ -1,0 +1,140 @@
+"""Timer-driven rate control: token bucket and leaky-bucket shaper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler, OrderedListScheduler
+from repro.protocols.rate_control import LeakyBucketShaper, TokenBucket
+
+
+def make_sched():
+    return HashedWheelUnsortedScheduler(table_size=64)
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity(self):
+        sched = make_sched()
+        bucket = TokenBucket(sched, capacity=5, refill_period=10)
+        results = [bucket.try_acquire() for _ in range(7)]
+        assert results == [True] * 5 + [False] * 2
+        assert bucket.accepted == 5
+        assert bucket.rejected == 2
+
+    def test_refill_restores_tokens(self):
+        sched = make_sched()
+        bucket = TokenBucket(
+            sched, capacity=3, refill_period=10, tokens_per_refill=2
+        )
+        for _ in range(3):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        sched.advance(10)  # one refill: +2 tokens
+        assert bucket.tokens == 2
+        assert bucket.try_acquire(2)
+        assert not bucket.try_acquire()
+
+    def test_tokens_never_exceed_capacity(self):
+        sched = make_sched()
+        bucket = TokenBucket(sched, capacity=4, refill_period=5)
+        sched.advance(100)  # many refills with no consumption
+        assert bucket.tokens == 4
+
+    def test_long_run_rate_is_enforced(self):
+        sched = make_sched()
+        bucket = TokenBucket(
+            sched, capacity=10, refill_period=4, tokens_per_refill=1,
+            initial_tokens=0,
+        )
+        admitted = 0
+        for _ in range(400):
+            sched.advance(1)
+            if bucket.try_acquire():
+                admitted += 1
+        # Sustained rate = 1 token / 4 ticks -> ~100 admissions.
+        assert 95 <= admitted <= 100
+        assert bucket.long_run_rate == pytest.approx(0.25)
+
+    def test_shutdown_stops_refills(self):
+        sched = make_sched()
+        bucket = TokenBucket(
+            sched, capacity=2, refill_period=5, initial_tokens=0
+        )
+        bucket.shutdown()
+        sched.advance(50)
+        assert bucket.tokens == 0
+
+    def test_validation(self):
+        sched = make_sched()
+        with pytest.raises(Exception):
+            TokenBucket(sched, capacity=0, refill_period=5)
+        with pytest.raises(ValueError):
+            TokenBucket(sched, capacity=5, refill_period=5, initial_tokens=9)
+        bucket = TokenBucket(sched, capacity=5, refill_period=5)
+        with pytest.raises(ValueError):
+            bucket.try_acquire(0)
+
+    def test_works_on_any_scheme(self):
+        sched = OrderedListScheduler()
+        bucket = TokenBucket(sched, capacity=1, refill_period=3, initial_tokens=0)
+        assert not bucket.try_acquire()
+        sched.advance(3)
+        assert bucket.try_acquire()
+
+
+class TestLeakyBucketShaper:
+    def test_smooths_a_burst_into_constant_spacing(self):
+        sched = make_sched()
+        out = []
+        shaper = LeakyBucketShaper(sched, drain_period=5, on_release=out.append)
+        for item in "abcde":
+            shaper.submit(item)
+        sched.advance(30)
+        assert out == list("abcde")
+        assert shaper.release_times == [5, 10, 15, 20, 25]
+
+    def test_drain_timer_idle_when_queue_empty(self):
+        sched = make_sched()
+        shaper = LeakyBucketShaper(sched, drain_period=5, on_release=lambda i: None)
+        shaper.submit("a")
+        sched.advance(5)
+        assert shaper.queue_depth == 0
+        assert sched.pending_count == 0  # no timer while idle
+        # Next submission starts a fresh cycle anchored at now.
+        shaper.submit("b")
+        sched.advance(5)
+        assert shaper.release_times == [5, 10]
+
+    def test_queue_bound_drops(self):
+        sched = make_sched()
+        shaper = LeakyBucketShaper(
+            sched, drain_period=5, on_release=lambda i: None, max_queue=2
+        )
+        assert shaper.submit(1)
+        assert shaper.submit(2)
+        assert not shaper.submit(3)
+        assert shaper.dropped == 1
+        assert shaper.queue_depth == 2
+
+    def test_shutdown_cancels_drain(self):
+        sched = make_sched()
+        out = []
+        shaper = LeakyBucketShaper(sched, drain_period=5, on_release=out.append)
+        shaper.submit("a")
+        shaper.shutdown()
+        sched.advance(50)
+        assert out == []
+        assert shaper.queue_depth == 1
+
+    def test_output_rate_matches_drain_period(self):
+        sched = make_sched()
+        out = []
+        shaper = LeakyBucketShaper(sched, drain_period=7, on_release=out.append)
+        for i in range(20):
+            shaper.submit(i)
+        sched.advance(7 * 20 + 1)
+        gaps = [
+            b - a
+            for a, b in zip(shaper.release_times, shaper.release_times[1:])
+        ]
+        assert set(gaps) == {7}

@@ -1,0 +1,154 @@
+"""The go-back-N transport and its three timer classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler
+from repro.protocols.host import World
+from repro.protocols.transport import TransportConfig
+
+
+def make_world(loss_rate=0.0, seed=0, latency=(2, 5), **cfg):
+    """``latency=(k, k)`` gives FIFO delivery; unequal bounds reorder."""
+    world = World(
+        HashedWheelUnsortedScheduler(table_size=128),
+        loss_rate=loss_rate,
+        min_latency=latency[0],
+        max_latency=latency[1],
+        seed=seed,
+    )
+    a = world.add_host("a")
+    b = world.add_host("b")
+    config = TransportConfig(**cfg) if cfg else None
+    return world, a, b, config
+
+
+def test_lossless_delivery_in_order():
+    world, a, b, _ = make_world(latency=(3, 3))  # FIFO path
+    sender, receiver = world.connect(a, b, "c1")
+    sender.send_message(20)
+    world.run(500)
+    assert receiver.stats.delivered_in_order == 20
+    assert sender.stats.retransmissions == 0
+    assert sender.all_acked
+
+
+def test_window_limits_in_flight():
+    world, a, b, config = make_world(window=4, rto=50)
+    sender, _ = world.connect(a, b, "c1", config=config)
+    sender.send_message(20)
+    assert sender.in_flight == 4  # window caps immediate transmissions
+    world.run(400)
+    assert sender.all_acked
+
+
+def test_reordering_is_survived_via_timeouts():
+    """A jittery (non-FIFO) lossless path forces go-back-N to discard
+    out-of-order data and recover by timeout — slower, never wrong."""
+    world, a, b, _ = make_world(latency=(2, 5))
+    sender, receiver = world.connect(a, b, "c1")
+    sender.send_message(20)
+    world.run(1500)
+    assert receiver.stats.delivered_in_order == 20
+    assert receiver.stats.duplicates_discarded > 0
+    assert sender.all_acked
+
+
+def test_retransmission_recovers_from_loss():
+    world, a, b, _ = make_world(loss_rate=0.25, seed=3)
+    sender, receiver = world.connect(a, b, "c1")
+    sender.send_message(30)
+    world.run(5000)
+    assert receiver.stats.delivered_in_order == 30
+    assert sender.stats.retransmissions > 0
+    assert sender.stats.timeouts > 0
+    assert sender.all_acked
+
+
+def test_rto_timer_stopped_by_ack():
+    """The failure-recovery pattern: timers started on send are stopped by
+    the positive action (the ack) and rarely expire."""
+    world, a, b, _ = make_world(latency=(3, 3))  # FIFO path
+    sender, _ = world.connect(a, b, "c1")
+    sender.send_message(10)
+    world.run(500)
+    assert sender.stats.timer_starts > 0
+    assert sender.stats.timer_stops > 0
+    assert sender.stats.timeouts == 0  # lossless FIFO: RTO never expires
+
+
+def test_time_wait_always_expires_and_closes():
+    world, a, b, _ = make_world()
+    sender, _ = world.connect(a, b, "c1", close_after=5)
+    sender.send_message(5)
+    world.run(2000)
+    assert sender.closed
+    assert sender.stats.timer_expiries >= 1  # the TIME-WAIT expiry
+
+
+def test_no_close_without_close_after():
+    world, a, b, _ = make_world()
+    sender, _ = world.connect(a, b, "c1")
+    sender.send_message(5)
+    world.run(2000)
+    assert not sender.closed
+
+
+def test_keepalive_probes_in_silence():
+    world, a, b, config = make_world(keepalive_interval=100)
+    sender, receiver = world.connect(a, b, "c1", config=config)
+    world.run(1000)
+    # Both ends idle: keepalives fire, each answered, refreshing liveness.
+    assert sender.stats.keepalive_probes >= 5
+    assert receiver.stats.keepalive_probes >= 5
+
+
+def test_keepalive_suppressed_by_traffic():
+    world, a, b, config = make_world(keepalive_interval=150)
+    sender, _ = world.connect(a, b, "c1", config=config)
+    for _ in range(20):
+        sender.send_message(1)
+        world.run(60)  # steady chatter: keepalive timer keeps restarting
+    assert sender.stats.keepalive_probes == 0
+
+
+def test_connection_fails_after_max_retries():
+    world, a, b, config = make_world(rto=20, max_retries=3)
+    # Attach the peer host but a connection that drops everything: use a
+    # 100%-loss path by... the network caps loss below 1.0, so instead the
+    # peer host simply has no matching connection (packets blackholed).
+    sender = a._open("c1", "b", config, None)
+    sender.send_message(3)
+    world.run(2000)
+    assert sender.failed
+    assert sender.stats.timeouts == 4  # 3 retries + the final give-up
+
+
+def test_duplicate_data_discarded_and_reacked():
+    world, a, b, _ = make_world(loss_rate=0.3, seed=11)
+    sender, receiver = world.connect(a, b, "c1")
+    sender.send_message(15)
+    world.run(4000)
+    assert receiver.stats.delivered_in_order == 15
+    # Go-back-N resends whole windows: duplicates must have been seen.
+    assert receiver.stats.duplicates_discarded > 0
+
+
+def test_send_on_closed_connection_raises():
+    world, a, b, _ = make_world()
+    sender, _ = world.connect(a, b, "c1", close_after=1)
+    sender.send_message(1)
+    world.run(2000)
+    assert sender.closed
+    with pytest.raises(RuntimeError):
+        sender.send_message(1)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TransportConfig(window=0)
+    with pytest.raises(ValueError):
+        TransportConfig(rto=0)
+    with pytest.raises(ValueError):
+        TransportConfig(time_wait=0)

@@ -1,0 +1,89 @@
+"""The DECSIM half-rotation wheel."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import TimerConfigurationError
+from repro.simulation.decsim_wheel import DecsimWheelEngine
+from repro.simulation.engine import EventListEngine
+from repro.simulation.wheel_engine import TegasWheelEngine
+
+
+def test_cycle_length_must_be_even():
+    with pytest.raises(TimerConfigurationError):
+        DecsimWheelEngine(cycle_length=33)
+    DecsimWheelEngine(cycle_length=32)
+
+
+def test_fires_like_the_reference_engine():
+    rng = random.Random(60)
+    schedule = [(rng.randint(1, 400), tag) for tag in range(150)]
+
+    def run(engine):
+        fired = []
+        for at, tag in schedule:
+            engine.schedule_at(at, lambda a=at, t=tag: fired.append((a, t)))
+        engine.run_until(400)
+        return fired
+
+    assert run(DecsimWheelEngine(cycle_length=32)) == run(EventListEngine())
+
+
+def test_lookahead_never_below_half_cycle():
+    """An event ``N/2`` ahead is always directly insertable — the property
+    the half rotation buys."""
+    engine = DecsimWheelEngine(cycle_length=32)
+    for t in range(0, 200):
+        engine.run_until(t)
+        engine.schedule_after(16, lambda: None)  # exactly N/2 ahead
+    assert engine.overflow_insertions == 0
+
+
+def test_overflow_beyond_window():
+    engine = DecsimWheelEngine(cycle_length=32)
+    engine.schedule_after(31, lambda: None)  # within [0, 32): direct
+    engine.schedule_after(33, lambda: None)  # beyond: overflow
+    assert engine.direct_insertions == 1
+    assert engine.overflow_insertions == 1
+    engine.run_until(40)
+    assert engine.events_fired == 2
+    assert engine.rotations == 2  # at t=16 and t=32
+
+
+def test_less_overflow_than_tegas_on_uniform_delays():
+    def fraction(engine):
+        rng = random.Random(61)
+        for _ in range(2000):
+            engine.schedule_after(rng.randint(1, 31), lambda: None)
+            engine.run_until(engine.now + 1)
+        total = engine.direct_insertions + engine.overflow_insertions
+        return engine.overflow_insertions / total
+
+    tegas = fraction(TegasWheelEngine(cycle_length=32))
+    decsim = fraction(DecsimWheelEngine(cycle_length=32))
+    assert 0.0 < decsim < tegas
+
+
+def test_cancelled_overflow_entry_dropped_at_rescan():
+    engine = DecsimWheelEngine(cycle_length=16)
+    event = engine.schedule_at(100, lambda: None)
+    event.cancel()
+    engine.run_until(120)
+    assert engine.events_fired == 0
+    assert engine.pending_events() == 0
+
+
+def test_delta_cycle_scheduling():
+    engine = DecsimWheelEngine(cycle_length=16)
+    fired = []
+
+    def first():
+        fired.append("first")
+        engine.schedule_after(0, lambda: fired.append("delta"))
+
+    engine.schedule_at(5, first)
+    engine.run_until(5)
+    assert fired == ["first", "delta"]

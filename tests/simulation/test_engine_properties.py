@@ -1,0 +1,90 @@
+"""Property-based equivalence of the time-flow mechanisms.
+
+Any engine must fire a random schedule — including cancellations and
+same-instant ties — in exactly (time, scheduling-order) order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HashedWheelUnsortedScheduler,
+    HierarchicalWheelScheduler,
+    OrderedListScheduler,
+)
+from repro.simulation.decsim_wheel import DecsimWheelEngine
+from repro.simulation.engine import EventListEngine
+from repro.simulation.timer_driven import TimerSchedulerEngine
+from repro.simulation.wheel_engine import TegasWheelEngine
+
+ENGINE_FACTORIES = [
+    ("event-list", EventListEngine),
+    ("tegas", lambda: TegasWheelEngine(cycle_length=16)),
+    ("decsim", lambda: DecsimWheelEngine(cycle_length=16)),
+    ("timer-s2", lambda: TimerSchedulerEngine(OrderedListScheduler())),
+    ("timer-s6", lambda: TimerSchedulerEngine(HashedWheelUnsortedScheduler(16))),
+    (
+        "timer-s7",
+        lambda: TimerSchedulerEngine(HierarchicalWheelScheduler((8, 8, 8))),
+    ),
+]
+
+# A schedule: list of (time, cancelled) pairs, scheduled in list order.
+_schedule = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=300),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES)
+@given(schedule=_schedule)
+@settings(max_examples=25, deadline=None)
+def test_engines_fire_in_time_then_fifo_order(name, factory, schedule):
+    engine = factory()
+    fired = []
+    expected = []
+    for index, (at, cancelled) in enumerate(schedule):
+        event = engine.schedule_at(
+            at, lambda a=at, i=index: fired.append((a, i))
+        )
+        if cancelled:
+            event.cancel()
+        else:
+            expected.append((at, index))
+    engine.run_until(301)
+    assert fired == sorted(expected)
+    assert engine.pending_events() == 0
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES)
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=12)
+)
+@settings(max_examples=20, deadline=None)
+def test_chained_scheduling_inside_actions(name, factory, delays):
+    """Actions scheduling further events (even zero-delay) behave the same
+    everywhere: the chain visits the cumulative offsets in order."""
+    engine = factory()
+    visits = []
+
+    def make_step(remaining):
+        def step():
+            visits.append(engine.now)
+            if remaining:
+                engine.schedule_after(remaining[0], make_step(remaining[1:]))
+
+        return step
+
+    engine.schedule_at(1, make_step(list(delays)))
+    engine.run_to_completion(max_time=1000)
+    expected = [1]
+    for delay in delays:
+        expected.append(expected[-1] + delay)
+    assert visits == expected

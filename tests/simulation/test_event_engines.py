@@ -1,0 +1,187 @@
+"""The three time-flow mechanisms of Section 4.2."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    HashedWheelUnsortedScheduler,
+    HierarchicalWheelScheduler,
+    OrderedListScheduler,
+    TimingWheelScheduler,
+)
+from repro.simulation.engine import EventListEngine
+from repro.simulation.timer_driven import TimerSchedulerEngine
+from repro.simulation.wheel_engine import TegasWheelEngine
+
+ENGINES = [
+    ("event-list", EventListEngine),
+    ("tegas-16", lambda: TegasWheelEngine(cycle_length=16)),
+    ("tegas-64", lambda: TegasWheelEngine(cycle_length=64)),
+    ("timer-s2", lambda: TimerSchedulerEngine(OrderedListScheduler())),
+    ("timer-s6", lambda: TimerSchedulerEngine(HashedWheelUnsortedScheduler(32))),
+    (
+        "timer-s7",
+        lambda: TimerSchedulerEngine(HierarchicalWheelScheduler((8, 8, 8))),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,factory", ENGINES)
+class TestTimeFlowContract:
+    def test_schedule_and_fire(self, name, factory):
+        engine = factory()
+        fired = []
+        engine.schedule_after(5, lambda: fired.append(engine.now))
+        engine.schedule_at(12, lambda: fired.append(engine.now))
+        engine.run_until(20)
+        assert fired == [5, 12]
+        assert engine.now == 20
+        assert engine.events_fired == 2
+
+    def test_fifo_among_simultaneous(self, name, factory):
+        engine = factory()
+        fired = []
+        for tag in ("a", "b", "c", "d"):
+            engine.schedule_at(7, lambda t=tag: fired.append(t))
+        engine.run_until(7)
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_cancelled_events_do_not_fire(self, name, factory):
+        engine = factory()
+        fired = []
+        keep = engine.schedule_at(5, lambda: fired.append("keep"))
+        kill = engine.schedule_at(5, lambda: fired.append("kill"))
+        kill.cancel()
+        engine.run_until(10)
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+    def test_action_schedules_future_event(self, name, factory):
+        engine = factory()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if len(fired) < 4:
+                engine.schedule_after(3, chain)
+
+        engine.schedule_at(2, chain)
+        engine.run_until(30)
+        assert fired == [2, 5, 8, 11]
+
+    def test_same_instant_rescheduling(self, name, factory):
+        engine = factory()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule_after(0, lambda: fired.append("delta"))
+
+        engine.schedule_at(4, first)
+        engine.run_until(4)
+        assert fired == ["first", "delta"]
+
+    def test_cannot_schedule_in_past(self, name, factory):
+        engine = factory()
+        engine.run_until(10)
+        with pytest.raises(ValueError):
+            engine.schedule_at(5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_after(-1, lambda: None)
+
+    def test_cannot_run_backwards(self, name, factory):
+        engine = factory()
+        engine.run_until(10)
+        with pytest.raises(ValueError):
+            engine.run_until(5)
+
+    def test_run_to_completion(self, name, factory):
+        engine = factory()
+        fired = []
+        for delay in (3, 17, 41):
+            engine.schedule_after(delay, lambda: fired.append(engine.now))
+        count = engine.run_to_completion(max_time=1000)
+        assert count == 3
+        assert fired == [3, 17, 41]
+        assert engine.pending_events() == 0
+
+    def test_random_schedule_equivalence_with_reference(self, name, factory):
+        """Any engine must fire the same (time, tag) sequence as sorting."""
+        engine = factory()
+        rng = random.Random(44)
+        fired = []
+        expected = []
+        for tag in range(60):
+            at = rng.randint(1, 300)
+            expected.append((at, tag))
+            engine.schedule_at(at, lambda a=at, t=tag: fired.append((a, t)))
+        engine.run_until(300)
+        assert fired == sorted(expected, key=lambda p: (p[0], p[1]))
+
+
+class TestTegasWheelSpecifics:
+    def test_overflow_list_used_beyond_cycle(self):
+        engine = TegasWheelEngine(cycle_length=10)
+        engine.schedule_at(5, lambda: None)  # in cycle
+        engine.schedule_at(25, lambda: None)  # beyond: overflow
+        assert engine.direct_insertions == 1
+        assert engine.overflow_insertions == 1
+        engine.run_until(30)
+        assert engine.events_fired == 2
+
+    def test_cycle_counter_advances(self):
+        engine = TegasWheelEngine(cycle_length=8)
+        engine.run_until(25)
+        assert engine.current_cycle == 3  # 25 // 8
+
+    def test_overflow_rehomed_on_wrap(self):
+        """Figure 7: at wrap, due overflow entries move into the array."""
+        engine = TegasWheelEngine(cycle_length=10)
+        fired = []
+        engine.schedule_at(13, lambda: fired.append(engine.now))
+        assert engine.overflow_insertions == 1
+        engine.run_until(9)
+        assert fired == []
+        engine.run_until(13)
+        assert fired == [13]
+
+    def test_overflow_grows_within_cycle(self):
+        """'As time increases within a cycle ... it becomes more likely
+        that event records will be inserted in the overflow list.'"""
+        horizon = 40
+
+        def overflow_share(at_offset):
+            engine = TegasWheelEngine(cycle_length=100)
+            engine.run_until(at_offset)
+            engine.schedule_after(horizon, lambda: None)
+            return engine.overflow_insertions
+
+        # Same +40 delay: direct early in the cycle, overflow late.
+        assert overflow_share(10) == 0
+        assert overflow_share(90) == 1
+
+    def test_late_cancel_in_overflow(self):
+        engine = TegasWheelEngine(cycle_length=10)
+        event = engine.schedule_at(35, lambda: None)
+        event.cancel()
+        engine.run_until(40)
+        assert engine.events_fired == 0
+        assert engine.pending_events() == 0
+
+
+class TestTimerDrivenSpecifics:
+    def test_requires_fresh_scheduler(self):
+        scheduler = OrderedListScheduler()
+        scheduler.advance(5)
+        with pytest.raises(ValueError):
+            TimerSchedulerEngine(scheduler)
+
+    def test_works_with_bounded_wheel(self):
+        engine = TimerSchedulerEngine(TimingWheelScheduler(max_interval=1024))
+        fired = []
+        engine.schedule_after(1000, lambda: fired.append(engine.now))
+        engine.run_until(1001)
+        assert fired == [1000]

@@ -1,0 +1,195 @@
+"""The gate-level logic simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HierarchicalWheelScheduler
+from repro.simulation.engine import EventListEngine
+from repro.simulation.logic import Circuit, GateKind, LogicSimulator
+from repro.simulation.timer_driven import TimerSchedulerEngine
+from repro.simulation.wheel_engine import TegasWheelEngine
+
+
+def sim(circuit):
+    return LogicSimulator(circuit, EventListEngine())
+
+
+class TestCircuitBuilder:
+    def test_nets_and_gates(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        gate = c.add_gate("g", GateKind.AND, ["a", "b"], "y", delay=2)
+        assert gate.delay == 2
+        assert c.net("y") is gate.output
+        assert [n.name for n in c.inputs()] == ["a", "b"]
+
+    def test_unknown_input_net_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_gate("g", GateKind.NOT, ["ghost"], "y")
+
+    def test_double_driver_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g1", GateKind.NOT, ["a"], "y")
+        with pytest.raises(ValueError):
+            c.add_gate("g2", GateKind.NOT, ["a"], "y")
+
+    def test_cannot_drive_primary_input(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        with pytest.raises(ValueError):
+            c.add_gate("g", GateKind.NOT, ["a"], "b")
+
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_net("a")
+        c.add_gate("g", GateKind.NOT, ["a"], "y")
+        with pytest.raises(ValueError):
+            c.add_gate("g", GateKind.NOT, ["a"], "z")
+
+    def test_zero_delay_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_gate("g", GateKind.NOT, ["a"], "y", delay=0)
+
+    def test_arity_checks(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        with pytest.raises(ValueError):
+            c.add_gate("g", GateKind.NOT, ["a", "b"], "y")
+        with pytest.raises(ValueError):
+            c.add_gate("g", GateKind.AND, ["a"], "y")
+        with pytest.raises(ValueError):
+            c.add_gate("g", GateKind.DFF, ["a"], "y")
+
+
+@pytest.mark.parametrize(
+    "kind,table",
+    [
+        (GateKind.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        (GateKind.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+        (GateKind.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        (GateKind.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+        (GateKind.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        (GateKind.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+    ],
+)
+def test_truth_tables(kind, table):
+    for (a, b), expected in table.items():
+        c = Circuit()
+        c.add_input("a", initial=bool(a))
+        c.add_input("b", initial=bool(b))
+        c.add_gate("g", kind, ["a", "b"], "y")
+        s = sim(c)
+        # Kick an evaluation by re-asserting an input level via a toggle.
+        s.set_input("a", not a, at=1)
+        s.set_input("a", bool(a), at=2)
+        s.run_until(10)
+        assert c.value("y") == bool(expected), (kind, a, b)
+
+
+def test_not_and_buf():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g1", GateKind.NOT, ["a"], "na", delay=1)
+    c.add_gate("g2", GateKind.BUF, ["na"], "nb", delay=1)
+    s = sim(c)
+    s.set_input("a", True, at=1)
+    s.run_until(5)
+    assert c.value("na") is False
+    assert c.value("nb") is False
+    s.set_input("a", False, at=6)
+    s.run_until(10)
+    assert c.value("na") is True
+    assert c.value("nb") is True
+
+
+def test_propagation_delay_observed():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g", GateKind.BUF, ["a"], "y", delay=7)
+    s = sim(c)
+    s.set_input("a", True, at=3)
+    s.run_until(9)
+    assert c.value("y") is False  # not yet
+    s.run_until(10)
+    assert c.value("y") is True  # 3 + 7
+    assert s.trace_of("y") and s.trace_of("y")[0].time == 10
+
+
+def test_dff_captures_on_rising_edge_only():
+    c = Circuit()
+    c.add_input("d")
+    c.add_input("clk")
+    c.add_gate("ff", GateKind.DFF, ["d", "clk"], "q", delay=1)
+    s = sim(c)
+    s.set_input("d", True, at=2)
+    s.set_input("clk", True, at=5)  # rising edge: captures 1
+    s.set_input("d", False, at=6)  # too late for this edge
+    s.set_input("clk", False, at=8)  # falling edge: no capture
+    s.run_until(20)
+    assert c.value("q") is True
+    s.set_input("clk", True, at=21)  # next rising edge captures 0
+    s.run_until(25)
+    assert c.value("q") is False
+
+
+def test_ripple_counter_counts():
+    c = Circuit()
+    c.add_input("clk")
+    outs = c.add_ripple_counter("cnt", "clk", bits=5)
+    s = sim(c)
+    edges = 22  # 11 rising edges
+    s.drive_clock("clk", half_period=4, edges=edges)
+    s.run_until(4 * edges + 20)
+    value = sum(int(c.value(q)) << i for i, q in enumerate(outs))
+    assert value == 11
+
+
+def test_evaluations_counted():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g", GateKind.NOT, ["a"], "y")
+    s = sim(c)
+    s.set_input("a", True, at=1)
+    s.run_until(3)
+    assert s.evaluations >= 1
+
+
+def test_set_input_rejects_non_input():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g", GateKind.NOT, ["a"], "y")
+    s = sim(c)
+    with pytest.raises(ValueError):
+        s.set_input("y", True)
+
+
+def test_identical_traces_across_engines():
+    def build_and_run(engine):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("en", initial=True)
+        outs = c.add_ripple_counter("cnt", "clk", bits=3)
+        c.add_gate("g", GateKind.AND, ["en", outs[2]], "msb_en", delay=2)
+        s = LogicSimulator(c, engine)
+        s.set_input("en", False, at=37)
+        s.set_input("en", True, at=53)
+        s.drive_clock("clk", half_period=3, edges=40)
+        s.run_until(200)
+        return [(e.time, e.net, e.value) for e in s.trace]
+
+    ref = build_and_run(EventListEngine())
+    assert build_and_run(TegasWheelEngine(cycle_length=16)) == ref
+    assert (
+        build_and_run(TimerSchedulerEngine(HierarchicalWheelScheduler((8, 8, 8))))
+        == ref
+    )

@@ -1,0 +1,200 @@
+"""The netlist text format and the circuit library."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.simulation.engine import EventListEngine
+from repro.simulation.logic import Circuit, GateKind, LogicSimulator
+from repro.simulation.logic.library import (
+    fibonacci_lfsr,
+    full_adder,
+    mux2,
+    ripple_carry_adder,
+)
+from repro.simulation.logic.netlist import (
+    NetlistError,
+    dumps,
+    load_file,
+    loads,
+    save_file,
+)
+
+EXAMPLE = """
+# half adder plus a counter
+input a
+input b = 1
+gate g1 XOR a b -> s @ 2
+gate g2 AND a b -> c
+counter cnt s 3 @ 1
+"""
+
+
+class TestParser:
+    def test_parses_example(self):
+        circuit = loads(EXAMPLE)
+        assert circuit.net("b").value is True
+        assert circuit.gate("g1").delay == 2
+        assert circuit.gate("g2").delay == 1  # default
+        assert circuit.gate("cnt_dff0").kind is GateKind.DFF
+
+    def test_parsed_circuit_simulates(self):
+        circuit = loads(EXAMPLE)
+        sim = LogicSimulator(circuit, EventListEngine())
+        sim.set_input("a", True, at=1)
+        sim.run_until(20)
+        assert circuit.value("s") is False  # 1 XOR 1
+        assert circuit.value("c") is True  # 1 AND 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "input",
+            "net",
+            "gate g1 AND a b y",  # no arrow
+            "gate g1 FROB a -> y",  # unknown kind
+            "gate g1 AND a b -> y @ two",
+            "gate g1 AND a b -> y @ 2 extra",
+            "counter cnt clk",  # missing bits
+            "counter cnt clk x",
+            "widget w",
+            "input a = 2",
+        ],
+    )
+    def test_malformed_lines(self, bad):
+        with pytest.raises(NetlistError):
+            loads("input a\ninput b\nnet y\n" + bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NetlistError) as excinfo:
+            loads("input a\nbogus x\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_duplicate_net_reported_with_line(self):
+        with pytest.raises(NetlistError) as excinfo:
+            loads("input a\ninput a\n")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    def test_dumps_loads_equivalent_behaviour(self):
+        original = loads(EXAMPLE)
+        clone = loads(dumps(original))
+
+        def run(circuit):
+            sim = LogicSimulator(circuit, EventListEngine())
+            sim.set_input("a", True, at=1)
+            sim.set_input("a", False, at=9)
+            sim.set_input("a", True, at=17)
+            sim.run_until(60)
+            return [(e.time, e.net, e.value) for e in sim.trace]
+
+        assert run(original) == run(clone)
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = loads(EXAMPLE)
+        path = tmp_path / "c.net"
+        save_file(circuit, str(path))
+        clone = load_file(str(path))
+        assert {g.name for g in clone.gates()} == {
+            g.name for g in circuit.gates()
+        }
+
+
+class TestLibrary:
+    @pytest.mark.parametrize("a,b,cin", list(itertools.product([0, 1], repeat=3)))
+    def test_full_adder_truth_table(self, a, b, cin):
+        circuit = Circuit()
+        circuit.add_input("a", bool(a))
+        circuit.add_input("b", bool(b))
+        circuit.add_input("cin", bool(cin))
+        sum_net, cout_net = full_adder(circuit, "fa", "a", "b", "cin")
+        sim = LogicSimulator(circuit, EventListEngine())
+        # Kick evaluation: toggle each input off/on to its target level.
+        for net, value in (("a", a), ("b", b), ("cin", cin)):
+            sim.set_input(net, not value, at=1)
+            sim.set_input(net, bool(value), at=2)
+        sim.run_until(30)
+        total = a + b + cin
+        assert circuit.value(sum_net) == bool(total & 1)
+        assert circuit.value(cout_net) == bool(total >> 1)
+
+    @pytest.mark.parametrize("x,y", [(0, 0), (3, 5), (7, 9), (15, 15), (6, 13)])
+    def test_ripple_carry_adder_adds(self, x, y):
+        bits = 4
+        circuit = Circuit()
+        a_bits = [f"a{i}" for i in range(bits)]
+        b_bits = [f"b{i}" for i in range(bits)]
+        for i in range(bits):
+            circuit.add_input(a_bits[i])
+            circuit.add_input(b_bits[i])
+        circuit.add_input("cin")
+        sums, cout = ripple_carry_adder(circuit, "add", a_bits, b_bits, "cin")
+        sim = LogicSimulator(circuit, EventListEngine())
+        t = 1
+        for i in range(bits):
+            sim.set_input(a_bits[i], bool((x >> i) & 1), at=t)
+            sim.set_input(b_bits[i], bool((y >> i) & 1), at=t)
+        # Force an evaluation wave even for zero operands.
+        sim.set_input("cin", True, at=t + 1)
+        sim.set_input("cin", False, at=t + 2)
+        sim.run_until(100)
+        value = sum(int(circuit.value(s)) << i for i, s in enumerate(sums))
+        value |= int(circuit.value(cout)) << bits
+        assert value == x + y
+
+    def test_ripple_adder_validates_widths(self):
+        circuit = Circuit()
+        circuit.add_input("a0")
+        circuit.add_input("b0")
+        circuit.add_input("cin")
+        with pytest.raises(ValueError):
+            ripple_carry_adder(circuit, "add", ["a0"], ["b0", "b0"], "cin")
+
+    def test_mux2_selects(self):
+        circuit = Circuit()
+        circuit.add_input("a", True)
+        circuit.add_input("b")
+        circuit.add_input("sel")
+        out = mux2(circuit, "m", "a", "b", "sel")
+        sim = LogicSimulator(circuit, EventListEngine())
+        sim.settle()  # make gate outputs reflect the initial input levels
+        sim.set_input("b", True, at=1)
+        sim.run_until(10)
+        assert circuit.value(out) is True  # sel=0 -> a=1
+        sim.set_input("a", False, at=11)
+        sim.run_until(20)
+        assert circuit.value(out) is False  # still following a
+        sim.set_input("sel", True, at=21)
+        sim.run_until(30)
+        assert circuit.value(out) is True  # now following b
+
+    def test_lfsr_cycles_with_maximal_period(self):
+        """A 4-bit Fibonacci LFSR with taps (3, 4) has period 15."""
+        circuit = Circuit()
+        circuit.add_input("clk")
+        stages = fibonacci_lfsr(circuit, "lfsr", "clk", taps=(3, 4), width=4)
+        sim = LogicSimulator(circuit, EventListEngine())
+        states = []
+        period = 10
+        edges = 2 * 16  # 16 rising edges
+        sim.drive_clock("clk", half_period=period, edges=edges)
+        for edge in range(1, edges // 2 + 1):
+            sim.run_until(edge * 2 * period + 5)
+            states.append(
+                tuple(circuit.value(stage) for stage in stages)
+            )
+        assert states[14] == (True,) * 4  # back to the seed after 15 edges
+        assert states[15] == states[0]  # and the cycle repeats
+        assert len(set(states[:15])) == 15  # maximal-period sequence
+        assert (False,) * 4 not in states  # zero state unreachable
+
+    def test_lfsr_validation(self):
+        circuit = Circuit()
+        circuit.add_input("clk")
+        with pytest.raises(ValueError):
+            fibonacci_lfsr(circuit, "l", "clk", taps=(1,), width=1)
+        with pytest.raises(ValueError):
+            fibonacci_lfsr(circuit, "l", "clk", taps=(9,), width=4)

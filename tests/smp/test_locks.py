@@ -1,0 +1,68 @@
+"""The simulated FIFO mutex."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import EventListEngine
+from repro.smp.locks import SimMutex
+
+
+def test_uncontended_grant_is_immediate():
+    engine = EventListEngine()
+    lock = SimMutex(engine)
+    granted = []
+    lock.acquire(lambda: granted.append(engine.now))
+    assert granted == [0]
+    assert lock.held
+    assert lock.stats.acquisitions == 1
+    assert lock.stats.mean_wait == 0.0
+
+
+def test_fifo_handoff_and_wait_accounting():
+    engine = EventListEngine()
+    lock = SimMutex(engine)
+    log = []
+
+    def hold_for(name, ticks):
+        def on_granted():
+            log.append((name, engine.now))
+            engine.schedule_after(ticks, lock.release)
+
+        lock.acquire(on_granted)
+
+    engine.schedule_at(1, lambda: hold_for("a", 10))
+    engine.schedule_at(2, lambda: hold_for("b", 10))
+    engine.schedule_at(3, lambda: hold_for("c", 10))
+    engine.run_to_completion()
+    assert log == [("a", 1), ("b", 11), ("c", 21)]
+    assert lock.stats.acquisitions == 3
+    assert lock.stats.contended_acquisitions == 2
+    assert lock.stats.total_wait == (11 - 2) + (21 - 3)
+    assert lock.stats.max_wait == 18
+    assert lock.stats.contention_fraction == pytest.approx(2 / 3)
+
+
+def test_release_without_hold_raises():
+    lock = SimMutex(EventListEngine())
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_queue_depth_tracking():
+    engine = EventListEngine()
+    lock = SimMutex(engine)
+    lock.acquire(lambda: None)  # held, never released during the test
+    for _ in range(5):
+        lock.acquire(lambda: None)
+    assert lock.queue_depth == 5
+    assert lock.stats.max_queue_depth == 5
+
+
+def test_hold_time_accounted_on_release():
+    engine = EventListEngine()
+    lock = SimMutex(engine)
+    lock.acquire(lambda: engine.schedule_after(7, lock.release))
+    engine.run_to_completion()
+    assert lock.stats.total_hold == 7
+    assert not lock.held

@@ -1,0 +1,74 @@
+"""The SMP contention experiment model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smp.model import SmpConfig, run_smp_experiment
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SmpConfig(processors=0, duration=100, op_rate=0.1, discipline="global")
+    with pytest.raises(ValueError):
+        SmpConfig(processors=2, duration=100, op_rate=0.1, discipline="magic")
+    with pytest.raises(ValueError):
+        SmpConfig(processors=2, duration=100, op_rate=1.5, discipline="global")
+
+
+def test_single_processor_global_lock_rarely_waits():
+    config = SmpConfig(
+        processors=1, duration=4000, op_rate=0.05, discipline="global", seed=1
+    )
+    result = run_smp_experiment(config, hold_sampler=lambda rng: 2)
+    assert result.operations > 0
+    # Back-to-back ops can still collide occasionally; waiting stays tiny.
+    assert result.mean_wait < 0.5
+
+
+def test_global_lock_contention_grows_with_processors():
+    waits = []
+    for procs in (2, 8):
+        config = SmpConfig(
+            processors=procs,
+            duration=4000,
+            op_rate=0.05,
+            discipline="global",
+            seed=2,
+        )
+        result = run_smp_experiment(config, hold_sampler=lambda rng: 10)
+        waits.append(result.mean_wait)
+    assert waits[1] > waits[0]
+
+
+def test_per_bucket_collapses_contention():
+    common = dict(processors=8, duration=4000, op_rate=0.05, seed=3)
+    global_result = run_smp_experiment(
+        SmpConfig(discipline="global", **common), hold_sampler=lambda rng: 10
+    )
+    bucket_result = run_smp_experiment(
+        SmpConfig(discipline="per-bucket", n_buckets=256, **common),
+        hold_sampler=lambda rng: 10,
+    )
+    assert bucket_result.operations == global_result.operations
+    assert bucket_result.mean_wait < global_result.mean_wait / 10
+
+
+def test_reproducible_given_seed():
+    config = SmpConfig(
+        processors=4, duration=2000, op_rate=0.05, discipline="global", seed=4
+    )
+    a = run_smp_experiment(config, hold_sampler=lambda rng: 5)
+    b = run_smp_experiment(config, hold_sampler=lambda rng: 5)
+    assert a.operations == b.operations
+    assert a.total_wait == b.total_wait
+
+
+def test_result_wait_per_op():
+    config = SmpConfig(
+        processors=4, duration=2000, op_rate=0.05, discipline="global", seed=5
+    )
+    result = run_smp_experiment(config, hold_sampler=lambda rng: 8)
+    assert result.wait_per_op == pytest.approx(
+        result.total_wait / result.operations
+    )

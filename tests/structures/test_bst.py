@@ -1,0 +1,126 @@
+"""The unbalanced BST, including its designed-in degeneration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.bst import BSTNode, UnbalancedBST
+
+
+def test_empty():
+    tree = UnbalancedBST()
+    assert len(tree) == 0
+    assert tree.find_min() is None
+    assert tree.min_key() is None
+    assert tree.height() == 0
+    with pytest.raises(IndexError):
+        tree.pop_min()
+
+
+def test_in_order_is_sorted():
+    tree = UnbalancedBST()
+    data = [9, 4, 7, 1, 8, 2, 6]
+    for k in data:
+        tree.insert(BSTNode(k))
+    assert [n.key for n in tree.in_order()] == sorted(data)
+    tree.check_invariants()
+
+
+def test_pop_min_drains_sorted_fifo():
+    tree = UnbalancedBST()
+    for tag, key in (("a", 5), ("b", 3), ("c", 5), ("d", 1)):
+        tree.insert(BSTNode(key, tag))
+    out = [(tree.pop_min().key, None) for _ in range(4)]
+    assert [k for k, _ in out] == [1, 3, 5, 5]
+
+
+def test_equal_keys_fifo():
+    tree = UnbalancedBST()
+    for tag in ("a", "b", "c"):
+        tree.insert(BSTNode(7, tag))
+    assert [tree.pop_min().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_degenerates_on_equal_keys():
+    tree = UnbalancedBST()
+    n = 100
+    depths = [tree.insert(BSTNode(1)) for _ in range(n)]
+    assert tree.height() == n
+    assert depths == list(range(n))  # each insert walks the whole spine
+
+
+def test_remove_leaf_root_and_internal():
+    tree = UnbalancedBST()
+    nodes = {k: BSTNode(k) for k in (50, 30, 70, 20, 40, 60, 80)}
+    for node in nodes.values():
+        tree.insert(node)
+    tree.remove(nodes[20])  # leaf
+    tree.check_invariants()
+    tree.remove(nodes[30])  # one child
+    tree.check_invariants()
+    tree.remove(nodes[50])  # root with two children
+    tree.check_invariants()
+    assert [n.key for n in tree.in_order()] == [40, 60, 70, 80]
+
+
+def test_remove_rejects_foreign_node():
+    a, b = UnbalancedBST(), UnbalancedBST()
+    node = BSTNode(1)
+    a.insert(node)
+    with pytest.raises(ValueError):
+        b.remove(node)
+    with pytest.raises(ValueError):
+        b.insert(node)  # still owned by a
+
+
+def test_churn_keeps_invariants():
+    tree = UnbalancedBST()
+    rng = random.Random(22)
+    live = []
+    for _ in range(1500):
+        if rng.random() < 0.55 or not live:
+            node = BSTNode(rng.randint(0, 300))
+            tree.insert(node)
+            live.append(node)
+        else:
+            victim = live.pop(rng.randrange(len(live)))
+            tree.remove(victim)
+        if rng.random() < 0.02:
+            tree.check_invariants()
+    tree.check_invariants()
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.integers(min_value=-50, max_value=50)),
+            st.tuples(st.just("pop_min"), st.none()),
+            st.tuples(st.just("remove"), st.integers(min_value=0, max_value=50)),
+        ),
+        max_size=120,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_model(ops):
+    tree = UnbalancedBST()
+    model = []
+    for op, arg in ops:
+        if op == "insert":
+            node = BSTNode(arg)
+            tree.insert(node)
+            model.append(node)
+        elif op == "pop_min":
+            if model:
+                smallest = min(model, key=lambda n: (n.key, n._seq))
+                assert tree.pop_min() is smallest
+                model.remove(smallest)
+        else:
+            if model:
+                tree.remove(model.pop(arg % len(model)))
+        assert len(tree) == len(model)
+    tree.check_invariants()
+    assert [n.key for n in tree.in_order()] == sorted(n.key for n in model)

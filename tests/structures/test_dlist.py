@@ -1,0 +1,208 @@
+"""The intrusive doubly linked list."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.dlist import DLinkedList, DNode
+
+
+class Item(DNode):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+
+def values(lst):
+    return [node.value for node in lst]
+
+
+def test_empty_list():
+    lst = DLinkedList()
+    assert len(lst) == 0
+    assert not lst
+    assert lst.head is None
+    assert lst.tail is None
+    assert list(lst) == []
+
+
+def test_push_front_and_back():
+    lst = DLinkedList()
+    lst.push_back(Item(2))
+    lst.push_front(Item(1))
+    lst.push_back(Item(3))
+    assert values(lst) == [1, 2, 3]
+    assert lst.head.value == 1
+    assert lst.tail.value == 3
+
+
+def test_insert_before_and_after():
+    lst = DLinkedList()
+    a, c = Item("a"), Item("c")
+    lst.push_back(a)
+    lst.push_back(c)
+    b = Item("b")
+    lst.insert_before(b, c)
+    d = Item("d")
+    lst.insert_after(d, c)
+    assert values(lst) == ["a", "b", "c", "d"]
+
+
+def test_remove_is_o1_and_clears_links():
+    lst = DLinkedList()
+    nodes = [Item(i) for i in range(5)]
+    for node in nodes:
+        lst.push_back(node)
+    lst.remove(nodes[2])
+    assert values(lst) == [0, 1, 3, 4]
+    assert not nodes[2].linked
+    assert nodes[2].owner is None
+
+
+def test_reinsert_after_remove():
+    lst = DLinkedList()
+    node = Item(1)
+    lst.push_back(node)
+    lst.remove(node)
+    lst.push_front(node)
+    assert values(lst) == [1]
+
+
+def test_double_insert_rejected():
+    lst = DLinkedList()
+    node = Item(1)
+    lst.push_back(node)
+    with pytest.raises(ValueError):
+        lst.push_back(node)
+    other = DLinkedList()
+    with pytest.raises(ValueError):
+        other.push_front(node)
+
+
+def test_remove_from_wrong_list_rejected():
+    a, b = DLinkedList(), DLinkedList()
+    node = Item(1)
+    a.push_back(node)
+    with pytest.raises(ValueError):
+        b.remove(node)
+
+
+def test_anchor_must_be_member():
+    lst = DLinkedList()
+    anchor = Item(0)
+    with pytest.raises(ValueError):
+        lst.insert_before(Item(1), anchor)
+
+
+def test_pop_front_and_back():
+    lst = DLinkedList()
+    for i in range(3):
+        lst.push_back(Item(i))
+    assert lst.pop_front().value == 0
+    assert lst.pop_back().value == 2
+    assert lst.pop_front().value == 1
+    with pytest.raises(IndexError):
+        lst.pop_front()
+    with pytest.raises(IndexError):
+        lst.pop_back()
+
+
+def test_iteration_tolerates_removal_of_current():
+    lst = DLinkedList()
+    nodes = [Item(i) for i in range(10)]
+    for node in nodes:
+        lst.push_back(node)
+    for node in lst:
+        if node.value % 2 == 0:
+            lst.remove(node)
+    assert values(lst) == [1, 3, 5, 7, 9]
+
+
+def test_reversed_iteration():
+    lst = DLinkedList()
+    for i in range(4):
+        lst.push_back(Item(i))
+    assert [n.value for n in reversed(lst)] == [3, 2, 1, 0]
+
+
+def test_drain_empties_and_unlinks():
+    lst = DLinkedList()
+    nodes = [Item(i) for i in range(5)]
+    for node in nodes:
+        lst.push_back(node)
+    drained = list(lst.drain())
+    assert [n.value for n in drained] == [0, 1, 2, 3, 4]
+    assert len(lst) == 0
+    assert all(not n.linked for n in drained)
+
+
+def test_drain_allows_reinsertion_elsewhere():
+    src, dst = DLinkedList(), DLinkedList()
+    for i in range(5):
+        src.push_back(Item(i))
+    for node in src.drain():
+        dst.push_front(node)
+    assert values(dst) == [4, 3, 2, 1, 0]
+
+
+def test_splice_all_to():
+    a, b = DLinkedList(), DLinkedList()
+    for i in range(3):
+        a.push_back(Item(i))
+    b.push_back(Item(99))
+    moved = a.splice_all_to(b)
+    assert moved == 3
+    assert values(b) == [99, 0, 1, 2]
+    assert len(a) == 0
+
+
+def test_contains():
+    lst = DLinkedList()
+    node = Item(1)
+    assert node not in lst
+    lst.push_back(node)
+    assert node in lst
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push_front"), st.integers()),
+            st.tuples(st.just("push_back"), st.integers()),
+            st.tuples(st.just("pop_front"), st.none()),
+            st.tuples(st.just("pop_back"), st.none()),
+            st.tuples(st.just("remove_mid"), st.integers(min_value=0, max_value=100)),
+        ),
+        max_size=200,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_python_list_model(ops):
+    lst = DLinkedList()
+    model = []
+    for op, arg in ops:
+        if op == "push_front":
+            node = Item(arg)
+            lst.push_front(node)
+            model.insert(0, node)
+        elif op == "push_back":
+            node = Item(arg)
+            lst.push_back(node)
+            model.append(node)
+        elif op == "pop_front":
+            if model:
+                assert lst.pop_front() is model.pop(0)
+        elif op == "pop_back":
+            if model:
+                assert lst.pop_back() is model.pop()
+        else:
+            if model:
+                victim = model.pop(arg % len(model))
+                lst.remove(victim)
+        assert len(lst) == len(model)
+    assert list(lst) == model
+    assert [n for n in reversed(lst)] == list(reversed(model))

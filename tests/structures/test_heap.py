@@ -1,0 +1,122 @@
+"""The binary heap with position map."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.heap import BinaryHeap, HeapNode
+
+
+def test_empty():
+    heap = BinaryHeap()
+    assert len(heap) == 0
+    assert not heap
+    assert heap.peek() is None
+    assert heap.min_key() is None
+    with pytest.raises(IndexError):
+        heap.pop()
+
+
+def test_push_pop_sorts():
+    heap = BinaryHeap()
+    data = [5, 3, 8, 1, 9, 2, 7]
+    for k in data:
+        heap.push(HeapNode(k))
+    out = [heap.pop().key for _ in range(len(data))]
+    assert out == sorted(data)
+
+
+def test_fifo_tie_break():
+    heap = BinaryHeap()
+    nodes = [HeapNode(5, tag) for tag in ("a", "b", "c")]
+    for node in nodes:
+        heap.push(node)
+    assert [heap.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_remove_arbitrary():
+    heap = BinaryHeap()
+    nodes = [HeapNode(k) for k in (4, 1, 7, 3, 9, 2)]
+    for node in nodes:
+        heap.push(node)
+    heap.remove(nodes[2])  # key 7
+    heap.remove(nodes[0])  # key 4
+    assert [heap.pop().key for _ in range(4)] == [1, 2, 3, 9]
+
+
+def test_membership_and_double_ops():
+    heap = BinaryHeap()
+    node = HeapNode(1)
+    assert node not in heap
+    heap.push(node)
+    assert node in heap
+    with pytest.raises(ValueError):
+        heap.push(node)
+    heap.remove(node)
+    assert not node.in_heap
+    with pytest.raises(ValueError):
+        heap.remove(node)
+
+
+def test_remove_from_wrong_heap():
+    a, b = BinaryHeap(), BinaryHeap()
+    node = HeapNode(1)
+    a.push(node)
+    with pytest.raises(ValueError):
+        b.remove(node)
+
+
+def test_invariants_under_churn():
+    heap = BinaryHeap()
+    rng = random.Random(21)
+    live = []
+    for _ in range(2000):
+        if rng.random() < 0.55 or not live:
+            node = HeapNode(rng.randint(0, 500))
+            heap.push(node)
+            live.append(node)
+        elif rng.random() < 0.5:
+            live.remove(heap.pop())
+        else:
+            victim = live.pop(rng.randrange(len(live)))
+            heap.remove(victim)
+        heap.check_invariants()
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(min_value=-100, max_value=100)),
+            st.tuples(st.just("pop"), st.none()),
+            st.tuples(st.just("remove"), st.integers(min_value=0, max_value=50)),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_sorted_model(ops):
+    heap = BinaryHeap()
+    model = []  # list of nodes
+    for op, arg in ops:
+        if op == "push":
+            node = HeapNode(arg)
+            heap.push(node)
+            model.append(node)
+        elif op == "pop":
+            if model:
+                smallest = min(model, key=lambda n: (n.key, n._seq))
+                assert heap.pop() is smallest
+                model.remove(smallest)
+        else:
+            if model:
+                victim = model.pop(arg % len(model))
+                heap.remove(victim)
+        assert len(heap) == len(model)
+        assert heap.min_key() == (
+            min((n.key for n in model), default=None)
+        )
+    heap.check_invariants()

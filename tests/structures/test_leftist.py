@@ -1,0 +1,173 @@
+"""The leftist tree: heap order + npl property under churn."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.leftist import LeftistHeap, LeftistNode
+
+
+def test_empty():
+    heap = LeftistHeap()
+    assert len(heap) == 0
+    assert heap.peek() is None
+    assert heap.min_key() is None
+    with pytest.raises(IndexError):
+        heap.pop()
+
+
+def test_sorted_drain():
+    heap = LeftistHeap()
+    data = [8, 2, 9, 1, 5, 7, 3]
+    for k in data:
+        heap.push(LeftistNode(k))
+    heap.check_invariants()
+    assert [heap.pop().key for _ in range(len(data))] == sorted(data)
+
+
+def test_fifo_tie_break():
+    heap = LeftistHeap()
+    for tag in ("a", "b", "c"):
+        heap.push(LeftistNode(3, tag))
+    assert [heap.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_remove_arbitrary_keeps_invariants():
+    heap = LeftistHeap()
+    nodes = [LeftistNode(k) for k in (6, 2, 8, 4, 10, 1, 7)]
+    for node in nodes:
+        heap.push(node)
+    heap.remove(nodes[0])
+    heap.check_invariants()
+    heap.remove(nodes[5])  # the minimum
+    heap.check_invariants()
+    assert heap.min_key() == 2
+
+
+def test_double_membership_rejected():
+    a, b = LeftistHeap(), LeftistHeap()
+    node = LeftistNode(1)
+    a.push(node)
+    with pytest.raises(ValueError):
+        b.push(node)
+    with pytest.raises(ValueError):
+        b.remove(node)
+
+
+def test_churn_keeps_invariants():
+    heap = LeftistHeap()
+    rng = random.Random(25)
+    live = []
+    for step in range(1500):
+        if rng.random() < 0.55 or not live:
+            node = LeftistNode(rng.randint(0, 300))
+            heap.push(node)
+            live.append(node)
+        elif rng.random() < 0.5:
+            live.remove(heap.pop())
+        else:
+            heap.remove(live.pop(rng.randrange(len(live))))
+        if step % 101 == 0:
+            heap.check_invariants()
+    heap.check_invariants()
+
+
+class TestMerge:
+    def test_merge_combines_and_empties_source(self):
+        a, b = LeftistHeap(), LeftistHeap()
+        for k in (5, 1, 9):
+            a.push(LeftistNode(k))
+        for k in (2, 8, 3):
+            b.push(LeftistNode(k))
+        a.merge(b)
+        a.check_invariants()
+        assert len(a) == 6
+        assert len(b) == 0
+        assert [a.pop().key for _ in range(6)] == [1, 2, 3, 5, 8, 9]
+
+    def test_merge_empty_source_is_noop(self):
+        a, b = LeftistHeap(), LeftistHeap()
+        a.push(LeftistNode(1))
+        a.merge(b)
+        assert len(a) == 1
+
+    def test_merge_into_empty_target(self):
+        a, b = LeftistHeap(), LeftistHeap()
+        b.push(LeftistNode(4))
+        b.push(LeftistNode(2))
+        a.merge(b)
+        a.check_invariants()
+        assert a.min_key() == 2
+
+    def test_merge_with_self_rejected(self):
+        heap = LeftistHeap()
+        heap.push(LeftistNode(1))
+        with pytest.raises(ValueError):
+            heap.merge(heap)
+
+    def test_merged_nodes_belong_to_target(self):
+        a, b = LeftistHeap(), LeftistHeap()
+        node = LeftistNode(7)
+        b.push(node)
+        a.merge(b)
+        assert node in a
+        assert node not in b
+        a.remove(node)  # by-reference ops keep working after the move
+        assert len(a) == 0
+
+    def test_tie_break_target_before_source(self):
+        a, b = LeftistHeap(), LeftistHeap()
+        a.push(LeftistNode(5, "target"))
+        b.push(LeftistNode(5, "source"))
+        a.merge(b)
+        assert [a.pop().payload for _ in range(2)] == ["target", "source"]
+
+    def test_merge_random_heaps_keeps_invariants(self):
+        rng = random.Random(26)
+        a, b = LeftistHeap(), LeftistHeap()
+        a_keys = [rng.randint(0, 100) for _ in range(80)]
+        b_keys = [rng.randint(0, 100) for _ in range(120)]
+        for k in a_keys:
+            a.push(LeftistNode(k))
+        for k in b_keys:
+            b.push(LeftistNode(k))
+        a.merge(b)
+        a.check_invariants()
+        drained = [a.pop().key for _ in range(len(a_keys) + len(b_keys))]
+        assert drained == sorted(a_keys + b_keys)
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(min_value=-60, max_value=60)),
+            st.tuples(st.just("pop"), st.none()),
+            st.tuples(st.just("remove"), st.integers(min_value=0, max_value=60)),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_model(ops):
+    heap = LeftistHeap()
+    model = []
+    for op, arg in ops:
+        if op == "push":
+            node = LeftistNode(arg)
+            heap.push(node)
+            model.append(node)
+        elif op == "pop":
+            if model:
+                smallest = min(model, key=lambda n: (n.key, n._seq))
+                assert heap.pop() is smallest
+                model.remove(smallest)
+        else:
+            if model:
+                heap.remove(model.pop(arg % len(model)))
+        assert len(heap) == len(model)
+        assert heap.min_key() == min((n.key for n in model), default=None)
+    heap.check_invariants()

@@ -1,0 +1,135 @@
+"""The red-black tree: all five properties under arbitrary churn."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.rbtree import RBNode, RedBlackTree
+
+
+def test_empty():
+    tree = RedBlackTree()
+    assert len(tree) == 0
+    assert tree.find_min() is None
+    assert tree.min_key() is None
+    assert tree.height() == 0
+    tree.check_invariants()
+    with pytest.raises(IndexError):
+        tree.pop_min()
+
+
+def test_sorted_drain():
+    tree = RedBlackTree()
+    data = [5, 1, 9, 3, 7, 2, 8, 4, 6]
+    for k in data:
+        tree.insert(RBNode(k))
+    tree.check_invariants()
+    assert [tree.pop_min().key for _ in range(len(data))] == sorted(data)
+
+
+def test_equal_keys_fifo_and_balance():
+    tree = RedBlackTree()
+    n = 256
+    for tag in range(n):
+        tree.insert(RBNode(42, tag))
+    tree.check_invariants()
+    assert tree.height() <= 2 * math.log2(n) + 2
+    assert [tree.pop_min().payload for _ in range(n)] == list(range(n))
+
+
+def test_ascending_and_descending_insert_stay_balanced():
+    for order in (range(512), range(511, -1, -1)):
+        tree = RedBlackTree()
+        for k in order:
+            tree.insert(RBNode(k))
+        tree.check_invariants()
+        assert tree.height() <= 2 * math.log2(512) + 2
+
+
+def test_remove_all_patterns():
+    tree = RedBlackTree()
+    nodes = [RBNode(k) for k in range(32)]
+    for node in nodes:
+        tree.insert(node)
+    rng = random.Random(23)
+    rng.shuffle(nodes)
+    for node in nodes:
+        tree.remove(node)
+        tree.check_invariants()
+    assert len(tree) == 0
+
+
+def test_min_cache_tracks_removals():
+    tree = RedBlackTree()
+    nodes = [RBNode(k) for k in (5, 3, 8, 1)]
+    for node in nodes:
+        tree.insert(node)
+    assert tree.min_key() == 1
+    tree.remove(nodes[3])  # remove the minimum
+    assert tree.min_key() == 3
+    tree.remove(nodes[1])
+    assert tree.min_key() == 5
+    tree.check_invariants()
+
+
+def test_foreign_node_rejected():
+    a, b = RedBlackTree(), RedBlackTree()
+    node = RBNode(1)
+    a.insert(node)
+    with pytest.raises(ValueError):
+        b.remove(node)
+    with pytest.raises(ValueError):
+        a.insert(node)
+
+
+def test_churn_keeps_invariants():
+    tree = RedBlackTree()
+    rng = random.Random(24)
+    live = []
+    for step in range(2000):
+        if rng.random() < 0.55 or not live:
+            node = RBNode(rng.randint(0, 400))
+            tree.insert(node)
+            live.append(node)
+        else:
+            tree.remove(live.pop(rng.randrange(len(live))))
+        if step % 97 == 0:
+            tree.check_invariants()
+    tree.check_invariants()
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.integers(min_value=-60, max_value=60)),
+            st.tuples(st.just("pop_min"), st.none()),
+            st.tuples(st.just("remove"), st.integers(min_value=0, max_value=60)),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_model(ops):
+    tree = RedBlackTree()
+    model = []
+    for op, arg in ops:
+        if op == "insert":
+            node = RBNode(arg)
+            tree.insert(node)
+            model.append(node)
+        elif op == "pop_min":
+            if model:
+                smallest = min(model, key=lambda n: (n.key, n._seq))
+                assert tree.pop_min() is smallest
+                model.remove(smallest)
+        else:
+            if model:
+                tree.remove(model.pop(arg % len(model)))
+        assert len(tree) == len(model)
+        assert tree.min_key() == min((n.key for n in model), default=None)
+    tree.check_invariants()

@@ -1,0 +1,130 @@
+"""The sorted doubly linked list behind Schemes 2 and 5."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.counters import OpCounter
+from repro.structures.dlist import DNode
+from repro.structures.sorted_list import SearchDirection, SortedDList
+
+
+class Keyed(DNode):
+    __slots__ = ("key", "tag")
+
+    def __init__(self, key, tag=None):
+        super().__init__()
+        self.key = key
+        self.tag = tag
+
+
+def make(direction=SearchDirection.FROM_HEAD, counter=None):
+    return SortedDList(
+        key=lambda n: n.key, direction=direction, counter=counter
+    )
+
+
+def keys(lst):
+    return [n.key for n in lst]
+
+
+@pytest.mark.parametrize(
+    "direction", [SearchDirection.FROM_HEAD, SearchDirection.FROM_REAR]
+)
+def test_insert_keeps_sorted(direction):
+    lst = make(direction)
+    rng = random.Random(20)
+    for _ in range(200):
+        lst.insert(Keyed(rng.randint(0, 100)))
+    assert keys(lst) == sorted(keys(lst))
+    assert lst.is_sorted()
+
+
+@pytest.mark.parametrize(
+    "direction", [SearchDirection.FROM_HEAD, SearchDirection.FROM_REAR]
+)
+def test_ties_are_fifo(direction):
+    lst = make(direction)
+    for tag in ("a", "b", "c"):
+        lst.insert(Keyed(5, tag))
+    lst.insert(Keyed(4, "early"))
+    lst.insert(Keyed(6, "late"))
+    assert [n.tag for n in lst] == ["early", "a", "b", "c", "late"]
+
+
+def test_head_tail_peek():
+    lst = make()
+    assert lst.head is None and lst.tail is None and lst.peek_key() is None
+    lst.insert(Keyed(3))
+    lst.insert(Keyed(1))
+    lst.insert(Keyed(7))
+    assert lst.head.key == 1
+    assert lst.tail.key == 7
+    assert lst.peek_key() == 1
+
+
+def test_pop_front_returns_min():
+    lst = make()
+    for k in (5, 2, 9, 2):
+        lst.insert(Keyed(k))
+    assert [lst.pop_front().key for _ in range(4)] == [2, 2, 5, 9]
+    with pytest.raises(IndexError):
+        lst.pop_front()
+
+
+def test_remove_by_reference():
+    lst = make()
+    nodes = [Keyed(k) for k in (1, 2, 3)]
+    for node in nodes:
+        lst.insert(node)
+    lst.remove(nodes[1])
+    assert keys(lst) == [1, 3]
+
+
+def test_comparison_counting_head_search():
+    counter = OpCounter()
+    lst = make(counter=counter)
+    for k in (10, 20, 30):
+        lst.insert(Keyed(k))
+    before = counter.snapshot()
+    compares = lst.insert(Keyed(25))
+    assert compares == 3  # walks 10, 20, then stops at 30
+    assert counter.since(before).compares == 3
+
+
+def test_comparison_counting_rear_search():
+    counter = OpCounter()
+    lst = make(SearchDirection.FROM_REAR, counter=counter)
+    for k in (10, 20, 30):
+        lst.insert(Keyed(k))
+    compares = lst.insert(Keyed(25))
+    assert compares == 2  # walks 30, stops at 20
+
+
+def test_rear_append_is_one_compare():
+    lst = make(SearchDirection.FROM_REAR)
+    for k in range(100):
+        compares = lst.insert(Keyed(k))
+        assert compares <= 1
+
+
+@given(
+    keys_in=st.lists(st.integers(min_value=-1000, max_value=1000), max_size=150),
+    direction=st.sampled_from(list(SearchDirection)),
+)
+@settings(max_examples=60, deadline=None)
+def test_always_sorted_and_stable(keys_in, direction):
+    lst = make(direction)
+    for i, k in enumerate(keys_in):
+        lst.insert(Keyed(k, tag=i))
+    assert keys(lst) == sorted(keys_in)
+    # Stability: among equal keys, tags ascend (FIFO).
+    seen = {}
+    for node in lst:
+        if node.key in seen:
+            assert node.tag > seen[node.key]
+        seen[node.key] = node.tag

@@ -1,0 +1,79 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import make_scheduler
+from repro.workloads.trace import TraceRecorder
+
+
+def test_schemes_lists_everything(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    for expected in ("scheme1", "scheme6", "scheme7-lossy", "HybridWheelScheduler"):
+        assert expected in out
+
+
+def test_experiments_single_fast(capsys):
+    assert main(["experiments", "FIG8", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG8" in out
+    assert "PASS" in out
+    assert "0 failed" in out
+
+
+def test_scenario_runs(capsys):
+    assert main(
+        ["scenario", "expiry_heavy", "--scheme", "scheme7", "--ticks", "1500"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "expiry_heavy" in out
+    assert "mean outstanding" in out
+
+
+def test_scenario_unknown_name():
+    with pytest.raises(KeyError):
+        main(["scenario", "not-a-scenario"])
+
+
+def test_replay_roundtrip(tmp_path, capsys):
+    recorder = TraceRecorder(make_scheduler("scheme2"))
+    recorder.start_timer(50, request_id="a")
+    recorder.advance(10)
+    recorder.start_timer(5, request_id="b")
+    recorder.stop_timer("a")
+    path = tmp_path / "w.trace"
+    recorder.trace.save(str(path))
+
+    assert main(["replay", str(path), "--scheme", "scheme6", "--show-schedule"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed 3 operations" in out
+    assert "t=15: b" in out
+
+
+def test_recommend_prints_ranking(capsys):
+    assert main(
+        [
+            "recommend",
+            "--rate", "3",
+            "--mean-interval", "400",
+            "--stop-fraction", "0.5",
+            "--memory", "2048",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "scheme6" in out
+    assert "scheme7" in out
+    assert "n~" in out
+
+
+def test_recommend_uniform_dist(capsys):
+    assert main(["recommend", "--dist", "uniform", "--mean-interval", "100"]) == 0
+    assert "uniform" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,69 @@
+"""Documentation guard: every public item in the library is documented.
+
+"Doc comments on every public item" is a deliverable; this meta-test keeps
+it true as the library grows.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+#: names exempt from the docstring requirement (dataclass-generated, etc.)
+_EXEMPT_MEMBERS = {"__init__"}
+
+
+def _library_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = sorted(_library_modules(), key=lambda m: m.__name__)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_are_documented(module):
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            missing.append(name)
+            continue
+        if inspect.isclass(obj):
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_") or member_name in _EXEMPT_MEMBERS:
+                    continue
+                if inspect.isfunction(member) or isinstance(member, property):
+                    if not _member_documented(obj, member_name):
+                        missing.append(f"{name}.{member_name}")
+    assert not missing, f"{module.__name__}: undocumented public items {missing}"
+
+
+def _member_documented(cls, member_name: str) -> bool:
+    """A member counts as documented if it — or the base-class method it
+    overrides — carries a docstring (standard inherited-doc convention)."""
+    for base in cls.__mro__:
+        attr = base.__dict__.get(member_name)
+        if attr is None:
+            continue
+        target = attr.fget if isinstance(attr, property) else attr
+        doc = getattr(target, "__doc__", None)
+        if doc and doc.strip():
+            return True
+    return False

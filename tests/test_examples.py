@@ -1,0 +1,46 @@
+"""Smoke-run every example script end to end (small parameters where the
+script accepts them). Examples are part of the public surface; they must
+never rot."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> extra argv (kept tiny so the suite stays quick)
+EXAMPLES = {
+    "quickstart.py": [],
+    "logic_simulation.py": [],
+    "hardware_assist.py": [],
+    "trace_replay.py": [],
+    "burstiness_monitor.py": [],
+    "failure_detection.py": [],
+    "capacity_planning.py": [],
+    "retransmission_server.py": [
+        "--connections", "12", "--messages", "4", "--duration", "1500",
+    ],
+}
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples on disk and in the smoke list diverged"
+    )
+
+
+@pytest.mark.parametrize("script,args", sorted(EXAMPLES.items()))
+def test_example_runs_cleanly(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} printed nothing"

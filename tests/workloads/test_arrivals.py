@@ -1,0 +1,80 @@
+"""Arrival processes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.arrivals import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+
+
+def test_poisson_rate():
+    process = PoissonArrivals(2.0)
+    rng = random.Random(34)
+    n = 20_000
+    total = sum(process.arrivals_on_tick(rng) for _ in range(n))
+    assert total / n == pytest.approx(2.0, rel=0.05)
+    assert process.rate == 2.0
+
+
+def test_poisson_zero_rate():
+    process = PoissonArrivals(0.0)
+    rng = random.Random(35)
+    assert all(process.arrivals_on_tick(rng) == 0 for _ in range(100))
+
+
+def test_poisson_rejects_negative():
+    with pytest.raises(ValueError):
+        PoissonArrivals(-1.0)
+
+
+def test_deterministic_every_tick():
+    process = DeterministicArrivals(per_tick=3)
+    rng = random.Random(36)
+    assert [process.arrivals_on_tick(rng) for _ in range(4)] == [3, 3, 3, 3]
+    assert process.rate == 3.0
+
+
+def test_deterministic_period():
+    process = DeterministicArrivals(per_tick=2, every=5)
+    rng = random.Random(37)
+    counts = [process.arrivals_on_tick(rng) for _ in range(10)]
+    assert counts == [0, 0, 0, 0, 2, 0, 0, 0, 0, 2]
+    assert process.rate == pytest.approx(0.4)
+
+
+def test_deterministic_validation():
+    with pytest.raises(ValueError):
+        DeterministicArrivals(per_tick=-1)
+    with pytest.raises(ValueError):
+        DeterministicArrivals(per_tick=1, every=0)
+
+
+def test_bursty_long_run_rate():
+    process = BurstyArrivals(on_rate=4.0, mean_on=50, mean_off=150)
+    rng = random.Random(38)
+    n = 200_000
+    total = sum(process.arrivals_on_tick(rng) for _ in range(n))
+    assert total / n == pytest.approx(process.rate, rel=0.1)
+    assert process.rate == pytest.approx(1.0)
+
+
+def test_bursty_actually_bursts():
+    process = BurstyArrivals(on_rate=5.0, mean_on=40, mean_off=40)
+    rng = random.Random(39)
+    counts = [process.arrivals_on_tick(rng) for _ in range(5000)]
+    quiet = sum(1 for c in counts if c == 0)
+    # Roughly half the time silent (off state) plus Poisson zeros.
+    assert quiet > len(counts) * 0.4
+
+
+def test_bursty_validation():
+    with pytest.raises(ValueError):
+        BurstyArrivals(on_rate=-1)
+    with pytest.raises(ValueError):
+        BurstyArrivals(on_rate=1.0, mean_on=0)

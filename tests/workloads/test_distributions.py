@@ -1,0 +1,99 @@
+"""Interval distributions: support, means, and residual-life moments."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import (
+    BimodalIntervals,
+    ConstantIntervals,
+    ExponentialIntervals,
+    ParetoIntervals,
+    UniformIntervals,
+)
+
+ALL = [
+    ExponentialIntervals(100.0),
+    UniformIntervals(5, 500),
+    ConstantIntervals(42),
+    BimodalIntervals(short_mean=20, long_mean=400, short_weight=0.8),
+    ParetoIntervals(alpha=2.5, xm=30),
+]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+def test_samples_are_positive_ints(dist):
+    rng = random.Random(30)
+    for _ in range(500):
+        value = dist.sample(rng)
+        assert isinstance(value, int)
+        assert value >= 1
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+def test_sample_mean_tracks_declared_mean(dist):
+    rng = random.Random(31)
+    n = 30_000
+    mean = sum(dist.sample(rng) for _ in range(n)) / n
+    assert mean == pytest.approx(dist.mean, rel=0.12)
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.name)
+def test_deterministic_under_seed(dist):
+    a = [dist.sample(random.Random(7)) for _ in range(20)]
+    b = [dist.sample(random.Random(7)) for _ in range(20)]
+    assert a == b
+
+
+def test_uniform_support():
+    dist = UniformIntervals(10, 20)
+    rng = random.Random(32)
+    values = {dist.sample(rng) for _ in range(2000)}
+    assert min(values) == 10
+    assert max(values) == 20
+
+
+def test_constant_is_constant():
+    dist = ConstantIntervals(9)
+    rng = random.Random(33)
+    assert {dist.sample(rng) for _ in range(50)} == {9}
+    assert dist.mean_residual_life == 4.5
+
+
+def test_exponential_residual_equals_mean():
+    assert ExponentialIntervals(64.0).mean_residual_life == 64.0
+
+
+def test_bimodal_mean_is_weighted():
+    dist = BimodalIntervals(short_mean=10, long_mean=100, short_weight=0.9)
+    assert dist.mean == pytest.approx(0.9 * 10 + 0.1 * 100)
+    # Residual life is tail-dominated: far above the plain mean.
+    assert dist.mean_residual_life > dist.mean
+
+
+def test_pareto_residual_finite_only_above_two():
+    dist = ParetoIntervals(alpha=2.5, xm=10)
+    assert dist.mean_residual_life > 0
+    with pytest.raises(ValueError):
+        ParetoIntervals(alpha=2.0, xm=10)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: ExponentialIntervals(0),
+        lambda: ExponentialIntervals(-5),
+        lambda: UniformIntervals(0, 10),
+        lambda: UniformIntervals(10, 5),
+        lambda: ConstantIntervals(0),
+        lambda: BimodalIntervals(10, 100, short_weight=0.0),
+        lambda: BimodalIntervals(10, 100, short_weight=1.0),
+        lambda: BimodalIntervals(-1, 100),
+        lambda: ParetoIntervals(alpha=3.0, xm=0),
+    ],
+)
+def test_constructor_validation(bad):
+    with pytest.raises(ValueError):
+        bad()

@@ -1,0 +1,122 @@
+"""The steady-state workload driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler, OrderedListScheduler
+from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.distributions import ConstantIntervals, ExponentialIntervals
+from repro.workloads.driver import SteadyStateDriver, run_steady_state
+
+
+def test_stats_cover_only_measure_window():
+    scheduler = OrderedListScheduler()
+    stats = run_steady_state(
+        scheduler,
+        DeterministicArrivals(per_tick=1),
+        ConstantIntervals(10),
+        warmup_ticks=50,
+        measure_ticks=100,
+        seed=1,
+    )
+    assert stats.ticks == 100
+    assert stats.started == 100  # one per measured tick
+    assert len(stats.tick_costs) == 100
+    assert len(stats.occupancy) == 100
+
+
+def test_steady_state_occupancy_for_constant_load():
+    scheduler = OrderedListScheduler()
+    stats = run_steady_state(
+        scheduler,
+        DeterministicArrivals(per_tick=2),
+        ConstantIntervals(25),
+        warmup_ticks=100,
+        measure_ticks=200,
+    )
+    assert stats.mean_occupancy == pytest.approx(50.0, abs=2.0)
+
+
+def test_stop_fraction_cancels_timers():
+    scheduler = HashedWheelUnsortedScheduler(table_size=64)
+    stats = run_steady_state(
+        scheduler,
+        PoissonArrivals(1.0),
+        ExponentialIntervals(100.0),
+        warmup_ticks=500,
+        measure_ticks=2000,
+        stop_fraction=0.7,
+        seed=2,
+    )
+    assert stats.stopped > 0
+    assert stats.expired > 0
+    # Roughly 70% of completed timers should have been stopped.
+    done = stats.stopped + stats.expired
+    assert stats.stopped / done == pytest.approx(0.7, abs=0.1)
+
+
+def test_zero_stop_fraction_never_stops():
+    scheduler = OrderedListScheduler()
+    stats = run_steady_state(
+        scheduler,
+        PoissonArrivals(1.0),
+        ExponentialIntervals(30.0),
+        warmup_ticks=100,
+        measure_ticks=500,
+        stop_fraction=0.0,
+    )
+    assert stats.stopped == 0
+
+
+def test_driver_respects_scheduler_interval_bound():
+    from repro.core import TimingWheelScheduler
+
+    scheduler = TimingWheelScheduler(max_interval=64)
+    stats = run_steady_state(
+        scheduler,
+        PoissonArrivals(1.0),
+        ExponentialIntervals(500.0),  # mostly out of range: clamped
+        warmup_ticks=50,
+        measure_ticks=300,
+    )
+    assert stats.started > 0  # no TimerIntervalError escaped
+
+
+def test_driver_validation():
+    with pytest.raises(ValueError):
+        SteadyStateDriver(
+            OrderedListScheduler(),
+            PoissonArrivals(1.0),
+            ExponentialIntervals(10.0),
+            stop_fraction=1.5,
+        )
+
+
+def test_stats_means_on_empty():
+    from repro.workloads.driver import DriverStats
+
+    stats = DriverStats()
+    assert stats.mean_insert_cost == 0.0
+    assert stats.mean_tick_cost == 0.0
+    assert stats.max_tick_cost == 0
+    assert stats.mean_occupancy == 0.0
+
+
+def test_reproducible_given_seed():
+    def run():
+        scheduler = OrderedListScheduler()
+        return run_steady_state(
+            scheduler,
+            PoissonArrivals(1.5),
+            ExponentialIntervals(50.0),
+            warmup_ticks=100,
+            measure_ticks=400,
+            stop_fraction=0.3,
+            seed=42,
+        )
+
+    a, b = run(), run()
+    assert a.started == b.started
+    assert a.occupancy == b.occupancy
+    assert a.insert_costs == b.insert_costs

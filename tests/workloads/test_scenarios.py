@@ -1,0 +1,52 @@
+"""Named workload scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HashedWheelUnsortedScheduler
+from repro.workloads.driver import run_steady_state
+from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+
+def test_registry_contains_motivating_scenario():
+    assert "server_200x3" in SCENARIOS
+    scenario = get_scenario("server_200x3")
+    assert scenario.target_outstanding == 600.0
+
+
+def test_unknown_scenario():
+    with pytest.raises(KeyError):
+        get_scenario("nope")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_factories_are_fresh(name):
+    scenario = SCENARIOS[name]
+    a = scenario.arrivals()
+    b = scenario.arrivals()
+    assert a is not b
+    assert scenario.intervals() is not scenario.intervals()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenarios_run_and_land_near_target(name):
+    scenario = SCENARIOS[name]
+    scheduler = HashedWheelUnsortedScheduler(table_size=512)
+    stats = run_steady_state(
+        scheduler,
+        scenario.arrivals(),
+        scenario.intervals(),
+        warmup_ticks=3000,
+        measure_ticks=4000,
+        stop_fraction=scenario.stop_fraction,
+        seed=5,
+    )
+    assert stats.started > 0
+    # Occupancy within a loose factor of the declared target (the targets
+    # are design intents, not exact queueing solutions).
+    assert (
+        scenario.target_outstanding / 3
+        < stats.mean_occupancy
+        < scenario.target_outstanding * 3
+    )

@@ -1,0 +1,111 @@
+"""Timer-trace recording, serialisation, and cross-scheme replay."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.workloads.trace import (
+    TimerTrace,
+    TraceRecord,
+    TraceRecorder,
+    replay,
+)
+from tests.conftest import EXACT_SCHEMES, build
+
+
+def make_random_trace(seed: int = 80, ops: int = 200) -> TimerTrace:
+    rng = random.Random(seed)
+    recorder = TraceRecorder(make_scheduler("scheme2"))
+    live = []
+    for _ in range(ops):
+        recorder.advance(rng.randint(0, 5))
+        if rng.random() < 0.65 or not live:
+            timer = recorder.start_timer(rng.randint(1, 800))
+            live.append(timer)
+        else:
+            victim = live.pop(rng.randrange(len(live)))
+            if victim.pending:
+                recorder.stop_timer(victim)
+    return recorder.trace
+
+
+class TestFormat:
+    def test_round_trip_lines(self):
+        start = TraceRecord(5, "START", "a", 100)
+        stop = TraceRecord(9, "STOP", "a")
+        assert TraceRecord.from_line(start.to_line()) == start
+        assert TraceRecord.from_line(stop.to_line()) == stop
+
+    def test_malformed_lines_rejected(self):
+        for bad in ("", "5 FROB a", "5 START a", "x START a 1"):
+            with pytest.raises(ValueError):
+                TraceRecord.from_line(bad)
+
+    def test_time_order_enforced(self):
+        trace = TimerTrace()
+        trace.append(TraceRecord(10, "START", "a", 5))
+        with pytest.raises(ValueError):
+            trace.append(TraceRecord(9, "START", "b", 5))
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = make_random_trace()
+        path = tmp_path / "workload.trace"
+        trace.save(str(path))
+        loaded = TimerTrace.load(str(path))
+        assert loaded.records == trace.records
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\n3 START a 10\n\n5 STOP a\n")
+        trace = TimerTrace.load(str(path))
+        assert len(trace) == 2
+
+
+class TestRecorder:
+    def test_records_both_ops_with_ticks(self):
+        recorder = TraceRecorder(make_scheduler("scheme6"))
+        recorder.start_timer(50, request_id="x")
+        recorder.advance(7)
+        recorder.stop_timer("x")
+        records = recorder.trace.records
+        assert records[0] == TraceRecord(0, "START", "x", 50)
+        assert records[1] == TraceRecord(7, "STOP", "x")
+
+
+class TestReplay:
+    def test_requires_fresh_scheduler(self):
+        sched = make_scheduler("scheme2")
+        sched.advance(1)
+        with pytest.raises(ValueError):
+            replay(TimerTrace(), sched)
+
+    def test_replay_reproduces_expiry_schedule_on_every_scheme(self):
+        trace = make_random_trace(seed=81)
+        reference = None
+        for name in EXACT_SCHEMES:
+            outcome = replay(trace, build(name))
+            schedule = outcome.expiry_schedule()
+            if reference is None:
+                reference = schedule
+            assert schedule == reference, name
+            assert outcome.final_pending == 0
+
+    def test_replay_counts(self):
+        trace = TimerTrace()
+        trace.append(TraceRecord(0, "START", "a", 10))
+        trace.append(TraceRecord(0, "START", "b", 20))
+        trace.append(TraceRecord(5, "STOP", "a"))
+        outcome = replay(trace, make_scheduler("scheme2"))
+        assert outcome.started == 2
+        assert outcome.stopped == 1
+        assert outcome.expiry_schedule() == [(20, "b")]
+
+    def test_replay_cost_differs_by_scheme(self):
+        trace = make_random_trace(seed=82, ops=400)
+        scheme1_ops = replay(trace, build("scheme1")).total_ops
+        scheme6_ops = replay(trace, build("scheme6")).total_ops
+        # Same observable behaviour, very different bookkeeping bill.
+        assert scheme1_ops > 2 * scheme6_ops

@@ -1,0 +1,72 @@
+"""Property-based trace replay: scheme independence for arbitrary traces."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_scheduler
+from repro.workloads.trace import TimerTrace, TraceRecord, replay
+
+# A program of (gap, op) steps compiled into a valid trace.
+_step = st.one_of(
+    st.tuples(
+        st.just("start"),
+        st.integers(min_value=0, max_value=6),  # gap before the op
+        st.integers(min_value=1, max_value=400),  # interval
+    ),
+    st.tuples(
+        st.just("stop"),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=1000),  # live-set index seed
+    ),
+)
+
+
+def _compile(program) -> TimerTrace:
+    """Turn a random program into a well-formed trace (stops reference
+    timers that are actually pending at that tick)."""
+    trace = TimerTrace()
+    now = 0
+    next_id = 0
+    live = {}  # id -> deadline
+    for step in program:
+        now += step[1]
+        # Expire bookkeeping: anything due by now is no longer stoppable.
+        live = {k: d for k, d in live.items() if d > now}
+        if step[0] == "start":
+            request_id = f"t{next_id}"
+            next_id += 1
+            trace.append(TraceRecord(now, "START", request_id, step[2]))
+            live[request_id] = now + step[2]
+        else:
+            if not live:
+                continue
+            keys = sorted(live)
+            victim = keys[step[2] % len(keys)]
+            trace.append(TraceRecord(now, "STOP", victim))
+            del live[victim]
+    return trace
+
+
+@given(program=st.lists(_step, min_size=1, max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_any_trace_replays_identically_on_list_and_wheel(program):
+    trace = _compile(program)
+    list_outcome = replay(trace, make_scheduler("scheme2"))
+    wheel_outcome = replay(
+        trace, make_scheduler("scheme7", slot_counts=(16, 16, 16))
+    )
+    assert list_outcome.expiry_schedule() == wheel_outcome.expiry_schedule()
+    assert list_outcome.started == wheel_outcome.started
+    assert list_outcome.stopped == wheel_outcome.stopped
+    assert list_outcome.final_pending == wheel_outcome.final_pending == 0
+
+
+@given(program=st.lists(_step, min_size=1, max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_trace_format_round_trips(tmp_path_factory, program):
+    trace = _compile(program)
+    path = tmp_path_factory.mktemp("traces") / "t.trace"
+    trace.save(str(path))
+    assert TimerTrace.load(str(path)).records == trace.records
