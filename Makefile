@@ -1,12 +1,27 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test bench bench-full experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Prefers ruff, falls back to pyflakes, then to a byte-compile pass, so
+# the target works in minimal environments without masking real failures
+# from whichever checker actually ran.
+lint:
+	@if python -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		echo "lint: ruff"; \
+		python -m ruff check src/ tests/ examples/ benchmarks/; \
+	elif python -c "import pyflakes" 2>/dev/null; then \
+		echo "lint: pyflakes"; \
+		python -m pyflakes src/ tests/ examples/ benchmarks/; \
+	else \
+		echo "lint: ruff/pyflakes unavailable; byte-compiling instead"; \
+		python -m compileall -q src/ tests/ examples/ benchmarks/; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,13 +8,19 @@ on several timer schemes and shows the punchline: the protocol behaves
 identically, but the timer module's bookkeeping cost differs by an order
 of magnitude.
 
-    python examples/retransmission_server.py [--connections N]
+    python examples/retransmission_server.py [--connections N] [--stats]
+
+With ``--stats``, a :class:`repro.obs.MetricsCollector` rides along on
+every scheduler and the table gains observability columns: mean wall
+tick latency, worst expiry burst, and the scheme's structure summary
+from ``introspect()`` (chain lengths, occupancy, ...).
 """
 
 import argparse
 
 from repro.bench.tables import render_table
 from repro.core import make_scheduler
+from repro.obs import MetricsCollector
 from repro.protocols.host import run_server_scenario
 
 SCHEMES = [
@@ -26,17 +32,51 @@ SCHEMES = [
 ]
 
 
+def _structure_blurb(info) -> str:
+    """One-phrase summary of a scheme's introspected structure."""
+    structure = info.get("structure", {})
+    chains = structure.get("chains")
+    if isinstance(chains, dict):
+        return (
+            f"max chain {chains['max_length']}, "
+            f"{chains['occupied']}/{chains['slots']} slots used"
+        )
+    levels = structure.get("levels")
+    if isinstance(levels, list):
+        per_level = "/".join(
+            str(lv.get("occupancy", {}).get("entries", "?")) for lv in levels
+        )
+        return f"timers per level {per_level}"
+    if structure.get("kind") == "tree":
+        return f"tree size {structure['size']}, height {structure['height']}"
+    if "length" in structure:
+        return f"list length {structure['length']}"
+    if "records" in structure:
+        return f"{structure['records']} records"
+    return str(structure.get("kind", "?"))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--connections", type=int, default=100)
     parser.add_argument("--messages", type=int, default=20)
     parser.add_argument("--duration", type=int, default=5000)
     parser.add_argument("--loss", type=float, default=0.05)
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="attach a metrics collector and add observability columns",
+    )
     args = parser.parse_args()
 
     rows = []
+    obs_rows = []
     for name, kwargs, blurb in SCHEMES:
         scheduler = make_scheduler(name, **kwargs)
+        collector = None
+        if args.stats:
+            collector = MetricsCollector()
+            scheduler.attach_observer(collector)
         run = run_server_scenario(
             scheduler,
             n_connections=args.connections,
@@ -55,6 +95,18 @@ def main() -> None:
                 f"{run.ops_per_tick:.1f}",
             )
         )
+        if collector is not None:
+            info = collector.sample_structure(scheduler)
+            latency = collector.tick_latency
+            obs_rows.append(
+                (
+                    name,
+                    f"{latency.mean * 1e6:.1f}",
+                    f"<= {collector.expiries_per_tick.quantile(1.0):g}",
+                    collector.migrations.value,
+                    _structure_blurb(info),
+                )
+            )
         print(f"ran {name:14s} ({blurb})")
 
     print()
@@ -64,6 +116,20 @@ def main() -> None:
             rows,
         )
     )
+    if obs_rows:
+        print("\nobservability (--stats):")
+        print(
+            render_table(
+                [
+                    "scheme",
+                    "mean tick µs",
+                    "worst burst",
+                    "migrations",
+                    "structure at end",
+                ],
+                obs_rows,
+            )
+        )
     print(
         "\nSame protocol outcome on every scheme; the timer module's "
         "per-tick cost is what changes.\n"

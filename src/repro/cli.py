@@ -9,6 +9,14 @@ Subcommands
 ``scenario NAME [--scheme S] [--ticks N] [--seed K]``
     Run a named workload scenario against a scheme and print the measured
     costs and occupancy.
+``stats --scenario NAME [--scheme S] [--format table|json|prometheus]``
+    Run a scenario with a metrics collector attached and print the full
+    observability snapshot: tick-latency histogram, pending-count gauge,
+    firing drift, and the scheme's structure introspection (hash-chain
+    length distribution, wheel occupancy, ...).
+``trace --scenario NAME [--scheme S] [--out FILE]``
+    Run a scenario with a lifecycle trace recorder attached and emit the
+    retained events as JSONL (see ``docs/observability.md``).
 ``replay TRACEFILE [--scheme S]``
     Replay a recorded START/STOP trace (see ``repro.workloads.trace``).
 ``recommend [--rate R] [--mean-interval T] [--stop-fraction F] [--memory M]``
@@ -25,29 +33,14 @@ from repro.bench.tables import render_table
 
 
 def _cmd_schemes(args: argparse.Namespace) -> int:
-    from repro.core import make_scheduler, scheme_names
+    from repro.core import make_scheduler, scheme_names, scheme_summary
 
-    summaries = {
-        "scheme1": "per-tick decrement scan: START O(1), TICK O(n)",
-        "scheme1-compare": "scheme1 storing absolute times (no per-tick write)",
-        "scheme2": "sorted list (VMS/UNIX): START O(n), TICK O(1)",
-        "scheme2-rear": "scheme2 searching from the rear",
-        "scheme3-heap": "binary heap: START O(log n)",
-        "scheme3-bst": "unbalanced BST (degenerates on equal intervals)",
-        "scheme3-rbtree": "red-black tree: balanced, STOP O(log n)",
-        "scheme3-leftist": "leftist tree: merge-based heap",
-        "scheme4": "timing wheel: O(1) within MaxInterval",
-        "scheme4-hybrid": "wheel + Scheme 2 overflow (Section 5 hybrid)",
-        "scheme5": "hashed wheel, sorted buckets",
-        "scheme6": "hashed wheel, unsorted buckets (the paper's VAX impl)",
-        "scheme7": "hierarchical wheels: O(m) START, <=m migrations",
-        "scheme7-lossy": "Nichols: no migration, rounded firing",
-        "scheme7-onemigration": "Nichols: one migration, fires early < one slot",
-    }
+    # Descriptions come from the registry itself (registered next to each
+    # factory), so this listing cannot drift from the registered schemes.
     rows = []
     for name in scheme_names():
         cls = type(make_scheduler(name, **({"max_interval": 64} if name == "scheme4" else {})))
-        rows.append((name, cls.__name__, summaries.get(name, "")))
+        rows.append((name, cls.__name__, scheme_summary(name)))
     print(render_table(["name", "class", "summary"], rows))
     return 0
 
@@ -92,6 +85,80 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         ("worst PER-TICK cost (ops)", stats.max_tick_cost),
     ]
     print(render_table(["measure", "value"], rows))
+    return 0
+
+
+def _make_scenario_scheduler(scheme: str):
+    from repro.core import make_scheduler
+
+    kwargs = {"max_interval": 1 << 16} if scheme == "scheme4" else {}
+    return make_scheduler(scheme, **kwargs)
+
+
+def _run_instrumented_scenario(args: argparse.Namespace, observer):
+    """Run the named scenario with ``observer`` attached; returns the
+    scheduler (post-run) for introspection."""
+    from repro.workloads import get_scenario, run_steady_state
+
+    scenario = get_scenario(args.scenario)
+    scheduler = _make_scenario_scheduler(args.scheme)
+    run_steady_state(
+        scheduler,
+        scenario.arrivals(),
+        scenario.intervals(),
+        warmup_ticks=args.ticks // 3,
+        measure_ticks=args.ticks,
+        stop_fraction=scenario.stop_fraction,
+        seed=args.seed,
+        observer=observer,
+    )
+    return scheduler
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        MetricsCollector,
+        render_snapshot_tables,
+        to_json,
+        to_prometheus,
+    )
+
+    collector = MetricsCollector()
+    scheduler = _run_instrumented_scenario(args, collector)
+    introspection = collector.sample_structure(scheduler)
+    snapshot = collector.registry.snapshot()
+    if args.format == "json":
+        print(to_json(snapshot, introspection))
+    elif args.format == "prometheus":
+        print(to_prometheus(snapshot, labels={"scheme": args.scheme}), end="")
+    else:
+        print(
+            f"scenario {args.scenario} on {args.scheme}, "
+            f"{args.ticks // 3} warmup + {args.ticks} measured ticks "
+            f"(the collector sees both)\n"
+        )
+        print(render_snapshot_tables(snapshot, introspection))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import TraceRecorder, write_trace_jsonl
+
+    recorder = TraceRecorder(
+        capacity=args.capacity, record_empty_ticks=args.all_ticks
+    )
+    _run_instrumented_scenario(args, recorder)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            written = write_trace_jsonl(recorder, handle)
+        print(
+            f"wrote {written} events to {args.out} "
+            f"({recorder.dropped} older events dropped by the "
+            f"{args.capacity}-event ring)",
+            file=sys.stderr,
+        )
+    else:
+        write_trace_jsonl(recorder, sys.stdout)
     return 0
 
 
@@ -176,6 +243,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_scn.add_argument("--ticks", type=int, default=6000)
     p_scn.add_argument("--seed", type=int, default=0)
 
+    p_sts = sub.add_parser(
+        "stats", help="run a scenario and print an observability snapshot"
+    )
+    p_sts.add_argument("--scenario", required=True)
+    p_sts.add_argument("--scheme", default="scheme6")
+    p_sts.add_argument("--ticks", type=int, default=6000)
+    p_sts.add_argument("--seed", type=int, default=0)
+    p_sts.add_argument(
+        "--format", choices=["table", "json", "prometheus"], default="table"
+    )
+
+    p_trc = sub.add_parser(
+        "trace", help="run a scenario and emit lifecycle events as JSONL"
+    )
+    p_trc.add_argument("--scenario", required=True)
+    p_trc.add_argument("--scheme", default="scheme6")
+    p_trc.add_argument("--ticks", type=int, default=2000)
+    p_trc.add_argument("--seed", type=int, default=0)
+    p_trc.add_argument(
+        "--capacity", type=int, default=65536,
+        help="ring-buffer size; oldest events are dropped beyond this",
+    )
+    p_trc.add_argument(
+        "--all-ticks", action="store_true",
+        help="record tick events even when nothing expired",
+    )
+    p_trc.add_argument("--out", help="write JSONL here instead of stdout")
+
     p_rpl = sub.add_parser("replay", help="replay a recorded timer trace")
     p_rpl.add_argument("tracefile")
     p_rpl.add_argument("--scheme", default="scheme6")
@@ -197,6 +292,8 @@ _HANDLERS = {
     "schemes": _cmd_schemes,
     "experiments": _cmd_experiments,
     "scenario": _cmd_scenario,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "replay": _cmd_replay,
     "recommend": _cmd_recommend,
 }

@@ -14,11 +14,23 @@ from repro.core.errors import (
     TimerConfigurationError,
     TimerError,
     TimerIntervalError,
+    TimerLivelockError,
     TimerStateError,
     UnknownTimerError,
 )
 from repro.core.interface import ExpiryAction, Timer, TimerScheduler, TimerState
-from repro.core.registry import make_scheduler, register_scheme, scheme_names
+from repro.core.observer import (
+    NULL_OBSERVER,
+    CompositeObserver,
+    NullObserver,
+    TimerObserver,
+)
+from repro.core.registry import (
+    make_scheduler,
+    register_scheme,
+    scheme_names,
+    scheme_summary,
+)
 from repro.core.scheme1_unordered import StraightforwardScheduler
 from repro.core.scheme2_ordered_list import OrderedListScheduler
 from repro.core.scheme3_trees import (
@@ -53,9 +65,14 @@ __all__ = [
     "TimerError",
     "TimerConfigurationError",
     "TimerIntervalError",
+    "TimerLivelockError",
     "TimerStateError",
     "UnknownTimerError",
     "SchedulerShutdownError",
+    "TimerObserver",
+    "NullObserver",
+    "CompositeObserver",
+    "NULL_OBSERVER",
     "StraightforwardScheduler",
     "OrderedListScheduler",
     "PriorityQueueScheduler",
@@ -79,4 +96,5 @@ __all__ = [
     "make_scheduler",
     "register_scheme",
     "scheme_names",
+    "scheme_summary",
 ]

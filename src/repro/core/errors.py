@@ -45,3 +45,14 @@ class UnknownTimerError(TimerError):
 
 class SchedulerShutdownError(TimerError):
     """An operation was attempted on a scheduler after :meth:`shutdown`."""
+
+
+class TimerLivelockError(TimerError, RuntimeError):
+    """``run_until_idle`` exhausted its tick budget with timers still pending.
+
+    Raised instead of silently returning so that livelock — e.g. a
+    periodic timer that re-arms itself forever, or a genuinely unreachable
+    deadline — is surfaced rather than masked. The caller can catch it and
+    inspect the scheduler (``pending_count``, ``pending_timers()``), or
+    pass a larger ``max_ticks`` when the workload legitimately needs one.
+    """

@@ -31,9 +31,11 @@ from typing import Callable, Dict, Hashable, List, Optional, Union
 
 from repro.core.errors import (
     SchedulerShutdownError,
+    TimerLivelockError,
     TimerStateError,
     UnknownTimerError,
 )
+from repro.core.observer import NULL_OBSERVER, TimerObserver
 from repro.core.validation import check_interval
 from repro.cost.counters import OpCounter
 from repro.structures.dlist import DNode
@@ -155,6 +157,9 @@ class TimerScheduler(abc.ABC):
 
     def __init__(self, counter: Optional[OpCounter] = None) -> None:
         self.counter = counter if counter is not None else OpCounter()
+        #: lifecycle observer; the shared no-op by default so the hook
+        #: sites cost one attribute load + empty call when uninstrumented.
+        self.observer: TimerObserver = NULL_OBSERVER
         self._now = 0
         self._active: Dict[Hashable, Timer] = {}
         self._auto_ids = itertools.count()
@@ -179,6 +184,44 @@ class TimerScheduler(abc.ABC):
                 f"policy must be one of {self.ERROR_POLICIES}, got {policy!r}"
             )
         self._error_policy = policy
+
+    def clear_callback_errors(self) -> List["tuple[Timer, BaseException]"]:
+        """Return and clear the failures collected under ``"collect"``.
+
+        :attr:`callback_errors` grows without bound while the collect
+        policy is active; long-running facilities should drain it
+        periodically (the ``callback_error`` trace event fires at capture
+        time, so observability does not depend on keeping the list).
+        """
+        errors = self.callback_errors
+        self.callback_errors = []
+        return errors
+
+    # ----------------------------------------------------------- observation
+
+    def attach_observer(self, observer: TimerObserver) -> TimerObserver:
+        """Install a lifecycle observer (see :mod:`repro.core.observer`).
+
+        One observer is active at a time; use
+        :class:`~repro.core.observer.CompositeObserver` to fan out.
+        Returns the observer for chaining. Raises ``ValueError`` if a
+        different observer is already attached (detach it first — silent
+        replacement would make instrumented runs lie by omission).
+        """
+        current = self.observer
+        if current is not NULL_OBSERVER and current is not observer:
+            raise ValueError(
+                f"{type(current).__name__} is already attached; "
+                "detach_observer() first or use a CompositeObserver"
+            )
+        self.observer = observer
+        return observer
+
+    def detach_observer(self) -> TimerObserver:
+        """Restore the no-op observer; returns the one that was attached."""
+        observer = self.observer
+        self.observer = NULL_OBSERVER
+        return observer
 
     # ------------------------------------------------------------ client API
 
@@ -215,6 +258,7 @@ class TimerScheduler(abc.ABC):
         self._insert(timer)
         self._active[request_id] = timer
         self.total_started += 1
+        self.observer.on_start(self, timer)
         return timer
 
     def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
@@ -235,6 +279,7 @@ class TimerScheduler(abc.ABC):
         timer.stopped_at = self._now
         del self._active[timer.request_id]
         self.total_stopped += 1
+        self.observer.on_stop(self, timer)
         return timer
 
     def tick(self) -> List[Timer]:
@@ -252,12 +297,20 @@ class TimerScheduler(abc.ABC):
         than a half-removed record.
         """
         self._check_open()
+        observer = self.observer
+        observer.on_tick_begin(self, self._now + 1)
         self._now += 1
         expired = self._collect_expired()
         for timer in expired:
             self._mark_expired(timer)
+        # Expire events fire only after the whole tick's expiry set is
+        # atomically marked, and before any Expiry_Action runs — observers
+        # therefore see a consistent post-marking view of sibling timers.
+        for timer in expired:
+            observer.on_expire(self, timer)
         for timer in expired:
             self._run_expiry_action(timer)
+        observer.on_tick_end(self, len(expired))
         return expired
 
     def advance(self, ticks: int) -> List[Timer]:
@@ -270,10 +323,23 @@ class TimerScheduler(abc.ABC):
         return expired
 
     def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
-        """Tick until no timers remain pending (or ``max_ticks`` elapse)."""
+        """Tick until no timers remain pending.
+
+        Raises :class:`~repro.core.errors.TimerLivelockError` when
+        ``max_ticks`` elapse with timers still outstanding, instead of
+        silently returning a partial drain — a self-re-arming periodic
+        timer (or an unreachable deadline) is a bug the caller must see,
+        not a truncated result that looks complete.
+        """
         expired: List[Timer] = []
         ticks = 0
-        while self._active and ticks < max_ticks:
+        while self._active:
+            if ticks >= max_ticks:
+                raise TimerLivelockError(
+                    f"{self.pending_count} timer(s) still pending after "
+                    f"{max_ticks} ticks (now={self._now}); raise max_ticks "
+                    "or stop the self-re-arming timers"
+                )
             expired.extend(self.tick())
             ticks += 1
         return expired
@@ -295,6 +361,7 @@ class TimerScheduler(abc.ABC):
             timer.stopped_at = self._now
             cancelled.append(timer)
             self.total_stopped += 1
+            self.observer.on_stop(self, timer)
         self._active.clear()
         self._shut_down = True
         return cancelled
@@ -347,6 +414,27 @@ class TimerScheduler(abc.ABC):
         """
         return None
 
+    def introspect(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of scheduler and structure state.
+
+        The base dict covers the model-level quantities every scheme
+        shares; concrete schemes extend it with a ``"structure"`` entry
+        describing their internal shape — wheel slot occupancy and hash
+        chain lengths for Schemes 4–6 (via
+        :func:`~repro.core.introspect.occupancy_summary`), tree height for
+        Scheme 3, per-level occupancy for the hierarchies.
+        """
+        return {
+            "scheme": self.scheme_name,
+            "now": self._now,
+            "pending": len(self._active),
+            "total_started": self.total_started,
+            "total_stopped": self.total_stopped,
+            "total_expired": self.total_expired,
+            "callback_errors": len(self.callback_errors),
+            "shut_down": self._shut_down,
+        }
+
     # ------------------------------------------------------- subclass hooks
 
     @abc.abstractmethod
@@ -391,6 +479,9 @@ class TimerScheduler(abc.ABC):
             try:
                 timer.callback(timer)
             except Exception as exc:  # noqa: BLE001 - policy decides
+                # The observer sees the failure under either policy; the
+                # policy only decides whether tick() re-raises.
+                self.observer.on_callback_error(self, timer, exc)
                 if self._error_policy == "collect":
                     self.callback_errors.append((timer, exc))
                 else:

@@ -1,0 +1,59 @@
+"""Shared helpers for the per-scheme ``introspect()`` hook.
+
+Every scheme answers :meth:`~repro.core.interface.TimerScheduler.introspect`
+with a JSON-serialisable dict; schemes that keep arrays of buckets (the
+wheels of Schemes 4–7, the hash chains of Schemes 5–6) summarise their
+occupancy with :func:`occupancy_summary` instead of dumping every slot —
+a Scheme 4 wheel can have 2**17 slots, and the interesting quantities are
+the distribution's shape (the Section 6.1.2 burstiness question), not the
+raw vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _bucket_label(low: int, high: int) -> str:
+    return str(low) if low == high else f"{low}-{high}"
+
+
+def occupancy_summary(sizes: Sequence[int]) -> Dict[str, object]:
+    """Summarise a slot/chain occupancy vector.
+
+    Returns total/occupied slot counts, the extreme and mean chain
+    lengths, and a power-of-two length histogram (``"0"``, ``"1"``,
+    ``"2-3"``, ``"4-7"``, ...) — the distribution the paper's hashed
+    wheels are judged on ("the hash controls only burstiness").
+    """
+    occupied = [s for s in sizes if s > 0]
+    histogram: Dict[str, int] = {}
+    for size in sizes:
+        if size <= 1:
+            label = str(size)
+        else:
+            low = 1 << (size.bit_length() - 1)
+            label = _bucket_label(low, 2 * low - 1)
+        histogram[label] = histogram.get(label, 0) + 1
+    return {
+        "slots": len(sizes),
+        "occupied": len(occupied),
+        "entries": sum(sizes),
+        "max_length": max(sizes) if sizes else 0,
+        "mean_nonempty_length": (
+            sum(occupied) / len(occupied) if occupied else 0.0
+        ),
+        "length_histogram": histogram,
+    }
+
+
+def chain_length_distribution(sizes: Sequence[int]) -> Dict[str, int]:
+    """Just the power-of-two length histogram of :func:`occupancy_summary`."""
+    return occupancy_summary(sizes)["length_histogram"]  # type: ignore[return-value]
+
+
+def sorted_histogram_items(histogram: Dict[str, int]) -> List[tuple]:
+    """Histogram items ordered by their numeric lower bound, for display."""
+    return sorted(
+        histogram.items(), key=lambda item: int(item[0].split("-")[0])
+    )

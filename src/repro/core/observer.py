@@ -1,0 +1,139 @@
+"""Lifecycle observer hooks for the timer facility.
+
+The paper's argument is quantitative — LATENCY and SPACE as functions of
+the outstanding-timer count ``n`` — but the schedulers originally exposed
+only coarse :class:`~repro.cost.counters.OpCounter` totals after the fact.
+The observer protocol defined here is the low-overhead hook layer that the
+:mod:`repro.obs` subsystem (tracing, metrics, exporters) plugs into.
+
+Design mirrors :data:`~repro.cost.counters.NULL_COUNTER`: every scheduler
+carries an observer, defaulting to the shared no-op :data:`NULL_OBSERVER`,
+so uninstrumented runs pay only an attribute load and an empty method call
+per hook site. Observers never touch the scheduler's ``OpCounter`` — the
+paper's cost accounting prices only data-structure work, and a test pins
+down that attaching any observer leaves OpCounter totals unchanged.
+
+Hook points (all invoked by :class:`~repro.core.interface.TimerScheduler`
+or a concrete scheme):
+
+* ``on_start`` — after START_TIMER inserts the record.
+* ``on_stop`` — after STOP_TIMER (and per cancelled timer at shutdown).
+* ``on_tick_begin`` / ``on_tick_end`` — bracketing PER_TICK_BOOKKEEPING,
+  so a collector can meter wall-clock tick latency itself (the scheduler
+  never reads the wall clock on behalf of a no-op observer).
+* ``on_expire`` — once per expired timer, strictly *after* the whole
+  tick's expiry set has been atomically marked EXPIRED and *before* any
+  Expiry_Action runs.
+* ``on_migrate`` — a hierarchical wheel moved a timer between levels, or
+  the Scheme 4 hybrid promoted an overflow entry onto the wheel.
+* ``on_callback_error`` — an Expiry_Action raised (under either error
+  policy, before the policy decides to collect or re-raise).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.interface import Timer, TimerScheduler
+
+
+class TimerObserver:
+    """Base observer: every hook is a documented no-op.
+
+    Subclass and override the hooks you care about. Implementations must
+    not mutate the scheduler and must not charge its ``OpCounter``.
+    """
+
+    __slots__ = ()
+
+    def on_start(self, scheduler: "TimerScheduler", timer: "Timer") -> None:
+        """START_TIMER completed for ``timer``."""
+
+    def on_stop(self, scheduler: "TimerScheduler", timer: "Timer") -> None:
+        """STOP_TIMER completed for ``timer`` (also fired per shutdown cancel)."""
+
+    def on_tick_begin(self, scheduler: "TimerScheduler", now: int) -> None:
+        """PER_TICK_BOOKKEEPING is starting; ``now`` is the tick being run."""
+
+    def on_tick_end(
+        self, scheduler: "TimerScheduler", expired_count: int
+    ) -> None:
+        """PER_TICK_BOOKKEEPING finished (callbacks included)."""
+
+    def on_expire(self, scheduler: "TimerScheduler", timer: "Timer") -> None:
+        """``timer`` expired this tick; all same-tick siblings are already
+        marked EXPIRED, and no Expiry_Action has run yet."""
+
+    def on_migrate(
+        self,
+        scheduler: "TimerScheduler",
+        timer: "Timer",
+        from_level: int,
+        to_level: int,
+    ) -> None:
+        """``timer`` moved between structure levels (cascade / promotion)."""
+
+    def on_callback_error(
+        self,
+        scheduler: "TimerScheduler",
+        timer: "Timer",
+        exc: BaseException,
+    ) -> None:
+        """``timer``'s Expiry_Action raised ``exc``."""
+
+
+class NullObserver(TimerObserver):
+    """The do-nothing observer every scheduler starts with."""
+
+    __slots__ = ()
+
+
+class CompositeObserver(TimerObserver):
+    """Fan one hook stream out to several observers, in attachment order.
+
+    Lets a run attach a :class:`~repro.obs.tracing.TraceRecorder` and a
+    :class:`~repro.obs.collector.MetricsCollector` simultaneously.
+    """
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers: Iterable[TimerObserver] = ()) -> None:
+        self.observers: List[TimerObserver] = list(observers)
+
+    def add(self, observer: TimerObserver) -> "CompositeObserver":
+        """Append another observer; returns self for chaining."""
+        self.observers.append(observer)
+        return self
+
+    def on_start(self, scheduler, timer) -> None:
+        for obs in self.observers:
+            obs.on_start(scheduler, timer)
+
+    def on_stop(self, scheduler, timer) -> None:
+        for obs in self.observers:
+            obs.on_stop(scheduler, timer)
+
+    def on_tick_begin(self, scheduler, now) -> None:
+        for obs in self.observers:
+            obs.on_tick_begin(scheduler, now)
+
+    def on_tick_end(self, scheduler, expired_count) -> None:
+        for obs in self.observers:
+            obs.on_tick_end(scheduler, expired_count)
+
+    def on_expire(self, scheduler, timer) -> None:
+        for obs in self.observers:
+            obs.on_expire(scheduler, timer)
+
+    def on_migrate(self, scheduler, timer, from_level, to_level) -> None:
+        for obs in self.observers:
+            obs.on_migrate(scheduler, timer, from_level, to_level)
+
+    def on_callback_error(self, scheduler, timer, exc) -> None:
+        for obs in self.observers:
+            obs.on_callback_error(scheduler, timer, exc)
+
+
+#: Shared no-op observer; the default for every scheduler.
+NULL_OBSERVER = NullObserver()

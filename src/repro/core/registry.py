@@ -53,10 +53,47 @@ _FACTORIES: Dict[str, Callable[..., TimerScheduler]] = {
     "scheme7-onemigration": SingleMigrationHierarchicalScheduler,
 }
 
+#: One-line complexity summary per registered name. Kept beside the
+#: factory table (and checked below) so the CLI's ``schemes`` listing can
+#: never silently drift from the registry again.
+_SUMMARIES: Dict[str, str] = {
+    "scheme1": "per-tick decrement scan: START O(1), TICK O(n)",
+    "scheme1-compare": "scheme1 storing absolute times (no per-tick write)",
+    "scheme2": "sorted list (VMS/UNIX): START O(n), TICK O(1)",
+    "scheme2-rear": "scheme2 searching from the rear",
+    "scheme3-heap": "binary heap: START O(log n)",
+    "scheme3-bst": "unbalanced BST (degenerates on equal intervals)",
+    "scheme3-rbtree": "red-black tree: balanced, STOP O(log n)",
+    "scheme3-leftist": "leftist tree: merge-based heap",
+    "scheme4": "timing wheel: O(1) within MaxInterval",
+    "scheme4-hybrid": "wheel + Scheme 2 overflow (Section 5 hybrid)",
+    "scheme5": "hashed wheel, sorted buckets",
+    "scheme6": "hashed wheel, unsorted buckets (the paper's VAX impl)",
+    "scheme7": "hierarchical wheels: O(m) START, <=m migrations",
+    "scheme7-lossy": "Nichols: no migration, rounded firing",
+    "scheme7-onemigration": "Nichols: one migration, fires early < one slot",
+}
+
+if set(_SUMMARIES) != set(_FACTORIES):  # pragma: no cover - import guard
+    raise AssertionError(
+        "scheme registry and summary table disagree: "
+        f"missing summaries {sorted(set(_FACTORIES) - set(_SUMMARIES))}, "
+        f"stale summaries {sorted(set(_SUMMARIES) - set(_FACTORIES))}"
+    )
+
 
 def scheme_names() -> List[str]:
     """All registered scheme names, sorted."""
     return sorted(_FACTORIES)
+
+
+def scheme_summary(name: str) -> str:
+    """One-line complexity summary for a registered scheme name."""
+    try:
+        return _SUMMARIES[name]
+    except KeyError:
+        known = ", ".join(scheme_names())
+        raise KeyError(f"unknown scheme {name!r}; known schemes: {known}") from None
 
 
 def make_scheduler(name: str, **kwargs) -> TimerScheduler:
@@ -74,8 +111,18 @@ def make_scheduler(name: str, **kwargs) -> TimerScheduler:
     return factory(**kwargs)
 
 
-def register_scheme(name: str, factory: Callable[..., TimerScheduler]) -> None:
-    """Register a custom scheduler factory (for downstream extensions)."""
+def register_scheme(
+    name: str,
+    factory: Callable[..., TimerScheduler],
+    summary: str = "",
+) -> None:
+    """Register a custom scheduler factory (for downstream extensions).
+
+    ``summary`` is the one-line description shown by ``python -m repro
+    schemes``; registered alongside the factory so the listing stays in
+    lock-step with the registry.
+    """
     if name in _FACTORIES:
         raise ValueError(f"scheme {name!r} is already registered")
     _FACTORIES[name] = factory
+    _SUMMARIES[name] = summary

@@ -17,7 +17,7 @@ the record's ``_remaining`` field, decremented in place each tick.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.interface import Timer, TimerScheduler
 from repro.cost.counters import OpCounter
@@ -48,6 +48,15 @@ class StraightforwardScheduler(TimerScheduler):
             raise ValueError(f"mode must be 'decrement' or 'compare', got {mode!r}")
         self.mode = mode
         self._records = DLinkedList()
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "unordered-list",
+            "mode": self.mode,
+            "records": len(self._records),
+        }
+        return info
 
     def _insert(self, timer: Timer) -> None:
         # One write to set the location to the interval (or the absolute

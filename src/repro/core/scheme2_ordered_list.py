@@ -21,7 +21,7 @@ deadline and lands at the tail immediately.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.interface import Timer, TimerScheduler
 from repro.cost.counters import OpCounter
@@ -51,6 +51,17 @@ class OrderedListScheduler(TimerScheduler):
     def direction(self) -> SearchDirection:
         """Which end insertion scans from."""
         return self._queue.direction
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "sorted-list",
+            "length": len(self._queue),
+            "direction": self._queue.direction.name.lower(),
+            "earliest_deadline": self.earliest_deadline(),
+            "last_insert_compares": self.last_insert_compares,
+        }
+        return info
 
     def _insert(self, timer: Timer) -> None:
         self.last_insert_compares = self._queue.insert(timer)

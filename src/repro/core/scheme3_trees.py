@@ -23,7 +23,7 @@ deadline is due, O(1) when nothing expires.
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol
 
 from repro.core.interface import Timer, TimerScheduler
 from repro.cost.counters import OpCounter
@@ -109,6 +109,22 @@ class PriorityQueueScheduler(TimerScheduler):
         if height is None:
             raise NotImplementedError(f"{type(self._pq).__name__} has no height")
         return height()
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        try:
+            height: Optional[int] = self.structure_height()
+        except NotImplementedError:
+            height = None
+        info["structure"] = {
+            "kind": "tree",
+            "substrate": type(self._pq).__name__,
+            "size": len(self._pq),
+            "height": height,
+            "earliest_deadline": self.earliest_deadline(),
+            "last_insert_compares": self.last_insert_compares,
+        }
+        return info
 
 
 class HeapScheduler(PriorityQueueScheduler):

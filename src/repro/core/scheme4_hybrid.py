@@ -18,9 +18,10 @@ The XTRA3 ablation bench quantifies the difference.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.interface import Timer, TimerScheduler
+from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.core.errors import TimerConfigurationError
 from repro.cost.counters import OpCounter
@@ -73,6 +74,21 @@ class HybridWheelScheduler(TimerScheduler):
     def wheel_count(self) -> int:
         """Timers currently resident on the wheel."""
         return self.pending_count - len(self._overflow)
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "wheel+overflow",
+            "max_interval": self.max_interval,
+            "cursor": self._cursor,
+            "wheel_count": self.wheel_count,
+            "overflow_length": len(self._overflow),
+            "promotions": self.promotions,
+            "slot_occupancy": occupancy_summary(
+                [len(slot) for slot in self._slots]
+            ),
+        }
+        return info
 
     # ------------------------------------------------------------ internals
 
@@ -134,3 +150,6 @@ class HybridWheelScheduler(TimerScheduler):
             timer: Timer = self._overflow.pop_front()  # type: ignore[assignment]
             self.promotions += 1
             self._place_on_wheel(timer, timer.deadline - self._now)
+            self.observer.on_migrate(
+                self, timer, self._ON_OVERFLOW, self._ON_WHEEL
+            )

@@ -20,10 +20,11 @@ time anyway.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.errors import TimerConfigurationError
 from repro.core.interface import Timer, TimerScheduler
+from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
 from repro.structures.dlist import DLinkedList
@@ -57,6 +58,16 @@ class TimingWheelScheduler(TimerScheduler):
     def slot_sizes(self) -> List[int]:
         """Occupancy of each slot, for inspection and tests."""
         return [len(slot) for slot in self._slots]
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "wheel",
+            "max_interval": self.max_interval,
+            "cursor": self._cursor,
+            "slot_occupancy": occupancy_summary(self.slot_sizes()),
+        }
+        return info
 
     def _insert(self, timer: Timer) -> None:
         index = (self._cursor + timer.interval) % self.max_interval

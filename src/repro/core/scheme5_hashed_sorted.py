@@ -21,9 +21,10 @@ because every entry in a bucket shares the same low-order offset.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.interface import Timer, TimerScheduler
+from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
 from repro.structures.sorted_list import SearchDirection, SortedDList
@@ -70,6 +71,17 @@ class HashedWheelSortedScheduler(TimerScheduler):
         of the low-order bits.
         """
         return (self._cursor + interval) % self.table_size
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "hashed-wheel-sorted",
+            "table_size": self.table_size,
+            "cursor": self._cursor,
+            "chains": occupancy_summary(self.bucket_sizes()),
+            "last_insert_compares": self.last_insert_compares,
+        }
+        return info
 
     def _insert(self, timer: Timer) -> None:
         index = self.bucket_index_for(timer.interval)

@@ -23,9 +23,10 @@ zero and decrements the rest.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.interface import Timer, TimerScheduler
+from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
 from repro.structures.dlist import DLinkedList
@@ -71,6 +72,17 @@ class HashedWheelUnsortedScheduler(TimerScheduler):
     def bucket_index_for(self, interval: int) -> int:
         """The slot an interval hashes to: ``(cursor + interval) mod size``."""
         return (self._cursor + interval) % self.table_size
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "hashed-wheel-unsorted",
+            "table_size": self.table_size,
+            "cursor": self._cursor,
+            "chains": occupancy_summary(self.bucket_sizes()),
+            "entry_visits": self.entry_visits,
+        }
+        return info
 
     def rounds_for(self, interval: int) -> int:
         """Remaining full wheel revolutions stored with the entry.

@@ -34,10 +34,11 @@ timer formulation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import TimerConfigurationError
 from repro.core.interface import Timer, TimerScheduler
+from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
 from repro.structures.dlist import DLinkedList
@@ -144,6 +145,30 @@ class HierarchicalWheelScheduler(TimerScheduler):
     def max_start_interval(self) -> Optional[int]:
         return self.total_span
 
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "hierarchy",
+            "levels": [
+                {
+                    "index": level.index,
+                    "slot_count": level.slot_count,
+                    "granularity": level.granularity,
+                    "span": level.span,
+                    "cursor": (self._now // level.granularity)
+                    % level.slot_count,
+                    "occupancy": occupancy_summary(
+                        [len(slot) for slot in level.slots]
+                    ),
+                }
+                for level in self._levels
+            ],
+            "placement": self.placement,
+            "migrations": self.migrations,
+            "cascades": self.cascades,
+        }
+        return info
+
     def level_for_remaining(self, remaining: int) -> int:
         """Lowest level whose span covers ``remaining`` ticks.
 
@@ -209,7 +234,9 @@ class HierarchicalWheelScheduler(TimerScheduler):
             expired.append(timer)
         else:
             self.migrations += 1
+            from_level = timer._level
             self._place(timer)
+            self.observer.on_migrate(self, timer, from_level, timer._level)
 
     def _remove(self, timer: Timer) -> None:
         self._levels[timer._level].slots[timer._slot_index].remove(timer)

@@ -28,7 +28,7 @@ actual firing tick so the XTRA1 bench can measure precision loss directly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import TimerConfigurationError
 from repro.core.interface import Timer
@@ -56,6 +56,11 @@ class LossyHierarchicalScheduler(HierarchicalWheelScheduler):
             )
         super().__init__(slot_counts, counter)
         self.rounding = rounding
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"]["rounding"] = self.rounding  # type: ignore[index]
+        return info
 
     def _insert(self, timer: Timer) -> None:
         # The paper's own example rounds "to the nearest hour" for a timer
@@ -148,6 +153,7 @@ class SingleMigrationHierarchicalScheduler(HierarchicalWheelScheduler):
         timer._slot_index = slot_index
         self.counter.charge(reads=1, writes=1, links=1)
         finer.slots[slot_index].push_front(timer)
+        self.observer.on_migrate(self, timer, from_level, finer.index)
 
     def firing_error_bound(self, insertion_level: int) -> int:
         """Worst-case earliness for a timer inserted at ``insertion_level``."""

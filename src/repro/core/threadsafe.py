@@ -123,3 +123,18 @@ class ThreadSafeScheduler:
     def counter(self):
         """The wrapped scheduler's op counter."""
         return self._scheduler.counter
+
+    def introspect(self):
+        """Serialised structure snapshot of the wrapped scheduler."""
+        with self._lock:
+            return self._scheduler.introspect()
+
+    def attach_observer(self, observer):
+        """Serialised observer attachment on the wrapped scheduler."""
+        with self._lock:
+            return self._scheduler.attach_observer(observer)
+
+    def detach_observer(self):
+        """Serialised observer detachment on the wrapped scheduler."""
+        with self._lock:
+            return self._scheduler.detach_observer()

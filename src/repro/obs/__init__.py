@@ -1,0 +1,70 @@
+"""Observability for the timer facility: tracing, metrics, exporters.
+
+The paper's entire argument is quantitative — LATENCY and SPACE as
+functions of the outstanding-timer count ``n`` — and this package is the
+lens that makes a *running* scheduler measurable rather than only
+countable after the fact:
+
+* :class:`TraceRecorder` — typed lifecycle events (``start``, ``stop``,
+  ``expire``, ``tick``, ``migrate``, ``callback_error``) in a bounded
+  ring buffer;
+* :class:`MetricsCollector` / :class:`MetricsRegistry` — counters,
+  gauges, and fixed-bucket histograms for tick wall-latency, expiries per
+  tick, pending count, and firing drift, plus per-scheme structure gauges
+  via each scheduler's ``introspect()`` hook;
+* :mod:`~repro.obs.exporters` — JSON and Prometheus text renderings of a
+  snapshot, JSONL trace dumps, and the table view used by the
+  ``python -m repro stats`` / ``trace`` subcommands.
+
+Attach points live in :mod:`repro.core.observer`; an unobserved scheduler
+runs with the shared no-op ``NULL_OBSERVER`` and pays nothing.
+
+Quick use::
+
+    from repro.core import make_scheduler
+    from repro.obs import MetricsCollector, TraceRecorder
+
+    sched = make_scheduler("scheme6", table_size=512)
+    metrics = MetricsCollector()
+    sched.attach_observer(metrics)
+    ...drive the workload...
+    metrics.sample_structure(sched)
+    print(to_prometheus(metrics.registry.snapshot()))
+"""
+
+from repro.core.observer import (
+    NULL_OBSERVER,
+    CompositeObserver,
+    NullObserver,
+    TimerObserver,
+)
+from repro.obs.collector import MetricsCollector
+from repro.obs.exporters import (
+    render_snapshot_tables,
+    to_json,
+    to_prometheus,
+    trace_to_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import EVENT_TYPES, TraceEvent, TraceRecorder
+
+__all__ = [
+    "TimerObserver",
+    "NullObserver",
+    "CompositeObserver",
+    "NULL_OBSERVER",
+    "TraceEvent",
+    "TraceRecorder",
+    "EVENT_TYPES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "to_json",
+    "to_prometheus",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "render_snapshot_tables",
+]

@@ -1,0 +1,177 @@
+"""The standard metrics-collecting observer.
+
+Attach a :class:`MetricsCollector` to any scheduler and it populates a
+:class:`~repro.obs.metrics.MetricsRegistry` with the quantities the paper
+argues about:
+
+* ``timer_tick_latency_seconds`` — wall-clock PER_TICK_BOOKKEEPING
+  latency (``perf_counter``, measured by the collector itself so no-op
+  runs never touch the wall clock);
+* ``timer_expiries_per_tick`` — EXPIRY_PROCESSING burstiness
+  (Section 6.1.2's hash-distribution question);
+* ``timer_pending_count`` — the outstanding-timer count *n* over time,
+  as both a live gauge and a distribution;
+* ``timer_firing_drift_ticks`` — ``fired_at - deadline``, nonzero only
+  for the lossy Scheme 7 / Nichols variants;
+* lifecycle totals (starts, stops, expiries, migrations, callback
+  errors, ticks).
+
+:meth:`sample_structure` additionally folds a scheduler's
+``introspect()`` output into per-scheme structure gauges (wheel slot
+occupancy, hash-chain lengths, tree height, overflow length, ...).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+from repro.core.observer import TimerObserver
+from repro.obs.metrics import MetricsRegistry
+
+#: Tick wall-latency bounds, seconds. Sub-microsecond to 10 ms covers an
+#: empty wheel tick through a degenerate O(n) Scheme 1 scan.
+TICK_LATENCY_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 1e-3, 1e-2,
+)
+
+#: Expiries per tick (burstiness) bounds.
+EXPIRIES_PER_TICK_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Outstanding-timer count (the paper's n) bounds.
+PENDING_COUNT_BUCKETS = (0, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+#: Firing drift in ticks; negative = early (single-migration variant),
+#: positive = late (lossy rounding).
+DRIFT_BUCKETS = (-256, -64, -16, -4, -1, 0, 1, 4, 16, 64, 256)
+
+
+class MetricsCollector(TimerObserver):
+    """Observer that meters a scheduler into a metrics registry."""
+
+    __slots__ = (
+        "registry",
+        "starts",
+        "stops",
+        "expiries",
+        "migrations",
+        "callback_errors",
+        "ticks",
+        "pending",
+        "now",
+        "tick_latency",
+        "expiries_per_tick",
+        "pending_hist",
+        "drift",
+        "last_introspection",
+        "_tick_started_at",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self.registry = reg
+        self.starts = reg.counter("timer_starts_total", "START_TIMER calls")
+        self.stops = reg.counter("timer_stops_total", "STOP_TIMER calls")
+        self.expiries = reg.counter("timer_expiries_total", "timers expired")
+        self.migrations = reg.counter(
+            "timer_migrations_total", "inter-level migrations / promotions"
+        )
+        self.callback_errors = reg.counter(
+            "timer_callback_errors_total", "Expiry_Actions that raised"
+        )
+        self.ticks = reg.counter("timer_ticks_total", "PER_TICK calls")
+        self.pending = reg.gauge(
+            "timer_pending", "outstanding timers (the paper's n)"
+        )
+        self.now = reg.gauge("timer_now_ticks", "scheduler virtual time")
+        self.tick_latency = reg.histogram(
+            "timer_tick_latency_seconds",
+            TICK_LATENCY_BUCKETS,
+            "wall-clock PER_TICK_BOOKKEEPING latency",
+        )
+        self.expiries_per_tick = reg.histogram(
+            "timer_expiries_per_tick",
+            EXPIRIES_PER_TICK_BUCKETS,
+            "timers expired per tick (burstiness)",
+        )
+        self.pending_hist = reg.histogram(
+            "timer_pending_count",
+            PENDING_COUNT_BUCKETS,
+            "outstanding-timer count sampled each tick",
+        )
+        self.drift = reg.histogram(
+            "timer_firing_drift_ticks",
+            DRIFT_BUCKETS,
+            "fired_at - deadline per expiry (lossy schemes are nonzero)",
+        )
+        #: raw dict from the last :meth:`sample_structure` call.
+        self.last_introspection: Optional[Dict[str, object]] = None
+        self._tick_started_at: Optional[float] = None
+
+    # ----------------------------------------------------------- hook points
+
+    def on_start(self, scheduler, timer) -> None:
+        self.starts.inc()
+
+    def on_stop(self, scheduler, timer) -> None:
+        self.stops.inc()
+
+    def on_tick_begin(self, scheduler, now) -> None:
+        self._tick_started_at = perf_counter()
+
+    def on_tick_end(self, scheduler, expired_count) -> None:
+        if self._tick_started_at is not None:
+            self.tick_latency.observe(perf_counter() - self._tick_started_at)
+            self._tick_started_at = None
+        self.ticks.inc()
+        self.expiries_per_tick.observe(expired_count)
+        pending = scheduler.pending_count
+        self.pending.set(pending)
+        self.pending_hist.observe(pending)
+        self.now.set(scheduler.now)
+
+    def on_expire(self, scheduler, timer) -> None:
+        self.expiries.inc()
+        fired_at = timer.fired_at if timer.fired_at is not None else scheduler.now
+        self.drift.observe(fired_at - timer.deadline)
+
+    def on_migrate(self, scheduler, timer, from_level, to_level) -> None:
+        self.migrations.inc()
+
+    def on_callback_error(self, scheduler, timer, exc) -> None:
+        self.callback_errors.inc()
+
+    # ------------------------------------------------------ structure gauges
+
+    def sample_structure(self, scheduler) -> Dict[str, object]:
+        """Pull ``introspect()`` and set per-scheme structure gauges.
+
+        Numeric scalars in the scheme's ``structure`` dict become gauges
+        named ``timer_structure_<key>``; occupancy summaries contribute
+        their occupied/max/mean figures. The raw introspection dict is
+        kept on :attr:`last_introspection` for exporters that want the
+        full distribution (e.g. the chain-length histogram).
+        """
+        info = scheduler.introspect()
+        self.last_introspection = info
+        structure = info.get("structure", {})
+        if isinstance(structure, dict):
+            self._gauge_tree("timer_structure", structure)
+        return info
+
+    def _gauge_tree(self, prefix: str, node: Dict[str, object]) -> None:
+        for key, value in node.items():
+            name = f"{prefix}_{key}"
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                self.registry.gauge(name).set(value)
+            elif isinstance(value, dict) and key != "length_histogram":
+                self._gauge_tree(name, value)
+            elif isinstance(value, list) and key == "levels":
+                for entry in value:
+                    if isinstance(entry, dict) and "index" in entry:
+                        self._gauge_tree(
+                            f"{prefix}_level{entry['index']}",
+                            {k: v for k, v in entry.items() if k != "index"},
+                        )

@@ -1,0 +1,214 @@
+"""Render metrics snapshots and traces for humans and scrapers.
+
+Three output shapes:
+
+* :func:`to_json` — a registry snapshot (plus optional introspection) as
+  one JSON document, for dashboards and jq;
+* :func:`to_prometheus` — Prometheus text exposition format (``# HELP`` /
+  ``# TYPE`` lines, cumulative ``_bucket{le="..."}`` histogram series),
+  directly scrapeable;
+* :func:`trace_to_jsonl` / :func:`write_trace_jsonl` — a
+  :class:`~repro.obs.tracing.TraceRecorder`'s retained events as JSON
+  Lines;
+* :func:`render_snapshot_tables` — the human-readable form the
+  ``python -m repro stats`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, IO, List, Optional
+
+from repro.bench.tables import render_table
+from repro.core.introspect import sorted_histogram_items
+from repro.obs.tracing import TraceRecorder
+
+
+def to_json(
+    snapshot: Dict[str, object],
+    introspection: Optional[Dict[str, object]] = None,
+    indent: int = 2,
+) -> str:
+    """One JSON document: the metrics snapshot plus optional introspection."""
+    doc: Dict[str, object] = dict(snapshot)
+    if introspection is not None:
+        doc["introspection"] = introspection
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_bound(bound: float) -> str:
+    if bound == int(bound) and abs(bound) < 1e15:
+        return str(int(bound))
+    return repr(bound)
+
+
+def to_prometheus(
+    snapshot: Dict[str, object],
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Prometheus text exposition format for a registry snapshot.
+
+    ``labels`` (e.g. ``{"scheme": "scheme6"}``) are applied to every
+    series. Histograms are rendered with cumulative ``le`` buckets ending
+    in ``+Inf``, plus ``_sum`` and ``_count``.
+    """
+    base = dict(labels or {})
+    lines: List[str] = []
+
+    for name, data in sorted(snapshot.get("counters", {}).items()):  # type: ignore[union-attr]
+        if data["help"]:
+            lines.append(f"# HELP {name} {data['help']}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{_format_labels(base)} {data['value']}")
+
+    for name, data in sorted(snapshot.get("gauges", {}).items()):  # type: ignore[union-attr]
+        if data["help"]:
+            lines.append(f"# HELP {name} {data['help']}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_format_labels(base)} {data['value']}")
+
+    for name, data in sorted(snapshot.get("histograms", {}).items()):  # type: ignore[union-attr]
+        if data["help"]:
+            lines.append(f"# HELP {name} {data['help']}")
+        lines.append(f"# TYPE {name} histogram")
+        running = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            running += count
+            le = {"le": _format_bound(bound)}
+            le.update(base)
+            lines.append(f"{name}_bucket{_format_labels(le)} {running}")
+        running += data["counts"][-1]
+        inf = {"le": "+Inf"}
+        inf.update(base)
+        lines.append(f"{name}_bucket{_format_labels(inf)} {running}")
+        lines.append(f"{name}_sum{_format_labels(base)} {data['sum']}")
+        lines.append(f"{name}_count{_format_labels(base)} {data['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+def trace_to_jsonl(recorder: TraceRecorder) -> str:
+    """All retained events as JSON Lines."""
+    return recorder.to_jsonl()
+
+
+def write_trace_jsonl(recorder: TraceRecorder, stream: IO[str]) -> int:
+    """Stream retained events to ``stream``; returns the line count."""
+    count = 0
+    for event in recorder.events():
+        stream.write(event.to_json() + "\n")
+        count += 1
+    return count
+
+
+# ------------------------------------------------------------ human tables
+
+
+def _histogram_rows(data: Dict[str, object]) -> List[tuple]:
+    rows = []
+    running = 0
+    total = data["count"]
+    for bound, count in zip(data["buckets"], data["counts"]):  # type: ignore[arg-type]
+        running += count
+        share = running / total if total else 0.0
+        rows.append((f"<= {_format_bound(bound)}", count, f"{share:.0%}"))
+    overflow = data["counts"][-1]  # type: ignore[index]
+    rows.append(("+Inf", overflow, "100%" if total else "0%"))
+    return rows
+
+
+def render_snapshot_tables(
+    snapshot: Dict[str, object],
+    introspection: Optional[Dict[str, object]] = None,
+) -> str:
+    """The ``python -m repro stats`` table view of a snapshot."""
+    blocks: List[str] = []
+
+    counter_rows = [
+        (name, data["value"])
+        for name, data in sorted(snapshot.get("counters", {}).items())  # type: ignore[union-attr]
+    ]
+    gauge_rows = []
+    for name, data in sorted(snapshot.get("gauges", {}).items()):  # type: ignore[union-attr]
+        value = data["value"]
+        shown = f"{value:g}" if isinstance(value, float) else value
+        bounds = ""
+        if data.get("min") is not None:
+            bounds = f"[{data['min']:g}, {data['max']:g}]"
+        gauge_rows.append((name, shown, bounds))
+    if counter_rows:
+        blocks.append("counters:\n" + render_table(["name", "value"], counter_rows))
+    if gauge_rows:
+        blocks.append(
+            "gauges:\n" + render_table(["name", "value", "range seen"], gauge_rows)
+        )
+
+    for name, data in sorted(snapshot.get("histograms", {}).items()):  # type: ignore[union-attr]
+        mean = data["sum"] / data["count"] if data["count"] else 0.0
+        header = (
+            f"histogram {name} "
+            f"(count={data['count']}, mean={mean:g}): {data['help']}"
+        )
+        blocks.append(
+            header
+            + "\n"
+            + render_table(["bucket", "count", "cumulative"], _histogram_rows(data))
+        )
+
+    if introspection is not None:
+        structure = introspection.get("structure")
+        if isinstance(structure, dict):
+            blocks.append(render_structure(structure))
+    return "\n\n".join(blocks)
+
+
+def render_structure(structure: Dict[str, object]) -> str:
+    """Human view of a scheme's ``introspect()['structure']`` dict."""
+    lines = [f"structure ({structure.get('kind', '?')}):"]
+    rows = []
+    for key, value in structure.items():
+        if key in ("kind", "levels") or isinstance(value, dict):
+            continue
+        if isinstance(value, float) and not math.isfinite(value):
+            value = str(value)
+        rows.append((key, value))
+    if rows:
+        lines.append(render_table(["field", "value"], rows))
+    for key in ("chains", "slot_occupancy", "occupancy"):
+        summary = structure.get(key)
+        if isinstance(summary, dict):
+            lines.append(_render_occupancy(key, summary))
+    levels = structure.get("levels")
+    if isinstance(levels, list):
+        for entry in levels:
+            if isinstance(entry, dict) and isinstance(
+                entry.get("occupancy"), dict
+            ):
+                label = (
+                    f"level {entry.get('index')} "
+                    f"(granularity {entry.get('granularity')})"
+                )
+                lines.append(_render_occupancy(label, entry["occupancy"]))
+    return "\n".join(lines)
+
+
+def _render_occupancy(label: str, summary: Dict[str, object]) -> str:
+    head = (
+        f"{label}: {summary.get('entries')} entries in "
+        f"{summary.get('occupied')}/{summary.get('slots')} slots, "
+        f"max chain {summary.get('max_length')}, "
+        f"mean nonempty {summary.get('mean_nonempty_length'):.2f}"
+    )
+    histogram = summary.get("length_histogram")
+    if isinstance(histogram, dict):
+        rows = sorted_histogram_items(histogram)
+        return head + "\n" + render_table(["chain length", "slots"], rows)
+    return head

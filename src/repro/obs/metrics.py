@@ -1,0 +1,191 @@
+"""Counters, gauges, and fixed-bucket histograms for the timer facility.
+
+Deliberately tiny and dependency-free: three metric kinds, one registry,
+all values plain Python numbers. Histograms use fixed upper-bound buckets
+(Prometheus ``le`` semantics, cumulative at export time) so observation is
+O(#buckets) worst case and O(log #buckets) via bisection, never O(samples).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; remembers its observed extremes."""
+
+    __slots__ = ("name", "help", "value", "min_seen", "max_seen")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+        self.min_seen: Optional[float] = None
+        self.max_seen: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+        if self.min_seen is None or value < self.min_seen:
+            self.min_seen = value
+        if self.max_seen is None or value > self.max_seen:
+            self.max_seen = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound, plus sum and count.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit +Inf
+    bucket catches the rest. Bucket counts are stored per-bucket and
+    cumulated only at export (Prometheus style).
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> None:
+        bounds = list(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(later <= earlier for later, earlier in zip(bounds[1:], bounds)):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.name = name
+        self.help = help
+        self.buckets: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # last is +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observed samples (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> List[int]:
+        """Counts cumulated across buckets (``le`` semantics); the final
+        entry (the +Inf bucket) equals :attr:`count`."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile: the upper bound of the first bucket
+        whose cumulative count reaches ``q * count``. Conservative (an
+        upper estimate); returns the largest finite bound for samples in
+        the +Inf bucket, and 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        threshold = q * self.count
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            if running >= threshold:
+                return bound
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one-call snapshot export.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    twice with the same name returns the same object, so collectors can
+    be reattached without double-registering.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        self._check_unique(name, self.counters)
+        return self.counters.setdefault(name, Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        self._check_unique(name, self.gauges)
+        return self.gauges.setdefault(name, Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create a histogram (``buckets`` required on creation)."""
+        self._check_unique(name, self.histograms)
+        if name not in self.histograms:
+            if buckets is None:
+                raise ValueError(f"histogram {name!r} needs bucket bounds")
+            self.histograms[name] = Histogram(name, buckets, help)
+        return self.histograms[name]
+
+    def _check_unique(self, name: str, own_kind: Dict) -> None:
+        for kind in (self.counters, self.gauges, self.histograms):
+            if kind is not own_kind and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def all_metrics(self) -> Iterable[Tuple[str, object]]:
+        """Every metric as (name, metric), counters → gauges → histograms."""
+        for kind in (self.counters, self.gauges, self.histograms):
+            yield from sorted(kind.items())
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serialisable copy of every metric's current state."""
+        return {
+            "counters": {
+                name: {"help": c.help, "value": c.value}
+                for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: {
+                    "help": g.help,
+                    "value": g.value,
+                    "min": g.min_seen,
+                    "max": g.max_seen,
+                }
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "help": h.help,
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }

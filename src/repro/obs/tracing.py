@@ -1,0 +1,215 @@
+"""Structured lifecycle tracing: typed events in a bounded ring buffer.
+
+A :class:`TraceRecorder` is a :class:`~repro.core.observer.TimerObserver`
+that captures one :class:`TraceEvent` per lifecycle hook into a fixed-size
+ring. When the ring is full the oldest event is overwritten (and counted in
+:attr:`TraceRecorder.dropped`) — a long-running facility keeps the most
+recent window of activity, never an unbounded log.
+
+Event types, in within-tick emission order:
+
+``start`` / ``stop``
+    Client operations, stamped with interval and absolute deadline.
+``migrate``
+    A hierarchical wheel cascaded a timer to another level (or the
+    Scheme 4 hybrid promoted one from the overflow list); ``detail``
+    carries ``from_level`` / ``to_level``.
+``expire``
+    Emitted after the tick's whole expiry set is atomically marked and
+    before any Expiry_Action runs; carries ``fired_at`` and ``drift``
+    (``fired_at - deadline``, nonzero only for the lossy Scheme 7
+    variants).
+``callback_error``
+    An Expiry_Action raised; ``detail`` holds the exception repr.
+``tick``
+    End-of-tick summary (expired count, pending count). Recorded only for
+    ticks that expired something unless ``record_empty_ticks=True`` —
+    idle ticks would otherwise evict the interesting events.
+
+This module complements :mod:`repro.workloads.trace`, which records
+*client input* (START/STOP operations) for cross-scheme replay; a
+``TraceRecorder`` here records what the scheduler *did*, including events
+replay can't reconstruct (migrations, drift, callback failures).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.observer import TimerObserver
+
+#: Every event type a recorder can emit.
+EVENT_TYPES = ("start", "stop", "expire", "tick", "migrate", "callback_error")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed lifecycle event at an absolute tick."""
+
+    seq: int  #: monotonically increasing sequence number (never reused)
+    tick: int  #: scheduler time when the event was captured
+    etype: str  #: one of :data:`EVENT_TYPES`
+    request_id: Optional[str] = None
+    interval: Optional[int] = None
+    deadline: Optional[int] = None
+    fired_at: Optional[int] = None
+    drift: Optional[int] = None  #: fired_at - deadline (expire events)
+    detail: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Dense dict form: ``None`` fields are omitted."""
+        out: Dict[str, object] = {
+            "seq": self.seq,
+            "tick": self.tick,
+            "event": self.etype,
+        }
+        for field in ("request_id", "interval", "deadline", "fired_at", "drift"):
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
+        if self.detail:
+            out.update(self.detail)
+        return out
+
+    def to_json(self) -> str:
+        """One JSONL line."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class TraceRecorder(TimerObserver):
+    """Observer capturing lifecycle events into a bounded ring buffer.
+
+    >>> recorder = TraceRecorder(capacity=1024)
+    >>> scheduler.attach_observer(recorder)
+    >>> ...run the workload...
+    >>> for event in recorder.events():
+    ...     print(event.to_json())
+    """
+
+    __slots__ = (
+        "capacity",
+        "record_empty_ticks",
+        "dropped",
+        "total_recorded",
+        "_ring",
+        "_next",
+        "_seq",
+    )
+
+    def __init__(
+        self, capacity: int = 65536, record_empty_ticks: bool = False
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.record_empty_ticks = record_empty_ticks
+        #: events overwritten after the ring filled up.
+        self.dropped = 0
+        #: events ever captured (retained + dropped).
+        self.total_recorded = 0
+        self._ring: List[Optional[TraceEvent]] = [None] * capacity
+        self._next = 0  # ring index the next event lands in
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return min(self.total_recorded, self.capacity)
+
+    def _record(self, event_kwargs: Dict[str, object]) -> None:
+        event = TraceEvent(seq=self._seq, **event_kwargs)  # type: ignore[arg-type]
+        self._seq += 1
+        if self._ring[self._next] is not None:
+            self.dropped += 1
+        self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+        self.total_recorded += 1
+
+    # ----------------------------------------------------------- hook points
+
+    def on_start(self, scheduler, timer) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="start",
+                request_id=str(timer.request_id),
+                interval=timer.interval,
+                deadline=timer.deadline,
+            )
+        )
+
+    def on_stop(self, scheduler, timer) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="stop",
+                request_id=str(timer.request_id),
+                deadline=timer.deadline,
+            )
+        )
+
+    def on_expire(self, scheduler, timer) -> None:
+        fired_at = timer.fired_at if timer.fired_at is not None else scheduler.now
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="expire",
+                request_id=str(timer.request_id),
+                deadline=timer.deadline,
+                fired_at=fired_at,
+                drift=fired_at - timer.deadline,
+            )
+        )
+
+    def on_migrate(self, scheduler, timer, from_level, to_level) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="migrate",
+                request_id=str(timer.request_id),
+                deadline=timer.deadline,
+                detail={"from_level": from_level, "to_level": to_level},
+            )
+        )
+
+    def on_callback_error(self, scheduler, timer, exc) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="callback_error",
+                request_id=str(timer.request_id),
+                detail={"error": repr(exc)},
+            )
+        )
+
+    def on_tick_end(self, scheduler, expired_count) -> None:
+        if expired_count == 0 and not self.record_empty_ticks:
+            return
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="tick",
+                detail={
+                    "expired": expired_count,
+                    "pending": scheduler.pending_count,
+                },
+            )
+        )
+
+    # -------------------------------------------------------------- read side
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first."""
+        if self.total_recorded < self.capacity:
+            return [e for e in self._ring[: self._next] if e is not None]
+        tail = self._ring[self._next :] + self._ring[: self._next]
+        return [e for e in tail if e is not None]
+
+    def clear(self) -> None:
+        """Drop every retained event (counters keep running)."""
+        self._ring = [None] * self.capacity
+        self._next = 0
+
+    def to_jsonl(self) -> str:
+        """All retained events as JSON Lines (one event per line)."""
+        return "\n".join(event.to_json() for event in self.events())

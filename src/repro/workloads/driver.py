@@ -13,6 +13,13 @@ Each tick of the measured phase records:
 * the operation cost of every STOP_TIMER;
 * the operation cost of PER_TICK_BOOKKEEPING;
 * the number of outstanding timers (for Little's-law validation).
+
+Pass ``observer=`` (any :class:`~repro.core.observer.TimerObserver`, e.g.
+a :class:`~repro.obs.collector.MetricsCollector` or
+:class:`~repro.obs.tracing.TraceRecorder`) to attach lifecycle
+instrumentation for the duration of the run — the driver attaches it
+before the warmup phase and leaves it attached, so CLI callers can
+snapshot the scheduler afterwards.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.interface import TimerScheduler
+from repro.core.observer import TimerObserver
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.distributions import IntervalDistribution
 
@@ -85,9 +93,12 @@ class SteadyStateDriver:
         intervals: IntervalDistribution,
         stop_fraction: float = 0.0,
         seed: int = 0,
+        observer: Optional[TimerObserver] = None,
     ) -> None:
         if not 0.0 <= stop_fraction <= 1.0:
             raise ValueError(f"stop_fraction must be in [0, 1], got {stop_fraction}")
+        if observer is not None:
+            scheduler.attach_observer(observer)
         self.scheduler = scheduler
         self.arrivals = arrivals
         self.intervals = intervals
@@ -157,6 +168,7 @@ def run_steady_state(
     measure_ticks: int,
     stop_fraction: float = 0.0,
     seed: int = 0,
+    observer: Optional[TimerObserver] = None,
 ) -> DriverStats:
     """One-call convenience wrapper around :class:`SteadyStateDriver`."""
     driver = SteadyStateDriver(
@@ -165,5 +177,6 @@ def run_steady_state(
         intervals,
         stop_fraction=stop_fraction,
         seed=seed,
+        observer=observer,
     )
     return driver.run(warmup_ticks, measure_ticks)

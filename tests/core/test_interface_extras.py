@@ -104,16 +104,31 @@ class TestRegistry:
         assert "scheme6" in str(excinfo.value)
 
     def test_register_custom_scheme(self):
-        register_scheme("custom-test-scheme", StraightforwardScheduler)
+        register_scheme(
+            "custom-test-scheme", StraightforwardScheduler, summary="test only"
+        )
         try:
             sched = make_scheduler("custom-test-scheme")
             assert isinstance(sched, StraightforwardScheduler)
+            from repro.core import scheme_summary
+
+            assert scheme_summary("custom-test-scheme") == "test only"
             with pytest.raises(ValueError):
                 register_scheme("custom-test-scheme", StraightforwardScheduler)
         finally:
             from repro.core import registry
 
             del registry._FACTORIES["custom-test-scheme"]
+            del registry._SUMMARIES["custom-test-scheme"]
+
+    def test_every_scheme_has_a_summary(self):
+        from repro.core import scheme_summary
+
+        for name in scheme_names():
+            summary = scheme_summary(name)
+            assert summary and isinstance(summary, str), name
+        with pytest.raises(KeyError):
+            scheme_summary("scheme99")
 
     def test_new_variants_registered(self):
         names = scheme_names()

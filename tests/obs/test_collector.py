@@ -1,0 +1,143 @@
+"""MetricsCollector against live schedulers, including structure gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsCollector
+from tests.conftest import ALL_SCHEMES, build
+
+
+def drive(sched, n_timers=30, horizon=120):
+    for i in range(n_timers):
+        sched.start_timer(3 + (i * 7) % 90)
+    stopped = sched.start_timer(100, request_id="stopme")
+    sched.advance(10)
+    sched.stop_timer(stopped)
+    sched.advance(horizon)
+
+
+class TestLifecycleTotals:
+    def test_counts_match_scheduler_bookkeeping(self):
+        sched = build("scheme6")
+        collector = sched.attach_observer(MetricsCollector())
+        drive(sched)
+        assert collector.starts.value == sched.total_started == 31
+        assert collector.stops.value == sched.total_stopped == 1
+        assert collector.expiries.value == sched.total_expired == 30
+        assert collector.ticks.value == sched.now == 130
+        assert collector.pending.value == sched.pending_count == 0
+
+    def test_tick_latency_histogram_populated(self):
+        sched = build("scheme6")
+        collector = sched.attach_observer(MetricsCollector())
+        drive(sched)
+        latency = collector.tick_latency
+        assert latency.count == 130
+        assert latency.sum > 0.0
+
+    def test_expiries_per_tick_and_pending_distributions(self):
+        sched = build("scheme6")
+        collector = sched.attach_observer(MetricsCollector())
+        drive(sched)
+        assert collector.expiries_per_tick.count == 130
+        # Total expiries seen through the histogram equal the counter.
+        assert collector.expiries_per_tick.sum == 30
+        assert collector.pending_hist.count == 130
+
+    def test_drift_zero_on_exact_schemes_nonzero_on_lossy(self):
+        exact = build("scheme6")
+        c1 = exact.attach_observer(MetricsCollector())
+        drive(exact)
+        assert c1.drift.count == 30 and c1.drift.sum == 0
+
+        lossy = build("scheme7-lossy")
+        c2 = lossy.attach_observer(MetricsCollector())
+        lossy.start_timer(100)
+        lossy.advance(300)
+        assert c2.drift.count == 1 and c2.drift.sum != 0
+
+    def test_migrations_counted_on_hierarchy(self):
+        sched = build("scheme7")
+        collector = sched.attach_observer(MetricsCollector())
+        sched.start_timer(70)  # needs a level-1 slot, cascades down later
+        sched.advance(80)
+        assert collector.migrations.value >= 1
+        assert collector.migrations.value == sched.migrations
+
+    def test_callback_errors_counted_under_both_policies(self):
+        collected = build("scheme6")
+        collected.set_error_policy("collect")
+        c1 = collected.attach_observer(MetricsCollector())
+        collected.start_timer(2, callback=lambda t: 1 / 0)
+        collected.advance(2)
+        assert c1.callback_errors.value == 1
+
+        propagating = build("scheme6")
+        c2 = propagating.attach_observer(MetricsCollector())
+        propagating.start_timer(2, callback=lambda t: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            propagating.advance(2)
+        assert c2.callback_errors.value == 1
+
+
+class TestStructureSampling:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_introspect_flattens_to_gauges_on_every_scheme(self, name):
+        sched = build(name)
+        collector = sched.attach_observer(MetricsCollector())
+        for i in range(25):
+            sched.start_timer(1 + (i * 13) % 200)
+        sched.advance(7)
+        info = collector.sample_structure(sched)
+        assert collector.last_introspection is info
+        assert info["scheme"] == sched.scheme_name
+        assert info["pending"] == sched.pending_count
+        assert "kind" in info["structure"]
+        structure_gauges = {
+            n: g.value
+            for n, g in collector.registry.gauges.items()
+            if n.startswith("timer_structure_")
+        }
+        assert structure_gauges, f"{name} produced no structure gauges"
+
+    def test_hash_chain_gauges_for_scheme6(self):
+        sched = build("scheme6", table_size=8)
+        collector = sched.attach_observer(MetricsCollector())
+        for _ in range(20):
+            sched.start_timer(40)  # all hash to one bucket
+        collector.sample_structure(sched)
+        gauges = collector.registry.gauges
+        assert gauges["timer_structure_chains_entries"].value == 20
+        assert gauges["timer_structure_chains_max_length"].value == 20
+        assert gauges["timer_structure_chains_occupied"].value == 1
+        assert gauges["timer_structure_chains_slots"].value == 8
+
+    def test_per_level_gauges_for_scheme7(self):
+        sched = build("scheme7")
+        collector = sched.attach_observer(MetricsCollector())
+        sched.start_timer(5)
+        sched.start_timer(70)
+        collector.sample_structure(sched)
+        gauges = collector.registry.gauges
+        assert gauges["timer_structure_level0_occupancy_entries"].value == 1
+        assert gauges["timer_structure_level1_occupancy_entries"].value == 1
+
+
+class TestSharedRegistry:
+    def test_two_collectors_can_share_one_registry_sequentially(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        first = build("scheme6")
+        first.attach_observer(MetricsCollector(registry))
+        first.start_timer(3)
+        first.advance(3)
+
+        second = build("scheme6")
+        second.attach_observer(MetricsCollector(registry))
+        second.start_timer(3)
+        second.advance(3)
+
+        assert registry.counters["timer_starts_total"].value == 2
+        assert registry.counters["timer_expiries_total"].value == 2

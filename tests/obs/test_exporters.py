@@ -1,0 +1,112 @@
+"""Exporters: JSON documents, Prometheus text format, JSONL traces, tables."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import (
+    MetricsCollector,
+    MetricsRegistry,
+    TraceRecorder,
+    render_snapshot_tables,
+    to_json,
+    to_prometheus,
+    trace_to_jsonl,
+    write_trace_jsonl,
+)
+from tests.conftest import build
+
+
+def _instrumented_run(scheme="scheme6"):
+    sched = build(scheme)
+    collector = sched.attach_observer(MetricsCollector())
+    for i in range(20):
+        sched.start_timer(2 + (i * 5) % 60)
+    sched.advance(70)
+    introspection = collector.sample_structure(sched)
+    return collector.registry.snapshot(), introspection
+
+
+class TestJson:
+    def test_round_trips_with_introspection(self):
+        snapshot, introspection = _instrumented_run()
+        doc = json.loads(to_json(snapshot, introspection))
+        assert doc["counters"]["timer_starts_total"]["value"] == 20
+        assert doc["introspection"]["structure"]["kind"] == "hashed-wheel-unsorted"
+
+    def test_introspection_optional(self):
+        snapshot, _ = _instrumented_run()
+        assert "introspection" not in json.loads(to_json(snapshot))
+
+
+class TestPrometheus:
+    def test_counter_gauge_and_histogram_series(self):
+        snapshot, _ = _instrumented_run()
+        text = to_prometheus(snapshot, labels={"scheme": "scheme6"})
+        lines = text.splitlines()
+        assert text.endswith("\n")
+
+        assert "# TYPE timer_starts_total counter" in lines
+        assert 'timer_starts_total{scheme="scheme6"} 20' in lines
+        assert "# TYPE timer_pending gauge" in lines
+        assert "# TYPE timer_tick_latency_seconds histogram" in lines
+
+    def test_histogram_buckets_are_cumulative_and_end_in_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", [1, 2, 4], "demo")
+        for v in (1, 2, 2, 3, 99):
+            h.observe(v)
+        text = to_prometheus(reg.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 3' in text
+        assert 'h_bucket{le="4"} 4' in text
+        assert 'h_bucket{le="+Inf"} 5' in text
+        assert "h_sum 107" in text
+        assert "h_count 5" in text
+
+    def test_labels_merge_with_le(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", [1]).observe(0)
+        text = to_prometheus(reg.snapshot(), labels={"scheme": "x"})
+        assert 'h_bucket{le="1",scheme="x"} 1' in text
+
+    def test_help_lines_present_only_when_set(self):
+        reg = MetricsRegistry()
+        reg.counter("with_help", "described").inc()
+        reg.counter("bare").inc()
+        text = to_prometheus(reg.snapshot())
+        assert "# HELP with_help described" in text
+        assert "# HELP bare" not in text
+
+
+class TestTraceJsonl:
+    def test_string_and_stream_forms_agree(self):
+        sched = build("scheme6")
+        recorder = sched.attach_observer(TraceRecorder())
+        sched.start_timer(3)
+        sched.advance(3)
+        text = trace_to_jsonl(recorder)
+        buffer = io.StringIO()
+        count = write_trace_jsonl(recorder, buffer)
+        assert buffer.getvalue().rstrip("\n") == text
+        assert count == len(text.splitlines()) == len(recorder)
+        for line in text.splitlines():
+            json.loads(line)
+
+
+class TestTables:
+    def test_snapshot_tables_mention_every_section(self):
+        snapshot, introspection = _instrumented_run()
+        text = render_snapshot_tables(snapshot, introspection)
+        assert "counters:" in text
+        assert "gauges:" in text
+        assert "histogram timer_tick_latency_seconds" in text
+        assert "structure (hashed-wheel-unsorted)" in text
+        assert "chains:" in text  # chain-length distribution table
+
+    def test_hierarchy_tables_show_levels(self):
+        snapshot, introspection = _instrumented_run("scheme7")
+        text = render_snapshot_tables(snapshot, introspection)
+        assert "structure (hierarchy)" in text
+        assert "level 0" in text

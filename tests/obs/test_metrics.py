@@ -1,0 +1,117 @@
+"""Counters, gauges, fixed-bucket histograms, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        g = Gauge("x")
+        for v in (5, -2, 9, 3):
+            g.set(v)
+        assert g.value == 3
+        assert g.min_seen == -2 and g.max_seen == 9
+
+    def test_unset_extremes_are_none(self):
+        g = Gauge("x")
+        assert g.min_seen is None and g.max_seen is None
+
+
+class TestHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("x", [1, 1, 2])
+        with pytest.raises(ValueError):
+            Histogram("x", [2, 1])
+        with pytest.raises(ValueError):
+            Histogram("x", [])
+
+    def test_le_semantics(self):
+        h = Histogram("x", [1, 10, 100])
+        for v in (0, 1, 2, 10, 11, 1000):
+            h.observe(v)
+        # buckets: <=1, <=10, <=100, +Inf
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.sum == 1024
+        assert h.cumulative_counts() == [2, 4, 5, 6]
+
+    def test_mean(self):
+        h = Histogram("x", [10])
+        assert h.mean == 0.0
+        h.observe(4)
+        h.observe(8)
+        assert h.mean == 6.0
+
+    def test_quantile_is_conservative_upper_bound(self):
+        h = Histogram("x", [1, 2, 4, 8])
+        for v in (1, 1, 1, 2, 8):
+            h.observe(v)
+        assert h.quantile(0.5) == 1
+        assert h.quantile(1.0) == 8
+        h.observe(99)  # lands in +Inf -> largest finite bound
+        assert h.quantile(1.0) == 8
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_negative_bounds_allowed(self):
+        h = Histogram("drift", [-4, -1, 0, 1, 4])
+        h.observe(-2)
+        h.observe(0)
+        assert h.counts[1] == 1  # <= -1
+        assert h.counts[2] == 1  # <= 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        h = reg.histogram("h", [1, 2])
+        assert reg.histogram("h") is h  # no bounds needed on re-get
+
+    def test_histogram_needs_bounds_on_create(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h")
+
+    def test_cross_kind_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x", [1])
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c", "help c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", [1, 2], "help h").observe(1)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"]["c"] == {"help": "help c", "value": 3}
+        assert snap["gauges"]["g"]["value"] == 1.5
+        assert snap["histograms"]["h"]["counts"] == [1, 0, 0]
+
+    def test_all_metrics_ordering(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")
+        reg.counter("c")
+        reg.histogram("h", [1])
+        assert [name for name, _ in reg.all_metrics()] == ["c", "g", "h"]

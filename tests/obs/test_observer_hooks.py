@@ -1,0 +1,249 @@
+"""Observer hook contract: ordering, overhead, attach/detach, fan-out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    NULL_OBSERVER,
+    CompositeObserver,
+    NullObserver,
+    TimerLivelockError,
+    TimerObserver,
+    TimerState,
+)
+from repro.obs import MetricsCollector, TraceRecorder
+from tests.conftest import ALL_SCHEMES, build
+
+
+class EventLog(TimerObserver):
+    """Records (hook, payload) tuples in call order."""
+
+    __slots__ = ("calls",)
+
+    def __init__(self):
+        self.calls = []
+
+    def on_start(self, scheduler, timer):
+        self.calls.append(("start", timer.request_id))
+
+    def on_stop(self, scheduler, timer):
+        self.calls.append(("stop", timer.request_id))
+
+    def on_tick_begin(self, scheduler, now):
+        self.calls.append(("tick_begin", now))
+
+    def on_tick_end(self, scheduler, expired_count):
+        self.calls.append(("tick_end", expired_count))
+
+    def on_expire(self, scheduler, timer):
+        self.calls.append(("expire", timer.request_id, timer.state))
+
+    def on_migrate(self, scheduler, timer, from_level, to_level):
+        self.calls.append(("migrate", timer.request_id, from_level, to_level))
+
+    def on_callback_error(self, scheduler, timer, exc):
+        self.calls.append(("error", timer.request_id, type(exc).__name__))
+
+
+class TestOrdering:
+    def test_expire_events_fire_after_atomic_marking(self):
+        """Every same-tick sibling is already EXPIRED when on_expire runs."""
+        sched = build("scheme6")
+        siblings_state = []
+
+        class Probe(TimerObserver):
+            def on_expire(self, scheduler, timer):
+                a, b = timer.user_data
+                siblings_state.append((a.state, b.state))
+
+        sched.attach_observer(Probe())
+        pair = []
+        a = sched.start_timer(4, request_id="a", user_data=pair)
+        b = sched.start_timer(4, request_id="b", user_data=pair)
+        pair.extend([a, b])
+        sched.advance(4)
+        assert len(siblings_state) == 2
+        for state_a, state_b in siblings_state:
+            assert state_a is TimerState.EXPIRED
+            assert state_b is TimerState.EXPIRED
+
+    def test_expire_events_precede_callbacks(self):
+        sched = build("scheme6")
+        log = sched.attach_observer(EventLog())
+        order = log.calls
+
+        sched.start_timer(2, request_id="x",
+                          callback=lambda t: order.append(("callback", "x")))
+        sched.start_timer(2, request_id="y",
+                          callback=lambda t: order.append(("callback", "y")))
+        sched.advance(2)
+        expire_idx = [i for i, c in enumerate(order) if c[0] == "expire"]
+        callback_idx = [i for i, c in enumerate(order) if c[0] == "callback"]
+        assert len(expire_idx) == 2 and len(callback_idx) == 2
+        assert max(expire_idx) < min(callback_idx)
+
+    def test_tick_bracket_and_payloads(self):
+        sched = build("scheme6")
+        log = sched.attach_observer(EventLog())
+        sched.start_timer(1, request_id="t")
+        log.calls.clear()
+        sched.tick()
+        assert log.calls[0] == ("tick_begin", 1)
+        assert ("expire", "t", TimerState.EXPIRED) in log.calls
+        assert log.calls[-1] == ("tick_end", 1)
+
+    def test_shutdown_emits_stop_per_cancelled_timer(self):
+        sched = build("scheme6")
+        log = sched.attach_observer(EventLog())
+        sched.start_timer(10, request_id="a")
+        sched.start_timer(20, request_id="b")
+        log.calls.clear()
+        cancelled = sched.shutdown()
+        assert len(cancelled) == 2
+        assert sorted(log.calls) == [("stop", "a"), ("stop", "b")]
+
+    @pytest.mark.parametrize("name", ["scheme7", "scheme7-onemigration"])
+    def test_migrate_reports_level_transition(self, name):
+        sched = build(name)
+        log = sched.attach_observer(EventLog())
+        sched.start_timer(70, request_id="m")  # level 1 with 64-slot levels
+        sched.advance(80)
+        migrations = [c for c in log.calls if c[0] == "migrate"]
+        assert migrations, f"{name} never migrated a 70-tick timer"
+        for _, request_id, from_level, to_level in migrations:
+            assert request_id == "m"
+            assert from_level > to_level
+
+    def test_hybrid_promotion_is_a_migration(self):
+        sched = build("scheme4-hybrid", max_interval=16)
+        log = sched.attach_observer(EventLog())
+        sched.start_timer(40, request_id="far")  # beyond the wheel -> overflow
+        sched.advance(41)
+        migrations = [c for c in log.calls if c[0] == "migrate"]
+        assert len(migrations) == 1
+        assert ("expire", "far", TimerState.EXPIRED) in log.calls
+
+
+class TestZeroOverhead:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_observers_never_touch_the_op_counter(self, name):
+        """OpCounter totals are identical with and without instrumentation.
+
+        The paper's cost accounting prices data-structure work only; an
+        attached observer (even metrics + trace composite) must not change
+        a single charged operation.
+        """
+
+        def run(observer):
+            sched = build(name)
+            if observer is not None:
+                sched.attach_observer(observer)
+            for i in range(40):
+                sched.start_timer(1 + (i * 11) % 150, request_id=i)
+            for i in range(0, 40, 4):
+                sched.stop_timer(i)
+            sched.advance(160)
+            return sched.counter.snapshot()
+
+        baseline = run(None)
+        null = run(NullObserver())
+        instrumented = run(
+            CompositeObserver([MetricsCollector(), TraceRecorder()])
+        )
+        assert null == baseline
+        assert instrumented == baseline
+
+
+class TestAttachDetach:
+    def test_default_is_the_shared_null_observer(self):
+        assert build("scheme6").observer is NULL_OBSERVER
+
+    def test_attach_returns_observer_and_is_idempotent(self):
+        sched = build("scheme6")
+        recorder = TraceRecorder()
+        assert sched.attach_observer(recorder) is recorder
+        assert sched.attach_observer(recorder) is recorder  # same one: fine
+
+    def test_second_observer_rejected_until_detach(self):
+        sched = build("scheme6")
+        first = sched.attach_observer(TraceRecorder())
+        with pytest.raises(ValueError):
+            sched.attach_observer(TraceRecorder())
+        assert sched.detach_observer() is first
+        assert sched.observer is NULL_OBSERVER
+        sched.attach_observer(TraceRecorder())  # now allowed
+
+    def test_detached_observer_sees_nothing(self):
+        sched = build("scheme6")
+        recorder = sched.attach_observer(TraceRecorder())
+        sched.start_timer(5)
+        sched.detach_observer()
+        sched.advance(5)
+        assert [e.etype for e in recorder.events()] == ["start"]
+
+
+class TestCompositeObserver:
+    def test_fans_out_in_attachment_order(self):
+        first, second = EventLog(), EventLog()
+        composite = CompositeObserver([first]).add(second)
+        sched = build("scheme6")
+        sched.attach_observer(composite)
+        sched.start_timer(1)
+        sched.tick()
+        assert first.calls == second.calls
+        assert ("tick_end", 1) in first.calls
+
+
+class TestCallbackErrorLifecycle:
+    def test_collect_policy_event_and_clear_helper(self):
+        sched = build("scheme6")
+        sched.set_error_policy("collect")
+        log = sched.attach_observer(EventLog())
+        sched.start_timer(2, request_id="bad", callback=lambda t: 1 / 0)
+        sched.start_timer(2, request_id="ok")
+        sched.advance(2)
+
+        # The trace event fired at capture time...
+        assert ("error", "bad", "ZeroDivisionError") in log.calls
+        # ...and the collected list is drained by the helper.
+        drained = sched.clear_callback_errors()
+        assert len(drained) == 1
+        timer, exc = drained[0]
+        assert timer.request_id == "bad"
+        assert isinstance(exc, ZeroDivisionError)
+        assert sched.callback_errors == []
+        assert sched.clear_callback_errors() == []
+        # introspect() reflects the drained list.
+        assert sched.introspect()["callback_errors"] == 0
+
+    def test_propagate_policy_still_emits_the_event(self):
+        sched = build("scheme6")
+        log = sched.attach_observer(EventLog())
+        sched.start_timer(2, request_id="bad", callback=lambda t: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            sched.advance(2)
+        assert ("error", "bad", "ZeroDivisionError") in log.calls
+        assert sched.callback_errors == []
+
+
+class TestRunUntilIdleLivelock:
+    def test_raises_instead_of_silently_truncating(self):
+        sched = build("scheme6")
+
+        def rearm(timer):
+            sched.start_timer(1, callback=rearm)
+
+        sched.start_timer(1, callback=rearm)
+        with pytest.raises(TimerLivelockError) as excinfo:
+            sched.run_until_idle(max_ticks=50)
+        assert "50" in str(excinfo.value)
+        assert "1 timer(s) still pending" in str(excinfo.value)
+
+    def test_clean_drain_unaffected(self):
+        sched = build("scheme6")
+        sched.start_timer(30)
+        sched.start_timer(60)
+        expired = sched.run_until_idle(max_ticks=100)
+        assert len(expired) == 2
+        assert sched.pending_count == 0

@@ -1,0 +1,158 @@
+"""TraceRecorder: ring-buffer semantics, event content, JSONL output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import EVENT_TYPES, TraceRecorder
+from tests.conftest import ALL_SCHEMES, build
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_fills_then_wraps(self):
+        sched = build("scheme6")
+        recorder = sched.attach_observer(TraceRecorder(capacity=4))
+        for _ in range(10):
+            sched.start_timer(100)
+        assert len(recorder) == 4
+        assert recorder.total_recorded == 10
+        assert recorder.dropped == 6
+        # The ring keeps the MOST RECENT window, oldest first.
+        seqs = [e.seq for e in recorder.events()]
+        assert seqs == [6, 7, 8, 9]
+
+    def test_wraparound_is_chronological_mid_ring(self):
+        recorder = TraceRecorder(capacity=5)
+        sched = build("scheme6")
+        sched.attach_observer(recorder)
+        for _ in range(7):  # 7 = one full ring + 2 overwrites
+            sched.start_timer(50)
+        seqs = [e.seq for e in recorder.events()]
+        assert seqs == sorted(seqs) == [2, 3, 4, 5, 6]
+
+    def test_clear_keeps_counters(self):
+        recorder = TraceRecorder(capacity=8)
+        sched = build("scheme6")
+        sched.attach_observer(recorder)
+        for _ in range(3):
+            sched.start_timer(10)
+        recorder.clear()
+        assert len(recorder.events()) == 0
+        assert recorder.total_recorded == 3
+        # New events land cleanly after a clear.
+        sched.start_timer(10)
+        assert [e.etype for e in recorder.events()] == ["start"]
+
+
+class TestEventContent:
+    def test_start_stop_expire_fields(self):
+        sched = build("scheme6")
+        recorder = sched.attach_observer(TraceRecorder())
+        keep = sched.start_timer(5, request_id="keep")
+        sched.start_timer(3, request_id="victim")
+        sched.stop_timer("victim")
+        sched.advance(5)
+
+        by_type = {}
+        for event in recorder.events():
+            by_type.setdefault(event.etype, []).append(event)
+
+        starts = by_type["start"]
+        assert [e.request_id for e in starts] == ["keep", "victim"]
+        assert starts[0].interval == 5 and starts[0].deadline == 5
+
+        (stop,) = by_type["stop"]
+        assert stop.request_id == "victim" and stop.tick == 0
+
+        (expire,) = by_type["expire"]
+        assert expire.request_id == "keep"
+        assert expire.fired_at == keep.deadline == 5
+        assert expire.drift == 0
+
+        (tick_event,) = by_type["tick"]
+        assert tick_event.detail == {"expired": 1, "pending": 0}
+
+    def test_empty_ticks_skipped_by_default(self):
+        sched = build("scheme6")
+        recorder = sched.attach_observer(TraceRecorder())
+        sched.advance(20)
+        assert len(recorder.events()) == 0
+
+    def test_record_empty_ticks_opt_in(self):
+        sched = build("scheme6")
+        recorder = sched.attach_observer(TraceRecorder(record_empty_ticks=True))
+        sched.advance(3)
+        assert [e.etype for e in recorder.events()] == ["tick"] * 3
+        assert [e.tick for e in recorder.events()] == [1, 2, 3]
+
+    def test_drift_recorded_for_lossy_hierarchy(self):
+        sched = build("scheme7-lossy")
+        recorder = sched.attach_observer(TraceRecorder())
+        sched.start_timer(100)  # rounds to a coarse slot -> fires off-deadline
+        sched.advance(200)
+        expires = [e for e in recorder.events() if e.etype == "expire"]
+        assert len(expires) == 1
+        event = expires[0]
+        assert event.drift == event.fired_at - event.deadline
+        assert event.drift != 0
+
+    def test_callback_error_event(self):
+        sched = build("scheme6")
+        sched.set_error_policy("collect")
+        recorder = sched.attach_observer(TraceRecorder())
+        sched.start_timer(2, request_id="bad", callback=lambda t: 1 / 0)
+        sched.advance(2)
+        errors = [e for e in recorder.events() if e.etype == "callback_error"]
+        assert len(errors) == 1
+        assert errors[0].request_id == "bad"
+        assert "ZeroDivisionError" in errors[0].detail["error"]
+
+
+class TestJsonl:
+    def test_every_line_parses_and_types_are_known(self):
+        sched = build("scheme7")
+        sched.set_error_policy("collect")
+        recorder = sched.attach_observer(TraceRecorder())
+        sched.start_timer(70, callback=lambda t: 1 / 0)  # forces a migration
+        for _ in range(5):
+            sched.start_timer(9)
+        stoppable = sched.start_timer(40)
+        sched.advance(10)
+        sched.stop_timer(stoppable)
+        sched.advance(100)
+
+        lines = recorder.to_jsonl().splitlines()
+        assert lines
+        seen = set()
+        for line in lines:
+            doc = json.loads(line)
+            assert doc["event"] in EVENT_TYPES
+            assert isinstance(doc["tick"], int) and isinstance(doc["seq"], int)
+            seen.add(doc["event"])
+        assert {"start", "stop", "expire", "tick", "migrate",
+                "callback_error"} <= seen
+
+    def test_none_fields_omitted(self):
+        sched = build("scheme6")
+        recorder = sched.attach_observer(TraceRecorder())
+        sched.start_timer(4)
+        (start,) = recorder.events()
+        doc = json.loads(start.to_json())
+        assert "fired_at" not in doc and "drift" not in doc
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+def test_recorder_attaches_to_every_scheme(name):
+    sched = build(name)
+    recorder = sched.attach_observer(TraceRecorder())
+    for interval in (3, 17, 60):
+        sched.start_timer(interval)
+    sched.advance(80)
+    types = {e.etype for e in recorder.events()}
+    assert "start" in types and "expire" in types and "tick" in types

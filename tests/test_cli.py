@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
-from repro.core import make_scheduler
+from repro.core import make_scheduler, scheme_names, scheme_summary
 from repro.workloads.trace import TraceRecorder
 
 
@@ -14,6 +16,16 @@ def test_schemes_lists_everything(capsys):
     out = capsys.readouterr().out
     for expected in ("scheme1", "scheme6", "scheme7-lossy", "HybridWheelScheduler"):
         assert expected in out
+
+
+def test_schemes_listing_is_registry_derived(capsys):
+    """Every registered name appears with its registry summary — the
+    listing can no longer drift from the registry."""
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    for name in scheme_names():
+        assert name in out
+        assert scheme_summary(name) in out
 
 
 def test_experiments_single_fast(capsys):
@@ -72,6 +84,61 @@ def test_recommend_prints_ranking(capsys):
 def test_recommend_uniform_dist(capsys):
     assert main(["recommend", "--dist", "uniform", "--mean-interval", "100"]) == 0
     assert "uniform" in capsys.readouterr().out
+
+
+def test_stats_table_has_histograms_and_structure(capsys):
+    assert main(
+        ["stats", "--scenario", "expiry_heavy", "--scheme", "scheme6",
+         "--ticks", "600"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "histogram timer_tick_latency_seconds" in out
+    assert "timer_pending" in out
+    assert "structure (hashed-wheel-unsorted)" in out
+    assert "chain length" in out  # hash-chain-length distribution
+
+
+def test_stats_json_round_trips(capsys):
+    assert main(
+        ["stats", "--scenario", "server_200x3", "--scheme", "scheme7",
+         "--ticks", "500", "--format", "json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counters"]["timer_ticks_total"]["value"] > 0
+    assert doc["introspection"]["structure"]["kind"] == "hierarchy"
+
+
+def test_stats_prometheus_series(capsys):
+    assert main(
+        ["stats", "--scenario", "expiry_heavy", "--ticks", "400",
+         "--format", "prometheus"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE timer_starts_total counter" in out
+    assert 'timer_tick_latency_seconds_bucket{le="+Inf",scheme="scheme6"}' in out
+
+
+def test_trace_stdout_is_valid_jsonl(capsys):
+    assert main(
+        ["trace", "--scenario", "retransmit_heavy", "--scheme", "scheme7",
+         "--ticks", "300"]
+    ) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines
+    events = {json.loads(line)["event"] for line in lines}
+    assert {"start", "expire", "tick"} <= events
+
+
+def test_trace_out_file_and_ring_capacity(tmp_path, capsys):
+    out_file = tmp_path / "events.jsonl"
+    assert main(
+        ["trace", "--scenario", "expiry_heavy", "--ticks", "300",
+         "--capacity", "64", "--out", str(out_file)]
+    ) == 0
+    lines = out_file.read_text().splitlines()
+    assert len(lines) == 64  # ring kept only the newest 64 events
+    seqs = [json.loads(line)["seq"] for line in lines]
+    assert seqs == sorted(seqs)
 
 
 def test_requires_subcommand():

@@ -23,6 +23,7 @@ EXAMPLES = {
     "capacity_planning.py": [],
     "retransmission_server.py": [
         "--connections", "12", "--messages", "4", "--duration", "1500",
+        "--stats",
     ],
 }
 
