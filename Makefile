@@ -1,6 +1,6 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test lint bench bench-full experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full bench-json experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,10 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+# Regenerate the checked-in sparse fast-path baseline (docs/performance.md).
+bench-json:
+	PYTHONPATH=src python -m repro.bench WHEELPERF --json BENCH_sparse_advance.json
 
 experiments:
 	python -m repro.bench

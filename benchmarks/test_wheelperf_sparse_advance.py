@@ -1,0 +1,14 @@
+"""Bench target for experiment WHEELPERF (see DESIGN.md's experiment index).
+
+Regenerates the sparse-tick fast-path comparison (naive per-tick stepping
+vs bulk ``advance_to`` on dense and sparse workloads), prints it, and
+asserts bit-identical expiry sequences and OpCounter totals — plus the
+≥5× sparse speedup floor in full mode. Set REPRO_BENCH_FULL=1 for the
+full horizon used by ``make bench-json``.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_wheelperf_sparse_advance(benchmark):
+    run_experiment_bench(benchmark, "WHEELPERF")

@@ -5,11 +5,13 @@ Usage::
     python -m repro.bench            # full parameters (EXPERIMENTS.md)
     python -m repro.bench --fast     # shrunken sweeps
     python -m repro.bench FIG4 SEC7  # a subset by experiment id
+    python -m repro.bench WHEELPERF --json BENCH_sparse_advance.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.experiments import ALL_EXPERIMENTS, get_experiment
@@ -31,17 +33,35 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fast", action="store_true", help="shrink sweeps for a quick pass"
     )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the results (tables, checks, raw data) as JSON",
+    )
     args = parser.parse_args(argv)
 
     ids = args.experiments or list(ALL_EXPERIMENTS)
+    results = []
     failures = 0
     for experiment_id in ids:
         func = get_experiment(experiment_id)
         result = func(fast=args.fast)
+        results.append(result)
         print(render_experiment(result))
         print()
         if not result.passed:
             failures += 1
+    if args.json:
+        document = {
+            "tool": "python -m repro.bench",
+            "mode": "fast" if args.fast else "full",
+            "passed": failures == 0,
+            "experiments": [result.to_dict() for result in results],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     print(f"{len(ids)} experiments, {failures} failed")
     return 1 if failures else 0
 

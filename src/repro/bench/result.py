@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 @dataclass
@@ -13,6 +13,8 @@ class ExperimentResult:
     ``checks`` carries named boolean assertions about the *shape* of the
     result (the reproduction criteria from DESIGN.md); ``passed`` is their
     conjunction. ``rows`` are pre-formatted cells for the table renderer.
+    ``data`` holds machine-readable measurements (plain JSON types only)
+    for the ``--json`` exporter; tables stay the human-facing view.
     """
 
     experiment_id: str
@@ -22,6 +24,7 @@ class ExperimentResult:
     rows: List[Sequence[object]] = field(default_factory=list)
     checks: List[Tuple[str, bool]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -49,3 +52,19 @@ class ExperimentResult:
         """One-line pass/fail summary."""
         status = "PASS" if self.passed else "FAIL"
         return f"[{status}] {self.experiment_id}: {self.title}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (what ``--json`` writes per experiment)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "passed": self.passed,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "checks": [
+                {"description": desc, "passed": ok} for desc, ok in self.checks
+            ],
+            "notes": list(self.notes),
+            "data": self.data,
+        }

@@ -4,7 +4,7 @@ Subcommands
 -----------
 ``schemes``
     List every registered timer scheme with its complexity summary.
-``experiments [IDS...] [--fast]``
+``experiments [IDS...] [--fast] [--json FILE]``
     Regenerate paper tables/figures (same engine as ``python -m repro.bench``).
 ``scenario NAME [--scheme S] [--ticks N] [--seed K]``
     Run a named workload scenario against a scheme and print the measured
@@ -51,6 +51,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     argv = list(args.ids)
     if args.fast:
         argv.append("--fast")
+    if args.json:
+        argv.extend(["--json", args.json])
     return bench_main(argv)
 
 
@@ -236,6 +238,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("ids", nargs="*", metavar="ID")
     p_exp.add_argument("--fast", action="store_true")
+    p_exp.add_argument(
+        "--json", metavar="FILE", help="also export results as JSON"
+    )
 
     p_scn = sub.add_parser("scenario", help="run a named workload scenario")
     p_scn.add_argument("name")

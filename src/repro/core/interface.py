@@ -126,6 +126,39 @@ class Timer(DNode):
         self._fire_at = self.deadline
         self._migrated = False
 
+    def _reinit(
+        self,
+        request_id: Hashable,
+        interval: int,
+        started_at: int,
+        callback: Optional[ExpiryAction],
+        user_data: object,
+    ) -> None:
+        """Reset a finalised (expired/stopped, unlinked) record for reuse.
+
+        The free-list path of :class:`TimerScheduler` (``recycle=True``)
+        calls this instead of allocating; every field is restored to its
+        ``__init__`` state except the DNode links, which are already
+        detached on any finalised record.
+        """
+        self.request_id = request_id
+        self.interval = interval
+        self.deadline = started_at + interval
+        self.callback = callback
+        self.user_data = user_data
+        self.state = TimerState.PENDING
+        self.started_at = started_at
+        self.stopped_at = None
+        self.expired_at = None
+        self.fired_at = None
+        self._remaining = interval
+        self._rounds = 0
+        self._level = -1
+        self._slot_index = -1
+        self._pq_node = None
+        self._fire_at = self.deadline
+        self._migrated = False
+
     @property
     def pending(self) -> bool:
         """True while the timer is outstanding."""
@@ -155,7 +188,9 @@ class TimerScheduler(abc.ABC):
     #: facility must not let one bad client action starve the rest).
     ERROR_POLICIES = ("propagate", "collect")
 
-    def __init__(self, counter: Optional[OpCounter] = None) -> None:
+    def __init__(
+        self, counter: Optional[OpCounter] = None, recycle: bool = False
+    ) -> None:
         self.counter = counter if counter is not None else OpCounter()
         #: lifecycle observer; the shared no-op by default so the hook
         #: sites cost one attribute load + empty call when uninstrumented.
@@ -170,6 +205,15 @@ class TimerScheduler(abc.ABC):
         #: (timer, exception) pairs captured under the "collect" policy.
         self.callback_errors: List["tuple[Timer, BaseException]"] = []
         self._shut_down = False
+        #: opt-in Timer free list (``recycle=True``): finalised records are
+        #: pooled and reused by the next START_TIMER, cutting allocation
+        #: churn in long-running drivers. Contract: with recycling on, a
+        #: record returned by tick()/stop_timer() stays valid only until a
+        #: later start_timer claims it — callers that retain expired records
+        #: (or use the "collect" error policy and inspect ``callback_errors``
+        #: late) should leave recycling off.
+        self._recycle = bool(recycle)
+        self._free_timers: List[Timer] = []
 
     def set_error_policy(self, policy: str) -> None:
         """Choose what happens when an Expiry_Action raises.
@@ -248,18 +292,44 @@ class TimerScheduler(abc.ABC):
             raise TimerStateError(
                 f"request_id {request_id!r} already names a pending timer"
             )
-        timer = Timer(
+        timer = self._obtain_record(request_id, interval, callback, user_data)
+        self._insert(timer)
+        self._active[request_id] = timer
+        self.total_started += 1
+        observer = self.observer
+        if observer is not NULL_OBSERVER:
+            observer.on_start(self, timer)
+        return timer
+
+    def _obtain_record(
+        self,
+        request_id: Hashable,
+        interval: int,
+        callback: Optional[ExpiryAction],
+        user_data: object,
+    ) -> Timer:
+        """Allocate a Timer record, reusing the free list when recycling."""
+        if self._recycle and self._free_timers:
+            candidate = self._free_timers.pop()
+            # A pooled record must be fully detached; anything still linked
+            # (a client re-inserted it by hand) is dropped, not aliased.
+            if not candidate.linked and candidate._pq_node is None:
+                candidate._reinit(
+                    request_id, interval, self._now, callback, user_data
+                )
+                return candidate
+        return Timer(
             request_id=request_id,
             interval=interval,
             started_at=self._now,
             callback=callback,
             user_data=user_data,
         )
-        self._insert(timer)
-        self._active[request_id] = timer
-        self.total_started += 1
-        self.observer.on_start(self, timer)
-        return timer
+
+    @property
+    def free_record_count(self) -> int:
+        """Recycled Timer records currently pooled (0 unless ``recycle=True``)."""
+        return len(self._free_timers)
 
     def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
         """STOP_TIMER: cancel a pending timer by record or by request id.
@@ -279,7 +349,11 @@ class TimerScheduler(abc.ABC):
         timer.stopped_at = self._now
         del self._active[timer.request_id]
         self.total_stopped += 1
-        self.observer.on_stop(self, timer)
+        observer = self.observer
+        if observer is not NULL_OBSERVER:
+            observer.on_stop(self, timer)
+        if self._recycle:
+            self._free_timers.append(timer)
         return timer
 
     def tick(self) -> List[Timer]:
@@ -296,9 +370,24 @@ class TimerScheduler(abc.ABC):
         same tick sees it already expired (``TimerStateError``) rather
         than a half-removed record.
         """
+        expired: List[Timer] = []
+        self._tick_into(expired)
+        return expired
+
+    def _tick_into(self, sink: List[Timer]) -> int:
+        """Run one tick, appending this tick's expiries to ``sink``.
+
+        The shared body behind :meth:`tick` and :meth:`advance_to` — long
+        advances accumulate into one caller-owned list instead of chaining
+        per-tick temporaries. Observer dispatch is short-circuited entirely
+        when the shared no-op observer is attached (the zero-overhead
+        guarantee on the hot path).
+        """
         self._check_open()
         observer = self.observer
-        observer.on_tick_begin(self, self._now + 1)
+        observing = observer is not NULL_OBSERVER
+        if observing:
+            observer.on_tick_begin(self, self._now + 1)
         self._now += 1
         expired = self._collect_expired()
         for timer in expired:
@@ -306,42 +395,117 @@ class TimerScheduler(abc.ABC):
         # Expire events fire only after the whole tick's expiry set is
         # atomically marked, and before any Expiry_Action runs — observers
         # therefore see a consistent post-marking view of sibling timers.
-        for timer in expired:
-            observer.on_expire(self, timer)
+        if observing:
+            for timer in expired:
+                observer.on_expire(self, timer)
         for timer in expired:
             self._run_expiry_action(timer)
-        observer.on_tick_end(self, len(expired))
-        return expired
+        if observing:
+            observer.on_tick_end(self, len(expired))
+        sink.extend(expired)
+        # Records are pooled only after every callback of the tick has run,
+        # so a re-entrant start_timer can never alias a record that is
+        # still being processed this tick.
+        if self._recycle and expired:
+            self._free_timers.extend(expired)
+        return len(expired)
 
     def advance(self, ticks: int) -> List[Timer]:
-        """Run ``ticks`` consecutive ticks; returns all timers expired."""
+        """Run ``ticks`` consecutive ticks; returns all timers expired.
+
+        Delegates to :meth:`advance_to`, so empty stretches are jumped in
+        bulk while the observable results (expiry order, OpCounter totals,
+        observer event stream) stay bit-identical to ticking one by one.
+        """
         if ticks < 0:
             raise ValueError(f"ticks must be >= 0, got {ticks}")
-        expired: List[Timer] = []
-        for _ in range(ticks):
-            expired.extend(self.tick())
+        return self.advance_to(self._now + ticks)
+
+    def advance_to(
+        self, deadline: int, _sink: Optional[List[Timer]] = None
+    ) -> List[Timer]:
+        """Advance the clock to absolute tick ``deadline`` (inclusive).
+
+        The sparse-tick fast path: between real events — ticks where the
+        scheme must touch its structure beyond the per-tick constants —
+        the scheduler asks :meth:`_next_event` for the next such tick and
+        jumps the gap in one :meth:`_skip_ticks` step. Every skipped tick
+        is still accounted: per-scheme :meth:`_charge_empty_ticks` applies
+        the exact empty-tick OpCounter charges in bulk (multiplied, not
+        skipped), and observers with per-tick fidelity still see every
+        ``on_tick_begin``/``on_tick_end`` pair.
+
+        Returns the timers expired in ``(now, deadline]``, in firing order.
+        """
+        expired = _sink if _sink is not None else []
+        if deadline < self._now:
+            raise ValueError(
+                f"deadline {deadline} is in the past (now={self._now})"
+            )
+        if deadline > self._now:
+            self._check_open()
+        while self._now < deadline:
+            event = self._next_event()
+            if event is None or event > deadline:
+                self._skip_ticks(deadline - self._now)
+                break
+            gap = event - self._now - 1
+            if gap > 0:
+                self._skip_ticks(gap)
+            self._tick_into(expired)
         return expired
 
-    def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
-        """Tick until no timers remain pending.
+    def _skip_ticks(self, count: int) -> None:
+        """Advance over ``count`` ticks known to expire nothing.
 
-        Raises :class:`~repro.core.errors.TimerLivelockError` when
-        ``max_ticks`` elapse with timers still outstanding, instead of
-        silently returning a partial drain — a self-re-arming periodic
-        timer (or an unreachable deadline) is a bug the caller must see,
-        not a truncated result that looks complete.
+        Three observer regimes, cheapest first: the shared no-op observer
+        skips dispatch entirely; an observer that has opted out of
+        per-tick fidelity gets one ``on_bulk_advance``; a full-fidelity
+        observer gets the bit-identical per-tick event stream.
+        """
+        if count <= 0:
+            return
+        observer = self.observer
+        if observer is NULL_OBSERVER:
+            self._charge_empty_ticks(count)
+            self._now += count
+            return
+        if observer.per_tick_fidelity:
+            for _ in range(count):
+                observer.on_tick_begin(self, self._now + 1)
+                self._charge_empty_ticks(1)
+                self._now += 1
+                observer.on_tick_end(self, 0)
+            return
+        start = self._now
+        self._charge_empty_ticks(count)
+        self._now += count
+        observer.on_bulk_advance(self, start, self._now)
+
+    def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
+        """Advance until no timers remain pending.
+
+        Runs on :meth:`advance_to`, jumping from event to event rather
+        than paying per-tick Python dispatch. Raises
+        :class:`~repro.core.errors.TimerLivelockError` when ``max_ticks``
+        elapse with timers still outstanding, instead of silently
+        returning a partial drain — a self-re-arming periodic timer (or an
+        unreachable deadline) is a bug the caller must see, not a
+        truncated result that looks complete.
         """
         expired: List[Timer] = []
-        ticks = 0
+        start_now = self._now
+        cap = start_now + max_ticks
         while self._active:
-            if ticks >= max_ticks:
+            if self._now - start_now >= max_ticks:
                 raise TimerLivelockError(
                     f"{self.pending_count} timer(s) still pending after "
                     f"{max_ticks} ticks (now={self._now}); raise max_ticks "
                     "or stop the self-re-arming timers"
                 )
-            expired.extend(self.tick())
-            ticks += 1
+            event = self._next_event()
+            target = cap if event is None else min(event, cap)
+            self.advance_to(target, _sink=expired)
         return expired
 
     def shutdown(self) -> List[Timer]:
@@ -414,6 +578,54 @@ class TimerScheduler(abc.ABC):
         """
         return None
 
+    def next_expiry(self) -> Optional[int]:
+        """Earliest future tick at which a timer may fire, or ``None``.
+
+        Contract: ``None`` iff no timers are pending; otherwise a tick
+        strictly greater than ``now`` and never *later* than the true next
+        firing tick (a lower bound). Schemes 1–4 and the hybrid return the
+        exact minimum deadline; the hashed wheels (5, 6) and hierarchies
+        (7) return the next occupied-slot visit, which may precede the
+        actual firing when the visited entries still have rounds/levels to
+        go. Must not charge the OpCounter — this is fast-path planning,
+        not structure work the paper's model prices.
+
+        The conservative base implementation claims the very next tick.
+        """
+        return self._now + 1 if self._active else None
+
+    def _next_event(self) -> Optional[int]:
+        """Next tick (> now) where PER_TICK_BOOKKEEPING must do real work.
+
+        ``advance_to`` skips every tick strictly before this in bulk, so a
+        correct override must account for *all* structure activity: slot
+        visits that merely decrement rounds, hierarchical cascades, and
+        overflow promotions — not just firings. ``None`` means no tick will
+        ever do more than the empty-tick constants (which
+        :meth:`_charge_empty_ticks` reproduces). Must not charge the
+        OpCounter. The base implementation conservatively claims every
+        tick, degrading ``advance_to`` to the per-tick path for schemes
+        that do not override it.
+        """
+        return self._now + 1
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        """Charge exactly what ``count`` consecutive empty ticks would.
+
+        Called by :meth:`_skip_ticks` *before* ``_now`` advances, covering
+        ticks ``(now, now + count]`` — all guaranteed empty by
+        :meth:`_next_event`. Overrides must reproduce the scheme's
+        per-empty-tick OpCounter charges multiplied by ``count`` and apply
+        any per-tick cursor/bookkeeping updates (wheel cursors, Scheme 1
+        decrements), but must not touch ``_now``. The base implementation
+        is never reached because the base ``_next_event`` never yields a
+        skippable gap.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} overrides _next_event without "
+            "_charge_empty_ticks"
+        )
+
     def introspect(self) -> Dict[str, object]:
         """A JSON-serialisable snapshot of scheduler and structure state.
 
@@ -424,7 +636,7 @@ class TimerScheduler(abc.ABC):
         :func:`~repro.core.introspect.occupancy_summary`), tree height for
         Scheme 3, per-level occupancy for the hierarchies.
         """
-        return {
+        info: Dict[str, object] = {
             "scheme": self.scheme_name,
             "now": self._now,
             "pending": len(self._active),
@@ -434,6 +646,9 @@ class TimerScheduler(abc.ABC):
             "callback_errors": len(self.callback_errors),
             "shut_down": self._shut_down,
         }
+        if self._recycle:
+            info["free_records"] = len(self._free_timers)
+        return info
 
     # ------------------------------------------------------- subclass hooks
 

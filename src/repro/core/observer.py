@@ -47,6 +47,14 @@ class TimerObserver:
 
     __slots__ = ()
 
+    #: When True (the default), a bulk ``advance_to`` jump replays every
+    #: skipped empty tick through ``on_tick_begin``/``on_tick_end`` so the
+    #: observer sees the exact per-tick event stream. Observers that can
+    #: summarise a jump (e.g. a metrics collector incrementing a counter by
+    #: the jump width) set this False and implement :meth:`on_bulk_advance`
+    #: instead, letting the scheduler skip the Python-level per-tick loop.
+    per_tick_fidelity: bool = True
+
     def on_start(self, scheduler: "TimerScheduler", timer: "Timer") -> None:
         """START_TIMER completed for ``timer``."""
 
@@ -82,6 +90,15 @@ class TimerObserver:
     ) -> None:
         """``timer``'s Expiry_Action raised ``exc``."""
 
+    def on_bulk_advance(
+        self, scheduler: "TimerScheduler", start_tick: int, end_tick: int
+    ) -> None:
+        """The scheduler jumped from ``start_tick`` to ``end_tick`` in one
+        step; every tick in ``(start_tick, end_tick]`` ran empty (no
+        expiries, no cascades, no promotions). Fired only for observers
+        with ``per_tick_fidelity`` False; the scheduler's clock already
+        reads ``end_tick``."""
+
 
 class NullObserver(TimerObserver):
     """The do-nothing observer every scheduler starts with."""
@@ -105,6 +122,11 @@ class CompositeObserver(TimerObserver):
         """Append another observer; returns self for chaining."""
         self.observers.append(observer)
         return self
+
+    @property
+    def per_tick_fidelity(self) -> bool:  # type: ignore[override]
+        """True when any child still needs the per-tick event stream."""
+        return any(obs.per_tick_fidelity for obs in self.observers)
 
     def on_start(self, scheduler, timer) -> None:
         for obs in self.observers:
@@ -133,6 +155,10 @@ class CompositeObserver(TimerObserver):
     def on_callback_error(self, scheduler, timer, exc) -> None:
         for obs in self.observers:
             obs.on_callback_error(scheduler, timer, exc)
+
+    def on_bulk_advance(self, scheduler, start_tick, end_tick) -> None:
+        for obs in self.observers:
+            obs.on_bulk_advance(scheduler, start_tick, end_tick)
 
 
 #: Shared no-op observer; the default for every scheduler.

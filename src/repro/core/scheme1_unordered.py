@@ -41,9 +41,12 @@ class StraightforwardScheduler(TimerScheduler):
     scheme_name = "scheme1"
 
     def __init__(
-        self, mode: str = "decrement", counter: Optional[OpCounter] = None
+        self,
+        mode: str = "decrement",
+        counter: Optional[OpCounter] = None,
+        recycle: bool = False,
     ) -> None:
-        super().__init__(counter)
+        super().__init__(counter, recycle=recycle)
         if mode not in ("decrement", "compare"):
             raise ValueError(f"mode must be 'decrement' or 'compare', got {mode!r}")
         self.mode = mode
@@ -57,6 +60,34 @@ class StraightforwardScheduler(TimerScheduler):
             "records": len(self._records),
         }
         return info
+
+    def next_expiry(self) -> Optional[int]:
+        """Exact minimum deadline via an (uncharged) O(n) planning scan.
+
+        In decrement mode ``_remaining == deadline - now`` is an invariant
+        (every record is decremented every tick, bulk skips included), so
+        both modes reduce to the minimum stored deadline.
+        """
+        if not self._records:
+            return None
+        return min(timer.deadline for timer in self._records)  # type: ignore[attr-defined]
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Each empty tick still touches every record: read + decrement +
+        # test in decrement mode, read + compare in compare mode. Bulk
+        # skips multiply those charges and batch the decrements.
+        n = len(self._records)
+        if self.mode == "decrement":
+            self.counter.charge(
+                reads=count * n, writes=count * n, compares=count * n
+            )
+            for node in self._records:
+                node._remaining -= count  # type: ignore[attr-defined]
+        else:
+            self.counter.charge(reads=count * n, compares=count * n)
 
     def _insert(self, timer: Timer) -> None:
         # One write to set the location to the interval (or the absolute

@@ -37,8 +37,9 @@ class OrderedListScheduler(TimerScheduler):
         self,
         direction: SearchDirection = SearchDirection.FROM_HEAD,
         counter: Optional[OpCounter] = None,
+        recycle: bool = False,
     ) -> None:
-        super().__init__(counter)
+        super().__init__(counter, recycle=recycle)
         self._queue = SortedDList(
             key=lambda node: node.deadline,  # type: ignore[attr-defined]
             direction=direction,
@@ -62,6 +63,23 @@ class OrderedListScheduler(TimerScheduler):
             "last_insert_compares": self.last_insert_compares,
         }
         return info
+
+    def next_expiry(self) -> Optional[int]:
+        """Exact: the head of the sorted queue (uncharged peek)."""
+        return self._queue.peek_key()
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Per empty tick: increment time of day (write), load the head
+        # (read), and compare its deadline when the queue is non-empty.
+        head_key = self._queue.peek_key()
+        self.counter.charge(
+            writes=count,
+            reads=count,
+            compares=count if head_key is not None else 0,
+        )
 
     def _insert(self, timer: Timer) -> None:
         self.last_insert_compares = self._queue.insert(timer)

@@ -49,8 +49,10 @@ class PriorityQueueScheduler(TimerScheduler):
 
     scheme_name = "scheme3"
 
-    def __init__(self, counter: Optional[OpCounter] = None) -> None:
-        super().__init__(counter)
+    def __init__(
+        self, counter: Optional[OpCounter] = None, recycle: bool = False
+    ) -> None:
+        super().__init__(counter, recycle=recycle)
         self._pq = self._make_queue()
         #: descent depth / sift comparisons of the last insertion (FIG6).
         self.last_insert_compares = 0
@@ -82,6 +84,44 @@ class PriorityQueueScheduler(TimerScheduler):
     def _remove(self, timer: Timer) -> None:
         self._pq_remove(timer._pq_node)
         timer._pq_node = None
+
+    def next_expiry(self) -> Optional[int]:
+        """Exact: the tree minimum, probed without perturbing the counter.
+
+        Some substrates (BST, red-black tree) charge reads inside
+        ``min_key``; planning queries snapshot and restore the counter so
+        the probe is free, as the cost model only prices real tick work.
+        """
+        before = self.counter.snapshot()
+        min_key = self._pq_min_key()
+        self.counter.reset_to(before)
+        return min_key
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # An empty tick is: write (clock), min-key lookup (substrate-
+        # dependent internal charges), read, and a compare when non-empty.
+        # Measure one real lookup, then multiply it for the remaining
+        # count-1 ticks — the tree is untouched during a skip, so every
+        # lookup in the gap charges identically.
+        counter = self.counter
+        before = counter.snapshot()
+        min_key = self._pq_min_key()
+        lookup = counter.since(before)
+        if count > 1:
+            counter.charge(
+                reads=lookup.reads * (count - 1),
+                writes=lookup.writes * (count - 1),
+                compares=lookup.compares * (count - 1),
+                links=lookup.links * (count - 1),
+            )
+        counter.charge(
+            writes=count,
+            reads=count,
+            compares=count if min_key is not None else 0,
+        )
 
     def _collect_expired(self) -> List[Timer]:
         expired: List[Timer] = []

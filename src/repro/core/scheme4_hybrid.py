@@ -25,6 +25,7 @@ from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.core.errors import TimerConfigurationError
 from repro.cost.counters import OpCounter
+from repro.structures.bitmap import SlotBitmap
 from repro.structures.dlist import DLinkedList
 from repro.structures.sorted_list import SearchDirection, SortedDList
 
@@ -42,14 +43,18 @@ class HybridWheelScheduler(TimerScheduler):
         self,
         max_interval: int = 4096,
         counter: Optional[OpCounter] = None,
+        recycle: bool = False,
     ) -> None:
-        super().__init__(counter)
+        super().__init__(counter, recycle=recycle)
         check_positive_int("max_interval", max_interval)
         if max_interval < 2:
             raise TimerConfigurationError("max_interval must be at least 2")
         self.max_interval = max_interval
         self._slots = [DLinkedList() for _ in range(max_interval)]
         self._cursor = 0
+        # One bit per wheel slot, set while the slot list is non-empty;
+        # fast-path bookkeeping only, never charged.
+        self._occupancy = SlotBitmap(max_interval)
         self._overflow = SortedDList(
             key=lambda node: node.deadline,  # type: ignore[attr-defined]
             direction=SearchDirection.FROM_REAR,
@@ -90,6 +95,55 @@ class HybridWheelScheduler(TimerScheduler):
         }
         return info
 
+    # -------------------------------------------------------- sparse fast path
+
+    def next_expiry(self) -> Optional[int]:
+        """Exact: min(next occupied wheel visit, overflow head deadline).
+
+        Wheel slots hold only timers due at their visit tick, and the
+        overflow queue is deadline-sorted, so the minimum of the two is
+        the true next firing tick.
+        """
+        candidate = None
+        index = self._occupancy.next_set_circular(
+            (self._cursor + 1) % self.max_interval
+        )
+        if index is not None:
+            distance = (index - self._cursor - 1) % self.max_interval + 1
+            candidate = self._now + distance
+        head_key = self._overflow.peek_key()
+        if head_key is not None and (candidate is None or head_key < candidate):
+            candidate = head_key
+        return candidate
+
+    def _next_event(self) -> Optional[int]:
+        # A revolution boundary with a non-empty overflow queue is a real
+        # event even when nothing fires: the promotion scan pops entries
+        # into the wheel (and charges differently from a plain empty tick).
+        nxt = self.next_expiry()
+        if self._overflow:
+            boundary = self._now + self._ticks_to_wrap()
+            if nxt is None or boundary < nxt:
+                nxt = boundary
+        return nxt
+
+    def _ticks_to_wrap(self) -> int:
+        """Ticks until the cursor next lands on slot 0 (1..max_interval)."""
+        return (self.max_interval - self._cursor - 1) % self.max_interval + 1
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Per empty tick: cursor write, slot read + compare. Each time the
+        # cursor wraps to slot 0 with an empty overflow queue, the
+        # promotion check additionally reads the (absent) overflow head.
+        # _next_event guarantees any wrap inside a skipped gap has an
+        # empty overflow queue.
+        wrap_distance = self._ticks_to_wrap()
+        wraps = 0
+        if count >= wrap_distance:
+            wraps = 1 + (count - wrap_distance) // self.max_interval
+        self._cursor = (self._cursor + count) % self.max_interval
+        self.counter.charge(writes=count, reads=count + wraps, compares=count)
+
     # ------------------------------------------------------------ internals
 
     def _insert(self, timer: Timer) -> None:
@@ -107,12 +161,16 @@ class HybridWheelScheduler(TimerScheduler):
         timer._slot_index = index
         self.counter.charge(reads=1, writes=1, links=1)
         self._slots[index].push_front(timer)
+        self._occupancy.set(index)
 
     def _remove(self, timer: Timer) -> None:
         if timer._level == self._ON_WHEEL:
-            self._slots[timer._slot_index].remove(timer)
+            index = timer._slot_index
+            self._slots[index].remove(timer)
             timer._slot_index = -1
             self.counter.link(1)
+            if not self._slots[index]:
+                self._occupancy.clear(index)
         else:
             self._overflow.remove(timer)
         timer._level = -1
@@ -127,6 +185,8 @@ class HybridWheelScheduler(TimerScheduler):
             self._promote_due_overflow()
         slot = self._slots[self._cursor]
         self.counter.charge(reads=1, compares=1)
+        if slot:
+            self._occupancy.clear(self._cursor)  # the drain empties the slot
         expired: List[Timer] = []
         for node in slot.drain():
             timer: Timer = node  # slot lists hold only Timers

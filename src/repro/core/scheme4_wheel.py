@@ -27,6 +27,7 @@ from repro.core.interface import Timer, TimerScheduler
 from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
+from repro.structures.bitmap import SlotBitmap
 from repro.structures.dlist import DLinkedList
 
 
@@ -36,9 +37,12 @@ class TimingWheelScheduler(TimerScheduler):
     scheme_name = "scheme4"
 
     def __init__(
-        self, max_interval: int, counter: Optional[OpCounter] = None
+        self,
+        max_interval: int,
+        counter: Optional[OpCounter] = None,
+        recycle: bool = False,
     ) -> None:
-        super().__init__(counter)
+        super().__init__(counter, recycle=recycle)
         check_positive_int("max_interval", max_interval)
         if max_interval < 2:
             # A 1-slot wheel can hold no interval (they must be < max).
@@ -46,6 +50,9 @@ class TimingWheelScheduler(TimerScheduler):
         self.max_interval = max_interval
         self._slots = [DLinkedList() for _ in range(max_interval)]
         self._cursor = 0  # the paper's current time pointer, in [0, max)
+        # One bit per slot, set while the slot list is non-empty; pure
+        # fast-path bookkeeping, never charged to the counter.
+        self._occupancy = SlotBitmap(max_interval)
 
     def max_start_interval(self) -> Optional[int]:
         return self.max_interval
@@ -69,17 +76,41 @@ class TimingWheelScheduler(TimerScheduler):
         }
         return info
 
+    def next_expiry(self) -> Optional[int]:
+        """Exact: every occupied slot's visit tick *is* a deadline here."""
+        index = self._occupancy.next_set_circular(
+            (self._cursor + 1) % self.max_interval
+        )
+        if index is None:
+            return None
+        # Circular distance from the cursor, mapping 0 to a full turn.
+        distance = (index - self._cursor - 1) % self.max_interval + 1
+        return self._now + distance
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Per empty tick: pointer increment (write), slot load (read),
+        # zero check (compare); the cursor advances with the clock.
+        self._cursor = (self._cursor + count) % self.max_interval
+        self.counter.charge(writes=count, reads=count, compares=count)
+
     def _insert(self, timer: Timer) -> None:
         index = (self._cursor + timer.interval) % self.max_interval
         timer._slot_index = index
         # Index computation + push at the head of the slot list.
         self.counter.charge(reads=1, writes=1, links=1)
         self._slots[index].push_front(timer)
+        self._occupancy.set(index)
 
     def _remove(self, timer: Timer) -> None:
-        self._slots[timer._slot_index].remove(timer)
+        index = timer._slot_index
+        self._slots[index].remove(timer)
         timer._slot_index = -1
         self.counter.link(1)
+        if not self._slots[index]:
+            self._occupancy.clear(index)
 
     def _collect_expired(self) -> List[Timer]:
         # "Each tick we increment the current timer pointer (mod
@@ -91,6 +122,7 @@ class TimingWheelScheduler(TimerScheduler):
         self.counter.compare(1)  # zero check
         if not slot:
             return []
+        self._occupancy.clear(self._cursor)  # the drain empties the slot
         expired: List[Timer] = []
         for node in slot.drain():
             timer: Timer = node  # slot lists hold only Timers

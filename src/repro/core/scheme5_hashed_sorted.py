@@ -27,6 +27,7 @@ from repro.core.interface import Timer, TimerScheduler
 from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
+from repro.structures.bitmap import SlotBitmap
 from repro.structures.sorted_list import SearchDirection, SortedDList
 
 
@@ -39,8 +40,9 @@ class HashedWheelSortedScheduler(TimerScheduler):
         self,
         table_size: int = 256,
         counter: Optional[OpCounter] = None,
+        recycle: bool = False,
     ) -> None:
-        super().__init__(counter)
+        super().__init__(counter, recycle=recycle)
         check_positive_int("table_size", table_size)
         self.table_size = table_size
         self._buckets = [
@@ -54,6 +56,9 @@ class HashedWheelSortedScheduler(TimerScheduler):
         self._cursor = 0
         #: comparisons made by the most recent insertion (FIG9 metering).
         self.last_insert_compares = 0
+        # One bit per bucket, set while the bucket is non-empty; fast-path
+        # bookkeeping only, never charged.
+        self._occupancy = SlotBitmap(table_size)
 
     @property
     def cursor(self) -> int:
@@ -83,16 +88,44 @@ class HashedWheelSortedScheduler(TimerScheduler):
         }
         return info
 
+    def next_expiry(self) -> Optional[int]:
+        """Next occupied-bucket visit: a lower bound on the next firing.
+
+        The visited bucket's head may still be due in a later revolution
+        (the visit then costs one extra read + compare and fires nothing);
+        ``advance_to`` treats every such visit as a real event, so the
+        bound is safe.
+        """
+        index = self._occupancy.next_set_circular(
+            (self._cursor + 1) % self.table_size
+        )
+        if index is None:
+            return None
+        distance = (index - self._cursor - 1) % self.table_size + 1
+        return self._now + distance
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Per empty tick: cursor write, bucket read, emptiness compare.
+        self._cursor = (self._cursor + count) % self.table_size
+        self.counter.charge(writes=count, reads=count, compares=count)
+
     def _insert(self, timer: Timer) -> None:
         index = self.bucket_index_for(timer.interval)
         timer._slot_index = index
         timer._rounds = timer.interval // self.table_size  # high-order bits
         self.counter.charge(reads=1, writes=1)  # hash + store high bits
         self.last_insert_compares = self._buckets[index].insert(timer)
+        self._occupancy.set(index)
 
     def _remove(self, timer: Timer) -> None:
-        self._buckets[timer._slot_index].remove(timer)
+        index = timer._slot_index
+        self._buckets[index].remove(timer)
         timer._slot_index = -1
+        if not self._buckets[index]:
+            self._occupancy.clear(index)
 
     def _collect_expired(self) -> List[Timer]:
         # Advance the current time pointer; if the bucket is empty there is
@@ -113,4 +146,6 @@ class HashedWheelSortedScheduler(TimerScheduler):
             bucket.pop_front()
             head._slot_index = -1
             expired.append(head)
+        if not bucket:
+            self._occupancy.clear(self._cursor)
         return expired

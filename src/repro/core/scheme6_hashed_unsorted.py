@@ -29,6 +29,7 @@ from repro.core.interface import Timer, TimerScheduler
 from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
+from repro.structures.bitmap import SlotBitmap
 from repro.structures.dlist import DLinkedList
 
 
@@ -49,12 +50,16 @@ class HashedWheelUnsortedScheduler(TimerScheduler):
         self,
         table_size: int = 256,
         counter: Optional[OpCounter] = None,
+        recycle: bool = False,
     ) -> None:
-        super().__init__(counter)
+        super().__init__(counter, recycle=recycle)
         check_positive_int("table_size", table_size)
         self.table_size = table_size
         self._buckets = [DLinkedList() for _ in range(table_size)]
         self._cursor = 0
+        # One bit per bucket, set while the bucket is non-empty; fast-path
+        # bookkeeping only, never charged.
+        self._occupancy = SlotBitmap(table_size)
         #: bucket entries visited (decremented or expired) across all ticks;
         #: the Section 6.2 quantity — a timer alive T ticks is visited
         #: ~T/TableSize times.
@@ -95,17 +100,50 @@ class HashedWheelUnsortedScheduler(TimerScheduler):
         """
         return (interval - 1) // self.table_size
 
+    def next_expiry(self) -> Optional[int]:
+        """Next occupied-bucket visit: a lower bound on the next firing.
+
+        A visited entry may only have its rounds count decremented (still
+        a structure touch the cost model charges); ``advance_to`` treats
+        every occupied visit as a real event, so the bound is safe.
+        """
+        index = self._occupancy.next_set_circular(
+            (self._cursor + 1) % self.table_size
+        )
+        if index is None:
+            return None
+        distance = (index - self._cursor - 1) % self.table_size + 1
+        return self._now + distance
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Every tick pays the calibrated 4-instruction empty-tick charge
+        # (Section 7) before the bucket walk; skipped ticks visit only
+        # empty buckets, so that charge is the whole cost.
+        self._cursor = (self._cursor + count) % self.table_size
+        self.counter.charge(
+            reads=self._EMPTY_TICK_CHARGE["reads"] * count,
+            writes=self._EMPTY_TICK_CHARGE["writes"] * count,
+            compares=self._EMPTY_TICK_CHARGE["compares"] * count,
+        )
+
     def _insert(self, timer: Timer) -> None:
         index = self.bucket_index_for(timer.interval)
         timer._slot_index = index
         timer._rounds = self.rounds_for(timer.interval)
         self.counter.charge(**self._INSERT_CHARGE)
         self._buckets[index].push_front(timer)
+        self._occupancy.set(index)
 
     def _remove(self, timer: Timer) -> None:
-        self._buckets[timer._slot_index].remove(timer)
+        index = timer._slot_index
+        self._buckets[index].remove(timer)
         timer._slot_index = -1
         self.counter.charge(**self._DELETE_CHARGE)
+        if not self._buckets[index]:
+            self._occupancy.clear(index)
 
     def _collect_expired(self) -> List[Timer]:
         # Increment the pointer (mod TableSize); walk the whole bucket,
@@ -132,4 +170,6 @@ class HashedWheelUnsortedScheduler(TimerScheduler):
                 expired.append(timer)
             else:
                 timer._rounds -= 1
+        if not bucket:
+            self._occupancy.clear(self._cursor)
         return expired

@@ -41,6 +41,7 @@ from repro.core.interface import Timer, TimerScheduler
 from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
 from repro.cost.counters import OpCounter
+from repro.structures.bitmap import SlotBitmap
 from repro.structures.dlist import DLinkedList
 
 #: Seconds / minutes / hours / days, the paper's worked example (Figure 10),
@@ -53,9 +54,17 @@ BINARY_LEVELS: Tuple[int, ...] = (256, 256, 256, 256)
 
 
 class _Level:
-    """One wheel in the hierarchy."""
+    """One wheel in the hierarchy.
 
-    __slots__ = ("index", "slot_count", "granularity", "span", "slots")
+    All slot mutation goes through :meth:`link` / :meth:`unlink` /
+    :meth:`drain_slot` so the per-level occupancy bitmap (the sparse-tick
+    fast path's index, never charged to the counter) can never drift from
+    the slot lists.
+    """
+
+    __slots__ = (
+        "index", "slot_count", "granularity", "span", "slots", "occupancy"
+    )
 
     def __init__(self, index: int, slot_count: int, granularity: int) -> None:
         self.index = index
@@ -63,9 +72,25 @@ class _Level:
         self.granularity = granularity
         self.span = granularity * slot_count
         self.slots = [DLinkedList() for _ in range(slot_count)]
+        self.occupancy = SlotBitmap(slot_count)
 
     def slot_for(self, deadline: int) -> int:
         return (deadline // self.granularity) % self.slot_count
+
+    def link(self, slot_index: int, timer: "Timer") -> None:
+        self.slots[slot_index].push_front(timer)
+        self.occupancy.set(slot_index)
+
+    def unlink(self, slot_index: int, timer: "Timer") -> None:
+        slot = self.slots[slot_index]
+        slot.remove(timer)
+        if not slot:
+            self.occupancy.clear(slot_index)
+
+    def drain_slot(self, slot_index: int):
+        """Drain one slot; clears its bit up front (the drain empties it)."""
+        self.occupancy.clear(slot_index)
+        return self.slots[slot_index].drain()
 
 
 class HierarchicalWheelScheduler(TimerScheduler):
@@ -78,6 +103,7 @@ class HierarchicalWheelScheduler(TimerScheduler):
         slot_counts: Sequence[int] = PAPER_LEVELS,
         counter: Optional[OpCounter] = None,
         placement: str = "paper",
+        recycle: bool = False,
     ) -> None:
         """``placement`` selects the insertion rule (an ablation knob):
 
@@ -91,7 +117,7 @@ class HierarchicalWheelScheduler(TimerScheduler):
           migrations, same expiry ticks; the ablation bench quantifies the
           difference.
         """
-        super().__init__(counter)
+        super().__init__(counter, recycle=recycle)
         if placement not in ("paper", "span"):
             raise TimerConfigurationError(
                 f"placement must be 'paper' or 'span', got {placement!r}"
@@ -201,7 +227,7 @@ class HierarchicalWheelScheduler(TimerScheduler):
         timer._level = level.index
         timer._slot_index = slot_index
         self.counter.charge(reads=1, writes=1, links=1)
-        level.slots[slot_index].push_front(timer)
+        level.link(slot_index, timer)
 
     def _level_by_digits(self, deadline: int) -> _Level:
         """The paper's rule: highest level whose unit digit changes.
@@ -239,10 +265,58 @@ class HierarchicalWheelScheduler(TimerScheduler):
             self.observer.on_migrate(self, timer, from_level, timer._level)
 
     def _remove(self, timer: Timer) -> None:
-        self._levels[timer._level].slots[timer._slot_index].remove(timer)
+        self._levels[timer._level].unlink(timer._slot_index, timer)
         timer._level = -1
         timer._slot_index = -1
         self.counter.link(1)
+
+    def next_expiry(self) -> Optional[int]:
+        """Next tick that visits an occupied slot on any level.
+
+        Level 0 visits are exact deadlines; a coarse-level visit is the
+        cascade that starts migrating its slot's timers down, a lower
+        bound on their actual firing ticks. ``advance_to`` must stop at
+        either kind, so the minimum over levels is both the fast-path
+        event bound and the client-facing lower bound.
+        """
+        best: Optional[int] = None
+        now = self._now
+        for level in self._levels:
+            if not level.occupancy.any():
+                continue
+            # Level k's cursor lives in *units* of its granularity; the
+            # slot for unit u is visited when now first reaches u * g.
+            unit_now = now // level.granularity
+            index = level.occupancy.next_set_circular(
+                (unit_now + 1) % level.slot_count
+            )
+            if index is None:
+                continue
+            unit_distance = (index - unit_now - 1) % level.slot_count + 1
+            visit = (unit_now + unit_distance) * level.granularity
+            if best is None or visit < best:
+                best = visit
+        return best
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Per empty tick: clock write + level-0 cursor write/read/compare.
+        # Each coarse-level boundary crossed inside the gap is an (empty)
+        # cascade: read + compare, and the cascade counter still advances
+        # exactly as the per-tick path would.
+        now = self._now
+        crossings = 0
+        for level in self._levels[1:]:
+            g = level.granularity
+            crossings += (now + count) // g - now // g
+        self.cascades += crossings
+        self.counter.charge(
+            writes=2 * count,
+            reads=count + crossings,
+            compares=count + crossings,
+        )
 
     def _collect_expired(self) -> List[Timer]:
         expired: List[Timer] = []
@@ -257,18 +331,16 @@ class HierarchicalWheelScheduler(TimerScheduler):
             if now % level.granularity != 0:
                 continue
             self.cascades += 1
-            slot = level.slots[level.slot_for(now)]
             self.counter.charge(reads=1, compares=1)
-            for node in slot.drain():
+            for node in level.drain_slot(level.slot_for(now)):
                 timer: Timer = node  # slots hold only Timers
                 self.counter.charge(reads=1, links=1)
                 self._handle_cascaded(timer, expired)
 
         # Level 0 advances every tick and expires with exact precision.
         base = self._levels[0]
-        slot = base.slots[base.slot_for(now)]
         self.counter.charge(writes=1, reads=1, compares=1)
-        for node in slot.drain():
+        for node in base.drain_slot(base.slot_for(now)):
             timer = node
             self.counter.charge(reads=1, links=1)
             timer._level = -1

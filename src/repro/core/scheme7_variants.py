@@ -49,12 +49,13 @@ class LossyHierarchicalScheduler(HierarchicalWheelScheduler):
         slot_counts: Sequence[int] = PAPER_LEVELS,
         rounding: str = "nearest",
         counter: Optional[OpCounter] = None,
+        recycle: bool = False,
     ) -> None:
         if rounding not in ("nearest", "down"):
             raise TimerConfigurationError(
                 f"rounding must be 'nearest' or 'down', got {rounding!r}"
             )
-        super().__init__(slot_counts, counter)
+        super().__init__(slot_counts, counter, recycle=recycle)
         self.rounding = rounding
 
     def introspect(self) -> Dict[str, object]:
@@ -92,7 +93,7 @@ class LossyHierarchicalScheduler(HierarchicalWheelScheduler):
         timer._level = level_index
         timer._slot_index = slot_index
         self.counter.charge(reads=1, writes=1, links=1)
-        level.slots[slot_index].push_front(timer)
+        level.link(slot_index, timer)
 
     def _handle_cascaded(self, timer: Timer, expired: List[Timer]) -> None:
         # No migration, ever: the cascade *is* the (rounded) expiry.
@@ -152,7 +153,7 @@ class SingleMigrationHierarchicalScheduler(HierarchicalWheelScheduler):
         timer._level = finer.index
         timer._slot_index = slot_index
         self.counter.charge(reads=1, writes=1, links=1)
-        finer.slots[slot_index].push_front(timer)
+        finer.link(slot_index, timer)
         self.observer.on_migrate(self, timer, from_level, finer.index)
 
     def firing_error_bound(self, insertion_level: int) -> int:

@@ -80,12 +80,54 @@ class ThreadSafeScheduler:
             self._lock.release()
 
     def advance(self, ticks: int) -> List[Timer]:
-        """Run ``ticks`` serialised ticks (the lock is released between
-        ticks so client threads can interleave)."""
+        """Advance ``ticks`` ticks, one serialised event hop at a time.
+
+        The lock is released between hops so client threads can
+        interleave; each hop uses the wrapped scheduler's sparse fast
+        path, so runs of provably-empty ticks cost one lock acquisition
+        instead of one per tick.
+        """
+        self._acquire()
+        try:
+            deadline = self._scheduler.now + ticks
+        finally:
+            self._lock.release()
+        return self.advance_to(deadline)
+
+    def advance_to(self, deadline: int) -> List[Timer]:
+        """Advance the clock to ``deadline`` in serialised event hops.
+
+        Between hops the lock is dropped, so a START_TIMER racing the
+        jump can still land on a not-yet-skipped tick — each hop re-reads
+        the wrapped scheduler's next event under the lock.
+        """
         expired: List[Timer] = []
-        for _ in range(ticks):
-            expired.extend(self.tick())
+        while True:
+            self._acquire()
+            try:
+                now = self._scheduler.now
+                if now >= deadline:
+                    break
+                event = self._scheduler._next_event()
+                target = deadline if event is None else min(event, deadline)
+                expired.extend(self._scheduler.advance_to(target))
+            finally:
+                self._lock.release()
         return expired
+
+    def next_expiry(self) -> Optional[int]:
+        """Serialised lower bound on the next firing tick."""
+        with self._lock:
+            return self._scheduler.next_expiry()
+
+    def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
+        """Serialised run to quiescence (one lock hold; see the wrapped
+        scheduler for livelock semantics)."""
+        self._acquire()
+        try:
+            return self._scheduler.run_until_idle(max_ticks=max_ticks)
+        finally:
+            self._lock.release()
 
     def shutdown(self) -> List[Timer]:
         """Serialised shutdown."""

@@ -115,6 +115,18 @@ class OpCounter:
         self.compares = 0
         self.links = 0
 
+    def reset_to(self, snapshot: OpSnapshot) -> None:
+        """Restore every class to ``snapshot``'s totals.
+
+        The sparse-tick fast path uses this to probe a structure through
+        its normal (charging) accessors without perturbing the totals:
+        snapshot, probe, restore.
+        """
+        self.reads = snapshot.reads
+        self.writes = snapshot.writes
+        self.compares = snapshot.compares
+        self.links = snapshot.links
+
     def snapshot(self) -> OpSnapshot:
         """Return an immutable copy of the current totals."""
         return OpSnapshot(self.reads, self.writes, self.compares, self.links)
@@ -159,6 +171,9 @@ class _NullCounter(OpCounter):
         compares: int = 0,
         links: int = 0,
     ) -> None:  # noqa: D102
+        pass
+
+    def reset_to(self, snapshot: OpSnapshot) -> None:  # noqa: D102
         pass
 
 

@@ -63,13 +63,31 @@ class MetricsCollector(TimerObserver):
         "expiries_per_tick",
         "pending_hist",
         "drift",
+        "bulk_jumps",
+        "ticks_skipped",
         "last_introspection",
         "_tick_started_at",
+        "_per_tick_fidelity",
     )
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        per_tick_fidelity: bool = True,
+    ) -> None:
+        """``per_tick_fidelity=True`` (the default) asks ``advance_to`` to
+        replay every skipped empty tick through the normal hooks, so all
+        per-tick series stay dense. Pass ``False`` to opt into bulk
+        accounting: skipped runs arrive as one :meth:`on_bulk_advance`
+        call that folds the run into ``timer_ticks_total``,
+        ``timer_expiries_per_tick`` and ``timer_pending_count`` exactly
+        (via ``observe_many``) — only ``timer_tick_latency_seconds``
+        narrows to *executed* ticks, since skipped ticks have no
+        bookkeeping latency to measure.
+        """
         reg = registry if registry is not None else MetricsRegistry()
         self.registry = reg
+        self._per_tick_fidelity = bool(per_tick_fidelity)
         self.starts = reg.counter("timer_starts_total", "START_TIMER calls")
         self.stops = reg.counter("timer_stops_total", "STOP_TIMER calls")
         self.expiries = reg.counter("timer_expiries_total", "timers expired")
@@ -104,9 +122,22 @@ class MetricsCollector(TimerObserver):
             DRIFT_BUCKETS,
             "fired_at - deadline per expiry (lossy schemes are nonzero)",
         )
+        self.bulk_jumps = reg.counter(
+            "timer_bulk_jumps_total",
+            "bulk advances over provably-empty tick runs",
+        )
+        self.ticks_skipped = reg.counter(
+            "timer_ticks_skipped_total",
+            "empty ticks covered by bulk advances",
+        )
         #: raw dict from the last :meth:`sample_structure` call.
         self.last_introspection: Optional[Dict[str, object]] = None
         self._tick_started_at: Optional[float] = None
+
+    @property
+    def per_tick_fidelity(self) -> bool:
+        """Whether skipped empty ticks are replayed through per-tick hooks."""
+        return self._per_tick_fidelity
 
     # ----------------------------------------------------------- hook points
 
@@ -134,6 +165,20 @@ class MetricsCollector(TimerObserver):
         self.expiries.inc()
         fired_at = timer.fired_at if timer.fired_at is not None else scheduler.now
         self.drift.observe(fired_at - timer.deadline)
+
+    def on_bulk_advance(self, scheduler, start_tick, end_tick) -> None:
+        # Every tick in (start_tick, end_tick] was empty: zero expiries,
+        # unchanged pending count. Fold them in exactly; wall latency is
+        # left alone (nothing executed per tick).
+        skipped = end_tick - start_tick
+        self.bulk_jumps.inc()
+        self.ticks_skipped.inc(skipped)
+        self.ticks.inc(skipped)
+        self.expiries_per_tick.observe_many(0, skipped)
+        pending = scheduler.pending_count
+        self.pending.set(pending)
+        self.pending_hist.observe_many(pending, skipped)
+        self.now.set(scheduler.now)
 
     def on_migrate(self, scheduler, timer, from_level, to_level) -> None:
         self.migrations.inc()

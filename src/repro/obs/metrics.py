@@ -81,6 +81,21 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def observe_many(self, value: float, times: int) -> None:
+        """Record ``times`` identical samples in O(log #buckets).
+
+        Equivalent to ``times`` calls to :meth:`observe` (up to float
+        summation order); this is what lets bulk-advance observers keep
+        per-tick distributions exact without walking the skipped ticks.
+        """
+        if times < 0:
+            raise ValueError(f"times must be >= 0, got {times}")
+        if times == 0:
+            return
+        self.counts[bisect_left(self.buckets, value)] += times
+        self.sum += value * times
+        self.count += times
+
     @property
     def mean(self) -> float:
         """Mean of all observed samples (0.0 when empty)."""

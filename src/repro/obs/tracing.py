@@ -116,6 +116,18 @@ class TraceRecorder(TimerObserver):
     def __len__(self) -> int:
         return min(self.total_recorded, self.capacity)
 
+    @property
+    def per_tick_fidelity(self) -> bool:
+        """Skipped empty ticks only matter when the ring records them.
+
+        With ``record_empty_ticks=False`` (the default) an empty tick
+        produces no event at all, so ``advance_to`` may jump empty runs
+        without the trace changing; set ``record_empty_ticks=True`` and
+        the scheduler replays each skipped tick through the hooks so the
+        ring stays per-tick dense.
+        """
+        return self.record_empty_ticks
+
     def _record(self, event_kwargs: Dict[str, object]) -> None:
         event = TraceEvent(seq=self._seq, **event_kwargs)  # type: ignore[arg-type]
         self._seq += 1

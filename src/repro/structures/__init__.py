@@ -7,6 +7,7 @@ fields, so holding a reference to the record is enough to unlink it without
 any search. Every container here follows that idiom.
 """
 
+from repro.structures.bitmap import SlotBitmap
 from repro.structures.dlist import DLinkedList, DNode
 from repro.structures.sorted_list import SearchDirection, SortedDList
 from repro.structures.heap import BinaryHeap, HeapNode
@@ -15,6 +16,7 @@ from repro.structures.rbtree import RBNode, RedBlackTree
 from repro.structures.leftist import LeftistHeap, LeftistNode
 
 __all__ = [
+    "SlotBitmap",
     "DLinkedList",
     "DNode",
     "SortedDList",

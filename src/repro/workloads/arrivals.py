@@ -8,6 +8,7 @@ measured costs drift when that assumption is broken.
 from __future__ import annotations
 
 import abc
+import math
 import random
 
 
@@ -22,6 +23,17 @@ class ArrivalProcess(abc.ABC):
     @abc.abstractmethod
     def rate(self) -> float:
         """Long-run mean arrivals per tick (the λ of Little's law)."""
+
+    def empty_run(self, rng: random.Random, max_ticks: int) -> int:
+        """Upcoming ticks guaranteed to produce zero arrivals.
+
+        Returns ``r`` in ``[0, max_ticks]``; consuming the run must leave
+        internal state exactly as ``r`` :meth:`arrivals_on_tick` calls
+        returning 0 would. Sparse-tick drivers use this to jump dead air
+        in one ``advance_to`` hop. The default — no skippable structure
+        known — is 0, which degrades gracefully to per-tick stepping.
+        """
+        return 0
 
     @property
     def name(self) -> str:
@@ -50,9 +62,45 @@ class PoissonArrivals(ArrivalProcess):
         if rate < 0:
             raise ValueError(f"rate must be >= 0, got {rate}")
         self._rate = rate
+        # Set when empty_run committed to "next tick has arrivals": the
+        # next per-tick draw must be conditioned on being nonzero.
+        self._force_positive = False
 
     def arrivals_on_tick(self, rng: random.Random) -> int:
+        if self._force_positive:
+            self._force_positive = False
+            while True:  # zero-truncated draw; terminates since rate > 0
+                count = _poisson_draw(rng, self._rate)
+                if count > 0:
+                    return count
         return _poisson_draw(rng, self._rate)
+
+    def empty_run(self, rng: random.Random, max_ticks: int) -> int:
+        """Geometric zero-run sample.
+
+        Consecutive zero-arrival ticks under iid Poisson draws form a
+        geometric run with ``P(zero) = e^-rate``, sampled here by
+        inversion; the tick that ends an uncensored run is then drawn
+        zero-truncated. The process is distributionally identical to
+        per-tick draws but consumes the RNG stream differently, so a
+        fast-path run is not sample-for-sample identical to a naive run
+        (use :class:`DeterministicArrivals` when that matters). A run
+        censored at ``max_ticks`` needs no correction: the geometric's
+        memorylessness means the remainder is simply re-drawn next call.
+        """
+        if self._rate <= 0.0:
+            return max_ticks
+        if self._force_positive or max_ticks <= 0:
+            return 0
+        zero_p = math.exp(-self._rate)
+        u = rng.random()
+        if u <= 0.0:
+            return max_ticks
+        run = int(math.log(u) / math.log(zero_p))
+        if run >= max_ticks:
+            return max_ticks
+        self._force_positive = True
+        return run
 
     @property
     def rate(self) -> float:
@@ -80,6 +128,16 @@ class DeterministicArrivals(ArrivalProcess):
         if self._tick % self.every == 0:
             return self.per_tick
         return 0
+
+    def empty_run(self, rng: random.Random, max_ticks: int) -> int:
+        """Exact: the gap to the next multiple of ``every`` is arithmetic,
+        so fast-path runs are sample-for-sample identical to naive runs."""
+        if self.per_tick == 0:
+            return max_ticks
+        gap = self.every - (self._tick % self.every) - 1
+        run = min(gap, max_ticks)
+        self._tick += run
+        return run
 
     @property
     def rate(self) -> float:

@@ -1,0 +1,109 @@
+"""Observers across the sparse-tick fast path.
+
+``MetricsCollector`` defaults to per-tick fidelity (skipped empty ticks
+are replayed through the normal hooks, so every series stays dense); the
+opt-in ``per_tick_fidelity=False`` mode folds each skipped run into the
+counters and histograms exactly via ``Histogram.observe_many``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.obs import MetricsCollector, TraceRecorder
+from repro.obs.metrics import Histogram
+
+
+class TestObserveMany:
+    def test_equivalent_to_repeated_observe(self):
+        loop = Histogram("h", [1, 5, 10], "test")
+        bulk = Histogram("h", [1, 5, 10], "test")
+        for value, times in ((0, 7), (3, 2), (100, 4)):
+            for _ in range(times):
+                loop.observe(value)
+            bulk.observe_many(value, times)
+        assert bulk.counts == loop.counts
+        assert bulk.sum == loop.sum
+        assert bulk.count == loop.count
+
+    def test_zero_times_is_a_noop(self):
+        hist = Histogram("h", [1, 2], "test")
+        hist.observe_many(5, 0)
+        assert hist.count == 0
+
+    def test_negative_times_rejected(self):
+        hist = Histogram("h", [1, 2], "test")
+        with pytest.raises(ValueError):
+            hist.observe_many(5, -1)
+
+
+def drive(collector):
+    scheduler = make_scheduler("scheme4", max_interval=4096)
+    scheduler.attach_observer(collector)
+    scheduler.start_timer(700)
+    scheduler.start_timer(1500)
+    scheduler.advance_to(2000)
+    return scheduler
+
+
+class TestMetricsCollectorModes:
+    def test_default_fidelity_keeps_series_dense(self):
+        metrics = MetricsCollector()
+        assert metrics.per_tick_fidelity
+        drive(metrics)
+        assert metrics.ticks.value == 2000
+        assert metrics.expiries_per_tick.count == 2000
+        assert metrics.pending_hist.count == 2000
+        assert metrics.bulk_jumps.value == 0
+        assert metrics.ticks_skipped.value == 0
+        # Every replayed tick gets a latency sample too.
+        assert metrics.tick_latency.count == 2000
+
+    def test_bulk_mode_folds_skipped_runs_exactly(self):
+        metrics = MetricsCollector(per_tick_fidelity=False)
+        scheduler = drive(metrics)
+        assert metrics.ticks.value == 2000
+        assert metrics.expiries_per_tick.count == 2000
+        assert metrics.pending_hist.count == 2000
+        assert metrics.expiries.value == 2
+        assert metrics.bulk_jumps.value >= 1
+        assert metrics.ticks_skipped.value == 2000 - metrics.tick_latency.count
+        assert metrics.now.value == scheduler.now == 2000
+        assert metrics.pending.value == 0
+
+    def test_modes_agree_on_everything_but_latency(self):
+        dense = MetricsCollector()
+        folded = MetricsCollector(per_tick_fidelity=False)
+        drive(dense)
+        drive(folded)
+        assert dense.ticks.value == folded.ticks.value
+        assert dense.expiries.value == folded.expiries.value
+        assert dense.expiries_per_tick.counts == folded.expiries_per_tick.counts
+        assert dense.pending_hist.counts == folded.pending_hist.counts
+        assert dense.drift.counts == folded.drift.counts
+        # Only the wall-latency histogram narrows to executed ticks.
+        assert folded.tick_latency.count < dense.tick_latency.count
+
+
+class TestTraceRecorderFidelity:
+    def test_fidelity_follows_record_empty_ticks(self):
+        assert TraceRecorder().per_tick_fidelity is False
+        assert TraceRecorder(record_empty_ticks=True).per_tick_fidelity is True
+
+    def test_sparse_trace_is_identical_across_paths(self):
+        traces = []
+        for use_fast in (False, True):
+            recorder = TraceRecorder()
+            scheduler = make_scheduler("scheme4", max_interval=4096)
+            scheduler.attach_observer(recorder)
+            scheduler.start_timer(700)
+            if use_fast:
+                scheduler.advance_to(2000)
+            else:
+                for _ in range(2000):
+                    scheduler.tick()
+            traces.append(
+                [(e.etype, e.tick, e.request_id) for e in recorder.events()]
+            )
+        assert traces[0] == traces[1]

@@ -1,0 +1,130 @@
+"""SlotBitmap: the hierarchical occupancy index behind the fast path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.bitmap import SlotBitmap, WORD_BITS
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        bitmap = SlotBitmap(100)
+        assert not bitmap.any()
+        assert bitmap.count == 0
+        assert len(bitmap) == 0
+        assert bitmap.size == 100
+        assert not bitmap
+        assert bitmap.next_set(0) is None
+        assert bitmap.next_set_circular(0) is None
+
+    def test_set_test_clear_roundtrip(self):
+        bitmap = SlotBitmap(130)  # spans three words
+        for i in (0, 63, 64, 65, 127, 128, 129):
+            assert not bitmap.test(i)
+            bitmap.set(i)
+            assert bitmap.test(i)
+            assert i in bitmap
+        assert bitmap.count == 7
+        for i in (0, 63, 64, 65, 127, 128, 129):
+            bitmap.clear(i)
+            assert not bitmap.test(i)
+        assert not bitmap.any()
+
+    def test_set_and_clear_are_idempotent(self):
+        bitmap = SlotBitmap(10)
+        bitmap.set(3)
+        bitmap.set(3)
+        assert bitmap.count == 1
+        bitmap.clear(3)
+        bitmap.clear(3)
+        assert bitmap.count == 0
+
+    def test_bounds_checked(self):
+        bitmap = SlotBitmap(8)
+        for bad in (-1, 8, 100):
+            with pytest.raises(IndexError):
+                bitmap.set(bad)
+            with pytest.raises(IndexError):
+                bitmap.test(bad)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlotBitmap(0)
+
+    def test_repr_mentions_occupancy(self):
+        bitmap = SlotBitmap(16)
+        bitmap.set(5)
+        assert "set=1" in repr(bitmap) and "size=16" in repr(bitmap)
+
+
+class TestNextSet:
+    def test_within_one_word(self):
+        bitmap = SlotBitmap(64)
+        bitmap.set(10)
+        bitmap.set(40)
+        assert bitmap.next_set(0) == 10
+        assert bitmap.next_set(10) == 10
+        assert bitmap.next_set(11) == 40
+        assert bitmap.next_set(41) is None
+
+    def test_crosses_word_boundary_via_summary(self):
+        bitmap = SlotBitmap(WORD_BITS * 5)
+        bitmap.set(WORD_BITS * 4 + 7)
+        assert bitmap.next_set(0) == WORD_BITS * 4 + 7
+        assert bitmap.next_set(WORD_BITS * 4 + 8) is None
+
+    def test_circular_wraps_to_front(self):
+        bitmap = SlotBitmap(200)
+        bitmap.set(3)
+        assert bitmap.next_set_circular(100) == 3
+        assert bitmap.next_set_circular(3) == 3
+        assert bitmap.next_set_circular(4) == 3
+
+    def test_iter_set_in_order(self):
+        bitmap = SlotBitmap(300)
+        for i in (299, 0, 64, 128, 5):
+            bitmap.set(i)
+        assert list(bitmap.iter_set()) == [0, 5, 64, 128, 299]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=400),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_matches_set_oracle_under_random_operations(size, seed):
+    """Random set/clear/query stream vs a plain ``set`` of indices."""
+    rng = random.Random(seed)
+    bitmap = SlotBitmap(size)
+    oracle: set = set()
+    for _ in range(200):
+        op = rng.random()
+        index = rng.randrange(size)
+        if op < 0.45:
+            bitmap.set(index)
+            oracle.add(index)
+        elif op < 0.75:
+            bitmap.clear(index)
+            oracle.discard(index)
+        elif op < 0.9:
+            start = rng.randrange(size)
+            expected = min(
+                (i for i in oracle if i >= start), default=None
+            )
+            assert bitmap.next_set(start) == expected
+        else:
+            start = rng.randrange(size)
+            ahead = [i for i in oracle if i >= start]
+            behind = sorted(oracle)
+            expected = min(ahead) if ahead else (behind[0] if behind else None)
+            assert bitmap.next_set_circular(start) == expected
+    assert bitmap.count == len(oracle)
+    assert list(bitmap.iter_set()) == sorted(oracle)
+    # Internal invariant: the summary mirrors word non-emptiness exactly.
+    for word_index, word in enumerate(bitmap._words):
+        assert bool(bitmap._summary >> word_index & 1) == bool(word)

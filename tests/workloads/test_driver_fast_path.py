@@ -1,0 +1,144 @@
+"""The driver's ``fast_path=True`` mode and the ``empty_run`` contract."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.cost.counters import OpCounter
+from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.distributions import ConstantIntervals, UniformIntervals
+from repro.workloads.driver import run_steady_state
+
+
+class TestDeterministicEmptyRun:
+    def test_gap_is_exact_arithmetic(self):
+        arrivals = DeterministicArrivals(per_tick=2, every=10)
+        rng = random.Random(0)
+        # Ticks 1..9 are empty; tick 10 fires. From a fresh process the
+        # promisable run is 9 ticks.
+        assert arrivals.empty_run(rng, 100) == 9
+        assert arrivals.arrivals_on_tick(rng) == 2
+        assert arrivals.empty_run(rng, 5) == 5  # censored below the gap
+        assert arrivals.empty_run(rng, 100) == 4  # the rest of it
+
+    def test_zero_rate_promises_everything(self):
+        arrivals = DeterministicArrivals(per_tick=0)
+        assert arrivals.empty_run(random.Random(0), 1234) == 1234
+
+    def test_consuming_matches_stepping(self):
+        """empty_run(r) leaves the state of r zero-returning step calls."""
+        rng = random.Random(0)
+        jumped = DeterministicArrivals(per_tick=3, every=7)
+        stepped = DeterministicArrivals(per_tick=3, every=7)
+        run = jumped.empty_run(rng, 50)
+        for _ in range(run):
+            assert stepped.arrivals_on_tick(rng) == 0
+        for _ in range(30):
+            assert jumped.arrivals_on_tick(rng) == stepped.arrivals_on_tick(rng)
+
+
+class TestPoissonEmptyRun:
+    def test_run_is_bounded_and_ends_on_an_arrival(self):
+        rng = random.Random(42)
+        arrivals = PoissonArrivals(rate=0.1)
+        for _ in range(200):
+            run = arrivals.empty_run(rng, 500)
+            assert 0 <= run <= 500
+            if run < 500:
+                # Uncensored run: the ending tick must have arrivals.
+                assert arrivals.arrivals_on_tick(rng) > 0
+
+    def test_censored_run_needs_no_correction(self):
+        rng = random.Random(7)
+        arrivals = PoissonArrivals(rate=1e-6)  # zero-runs ≫ the cap
+        assert arrivals.empty_run(rng, 100) == 100
+        # Memorylessness: the next call may promise a fresh full run.
+        assert arrivals.empty_run(rng, 100) == 100
+
+    def test_zero_rate_promises_everything(self):
+        arrivals = PoissonArrivals(rate=0.0)
+        assert arrivals.empty_run(random.Random(0), 999) == 999
+
+    def test_mean_run_length_matches_geometry(self):
+        rate = 0.05
+        rng = random.Random(2024)
+        arrivals = PoissonArrivals(rate=rate)
+        runs = []
+        for _ in range(4000):
+            runs.append(arrivals.empty_run(rng, 10**9))
+            arrivals.arrivals_on_tick(rng)  # consume the forced arrival
+        # E[run] = p/(1-p) with p = e^-rate  (≈ 19.5 for rate 0.05).
+        p = 2.718281828459045 ** -rate
+        expected = p / (1 - p)
+        assert sum(runs) / len(runs) == pytest.approx(expected, rel=0.1)
+
+
+def steady_state(fast_path: bool, arrivals):
+    scheduler = make_scheduler(
+        "scheme6", table_size=512, counter=OpCounter()
+    )
+    stats = run_steady_state(
+        scheduler,
+        arrivals,
+        UniformIntervals(200, 900),
+        warmup_ticks=300,
+        measure_ticks=700,
+        stop_fraction=0.3,
+        seed=5,
+        fast_path=fast_path,
+    )
+    return scheduler, stats
+
+
+class TestDriverFastPath:
+    def test_deterministic_arrivals_are_bit_identical(self):
+        """Sparse deterministic load: both paths must agree on everything
+        except the grouping of per-tick samples."""
+        naive_sched, naive = steady_state(
+            False, DeterministicArrivals(per_tick=2, every=25)
+        )
+        fast_sched, fast = steady_state(
+            True, DeterministicArrivals(per_tick=2, every=25)
+        )
+        assert fast.ticks == naive.ticks == 700
+        assert fast.started == naive.started
+        assert fast.stopped == naive.stopped
+        assert fast.expired == naive.expired
+        assert fast.insert_costs == naive.insert_costs
+        assert fast.stop_costs == naive.stop_costs
+        assert sum(fast.tick_costs) == sum(naive.tick_costs)
+        assert fast.mean_tick_cost == naive.mean_tick_cost
+        assert fast_sched.now == naive_sched.now
+        assert fast_sched.pending_count == naive_sched.pending_count
+        assert fast_sched.counter.snapshot() == naive_sched.counter.snapshot()
+        # The fast path groups tick costs per hop, so it records fewer
+        # samples — that it really hopped is the point of the mode.
+        assert len(fast.tick_costs) < len(naive.tick_costs)
+
+    def test_poisson_arrivals_stay_distributionally_sane(self):
+        """Poisson empty_run reshuffles the RNG stream (documented), so
+        only aggregate behaviour is comparable across paths."""
+        _, naive = steady_state(False, PoissonArrivals(rate=0.08))
+        _, fast = steady_state(True, PoissonArrivals(rate=0.08))
+        assert fast.ticks == naive.ticks == 700
+        assert fast.started == pytest.approx(naive.started, rel=0.5)
+        assert fast.mean_occupancy == pytest.approx(
+            naive.mean_occupancy, rel=0.5
+        )
+
+    def test_dense_load_degrades_to_stepping(self):
+        scheduler = make_scheduler("scheme6", counter=OpCounter())
+        stats = run_steady_state(
+            scheduler,
+            DeterministicArrivals(per_tick=1),
+            ConstantIntervals(40),
+            warmup_ticks=50,
+            measure_ticks=100,
+            fast_path=True,
+        )
+        assert stats.ticks == 100
+        assert stats.started == 100
+        assert len(stats.tick_costs) == 100  # an event on every tick
