@@ -1,6 +1,6 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test lint bench bench-full bench-json experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full bench-json chaos experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,12 @@ bench-full:
 # Regenerate the checked-in sparse fast-path baseline (docs/performance.md).
 bench-json:
 	PYTHONPATH=src python -m repro.bench WHEELPERF --json BENCH_sparse_advance.json
+
+# Differential chaos: one deterministic fault plan replayed across every
+# scheme must yield identical surviving-expiry sequences (docs/robustness.md).
+chaos:
+	PYTHONPATH=src python -m repro chaos
+	PYTHONPATH=src python -m pytest tests/faults/ -q
 
 experiments:
 	python -m repro.bench

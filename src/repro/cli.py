@@ -21,6 +21,13 @@ Subcommands
     Replay a recorded START/STOP trace (see ``repro.workloads.trace``).
 ``recommend [--rate R] [--mean-interval T] [--stop-fraction F] [--memory M]``
     Rank scheme configurations for a workload with the paper's cost models.
+``chaos [--schemes S,S,...] [--plan FILE] [--budget N] [--json FILE]``
+    Replay one deterministic fault plan (callback failures, slow/hanging
+    callbacks, stop races, allocator pressure, clock jumps) across the
+    selected schemes under supervised expiry and assert that every scheme
+    yields the identical surviving-expiry sequence and identical
+    retry/quarantine/shed counts. Exits 1 on divergence (see
+    ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -225,6 +232,90 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.registry import scheme_names
+    from repro.core.supervision import RetryPolicy
+    from repro.faults import DEFAULT_PLAN, ChaosWorkload, FaultPlan, run_differential
+
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        plan = DEFAULT_PLAN
+    schemes = (
+        [s.strip() for s in args.schemes.split(",") if s.strip()]
+        if args.schemes
+        else scheme_names()
+    )
+    workload = ChaosWorkload(
+        n_timers=args.timers, horizon=args.horizon, seed=args.seed
+    )
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_backoff=args.base_backoff,
+        jitter=args.jitter,
+        seed=plan.seed,
+    )
+    report = run_differential(
+        plan=plan,
+        schemes=schemes,
+        workload=workload,
+        retry_policy=policy,
+        tick_budget=args.budget,
+        overload_policy=args.overload,
+    )
+    print("fault plan: " + "; ".join(plan.describe()))
+    print(
+        f"workload  : {args.timers} timers over {args.horizon} steps "
+        f"(seed {args.seed}); retry max_attempts={args.max_attempts}"
+        + (f"; tick budget {args.budget} ({args.overload})" if args.budget else "")
+    )
+    rows = [r.summary_row() for r in report.results]
+    print(
+        render_table(
+            [
+                "scheme",
+                "survivors",
+                "quarantined",
+                "retries",
+                "shed",
+                "stopped",
+                "clock_jumps",
+                "inj_failures",
+            ],
+            rows,
+        )
+    )
+    if args.json:
+        payload = {
+            "plan": plan.to_dict(),
+            "identical": report.identical,
+            "divergences": report.divergences,
+            "results": [
+                {"scheme": r.scheme, **r.fingerprint()} for r in report.results
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=list)
+        print(f"wrote fingerprints to {args.json}", file=sys.stderr)
+    if report.identical:
+        print(
+            f"OK: {len(report.results)} schemes agree on the surviving-expiry "
+            "sequence and all fault counters"
+        )
+        return 0
+    print("DIVERGENCE:", file=sys.stderr)
+    for scheme, fields in report.divergences.items():
+        print(
+            f"  {scheme} differs from {report.reference.scheme} "
+            f"in: {', '.join(fields)}",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -290,6 +381,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--stop-fraction", type=float, default=0.5)
     p_rec.add_argument("--memory", type=int, default=4096)
 
+    p_cha = sub.add_parser(
+        "chaos",
+        help="replay one fault plan across schemes; fail on divergence",
+    )
+    p_cha.add_argument(
+        "--schemes",
+        help="comma-separated registry names (default: every scheme)",
+    )
+    p_cha.add_argument(
+        "--plan", metavar="FILE", help="fault plan JSON (default: built-in plan)"
+    )
+    p_cha.add_argument("--timers", type=int, default=40)
+    p_cha.add_argument("--horizon", type=int, default=600)
+    p_cha.add_argument("--seed", type=int, default=1, help="workload seed")
+    p_cha.add_argument("--max-attempts", type=int, default=3)
+    p_cha.add_argument("--base-backoff", type=int, default=1)
+    p_cha.add_argument("--jitter", type=float, default=0.0)
+    p_cha.add_argument(
+        "--budget", type=int, default=None,
+        help="per-tick expiry cost budget (enables overload shedding)",
+    )
+    p_cha.add_argument(
+        "--overload", choices=["defer", "drop", "degrade"], default="defer"
+    )
+    p_cha.add_argument("--json", metavar="FILE", help="write fingerprints here")
+
     return parser
 
 
@@ -301,6 +418,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "replay": _cmd_replay,
     "recommend": _cmd_recommend,
+    "chaos": _cmd_chaos,
 }
 
 

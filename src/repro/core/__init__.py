@@ -18,7 +18,13 @@ from repro.core.errors import (
     TimerStateError,
     UnknownTimerError,
 )
-from repro.core.interface import ExpiryAction, Timer, TimerScheduler, TimerState
+from repro.core.interface import (
+    BoundedErrorLog,
+    ExpiryAction,
+    Timer,
+    TimerScheduler,
+    TimerState,
+)
 from repro.core.observer import (
     NULL_OBSERVER,
     CompositeObserver,
@@ -42,6 +48,14 @@ from repro.core.scheme3_trees import (
 )
 from repro.core.clock import VirtualClock
 from repro.core.periodic import PeriodicTimer, every
+from repro.core.supervision import (
+    OVERLOAD_POLICIES,
+    QuarantineRecord,
+    RearmId,
+    RetryPolicy,
+    SupervisedScheduler,
+    origin_of,
+)
 from repro.core.threadsafe import ThreadSafeScheduler
 from repro.core.scheme4_hybrid import HybridWheelScheduler
 from repro.core.scheme4_wheel import TimingWheelScheduler
@@ -86,6 +100,13 @@ __all__ = [
     "every",
     "VirtualClock",
     "ThreadSafeScheduler",
+    "SupervisedScheduler",
+    "RetryPolicy",
+    "RearmId",
+    "QuarantineRecord",
+    "OVERLOAD_POLICIES",
+    "origin_of",
+    "BoundedErrorLog",
     "HashedWheelSortedScheduler",
     "HashedWheelUnsortedScheduler",
     "HierarchicalWheelScheduler",

@@ -43,6 +43,36 @@ from repro.structures.dlist import DNode
 #: Signature of an Expiry_Action: called with the expired timer.
 ExpiryAction = Callable[["Timer"], None]
 
+#: Default bound on the "collect" policy's error log (see
+#: :class:`BoundedErrorLog`): enough to diagnose a failure storm without
+#: letting a long-running facility grow the log without bound.
+DEFAULT_ERROR_LOG_CAPACITY = 256
+
+
+class BoundedErrorLog(list):
+    """A list-compatible ring of the most recent collected failures.
+
+    Behaves exactly like a list (indexing, iteration, ``== []``) so
+    existing clients of :attr:`TimerScheduler.callback_errors` keep
+    working, but :meth:`append` evicts the oldest entry once ``capacity``
+    is reached, counting the eviction in :attr:`dropped` — the bound that
+    keeps the "collect" error policy safe in long runs.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_ERROR_LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__()
+        self.capacity = capacity
+        #: entries evicted to honour the capacity bound (cumulative).
+        self.dropped = 0
+
+    def append(self, item: object) -> None:
+        if len(self) >= self.capacity:
+            del self[: len(self) - self.capacity + 1]
+            self.dropped += 1
+        super().append(item)
+
 
 class TimerState(enum.Enum):
     """Lifecycle of a timer record."""
@@ -202,8 +232,11 @@ class TimerScheduler(abc.ABC):
         self.total_stopped = 0
         self.total_expired = 0
         self._error_policy = "propagate"
-        #: (timer, exception) pairs captured under the "collect" policy.
-        self.callback_errors: List["tuple[Timer, BaseException]"] = []
+        #: (timer, exception) pairs captured under the "collect" policy —
+        #: a bounded ring (see :class:`BoundedErrorLog`) so long runs keep
+        #: only the most recent failures; evictions are counted in
+        #: :attr:`dropped_errors`.
+        self.callback_errors: BoundedErrorLog = BoundedErrorLog()
         self._shut_down = False
         #: opt-in Timer free list (``recycle=True``): finalised records are
         #: pooled and reused by the next START_TIMER, cutting allocation
@@ -229,16 +262,34 @@ class TimerScheduler(abc.ABC):
             )
         self._error_policy = policy
 
+    def set_error_capacity(self, capacity: int) -> None:
+        """Resize the bounded error ring, keeping the most recent entries.
+
+        The cumulative :attr:`dropped_errors` count carries over; shrinking
+        below the retained count drops the oldest entries (counted).
+        """
+        fresh = BoundedErrorLog(capacity)
+        fresh.dropped = self.callback_errors.dropped
+        for item in self.callback_errors:
+            fresh.append(item)
+        self.callback_errors = fresh
+
+    @property
+    def dropped_errors(self) -> int:
+        """Collected failures evicted by the error ring's capacity bound."""
+        return self.callback_errors.dropped
+
     def clear_callback_errors(self) -> List["tuple[Timer, BaseException]"]:
         """Return and clear the failures collected under ``"collect"``.
 
-        :attr:`callback_errors` grows without bound while the collect
-        policy is active; long-running facilities should drain it
-        periodically (the ``callback_error`` trace event fires at capture
-        time, so observability does not depend on keeping the list).
+        :attr:`callback_errors` retains only the most recent
+        ``capacity`` failures (older ones are evicted and counted in
+        :attr:`dropped_errors`); drain it periodically anyway — the
+        ``callback_error`` trace event fires at capture time, so
+        observability does not depend on keeping the list.
         """
-        errors = self.callback_errors
-        self.callback_errors = []
+        errors = list(self.callback_errors)
+        self.callback_errors.clear()
         return errors
 
     # ----------------------------------------------------------- observation
@@ -644,6 +695,7 @@ class TimerScheduler(abc.ABC):
             "total_stopped": self.total_stopped,
             "total_expired": self.total_expired,
             "callback_errors": len(self.callback_errors),
+            "dropped_errors": self.callback_errors.dropped,
             "shut_down": self._shut_down,
         }
         if self._recycle:

@@ -28,6 +28,17 @@ or a concrete scheme):
   the Scheme 4 hybrid promoted an overflow entry onto the wheel.
 * ``on_callback_error`` — an Expiry_Action raised (under either error
   policy, before the policy decides to collect or re-raise).
+
+Supervision hooks (fired by :class:`~repro.core.supervision.SupervisedScheduler`
+on the wrapped scheduler's observer):
+
+* ``on_retry`` — a failed Expiry_Action was re-armed as a fresh wheel
+  timer (backoff intervals are just timer intervals).
+* ``on_quarantine`` — a timer exhausted its retry budget and was parked.
+* ``on_shed`` — overload policy refused to run an expiry this tick
+  (deferred, dropped, or degraded to a rounded slot).
+* ``on_clock_jump`` — the external clock jumped; backward jumps never
+  rewind the scheduler, so no timer can fire early.
 """
 
 from __future__ import annotations
@@ -99,6 +110,39 @@ class TimerObserver:
         with ``per_tick_fidelity`` False; the scheduler's clock already
         reads ``end_tick``."""
 
+    def on_retry(
+        self,
+        scheduler: "TimerScheduler",
+        timer: "Timer",
+        attempt: int,
+        retry_at: int,
+    ) -> None:
+        """``timer``'s Expiry_Action failed on try ``attempt`` and was
+        re-armed as a fresh START_TIMER due at absolute tick ``retry_at``."""
+
+    def on_quarantine(
+        self,
+        scheduler: "TimerScheduler",
+        timer: "Timer",
+        attempts: int,
+        exc: BaseException,
+    ) -> None:
+        """``timer`` exhausted its retry budget after ``attempts`` tries
+        (last failure ``exc``) and was moved to the quarantine set."""
+
+    def on_shed(
+        self, scheduler: "TimerScheduler", timer: "Timer", policy: str
+    ) -> None:
+        """The overload policy refused to run ``timer``'s Expiry_Action
+        this tick; ``policy`` is ``"defer"``, ``"drop"`` or ``"degrade"``."""
+
+    def on_clock_jump(
+        self, scheduler: "TimerScheduler", from_tick: int, to_tick: int
+    ) -> None:
+        """The external clock jumped from ``from_tick`` to ``to_tick``
+        (backward when ``to_tick < from_tick``; the scheduler's own clock
+        never rewinds)."""
+
 
 class NullObserver(TimerObserver):
     """The do-nothing observer every scheduler starts with."""
@@ -159,6 +203,22 @@ class CompositeObserver(TimerObserver):
     def on_bulk_advance(self, scheduler, start_tick, end_tick) -> None:
         for obs in self.observers:
             obs.on_bulk_advance(scheduler, start_tick, end_tick)
+
+    def on_retry(self, scheduler, timer, attempt, retry_at) -> None:
+        for obs in self.observers:
+            obs.on_retry(scheduler, timer, attempt, retry_at)
+
+    def on_quarantine(self, scheduler, timer, attempts, exc) -> None:
+        for obs in self.observers:
+            obs.on_quarantine(scheduler, timer, attempts, exc)
+
+    def on_shed(self, scheduler, timer, policy) -> None:
+        for obs in self.observers:
+            obs.on_shed(scheduler, timer, policy)
+
+    def on_clock_jump(self, scheduler, from_tick, to_tick) -> None:
+        for obs in self.observers:
+            obs.on_clock_jump(scheduler, from_tick, to_tick)
 
 
 #: Shared no-op observer; the default for every scheduler.

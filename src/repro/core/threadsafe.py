@@ -137,6 +137,54 @@ class ThreadSafeScheduler:
         finally:
             self._lock.release()
 
+    # --------------------------------------------------------- error handling
+
+    def set_error_policy(self, policy: str) -> None:
+        """Serialised error-policy switch.
+
+        Must hold the module lock: a racing ``advance_to`` hop reads the
+        policy mid-expiry, and an unserialised flip could let one batch
+        run half-"propagate", half-"collect".
+        """
+        self._acquire()
+        try:
+            self._scheduler.set_error_policy(policy)
+        finally:
+            self._lock.release()
+
+    def set_error_capacity(self, capacity: int) -> None:
+        """Serialised resize of the bounded error ring."""
+        self._acquire()
+        try:
+            self._scheduler.set_error_capacity(capacity)
+        finally:
+            self._lock.release()
+
+    @property
+    def callback_errors(self) -> List["tuple"]:
+        """A serialised *snapshot* of the collected-failure ring.
+
+        Returns a copy taken under the lock, so iterating it cannot race
+        a ticking thread appending new failures (the live ring on the
+        wrapped scheduler mutates during expiry processing).
+        """
+        with self._lock:
+            return list(self._scheduler.callback_errors)
+
+    @property
+    def dropped_errors(self) -> int:
+        """Collected failures evicted by the ring's capacity bound."""
+        with self._lock:
+            return self._scheduler.dropped_errors
+
+    def clear_callback_errors(self) -> List["tuple"]:
+        """Serialised drain of the collected-failure ring."""
+        self._acquire()
+        try:
+            return self._scheduler.clear_callback_errors()
+        finally:
+            self._lock.release()
+
     # ------------------------------------------------------------ inspection
 
     @property

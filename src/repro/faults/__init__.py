@@ -1,0 +1,58 @@
+"""Deterministic fault injection for the timer facility.
+
+The harness has four layers, each usable on its own:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a pure, seedable
+  decision table mapping ``(request_id, attempt)`` to an outcome
+  (``ok`` / ``fail`` / ``slow`` / ``hang``) plus scripted stop races,
+  allocator pressure, and clock jumps. JSON round-trippable.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which executes
+  a plan against any scheduler through the thin expiry-action wrapper
+  and the supervisor's ``cost_hook`` seam.
+* :mod:`repro.faults.clock` — :class:`SkewedClock` and :func:`drive`,
+  deterministic forward/backward clock-jump streams for
+  ``SupervisedScheduler.sync_clock``.
+* :mod:`repro.faults.chaos` — the differential suite: one plan replayed
+  across all nine scheme modules must yield identical surviving-expiry
+  sequences and identical retry/quarantine/shed counts.
+"""
+
+from repro.faults.chaos import (
+    DEFAULT_PLAN,
+    SCHEME_KWARGS,
+    ChaosResult,
+    ChaosWorkload,
+    DifferentialReport,
+    run_chaos,
+    run_differential,
+)
+from repro.faults.clock import SkewedClock, drive
+from repro.faults.injector import (
+    AllocationPressure,
+    FaultInjector,
+    HangingCallbackError,
+    InjectedCallbackError,
+    InjectedFault,
+    TransientStopRace,
+)
+from repro.faults.plan import OUTCOMES, FaultPlan
+
+__all__ = [
+    "AllocationPressure",
+    "ChaosResult",
+    "ChaosWorkload",
+    "DEFAULT_PLAN",
+    "DifferentialReport",
+    "FaultInjector",
+    "FaultPlan",
+    "HangingCallbackError",
+    "InjectedCallbackError",
+    "InjectedFault",
+    "OUTCOMES",
+    "SCHEME_KWARGS",
+    "SkewedClock",
+    "TransientStopRace",
+    "drive",
+    "run_chaos",
+    "run_differential",
+]

@@ -1,0 +1,70 @@
+"""Skewed external clocks: deterministic forward/backward jump injection.
+
+The schedulers own a virtual tick counter; in production that counter is
+driven by an external clock that can misbehave — NTP steps it backward,
+a suspended VM leaps it forward. :class:`SkewedClock` produces exactly
+such a reading stream, deterministically: one reading per drive step,
+with scripted jumps applied at given step numbers (the
+``clock_jumps`` entries of a :class:`~repro.faults.plan.FaultPlan`).
+
+:func:`drive` feeds the stream into a
+:class:`~repro.core.supervision.SupervisedScheduler` via ``sync_clock``,
+whose contract turns the hazard into two safe behaviours: forward jumps
+fire the skipped range late (never skipped), and backward jumps never
+rewind the wheel — no timer fires early.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.interface import Timer
+
+
+class SkewedClock:
+    """An external clock whose readings jump at scripted steps.
+
+    ``jumps`` maps a 1-based step number to a signed delta applied *at*
+    that step (after the normal +1 advance). Readings may therefore
+    repeat or decrease — exactly what ``sync_clock`` must tolerate.
+    Readings are clamped at zero (a wall clock may misbehave, but the
+    facility models time as non-negative ticks).
+    """
+
+    def __init__(self, jumps: Iterable[Tuple[int, int]] = ()) -> None:
+        self.jumps: Dict[int, int] = {}
+        for at, delta in jumps:
+            if at < 1:
+                raise ValueError(f"jump step must be >= 1, got {at}")
+            self.jumps[at] = self.jumps.get(at, 0) + delta
+        self.reading = 0
+
+    def ticks(self, steps: int) -> Iterator[int]:
+        """Yield ``steps`` consecutive readings, applying scripted jumps."""
+        for step in range(1, steps + 1):
+            self.reading += 1
+            if step in self.jumps:
+                self.reading = max(0, self.reading + self.jumps[step])
+            yield self.reading
+
+
+def drive(
+    scheduler,
+    steps: int,
+    jumps: Iterable[Tuple[int, int]] = (),
+    on_step: Optional[Callable[[int, int], None]] = None,
+) -> List[Timer]:
+    """Drive a supervised scheduler from a skewed external clock.
+
+    ``on_step(step, reading)`` — if given — runs *before* each
+    ``sync_clock`` call, which is where a chaos driver issues its client
+    operations for that instant. Returns every timer expired during the
+    drive, in firing order.
+    """
+    clock = SkewedClock(jumps)
+    expired: List[Timer] = []
+    for step, reading in enumerate(clock.ticks(steps), start=1):
+        if on_step is not None:
+            on_step(step, reading)
+        expired.extend(scheduler.sync_clock(reading))
+    return expired

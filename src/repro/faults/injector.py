@@ -1,0 +1,184 @@
+"""The fault injector: turns a :class:`FaultPlan` into live misbehaviour.
+
+The injector plugs into a scheduler through the two seams the issue's
+design calls for — no per-scheme code anywhere:
+
+* the **expiry-action wrapper** (:meth:`FaultInjector.wrap_action`):
+  wraps any client callback so that each invocation consults the plan
+  for its ``(request_id, attempt)`` and raises / runs-slow accordingly.
+  Works identically under a plain scheduler (pair with the ``"collect"``
+  error policy) and under a
+  :class:`~repro.core.supervision.SupervisedScheduler` (which retries
+  the injected failures on the wheel);
+* the **observer seam**: the supervisor's pluggable ``cost_hook`` is
+  satisfied by :meth:`cost_of`, which *peeks* at the upcoming attempt's
+  planned cost so simulated slow/hanging callbacks interact with the
+  tick budget before they run.
+
+Start/stop faults are exposed as thin call-through helpers
+(:meth:`start_timer` raising simulated allocator pressure,
+:meth:`stop_timer` raising a one-shot transient race) so drivers can
+route client operations through the injector without wrapping the whole
+scheduler surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.core.interface import ExpiryAction, Timer
+from repro.core.supervision import origin_of
+from repro.faults.plan import FaultPlan
+
+
+class InjectedFault(Exception):
+    """Base class for every simulated failure the harness raises."""
+
+
+class InjectedCallbackError(InjectedFault):
+    """A planned Expiry_Action failure (outcome ``"fail"``)."""
+
+
+class HangingCallbackError(InjectedFault):
+    """A simulated callback that never completed (outcome ``"hang"``)."""
+
+
+class TransientStopRace(InjectedFault):
+    """A simulated STOP_TIMER race: the first stop attempt loses the race
+    with concurrent expiry processing; an immediate retry succeeds."""
+
+
+class AllocationPressure(InjectedFault, MemoryError):
+    """Simulated allocator pressure: START_TIMER could not get a record."""
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against any scheduler.
+
+    Tracks per-timer attempt counts centrally (keyed by the *client*
+    request id, so supervisor re-arms continue the same attempt series)
+    and keeps simple counters of everything it injected.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._attempts: Dict[str, int] = {}
+        self._stop_raced: set = set()
+        self._starts = 0
+        self.injected_failures = 0
+        self.injected_hangs = 0
+        self.slow_invocations = 0
+        self.stop_races = 0
+        self.alloc_failures = 0
+
+    # -------------------------------------------------------- action wrapping
+
+    def wrap_action(
+        self,
+        action: Optional[ExpiryAction] = None,
+        key: Optional[Hashable] = None,
+    ) -> ExpiryAction:
+        """The thin expiry-action wrapper.
+
+        Returns a callback that, per invocation, advances the timer's
+        attempt count, consults the plan, and either raises the planned
+        fault or runs ``action`` (which may be ``None`` — a bare timer).
+        ``key`` fixes the plan key at wrap time; when omitted it is taken
+        from the fired timer's request id (supervisor re-arm ids resolve
+        to their origin), so one wrapper works for both layering orders.
+        """
+
+        def injected(timer: Timer) -> None:
+            k = str(key if key is not None else origin_of(timer.request_id))
+            attempt = self._attempts.get(k, 0) + 1
+            self._attempts[k] = attempt
+            outcome = self.plan.outcome(k, attempt)
+            if outcome == "fail":
+                self.injected_failures += 1
+                raise InjectedCallbackError(
+                    f"injected failure for {k} (attempt {attempt})"
+                )
+            if outcome == "hang":
+                self.injected_hangs += 1
+                raise HangingCallbackError(
+                    f"injected hang for {k} (attempt {attempt}, "
+                    f"cost {self.plan.hang_cost})"
+                )
+            if outcome == "slow":
+                self.slow_invocations += 1
+            if action is not None:
+                action(timer)
+
+        return injected
+
+    def attempts_for(self, request_id: Hashable) -> int:
+        """Expiry_Action invocations seen so far for this client id."""
+        return self._attempts.get(str(origin_of(request_id)), 0)
+
+    def cost_of(self, timer: Timer) -> int:
+        """Budget cost of the timer's *next* attempt (supervisor cost hook).
+
+        Peeks rather than consumes: the wrapper's own invocation advances
+        the attempt count, so admission control and execution agree on
+        which attempt they are pricing.
+        """
+        k = str(origin_of(timer.request_id))
+        return self.plan.cost(k, self._attempts.get(k, 0) + 1)
+
+    # ------------------------------------------------------ client-op faults
+
+    def start_timer(
+        self,
+        scheduler,
+        interval: int,
+        request_id: Optional[Hashable] = None,
+        callback: Optional[ExpiryAction] = None,
+        user_data: object = None,
+    ) -> Timer:
+        """START_TIMER through the harness.
+
+        Raises :class:`AllocationPressure` on every
+        ``plan.alloc_failure_every``-th start (the allocator-pressure
+        hook); otherwise starts the timer with its callback wrapped.
+        """
+        self._starts += 1
+        every = self.plan.alloc_failure_every
+        if every and self._starts % every == 0:
+            self.alloc_failures += 1
+            raise AllocationPressure(
+                f"injected allocation failure on start #{self._starts}"
+            )
+        return scheduler.start_timer(
+            interval,
+            request_id=request_id,
+            callback=self.wrap_action(callback, key=request_id),
+            user_data=user_data,
+        )
+
+    def stop_timer(self, scheduler, request_id: Hashable) -> Timer:
+        """STOP_TIMER through the harness.
+
+        The first stop of an id the plan marks raises
+        :class:`TransientStopRace` without touching the timer — the
+        caller's retry (the race resolved) goes through normally.
+        """
+        k = str(origin_of(request_id))
+        if k not in self._stop_raced and self.plan.should_stop_race(k):
+            self._stop_raced.add(k)
+            self.stop_races += 1
+            raise TransientStopRace(
+                f"injected STOP_TIMER race on {request_id!r}; retry the stop"
+            )
+        return scheduler.stop_timer(request_id)
+
+    # -------------------------------------------------------------- reporting
+
+    def counters(self) -> Dict[str, int]:
+        """Everything injected so far, as one JSON-friendly dict."""
+        return {
+            "injected_failures": self.injected_failures,
+            "injected_hangs": self.injected_hangs,
+            "slow_invocations": self.slow_invocations,
+            "stop_races": self.stop_races,
+            "alloc_failures": self.alloc_failures,
+        }

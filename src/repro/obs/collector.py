@@ -14,7 +14,9 @@ argues about:
 * ``timer_firing_drift_ticks`` — ``fired_at - deadline``, nonzero only
   for the lossy Scheme 7 / Nichols variants;
 * lifecycle totals (starts, stops, expiries, migrations, callback
-  errors, ticks).
+  errors, ticks) and supervision totals (retries, quarantines, shed
+  expiries, clock jumps) when the scheduler is wrapped in a
+  :class:`~repro.core.supervision.SupervisedScheduler`.
 
 :meth:`sample_structure` additionally folds a scheduler's
 ``introspect()`` output into per-scheme structure gauges (wheel slot
@@ -56,6 +58,10 @@ class MetricsCollector(TimerObserver):
         "expiries",
         "migrations",
         "callback_errors",
+        "retries",
+        "quarantined",
+        "shed",
+        "clock_jumps",
         "ticks",
         "pending",
         "now",
@@ -96,6 +102,18 @@ class MetricsCollector(TimerObserver):
         )
         self.callback_errors = reg.counter(
             "timer_callback_errors_total", "Expiry_Actions that raised"
+        )
+        self.retries = reg.counter(
+            "timer_retries_total", "failed Expiry_Actions re-armed on the wheel"
+        )
+        self.quarantined = reg.counter(
+            "timer_quarantined_total", "timers parked after exhausting retries"
+        )
+        self.shed = reg.counter(
+            "timer_shed_total", "expiries shed under tick-budget overload"
+        )
+        self.clock_jumps = reg.counter(
+            "timer_clock_jumps_total", "external clock jumps observed"
         )
         self.ticks = reg.counter("timer_ticks_total", "PER_TICK calls")
         self.pending = reg.gauge(
@@ -185,6 +203,18 @@ class MetricsCollector(TimerObserver):
 
     def on_callback_error(self, scheduler, timer, exc) -> None:
         self.callback_errors.inc()
+
+    def on_retry(self, scheduler, timer, attempt, retry_at) -> None:
+        self.retries.inc()
+
+    def on_quarantine(self, scheduler, timer, attempts, exc) -> None:
+        self.quarantined.inc()
+
+    def on_shed(self, scheduler, timer, policy) -> None:
+        self.shed.inc()
+
+    def on_clock_jump(self, scheduler, from_tick, to_tick) -> None:
+        self.clock_jumps.inc()
 
     # ------------------------------------------------------ structure gauges
 

@@ -21,6 +21,13 @@ Event types, in within-tick emission order:
     variants).
 ``callback_error``
     An Expiry_Action raised; ``detail`` holds the exception repr.
+``retry`` / ``quarantine`` / ``shed`` / ``clock_jump``
+    Supervision events from a
+    :class:`~repro.core.supervision.SupervisedScheduler`: a failed
+    action re-armed on the wheel (``detail`` has ``attempt`` and
+    ``retry_at``), a timer parked after exhausting its retry budget
+    (``attempts``, ``error``), an expiry shed under overload
+    (``policy``), and an external clock jump (``from`` / ``to``).
 ``tick``
     End-of-tick summary (expired count, pending count). Recorded only for
     ticks that expired something unless ``record_empty_ticks=True`` —
@@ -41,7 +48,18 @@ from typing import Dict, List, Optional
 from repro.core.observer import TimerObserver
 
 #: Every event type a recorder can emit.
-EVENT_TYPES = ("start", "stop", "expire", "tick", "migrate", "callback_error")
+EVENT_TYPES = (
+    "start",
+    "stop",
+    "expire",
+    "tick",
+    "migrate",
+    "callback_error",
+    "retry",
+    "quarantine",
+    "shed",
+    "clock_jump",
+)
 
 
 @dataclass(frozen=True)
@@ -191,6 +209,48 @@ class TraceRecorder(TimerObserver):
                 etype="callback_error",
                 request_id=str(timer.request_id),
                 detail={"error": repr(exc)},
+            )
+        )
+
+    def on_retry(self, scheduler, timer, attempt, retry_at) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="retry",
+                request_id=str(timer.request_id),
+                deadline=timer.deadline,
+                detail={"attempt": attempt, "retry_at": retry_at},
+            )
+        )
+
+    def on_quarantine(self, scheduler, timer, attempts, exc) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="quarantine",
+                request_id=str(timer.request_id),
+                deadline=timer.deadline,
+                detail={"attempts": attempts, "error": repr(exc)},
+            )
+        )
+
+    def on_shed(self, scheduler, timer, policy) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="shed",
+                request_id=str(timer.request_id),
+                deadline=timer.deadline,
+                detail={"policy": policy},
+            )
+        )
+
+    def on_clock_jump(self, scheduler, from_tick, to_tick) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="clock_jump",
+                detail={"from": from_tick, "to": to_tick},
             )
         )
 

@@ -30,6 +30,11 @@ from typing import Dict, List, Optional
 
 from repro.core.interface import TimerScheduler
 from repro.core.observer import TimerObserver
+from repro.faults.injector import (
+    AllocationPressure,
+    FaultInjector,
+    TransientStopRace,
+)
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.distributions import IntervalDistribution
 
@@ -42,6 +47,8 @@ class DriverStats:
     started: int = 0
     stopped: int = 0
     expired: int = 0
+    alloc_failures: int = 0  #: starts refused by injected allocator pressure
+    stop_races: int = 0  #: stops that hit an injected transient race (retried)
     insert_costs: List[int] = field(default_factory=list)
     insert_compares: List[int] = field(default_factory=list)
     stop_costs: List[int] = field(default_factory=list)
@@ -106,6 +113,7 @@ class SteadyStateDriver:
         seed: int = 0,
         observer: Optional[TimerObserver] = None,
         fast_path: bool = False,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         """``fast_path=True`` drives the scheduler with ``advance_to``
         hops: whenever the arrival process can promise a run of
@@ -115,6 +123,16 @@ class SteadyStateDriver:
         and operation charges are bit-identical to the per-tick path;
         only the *grouping* of ``tick_costs``/``occupancy`` samples
         changes (one entry per hop — see :class:`DriverStats`).
+
+        ``faults`` routes every client operation through a
+        :class:`~repro.faults.injector.FaultInjector`: starts refused by
+        injected allocator pressure are counted and skipped, stops that
+        hit an injected transient race are counted and retried once, and
+        each started timer's (absent) callback is wrapped so the plan's
+        fail/slow/hang outcomes fire at expiry. Pair a faulted run with
+        the ``"collect"`` error policy (or a
+        :class:`~repro.core.supervision.SupervisedScheduler`) unless you
+        want the injected failures to propagate out of the tick loop.
         """
         if not 0.0 <= stop_fraction <= 1.0:
             raise ValueError(f"stop_fraction must be in [0, 1], got {stop_fraction}")
@@ -125,6 +143,7 @@ class SteadyStateDriver:
         self.intervals = intervals
         self.stop_fraction = stop_fraction
         self.fast_path = bool(fast_path)
+        self.faults = faults
         self.rng = random.Random(seed)
         # request_ids to cancel, keyed by the absolute tick to cancel at.
         self._planned_stops: Dict[int, List[object]] = {}
@@ -191,7 +210,15 @@ class SteadyStateDriver:
             if not scheduler.is_pending(request_id):
                 continue  # e.g. client stopped it another way
             before = counter.snapshot()
-            scheduler.stop_timer(request_id)
+            if self.faults is not None:
+                try:
+                    self.faults.stop_timer(scheduler, request_id)
+                except TransientStopRace:
+                    if stats is not None:
+                        stats.stop_races += 1
+                    self.faults.stop_timer(scheduler, request_id)
+            else:
+                scheduler.stop_timer(request_id)
             if stats is not None:
                 stats.stop_costs.append(counter.since(before).total)
                 stats.stopped += 1
@@ -203,7 +230,15 @@ class SteadyStateDriver:
             if max_iv is not None and interval >= max_iv:
                 interval = max_iv - 1  # clamp into the scheduler's range
             before = counter.snapshot()
-            timer = scheduler.start_timer(interval)
+            if self.faults is not None:
+                try:
+                    timer = self.faults.start_timer(scheduler, interval)
+                except AllocationPressure:
+                    if stats is not None:
+                        stats.alloc_failures += 1
+                    continue
+            else:
+                timer = scheduler.start_timer(interval)
             if stats is not None:
                 stats.insert_costs.append(counter.since(before).total)
                 stats.insert_compares.append(counter.since(before).compares)
@@ -225,6 +260,7 @@ def run_steady_state(
     seed: int = 0,
     observer: Optional[TimerObserver] = None,
     fast_path: bool = False,
+    faults: Optional[FaultInjector] = None,
 ) -> DriverStats:
     """One-call convenience wrapper around :class:`SteadyStateDriver`."""
     driver = SteadyStateDriver(
@@ -235,5 +271,6 @@ def run_steady_state(
         seed=seed,
         observer=observer,
         fast_path=fast_path,
+        faults=faults,
     )
     return driver.run(warmup_ticks, measure_ticks)

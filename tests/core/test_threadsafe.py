@@ -93,3 +93,108 @@ def test_shutdown_under_lock():
         wrapped.start_timer(100)
     cancelled = wrapped.shutdown()
     assert len(cancelled) == 5
+
+
+def test_error_policy_surface_is_serialised():
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=32))
+    wrapped.set_error_policy("collect")
+    wrapped.start_timer(2, callback=lambda t: (_ for _ in ()).throw(RuntimeError("x")))
+    wrapped.advance(2)
+    errors = wrapped.callback_errors
+    assert len(errors) == 1
+    assert isinstance(errors[0][1], RuntimeError)
+    # The property returns a snapshot, not the live ring.
+    errors.append("sentinel")
+    assert len(wrapped.callback_errors) == 1
+    drained = wrapped.clear_callback_errors()
+    assert len(drained) == 1
+    assert wrapped.callback_errors == []
+    assert wrapped.dropped_errors == 0
+
+
+def test_error_capacity_through_facade():
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=32))
+    wrapped.set_error_policy("collect")
+    wrapped.set_error_capacity(2)
+
+    def boom(timer):
+        raise RuntimeError(str(timer.request_id))
+
+    for i in range(5):
+        wrapped.start_timer(1, request_id=f"t{i}", callback=boom)
+        wrapped.advance(1)
+    assert len(wrapped.callback_errors) == 2
+    assert wrapped.dropped_errors == 3
+
+
+def test_callback_raising_mid_hop_releases_the_lock():
+    """Regression: a propagating Expiry_Action inside an advance_to hop
+    must not leave the module lock held — a second thread's START_TIMER
+    would deadlock forever."""
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=32))
+
+    def boom(timer):
+        raise RuntimeError("mid-hop failure")
+
+    wrapped.start_timer(3, callback=boom)
+    try:
+        wrapped.advance(5)
+    except RuntimeError:
+        pass
+    else:  # pragma: no cover - the raise is the scenario under test
+        raise AssertionError("expected the callback error to propagate")
+
+    # If the lock leaked, this second-thread operation would hang.
+    result = {}
+
+    def other_thread():
+        result["timer"] = wrapped.start_timer(7, request_id="after")
+
+    worker = threading.Thread(target=other_thread)
+    worker.start()
+    worker.join(timeout=5)
+    assert not worker.is_alive(), "lock leaked by the raising callback"
+    assert result["timer"].request_id == "after"
+    # And the facade remains fully usable on the original thread.
+    wrapped.set_error_policy("collect")
+    wrapped.advance(10)
+    assert wrapped.pending_count == 0
+
+
+def test_error_policy_flip_races_ticker_without_deadlock():
+    """set_error_policy contends with a hot advance_to loop; both sides
+    must make progress and the facade must never drop the lock early."""
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=64))
+    wrapped.set_error_policy("collect")
+    stop_flag = threading.Event()
+    errors = []
+
+    def boom(timer):
+        raise RuntimeError("expected")
+
+    def ticker():
+        try:
+            while not stop_flag.is_set():
+                wrapped.start_timer(1, callback=boom)
+                wrapped.advance(2)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def flipper():
+        try:
+            for _ in range(200):
+                wrapped.set_error_policy("collect")
+                wrapped.clear_callback_errors()
+                _ = wrapped.dropped_errors
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    ticker_thread = threading.Thread(target=ticker)
+    flip_thread = threading.Thread(target=flipper)
+    ticker_thread.start()
+    flip_thread.start()
+    flip_thread.join(timeout=30)
+    stop_flag.set()
+    ticker_thread.join(timeout=30)
+    assert not ticker_thread.is_alive() and not flip_thread.is_alive()
+    assert errors == []

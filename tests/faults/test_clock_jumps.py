@@ -1,0 +1,117 @@
+"""Clock-jump discipline: forward jumps fire late, backward never early."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SupervisedScheduler
+from repro.faults.clock import SkewedClock, drive
+from repro.obs.tracing import TraceRecorder
+from tests.conftest import ALL_SCHEMES, build
+
+
+def supervised(scheme="scheme6"):
+    return SupervisedScheduler(build(scheme))
+
+
+def test_skewed_clock_applies_jumps_at_steps():
+    clock = SkewedClock([(3, 10), (6, -5)])
+    assert list(clock.ticks(7)) == [1, 2, 13, 14, 15, 11, 12]
+
+
+def test_skewed_clock_clamps_at_zero():
+    clock = SkewedClock([(2, -100)])
+    assert list(clock.ticks(3)) == [1, 0, 1]
+
+
+def test_skewed_clock_rejects_bad_step():
+    with pytest.raises(ValueError):
+        SkewedClock([(0, 5)])
+
+
+def test_monotone_clock_is_plain_advance():
+    sup = supervised()
+    fired = []
+    sup.start_timer(5, request_id="t", callback=fired.append)
+    expired = drive(sup, 10)
+    assert [t.request_id for t in expired] == ["t"]
+    assert fired[0].fired_at == 5
+    assert sup.clock_jumps == 0
+    assert sup.now == 10
+
+
+def test_forward_jump_fires_skipped_timers_late_never_skips():
+    sup = supervised()
+    fired = []
+    sup.start_timer(5, request_id="t", callback=fired.append)
+    # Jump from reading 3 straight to 103: the t=5 deadline is inside
+    # the gap; it must fire (late), not be skipped.
+    drive(sup, 4, jumps=[(4, 100)])
+    assert [t.request_id for t in fired] == ["t"]
+    assert sup.clock_jumps == 1
+    assert sup.now == 104
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_backward_jump_never_fires_early(scheme):
+    sup = supervised(scheme)
+    fired = []
+    sup.start_timer(40, request_id="t", callback=fired.append)
+    # Clock runs to 30, then NTP steps it back to 10: nothing may fire
+    # while the wall clock replays 11..30, even though those readings
+    # are "new" ticks to the external driver.
+    clock = SkewedClock([(31, -21)])
+    for reading in clock.ticks(75):  # readings: 1..30, 10, 11..54
+        sup.sync_clock(reading)
+        if reading < 40:
+            assert fired == [], f"fired early at reading {reading}"
+    assert [t.request_id for t in fired] == ["t"]
+    assert fired[0].fired_at >= 40  # acceptance: never before the deadline
+    assert sup.clock_jumps == 1
+
+
+def test_backward_jump_counts_once_and_freezes_time():
+    sup = supervised()
+    sup.sync_clock(20)
+    assert sup.now == 20
+    sup.sync_clock(5)  # backward: counted, wheel untouched
+    assert sup.now == 20
+    assert sup.clock_jumps == 1
+    # Catch-up readings at or below the high-water mark advance nothing
+    # and are not additional jumps (they are the same incident).
+    sup.sync_clock(6)
+    sup.sync_clock(7)
+    assert sup.now == 20
+    assert sup.clock_jumps == 1
+    sup.sync_clock(21)
+    assert sup.now == 21
+
+
+def test_repeated_reading_is_not_a_jump():
+    sup = supervised()
+    sup.sync_clock(5)
+    sup.sync_clock(5)
+    assert sup.clock_jumps == 0
+    assert sup.now == 5
+
+
+def test_clock_jump_trace_event_and_counter():
+    sup = supervised()
+    recorder = TraceRecorder()
+    sup.attach_observer(recorder)
+    sup.sync_clock(10)
+    sup.sync_clock(60)   # forward jump
+    sup.sync_clock(30)   # backward jump
+    jumps = [e for e in recorder.events() if e.etype == "clock_jump"]
+    assert [e.detail for e in jumps] == [
+        {"from": 10, "to": 60},
+        {"from": 60, "to": 30},
+    ]
+    assert sup.counters()["clock_jumps"] == 2
+
+
+def test_drive_on_step_callback_sees_step_and_reading():
+    sup = supervised()
+    log = []
+    drive(sup, 3, on_step=lambda step, reading: log.append((step, reading)))
+    assert log == [(1, 1), (2, 2), (3, 3)]

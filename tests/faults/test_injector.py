@@ -1,0 +1,142 @@
+"""FaultInjector: plans executed through the expiry-action wrapper seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.faults.injector import (
+    AllocationPressure,
+    FaultInjector,
+    HangingCallbackError,
+    InjectedCallbackError,
+    TransientStopRace,
+)
+from repro.faults.plan import FaultPlan
+
+
+def build():
+    return make_scheduler("scheme6", table_size=64)
+
+
+def test_injected_failure_raises_under_propagate_policy():
+    sched = build()
+    injector = FaultInjector(FaultPlan(scripted={"t": ("fail",)}))
+    injector.start_timer(sched, 3, request_id="t")
+    with pytest.raises(InjectedCallbackError):
+        sched.advance(3)
+    assert injector.injected_failures == 1
+
+
+def test_injected_failure_collected_under_collect_policy():
+    sched = build()
+    sched.set_error_policy("collect")
+    injector = FaultInjector(FaultPlan(scripted={"t": ("fail",)}))
+    injector.start_timer(sched, 3, request_id="t")
+    sched.advance(3)
+    assert len(sched.callback_errors) == 1
+    timer, exc = sched.callback_errors[0]
+    assert timer.request_id == "t"
+    assert isinstance(exc, InjectedCallbackError)
+
+
+def test_hang_outcome_raises_hanging_error():
+    sched = build()
+    injector = FaultInjector(FaultPlan(scripted={"t": ("hang",)}))
+    injector.start_timer(sched, 2, request_id="t")
+    with pytest.raises(HangingCallbackError):
+        sched.advance(2)
+    assert injector.injected_hangs == 1
+
+
+def test_slow_outcome_runs_action_and_counts():
+    sched = build()
+    fired = []
+    injector = FaultInjector(FaultPlan(scripted={"t": ("slow",)}))
+    injector.start_timer(sched, 2, request_id="t", callback=fired.append)
+    sched.advance(2)
+    assert [t.request_id for t in fired] == ["t"]
+    assert injector.slow_invocations == 1
+
+
+def test_ok_outcome_runs_wrapped_action():
+    sched = build()
+    fired = []
+    injector = FaultInjector(FaultPlan())
+    injector.start_timer(sched, 2, request_id="t", callback=fired.append)
+    sched.advance(2)
+    assert [t.request_id for t in fired] == ["t"]
+    assert injector.counters() == {
+        "injected_failures": 0,
+        "injected_hangs": 0,
+        "slow_invocations": 0,
+        "stop_races": 0,
+        "alloc_failures": 0,
+    }
+
+
+def test_attempt_counting_spans_restarts_of_same_id():
+    # The same client id restarted after an expiry continues its attempt
+    # series — scripted per-attempt outcomes apply across incarnations.
+    sched = build()
+    sched.set_error_policy("collect")
+    injector = FaultInjector(FaultPlan(scripted={"t": ("fail", "ok")}))
+    injector.start_timer(sched, 2, request_id="t")
+    sched.advance(2)  # attempt 1: fail (collected)
+    injector.start_timer(sched, 2, request_id="t")
+    sched.advance(2)  # attempt 2: ok
+    assert injector.attempts_for("t") == 2
+    assert injector.injected_failures == 1
+    assert len(sched.callback_errors) == 1
+
+
+def test_cost_of_peeks_next_attempt():
+    sched = build()
+    plan = FaultPlan(slow_cost=6, scripted={"t": ("slow", "ok")})
+    injector = FaultInjector(plan)
+    timer = injector.start_timer(sched, 5, request_id="t")
+    assert injector.cost_of(timer) == 6  # attempt 1 will be slow
+    sched.advance(5)
+    assert injector.cost_of(timer) == 1  # attempt 2 would be ok
+
+
+def test_alloc_failure_every_nth_start():
+    sched = build()
+    injector = FaultInjector(FaultPlan(alloc_failure_every=3))
+    started = 0
+    failures = 0
+    for i in range(9):
+        try:
+            injector.start_timer(sched, 10, request_id=f"t{i}")
+            started += 1
+        except AllocationPressure:
+            failures += 1
+    assert failures == 3
+    assert started == 6
+    assert sched.pending_count == 6
+    assert injector.alloc_failures == 3
+
+
+def test_alloc_pressure_is_a_memory_error():
+    # Clients guarding START_TIMER with `except MemoryError` catch it.
+    assert issubclass(AllocationPressure, MemoryError)
+
+
+def test_stop_race_fires_once_then_stop_succeeds():
+    sched = build()
+    injector = FaultInjector(FaultPlan(stop_race_rate=1.0))
+    injector.start_timer(sched, 50, request_id="t")
+    with pytest.raises(TransientStopRace):
+        injector.stop_timer(sched, "t")
+    assert sched.is_pending("t")  # the race did not touch the timer
+    stopped = injector.stop_timer(sched, "t")
+    assert stopped.request_id == "t"
+    assert not sched.is_pending("t")
+    assert injector.stop_races == 1
+
+
+def test_wrapper_works_without_underlying_action():
+    sched = build()
+    injector = FaultInjector(FaultPlan())
+    injector.start_timer(sched, 1, request_id="bare")
+    assert sched.advance(1)[0].request_id == "bare"

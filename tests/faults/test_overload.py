@@ -1,0 +1,134 @@
+"""Overload shedding: the tick budget and its three policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RetryPolicy, SupervisedScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from tests.conftest import build
+
+
+def supervised(**kwargs):
+    return SupervisedScheduler(build("scheme6"), **kwargs)
+
+
+def burst(sup, n, interval=5):
+    fired = []
+    for i in range(n):
+        sup.start_timer(interval, request_id=f"t{i}", callback=fired.append)
+    return fired
+
+
+def test_within_budget_everything_runs():
+    sup = supervised(tick_budget=10)
+    fired = burst(sup, 8)
+    sup.advance(5)
+    assert len(fired) == 8
+    assert sup.shed_total == 0
+
+
+def test_defer_moves_overflow_to_next_tick():
+    sup = supervised(tick_budget=3, overload_policy="defer")
+    fired = burst(sup, 8)
+    sup.advance(5)
+    assert len(fired) == 3  # budget's worth ran on the due tick
+    assert sup.deferred == 5
+    assert sup.supervised_count == 5  # deferred ones still supervised
+    sup.advance(1)
+    assert len(fired) == 6  # next tick admits another budget's worth
+    sup.run_until_idle()
+    assert len(fired) == 8
+    assert sup.shed_total == 5 + 2  # five shed at t=5, two re-shed at t=6
+    assert len({id(t) for t in fired}) == 8
+
+
+def test_drop_discards_overflow_with_trace():
+    sup = supervised(tick_budget=3, overload_policy="drop")
+    fired = burst(sup, 8)
+    sup.run_until_idle()
+    assert len(fired) == 3
+    assert sup.dropped == 5
+    assert len(sup.shed_timers) == 5
+    assert all(tick == 5 for _, tick in sup.shed_timers)
+    assert sup.supervised_count == 0  # dropped timers are gone
+    assert sup.pending_count == 0
+
+
+def test_degrade_rounds_to_quantum_boundary():
+    sup = supervised(tick_budget=3, overload_policy="degrade", degrade_quantum=8)
+    fired = burst(sup, 5)
+    sup.advance(5)
+    assert len(fired) == 3
+    assert sup.degraded == 2
+    # Shed timers were re-armed at the next multiple of 8 (lossy rounding
+    # in the style of the Nichols no-migration hierarchy).
+    assert sup.next_expiry() == 8
+    sup.advance(3)
+    assert len(fired) == 5
+
+
+def test_first_expiry_of_tick_always_runs():
+    # A single action costing more than the whole budget must run (and
+    # count as an overrun) rather than being deferred forever.
+    plan = FaultPlan(scripted={"big": ("hang",)}, hang_cost=1000)
+    injector = FaultInjector(plan)
+    sup = supervised(tick_budget=3, overload_policy="defer",
+                     cost_hook=injector.cost_of,
+                     retry_policy=RetryPolicy(max_attempts=1))
+    injector.start_timer(sup, 4, request_id="big")
+    sup.advance(4)
+    assert injector.injected_hangs == 1  # it ran (and "hung")
+    assert sup.overruns == 1
+    assert sup.deferred == 0
+    assert sup.quarantined_total == 1  # hang is a failure; one attempt allowed
+
+
+def test_slow_costs_meter_the_budget():
+    # Three timers due the same tick, one of them slow (cost 4) against a
+    # budget of 4: whatever order the scheme expires them in, the slow
+    # one plus the two cheap ones cannot all fit, so at least one expiry
+    # is deferred — and every one of them completes by the next tick.
+    plan = FaultPlan(slow_cost=4, scripted={"s": ("slow",)})
+    injector = FaultInjector(plan)
+    sup = supervised(tick_budget=4, overload_policy="defer",
+                     cost_hook=injector.cost_of)
+    injector.start_timer(sup, 3, request_id="s")
+    injector.start_timer(sup, 3, request_id="a")
+    injector.start_timer(sup, 3, request_id="b")
+    sup.advance(3)
+    assert sup.deferred >= 1
+    sup.advance(1)
+    assert sup.supervised_count == 0
+    assert injector.slow_invocations == 1
+    assert {s[0] for s in sup.survivors} == {"s", "a", "b"}
+
+
+def test_budget_resets_each_tick():
+    sup = supervised(tick_budget=2, overload_policy="defer")
+    fired = []
+    for i, interval in enumerate([3, 3, 4, 4]):
+        sup.start_timer(interval, request_id=f"t{i}", callback=fired.append)
+    sup.advance(3)
+    assert len(fired) == 2
+    sup.advance(1)  # fresh budget at t=4
+    assert len(fired) == 4
+    assert sup.shed_total == 0  # two per tick never exceeded the budget
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        supervised(tick_budget=0)
+    with pytest.raises(ValueError):
+        supervised(overload_policy="panic")
+    with pytest.raises(ValueError):
+        supervised(degrade_quantum=0)
+
+
+def test_no_budget_means_no_shedding():
+    sup = supervised()  # tick_budget=None
+    fired = burst(sup, 50)
+    sup.advance(5)
+    assert len(fired) == 50
+    assert sup.counters()["shed"] == 0

@@ -1,0 +1,120 @@
+"""FaultPlan: pure, seedable, JSON round-trippable decision tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import OUTCOMES, FaultPlan
+
+
+def test_outcome_is_deterministic_per_id_and_attempt():
+    plan = FaultPlan(seed=42, fail_rate=0.3, slow_rate=0.2, hang_rate=0.1)
+    first = [(k, a, plan.outcome(k, a)) for k in ("a", "b", "c") for a in range(1, 6)]
+    replay = FaultPlan(seed=42, fail_rate=0.3, slow_rate=0.2, hang_rate=0.1)
+    assert first == [
+        (k, a, replay.outcome(k, a)) for k in ("a", "b", "c") for a in range(1, 6)
+    ]
+
+
+def test_different_seeds_differ_somewhere():
+    a = FaultPlan(seed=1, fail_rate=0.5)
+    b = FaultPlan(seed=2, fail_rate=0.5)
+    keys = [f"t{i}" for i in range(50)]
+    assert [a.outcome(k, 1) for k in keys] != [b.outcome(k, 1) for k in keys]
+
+
+def test_zero_rates_always_ok():
+    plan = FaultPlan(seed=9)
+    assert all(plan.outcome(f"t{i}", a) == "ok" for i in range(20) for a in (1, 2))
+    assert not plan.should_stop_race("t1")
+
+
+def test_rate_one_always_fails():
+    plan = FaultPlan(seed=3, fail_rate=1.0)
+    assert all(plan.outcome(f"t{i}", 1) == "fail" for i in range(20))
+
+
+def test_rates_are_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(fail_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(fail_rate=0.6, slow_rate=0.3, hang_rate=0.2)  # sums to 1.1
+    with pytest.raises(ValueError):
+        FaultPlan(alloc_failure_every=-1)
+    with pytest.raises(ValueError):
+        FaultPlan(scripted={"x": ("explode",)})
+    with pytest.raises(ValueError):
+        FaultPlan().outcome("t", 0)
+
+
+def test_max_failures_per_timer_caps_misbehaviour():
+    plan = FaultPlan(seed=5, fail_rate=1.0, max_failures_per_timer=2)
+    assert plan.outcome("t", 1) == "fail"
+    assert plan.outcome("t", 2) == "fail"
+    assert plan.outcome("t", 3) == "ok"
+    assert plan.outcome("t", 10) == "ok"
+
+
+def test_scripted_outcomes_override_rates():
+    plan = FaultPlan(seed=5, fail_rate=1.0, scripted={"t": ("ok", "slow")})
+    assert plan.outcome("t", 1) == "ok"
+    assert plan.outcome("t", 2) == "slow"
+    assert plan.outcome("t", 3) == "ok"  # past the script: ok, not the rate
+    assert plan.outcome("other", 1) == "fail"
+
+
+def test_costs_follow_outcomes():
+    plan = FaultPlan(
+        seed=0, slow_cost=7, hang_cost=999,
+        scripted={"s": ("slow",), "h": ("hang",), "f": ("fail",)},
+    )
+    assert plan.cost("s", 1) == 7
+    assert plan.cost("h", 1) == 999
+    assert plan.cost("f", 1) == 1
+    assert plan.cost("s", 2) == 1
+
+
+def test_stop_race_is_deterministic():
+    plan = FaultPlan(seed=11, stop_race_rate=0.5)
+    keys = [f"t{i}" for i in range(40)]
+    decisions = [plan.should_stop_race(k) for k in keys]
+    assert decisions == [plan.should_stop_race(k) for k in keys]
+    assert any(decisions) and not all(decisions)
+
+
+def test_json_round_trip_preserves_every_decision():
+    plan = FaultPlan(
+        seed=21,
+        fail_rate=0.25,
+        slow_rate=0.25,
+        hang_rate=0.1,
+        max_failures_per_timer=3,
+        slow_cost=5,
+        hang_cost=10_000,
+        stop_race_rate=0.4,
+        alloc_failure_every=9,
+        clock_jumps=((10, 50), (99, -20)),
+        scripted={"t1": ("fail", "ok")},
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    for k in ("t1", "t2", "t3"):
+        for a in (1, 2, 3):
+            assert restored.outcome(k, a) == plan.outcome(k, a)
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown fault-plan fields"):
+        FaultPlan.from_dict({"seed": 1, "typo_rate": 0.5})
+
+
+def test_outcomes_constant_matches_implementation():
+    plan = FaultPlan(seed=1, fail_rate=0.4, slow_rate=0.3, hang_rate=0.2)
+    seen = {plan.outcome(f"t{i}", 1) for i in range(300)}
+    assert seen <= set(OUTCOMES)
+    assert seen == set(OUTCOMES)  # all four outcomes reachable at these rates
+
+
+def test_describe_mentions_active_faults():
+    text = " ".join(FaultPlan(seed=2, fail_rate=0.5, clock_jumps=((5, -3),)).describe())
+    assert "fail_rate" in text and "5:-3" in text

@@ -1,0 +1,94 @@
+"""Satellite: injected callback failures must not perturb wheel state.
+
+Oracle in the style of ``tests/core/test_advance_fast_path.py``: run the
+identical client sequence on two schedulers of the same scheme — one whose
+callbacks are wrapped by a failing :class:`FaultInjector` under the
+``"collect"`` error policy, one fault-free control — and assert that the
+*bookkeeping* (pending count, occupancy/introspection, OpCounter totals)
+comes out bit-identical. Error handling happens strictly after a timer is
+finalised, so a raising Expiry_Action may never leak into the structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from tests.conftest import ALL_SCHEMES, build
+
+
+def run_sequence(scheme, injector):
+    """One deterministic client run; returns the scheduler afterwards."""
+    sched = build(scheme)
+    sched.set_error_policy("collect")
+    rng = random.Random(13)
+    live = []
+    for step in range(400):
+        for _ in range(rng.randint(0, 2)):
+            key = f"t{step}-{len(live)}"
+            interval = rng.randint(1, 900)
+            if injector is not None:
+                injector.start_timer(sched, interval, request_id=key)
+            else:
+                sched.start_timer(interval, request_id=key)
+            live.append(key)
+        if live and rng.random() < 0.2:
+            victim = live.pop(rng.randrange(len(live)))
+            if sched.is_pending(victim):
+                sched.stop_timer(victim)
+        sched.tick()
+    return sched
+
+
+STRUCTURAL_KEYS = ("scheme", "now", "pending", "total_started",
+                   "total_stopped", "total_expired", "shut_down")
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_failed_callbacks_leave_bookkeeping_bit_identical(scheme):
+    plan = FaultPlan(seed=3, fail_rate=0.4, hang_rate=0.1)
+    faulted = run_sequence(scheme, FaultInjector(plan))
+    control = run_sequence(scheme, None)
+
+    assert len(faulted.callback_errors) > 0  # the faults actually fired
+
+    # Scheduler-level invariants.
+    assert faulted.now == control.now
+    assert faulted.pending_count == control.pending_count
+    assert faulted.total_started == control.total_started
+    assert faulted.total_stopped == control.total_stopped
+    assert faulted.total_expired == control.total_expired
+
+    # Conservation: started = stopped + expired + pending, faults or not.
+    assert (
+        faulted.total_started
+        == faulted.total_stopped + faulted.total_expired + faulted.pending_count
+    )
+
+    # Introspection (structure/occupancy/bitmaps) identical except for the
+    # collected-error tally itself.
+    fi, ci = faulted.introspect(), control.introspect()
+    assert fi.pop("callback_errors") > 0 and ci.pop("callback_errors") == 0
+    assert fi == ci
+    for key in STRUCTURAL_KEYS:
+        assert key in ci
+
+    # OpCounter totals: fault handling charges no structure operations.
+    for field in ("reads", "writes", "compares", "links"):
+        assert getattr(faulted.counter, field) == getattr(control.counter, field)
+
+
+@pytest.mark.parametrize("scheme", ["scheme6", "scheme7", "scheme7-lossy"])
+def test_faulted_scheduler_drains_clean(scheme):
+    plan = FaultPlan(seed=5, fail_rate=0.5)
+    sched = run_sequence(scheme, FaultInjector(plan))
+    sched.run_until_idle()
+    assert sched.pending_count == 0
+    info = sched.introspect()
+    assert info["pending"] == 0
+    assert (
+        info["total_started"] == info["total_stopped"] + info["total_expired"]
+    )

@@ -1,0 +1,106 @@
+"""Supervision events through the observability stack: metrics + traces."""
+
+from __future__ import annotations
+
+from repro.core import CompositeObserver, RetryPolicy, SupervisedScheduler
+from repro.obs.collector import MetricsCollector
+from repro.obs.exporters import to_prometheus
+from repro.obs.tracing import EVENT_TYPES, TraceRecorder
+from tests.conftest import build
+
+
+def failing(times):
+    state = {"calls": 0}
+
+    def action(timer):
+        state["calls"] += 1
+        if state["calls"] <= times:
+            raise RuntimeError("induced")
+
+    return action
+
+
+def supervised(**kwargs):
+    return SupervisedScheduler(build("scheme6"), **kwargs)
+
+
+def test_event_types_include_supervision_events():
+    assert {"retry", "quarantine", "shed", "clock_jump"} <= set(EVENT_TYPES)
+
+
+def test_collector_counts_retries_and_quarantines():
+    sup = supervised(retry_policy=RetryPolicy(max_attempts=3, base_backoff=1))
+    collector = MetricsCollector()
+    sup.attach_observer(collector)
+    sup.start_timer(2, request_id="flaky", callback=failing(1))
+    sup.start_timer(3, request_id="dead", callback=failing(99))
+    sup.run_until_idle()
+    snapshot = collector.registry.snapshot()
+    counters = {name: m["value"] for name, m in snapshot["counters"].items()}
+    assert counters["timer_retries_total"] == 1 + 2  # flaky once, dead twice
+    assert counters["timer_quarantined_total"] == 1
+    assert counters["timer_callback_errors_total"] == 1 + 3
+
+
+def test_collector_counts_shed_and_clock_jumps():
+    sup = supervised(tick_budget=1, overload_policy="drop")
+    collector = MetricsCollector()
+    sup.attach_observer(collector)
+    for i in range(4):
+        sup.start_timer(5, request_id=f"t{i}")
+    sup.sync_clock(5)
+    sup.sync_clock(60)  # forward jump
+    sup.sync_clock(10)  # backward jump
+    counters = {
+        name: m["value"]
+        for name, m in collector.registry.snapshot()["counters"].items()
+    }
+    assert counters["timer_shed_total"] == 3  # 1 ran, 3 dropped
+    assert counters["timer_clock_jumps_total"] == 2
+
+
+def test_supervision_counters_export_to_prometheus():
+    sup = supervised(retry_policy=RetryPolicy(max_attempts=2, base_backoff=1))
+    collector = MetricsCollector()
+    sup.attach_observer(collector)
+    sup.start_timer(1, request_id="t", callback=failing(1))
+    sup.run_until_idle()
+    text = to_prometheus(collector.registry.snapshot(), labels={"scheme": "scheme6"})
+    assert 'timer_retries_total{scheme="scheme6"} 1' in text
+    assert "timer_quarantined_total" in text
+    assert "timer_clock_jumps_total" in text
+
+
+def test_trace_and_metrics_compose_for_supervision_events():
+    recorder = TraceRecorder()
+    collector = MetricsCollector()
+    sup = supervised(retry_policy=RetryPolicy(max_attempts=2, base_backoff=3))
+    sup.attach_observer(CompositeObserver([recorder, collector]))
+    sup.start_timer(2, request_id="t", callback=failing(1))
+    sup.run_until_idle()
+    retry_events = [e for e in recorder.events() if e.etype == "retry"]
+    assert len(retry_events) == 1
+    assert retry_events[0].detail == {"attempt": 1, "retry_at": 5}
+    counters = {
+        name: m["value"]
+        for name, m in collector.registry.snapshot()["counters"].items()
+    }
+    assert counters["timer_retries_total"] == 1
+    # The re-arm is a real start: both observers saw it.
+    assert any(
+        e.etype == "start" and e.request_id.startswith("rearm:")
+        for e in recorder.events()
+    )
+    assert counters["timer_starts_total"] == 2
+
+
+def test_shed_trace_event_carries_policy():
+    recorder = TraceRecorder()
+    sup = supervised(tick_budget=1, overload_policy="degrade", degrade_quantum=4)
+    sup.attach_observer(recorder)
+    for i in range(3):
+        sup.start_timer(2, request_id=f"t{i}")
+    sup.advance(2)
+    shed = [e for e in recorder.events() if e.etype == "shed"]
+    assert len(shed) == 2
+    assert all(e.detail == {"policy": "degrade"} for e in shed)

@@ -141,6 +141,28 @@ def test_trace_out_file_and_ring_capacity(tmp_path, capsys):
     assert seqs == sorted(seqs)
 
 
+def test_chaos_smoke_agrees_across_schemes(capsys):
+    assert main(["chaos", "--schemes", "scheme1,scheme6,scheme7-lossy"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan:" in out
+    assert "scheme7-lossy" in out
+    assert "OK: 3 schemes agree" in out
+
+
+def test_chaos_json_fingerprints(tmp_path, capsys):
+    out_file = tmp_path / "fingerprints.json"
+    assert main(
+        ["chaos", "--schemes", "scheme1,scheme4", "--json", str(out_file)]
+    ) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["identical"] is True
+    assert payload["divergences"] == {}
+    assert [r["scheme"] for r in payload["results"]] == ["scheme1", "scheme4"]
+    first, second = payload["results"]
+    assert first["survivors"] == second["survivors"]
+    assert "seed" in payload["plan"]
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,111 @@
+"""SteadyStateDriver with a fault injector plugged in."""
+
+from __future__ import annotations
+
+from repro.core import make_scheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.distributions import UniformIntervals
+from repro.workloads.driver import run_steady_state
+
+
+def run(faults=None, seed=2, fast_path=False, arrivals=None):
+    scheduler = make_scheduler("scheme6", table_size=128)
+    scheduler.set_error_policy("collect")
+    stats = run_steady_state(
+        scheduler,
+        arrivals if arrivals is not None else PoissonArrivals(rate=1.0),
+        UniformIntervals(1, 200),
+        warmup_ticks=50,
+        measure_ticks=400,
+        stop_fraction=0.3,
+        seed=seed,
+        fast_path=fast_path,
+        faults=faults,
+    )
+    return scheduler, stats
+
+
+def test_driver_without_faults_reports_zero_fault_stats():
+    _, stats = run()
+    assert stats.alloc_failures == 0
+    assert stats.stop_races == 0
+
+
+def test_alloc_pressure_skips_starts_and_counts():
+    plan = FaultPlan(alloc_failure_every=5)
+    injector = FaultInjector(plan)
+    scheduler, stats = run(faults=injector)
+    assert stats.alloc_failures > 0
+    # The injector also counts warmup-phase failures the stats exclude.
+    assert injector.alloc_failures >= stats.alloc_failures
+    # Conservation still holds for the timers that did start.
+    assert (
+        scheduler.total_started
+        == scheduler.total_stopped
+        + scheduler.total_expired
+        + scheduler.pending_count
+    )
+
+
+def test_stop_races_are_retried_and_counted():
+    plan = FaultPlan(stop_race_rate=1.0)
+    injector = FaultInjector(plan)
+    scheduler, stats = run(faults=injector)
+    assert stats.stopped > 0
+    assert stats.stop_races > 0  # every measured stop raced once
+    assert injector.stop_races >= stats.stop_races
+    # The race never loses the stop: each raced stop still removed its timer.
+    assert (
+        scheduler.total_started
+        == scheduler.total_stopped
+        + scheduler.total_expired
+        + scheduler.pending_count
+    )
+
+
+def test_injected_callback_failures_collected_not_fatal():
+    plan = FaultPlan(seed=8, fail_rate=0.5)
+    injector = FaultInjector(plan)
+    scheduler, stats = run(faults=injector)
+    assert injector.injected_failures > 0
+    assert len(scheduler.callback_errors) > 0
+    assert stats.expired > 0  # the run completed despite the failures
+
+
+def test_faulted_run_is_deterministic():
+    a_sched, a_stats = run(faults=FaultInjector(FaultPlan(seed=4, fail_rate=0.3,
+                                                          alloc_failure_every=6)))
+    b_sched, b_stats = run(faults=FaultInjector(FaultPlan(seed=4, fail_rate=0.3,
+                                                          alloc_failure_every=6)))
+    assert a_stats.started == b_stats.started
+    assert a_stats.stopped == b_stats.stopped
+    assert a_stats.expired == b_stats.expired
+    assert a_stats.alloc_failures == b_stats.alloc_failures
+    assert a_sched.pending_count == b_sched.pending_count
+
+
+def test_faults_compose_with_fast_path():
+    # Deterministic arrivals so both drive modes see the identical client
+    # stream (the Poisson empty-run optimisation draws the rng in a
+    # different order); with that fixed, faults must not break the
+    # fast path's bit-identity guarantee.
+    plan = FaultPlan(seed=6, fail_rate=0.3, alloc_failure_every=7,
+                     stop_race_rate=0.5)
+    slow_sched, slow_stats = run(
+        faults=FaultInjector(plan), fast_path=False,
+        arrivals=DeterministicArrivals(per_tick=2, every=25),
+    )
+    fast_sched, fast_stats = run(
+        faults=FaultInjector(plan), fast_path=True,
+        arrivals=DeterministicArrivals(per_tick=2, every=25),
+    )
+    # Same faults, same client stream: identical outcome either way.
+    assert slow_stats.started == fast_stats.started
+    assert slow_stats.stopped == fast_stats.stopped
+    assert slow_stats.expired == fast_stats.expired
+    assert slow_stats.alloc_failures == fast_stats.alloc_failures
+    assert slow_stats.stop_races == fast_stats.stop_races
+    assert slow_sched.pending_count == fast_sched.pending_count
+    assert len(slow_sched.callback_errors) == len(fast_sched.callback_errors)
