@@ -1,6 +1,6 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test lint bench bench-full bench-json chaos experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full bench-json bench-sharded chaos experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,10 @@ bench-full:
 # Regenerate the checked-in sparse fast-path baseline (docs/performance.md).
 bench-json:
 	PYTHONPATH=src python -m repro.bench WHEELPERF --json BENCH_sparse_advance.json
+
+# Regenerate the checked-in sharded-service baseline (docs/sharding.md).
+bench-sharded:
+	PYTHONPATH=src python -m repro.bench SHARDED --json BENCH_sharded.json
 
 # Differential chaos: one deterministic fault plan replayed across every
 # scheme must yield identical surviving-expiry sequences (docs/robustness.md).

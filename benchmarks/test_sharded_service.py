@@ -1,0 +1,15 @@
+"""Bench target for experiment SHARDED (see DESIGN.md's experiment index).
+
+Regenerates the Appendix B comparison (global-semaphore facade vs the
+hash-partitioned sharded service at 1/2/4/8 shards under 4 client
+threads), prints it, and asserts every configuration's merged expiry
+fingerprint is identical to the global-lock run — plus the ≥2× scheme2
+speedup floor at 4 shards in full mode. Set REPRO_BENCH_FULL=1 for the
+full workload used by ``make bench-sharded``.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_sharded_service(benchmark):
+    run_experiment_bench(benchmark, "SHARDED")

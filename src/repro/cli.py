@@ -21,7 +21,7 @@ Subcommands
     Replay a recorded START/STOP trace (see ``repro.workloads.trace``).
 ``recommend [--rate R] [--mean-interval T] [--stop-fraction F] [--memory M]``
     Rank scheme configurations for a workload with the paper's cost models.
-``chaos [--schemes S,S,...] [--plan FILE] [--budget N] [--json FILE]``
+``chaos [--schemes S,S,...] [--plan FILE] [--budget N] [--shards N] [--json FILE]``
     Replay one deterministic fault plan (callback failures, slow/hanging
     callbacks, stop races, allocator pressure, clock jumps) across the
     selected schemes under supervised expiry and assert that every scheme
@@ -266,6 +266,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         tick_budget=args.budget,
         overload_policy=args.overload,
     )
+    sharded_result = None
+    sharded_divergence: list = []
+    if args.shards:
+        from repro.faults.chaos import run_chaos_sharded
+
+        sharded_result = run_chaos_sharded(
+            scheme=schemes[0],
+            shards=args.shards,
+            plan=plan,
+            workload=workload,
+            retry_policy=policy,
+            tick_budget=args.budget,
+            overload_policy=args.overload,
+        )
+        reference_fp = report.reference.fingerprint()
+        sharded_fp = sharded_result.fingerprint()
+        # With a finite budget the per-shard budgets legitimately shed
+        # differently; mirror run_differential's exclusions.
+        budget_dependent = {
+            "shed", "retries", "injected_failures", "injected_hangs",
+            "slow_invocations", "survivors", "quarantined",
+        }
+        sharded_divergence = [
+            key
+            for key in reference_fp
+            if sharded_fp[key] != reference_fp[key]
+            and not (args.budget is not None and key in budget_dependent)
+        ]
     print("fault plan: " + "; ".join(plan.describe()))
     print(
         f"workload  : {args.timers} timers over {args.horizon} steps "
@@ -273,6 +301,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         + (f"; tick budget {args.budget} ({args.overload})" if args.budget else "")
     )
     rows = [r.summary_row() for r in report.results]
+    if sharded_result is not None:
+        rows.append(sharded_result.summary_row())
     print(
         render_table(
             [
@@ -294,15 +324,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "identical": report.identical,
             "divergences": report.divergences,
             "results": [
-                {"scheme": r.scheme, **r.fingerprint()} for r in report.results
+                {"scheme": r.scheme, **r.fingerprint()}
+                for r in report.results
+                + ([sharded_result] if sharded_result is not None else [])
             ],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True, default=list)
         print(f"wrote fingerprints to {args.json}", file=sys.stderr)
-    if report.identical:
+    if report.identical and not sharded_divergence:
+        configs = len(report.results) + (1 if sharded_result is not None else 0)
         print(
-            f"OK: {len(report.results)} schemes agree on the surviving-expiry "
+            f"OK: {configs} configurations agree on the surviving-expiry "
             "sequence and all fault counters"
         )
         return 0
@@ -311,6 +344,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(
             f"  {scheme} differs from {report.reference.scheme} "
             f"in: {', '.join(fields)}",
+            file=sys.stderr,
+        )
+    if sharded_divergence:
+        print(
+            f"  {sharded_result.scheme} differs from "
+            f"{report.reference.scheme} in: {', '.join(sharded_divergence)}",
             file=sys.stderr,
         )
     return 1
@@ -406,6 +445,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--overload", choices=["defer", "drop", "degrade"], default="defer"
     )
     p_cha.add_argument("--json", metavar="FILE", help="write fingerprints here")
+    p_cha.add_argument(
+        "--shards", type=int, default=None,
+        help="also run the plan through an N-shard service over the first "
+        "scheme and require its fingerprint to match",
+    )
 
     return parser
 

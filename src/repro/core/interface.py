@@ -54,9 +54,12 @@ class BoundedErrorLog(list):
 
     Behaves exactly like a list (indexing, iteration, ``== []``) so
     existing clients of :attr:`TimerScheduler.callback_errors` keep
-    working, but :meth:`append` evicts the oldest entry once ``capacity``
-    is reached, counting the eviction in :attr:`dropped` — the bound that
-    keeps the "collect" error policy safe in long runs.
+    working, but every growth path — :meth:`append`, :meth:`extend`,
+    ``+=``, :meth:`insert`, slice assignment, ``*=`` — evicts the oldest
+    entries once ``capacity`` is reached, counting each eviction in
+    :attr:`dropped`. The ring invariant (``len(self) <= capacity``) is
+    the bound that keeps the "collect" error policy safe in long runs, so
+    no ``list`` mutator may bypass it.
     """
 
     def __init__(self, capacity: int = DEFAULT_ERROR_LOG_CAPACITY) -> None:
@@ -67,11 +70,38 @@ class BoundedErrorLog(list):
         #: entries evicted to honour the capacity bound (cumulative).
         self.dropped = 0
 
+    def _trim(self) -> None:
+        """Evict the oldest entries until the ring invariant holds."""
+        excess = len(self) - self.capacity
+        if excess > 0:
+            del self[:excess]
+            self.dropped += excess
+
     def append(self, item: object) -> None:
-        if len(self) >= self.capacity:
-            del self[: len(self) - self.capacity + 1]
-            self.dropped += 1
         super().append(item)
+        self._trim()
+
+    def extend(self, items) -> None:
+        super().extend(items)
+        self._trim()
+
+    def __iadd__(self, items):
+        self.extend(items)
+        return self
+
+    def insert(self, index: int, item: object) -> None:
+        super().insert(index, item)
+        self._trim()
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        if isinstance(index, slice):
+            self._trim()
+
+    def __imul__(self, factor: int):
+        result = super().__imul__(factor)
+        self._trim()
+        return result
 
 
 class TimerState(enum.Enum):

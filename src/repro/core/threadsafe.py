@@ -110,6 +110,12 @@ class ThreadSafeScheduler:
                     break
                 event = self._scheduler._next_event()
                 target = deadline if event is None else min(event, deadline)
+                if target <= now:
+                    # A stale _next_event claim (tick <= now) would make
+                    # this hop a no-op and the loop spin forever; every
+                    # hop must make strictly positive progress. now + 1
+                    # never overshoots: deadline > now on this branch.
+                    target = now + 1
                 expired.extend(self._scheduler.advance_to(target))
             finally:
                 self._lock.release()
@@ -203,6 +209,38 @@ class ThreadSafeScheduler:
         """True when ``request_id`` names an outstanding timer."""
         with self._lock:
             return self._scheduler.is_pending(request_id)
+
+    def get_timer(self, request_id: Hashable) -> Timer:
+        """Serialised lookup of a pending timer's record."""
+        with self._lock:
+            return self._scheduler.get_timer(request_id)
+
+    def pending_timers(self) -> List[Timer]:
+        """Serialised snapshot of the outstanding records."""
+        with self._lock:
+            return self._scheduler.pending_timers()
+
+    def max_start_interval(self) -> Optional[int]:
+        """Serialised START_TIMER interval bound of the wrapped scheme."""
+        with self._lock:
+            return self._scheduler.max_start_interval()
+
+    @property
+    def free_record_count(self) -> int:
+        """Recycled records pooled by the wrapped scheduler."""
+        with self._lock:
+            return self._scheduler.free_record_count
+
+    @property
+    def is_shut_down(self) -> bool:
+        """True after :meth:`shutdown`."""
+        with self._lock:
+            return self._scheduler.is_shut_down
+
+    @property
+    def ERROR_POLICIES(self):
+        """The wrapped scheduler's accepted error-policy names."""
+        return self._scheduler.ERROR_POLICIES
 
     @property
     def scheme_name(self) -> str:

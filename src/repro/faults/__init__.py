@@ -24,6 +24,7 @@ from repro.faults.chaos import (
     ChaosWorkload,
     DifferentialReport,
     run_chaos,
+    run_chaos_sharded,
     run_differential,
 )
 from repro.faults.clock import SkewedClock, drive
@@ -54,5 +55,6 @@ __all__ = [
     "TransientStopRace",
     "drive",
     "run_chaos",
+    "run_chaos_sharded",
     "run_differential",
 ]

@@ -257,6 +257,122 @@ def run_chaos(
     )
 
 
+def run_chaos_sharded(
+    scheme: str = "scheme6",
+    shards: int = 4,
+    plan: Optional[FaultPlan] = None,
+    workload: Optional[ChaosWorkload] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    tick_budget: Optional[int] = None,
+    overload_policy: str = "defer",
+    drain_ticks: int = 100_000,
+) -> ChaosResult:
+    """Replay one fault plan + workload through a sharded service.
+
+    Every shard is a :class:`SupervisedScheduler` over the scheme (built
+    via ``shard_factory``), all sharing one :class:`FaultInjector` and
+    one retry policy; client ops route through the service so each
+    request id lands on its stable shard. Because the op stream is the
+    same serial sequence :func:`run_chaos` issues — and every injector
+    decision is keyed on ``(request_id, attempt)`` except allocator
+    pressure, which is order-dependent and sees the identical order —
+    the fingerprint must match the unsharded run's exactly: partitioning
+    may move timers between queues, never change what survives or how
+    hard it was retried.
+
+    Per-shard supervisors each count the *same* external clock-jump
+    sequence, so ``clock_jumps`` is read from one shard, not summed;
+    order-insensitive totals (retries, shed, quarantine) are summed.
+    Use the default ``tick_budget=None`` when comparing against an
+    unsharded run — a finite budget applies *per shard* here, so
+    shedding decisions legitimately diverge.
+    """
+    from repro.sharding.service import ShardedTimerService
+
+    plan = plan if plan is not None else DEFAULT_PLAN
+    workload = workload if workload is not None else ChaosWorkload()
+    policy = retry_policy if retry_policy is not None else RetryPolicy(
+        max_attempts=3, base_backoff=1, backoff_multiplier=2.0, max_backoff=48
+    )
+    injector = FaultInjector(plan)
+
+    def shard_factory(index: int) -> SupervisedScheduler:
+        return SupervisedScheduler(
+            make_scheduler(scheme, **SCHEME_KWARGS.get(scheme, {})),
+            retry_policy=policy,
+            tick_budget=tick_budget,
+            overload_policy=overload_policy,
+            cost_hook=injector.cost_of,
+        )
+
+    service = ShardedTimerService(shards=shards, shard_factory=shard_factory)
+    schedule = workload.ops()
+    stopped = 0
+    alloc_skipped = 0
+    clock = SkewedClock(plan.clock_jumps)
+    for step, reading in enumerate(clock.ticks(workload.horizon), start=1):
+        for op, key, interval in schedule.get(step, ()):
+            if op == "start":
+                try:
+                    injector.start_timer(service, interval, request_id=key)
+                except AllocationPressure:
+                    alloc_skipped += 1
+            else:
+                if not service.is_pending(key):
+                    continue
+                try:
+                    injector.stop_timer(service, key)
+                except TransientStopRace:
+                    # The race is transient by construction: retry once.
+                    try:
+                        injector.stop_timer(service, key)
+                    except (UnknownTimerError, TimerStateError):
+                        continue
+                stopped += 1
+        service.sync_clock(reading)
+    service.run_until_idle(max_ticks=drain_ticks)
+    supervisors = service.shards
+    survivors = tuple(
+        sorted(
+            (
+                (str(origin), deadline, attempts)
+                for shard in supervisors
+                for origin, deadline, attempts in shard.survivors
+            ),
+            key=lambda row: (row[1], row[0]),
+        )
+    )
+    quarantined = tuple(
+        sorted(
+            (str(rec.request_id), rec.attempts, rec.reason)
+            for shard in supervisors
+            for rec in shard.quarantine.values()
+        )
+    )
+    return ChaosResult(
+        scheme=f"sharded[{shards}x{scheme}]",
+        survivors=survivors,
+        quarantined=quarantined,
+        retries=sum(shard.retries for shard in supervisors),
+        shed=sum(shard.shed_total for shard in supervisors),
+        deferred=sum(shard.deferred for shard in supervisors),
+        dropped=sum(shard.dropped for shard in supervisors),
+        degraded=sum(shard.degraded for shard in supervisors),
+        # every supervisor sees the identical reading sequence, so each
+        # counts the same jumps: read one, do not sum shards times over.
+        clock_jumps=supervisors[0].clock_jumps,
+        overruns=sum(shard.overruns for shard in supervisors),
+        stopped=stopped,
+        alloc_skipped=alloc_skipped,
+        stop_races=injector.stop_races,
+        injected_failures=injector.injected_failures,
+        injected_hangs=injector.injected_hangs,
+        slow_invocations=injector.slow_invocations,
+        pending_left=sum(shard.supervised_count for shard in supervisors),
+        introspection=service.introspect(),
+    )
+
+
 @dataclass
 class DifferentialReport:
     """Outcome of replaying one plan across several schemes."""

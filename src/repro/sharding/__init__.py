@@ -1,0 +1,18 @@
+"""Sharded SMP timer service (paper Appendix B).
+
+Per-processor timer queues behind one client-facing module: a stable
+request-id partitioner (:mod:`repro.sharding.partition`) and the
+:class:`~repro.sharding.service.ShardedTimerService` that drives N
+registry-scheme shards under per-shard locks with batched client ops and
+a coherent, deterministically merged ``advance_to``.
+"""
+
+from repro.sharding.partition import shard_of, stable_hash
+from repro.sharding.service import ShardedTimerService, StartSpec
+
+__all__ = [
+    "ShardedTimerService",
+    "StartSpec",
+    "shard_of",
+    "stable_hash",
+]

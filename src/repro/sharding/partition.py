@@ -1,0 +1,54 @@
+"""Stable request-id partitioning for the sharded service (Appendix B).
+
+Appendix B's symmetric-multiprocessing sketch gives each processor its
+own timer queue; what makes that workable for a *client-facing* facility
+is a partitioning function every caller computes identically: START and
+the later STOP for the same request id must land on the same shard, in
+this process and in any replay of the same workload.
+
+Python's builtin ``hash()`` cannot provide that — ``str``/``bytes``
+hashing is salted per interpreter run — so the partitioner builds a
+canonical byte encoding per id type and CRC32s it, the same
+stable-decision discipline :func:`repro.core.supervision._unit` uses for
+retry jitter. Supervisor re-arm ids
+(:class:`~repro.core.supervision.RearmId`) resolve to their client
+origin first, so a retried timer can never migrate off the shard its
+client id belongs to.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+from repro.core.supervision import origin_of
+
+
+def stable_hash(request_id: Hashable) -> int:
+    """A 32-bit hash of ``request_id`` that is stable across processes.
+
+    ``str``/``bytes``/``int`` ids get a canonical tagged encoding; other
+    hashable ids (tuples, dataclasses with a stable ``repr``) fall back
+    to their ``repr``. Supervisor re-arm ids hash as their client origin.
+    """
+    rid = origin_of(request_id)
+    if isinstance(rid, bytes):
+        payload = b"b:" + rid
+    elif isinstance(rid, str):
+        payload = b"s:" + rid.encode("utf-8", "backslashreplace")
+    elif isinstance(rid, bool):
+        payload = b"o:%d" % int(rid)
+    elif isinstance(rid, int):
+        payload = b"i:%d" % rid
+    else:
+        payload = b"r:" + repr(rid).encode("utf-8", "backslashreplace")
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def shard_of(request_id: Hashable, shard_count: int) -> int:
+    """The shard index in ``[0, shard_count)`` that owns ``request_id``."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if shard_count == 1:
+        return 0
+    return stable_hash(request_id) % shard_count

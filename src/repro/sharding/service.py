@@ -1,0 +1,633 @@
+"""``ShardedTimerService``: per-shard timer queues with per-shard locks.
+
+Appendix B of the paper sketches timer maintenance on a symmetric
+multiprocessor: instead of guarding one timer module with one global
+semaphore (the Appendix A.2 discipline that
+:class:`~repro.core.threadsafe.ThreadSafeScheduler` implements, and whose
+contention :mod:`repro.smp` models analytically), each processor keeps
+its *own* queue and only its own lock is ever contended. This module is
+the real version of that sketch: a service that partitions timers across
+``N`` independent shards — each shard any registry scheme
+(:mod:`repro.core.registry`), Scheme 6's hashed wheel by default — by a
+stable hash of the request id (:mod:`repro.sharding.partition`).
+
+What each layer buys:
+
+* **Per-shard locks** — START/STOP for different request ids contend
+  only when the ids hash to the same shard; the global semaphore's
+  serialisation cost drops by roughly the shard count.
+* **Batched ``start_many``/``stop_many``** — a batch is grouped by shard
+  and each shard's lock is taken *once* per batch, not once per timer;
+  under client threads this removes almost all lock traffic.
+* **Coherent ``advance_to``** — the virtual clock advances every shard
+  to the same deadline through each shard's sparse fast path, each shard
+  under its own lock (clients of the *other* shards never wait),
+  optionally in parallel via a worker pool, and the per-shard expiry
+  lists are merge-sorted into one deterministic global order:
+  ``(firing tick, shard index, within-shard firing order)``.
+
+Ordering guarantees — what is and is not preserved:
+
+* The *returned* expiry sequence of ``tick``/``advance``/``advance_to``
+  is deterministic and globally tick-ordered (ties broken by shard
+  index).
+* Expiry *actions* run while each shard advances, so their side-effect
+  order across shards is shard-major within an advance — Appendix B's
+  per-processor semantics. Same-shard ordering is exactly the underlying
+  scheme's. Callbacks may start/stop timers on their own shard freely;
+  with ``parallel=True`` a callback must not touch *other* shards (two
+  shards cross-locking each other mid-advance can deadlock — the
+  appendix's inter-processor-interrupt caveat).
+
+Each shard composes with the rest of the stack: pass ``shard_factory``
+to wrap every shard in a
+:class:`~repro.core.supervision.SupervisedScheduler` and/or route it
+through a :class:`~repro.faults.injector.FaultInjector`, attach one
+observer to all shards (``attach_observer``) or a dedicated one per
+shard (``attach_shard_observer``), and read merged bookkeeping through
+``introspect()``/``pending_count``/``callback_errors``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from heapq import merge as _heap_merge
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.errors import TimerLivelockError
+from repro.core.interface import ExpiryAction, Timer, TimerScheduler
+from repro.core.registry import make_scheduler
+from repro.cost.counters import OpCounter
+from repro.sharding.partition import shard_of
+
+#: A batched START_TIMER spec: ``interval`` alone, or a tuple
+#: ``(interval[, request_id[, callback[, user_data]]])``.
+StartSpec = Union[int, Tuple]
+
+
+def _normalise_spec(spec: StartSpec) -> Tuple[int, Optional[Hashable], Optional[ExpiryAction], object]:
+    """Expand a :data:`StartSpec` to ``(interval, request_id, callback, user_data)``."""
+    if isinstance(spec, tuple):
+        if not 1 <= len(spec) <= 4:
+            raise ValueError(
+                f"start spec must have 1-4 fields "
+                f"(interval, request_id, callback, user_data), got {spec!r}"
+            )
+        interval = spec[0]
+        request_id = spec[1] if len(spec) > 1 else None
+        callback = spec[2] if len(spec) > 2 else None
+        user_data = spec[3] if len(spec) > 3 else None
+        return interval, request_id, callback, user_data
+    return spec, None, None, None
+
+
+class ShardedTimerService:
+    """Appendix B's per-processor timer queues as one client-facing module.
+
+    Reproduces the public :class:`~repro.core.interface.TimerScheduler`
+    surface (a parity test pins this) plus the batch and shard-management
+    API. The shard schedulers must not be driven directly once owned by
+    the service.
+    """
+
+    def __init__(
+        self,
+        scheme: str = "scheme6",
+        shards: int = 4,
+        *,
+        shard_factory: Optional[Callable[[int], TimerScheduler]] = None,
+        parallel: bool = False,
+        counter: Optional[OpCounter] = None,
+        **scheme_kwargs,
+    ) -> None:
+        """Build ``shards`` independent shard schedulers.
+
+        ``scheme``/``scheme_kwargs`` construct each shard from the
+        registry, all charging one shared ``counter`` (the service is a
+        single timer module in the paper's cost model; pass
+        ``NULL_COUNTER`` for wall-clock benchmarking). ``shard_factory``
+        overrides construction entirely — ``shard_factory(index)`` must
+        return the scheduler for shard ``index`` (use this to wrap each
+        shard in supervision or fault injection).
+
+        ``parallel=True`` advances shards via a worker pool (one worker
+        per shard); see the module docstring for the callback caveat.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shard_count = shards
+        self.parallel = bool(parallel)
+        if shard_factory is None:
+            self._counter = counter if counter is not None else OpCounter()
+            self._shards: List[TimerScheduler] = [
+                make_scheduler(scheme, counter=self._counter, **scheme_kwargs)
+                for _ in range(shards)
+            ]
+        else:
+            self._counter = counter
+            self._shards = [shard_factory(index) for index in range(shards)]
+        nows = {shard.now for shard in self._shards}
+        if len(nows) != 1:
+            raise ValueError(
+                f"shard clocks disagree at construction: {sorted(nows)}"
+            )
+        self._now = self._shards[0].now
+        self._locks = [threading.RLock() for _ in range(shards)]
+        #: one advance/tick/drain at a time; client START/STOP never take it.
+        self._clock_lock = threading.RLock()
+        self._id_lock = threading.Lock()
+        self._auto_ids = itertools.count()
+        #: per-shard count of lock acquisitions that had to wait (best
+        #: effort, same non-blocking probe as the global-lock facade).
+        self.contended_acquisitions: List[int] = [0] * shards
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._shut_down = False
+
+    # ----------------------------------------------------------------- shards
+
+    @property
+    def shards(self) -> Tuple[TimerScheduler, ...]:
+        """The shard schedulers, by index (inspection only — do not drive)."""
+        return tuple(self._shards)
+
+    def shard_index_of(self, request_id: Hashable) -> int:
+        """The shard that owns ``request_id`` (stable across processes)."""
+        return shard_of(request_id, self.shard_count)
+
+    def _resolve_index(self, timer_or_id: Union[Timer, Hashable]) -> int:
+        rid = (
+            timer_or_id.request_id
+            if isinstance(timer_or_id, Timer)
+            else timer_or_id
+        )
+        return self.shard_index_of(rid)
+
+    def _acquire(self, index: int) -> None:
+        lock = self._locks[index]
+        if not lock.acquire(blocking=False):
+            self.contended_acquisitions[index] += 1
+            lock.acquire()
+
+    # ------------------------------------------------------------- client API
+
+    def start_timer(
+        self,
+        interval: int,
+        request_id: Optional[Hashable] = None,
+        callback: Optional[ExpiryAction] = None,
+        user_data: object = None,
+    ) -> Timer:
+        """START_TIMER on the owning shard (only that shard's lock is taken)."""
+        if request_id is None:
+            request_id = self._make_auto_id()
+        index = self.shard_index_of(request_id)
+        self._acquire(index)
+        try:
+            return self._shards[index].start_timer(
+                interval,
+                request_id=request_id,
+                callback=callback,
+                user_data=user_data,
+            )
+        finally:
+            self._locks[index].release()
+
+    def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
+        """STOP_TIMER routed to the owning shard by the stable hash."""
+        index = self._resolve_index(timer_or_id)
+        self._acquire(index)
+        try:
+            return self._shards[index].stop_timer(timer_or_id)
+        finally:
+            self._locks[index].release()
+
+    def start_many(self, specs: Iterable[StartSpec]) -> List[Timer]:
+        """Batched START_TIMER: group by shard, one lock hold per shard.
+
+        ``specs`` are :data:`StartSpec` entries; timers are returned in
+        input order. Within a shard, timers start in input order. The
+        batch is not transactional: if one start raises (duplicate
+        pending id, interval out of range), earlier timers in the batch
+        stay started and the exception propagates.
+        """
+        entries: List[Tuple[int, int, Optional[Hashable], Optional[ExpiryAction], object]] = []
+        for position, spec in enumerate(specs):
+            interval, request_id, callback, user_data = _normalise_spec(spec)
+            if request_id is None:
+                request_id = self._make_auto_id()
+            entries.append((position, interval, request_id, callback, user_data))
+        by_shard: Dict[int, List[Tuple[int, int, Hashable, Optional[ExpiryAction], object]]] = {}
+        for entry in entries:
+            by_shard.setdefault(self.shard_index_of(entry[2]), []).append(entry)
+        results: List[Optional[Timer]] = [None] * len(entries)
+        for index in sorted(by_shard):
+            shard = self._shards[index]
+            self._acquire(index)
+            try:
+                for position, interval, request_id, callback, user_data in by_shard[index]:
+                    results[position] = shard.start_timer(
+                        interval,
+                        request_id=request_id,
+                        callback=callback,
+                        user_data=user_data,
+                    )
+            finally:
+                self._locks[index].release()
+        return results  # type: ignore[return-value]
+
+    def stop_many(
+        self,
+        timers_or_ids: Iterable[Union[Timer, Hashable]],
+        on_missing: str = "raise",
+    ) -> List[Optional[Timer]]:
+        """Batched STOP_TIMER: group by shard, one lock hold per shard.
+
+        Returns the stopped records in input order. ``on_missing="skip"``
+        leaves ``None`` at the positions of ids that are unknown or no
+        longer pending (the batch keeps going) instead of raising — the
+        right mode when stops race expiry processing.
+        """
+        if on_missing not in ("raise", "skip"):
+            raise ValueError(
+                f'on_missing must be "raise" or "skip", got {on_missing!r}'
+            )
+        items = list(timers_or_ids)
+        by_shard: Dict[int, List[int]] = {}
+        for position, item in enumerate(items):
+            by_shard.setdefault(self._resolve_index(item), []).append(position)
+        results: List[Optional[Timer]] = [None] * len(items)
+        for index in sorted(by_shard):
+            shard = self._shards[index]
+            self._acquire(index)
+            try:
+                for position in by_shard[index]:
+                    try:
+                        results[position] = shard.stop_timer(items[position])
+                    except Exception:
+                        if on_missing == "raise":
+                            raise
+            finally:
+                self._locks[index].release()
+        return results
+
+    # ------------------------------------------------------------ clock drive
+
+    def tick(self) -> List[Timer]:
+        """PER_TICK_BOOKKEEPING on every shard; merged expiries for the tick."""
+        return self.advance_to(self._now + 1)
+
+    def advance(self, ticks: int) -> List[Timer]:
+        """Advance ``ticks`` ticks (see :meth:`advance_to`)."""
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        return self.advance_to(self._now + ticks)
+
+    def advance_to(self, deadline: int) -> List[Timer]:
+        """Drive every shard to ``deadline``; merge expiries globally.
+
+        Each shard advances through its own sparse fast path under its
+        own lock; while one shard is being driven, clients of every
+        other shard proceed without waiting. Shards run in index order,
+        or concurrently on the worker pool when the service was built
+        with ``parallel=True``. The merged result is ordered by
+        ``(firing tick, shard index, within-shard order)`` — deterministic
+        for any worker schedule, because merging happens after every
+        shard has reached ``deadline``.
+        """
+        with self._clock_lock:
+            if deadline < self._now:
+                raise ValueError(
+                    f"deadline {deadline} is in the past (now={self._now})"
+                )
+            if deadline == self._now:
+                return []
+            per_shard: List[List[Timer]] = [[] for _ in range(self.shard_count)]
+            if self.parallel and self.shard_count > 1:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(self._advance_shard, index, deadline, per_shard[index])
+                    for index in range(self.shard_count)
+                ]
+                for future in futures:
+                    future.result()
+            else:
+                for index in range(self.shard_count):
+                    self._advance_shard(index, deadline, per_shard[index])
+            self._now = deadline
+            return self._merge(per_shard)
+
+    def _advance_shard(
+        self, index: int, deadline: int, sink: List[Timer]
+    ) -> None:
+        """Advance one shard to ``deadline`` under one lock hold.
+
+        Appendix B's discipline: each processor drives its *own* queue
+        under its *own* lock, so only this shard's clients wait out the
+        advance — every other shard stays fully available. The shard's
+        sparse fast path does its own event hopping internally; taking
+        the lock once per advance instead of once per hop is what keeps
+        the drive cost comparable to an unsharded scheduler's.
+        """
+        self._acquire(index)
+        try:
+            if self._shards[index].now < deadline:
+                sink.extend(self._shards[index].advance_to(deadline))
+        finally:
+            self._locks[index].release()
+
+    @staticmethod
+    def _merge(per_shard: List[List[Timer]]) -> List[Timer]:
+        """Merge per-shard firing-ordered lists into global tick order."""
+
+        def keyed(index: int, expiries: List[Timer]):
+            for position, timer in enumerate(expiries):
+                yield (timer.expired_at, index, position, timer)
+
+        streams = [keyed(i, expiries) for i, expiries in enumerate(per_shard)]
+        return [entry[3] for entry in _heap_merge(*streams)]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.shard_count,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
+        """Advance event-to-event until every shard is idle.
+
+        Raises :class:`~repro.core.errors.TimerLivelockError` after
+        ``max_ticks``, like the single-module scheduler.
+        """
+        with self._clock_lock:
+            expired: List[Timer] = []
+            start_now = self._now
+            cap = start_now + max_ticks
+            while self.pending_count:
+                if self._now - start_now >= max_ticks:
+                    raise TimerLivelockError(
+                        f"{self.pending_count} timer(s) still pending after "
+                        f"{max_ticks} ticks (now={self._now}); raise "
+                        "max_ticks or stop the self-re-arming timers"
+                    )
+                event = self.next_expiry()
+                target = cap if event is None else min(event, cap)
+                expired.extend(self.advance_to(target))
+            return expired
+
+    def sync_clock(self, wall_tick: int) -> List[Timer]:
+        """Follow an external clock reading on every shard.
+
+        Requires shards that implement ``sync_clock`` (i.e. a
+        :class:`~repro.core.supervision.SupervisedScheduler` per shard
+        via ``shard_factory``); every shard sees the identical reading
+        sequence, so each applies the same jump discipline. Expiries are
+        merged like :meth:`advance_to`.
+        """
+        with self._clock_lock:
+            per_shard: List[List[Timer]] = []
+            for index, shard in enumerate(self._shards):
+                self._acquire(index)
+                try:
+                    per_shard.append(list(shard.sync_clock(wall_tick)))
+                finally:
+                    self._locks[index].release()
+            self._now = self._shards[0].now
+            return self._merge(per_shard)
+
+    def shutdown(self) -> List[Timer]:
+        """Shut every shard down; merged cancelled records, shard order."""
+        with self._clock_lock:
+            cancelled: List[Timer] = []
+            for index, shard in enumerate(self._shards):
+                self._acquire(index)
+                try:
+                    cancelled.extend(shard.shutdown())
+                finally:
+                    self._locks[index].release()
+            self._shut_down = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            return cancelled
+
+    @property
+    def is_shut_down(self) -> bool:
+        """True after :meth:`shutdown`."""
+        return self._shut_down
+
+    # ---------------------------------------------------------- error surface
+
+    @property
+    def ERROR_POLICIES(self):
+        """The shard schedulers' accepted error-policy names."""
+        return self._shards[0].ERROR_POLICIES
+
+    def set_error_policy(self, policy: str) -> None:
+        """Switch the Expiry_Action error policy on every shard."""
+        for index, shard in enumerate(self._shards):
+            self._acquire(index)
+            try:
+                shard.set_error_policy(policy)
+            finally:
+                self._locks[index].release()
+
+    def set_error_capacity(self, capacity: int) -> None:
+        """Resize every shard's bounded error ring."""
+        for index, shard in enumerate(self._shards):
+            self._acquire(index)
+            try:
+                shard.set_error_capacity(capacity)
+            finally:
+                self._locks[index].release()
+
+    @property
+    def callback_errors(self) -> List[tuple]:
+        """Merged snapshot of every shard's collected-failure ring."""
+        merged: List[tuple] = []
+        for index, shard in enumerate(self._shards):
+            self._acquire(index)
+            try:
+                merged.extend(shard.callback_errors)
+            finally:
+                self._locks[index].release()
+        return merged
+
+    @property
+    def dropped_errors(self) -> int:
+        """Collected failures evicted across all shard rings."""
+        return sum(shard.dropped_errors for shard in self._shards)
+
+    def clear_callback_errors(self) -> List[tuple]:
+        """Drain every shard's collected-failure ring; merged, shard order."""
+        drained: List[tuple] = []
+        for index, shard in enumerate(self._shards):
+            self._acquire(index)
+            try:
+                drained.extend(shard.clear_callback_errors())
+            finally:
+                self._locks[index].release()
+        return drained
+
+    # ------------------------------------------------------------ observation
+
+    def attach_observer(self, observer):
+        """Attach one observer to every shard (fan-in).
+
+        The observer's hooks receive the *shard* scheduler as their first
+        argument; map it back to an index via :attr:`shards` when
+        per-shard attribution matters, or use
+        :meth:`attach_shard_observer` for dedicated per-shard observers.
+        """
+        for shard in self._shards:
+            shard.attach_observer(observer)
+        return observer
+
+    def detach_observer(self):
+        """Detach the observer from every shard; returns them by shard."""
+        return [shard.detach_observer() for shard in self._shards]
+
+    def attach_shard_observer(self, index: int, observer):
+        """Attach ``observer`` to shard ``index`` only."""
+        return self._shards[index].attach_observer(observer)
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def now(self) -> int:
+        """The service's virtual clock (all shards advance in lockstep)."""
+        return self._now
+
+    @property
+    def scheme_name(self) -> str:
+        """``sharded[<N>x<inner scheme>]``."""
+        return f"sharded[{self.shard_count}x{self._shards[0].scheme_name}]"
+
+    @property
+    def counter(self):
+        """The shared :class:`OpCounter` (shard 0's under ``shard_factory``)."""
+        return self._counter if self._counter is not None else self._shards[0].counter
+
+    @property
+    def pending_count(self) -> int:
+        """Outstanding timers across all shards."""
+        return sum(shard.pending_count for shard in self._shards)
+
+    @property
+    def free_record_count(self) -> int:
+        """Pooled recycled records across all shards."""
+        return sum(shard.free_record_count for shard in self._shards)
+
+    def pending_timers(self) -> List[Timer]:
+        """Snapshot of outstanding records across shards (shard order)."""
+        merged: List[Timer] = []
+        for index, shard in enumerate(self._shards):
+            self._acquire(index)
+            try:
+                merged.extend(shard.pending_timers())
+            finally:
+                self._locks[index].release()
+        return merged
+
+    def is_pending(self, request_id: Hashable) -> bool:
+        """True when ``request_id`` is outstanding on its owning shard."""
+        index = self.shard_index_of(request_id)
+        self._acquire(index)
+        try:
+            return self._shards[index].is_pending(request_id)
+        finally:
+            self._locks[index].release()
+
+    def get_timer(self, request_id: Hashable) -> Timer:
+        """Look up a pending timer on its owning shard."""
+        index = self.shard_index_of(request_id)
+        self._acquire(index)
+        try:
+            return self._shards[index].get_timer(request_id)
+        finally:
+            self._locks[index].release()
+
+    def max_start_interval(self) -> Optional[int]:
+        """The tightest shard bound (``None`` when every shard is unbounded).
+
+        Routing depends on the request id, so a caller that cannot
+        predict its shard must respect the most restrictive bound.
+        """
+        bounds = [
+            bound
+            for bound in (shard.max_start_interval() for shard in self._shards)
+            if bound is not None
+        ]
+        return min(bounds) if bounds else None
+
+    def next_expiry(self) -> Optional[int]:
+        """Earliest lower bound across shards (``None`` iff all idle)."""
+        earliest: Optional[int] = None
+        for index, shard in enumerate(self._shards):
+            self._acquire(index)
+            try:
+                candidate = shard.next_expiry()
+            finally:
+                self._locks[index].release()
+            if candidate is not None and (earliest is None or candidate < earliest):
+                earliest = candidate
+        return earliest
+
+    def introspect(self) -> Dict[str, object]:
+        """Merged snapshot: service aggregates plus per-shard detail."""
+        per_shard: List[Dict[str, object]] = []
+        for index, shard in enumerate(self._shards):
+            self._acquire(index)
+            try:
+                per_shard.append(shard.introspect())
+            finally:
+                self._locks[index].release()
+        pending = [int(info.get("pending", 0)) for info in per_shard]
+        total_pending = sum(pending)
+        mean = total_pending / self.shard_count
+        return {
+            "scheme": self.scheme_name,
+            "now": self._now,
+            "shards": self.shard_count,
+            "parallel": self.parallel,
+            "pending": total_pending,
+            "total_started": sum(int(i.get("total_started", 0)) for i in per_shard),
+            "total_stopped": sum(int(i.get("total_stopped", 0)) for i in per_shard),
+            "total_expired": sum(int(i.get("total_expired", 0)) for i in per_shard),
+            "callback_errors": sum(int(i.get("callback_errors", 0)) for i in per_shard),
+            "dropped_errors": sum(int(i.get("dropped_errors", 0)) for i in per_shard),
+            "shut_down": self._shut_down,
+            "pending_per_shard": pending,
+            "contended_acquisitions": list(self.contended_acquisitions),
+            #: worst shard's pending over the mean — 1.0 is a perfect split.
+            "imbalance": (max(pending) / mean) if mean else 0.0,
+            "per_shard": per_shard,
+        }
+
+    # --------------------------------------------------------------- plumbing
+
+    def _make_auto_id(self) -> str:
+        while True:
+            with self._id_lock:
+                candidate = f"auto-{next(self._auto_ids)}"
+            if not self.is_pending(candidate):
+                return candidate
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTimerService(shards={self.shard_count}, "
+            f"scheme={self._shards[0].scheme_name!r}, now={self._now}, "
+            f"pending={self.pending_count})"
+        )

@@ -35,6 +35,7 @@ from repro.faults.injector import (
     FaultInjector,
     TransientStopRace,
 )
+from repro.sharding.service import ShardedTimerService
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.distributions import IntervalDistribution
 
@@ -114,6 +115,7 @@ class SteadyStateDriver:
         observer: Optional[TimerObserver] = None,
         fast_path: bool = False,
         faults: Optional[FaultInjector] = None,
+        shards: Optional[int] = None,
     ) -> None:
         """``fast_path=True`` drives the scheduler with ``advance_to``
         hops: whenever the arrival process can promise a run of
@@ -133,9 +135,38 @@ class SteadyStateDriver:
         the ``"collect"`` error policy (or a
         :class:`~repro.core.supervision.SupervisedScheduler`) unless you
         want the injected failures to propagate out of the tick loop.
+
+        ``shards=N`` switches client traffic to the batched sharded-service
+        API: a tick's planned stops go through one
+        ``stop_many(..., on_missing="skip")`` call and its arrivals through
+        one ``start_many`` call, so each shard's lock is taken once per
+        batch instead of once per timer. The scheduler must be a
+        :class:`~repro.sharding.service.ShardedTimerService` with exactly
+        ``N`` shards. The RNG draw order matches the unbatched path
+        draw-for-draw, so the two modes issue the identical workload; only
+        the cost-sample grouping changes (one ``insert_costs``/
+        ``stop_costs`` entry per batch, like ``fast_path`` groups tick
+        costs). Incompatible with ``faults`` (the injector's API is
+        per-operation).
         """
         if not 0.0 <= stop_fraction <= 1.0:
             raise ValueError(f"stop_fraction must be in [0, 1], got {stop_fraction}")
+        if shards is not None:
+            if faults is not None:
+                raise ValueError(
+                    "shards= batching and faults= injection are mutually "
+                    "exclusive: the injector wraps one operation at a time"
+                )
+            if not isinstance(scheduler, ShardedTimerService):
+                raise ValueError(
+                    "shards= requires a ShardedTimerService, got "
+                    f"{type(scheduler).__name__}"
+                )
+            if scheduler.shard_count != shards:
+                raise ValueError(
+                    f"shards={shards} does not match the service's "
+                    f"shard_count={scheduler.shard_count}"
+                )
         if observer is not None:
             scheduler.attach_observer(observer)
         self.scheduler = scheduler
@@ -144,6 +175,7 @@ class SteadyStateDriver:
         self.stop_fraction = stop_fraction
         self.fast_path = bool(fast_path)
         self.faults = faults
+        self.shards = shards
         self.rng = random.Random(seed)
         # request_ids to cancel, keyed by the absolute tick to cancel at.
         self._planned_stops: Dict[int, List[object]] = {}
@@ -200,6 +232,9 @@ class SteadyStateDriver:
 
     def _issue_client_ops(self, stats: Optional[DriverStats]) -> None:
         """Planned cancellations, then new arrivals, for this instant."""
+        if self.shards is not None:
+            self._issue_client_ops_batched(stats)
+            return
         scheduler = self.scheduler
         counter = scheduler.counter
         now = scheduler.now
@@ -249,6 +284,54 @@ class SteadyStateDriver:
                     timer.request_id
                 )
 
+    def _issue_client_ops_batched(self, stats: Optional[DriverStats]) -> None:
+        """The sharded-service variant: one batch call per op kind.
+
+        The RNG is consumed in exactly the per-op path's order (arrival
+        count, then per arrival: interval, stop coin, stop offset), so a
+        batched run issues the identical workload as an unbatched run of
+        the same seed — only the lock traffic and cost-sample grouping
+        differ.
+        """
+        service = self.scheduler
+        counter = service.counter
+        now = service.now
+
+        planned = self._planned_stops.pop(now, [])
+        if planned:
+            before = counter.snapshot()
+            results = service.stop_many(planned, on_missing="skip")
+            if stats is not None:
+                stats.stop_costs.append(counter.since(before).total)
+                stats.stopped += sum(1 for r in results if r is not None)
+
+        max_iv = service.max_start_interval()
+        specs: List[tuple] = []
+        stop_offsets: List[Optional[int]] = []
+        for _ in range(self.arrivals.arrivals_on_tick(self.rng)):
+            interval = self.intervals.sample(self.rng)
+            if max_iv is not None and interval >= max_iv:
+                interval = max_iv - 1
+            specs.append((interval,))
+            if interval >= 2 and self.rng.random() < self.stop_fraction:
+                stop_offsets.append(self.rng.randint(1, interval - 1))
+            else:
+                stop_offsets.append(None)
+        if not specs:
+            return
+        before = counter.snapshot()
+        timers = service.start_many(specs)
+        if stats is not None:
+            delta = counter.since(before)
+            stats.insert_costs.append(delta.total)
+            stats.insert_compares.append(delta.compares)
+            stats.started += len(timers)
+        for timer, offset in zip(timers, stop_offsets):
+            if offset is not None:
+                self._planned_stops.setdefault(now + offset, []).append(
+                    timer.request_id
+                )
+
 
 def run_steady_state(
     scheduler: TimerScheduler,
@@ -261,6 +344,7 @@ def run_steady_state(
     observer: Optional[TimerObserver] = None,
     fast_path: bool = False,
     faults: Optional[FaultInjector] = None,
+    shards: Optional[int] = None,
 ) -> DriverStats:
     """One-call convenience wrapper around :class:`SteadyStateDriver`."""
     driver = SteadyStateDriver(
@@ -272,5 +356,6 @@ def run_steady_state(
         observer=observer,
         fast_path=fast_path,
         faults=faults,
+        shards=shards,
     )
     return driver.run(warmup_ticks, measure_ticks)

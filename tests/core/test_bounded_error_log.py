@@ -1,0 +1,107 @@
+"""The collected-failure ring's capacity invariant under every mutator.
+
+Regression suite for the bypass bug: ``BoundedErrorLog`` subclasses
+``list`` but only overrode ``append``, so ``extend``, ``insert``, ``+=``,
+slice assignment and ``*=`` could grow the ring past ``capacity`` without
+ever bumping ``dropped``. Every growth path must preserve the invariant
+``len(log) <= log.capacity`` and account for each eviction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interface import BoundedErrorLog
+
+
+def _full_log(capacity: int = 3) -> BoundedErrorLog:
+    log = BoundedErrorLog(capacity=capacity)
+    for i in range(capacity):
+        log.append(f"e{i}")
+    assert len(log) == capacity and log.dropped == 0
+    return log
+
+
+def test_append_evicts_oldest():
+    log = _full_log()
+    log.append("new")
+    assert list(log) == ["e1", "e2", "new"]
+    assert log.dropped == 1
+
+
+def test_extend_respects_capacity():
+    log = _full_log()
+    log.extend(["x", "y"])
+    assert len(log) == log.capacity
+    assert list(log) == ["e2", "x", "y"]
+    assert log.dropped == 2
+
+
+def test_extend_longer_than_capacity_keeps_newest():
+    log = BoundedErrorLog(capacity=3)
+    log.extend(["a", "b", "c", "d", "e"])
+    assert list(log) == ["c", "d", "e"]
+    assert log.dropped == 2
+
+
+def test_iadd_respects_capacity():
+    log = _full_log()
+    log += ["x", "y", "z", "w"]
+    assert len(log) == log.capacity
+    assert list(log) == ["y", "z", "w"]
+    assert log.dropped == 4
+
+
+def test_insert_respects_capacity():
+    log = _full_log()
+    log.insert(0, "front")
+    # The insert lands, then the ring trims from the oldest end — which
+    # is the inserted head itself here; the invariant is what matters.
+    assert len(log) == log.capacity
+    assert log.dropped == 1
+    log.insert(log.capacity, "back")
+    assert len(log) == log.capacity
+    assert log[-1] == "back"
+    assert log.dropped == 2
+
+
+def test_slice_assignment_respects_capacity():
+    log = _full_log()
+    log[0:1] = ["a", "b", "c"]
+    assert len(log) == log.capacity
+    assert log.dropped == 2
+
+
+def test_imul_respects_capacity():
+    log = _full_log()
+    log *= 3
+    assert len(log) == log.capacity
+    assert log.dropped == 2 * log.capacity
+
+
+def test_plain_item_assignment_does_not_trim_or_count():
+    log = _full_log()
+    log[1] = "replaced"
+    assert list(log) == ["e0", "replaced", "e2"]
+    assert log.dropped == 0
+
+
+def test_shrinking_mutations_never_count_drops():
+    log = _full_log()
+    del log[0]
+    log.pop()
+    log.remove("e1")
+    assert list(log) == [] and log.dropped == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BoundedErrorLog(capacity=0)
+
+
+def test_list_compatibility_preserved():
+    log = BoundedErrorLog(capacity=2)
+    assert log == []
+    log.append(("t1", ValueError("x")))
+    assert len(log) == 1
+    assert isinstance(log[0][1], ValueError)

@@ -5,8 +5,12 @@ from __future__ import annotations
 import random
 import threading
 
+import pytest
+
 from repro.core import HashedWheelUnsortedScheduler, OrderedListScheduler
+from repro.core.interface import TimerScheduler
 from repro.core.threadsafe import ThreadSafeScheduler
+from repro.sharding import ShardedTimerService
 
 
 def test_single_threaded_behaviour_unchanged():
@@ -198,3 +202,76 @@ def test_error_policy_flip_races_ticker_without_deadlock():
     ticker_thread.join(timeout=30)
     assert not ticker_thread.is_alive() and not flip_thread.is_alive()
     assert errors == []
+
+
+class _StaleNextEventScheduler(HashedWheelUnsortedScheduler):
+    """A scheduler whose ``_next_event`` lies: it claims an event at the
+    *current* tick forever. The base scheduler tolerates that (a gap of
+    zero falls through to plain per-tick bookkeeping), so the stub is a
+    legal, if pessimal, ``_next_event`` implementation — and exactly the
+    shape that used to livelock the facade's hop loop."""
+
+    MAX_PROBES = 5_000
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.probes = 0
+
+    def _next_event(self):
+        self.probes += 1
+        if self.probes > self.MAX_PROBES:
+            raise AssertionError(
+                "advance_to hop loop made no progress "
+                f"after {self.MAX_PROBES} _next_event probes (livelock)"
+            )
+        return self._now
+
+
+def test_advance_to_makes_progress_on_stale_next_event():
+    """Regression: a ``_next_event`` claim at tick <= now made every hop
+    a no-op, spinning the facade's advance_to loop forever. Each hop must
+    now advance the clock by at least one tick."""
+    inner = _StaleNextEventScheduler(table_size=32)
+    wrapped = ThreadSafeScheduler(inner)
+    fired = []
+    wrapped.start_timer(5, request_id="x", callback=lambda t: fired.append(t.request_id))
+    expired = wrapped.advance_to(20)
+    assert wrapped.now == 20
+    assert fired == ["x"]
+    assert [t.request_id for t in expired] == ["x"]
+    # One probe per one-tick hop, plus the wrapped scheduler's own
+    # internal probing — nowhere near the livelock ceiling.
+    assert inner.probes <= 4 * 20
+
+
+def _public_surface(cls) -> set:
+    return {name for name in dir(cls) if not name.startswith("_")}
+
+
+@pytest.mark.parametrize(
+    "facade_cls",
+    [ThreadSafeScheduler, ShardedTimerService],
+    ids=["threadsafe", "sharded"],
+)
+def test_facade_covers_full_public_scheduler_surface(facade_cls):
+    """Drift guard: every public TimerScheduler attribute must exist on
+    the serialised facades, or callers fall back to unserialised access
+    to the wrapped scheduler(s)."""
+    missing = _public_surface(TimerScheduler) - set(dir(facade_cls))
+    assert not missing, (
+        f"{facade_cls.__name__} is missing public TimerScheduler "
+        f"surface: {sorted(missing)}"
+    )
+
+
+def test_new_passthroughs_are_serialised_and_functional():
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=32))
+    timer = wrapped.start_timer(9, request_id="probe")
+    assert wrapped.get_timer("probe") is timer
+    assert [t.request_id for t in wrapped.pending_timers()] == ["probe"]
+    assert wrapped.max_start_interval() is None
+    assert wrapped.free_record_count == 0
+    assert wrapped.is_shut_down is False
+    assert "collect" in wrapped.ERROR_POLICIES
+    wrapped.shutdown()
+    assert wrapped.is_shut_down is True

@@ -105,3 +105,27 @@ def test_each_scheme_replay_is_reproducible(scheme):
     first = run_chaos(scheme)
     second = run_chaos(scheme)
     assert first.fingerprint() == second.fingerprint()
+
+
+def test_sharded_service_matches_unsharded_fingerprint():
+    """The Appendix B service run through the canonical plan must agree
+    with the single-module run field for field: partitioning may move
+    timers between shards, never change what survives."""
+    from repro.faults import run_chaos_sharded
+
+    base = run_chaos("scheme6")
+    sharded = run_chaos_sharded("scheme6", shards=4)
+    assert sharded.fingerprint() == base.fingerprint()
+    assert sharded.scheme == "sharded[4xscheme6]"
+    # The run really was partitioned: more than one shard held timers.
+    per_shard = sharded.introspection["per_shard"]
+    assert len(per_shard) == 4
+    assert sum(1 for info in per_shard if info["total_started"] > 0) > 1
+
+
+def test_sharded_fingerprint_is_shard_count_invariant():
+    from repro.faults import run_chaos_sharded
+
+    two = run_chaos_sharded("scheme6", shards=2)
+    eight = run_chaos_sharded("scheme6", shards=8)
+    assert two.fingerprint() == eight.fingerprint()

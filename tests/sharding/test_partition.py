@@ -1,0 +1,57 @@
+"""The stable request-id partitioner."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.core.supervision import RearmId
+from repro.sharding import shard_of, stable_hash
+
+
+def test_hash_is_deterministic_and_process_stable():
+    # Pinned values: the partitioner must not drift between runs or
+    # releases, or replayed workloads migrate between shards.
+    assert stable_hash("t1") == zlib.crc32(b"s:t1")
+    assert stable_hash(b"t1") == zlib.crc32(b"b:t1")
+    assert stable_hash(17) == zlib.crc32(b"i:17")
+    assert stable_hash("t1") == stable_hash("t1")
+
+
+def test_type_tags_keep_id_spaces_apart():
+    assert stable_hash("1") != stable_hash(1)
+    assert stable_hash(b"1") != stable_hash("1")
+    assert stable_hash(True) != stable_hash(1)
+    assert stable_hash(False) != stable_hash(0)
+
+
+def test_tuple_ids_hash_via_repr():
+    assert stable_hash(("conn", 4)) == stable_hash(("conn", 4))
+    assert stable_hash(("conn", 4)) != stable_hash(("conn", 5))
+
+
+def test_rearm_ids_route_to_their_origin_shard():
+    """A supervisor retry re-arm must stay on the client id's shard."""
+    assert stable_hash(RearmId("client-7", 1)) == stable_hash("client-7")
+    assert stable_hash(RearmId("client-7", 3)) == stable_hash("client-7")
+    for shards in (2, 4, 8):
+        assert shard_of(RearmId("client-7", 2), shards) == shard_of(
+            "client-7", shards
+        )
+
+
+def test_shard_of_bounds_and_validation():
+    for i in range(200):
+        assert 0 <= shard_of(f"t{i}", 4) < 4
+        assert shard_of(f"t{i}", 1) == 0
+    with pytest.raises(ValueError):
+        shard_of("x", 0)
+
+
+def test_distribution_is_roughly_balanced():
+    counts = [0] * 8
+    for i in range(4000):
+        counts[shard_of(f"req-{i}", 8)] += 1
+    assert min(counts) > 4000 / 8 * 0.7
+    assert max(counts) < 4000 / 8 * 1.3

@@ -146,7 +146,14 @@ def test_chaos_smoke_agrees_across_schemes(capsys):
     out = capsys.readouterr().out
     assert "fault plan:" in out
     assert "scheme7-lossy" in out
-    assert "OK: 3 schemes agree" in out
+    assert "OK: 3 configurations agree" in out
+
+
+def test_chaos_shards_adds_sharded_configuration(capsys):
+    assert main(["chaos", "--schemes", "scheme6", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "sharded[2xscheme6]" in out
+    assert "OK: 2 configurations agree" in out
 
 
 def test_chaos_json_fingerprints(tmp_path, capsys):

@@ -1,0 +1,114 @@
+"""The driver's sharded batching mode (``shards=``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.counters import OpCounter
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.sharding import ShardedTimerService
+from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.distributions import UniformIntervals
+from repro.workloads.driver import SteadyStateDriver, run_steady_state
+
+
+def _service(shards: int = 4) -> ShardedTimerService:
+    return ShardedTimerService(
+        "scheme6", shards, counter=OpCounter(), table_size=256
+    )
+
+
+def test_batched_run_issues_identical_workload_as_per_op_run():
+    """Same seed, same service shape: the batched path must start, stop
+    and expire exactly the timers the per-op path does."""
+    kwargs = dict(
+        arrivals=PoissonArrivals(rate=3.0),
+        intervals=UniformIntervals(1, 200),
+        warmup_ticks=30,
+        measure_ticks=150,
+        stop_fraction=0.3,
+        seed=42,
+    )
+    per_op = run_steady_state(_service(), **kwargs)
+    batched = run_steady_state(_service(), shards=4, **kwargs)
+    assert batched.started == per_op.started
+    assert batched.stopped == per_op.stopped
+    assert batched.expired == per_op.expired
+    assert batched.occupancy == per_op.occupancy
+    assert batched.ticks == per_op.ticks
+
+
+def test_batched_bookkeeping_balances():
+    service = _service()
+    stats = run_steady_state(
+        service,
+        DeterministicArrivals(per_tick=5),
+        UniformIntervals(1, 100),
+        warmup_ticks=20,
+        measure_ticks=100,
+        stop_fraction=0.25,
+        seed=7,
+        shards=4,
+    )
+    assert stats.started == 5 * 100
+    info = service.introspect()
+    assert (
+        info["total_started"]
+        == info["total_stopped"] + info["total_expired"] + info["pending"]
+    )
+    # One cost sample per batch, not per operation.
+    assert len(stats.insert_costs) <= stats.ticks
+    assert sum(stats.insert_costs) > 0
+
+
+def test_batched_cost_totals_match_per_op_totals():
+    """Grouping only changes the sampling, not the charges: the summed
+    OpCounter deltas must agree between the two modes."""
+    kwargs = dict(
+        arrivals=DeterministicArrivals(per_tick=3),
+        intervals=UniformIntervals(1, 150),
+        warmup_ticks=0,
+        measure_ticks=120,
+        stop_fraction=0.2,
+        seed=11,
+    )
+    per_op = run_steady_state(_service(), **kwargs)
+    batched = run_steady_state(_service(), shards=4, **kwargs)
+    assert sum(batched.insert_costs) == sum(per_op.insert_costs)
+    assert sum(batched.insert_compares) == sum(per_op.insert_compares)
+    assert sum(batched.stop_costs) == sum(per_op.stop_costs)
+    assert sum(batched.tick_costs) == sum(per_op.tick_costs)
+
+
+def test_shards_requires_sharded_service():
+    from repro.core import HashedWheelUnsortedScheduler
+
+    with pytest.raises(ValueError, match="ShardedTimerService"):
+        SteadyStateDriver(
+            HashedWheelUnsortedScheduler(table_size=64),
+            DeterministicArrivals(per_tick=1),
+            UniformIntervals(1, 10),
+            shards=4,
+        )
+
+
+def test_shards_must_match_service_shard_count():
+    with pytest.raises(ValueError, match="shard_count"):
+        SteadyStateDriver(
+            _service(shards=2),
+            DeterministicArrivals(per_tick=1),
+            UniformIntervals(1, 10),
+            shards=4,
+        )
+
+
+def test_shards_and_faults_are_mutually_exclusive():
+    with pytest.raises(ValueError, match="mutually"):
+        SteadyStateDriver(
+            _service(),
+            DeterministicArrivals(per_tick=1),
+            UniformIntervals(1, 10),
+            shards=4,
+            faults=FaultInjector(FaultPlan(seed=1)),
+        )
