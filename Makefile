@@ -1,6 +1,6 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test lint bench bench-full bench-json bench-sharded chaos experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full bench-json bench-sharded bench-async chaos docs-check experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,16 @@ bench-json:
 # Regenerate the checked-in sharded-service baseline (docs/sharding.md).
 bench-sharded:
 	PYTHONPATH=src python -m repro.bench SHARDED --json BENCH_sharded.json
+
+# Regenerate the checked-in async idle-cost baseline (docs/async_runtime.md):
+# ticker wakeups == distinct expiry instants, enforced per row.
+bench-async:
+	PYTHONPATH=src python -m repro.bench ASYNCIDLE --json BENCH_async_idle.json
+
+# Validate every relative link in *.md / docs/*.md and smoke-run all
+# fenced python blocks extracted from the docs (docs/README.md).
+docs-check:
+	PYTHONPATH=src python tools/docs_check.py
 
 # Differential chaos: one deterministic fault plan replayed across every
 # scheme must yield identical surviving-expiry sequences (docs/robustness.md).

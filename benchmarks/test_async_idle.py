@@ -1,0 +1,15 @@
+"""Bench target for experiment ASYNCIDLE (see DESIGN.md's experiment index).
+
+Regenerates the asyncio runtime's idle-cost table under a FakeClock,
+prints it, and asserts the exact equalities: ticker wakeups equal the
+distinct expiry (∪ cascade) instants on every scheme, and every async
+run's fingerprint is bit-identical to the synchronous ``advance_to``
+control. Set REPRO_BENCH_FULL=1 for the 100k-tick idle horizon used by
+``make bench-async``.
+"""
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def test_async_idle_cost(benchmark):
+    run_experiment_bench(benchmark, "ASYNCIDLE")

@@ -29,6 +29,15 @@ Subpackages
     assist).
 ``repro.smp``
     The Appendix A.2 symmetric-multiprocessing lock-contention model.
+``repro.sharding``
+    The Appendix B hash-partitioned SMP timer service.
+``repro.obs``
+    Observability: lifecycle tracing, metrics, exporters.
+``repro.faults``
+    Deterministic fault injection and the differential chaos harness.
+``repro.runtime``
+    The asyncio wall-clock runtime: ``AsyncTimerService`` turns any
+    scheduler into a live timer service (see docs/async_runtime.md).
 ``repro.bench``
     Experiment harness regenerating every table and figure (see
     EXPERIMENTS.md).

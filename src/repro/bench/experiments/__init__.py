@@ -33,6 +33,7 @@ from repro.bench.experiments.exp_burstiness import xtra4_hash_burstiness
 from repro.bench.experiments.exp_arq import xtra5_arq_timer_pressure
 from repro.bench.experiments.exp_sparse import wheelperf_sparse_advance
 from repro.bench.experiments.exp_sharded import sharded_throughput
+from repro.bench.experiments.exp_async import async_idle_cost
 
 #: Experiment id -> callable(fast: bool) -> ExperimentResult
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "XTRA5": xtra5_arq_timer_pressure,
     "WHEELPERF": wheelperf_sparse_advance,
     "SHARDED": sharded_throughput,
+    "ASYNCIDLE": async_idle_cost,
 }
 
 

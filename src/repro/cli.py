@@ -2,8 +2,11 @@
 
 Subcommands
 -----------
-``schemes``
+``schemes [--markdown]``
     List every registered timer scheme with its complexity summary.
+    ``--markdown`` emits the GitHub table embedded in README.md (the
+    README copy is drift-guarded against this output by
+    ``tests/test_docs.py``).
 ``experiments [IDS...] [--fast] [--json FILE]``
     Regenerate paper tables/figures (same engine as ``python -m repro.bench``).
 ``scenario NAME [--scheme S] [--ticks N] [--seed K]``
@@ -21,6 +24,12 @@ Subcommands
     Replay a recorded START/STOP trace (see ``repro.workloads.trace``).
 ``recommend [--rate R] [--mean-interval T] [--stop-fraction F] [--memory M]``
     Rank scheme configurations for a workload with the paper's cost models.
+``serve [--scheme S] [--timers N] [--tick SECONDS] [--horizon T] [--seed K]``
+    Run a live :class:`~repro.runtime.service.AsyncTimerService` over
+    the asyncio event-loop clock: arm N timers at seeded random
+    deadlines, cancel a fraction mid-flight, await the coroutine expiry
+    actions in real wall time, then print the runtime counters
+    (wakeups, replans, oversleeps — see ``docs/async_runtime.md``).
 ``chaos [--schemes S,S,...] [--plan FILE] [--budget N] [--shards N] [--json FILE]``
     Replay one deterministic fault plan (callback failures, slow/hanging
     callbacks, stop races, allocator pressure, clock jumps) across the
@@ -39,16 +48,39 @@ from typing import List, Optional
 from repro.bench.tables import render_table
 
 
-def _cmd_schemes(args: argparse.Namespace) -> int:
+def _scheme_rows() -> List[tuple]:
+    """(name, class, summary) for every registered scheme.
+
+    Descriptions come from the registry itself (registered next to each
+    factory), so no listing built on this can drift from the registered
+    schemes.
+    """
     from repro.core import make_scheduler, scheme_names, scheme_summary
 
-    # Descriptions come from the registry itself (registered next to each
-    # factory), so this listing cannot drift from the registered schemes.
     rows = []
     for name in scheme_names():
         cls = type(make_scheduler(name, **({"max_interval": 64} if name == "scheme4" else {})))
         rows.append((name, cls.__name__, scheme_summary(name)))
-    print(render_table(["name", "class", "summary"], rows))
+    return rows
+
+
+def schemes_markdown() -> str:
+    """The registry as a GitHub markdown table (``schemes --markdown``).
+
+    README.md embeds this output verbatim; ``tests/test_docs.py``
+    regenerates it there so the two cannot drift.
+    """
+    lines = ["| scheme | class | summary |", "| --- | --- | --- |"]
+    for name, cls, summary in _scheme_rows():
+        lines.append(f"| `{name}` | `{cls}` | {summary} |")
+    return "\n".join(lines)
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    if args.markdown:
+        print(schemes_markdown())
+    else:
+        print(render_table(["name", "class", "summary"], _scheme_rows()))
     return 0
 
 
@@ -232,6 +264,74 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+
+    from repro.core import make_scheduler
+    from repro.runtime import AsyncTimerService
+
+    kwargs = {"max_interval": 1 << 16} if args.scheme == "scheme4" else {}
+    rng = random.Random(args.seed)
+    fired: List[tuple] = []
+
+    async def demo():
+        scheduler = make_scheduler(args.scheme, **kwargs)
+        service = AsyncTimerService(
+            scheduler,
+            tick_duration=args.tick,
+            max_pending=args.max_pending,
+        )
+
+        async def note(timer):
+            fired.append((timer.request_id, timer.deadline))
+            if not args.quiet:
+                print(
+                    f"  t={timer.deadline:>5}  {timer.request_id} fired "
+                    f"({service.pending_count} still pending)"
+                )
+
+        async with service:
+            timers = [
+                await service.start_timer(
+                    rng.randint(1, args.horizon - 1),
+                    request_id=f"demo{i}",
+                    callback=note,
+                )
+                for i in range(args.timers)
+            ]
+            # Cancel a deterministic fraction mid-flight to exercise
+            # STOP_TIMER's re-planning of the parked ticker.
+            for timer in timers[:: 4]:
+                if service.is_pending(timer.request_id):
+                    await service.stop_timer(timer)
+                    if not args.quiet:
+                        print(f"  stopped {timer.request_id}")
+            await service.sleep_until(args.horizon)
+            await service.drain()
+            stats = service.introspect()["runtime"]
+        return stats
+
+    stats = asyncio.run(demo())
+    print(
+        f"served {args.timers} timers on {args.scheme} "
+        f"({args.tick * 1000:g} ms/tick, horizon {args.horizon} ticks): "
+        f"{len(fired)} fired"
+    )
+    rows = [
+        ("clock", stats["clock"]),
+        ("ticker wakeups", stats["wakeups"]),
+        ("replans (start/stop interrupts)", stats["replans"]),
+        ("oversleep ticks (fired late, never skipped)", stats["oversleep_ticks"]),
+        ("early wakes (froze, never fired early)", stats["early_wakes"]),
+        ("coroutine actions dispatched", stats["dispatched"]),
+        ("peak concurrent actions", stats["max_observed_concurrency"]),
+        ("async callback errors", stats["async_callback_errors"]),
+    ]
+    print(render_table(["runtime counter", "value"], rows))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -363,7 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("schemes", help="list registered timer schemes")
+    p_sch = sub.add_parser("schemes", help="list registered timer schemes")
+    p_sch.add_argument(
+        "--markdown", action="store_true",
+        help="emit the GitHub table embedded in README.md",
+    )
 
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("ids", nargs="*", metavar="ID")
@@ -420,6 +524,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--stop-fraction", type=float, default=0.5)
     p_rec.add_argument("--memory", type=int, default=4096)
 
+    p_srv = sub.add_parser(
+        "serve", help="run a live asyncio timer service demo"
+    )
+    p_srv.add_argument("--scheme", default="scheme6")
+    p_srv.add_argument("--timers", type=int, default=12)
+    p_srv.add_argument(
+        "--tick", type=float, default=0.005,
+        help="wall seconds per wheel tick",
+    )
+    p_srv.add_argument(
+        "--horizon", type=int, default=200,
+        help="demo length in ticks (deadlines land inside it)",
+    )
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--max-pending", type=int, default=None,
+        help="backpressure bound on outstanding timers",
+    )
+    p_srv.add_argument(
+        "--quiet", action="store_true", help="suppress per-expiry lines"
+    )
+
     p_cha = sub.add_parser(
         "chaos",
         help="replay one fault plan across schemes; fail on divergence",
@@ -462,6 +588,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "replay": _cmd_replay,
     "recommend": _cmd_recommend,
+    "serve": _cmd_serve,
     "chaos": _cmd_chaos,
 }
 

@@ -46,7 +46,7 @@ from repro.core.scheme3_trees import (
     RedBlackTreeScheduler,
     UnbalancedBSTScheduler,
 )
-from repro.core.clock import VirtualClock
+from repro.core.clock import VirtualClock, WallClock
 from repro.core.periodic import PeriodicTimer, every
 from repro.core.supervision import (
     OVERLOAD_POLICIES,
@@ -99,6 +99,7 @@ __all__ = [
     "PeriodicTimer",
     "every",
     "VirtualClock",
+    "WallClock",
     "ThreadSafeScheduler",
     "SupervisedScheduler",
     "RetryPolicy",

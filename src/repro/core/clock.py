@@ -1,11 +1,21 @@
-"""Virtual clock: one tick source driving many components in lockstep.
+"""Clock protocols and the virtual tick source.
 
 The paper's model has a single hardware clock whose ticks invoke
-PER_TICK_BOOKKEEPING. In a program composed of several tick-driven pieces
-— a timer module, a simulation engine, a protocol world — keeping their
-notions of "now" aligned by hand is error-prone. :class:`VirtualClock`
-owns the tick: components subscribe, and every :meth:`tick` advances all
-of them exactly once, in subscription order.
+PER_TICK_BOOKKEEPING. Two notions of "the clock" appear in this
+repository and both live here:
+
+* :class:`WallClock` — the minimal *reading* protocol (``now()`` in
+  seconds). Anything that can be read as a monotone-ish float is a wall
+  clock: ``time.monotonic``, an asyncio loop's clock, the deterministic
+  fake and skewed clocks in :mod:`repro.runtime.clock`. The asyncio
+  runtime converts readings to integer wheel ticks; schedulers
+  themselves never see floats.
+* :class:`VirtualClock` — one integer tick source driving many
+  tick-driven components in lockstep. In a program composed of several
+  pieces — a timer module, a simulation engine, a protocol world —
+  keeping their notions of "now" aligned by hand is error-prone.
+  :class:`VirtualClock` owns the tick: components subscribe, and every
+  :meth:`tick` advances all of them exactly once, in subscription order.
 
 Anything exposing a ``tick()`` method subscribes directly; a
 :class:`~repro.simulation.event.TimeFlow` engine subscribes through
@@ -14,10 +24,25 @@ Anything exposing a ``tick()`` method subscribes directly; a
 
 from __future__ import annotations
 
-from typing import Callable, List, Protocol
+from typing import Callable, List, Protocol, runtime_checkable
 
 #: A subscriber: called once per tick with the new absolute time.
 TickHandler = Callable[[int], None]
+
+
+@runtime_checkable
+class WallClock(Protocol):
+    """A readable wall clock: seconds as a float, expected monotone.
+
+    The reading's zero point is arbitrary — consumers anchor an epoch at
+    attach time and work in deltas. Implementations may jump (that is
+    the point of the fault-injection clocks); consumers own the
+    discipline for tolerating jumps.
+    """
+
+    def now(self) -> float:
+        """The current reading, in seconds."""
+        ...
 
 
 class _Tickable(Protocol):

@@ -27,7 +27,7 @@ from repro.faults.chaos import (
     run_chaos_sharded,
     run_differential,
 )
-from repro.faults.clock import SkewedClock, drive
+from repro.faults.clock import SkewedClock, drive, jump_offsets
 from repro.faults.injector import (
     AllocationPressure,
     FaultInjector,
@@ -54,6 +54,7 @@ __all__ = [
     "SkewedClock",
     "TransientStopRace",
     "drive",
+    "jump_offsets",
     "run_chaos",
     "run_chaos_sharded",
     "run_differential",

@@ -12,6 +12,12 @@ with scripted jumps applied at given step numbers (the
 whose contract turns the hazard into two safe behaviours: forward jumps
 fire the skipped range late (never skipped), and backward jumps never
 rewind the wheel — no timer fires early.
+
+The asyncio runtime consumes the same jump scripts through
+:class:`repro.runtime.clock.SkewedClockSource`, which works in wall
+seconds rather than drive steps; :func:`jump_offsets` converts a plan's
+``clock_jumps`` into that form so one fault plan exercises both the
+synchronous and the real-time paths.
 """
 
 from __future__ import annotations
@@ -46,6 +52,25 @@ class SkewedClock:
             if step in self.jumps:
                 self.reading = max(0, self.reading + self.jumps[step])
             yield self.reading
+
+
+def jump_offsets(
+    jumps: Iterable[Tuple[int, int]], tick_duration: float
+) -> Tuple[Tuple[float, float], ...]:
+    """Convert step-indexed tick jumps into wall-seconds offsets.
+
+    A :class:`SkewedClock` script says "at drive step ``at``, step the
+    reading by ``delta`` ticks"; a
+    :class:`repro.runtime.clock.SkewedClockSource` wants "once the inner
+    clock reads ``at_seconds``, offset by ``delta_seconds``". Under the
+    one-reading-per-tick drive the two coincide at
+    ``at_seconds = at * tick_duration``.
+    """
+    if tick_duration <= 0:
+        raise ValueError(f"tick_duration must be > 0, got {tick_duration}")
+    return tuple(
+        (at * tick_duration, delta * tick_duration) for at, delta in jumps
+    )
 
 
 def drive(

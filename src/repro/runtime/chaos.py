@@ -1,0 +1,146 @@
+"""The differential chaos suite, replayed through the async runtime.
+
+:func:`repro.faults.chaos.run_chaos` drives a supervised scheduler from
+a skewed external clock, step by step. :func:`run_chaos_async` replays
+the *same* plan and workload with the supervised scheduler wrapped in an
+:class:`~repro.runtime.service.AsyncTimerService` running on a
+:class:`~repro.runtime.clock.FakeClock`: client operations are issued by
+the same :class:`~repro.faults.injector.FaultInjector` seams, but every
+clock reading flows through the service's ``advance_clock`` (the
+explicit-sync mode that delegates to PR-3's ``sync_clock``), expiry
+processing happens under a live event loop, and the drain runs through
+the service. The resulting :class:`~repro.faults.chaos.ChaosResult`
+fingerprint must be bit-identical to the synchronous harness's — any
+divergence is an async-runtime bug, by the same differential argument
+the scheme-vs-scheme suite makes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.core.errors import TimerStateError, UnknownTimerError
+from repro.core.registry import make_scheduler
+from repro.core.supervision import RetryPolicy, SupervisedScheduler
+from repro.faults.chaos import (
+    DEFAULT_PLAN,
+    SCHEME_KWARGS,
+    ChaosResult,
+    ChaosWorkload,
+)
+from repro.faults.clock import SkewedClock
+from repro.faults.injector import (
+    AllocationPressure,
+    FaultInjector,
+    TransientStopRace,
+)
+from repro.faults.plan import FaultPlan
+from repro.runtime.clock import FakeClock
+from repro.runtime.service import AsyncTimerService
+
+
+def run_chaos_async(
+    scheme: str,
+    plan: Optional[FaultPlan] = None,
+    workload: Optional[ChaosWorkload] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    tick_budget: Optional[int] = None,
+    overload_policy: str = "defer",
+    drain_ticks: int = 100_000,
+) -> ChaosResult:
+    """Replay one fault plan + workload through the async runtime.
+
+    Mirrors :func:`repro.faults.chaos.run_chaos` exactly — same plan,
+    same op stream, same supervisor — with the clock readings delivered
+    via ``AsyncTimerService.advance_clock`` under a running event loop.
+    The scheme label is prefixed ``async:`` for reporting; the
+    fingerprint carries no label and must match the synchronous run's.
+    """
+    plan = plan if plan is not None else DEFAULT_PLAN
+    workload = workload if workload is not None else ChaosWorkload()
+    policy = retry_policy if retry_policy is not None else RetryPolicy(
+        max_attempts=3, base_backoff=1, backoff_multiplier=2.0, max_backoff=48
+    )
+
+    async def _run() -> ChaosResult:
+        inner = make_scheduler(scheme, **SCHEME_KWARGS.get(scheme, {}))
+        injector = FaultInjector(plan)
+        supervised = SupervisedScheduler(
+            inner,
+            retry_policy=policy,
+            tick_budget=tick_budget,
+            overload_policy=overload_policy,
+            cost_hook=injector.cost_of,
+        )
+        schedule = workload.ops()
+        stopped = 0
+        alloc_skipped = 0
+        clock = SkewedClock(plan.clock_jumps)
+        service = AsyncTimerService(
+            supervised, tick_duration=1.0, clock=FakeClock()
+        )
+        async with service:
+            for step, reading in enumerate(
+                clock.ticks(workload.horizon), start=1
+            ):
+                for op, key, interval in schedule.get(step, ()):
+                    if op == "start":
+                        try:
+                            injector.start_timer(
+                                supervised, interval, request_id=key
+                            )
+                        except AllocationPressure:
+                            alloc_skipped += 1
+                    else:
+                        if not supervised.is_pending(key):
+                            continue
+                        try:
+                            injector.stop_timer(supervised, key)
+                        except TransientStopRace:
+                            # Transient by construction: retry once.
+                            try:
+                                injector.stop_timer(supervised, key)
+                            except (UnknownTimerError, TimerStateError):
+                                continue
+                        stopped += 1
+                await service.advance_clock(reading)
+            await service.run_until_idle(max_ticks=drain_ticks)
+            survivors = tuple(
+                sorted(
+                    (
+                        (str(origin), deadline, attempts)
+                        for origin, deadline, attempts in supervised.survivors
+                    ),
+                    key=lambda row: (row[1], row[0]),
+                )
+            )
+            quarantined = tuple(
+                sorted(
+                    (str(rec.request_id), rec.attempts, rec.reason)
+                    for rec in supervised.quarantine.values()
+                )
+            )
+            result = ChaosResult(
+                scheme=f"async:{scheme}",
+                survivors=survivors,
+                quarantined=quarantined,
+                retries=supervised.retries,
+                shed=supervised.shed_total,
+                deferred=supervised.deferred,
+                dropped=supervised.dropped,
+                degraded=supervised.degraded,
+                clock_jumps=supervised.clock_jumps,
+                overruns=supervised.overruns,
+                stopped=stopped,
+                alloc_skipped=alloc_skipped,
+                stop_races=injector.stop_races,
+                injected_failures=injector.injected_failures,
+                injected_hangs=injector.injected_hangs,
+                slow_invocations=injector.slow_invocations,
+                pending_left=supervised.supervised_count,
+                introspection=service.introspect(),
+            )
+        return result
+
+    return asyncio.run(_run())

@@ -1,0 +1,276 @@
+"""Clock sources for the asyncio runtime.
+
+The runtime separates *what time it is* from *how to wait for it*: a
+:class:`ClockSource` is a :class:`~repro.core.clock.WallClock` reading
+plus one awaitable, :meth:`~ClockSource.wait_until`, that sleeps until a
+deadline on that same clock or until interrupted. Everything above it —
+the ticker loop, backpressure, shutdown — is written once against this
+protocol, so swapping real time for a deterministic fake (or a skewed
+fault clock) changes no runtime code.
+
+Sources
+-------
+:class:`LoopClock`
+    The event loop's own monotonic clock (``loop.time()``). The default:
+    sleeps and readings come from the same source, so there is no
+    cross-clock drift.
+:class:`MonotonicClock`
+    ``time.monotonic()`` readings with loop-timer sleeps. Readable
+    outside a running loop (useful for epoch arithmetic in sync code).
+:class:`FakeClock`
+    A manually advanced clock for tests and benches. ``wait_until``
+    registers the sleeper; :meth:`FakeClock.advance` resolves due
+    sleepers in deadline order and yields control between steps, so an
+    entire real-time scenario runs deterministically in zero wall time.
+:class:`SkewedClockSource`
+    Scripted clock steps (NTP slews, VM pauses) layered over any inner
+    source — the async counterpart of :class:`repro.faults.SkewedClock`,
+    whose tick-denominated jump scripts adapt via
+    :func:`repro.faults.clock.jump_offsets`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import Iterable, List, Optional, Protocol, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class ClockSource(Protocol):
+    """A wall-clock reading plus the ability to await an instant on it."""
+
+    def now(self) -> float:
+        """Current reading, in seconds (arbitrary epoch)."""
+        ...
+
+    async def wait_until(
+        self, deadline: Optional[float], interrupt: asyncio.Event
+    ) -> bool:
+        """Sleep until ``deadline`` (``None`` = forever) or ``interrupt``.
+
+        Returns ``True`` when the wait ended because ``interrupt`` was
+        set (the caller must re-plan), ``False`` when the deadline was
+        reached. A deadline at or before :meth:`now` returns ``False``
+        immediately.
+        """
+        ...
+
+
+async def _interruptible_sleep(delay: float, interrupt: asyncio.Event) -> bool:
+    """Shared real-time wait body: event-wait bounded by ``delay`` seconds."""
+    if delay <= 0:
+        return False
+    try:
+        await asyncio.wait_for(interrupt.wait(), timeout=delay)
+        return True
+    except asyncio.TimeoutError:
+        return False
+
+
+class LoopClock:
+    """The running event loop's monotonic clock (``loop.time()``)."""
+
+    def now(self) -> float:
+        """The loop's monotonic reading, in seconds."""
+        return asyncio.get_running_loop().time()
+
+    async def wait_until(
+        self, deadline: Optional[float], interrupt: asyncio.Event
+    ) -> bool:
+        """Sleep until ``deadline`` (``None`` = forever) or interrupt."""
+        if deadline is None:
+            await interrupt.wait()
+            return True
+        return await _interruptible_sleep(deadline - self.now(), interrupt)
+
+
+class MonotonicClock:
+    """``time.monotonic()`` readings; sleeps still run on the loop timer."""
+
+    def now(self) -> float:
+        """``time.monotonic()``, in seconds."""
+        return time.monotonic()
+
+    async def wait_until(
+        self, deadline: Optional[float], interrupt: asyncio.Event
+    ) -> bool:
+        """Sleep until ``deadline`` (``None`` = forever) or interrupt."""
+        if deadline is None:
+            await interrupt.wait()
+            return True
+        return await _interruptible_sleep(deadline - self.now(), interrupt)
+
+
+class FakeClock:
+    """A deterministic, manually driven clock source.
+
+    ``wait_until`` parks the caller on a future keyed by its absolute
+    deadline (idle waits park on a deadline-less future). :meth:`advance`
+    then walks fake time forward, resolving sleepers strictly in deadline
+    order and yielding to the event loop between resolutions so woken
+    tasks run, re-register, and are themselves honoured within the same
+    call — an entire wall-clock scenario executes in zero real time with
+    a fully deterministic interleaving.
+
+    ``settle_rounds`` bounds how many bare ``asyncio.sleep(0)`` yields
+    each settling pass performs; the default is generous for the ticker's
+    wake → advance → re-sleep cycle. Tasks that block on things other
+    than this clock (dispatch semaphores, client events) should be
+    awaited explicitly by the test instead of relying on settling.
+    """
+
+    def __init__(self, start: float = 0.0, settle_rounds: int = 64) -> None:
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._now = float(start)
+        self._sleepers: List[Tuple[Optional[float], asyncio.Future]] = []
+        self.settle_rounds = settle_rounds
+
+    def now(self) -> float:
+        """The current fake reading, in seconds."""
+        return self._now
+
+    @property
+    def sleeper_count(self) -> int:
+        """How many waiters are currently parked on this clock."""
+        return len(self._sleepers)
+
+    async def wait_until(
+        self, deadline: Optional[float], interrupt: asyncio.Event
+    ) -> bool:
+        """Park on the deadline until :meth:`advance` reaches it.
+
+        Returns ``True`` when the interrupt fired first, ``False`` when
+        the deadline was reached (immediately for past deadlines).
+        """
+        if deadline is not None and deadline <= self._now:
+            return False
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        entry = (deadline, future)
+        self._sleepers.append(entry)
+        waiter = asyncio.ensure_future(interrupt.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {future, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            if entry in self._sleepers:
+                self._sleepers.remove(entry)
+            for pending in (future, waiter):
+                if not pending.done():
+                    pending.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await pending
+        # Prefer the deadline when both raced to completion: the caller
+        # treats "deadline reached" as actionable and re-checks anyway.
+        return future not in done
+
+    async def advance(self, seconds: float) -> None:
+        """Move fake time forward by ``seconds``, waking due sleepers."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        await self.advance_to(self._now + seconds)
+
+    async def advance_to(self, target: float) -> None:
+        """Move fake time forward to the absolute reading ``target``."""
+        if target < self._now:
+            raise ValueError(
+                f"cannot advance backwards to {target} from {self._now}; "
+                "use jump() to model a clock step"
+            )
+        while True:
+            await self._settle()
+            due = [
+                deadline
+                for deadline, _ in self._sleepers
+                if deadline is not None and deadline <= target
+            ]
+            if not due:
+                break
+            self._now = max(self._now, min(due))
+            self._fire_due()
+        self._now = max(self._now, target)
+        self._fire_due()
+        await self._settle()
+
+    async def jump(self, delta: float) -> None:
+        """Step the reading by ``delta`` without the passage of time.
+
+        A forward step wakes sleepers whose deadline is now in the past
+        (a suspended VM resuming); a backward step silently moves the
+        reading (an NTP correction) — parked deadlines are absolute on
+        this clock, so they fire only once :meth:`advance` re-reaches
+        them. The reading is clamped at zero.
+        """
+        self._now = max(0.0, self._now + delta)
+        if delta > 0:
+            self._fire_due()
+        await self._settle()
+
+    def _fire_due(self) -> None:
+        due = [
+            entry
+            for entry in self._sleepers
+            if entry[0] is not None and entry[0] <= self._now + 1e-12
+        ]
+        for entry in due:
+            self._sleepers.remove(entry)
+            if not entry[1].done():
+                entry[1].set_result(None)
+
+    async def _settle(self) -> None:
+        for _ in range(self.settle_rounds):
+            await asyncio.sleep(0)
+
+
+class SkewedClockSource:
+    """Scripted clock steps layered over an inner :class:`ClockSource`.
+
+    ``jumps`` is an iterable of ``(at, delta)`` pairs in *inner-clock
+    seconds*: once the inner reading reaches ``at``, the visible reading
+    is offset by ``delta`` (cumulatively, clamped at zero) — the async
+    analogue of :class:`repro.faults.SkewedClock`'s step-indexed jump
+    scripts, which convert via :func:`repro.faults.clock.jump_offsets`.
+
+    ``wait_until`` translates the skewed deadline into an inner-clock
+    instant using the *current* offset. A jump landing mid-sleep
+    therefore wakes the sleeper early (backward step) or late (forward
+    step) relative to skewed time — exactly the hazard the runtime's
+    jump discipline must absorb, and the ticker re-reads :meth:`now` on
+    every wake to do so.
+    """
+
+    def __init__(
+        self,
+        inner: ClockSource,
+        jumps: Iterable[Tuple[float, float]] = (),
+    ) -> None:
+        self._inner = inner
+        self._jumps = tuple(
+            sorted((float(at), float(delta)) for at, delta in jumps)
+        )
+
+    @property
+    def inner(self) -> ClockSource:
+        """The unskewed clock underneath."""
+        return self._inner
+
+    def now(self) -> float:
+        """The inner reading plus every jump already reached."""
+        base = self._inner.now()
+        skew = sum(delta for at, delta in self._jumps if base >= at)
+        return max(0.0, base + skew)
+
+    async def wait_until(
+        self, deadline: Optional[float], interrupt: asyncio.Event
+    ) -> bool:
+        """Sleep on the inner clock for the *currently* skewed delay."""
+        if deadline is None:
+            return await self._inner.wait_until(None, interrupt)
+        delay = deadline - self.now()
+        if delay <= 0:
+            return False
+        return await self._inner.wait_until(self._inner.now() + delay, interrupt)

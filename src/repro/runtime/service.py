@@ -1,0 +1,541 @@
+"""AsyncTimerService: drive any scheduler from wall time under asyncio.
+
+Every layer below this one runs under a simulated tick loop; this module
+is where the paper's model meets a host clock. The service owns a single
+*ticker* task implementing the model's PER_TICK_BOOKKEEPING contract in
+real time:
+
+1. read ``next_expiry()`` — the sparse fast path's uncharged lower bound;
+2. sleep on the :class:`~repro.runtime.clock.ClockSource` until exactly
+   that instant (or forever while nothing is pending) — **no idle
+   polling, ever**;
+3. on wake, convert the clock reading to a wheel tick and make one
+   ``advance_to`` call — the occupancy bitmaps bulk-jump the empty span,
+   charging the cost model as if every tick had been stepped.
+
+Any ``start_timer``/``stop_timer``/close interrupts the sleep and
+re-plans, so the ticker is always parked on the earliest genuine
+deadline. Jump discipline mirrors PR-3's ``sync_clock`` contract at the
+wall level: a reading ahead of plan advances through the gap (timers
+fire late, never skipped — counted in ``oversleep_ticks``); a reading
+behind plan freezes the wheel and re-sleeps (no timer ever fires early —
+counted in ``early_wakes``/``backward_freezes``).
+
+Expiry actions split by kind. Plain callables run inline inside
+``advance_to``, exactly as in the synchronous stack — which is what
+keeps :class:`~repro.core.supervision.SupervisedScheduler` retry
+semantics and expiry fingerprints bit-identical to the simulated runs.
+Coroutine functions are dispatched as asyncio tasks bounded by a
+concurrency semaphore; their failures land in the service's own
+``callback_errors`` ring (supervision cannot retry what it cannot await).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Hashable, List, Optional, Set, Union
+
+from repro.core.errors import SchedulerShutdownError
+from repro.core.interface import BoundedErrorLog, ExpiryAction, Timer
+from repro.runtime.clock import ClockSource, LoopClock
+
+#: Service lifecycle: NEW -> RUNNING -> (DRAINING ->) CLOSED.
+NEW = "new"
+RUNNING = "running"
+DRAINING = "draining"
+CLOSED = "closed"
+
+
+class AsyncTimerService:
+    """A live timer service over any :class:`TimerScheduler`-shaped object.
+
+    ``scheduler`` may be a plain scheme, a ``SupervisedScheduler``, a
+    ``ThreadSafeScheduler``, or a ``ShardedTimerService`` — anything
+    exposing the scheduler surface (``start_timer``/``stop_timer``/
+    ``advance_to``/``next_expiry``/``pending_count``/``shutdown``). All
+    service methods must be called from the event loop thread.
+
+    Parameters
+    ----------
+    tick_duration:
+        Wall seconds per wheel tick.
+    clock:
+        A :class:`ClockSource`; defaults to :class:`LoopClock`. Pass a
+        :class:`~repro.runtime.clock.FakeClock` for deterministic tests
+        or a :class:`~repro.runtime.clock.SkewedClockSource` to replay
+        fault-plan clock jumps in real time.
+    max_concurrency:
+        Bound on concurrently running *coroutine* expiry actions.
+    max_pending:
+        Backpressure bound: ``start_timer`` awaits while the scheduler
+        already holds this many pending timers, resuming as expiries or
+        stops free capacity. ``None`` disables backpressure.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        *,
+        tick_duration: float = 0.001,
+        clock: Optional[ClockSource] = None,
+        max_concurrency: int = 64,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if tick_duration <= 0:
+            raise ValueError(
+                f"tick_duration must be > 0, got {tick_duration}"
+            )
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1 or None, got {max_pending}"
+            )
+        self.scheduler = scheduler
+        self.tick_duration = float(tick_duration)
+        self.clock: ClockSource = clock if clock is not None else LoopClock()
+        self.max_concurrency = max_concurrency
+        self.max_pending = max_pending
+        #: failures raised by *coroutine* expiry actions (sync-callback
+        #: failures follow the scheduler's own error policy unchanged).
+        self.callback_errors = BoundedErrorLog()
+
+        self._state = NEW
+        self._epoch: float = 0.0
+        self._ticker: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._progress: Optional[asyncio.Event] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._sleep_futures: Set[asyncio.Future] = set()
+        self._async_queue: List = []
+        self._last_observed_tick = 0
+
+        # ---- counters (all cumulative) --------------------------------
+        #: deadline wakes that advanced the wheel — with an exact
+        #: ``next_expiry`` this equals the number of distinct expiry
+        #: instants served, however long the idle spans between them.
+        self.wakeups = 0
+        #: sleeps interrupted by start/stop/close to re-plan the deadline.
+        self.replans = 0
+        #: wakes where the reading had not reached the planned tick
+        #: (a backward clock step landed mid-sleep); the wheel froze.
+        self.early_wakes = 0
+        #: wakes that observed the reading *behind* a previously observed
+        #: reading — direct evidence of a backward step.
+        self.backward_freezes = 0
+        #: ticks the wheel was advanced past the planned wake instant
+        #: (scheduling lag or a forward clock step): fired late, never
+        #: skipped.
+        self.oversleep_ticks = 0
+        #: coroutine expiry actions dispatched as tasks.
+        self.dispatched = 0
+        #: high-water mark of concurrently running coroutine actions.
+        self.max_observed_concurrency = 0
+        self._running_actions = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def state(self) -> str:
+        """One of ``"new"``/``"running"``/``"draining"``/``"closed"``."""
+        return self._state
+
+    @property
+    def epoch(self) -> float:
+        """Clock reading corresponding to wheel tick zero (set by start)."""
+        return self._epoch
+
+    async def start(self) -> "AsyncTimerService":
+        """Anchor the epoch and launch the ticker task."""
+        if self._state != NEW:
+            raise RuntimeError(f"cannot start a {self._state} service")
+        loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._progress = asyncio.Event()
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._epoch = self.clock.now() - self.scheduler.now * self.tick_duration
+        self._last_observed_tick = self.scheduler.now
+        self._state = RUNNING
+        self._ticker = loop.create_task(self._run_ticker(), name="repro-ticker")
+        return self
+
+    async def __aenter__(self) -> "AsyncTimerService":
+        if self._state == NEW:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose(drain=False)
+
+    async def aclose(self, *, drain: bool = False) -> List[Timer]:
+        """Shut the service down; idempotent.
+
+        With ``drain=True`` the service first enters DRAINING — new
+        ``start_timer`` calls are refused while the clock keeps firing
+        what is already armed — and waits until the pending set and every
+        dispatched action is gone, so the return value is ``[]``. With
+        ``drain=False`` the ticker is cancelled immediately and the
+        abandoned pending timers are returned (exactly what
+        ``scheduler.shutdown()`` cancelled), dispatched actions are
+        cancelled, and outstanding ``sleep_until`` waiters get a
+        ``CancelledError``.
+        """
+        if self._state == CLOSED:
+            return []
+        if self._state == NEW:
+            self._state = CLOSED
+            return []
+        if drain:
+            self._state = DRAINING
+            self._kick()
+            await self.drain()
+        self._state = CLOSED
+        self._kick()
+        if self._ticker is not None:
+            self._ticker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ticker
+            self._ticker = None
+        abandoned = self.scheduler.shutdown()
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._tasks.clear()
+        for future in list(self._sleep_futures):
+            if not future.done():
+                future.cancel()
+        self._sleep_futures.clear()
+        self._notify()
+        return abandoned
+
+    async def drain(self) -> None:
+        """Wait until nothing is pending and every dispatched task is done.
+
+        Expiries happen as the clock reaches them — under a
+        :class:`FakeClock` someone must advance the clock concurrently or
+        this waits forever.
+        """
+        while self.scheduler.pending_count > 0 or self._tasks:
+            await self._wait_progress()
+
+    async def wait_dispatched(self) -> None:
+        """Wait for currently dispatched coroutine actions to finish."""
+        while self._tasks:
+            await asyncio.wait(set(self._tasks))
+
+    # ------------------------------------------------------------ client API
+
+    async def start_timer(
+        self,
+        interval: int,
+        request_id: Optional[Hashable] = None,
+        callback: Optional[ExpiryAction] = None,
+        user_data: object = None,
+    ) -> Timer:
+        """START_TIMER, awaiting capacity when backpressure is configured.
+
+        A coroutine-function ``callback`` is dispatched as a task at
+        expiry (bounded by ``max_concurrency``); any other callable runs
+        inline during the tick, preserving the synchronous stack's
+        semantics (supervision retries, fingerprints).
+        """
+        self._require_open()
+        if self.max_pending is not None:
+            while self.scheduler.pending_count >= self.max_pending:
+                if self._state != RUNNING:
+                    raise RuntimeError(
+                        "backpressure requires a running service "
+                        f"(state={self._state}, "
+                        f"pending={self.scheduler.pending_count})"
+                    )
+                await self._wait_progress()
+                self._require_open()
+        self._sync_to_wall()
+        action = callback
+        if callback is not None and asyncio.iscoroutinefunction(callback):
+            action = self._make_async_action(callback)
+        timer = self.scheduler.start_timer(
+            interval,
+            request_id=request_id,
+            callback=action,
+            user_data=user_data,
+        )
+        self._kick()
+        return timer
+
+    async def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
+        """STOP_TIMER; frees backpressure capacity and re-plans the ticker."""
+        if self._state == CLOSED:
+            raise SchedulerShutdownError("service is closed")
+        timer = self.scheduler.stop_timer(timer_or_id)
+        self._kick()
+        self._notify()
+        return timer
+
+    async def sleep_until(self, tick: int) -> int:
+        """Await wheel time reaching ``tick``; returns the actual tick.
+
+        Implemented as a real timer on the wheel, so it shares the
+        ticker's exactness: no polling, woken by the expiry itself.
+        Returns immediately when ``tick`` is not in the future. The
+        future is cancelled if the service closes without draining.
+        """
+        if self._state != RUNNING:
+            raise RuntimeError(f"cannot sleep on a {self._state} service")
+        self._sync_to_wall()
+        if tick <= self.scheduler.now:
+            return self.scheduler.now
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._sleep_futures.add(future)
+
+        def _wake_sleeper(timer: Timer) -> None:
+            self._sleep_futures.discard(future)
+            if not future.done():
+                future.set_result(self.scheduler.now)
+
+        self.scheduler.start_timer(
+            tick - self.scheduler.now, callback=_wake_sleeper
+        )
+        self._kick()
+        try:
+            return await future
+        finally:
+            self._sleep_futures.discard(future)
+
+    async def sleep(self, ticks: int) -> int:
+        """Await ``ticks`` wheel ticks from now."""
+        return await self.sleep_until(self.scheduler.now + ticks)
+
+    # -------------------------------------------------- external clock seam
+
+    async def advance_clock(self, wall_tick: int) -> List[Timer]:
+        """Feed one external reading, in ticks, straight to the scheduler.
+
+        The explicit-sync mode used by the chaos suite: when the wrapped
+        scheduler has PR-3's ``sync_clock`` (supervised or sharded), the
+        reading goes through it so jump accounting matches the
+        synchronous harness bit-for-bit; otherwise the service applies
+        the same discipline itself (advance forward, freeze on a
+        backward or stale reading). Coroutine actions queued by the
+        expiries are dispatched before returning.
+        """
+        self._require_not_closed()
+        scheduler = self.scheduler
+        if hasattr(scheduler, "sync_clock"):
+            expired = scheduler.sync_clock(wall_tick)
+        elif wall_tick <= scheduler.now:
+            expired = []
+        else:
+            expired = scheduler.advance_to(wall_tick)
+        self._post_expiry()
+        await asyncio.sleep(0)
+        return expired
+
+    async def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
+        """Advance wheel time until nothing is pending (drain helper)."""
+        self._require_not_closed()
+        expired = self.scheduler.run_until_idle(max_ticks=max_ticks)
+        self._post_expiry()
+        await asyncio.sleep(0)
+        return expired
+
+    # ------------------------------------------------------------ passthrough
+
+    @property
+    def now(self) -> int:
+        """Current wheel tick."""
+        return self.scheduler.now
+
+    @property
+    def pending_count(self) -> int:
+        """Outstanding timers on the wrapped scheduler."""
+        return self.scheduler.pending_count
+
+    def is_pending(self, request_id: Hashable) -> bool:
+        """Whether ``request_id`` is still armed on the scheduler."""
+        return self.scheduler.is_pending(request_id)
+
+    def attach_observer(self, observer):
+        """Observers fan in unchanged — attached to the wrapped scheduler."""
+        return self.scheduler.attach_observer(observer)
+
+    def detach_observer(self):
+        """Detach and return the scheduler's observer, if any."""
+        return self.scheduler.detach_observer()
+
+    def wall_deadline(self, timer_or_tick: Union[Timer, int]) -> float:
+        """The clock reading at which a timer (or tick) is due."""
+        tick = (
+            timer_or_tick.deadline
+            if isinstance(timer_or_tick, Timer)
+            else timer_or_tick
+        )
+        return self._epoch + tick * self.tick_duration
+
+    def introspect(self) -> dict:
+        """The scheduler's introspection plus a ``runtime`` section."""
+        data = dict(self.scheduler.introspect())
+        data["runtime"] = {
+            "state": self._state,
+            "tick_duration": self.tick_duration,
+            "clock": type(self.clock).__name__,
+            "wakeups": self.wakeups,
+            "replans": self.replans,
+            "early_wakes": self.early_wakes,
+            "backward_freezes": self.backward_freezes,
+            "oversleep_ticks": self.oversleep_ticks,
+            "dispatched": self.dispatched,
+            "running_actions": self._running_actions,
+            "max_observed_concurrency": self.max_observed_concurrency,
+            "max_concurrency": self.max_concurrency,
+            "max_pending": self.max_pending,
+            "async_callback_errors": len(self.callback_errors),
+        }
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"<AsyncTimerService state={self._state} "
+            f"scheduler={type(self.scheduler).__name__} "
+            f"tick={self.tick_duration}s pending={self.scheduler.pending_count} "
+            f"wakeups={self.wakeups}>"
+        )
+
+    # ------------------------------------------------------------ ticker
+
+    async def _run_ticker(self) -> None:
+        while self._state in (RUNNING, DRAINING):
+            # Clear before reading: a start landing after the read sets
+            # the event and the wait returns immediately to re-plan.
+            self._wake.clear()
+            target = self.scheduler.next_expiry()
+            if target is None:
+                if self._state == DRAINING:
+                    return
+                await self.clock.wait_until(None, self._wake)
+                continue
+            deadline = self.wall_deadline(target)
+            if self.clock.now() < deadline:
+                interrupted = await self.clock.wait_until(deadline, self._wake)
+                if interrupted:
+                    self.replans += 1
+                    continue
+            tick = self._wall_tick()
+            if tick < self._last_observed_tick:
+                self.backward_freezes += 1
+            self._last_observed_tick = max(self._last_observed_tick, tick)
+            if tick < target:
+                # A backward clock step landed mid-sleep: the reading is
+                # short of the planned instant. Freeze — never fire early
+                # — and re-plan against the stepped clock.
+                self.early_wakes += 1
+                continue
+            self.wakeups += 1
+            if tick > target:
+                self.oversleep_ticks += tick - target
+            self._advance(tick)
+
+    def _sync_to_wall(self) -> None:
+        """Catch the wheel up to the current reading before a client op.
+
+        Between expiries — and across whole idle spans — the ticker
+        leaves the wheel parked, so wheel time can lag wall time. Client
+        operations are specified against *wall* now ("3 ticks from now"),
+        so each one first advances the wheel to the current wall tick:
+        PER_TICK_BOOKKEEPING on demand. Empty spans are bulk-charged by
+        the sparse fast path; timers already due fire inline here,
+        exactly as they would have on the next ticker wake.
+        """
+        if self._state != RUNNING:
+            return
+        tick = self._wall_tick()
+        if tick > self.scheduler.now:
+            self._advance(tick)
+
+    def _wall_tick(self) -> int:
+        # The +1e-9 absorbs float error when a reading lands exactly on
+        # a tick boundary (the FakeClock resolves sleepers at exact
+        # deadlines).
+        return int((self.clock.now() - self._epoch) / self.tick_duration + 1e-9)
+
+    def _advance(self, tick: int) -> None:
+        scheduler = self.scheduler
+        if tick > scheduler.now:
+            scheduler.advance_to(tick)
+        self._post_expiry()
+
+    def _post_expiry(self) -> None:
+        while self._async_queue:
+            coro_fn, timer = self._async_queue.pop(0)
+            self._spawn(coro_fn, timer)
+        self._notify()
+
+    # ------------------------------------------------------------ dispatch
+
+    def _make_async_action(self, coro_fn) -> ExpiryAction:
+        def queue_action(timer: Timer) -> None:
+            self._async_queue.append((coro_fn, timer))
+
+        return queue_action
+
+    def _spawn(self, coro_fn, timer: Timer) -> None:
+        self.dispatched += 1
+        task = asyncio.get_running_loop().create_task(
+            self._run_action(coro_fn, timer)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._on_task_done)
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self._notify()
+
+    async def _run_action(self, coro_fn, timer: Timer) -> None:
+        async with self._semaphore:
+            self._running_actions += 1
+            self.max_observed_concurrency = max(
+                self.max_observed_concurrency, self._running_actions
+            )
+            try:
+                await coro_fn(timer)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — the ring is the contract
+                self.callback_errors.append((timer, exc))
+            finally:
+                self._running_actions -= 1
+
+    # ------------------------------------------------------------ plumbing
+
+    def _require_open(self) -> None:
+        if self._state in (DRAINING, CLOSED):
+            raise SchedulerShutdownError(
+                f"service is {self._state}; no new timers accepted"
+            )
+
+    def _require_not_closed(self) -> None:
+        if self._state == CLOSED:
+            raise SchedulerShutdownError("service is closed")
+
+    def _kick(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    def _notify(self) -> None:
+        if self._progress is None:
+            return
+        event = self._progress
+        self._progress = asyncio.Event()
+        event.set()
+
+    async def _wait_progress(self) -> None:
+        if self._progress is None:
+            raise RuntimeError("service not started")
+        await self._progress.wait()

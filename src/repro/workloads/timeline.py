@@ -1,0 +1,118 @@
+"""Deterministic client timelines, armable on any scheduler.
+
+The runtime's core acceptance check is *fingerprint identity*: driving a
+scheduler from a wall clock through
+:class:`~repro.runtime.service.AsyncTimerService` must produce exactly
+the expiry sequence and OpCounter totals that one synchronous
+``advance_to(horizon)`` produces. For the comparison to be meaningful
+the two runs must issue bit-identical operation streams — including
+operations that happen *mid-run*, at future instants.
+
+A :class:`TimelineWorkload` encodes such a stream as data, and
+:func:`arm_timeline` turns it into *driver timers on the scheduler
+itself*: for each step with operations, one timer (id ``@tl<step>``)
+whose expiry action issues that step's client starts/stops, plus one
+sentinel (``@tl-end``) at the horizon so both runs finish at the same
+tick with identical trailing empty-tick charges. Because the drivers are
+ordinary timers armed identically in both runs, the synchronous control
+and the ticker-driven run execute the same calls at the same wheel
+instants, whatever mechanism moved the wheel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: One step's operations: ("start", key, interval) or ("stop", key, 0).
+Op = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class TimelineWorkload:
+    """A seeded schedule of client starts and stops over a horizon.
+
+    Starts arrive over the first ``arrival_window`` ticks with intervals
+    in ``[1, max_interval]``; a ``stop_fraction`` of them get a stop
+    planned at ``start_step + interval // 4`` (strictly before their
+    expiry, so the stop always finds the timer pending on every exact
+    scheme). Intervals may run past the horizon, leaving a non-empty
+    pending set — deliberately, so the comparison also covers final
+    state.
+    """
+
+    n_timers: int = 24
+    horizon: int = 512
+    seed: int = 11
+    arrival_window: int = 120
+    max_interval: int = 400
+    stop_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.horizon <= self.arrival_window:
+            raise ValueError("horizon must exceed the arrival window")
+
+    def ops(self) -> Dict[int, List[Op]]:
+        """``step -> [ops]``, steps in ``[1, horizon)``."""
+        rng = random.Random(self.seed)
+        schedule: Dict[int, List[Op]] = {}
+        for i in range(self.n_timers):
+            key = f"t{i}"
+            step = rng.randint(1, self.arrival_window)
+            interval = rng.randint(1, self.max_interval)
+            schedule.setdefault(step, []).append(("start", key, interval))
+            if interval >= 8 and rng.random() < self.stop_fraction:
+                stop_step = step + interval // 4
+                schedule.setdefault(stop_step, []).append(("stop", key, 0))
+        return schedule
+
+
+def arm_timeline(
+    scheduler,
+    workload: TimelineWorkload,
+    fired: List[Tuple[object, int]],
+) -> int:
+    """Arm a workload's driver timers; returns the number armed.
+
+    ``fired`` collects ``(request_id, tick)`` for every *client* expiry.
+    Call with wheel time at zero, then move the wheel to
+    ``workload.horizon`` by any mechanism — one bulk ``advance_to``, a
+    tick loop, or a wall-clock ticker — and the identical client
+    operation stream plays out.
+    """
+    if scheduler.now != 0:
+        raise ValueError(
+            f"timelines arm at tick 0, scheduler is at {scheduler.now}"
+        )
+    schedule = workload.ops()
+
+    def client_action(timer) -> None:
+        fired.append((timer.request_id, scheduler.now))
+
+    def issuer(step: int):
+        def issue(_driver_timer) -> None:
+            for op, key, interval in schedule[step]:
+                if op == "start":
+                    scheduler.start_timer(
+                        interval, request_id=key, callback=client_action
+                    )
+                elif scheduler.is_pending(key):
+                    scheduler.stop_timer(key)
+
+        return issue
+
+    armed = 0
+    for step in sorted(schedule):
+        if step >= workload.horizon:
+            continue
+        scheduler.start_timer(
+            step, request_id=f"@tl{step}", callback=issuer(step)
+        )
+        armed += 1
+    # The sentinel pins both runs' final tick (and the trailing
+    # empty-tick charges) to the horizon.
+    scheduler.start_timer(
+        workload.horizon, request_id="@tl-end", callback=lambda _t: None
+    )
+    return armed + 1

@@ -1,0 +1,1 @@
+"""The asyncio wall-clock runtime (``repro.runtime``)."""

@@ -1,0 +1,145 @@
+"""Clock sources: the ClockSource contract on every implementation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.clock import WallClock
+from repro.faults.clock import jump_offsets
+from repro.runtime.clock import (
+    ClockSource,
+    FakeClock,
+    LoopClock,
+    MonotonicClock,
+    SkewedClockSource,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_every_source_satisfies_the_protocols():
+    fake = FakeClock()
+    for clock in (fake, MonotonicClock(), SkewedClockSource(fake)):
+        assert isinstance(clock, ClockSource)
+        assert isinstance(clock, WallClock)
+
+
+def test_monotonic_clock_reads_outside_a_loop():
+    clock = MonotonicClock()
+    first = clock.now()
+    assert clock.now() >= first
+
+
+def test_loop_clock_waits_and_interrupts():
+    async def main():
+        clock = LoopClock()
+        interrupt = asyncio.Event()
+        # Deadline in the past: returns immediately, not interrupted.
+        assert await clock.wait_until(clock.now() - 1.0, interrupt) is False
+        # A set interrupt beats a far deadline.
+        interrupt.set()
+        assert await clock.wait_until(clock.now() + 60.0, interrupt) is True
+        # A short real sleep actually elapses.
+        start = clock.now()
+        assert await clock.wait_until(start + 0.01, asyncio.Event()) is False
+        assert clock.now() >= start + 0.01
+
+    run(main())
+
+
+def test_fake_clock_advance_wakes_in_deadline_order():
+    async def main():
+        clock = FakeClock()
+        order = []
+
+        async def sleeper(name, deadline):
+            await clock.wait_until(deadline, asyncio.Event())
+            order.append((name, clock.now()))
+
+        tasks = [
+            asyncio.ensure_future(sleeper("late", 5.0)),
+            asyncio.ensure_future(sleeper("early", 2.0)),
+        ]
+        await clock.advance(10.0)
+        await asyncio.gather(*tasks)
+        assert order == [("early", 2.0), ("late", 5.0)]
+        assert clock.now() == 10.0
+
+    run(main())
+
+
+def test_fake_clock_interrupt_and_idle_wait():
+    async def main():
+        clock = FakeClock()
+        interrupt = asyncio.Event()
+        waiter = asyncio.ensure_future(clock.wait_until(None, interrupt))
+        await clock.advance(100.0)          # time passing never wakes an idle wait
+        assert not waiter.done()
+        interrupt.set()
+        assert await waiter is True
+        assert clock.sleeper_count == 0
+
+    run(main())
+
+
+def test_fake_clock_rejects_backwards_advance_but_jumps():
+    async def main():
+        clock = FakeClock(start=5.0)
+        with pytest.raises(ValueError):
+            await clock.advance_to(1.0)
+        with pytest.raises(ValueError):
+            await clock.advance(-1.0)
+        await clock.jump(-3.0)
+        assert clock.now() == 2.0
+        await clock.jump(-10.0)             # clamped at zero
+        assert clock.now() == 0.0
+
+    run(main())
+
+
+def test_fake_clock_forward_jump_fires_past_deadlines():
+    async def main():
+        clock = FakeClock()
+        woke = asyncio.ensure_future(clock.wait_until(4.0, asyncio.Event()))
+        await clock.jump(9.0)
+        assert await woke is False
+        assert clock.now() == 9.0
+
+    run(main())
+
+
+def test_skewed_source_applies_offsets_to_readings():
+    async def main():
+        inner = FakeClock()
+        skewed = SkewedClockSource(inner, [(5.0, 10.0), (8.0, -2.0)])
+        assert skewed.now() == 0.0
+        await inner.advance(5.0)
+        assert skewed.now() == 15.0         # +10 at inner 5
+        await inner.advance(3.0)
+        assert skewed.now() == 16.0         # cumulative +8 at inner 8
+        assert skewed.inner is inner
+
+    run(main())
+
+
+def test_skewed_source_clamps_below_zero():
+    async def main():
+        inner = FakeClock()
+        skewed = SkewedClockSource(inner, [(1.0, -50.0)])
+        await inner.advance(2.0)
+        assert skewed.now() == 0.0
+
+    run(main())
+
+
+def test_jump_offsets_adapts_fault_plan_scripts():
+    assert jump_offsets(((120, 80), (260, -60)), 0.5) == (
+        (60.0, 40.0),
+        (130.0, -30.0),
+    )
+    with pytest.raises(ValueError):
+        jump_offsets(((1, 1),), 0.0)

@@ -1,0 +1,394 @@
+"""AsyncTimerService semantics: lifecycle, backpressure, dispatch, drain.
+
+Everything runs under a FakeClock, so each scenario is a deterministic
+single-threaded interleaving — no real sleeping, no timing slop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.core.errors import SchedulerShutdownError
+from repro.runtime import AsyncTimerService, FakeClock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(clock=None, **kwargs):
+    scheduler = make_scheduler("scheme6", table_size=256)
+    return AsyncTimerService(
+        scheduler,
+        tick_duration=1.0,
+        clock=clock if clock is not None else FakeClock(),
+        **kwargs,
+    )
+
+
+# --------------------------------------------------------------- lifecycle
+
+
+def test_constructor_validates_parameters():
+    scheduler = make_scheduler("scheme6")
+    with pytest.raises(ValueError):
+        AsyncTimerService(scheduler, tick_duration=0)
+    with pytest.raises(ValueError):
+        AsyncTimerService(scheduler, max_concurrency=0)
+    with pytest.raises(ValueError):
+        AsyncTimerService(scheduler, max_pending=0)
+
+
+def test_state_machine_new_running_closed():
+    async def main():
+        service = make_service()
+        assert service.state == "new"
+        await service.start()
+        assert service.state == "running"
+        with pytest.raises(RuntimeError):
+            await service.start()
+        abandoned = await service.aclose()
+        assert service.state == "closed"
+        assert abandoned == []
+        # Idempotent close; restart is forbidden.
+        assert await service.aclose() == []
+        with pytest.raises(RuntimeError):
+            await service.start()
+        with pytest.raises(SchedulerShutdownError):
+            await service.start_timer(5)
+
+    run(main())
+
+
+def test_closing_a_never_started_service_is_a_noop():
+    async def main():
+        service = make_service()
+        assert await service.aclose() == []
+        assert service.state == "closed"
+
+    run(main())
+
+
+def test_context_manager_starts_and_closes():
+    async def main():
+        async with make_service() as service:
+            assert service.state == "running"
+        assert service.state == "closed"
+
+    run(main())
+
+
+# ------------------------------------------------------- expiry + sleeping
+
+
+def test_timers_fire_at_their_wall_deadline():
+    async def main():
+        clock = FakeClock()
+        fired = []
+        async with make_service(clock) as service:
+            await service.start_timer(
+                5, request_id="a", callback=lambda t: fired.append(t.request_id)
+            )
+            await clock.advance(4.0)
+            assert fired == []
+            await clock.advance(1.0)
+            assert fired == ["a"]
+            assert service.now == 5
+
+    run(main())
+
+
+def test_sleep_until_wakes_exactly_at_the_tick():
+    async def main():
+        clock = FakeClock()
+        async with make_service(clock) as service:
+            sleeper = asyncio.ensure_future(service.sleep_until(7))
+            await clock.advance(6.0)
+            assert not sleeper.done()
+            await clock.advance(1.0)
+            assert await sleeper == 7
+            # A tick in the past returns immediately, without sleeping.
+            assert await service.sleep_until(3) == 7
+            assert await service.sleep(0) == 7
+
+    run(main())
+
+
+def test_replans_count_sleep_interruptions():
+    async def main():
+        clock = FakeClock()
+        async with make_service(clock) as service:
+            await service.start_timer(100, request_id="far")
+            await clock.advance(1.0)
+            # The ticker is parked on tick 100; an earlier start must
+            # interrupt that sleep and re-plan onto tick 3.
+            fired = []
+            await service.start_timer(
+                2, request_id="near", callback=lambda t: fired.append(t.request_id)
+            )
+            await clock.advance(2.0)
+            assert fired == ["near"]
+            assert service.replans >= 1
+            stats = service.introspect()["runtime"]
+            assert stats["state"] == "running"
+            assert stats["clock"] == "FakeClock"
+
+    run(main())
+
+
+def test_stop_timer_frees_the_ticker_from_a_dead_deadline():
+    async def main():
+        clock = FakeClock()
+        async with make_service(clock) as service:
+            timer = await service.start_timer(10, request_id="x")
+            stopped = await service.stop_timer("x")
+            assert stopped is timer
+            await clock.advance(20.0)
+            assert service.pending_count == 0
+            assert service.wakeups == 0  # nothing was ever due
+
+    run(main())
+
+
+def test_wall_deadline_maps_ticks_to_clock_readings():
+    async def main():
+        clock = FakeClock(start=3.0)
+        async with make_service(clock) as service:
+            timer = await service.start_timer(4, request_id="t")
+            assert service.wall_deadline(timer) == pytest.approx(7.0)
+            assert service.wall_deadline(9) == pytest.approx(12.0)
+
+    run(main())
+
+
+# ------------------------------------------------------------ backpressure
+
+
+def test_backpressure_bounds_pending_under_a_burst():
+    async def main():
+        clock = FakeClock()
+        scheduler = make_scheduler("scheme6", table_size=256)
+        service = AsyncTimerService(
+            scheduler, tick_duration=1.0, clock=clock, max_pending=4
+        )
+        # Record the pending count at every admitted START_TIMER so a
+        # violation cannot hide between samples.
+        high_water = []
+        inner_start = scheduler.start_timer
+
+        def recording_start(*args, **kwargs):
+            high_water.append(scheduler.pending_count)
+            return inner_start(*args, **kwargs)
+
+        scheduler.start_timer = recording_start
+        await service.start()
+
+        async def one_start(i):
+            await service.start_timer(3 + (i % 5), request_id=f"b{i}")
+
+        burst = [asyncio.ensure_future(one_start(i)) for i in range(12)]
+        # Let the burst run against a frozen clock: exactly max_pending
+        # get through, the rest block on backpressure.
+        await clock.advance(0.0)
+        assert scheduler.pending_count == 4
+        assert sum(1 for task in burst if task.done()) == 4
+        # Expiries free capacity and admit the blocked starts, a few per
+        # expiring tick, never exceeding the bound.
+        await clock.advance(50.0)
+        await asyncio.gather(*burst)
+        assert max(high_water) <= 3  # sampled *before* each insert
+        assert scheduler.pending_count == 0
+        await service.aclose()
+
+    run(main())
+
+
+def test_backpressure_waiters_fail_when_the_service_closes():
+    async def main():
+        clock = FakeClock()
+        service = make_service(clock, max_pending=1)
+        await service.start()
+        await service.start_timer(50, request_id="holder")
+        blocked = asyncio.ensure_future(
+            service.start_timer(5, request_id="blocked")
+        )
+        await clock.advance(0.0)
+        assert not blocked.done()
+        await service.aclose()
+        with pytest.raises((SchedulerShutdownError, RuntimeError)):
+            await blocked
+
+    run(main())
+
+
+def test_unbounded_service_never_blocks_starts():
+    async def main():
+        clock = FakeClock()
+        async with make_service(clock) as service:
+            for i in range(64):
+                await service.start_timer(10, request_id=f"u{i}")
+            assert service.pending_count == 64
+
+    run(main())
+
+
+# ------------------------------------------------- coroutine action dispatch
+
+
+def test_coroutine_callbacks_are_dispatched_as_tasks():
+    async def main():
+        clock = FakeClock()
+        fired = []
+
+        async def action(timer):
+            fired.append(timer.request_id)
+
+        async with make_service(clock) as service:
+            await service.start_timer(2, request_id="c", callback=action)
+            await clock.advance(2.0)
+            await service.wait_dispatched()
+            assert fired == ["c"]
+            assert service.dispatched == 1
+
+    run(main())
+
+
+def test_semaphore_bounds_concurrent_coroutine_actions():
+    async def main():
+        clock = FakeClock()
+        gate = asyncio.Event()
+        started = []
+
+        async def action(timer):
+            started.append(timer.request_id)
+            await gate.wait()
+
+        service = make_service(clock, max_concurrency=2)
+        await service.start()
+        for i in range(6):
+            await service.start_timer(3, request_id=f"g{i}", callback=action)
+        await clock.advance(3.0)
+        for _ in range(8):
+            await asyncio.sleep(0)
+        # Only two actions may hold the semaphore at once.
+        assert len(started) == 2
+        gate.set()
+        await service.wait_dispatched()
+        assert len(started) == 6
+        assert service.dispatched == 6
+        assert service.max_observed_concurrency <= 2
+        await service.aclose()
+
+    run(main())
+
+
+def test_coroutine_failures_land_in_the_service_error_ring():
+    async def main():
+        clock = FakeClock()
+
+        async def bad(timer):
+            raise RuntimeError("async boom")
+
+        async with make_service(clock) as service:
+            await service.start_timer(1, request_id="bad", callback=bad)
+            await clock.advance(1.0)
+            await service.wait_dispatched()
+            assert len(service.callback_errors) == 1
+            timer, exc = service.callback_errors[0]
+            assert timer.request_id == "bad"
+            assert isinstance(exc, RuntimeError)
+            # The scheduler's own ring is for sync callbacks only.
+            assert service.scheduler.callback_errors == []
+
+    run(main())
+
+
+def test_sync_callback_failures_follow_the_scheduler_policy():
+    async def main():
+        clock = FakeClock()
+
+        def bad(timer):
+            raise ValueError("sync boom")
+
+        async with make_service(clock) as service:
+            service.scheduler.set_error_policy("collect")
+            await service.start_timer(1, request_id="s", callback=bad)
+            await clock.advance(1.0)
+            assert len(service.scheduler.callback_errors) == 1
+            assert len(service.callback_errors) == 0
+
+    run(main())
+
+
+# ------------------------------------------------------------ shutdown/drain
+
+
+def test_abandoning_close_returns_exactly_the_pending_set():
+    async def main():
+        clock = FakeClock()
+        service = make_service(clock)
+        await service.start()
+        keys = {f"p{i}" for i in range(8)}
+        for i, key in enumerate(sorted(keys)):
+            await service.start_timer(10 + i, request_id=key)
+        await service.start_timer(1, request_id="gone")
+        await clock.advance(1.0)  # "gone" fires; the rest stay pending
+        abandoned = await service.aclose(drain=False)
+        assert {t.request_id for t in abandoned} == keys
+        assert service.pending_count == 0
+        assert service.state == "closed"
+
+    run(main())
+
+
+def test_draining_close_fires_everything_and_returns_nothing():
+    async def main():
+        clock = FakeClock()
+        fired = []
+
+        async def action(timer):
+            fired.append(timer.request_id)
+
+        service = make_service(clock)
+        await service.start()
+        for i in range(6):
+            await service.start_timer(2 + i, request_id=f"d{i}", callback=action)
+        closer = asyncio.ensure_future(service.aclose(drain=True))
+        await clock.advance(0.0)
+        assert service.state == "draining"
+        with pytest.raises(SchedulerShutdownError):
+            await service.start_timer(5, request_id="late-join")
+        await clock.advance(10.0)
+        abandoned = await closer
+        assert abandoned == []
+        assert sorted(fired) == [f"d{i}" for i in range(6)]
+        assert service.state == "closed"
+        assert service.pending_count == 0
+
+    run(main())
+
+
+def test_close_cancels_parked_sleepers_and_running_actions():
+    async def main():
+        clock = FakeClock()
+        hung = asyncio.Event()
+
+        async def hang(timer):
+            hung.set()
+            await asyncio.Event().wait()  # blocks until cancelled
+
+        service = make_service(clock)
+        await service.start()
+        sleeper = asyncio.ensure_future(service.sleep_until(100))
+        await service.start_timer(1, request_id="h", callback=hang)
+        await clock.advance(1.0)
+        await hung.wait()
+        await service.aclose(drain=False)
+        with pytest.raises(asyncio.CancelledError):
+            await sleeper
+        assert service.introspect()["runtime"]["running_actions"] == 0
+
+    run(main())

@@ -1,0 +1,167 @@
+"""Clock-jump discipline through the async path.
+
+PR-3 fixed the contract for external clock readings: forward jumps fire
+the skipped range *late, never skipped*; backward jumps *freeze* the
+wheel so no timer ever fires early. The same discipline must hold when
+the jumps come from a :class:`SkewedClockSource` under the live ticker —
+and, in explicit-sync mode, ``advance_clock`` must match the synchronous
+``sync_clock`` bookkeeping bit for bit (`test_chaos_async.py` covers the
+full differential).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.core.supervision import SupervisedScheduler
+from repro.runtime import AsyncTimerService, FakeClock, SkewedClockSource
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_forward_jump_fires_the_skipped_range_late_never_skipped():
+    async def main():
+        inner = FakeClock()
+        # Once the inner clock reads 4s, the visible reading steps +20s.
+        clock = SkewedClockSource(inner, [(4.0, 20.0)])
+        scheduler = make_scheduler("scheme6", table_size=256)
+        fired = []
+        service = AsyncTimerService(scheduler, tick_duration=1.0, clock=clock)
+        await service.start()
+        for deadline in (2, 7, 15, 23):
+            await service.start_timer(
+                deadline,
+                request_id=f"t{deadline}",
+                callback=lambda t: fired.append((t.request_id, t.expired_at)),
+            )
+        await inner.advance(2.0)            # before the jump: normal firing
+        assert fired == [("t2", 2)]
+        await inner.advance(5.0)            # crosses the +20 step
+        # Readings jumped from ~4 to ~27: every timer inside the gap
+        # fired (late in wall terms) at its own wheel tick, in order.
+        assert fired == [("t2", 2), ("t7", 7), ("t15", 15), ("t23", 23)]
+        assert service.oversleep_ticks > 0  # the jump was observed as lag
+        assert service.pending_count == 0
+        await service.aclose()
+
+    run(main())
+
+
+def test_backward_jump_freezes_the_wheel_and_never_fires_early():
+    async def main():
+        inner = FakeClock()
+        # At inner 3s the reading steps back 2s.
+        clock = SkewedClockSource(inner, [(3.0, -2.0)])
+        scheduler = make_scheduler("scheme6", table_size=256)
+        fired = []
+        service = AsyncTimerService(scheduler, tick_duration=1.0, clock=clock)
+        await service.start()
+        await service.start_timer(
+            5, request_id="due5",
+            callback=lambda t: fired.append((t.request_id, t.expired_at)),
+        )
+        # Inner reaches the planned wake instant (inner 5s) but the
+        # visible reading is only 3s: the ticker must freeze, not fire.
+        await inner.advance(5.0)
+        assert fired == []
+        assert service.early_wakes >= 1
+        assert scheduler.now < 5
+        # Only once the *skewed* reading reaches 5s may the timer fire.
+        await inner.advance(1.9)
+        assert fired == []
+        await inner.advance(0.1)            # skewed reading hits 5.0
+        assert fired == [("due5", 5)]
+        await service.aclose()
+
+    run(main())
+
+
+def test_wheel_time_is_monotone_under_any_jump_script():
+    async def main():
+        inner = FakeClock()
+        clock = SkewedClockSource(
+            inner, [(2.0, -1.5), (6.0, 4.0), (9.0, -3.0)]
+        )
+        scheduler = make_scheduler("scheme7", slot_counts=(16, 16, 16))
+        observed = []
+        service = AsyncTimerService(scheduler, tick_duration=1.0, clock=clock)
+        await service.start()
+        for deadline in range(1, 14, 2):
+            await service.start_timer(
+                deadline,
+                request_id=f"m{deadline}",
+                callback=lambda t: observed.append(scheduler.now),
+            )
+        for _ in range(28):
+            await inner.advance(0.5)
+            observed.append(scheduler.now)
+        # `now` never rewinds, expiries fire in deadline order, and
+        # everything whose deadline the reading crossed has fired.
+        assert observed == sorted(observed)
+        assert service.pending_count == 0
+        await service.aclose()
+
+    run(main())
+
+
+def test_advance_clock_applies_the_discipline_without_a_supervisor():
+    async def main():
+        scheduler = make_scheduler("scheme6", table_size=64)
+        fired = []
+        service = AsyncTimerService(
+            scheduler, tick_duration=1.0, clock=FakeClock()
+        )
+        await service.start()
+        scheduler.start_timer(
+            4, request_id="x", callback=lambda t: fired.append(t.request_id)
+        )
+        await service.advance_clock(3)
+        assert fired == []
+        await service.advance_clock(1)       # backward/stale: frozen
+        assert scheduler.now == 3
+        await service.advance_clock(10)      # forward: fires late, not skipped
+        assert fired == ["x"]
+        assert scheduler.now == 10
+        await service.aclose()
+
+    run(main())
+
+
+def test_advance_clock_delegates_to_a_supervisors_sync_clock():
+    async def main():
+        supervised = SupervisedScheduler(
+            make_scheduler("scheme6", table_size=64)
+        )
+        service = AsyncTimerService(
+            supervised, tick_duration=1.0, clock=FakeClock()
+        )
+        await service.start()
+        supervised.start_timer(8, request_id="y")
+        await service.advance_clock(5)
+        await service.advance_clock(2)       # backward jump: counted once
+        assert supervised.clock_jumps == 1
+        assert supervised.now == 5
+        await service.advance_clock(9)
+        assert supervised.now == 9
+        assert not supervised.is_pending("y")
+        await service.aclose()
+
+    run(main())
+
+
+@pytest.mark.parametrize("delta", [7.0, -4.0])
+def test_fake_clock_jump_matches_skewed_source_reading(delta):
+    """The two jump mechanisms agree on what the reading becomes."""
+
+    async def main():
+        jumped = FakeClock(start=10.0)
+        await jumped.jump(delta)
+        skewed = SkewedClockSource(FakeClock(start=10.0), [(10.0, delta)])
+        assert jumped.now() == pytest.approx(skewed.now())
+
+    run(main())

@@ -28,6 +28,42 @@ def test_schemes_listing_is_registry_derived(capsys):
         assert scheme_summary(name) in out
 
 
+def test_schemes_markdown_table_is_registry_derived(capsys):
+    assert main(["schemes", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    lines = out.strip().splitlines()
+    assert lines[0] == "| scheme | class | summary |"
+    assert lines[1] == "| --- | --- | --- |"
+    # one row per registered scheme, in registry order
+    assert len(lines) == 2 + len(scheme_names())
+    for name, line in zip(scheme_names(), lines[2:]):
+        assert line.startswith(f"| `{name}` |")
+        assert scheme_summary(name) in line
+
+
+def test_serve_runs_a_live_service_and_prints_runtime_counters(capsys):
+    assert main(
+        ["serve", "--scheme", "scheme6", "--timers", "6", "--tick", "0.001",
+         "--horizon", "80", "--seed", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "served 6 timers on scheme6" in out
+    assert "ticker wakeups" in out
+    assert "stopped demo0" in out  # every 4th timer is cancelled
+    assert "demo3 fired" in out
+    assert "async callback errors" in out
+
+
+def test_serve_quiet_with_backpressure_bound(capsys):
+    assert main(
+        ["serve", "--timers", "5", "--tick", "0.001", "--horizon", "60",
+         "--max-pending", "8", "--quiet"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fired (" not in out  # per-expiry lines suppressed
+    assert "served 5 timers" in out
+
+
 def test_experiments_single_fast(capsys):
     assert main(["experiments", "FIG8", "--fast"]) == 0
     out = capsys.readouterr().out

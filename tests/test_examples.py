@@ -15,6 +15,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 #: script -> extra argv (kept tiny so the suite stays quick)
 EXAMPLES = {
     "quickstart.py": [],
+    "async_quickstart.py": [],
     "logic_simulation.py": [],
     "hardware_assist.py": [],
     "trace_replay.py": [],

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Keep the markdown honest: link validation + snippet execution.
+
+Two checks over the documentation set (every ``*.md`` at the repo root
+plus ``docs/*.md``):
+
+1. **Links.** Every relative markdown link must resolve to an existing
+   file or directory (fragments are stripped; ``http(s):``/``mailto:``
+   targets are skipped). Fenced code blocks and inline code spans are
+   excluded from the scan so code that merely *looks* like a link
+   cannot fail the build.
+2. **Snippets.** Every fenced block tagged exactly ``python`` in
+   README.md and ``docs/*.md`` is executed, blocks of one file
+   sequentially in one namespace (so a later snippet may build on an
+   earlier one's variables, as a reader would). Other tags (``bash``,
+   ``console``, ``json``, untagged) are never executed, and reference
+   files like SNIPPETS.md are link-checked only.
+
+Run via ``make docs-check`` or directly:
+
+    PYTHONPATH=src python tools/docs_check.py
+
+Exit status is non-zero on the first category of failure; all failures
+are reported, not just the first.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+import re
+import sys
+import traceback
+from typing import Dict, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Files whose ``python`` blocks are executed. Root reference documents
+#: (SNIPPETS.md's exemplar code, EXPERIMENTS.md's result tables) are
+#: deliberately link-checked only.
+EXEC_FILES = ("README.md", "docs/*.md")
+
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> List[pathlib.Path]:
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+    if not files:
+        raise SystemExit("docs-check: found no markdown files — wrong cwd?")
+    return files
+
+
+def split_fences(text: str) -> Tuple[List[str], List[Tuple[str, int, str]]]:
+    """Split into (prose lines, fenced blocks as (tag, start_line, code))."""
+    prose: List[str] = []
+    blocks: List[Tuple[str, int, str]] = []
+    tag = None
+    code: List[str] = []
+    start = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        fence = FENCE_RE.match(line)
+        if tag is None:
+            if fence:
+                tag = fence.group(1)
+                code = []
+                start = lineno + 1
+            else:
+                prose.append(line)
+        elif fence:
+            blocks.append((tag, start, "\n".join(code)))
+            tag = None
+        else:
+            code.append(line)
+    if tag is not None:
+        blocks.append((tag, start, "\n".join(code)))  # unterminated fence
+    return prose, blocks
+
+
+def check_links(path: pathlib.Path, prose: List[str]) -> List[str]:
+    failures = []
+    for lineno, line in enumerate(prose, start=1):
+        for target in LINK_RE.findall(INLINE_CODE_RE.sub("", line)):
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:  # pure fragment: #section-in-this-file
+                continue
+            if not (path.parent / resolved).exists():
+                failures.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken link "
+                    f"-> {target}"
+                )
+    return failures
+
+
+def run_snippets(
+    path: pathlib.Path, blocks: List[Tuple[str, int, str]]
+) -> Tuple[int, List[str]]:
+    rel = path.relative_to(REPO_ROOT)
+    namespace: Dict[str, object] = {"__name__": f"docs_check:{rel}"}
+    ran = 0
+    failures = []
+    for tag, start, code in blocks:
+        if tag != "python":
+            continue
+        ran += 1
+        # Pad so tracebacks point at the real line in the markdown file.
+        padded = "\n" * (start - 1) + code
+        captured = io.StringIO()  # snippet prints surface only on failure
+        try:
+            with contextlib.redirect_stdout(captured):
+                exec(compile(padded, str(rel), "exec"), namespace)
+        except Exception:
+            output = captured.getvalue()
+            failures.append(
+                f"{rel}: snippet at line {start} raised\n"
+                + traceback.format_exc(limit=4)
+                + (f"--- snippet stdout ---\n{output}" if output else "")
+            )
+    return ran, failures
+
+
+def main() -> int:
+    link_failures: List[str] = []
+    snippet_failures: List[str] = []
+    files = markdown_files()
+    exec_paths = {
+        p for pattern in EXEC_FILES for p in REPO_ROOT.glob(pattern)
+    }
+    checked_links = 0
+    ran_snippets = 0
+    for path in files:
+        prose, blocks = split_fences(path.read_text(encoding="utf-8"))
+        checked_links += sum(
+            len(LINK_RE.findall(INLINE_CODE_RE.sub("", line)))
+            for line in prose
+        )
+        link_failures.extend(check_links(path, prose))
+        if path in exec_paths:
+            ran, failures = run_snippets(path, blocks)
+            ran_snippets += ran
+            snippet_failures.extend(failures)
+    for failure in link_failures + snippet_failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    status = "FAIL" if (link_failures or snippet_failures) else "OK"
+    print(
+        f"docs-check: {status} — {len(files)} files, "
+        f"{checked_links} links checked ({len(link_failures)} broken), "
+        f"{ran_snippets} python snippets executed "
+        f"({len(snippet_failures)} failed)"
+    )
+    return 1 if (link_failures or snippet_failures) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
