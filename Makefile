@@ -1,6 +1,6 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test lint bench bench-full bench-json bench-sharded bench-async chaos docs-check experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full bench-json bench-sharded bench-async bench-observe chaos docs-check experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -41,6 +41,11 @@ bench-sharded:
 # ticker wakeups == distinct expiry instants, enforced per row.
 bench-async:
 	PYTHONPATH=src python -m repro.bench ASYNCIDLE --json BENCH_async_idle.json
+
+# Regenerate the checked-in observer-overhead baseline (docs/observability.md):
+# fingerprints bit-identical across pipelines, full stack <=15% on service rows.
+bench-observe:
+	PYTHONPATH=src python -m repro.bench OBSERVE --json BENCH_observer_overhead.json
 
 # Validate every relative link in *.md / docs/*.md and smoke-run all
 # fenced python blocks extracted from the docs (docs/README.md).

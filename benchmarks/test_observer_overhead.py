@@ -1,0 +1,105 @@
+"""Bench target + checked-in-baseline gate for experiment OBSERVE.
+
+Two layers of defence:
+
+* ``test_observe_experiment`` regenerates the OBSERVE table live under
+  pytest-benchmark (fast mode by default — fingerprint identity on every
+  row; REPRO_BENCH_FULL=1 additionally enforces the wall-clock ceiling);
+* the ``TestCheckedInBaseline`` class statically validates the committed
+  ``BENCH_observer_overhead.json`` (the artefact ``make bench-observe``
+  regenerates), so a baseline refreshed on a machine where the gates
+  failed — or hand-edited into passing — cannot land unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_experiment_bench
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_observer_overhead.json"
+
+
+def test_observe_experiment(benchmark):
+    run_experiment_bench(benchmark, "OBSERVE")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    assert BASELINE.exists(), (
+        f"{BASELINE.name} missing - run `make bench-observe` and commit it"
+    )
+    with BASELINE.open(encoding="utf-8") as handle:
+        doc = json.load(handle)
+    experiments = [
+        exp
+        for exp in doc.get("experiments", [])
+        if exp.get("experiment_id") == "OBSERVE"
+    ]
+    assert len(experiments) == 1, "baseline must hold exactly one OBSERVE run"
+    return experiments[0]
+
+
+class TestCheckedInBaseline:
+    """Static gates over the committed BENCH_observer_overhead.json."""
+
+    def test_full_mode_and_passed(self, baseline):
+        assert baseline["data"]["mode"] == "full", (
+            "baseline must be regenerated with `make bench-observe`, "
+            "not the --fast smoke variant"
+        )
+        assert baseline["passed"] is True
+        assert all(check["passed"] for check in baseline["checks"])
+
+    def test_covers_both_schemes_and_all_pipelines(self, baseline):
+        rows = baseline["data"]["measurements"]
+        assert {m["scheme"] for m in rows} == {"scheme6", "scheme7"}
+        assert {m["pipeline"] for m in rows} == {"null", "metrics", "full"}
+        assert {m["workload"] for m in rows} == {
+            "sparse-service",
+            "sparse-bare",
+            "dense-bare",
+        }
+
+    def test_fingerprints_identical_on_every_row(self, baseline):
+        for m in baseline["data"]["measurements"]:
+            where = f"{m['scheme']}/{m['workload']}/{m['pipeline']}"
+            assert m["identical_expiries"] is True, where
+            assert m["identical_op_totals"] is True, where
+            assert m["expiries"] > 0, f"{where}: empty run proves nothing"
+
+    def test_gated_rows_exist_and_meet_ceiling(self, baseline):
+        gated = [m for m in baseline["data"]["measurements"] if m["gated"]]
+        # metrics + full on the service workload, for each of two schemes.
+        assert len(gated) == 4, "expected 4 gated rows"
+        for m in gated:
+            where = f"{m['scheme']}/{m['workload']}/{m['pipeline']}"
+            assert m["workload"] == "sparse-service", where
+            assert m["payload_iters"] > 0, (
+                f"{where}: gated rows must model a real Expiry_Action"
+            )
+            ceiling = m["overhead_ceiling"]
+            assert ceiling is not None and ceiling <= 0.15, where
+            assert m["overhead_vs_null"] is not None, where
+            assert m["overhead_vs_null"] <= ceiling, (
+                f"{where}: overhead {m['overhead_vs_null']:+.1%} "
+                f"exceeds ceiling {ceiling:.0%}"
+            )
+        assert any(m["pipeline"] == "full" for m in gated), (
+            "the whole metrics+trace+spans stack must be gated, "
+            "not just the collector"
+        )
+
+    def test_bare_rows_present_but_ungated(self, baseline):
+        bare = [
+            m
+            for m in baseline["data"]["measurements"]
+            if m["workload"].endswith("bare")
+        ]
+        assert bare, "bare worst-case rows must stay in the report"
+        for m in bare:
+            assert m["gated"] is False
+            assert m["overhead_ceiling"] is None

@@ -34,6 +34,7 @@ from repro.bench.experiments.exp_arq import xtra5_arq_timer_pressure
 from repro.bench.experiments.exp_sparse import wheelperf_sparse_advance
 from repro.bench.experiments.exp_sharded import sharded_throughput
 from repro.bench.experiments.exp_async import async_idle_cost
+from repro.bench.experiments.exp_observe import observer_overhead
 
 #: Experiment id -> callable(fast: bool) -> ExperimentResult
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "WHEELPERF": wheelperf_sparse_advance,
     "SHARDED": sharded_throughput,
     "ASYNCIDLE": async_idle_cost,
+    "OBSERVE": observer_overhead,
 }
 
 

@@ -17,9 +17,12 @@ Subcommands
     observability snapshot: tick-latency histogram, pending-count gauge,
     firing drift, and the scheme's structure introspection (hash-chain
     length distribution, wheel occupancy, ...).
-``trace --scenario NAME [--scheme S] [--out FILE]``
+``trace --scenario NAME [--scheme S] [--out FILE] [--request-id ID] [--event TYPE] [--spans-out FILE]``
     Run a scenario with a lifecycle trace recorder attached and emit the
-    retained events as JSONL (see ``docs/observability.md``).
+    retained events as JSONL; ``--request-id`` follows one timer (its
+    supervision re-arms included) and ``--event`` keeps only the given
+    types. ``--spans-out`` additionally assembles end-to-end spans and
+    writes them as JSONL (see ``docs/observability.md``).
 ``replay TRACEFILE [--scheme S]``
     Replay a recorded START/STOP trace (see ``repro.workloads.trace``).
 ``recommend [--rate R] [--mean-interval T] [--stop-fraction F] [--memory M]``
@@ -30,6 +33,13 @@ Subcommands
     deadlines, cancel a fraction mid-flight, await the coroutine expiry
     actions in real wall time, then print the runtime counters
     (wakeups, replans, oversleeps — see ``docs/async_runtime.md``).
+    ``--metrics-port`` serves ``/metrics`` + ``/introspect`` + ``/spans``
+    on that port for the duration of the demo.
+``top [--host H --port P | --demo] [--interval S] [--frames N | --once]``
+    Poll a live telemetry endpoint (``serve --metrics-port`` or any
+    :class:`~repro.obs.endpoint.TelemetryEndpoint`) and render a compact
+    health summary per frame; ``--demo`` runs a self-contained service +
+    endpoint in-process and polls it over loopback HTTP.
 ``chaos [--schemes S,S,...] [--plan FILE] [--budget N] [--shards N] [--json FILE]``
     Replay one deterministic fault plan (callback failures, slow/hanging
     callbacks, stop races, allocator pressure, clock jumps) across the
@@ -182,24 +192,70 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_matches(event, request_id: Optional[str], etypes) -> bool:
+    if etypes and event.etype not in etypes:
+        return False
+    if request_id is not None:
+        rid = event.request_id
+        if rid is None:
+            return False
+        # A supervision re-arm renders as ``rearm:<seq>:<origin>`` — the
+        # retries belong to the same logical timer, so follow them too.
+        if rid != request_id and not (
+            rid.startswith("rearm:") and rid.endswith(f":{request_id}")
+        ):
+            return False
+    return True
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs import TraceRecorder, write_trace_jsonl
+    from repro.obs import CompositeObserver, SpanAssembler, TraceRecorder
 
     recorder = TraceRecorder(
         capacity=args.capacity, record_empty_ticks=args.all_ticks
     )
-    _run_instrumented_scenario(args, recorder)
+    observer = recorder
+    spans = None
+    if args.spans_out:
+        spans = SpanAssembler()
+        observer = CompositeObserver([recorder, spans])
+    _run_instrumented_scenario(args, observer)
+    selected = [
+        event
+        for event in recorder.events()
+        if _trace_matches(event, args.request_id, args.event)
+    ]
+    filtered_out = len(recorder.events()) - len(selected)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            written = write_trace_jsonl(recorder, handle)
+            for event in selected:
+                handle.write(event.to_json() + "\n")
         print(
-            f"wrote {written} events to {args.out} "
-            f"({recorder.dropped} older events dropped by the "
-            f"{args.capacity}-event ring)",
+            f"wrote {len(selected)} events to {args.out} "
+            f"({filtered_out} filtered out, {recorder.dropped} older "
+            f"events dropped by the {args.capacity}-event ring)",
             file=sys.stderr,
         )
     else:
-        write_trace_jsonl(recorder, sys.stdout)
+        for event in selected:
+            sys.stdout.write(event.to_json() + "\n")
+    if spans is not None:
+        # Spans correlate re-arms back to their origin id, so the
+        # --request-id filter matches the span's origin directly;
+        # --event filters apply to the event stream only.
+        selected_spans = [
+            span
+            for span in spans.completed
+            if args.request_id is None or span.request_id == args.request_id
+        ]
+        with open(args.spans_out, "w", encoding="utf-8") as handle:
+            for span in selected_spans:
+                handle.write(span.to_json() + "\n")
+        print(
+            f"wrote {len(selected_spans)} completed spans to "
+            f"{args.spans_out}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -282,6 +338,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tick_duration=args.tick,
             max_pending=args.max_pending,
         )
+        endpoint = None
+        if getattr(args, "metrics_port", None) is not None:
+            from repro.obs import (
+                CompositeObserver,
+                FlightRecorder,
+                MetricsCollector,
+                SpanAssembler,
+                TelemetryEndpoint,
+                TraceRecorder,
+            )
+
+            collector = MetricsCollector(per_tick_fidelity=False)
+            spans = SpanAssembler(registry=collector.registry)
+            trace = TraceRecorder(capacity=4096)
+            flight = FlightRecorder(dump_dir=None)
+            scheduler.attach_observer(
+                CompositeObserver([collector, spans, trace, flight])
+            )
+            endpoint = TelemetryEndpoint(
+                service,
+                registry=collector.registry,
+                spans=spans,
+                trace=trace,
+                port=args.metrics_port,
+            )
+            await endpoint.start()
+            print(f"telemetry: {endpoint.url}/metrics", file=sys.stderr)
 
         async def note(timer):
             fired.append((timer.request_id, timer.deadline))
@@ -310,6 +393,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await service.sleep_until(args.horizon)
             await service.drain()
             stats = service.introspect()["runtime"]
+        if endpoint is not None:
+            await endpoint.close()
         return stats
 
     stats = asyncio.run(demo())
@@ -330,6 +415,127 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ]
     print(render_table(["runtime counter", "value"], rows))
     return 0
+
+
+def _render_top_frame(doc: dict) -> str:
+    """One ``repro top`` frame from a ``/metrics.json`` document."""
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    intro = doc.get("introspection", {}) or {}
+    runtime = intro.get("runtime", {}) or {}
+
+    def counter(name):
+        return counters.get(name, {}).get("value", 0)
+
+    def gauge(name):
+        return gauges.get(name, {}).get("value", 0)
+
+    rows = [
+        ("state", runtime.get("state", "n/a")),
+        ("now (ticks)", f"{gauge('timer_now_ticks'):g}"),
+        ("pending (n)", f"{gauge('timer_pending'):g}"),
+        ("starts / stops", f"{counter('timer_starts_total')} / "
+                           f"{counter('timer_stops_total')}"),
+        ("expiries", counter("timer_expiries_total")),
+        ("ticks (skipped)", f"{counter('timer_ticks_total')} "
+                            f"({counter('timer_ticks_skipped_total')})"),
+        ("retries / quarantined", f"{counter('timer_retries_total')} / "
+                                  f"{counter('timer_quarantined_total')}"),
+        ("callback errors", counter("timer_callback_errors_total")),
+        ("spans completed", counter("timer_spans_completed_total")),
+        ("trace events (dropped)", f"{counter('timer_trace_events_total')} "
+                                   f"({counter('timer_trace_dropped_total')})"),
+    ]
+    if runtime:
+        rows.extend(
+            [
+                ("ticker wakeups", runtime.get("wakeups", 0)),
+                ("replans", runtime.get("replans", 0)),
+                ("oversleep ticks", runtime.get("oversleep_ticks", 0)),
+                ("dispatched actions", runtime.get("dispatched", 0)),
+            ]
+        )
+    histograms = doc.get("histograms", {})
+    latency = histograms.get("timer_tick_latency_seconds")
+    if latency and latency.get("count"):
+        mean_us = latency["sum"] / latency["count"] * 1e6
+        rows.append(("mean tick latency", f"{mean_us:.1f} us"))
+    return render_table(["measure", "value"], rows)
+
+
+async def _top_poll(host: str, port: int, interval: float, frames) -> int:
+    import json as json_mod
+
+    from repro.obs.endpoint import http_get
+
+    shown = 0
+    while frames is None or shown < frames:
+        if shown and interval > 0:
+            import asyncio
+
+            await asyncio.sleep(interval)
+        status, body = await http_get(host, port, "/metrics.json")
+        if status != 200:
+            print(
+                f"scrape failed: HTTP {status} from {host}:{port}",
+                file=sys.stderr,
+            )
+            return 1
+        if sys.stdout.isatty() and shown:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(f"-- repro top: {host}:{port} frame {shown + 1} --")
+        print(_render_top_frame(json_mod.loads(body)))
+        shown += 1
+    return 0
+
+
+async def _top_demo(frames: int, interval: float) -> int:
+    """Self-contained ``repro top`` demo: run a service + endpoint on a
+    loopback port and poll it over real HTTP (what CI smoke-tests)."""
+    import random
+
+    from repro.core import make_scheduler
+    from repro.obs import (
+        CompositeObserver,
+        MetricsCollector,
+        SpanAssembler,
+        TelemetryEndpoint,
+        TraceRecorder,
+    )
+    from repro.runtime import AsyncTimerService
+
+    rng = random.Random(7)
+    scheduler = make_scheduler("scheme6")
+    collector = MetricsCollector(per_tick_fidelity=False)
+    spans = SpanAssembler(registry=collector.registry)
+    trace = TraceRecorder(capacity=1024)
+    scheduler.attach_observer(CompositeObserver([collector, spans, trace]))
+    service = AsyncTimerService(scheduler, tick_duration=0.001)
+    async with service:
+        for i in range(24):
+            await service.start_timer(
+                rng.randint(1, 40), request_id=f"demo{i}"
+            )
+        endpoint = TelemetryEndpoint(
+            service, registry=collector.registry, spans=spans, trace=trace
+        )
+        async with endpoint:
+            await service.sleep_until(45)
+            await service.drain()
+            code = await _top_poll("127.0.0.1", endpoint.port, interval, frames)
+    return code
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    frames = 1 if args.once else args.frames
+    if args.demo:
+        return asyncio.run(_top_demo(frames or 2, args.interval))
+    if args.port is None:
+        print("top: --port is required (or use --demo)", file=sys.stderr)
+        return 2
+    return asyncio.run(_top_poll(args.host, args.port, args.interval, frames))
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -509,6 +715,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="record tick events even when nothing expired",
     )
     p_trc.add_argument("--out", help="write JSONL here instead of stdout")
+    p_trc.add_argument(
+        "--request-id", metavar="ID",
+        help="only events for this timer (supervision re-arms included)",
+    )
+    p_trc.add_argument(
+        "--event", action="append", metavar="TYPE", default=None,
+        help="only events of this type (repeatable); one of: "
+        "start stop expire tick migrate callback_error retry "
+        "quarantine shed clock_jump",
+    )
+    p_trc.add_argument(
+        "--spans-out", metavar="FILE",
+        help="also assemble end-to-end spans and write them here as JSONL",
+    )
 
     p_rpl = sub.add_parser("replay", help="replay a recorded timer trace")
     p_rpl.add_argument("tracefile")
@@ -544,6 +764,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--quiet", action="store_true", help="suppress per-expiry lines"
+    )
+    p_srv.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics + /introspect on this port during the demo "
+        "(0 picks a free port, printed to stderr)",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="poll a live telemetry endpoint and render a summary"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument(
+        "--port", type=int, default=None,
+        help="telemetry endpoint port (see serve --metrics-port)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between frames",
+    )
+    p_top.add_argument(
+        "--frames", type=int, default=None,
+        help="stop after this many frames (default: run until ^C)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    p_top.add_argument(
+        "--demo", action="store_true",
+        help="spin up an in-process service + endpoint and poll it over "
+        "loopback HTTP",
     )
 
     p_cha = sub.add_parser(
@@ -589,6 +839,7 @@ _HANDLERS = {
     "replay": _cmd_replay,
     "recommend": _cmd_recommend,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "chaos": _cmd_chaos,
 }
 

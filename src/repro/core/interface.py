@@ -579,6 +579,16 @@ class TimerScheduler(abc.ABC):
         cap = start_now + max_ticks
         while self._active:
             if self._now - start_now >= max_ticks:
+                if self.observer is not NULL_OBSERVER:
+                    self.observer.on_anomaly(
+                        self,
+                        "livelock",
+                        {
+                            "pending": self.pending_count,
+                            "max_ticks": max_ticks,
+                            "now": self._now,
+                        },
+                    )
                 raise TimerLivelockError(
                     f"{self.pending_count} timer(s) still pending after "
                     f"{max_ticks} ticks (now={self._now}); raise max_ticks "
@@ -773,16 +783,30 @@ class TimerScheduler(abc.ABC):
     def _run_expiry_action(self, timer: Timer) -> None:
         """Second phase of EXPIRY_PROCESSING: the client's Expiry_Action."""
         if timer.callback is not None:
+            observer = self.observer
+            if observer is NULL_OBSERVER:
+                try:
+                    timer.callback(timer)
+                except Exception as exc:  # noqa: BLE001 - policy decides
+                    if self._error_policy == "collect":
+                        self.callback_errors.append((timer, exc))
+                    else:
+                        raise
+                return
+            observer.on_callback_begin(self, timer)
             try:
                 timer.callback(timer)
             except Exception as exc:  # noqa: BLE001 - policy decides
                 # The observer sees the failure under either policy; the
                 # policy only decides whether tick() re-raises.
-                self.observer.on_callback_error(self, timer, exc)
+                observer.on_callback_error(self, timer, exc)
+                observer.on_callback_end(self, timer, exc)
                 if self._error_policy == "collect":
                     self.callback_errors.append((timer, exc))
                 else:
                     raise
+            else:
+                observer.on_callback_end(self, timer, None)
 
     def __repr__(self) -> str:
         return (

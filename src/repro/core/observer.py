@@ -28,6 +28,25 @@ or a concrete scheme):
   the Scheme 4 hybrid promoted an overflow entry onto the wheel.
 * ``on_callback_error`` — an Expiry_Action raised (under either error
   policy, before the policy decides to collect or re-raise).
+* ``on_callback_begin`` / ``on_callback_end`` — bracketing one timer's
+  Expiry_Action, so a span assembler can meter callback wall time itself
+  (the scheduler never reads the wall clock on behalf of an observer).
+  ``on_callback_end`` carries the exception the *raw* callback raised, or
+  ``None`` — note that under supervision the raw callback is
+  ``SupervisedScheduler._dispatch``, which swallows client failures and
+  reports them via ``on_callback_error``/``on_retry`` instead, so a
+  supervised retry arrives *inside* the begin/end window with
+  ``error=None`` on the bracket.
+* ``on_anomaly`` — the facility detected an operational anomaly worth a
+  post-mortem: a livelock abort, an async backpressure high-water mark,
+  an oversleep spike. ``kind`` is a short string, ``detail`` a dict.
+
+Runtime hook (fired by :class:`~repro.runtime.service.AsyncTimerService`):
+
+* ``on_async_action`` — a coroutine Expiry_Action finished on the event
+  loop; carries the measured wall seconds and the exception (or ``None``).
+  Async actions run *after* the synchronous callback bracket closed — the
+  wheel only enqueues them — so their duration is reported out-of-band.
 
 Supervision hooks (fired by :class:`~repro.core.supervision.SupervisedScheduler`
 on the wrapped scheduler's observer):
@@ -100,6 +119,44 @@ class TimerObserver:
         exc: BaseException,
     ) -> None:
         """``timer``'s Expiry_Action raised ``exc``."""
+
+    def on_callback_begin(
+        self, scheduler: "TimerScheduler", timer: "Timer"
+    ) -> None:
+        """``timer``'s Expiry_Action is about to run. Fired only for
+        timers that actually carry a callback."""
+
+    def on_callback_end(
+        self,
+        scheduler: "TimerScheduler",
+        timer: "Timer",
+        error: "BaseException | None",
+    ) -> None:
+        """``timer``'s Expiry_Action returned (``error=None``) or raised
+        (``error`` is the exception, fired after ``on_callback_error``)."""
+
+    def on_async_action(
+        self,
+        scheduler: "TimerScheduler",
+        timer: "Timer",
+        seconds: float,
+        error: "BaseException | None",
+    ) -> None:
+        """A coroutine Expiry_Action for ``timer`` finished on the event
+        loop after ``seconds`` of wall time; ``error`` is the exception it
+        raised, or ``None``. Fired by the async runtime, not the wheel."""
+
+    def on_anomaly(
+        self,
+        scheduler: "TimerScheduler",
+        kind: str,
+        detail: "dict | None" = None,
+    ) -> None:
+        """The facility hit an operational anomaly: ``kind`` is a short
+        tag (``"livelock"``, ``"backpressure"``, ``"oversleep"``) and
+        ``detail`` carries kind-specific context. Observers may use this
+        to trigger a post-mortem dump; they must still not mutate the
+        scheduler."""
 
     def on_bulk_advance(
         self, scheduler: "TimerScheduler", start_tick: int, end_tick: int
@@ -199,6 +256,22 @@ class CompositeObserver(TimerObserver):
     def on_callback_error(self, scheduler, timer, exc) -> None:
         for obs in self.observers:
             obs.on_callback_error(scheduler, timer, exc)
+
+    def on_callback_begin(self, scheduler, timer) -> None:
+        for obs in self.observers:
+            obs.on_callback_begin(scheduler, timer)
+
+    def on_callback_end(self, scheduler, timer, error) -> None:
+        for obs in self.observers:
+            obs.on_callback_end(scheduler, timer, error)
+
+    def on_async_action(self, scheduler, timer, seconds, error) -> None:
+        for obs in self.observers:
+            obs.on_async_action(scheduler, timer, seconds, error)
+
+    def on_anomaly(self, scheduler, kind, detail=None) -> None:
+        for obs in self.observers:
+            obs.on_anomaly(scheduler, kind, detail)
 
     def on_bulk_advance(self, scheduler, start_tick, end_tick) -> None:
         for obs in self.observers:

@@ -14,7 +14,16 @@ countable after the fact:
   via each scheduler's ``introspect()`` hook;
 * :mod:`~repro.obs.exporters` — JSON and Prometheus text renderings of a
   snapshot, JSONL trace dumps, and the table view used by the
-  ``python -m repro stats`` / ``trace`` subcommands.
+  ``python -m repro stats`` / ``trace`` subcommands;
+* :class:`SpanAssembler` — one end-to-end :class:`TimerSpan` per logical
+  timer, stitched from the hook stream across supervision retries and
+  shard fan-in, with ``timer_span_*`` latency-decomposition histograms;
+* :class:`FlightRecorder` — an always-on compact ring plus periodic
+  ``introspect()`` snapshots that dumps a post-mortem bundle to disk on
+  anomaly triggers (quarantine, livelock, backpressure, oversleep);
+* :class:`TelemetryEndpoint` — a stdlib asyncio HTTP listener serving
+  ``/metrics`` (validated by :mod:`~repro.obs.promcheck`),
+  ``/introspect`` and ``/spans`` next to a running service.
 
 Attach points live in :mod:`repro.core.observer`; an unobserved scheduler
 runs with the shared no-op ``NULL_OBSERVER`` and pays nothing.
@@ -39,6 +48,7 @@ from repro.core.observer import (
     TimerObserver,
 )
 from repro.obs.collector import MetricsCollector
+from repro.obs.endpoint import TelemetryEndpoint, http_get
 from repro.obs.exporters import (
     render_snapshot_tables,
     to_json,
@@ -47,7 +57,15 @@ from repro.obs.exporters import (
     write_trace_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.tracing import EVENT_TYPES, TraceEvent, TraceRecorder
+from repro.obs.promcheck import assert_valid_exposition, validate_exposition
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanAssembler, TimerSpan
+from repro.obs.tracing import (
+    EVENT_TYPES,
+    TraceEvent,
+    TraceRecorder,
+    publish_trace_metrics,
+)
 
 __all__ = [
     "TimerObserver",
@@ -57,14 +75,22 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "EVENT_TYPES",
+    "publish_trace_metrics",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsCollector",
+    "SpanAssembler",
+    "TimerSpan",
+    "FlightRecorder",
+    "TelemetryEndpoint",
+    "http_get",
     "to_json",
     "to_prometheus",
     "trace_to_jsonl",
     "write_trace_jsonl",
     "render_snapshot_tables",
+    "validate_exposition",
+    "assert_valid_exposition",
 ]

@@ -1,0 +1,233 @@
+"""Live telemetry plane: a tiny asyncio HTTP endpoint for scrapers.
+
+Serves the observability surface of a running timer facility over plain
+HTTP/1.1 — stdlib only, one ``asyncio.start_server`` listener, no
+framework. Routes:
+
+``/metrics``
+    Prometheus text exposition of the attached registry (via
+    :func:`~repro.obs.exporters.to_prometheus`); trace-ring loss counters
+    are re-synced before every scrape.
+``/metrics.json``
+    The same snapshot as one JSON document (via
+    :func:`~repro.obs.exporters.to_json`), with the service's
+    ``introspect()`` folded in.
+``/introspect``
+    ``introspect()`` alone — structure occupancy, runtime counters,
+    supervision state — as JSON.
+``/spans``
+    Completed :class:`~repro.obs.spans.TimerSpan` records as JSONL, when
+    a span assembler is attached.
+``/healthz``
+    ``ok`` plus the service state, for liveness probes.
+
+The endpoint holds references; it never attaches observers itself — wire
+the collector/assembler/recorder to the scheduler first, then hand them
+here. ``port=0`` picks a free port (see :attr:`TelemetryEndpoint.port`
+after :meth:`~TelemetryEndpoint.start`), which is what the tests and the
+``repro top --demo`` view use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.obs.exporters import to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import publish_trace_metrics
+
+
+class TelemetryEndpoint:
+    """Serve ``/metrics`` + ``/introspect`` next to a running service.
+
+    >>> endpoint = TelemetryEndpoint(service, registry=collector.registry)
+    >>> await endpoint.start()
+    >>> ...scrape http://127.0.0.1:{endpoint.port}/metrics...
+    >>> await endpoint.close()
+
+    ``service`` may be an
+    :class:`~repro.runtime.service.AsyncTimerService` or any object with
+    ``introspect()`` (a bare scheduler works for tests).
+    """
+
+    def __init__(
+        self,
+        service,
+        registry: Optional[MetricsRegistry] = None,
+        spans=None,
+        trace=None,
+        labels: Optional[Dict[str, str]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.registry = registry
+        self.spans = spans
+        self.trace = trace
+        self.labels = labels
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> "TelemetryEndpoint":
+        """Bind and start serving; resolves :attr:`port` when it was 0."""
+        if self._server is not None:
+            raise RuntimeError("endpoint already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        """Stop listening (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def __aenter__(self) -> "TelemetryEndpoint":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should scrape."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------- handlers
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers; requests are tiny and Connection: close.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2 or parts[0] not in ("GET", "HEAD"):
+                await self._respond(
+                    writer, 405, "text/plain", "method not allowed\n"
+                )
+                return
+            path = parts[1].split("?", 1)[0]
+            status, content_type, body = self._route(path)
+            self.requests_served += 1
+            await self._respond(
+                writer, status, content_type, body, head=parts[0] == "HEAD"
+            )
+        except Exception:  # noqa: BLE001 — a broken scrape must not kill the loop
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _route(self, path: str) -> Tuple[int, str, str]:
+        if path == "/healthz":
+            state = getattr(self.service, "state", "n/a")
+            return 200, "text/plain; charset=utf-8", f"ok state={state}\n"
+        if path == "/metrics":
+            if self.registry is None:
+                return 404, "text/plain", "no metrics registry attached\n"
+            self._sync_trace_counters()
+            body = to_prometheus(self.registry.snapshot(), labels=self.labels)
+            return 200, "text/plain; version=0.0.4; charset=utf-8", body
+        if path == "/metrics.json":
+            if self.registry is None:
+                return 404, "text/plain", "no metrics registry attached\n"
+            self._sync_trace_counters()
+            body = to_json(
+                self.registry.snapshot(),
+                introspection=self._introspect(),
+            )
+            return 200, "application/json", body + "\n"
+        if path == "/introspect":
+            body = json.dumps(
+                self._introspect(), indent=2, sort_keys=True, default=repr
+            )
+            return 200, "application/json", body + "\n"
+        if path == "/spans":
+            if self.spans is None:
+                return 404, "text/plain", "no span assembler attached\n"
+            body = self.spans.to_jsonl()
+            return 200, "application/x-ndjson", body + ("\n" if body else "")
+        return 404, "text/plain", f"unknown path {path}\n"
+
+    def _introspect(self) -> Dict[str, object]:
+        try:
+            return self.service.introspect()
+        except Exception as exc:  # noqa: BLE001 — scrape must not raise
+            return {"error": repr(exc)}
+
+    def _sync_trace_counters(self) -> None:
+        if self.trace is not None:
+            publish_trace_metrics(self.trace, self.registry)
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: str,
+        head: bool = False,
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "OK"
+        )
+        payload = body.encode("utf-8")
+        headers = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(headers.encode("latin-1"))
+        if not head:
+            writer.write(payload)
+        await writer.drain()
+
+
+async def http_get(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> Tuple[int, str]:
+    """Minimal HTTP GET for the CLI poller and tests (no dependencies).
+
+    Returns ``(status, body)``.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        request = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(request.encode("latin-1"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, body.decode("utf-8")

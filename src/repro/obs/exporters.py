@@ -37,10 +37,23 @@ def to_json(
     return json.dumps(doc, indent=indent, sort_keys=True)
 
 
+def _escape_label_value(value: str) -> str:
+    # The exposition format escapes backslash, double-quote and newline
+    # inside label values; everything else passes through verbatim.
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 

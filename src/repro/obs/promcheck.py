@@ -1,0 +1,234 @@
+"""Prometheus text exposition-format line-grammar validator.
+
+The exposition our exporters emit is only useful if a real scraper can
+parse it, and "looks right in the terminal" is not a contract. This
+module checks the text format's documented grammar without depending on
+a Prometheus client library:
+
+* metric and label names match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` /
+  ``[a-zA-Z_][a-zA-Z0-9_]*``;
+* label values escape backslash, double-quote and newline;
+* ``# HELP`` / ``# TYPE`` appear at most once per family, before any of
+  its samples, with a known type;
+* a family's samples are contiguous (no interleaving);
+* sample values parse as floats (``+Inf``/``-Inf``/``NaN`` included);
+* histogram families carry ``_bucket`` series whose cumulative counts
+  are non-decreasing in ``le`` order and end in ``le="+Inf"``, plus
+  ``_sum`` and ``_count``, with ``_count`` equal to the ``+Inf`` bucket.
+
+:func:`validate_exposition` returns a list of problem strings (empty ==
+valid) so tests can show every violation at once;
+:func:`assert_valid_exposition` raises ``AssertionError`` with the full
+list.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: suffixes that fold into the base family name for HELP/TYPE grouping.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(text: str, errors: List[str], where: str) -> Dict[str, str]:
+    """Parse ``name="value",...`` with escape checking."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[i:])
+        if not match:
+            errors.append(f"{where}: bad label name at ...{text[i:]!r}")
+            return labels
+        name = match.group(0)
+        i += len(name)
+        if not text[i : i + 2] == '="':
+            errors.append(f"{where}: label {name} missing =\"")
+            return labels
+        i += 2
+        value = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text) or text[i + 1] not in ('"', "\\", "n"):
+                    errors.append(
+                        f"{where}: invalid escape in label {name}"
+                    )
+                    return labels
+                value.append(text[i : i + 2])
+                i += 2
+                continue
+            if ch == "\n":
+                errors.append(f"{where}: raw newline in label {name}")
+                return labels
+            if ch == '"':
+                break
+            value.append(ch)
+            i += 1
+        else:
+            errors.append(f"{where}: unterminated label value for {name}")
+            return labels
+        i += 1  # closing quote
+        if name in labels:
+            errors.append(f"{where}: duplicate label {name}")
+        labels[name] = "".join(value)
+        if i < len(text):
+            if text[i] != ",":
+                errors.append(f"{where}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def _base_family(name: str, typed_histograms: Dict[str, str]) -> str:
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if typed_histograms.get(base) == "histogram":
+                return base
+    return name
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Every grammar violation found in ``text`` (empty list == valid)."""
+    errors: List[str] = []
+    helps: Dict[str, int] = {}
+    types: Dict[str, str] = {}
+    sampled: List[str] = []  # families in first-sample order
+    closed: set = set()  # families whose sample block ended
+    # histogram bookkeeping: family -> list of (le, cumulative count)
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    sums: Dict[str, float] = {}
+    counts: Dict[str, float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"{where}: malformed comment {line!r}")
+                continue
+            _, keyword, name = parts[0], parts[1], parts[2]
+            if not METRIC_NAME_RE.match(name):
+                errors.append(f"{where}: bad metric name {name!r}")
+                continue
+            if name in sampled:
+                errors.append(
+                    f"{where}: {keyword} {name} after its samples"
+                )
+            if keyword == "HELP":
+                if name in helps:
+                    errors.append(f"{where}: duplicate HELP for {name}")
+                helps[name] = lineno
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    errors.append(
+                        f"{where}: unknown TYPE {kind!r} for {name}"
+                    )
+                if name in types:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue
+
+        # ---- sample line: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+-?\d+)?$", line)
+        if not match:
+            errors.append(f"{where}: unparseable sample {line!r}")
+            continue
+        name, _, label_text, value_text = match.group(1, 2, 3, 4)
+        labels = (
+            _parse_labels(label_text, errors, where) if label_text else {}
+        )
+        for label_name in labels:
+            if not LABEL_NAME_RE.match(label_name):
+                errors.append(f"{where}: bad label name {label_name!r}")
+        value = _parse_value(value_text)
+        if value is None:
+            errors.append(f"{where}: bad value {value_text!r}")
+            continue
+
+        family = _base_family(name, types)
+        if family in closed:
+            errors.append(
+                f"{where}: samples for {family} are not contiguous"
+            )
+        if sampled and sampled[-1] != family:
+            closed.add(sampled[-1])
+        if family not in sampled:
+            sampled.append(family)
+
+        if types.get(family) == "histogram":
+            if name == family + "_bucket":
+                le_text = labels.get("le")
+                if le_text is None:
+                    errors.append(
+                        f"{where}: histogram bucket without le label"
+                    )
+                else:
+                    le = _parse_value(le_text)
+                    if le is None:
+                        errors.append(f"{where}: bad le {le_text!r}")
+                    else:
+                        buckets.setdefault(family, []).append((le, value))
+            elif name == family + "_sum":
+                sums[family] = value
+            elif name == family + "_count":
+                counts[family] = value
+
+    # ---- family-level checks
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(family)
+        if not series:
+            if family in sampled:
+                errors.append(f"{family}: histogram with no _bucket series")
+            continue
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            errors.append(f"{family}: le bounds out of order")
+        if not math.isinf(les[-1]):
+            errors.append(f"{family}: buckets do not end in +Inf")
+        values = [v for _, v in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(f"{family}: bucket counts not cumulative")
+        if family not in sums:
+            errors.append(f"{family}: missing _sum")
+        if family not in counts:
+            errors.append(f"{family}: missing _count")
+        elif math.isinf(les[-1]) and counts[family] != values[-1]:
+            errors.append(
+                f"{family}: _count {counts[family]} != +Inf bucket "
+                f"{values[-1]}"
+            )
+    return errors
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Raise ``AssertionError`` listing every violation in ``text``."""
+    errors = validate_exposition(text)
+    if errors:
+        raise AssertionError(
+            "invalid Prometheus exposition:\n  " + "\n  ".join(errors)
+        )

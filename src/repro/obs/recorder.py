@@ -1,0 +1,285 @@
+"""Flight recorder: an always-on black box that dumps on anomalies.
+
+A :class:`FlightRecorder` is the cheapest observer in the tree: every
+hook appends one compact tuple to a preallocated ring — no dataclasses,
+no string formatting, no wall-clock reads — so it can stay attached in
+production permanently. Two extra behaviours make it a black box rather
+than a ring buffer:
+
+* **periodic snapshots** — every ``snapshot_every`` ticks it captures the
+  scheduler's ``introspect()`` output (bounded to the last
+  ``snapshot_keep``), so a post-mortem shows structure occupancy *before*
+  the incident, not just the event tail. ``introspect()`` walks the whole
+  structure (a 4096-slot wheel costs ~a millisecond), so the cadence
+  defaults coarse; tune it to taste, it is the recorder's only
+  non-constant cost;
+* **anomaly dumps** — on a trigger (a supervision quarantine, a
+  ``"livelock"``/``"backpressure"``/``"oversleep"`` anomaly from
+  :meth:`~repro.core.observer.TimerObserver.on_anomaly`) it serialises
+  the ring, the snapshots and a fresh introspection to one JSON bundle on
+  disk, then keeps recording. Dumps are bounded by ``max_dumps`` so a
+  flapping trigger cannot fill the disk.
+
+Wire-up is one line per layer: the recorder attaches like any observer
+(``scheduler.attach_observer(recorder)``, usually inside a
+:class:`~repro.core.observer.CompositeObserver`); a
+:class:`~repro.sharding.service.ShardedTimerService` fans it into every
+shard, and an :class:`~repro.runtime.service.AsyncTimerService` fires
+``backpressure``/``oversleep`` anomalies at it when configured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.observer import TimerObserver
+
+#: Anomaly kinds (plus ``"quarantine"``) that trigger a dump by default.
+DEFAULT_TRIGGERS = ("quarantine", "livelock", "backpressure", "oversleep")
+
+
+class FlightRecorder(TimerObserver):
+    """Always-on bounded event ring with anomaly-triggered disk dumps.
+
+    >>> recorder = FlightRecorder(dump_dir="/var/tmp/timer-flight")
+    >>> scheduler.attach_observer(recorder)
+    >>> ...incident happens...
+    >>> recorder.dump_paths
+    ['/var/tmp/timer-flight/flight-000-quarantine.json']
+
+    Events are stored as tuples ``(seq, tick, kind, request_id, aux)``
+    and only stringified at dump time. Set ``dump_dir=None`` to disable
+    disk dumps (bundles are still built and kept on
+    :attr:`last_bundle`, which tests use).
+    """
+
+    per_tick_fidelity = False
+
+    __slots__ = (
+        "capacity",
+        "snapshot_every",
+        "snapshot_keep",
+        "dump_dir",
+        "triggers",
+        "max_dumps",
+        "dropped",
+        "total_recorded",
+        "dump_paths",
+        "dumps_suppressed",
+        "last_bundle",
+        "_ring",
+        "_next",
+        "_seq",
+        "_snapshots",
+        "_last_snapshot_tick",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        snapshot_every: int = 16384,
+        snapshot_keep: int = 8,
+        dump_dir: Optional[str] = ".",
+        triggers: Tuple[str, ...] = DEFAULT_TRIGGERS,
+        max_dumps: int = 16,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.capacity = capacity
+        self.snapshot_every = snapshot_every
+        self.snapshot_keep = snapshot_keep
+        self.dump_dir = dump_dir
+        self.triggers = tuple(triggers)
+        self.max_dumps = max_dumps
+        #: events overwritten after the ring filled up.
+        self.dropped = 0
+        #: events ever captured (retained + dropped).
+        self.total_recorded = 0
+        #: bundle files written, in order.
+        self.dump_paths: List[str] = []
+        #: triggers ignored because ``max_dumps`` was reached.
+        self.dumps_suppressed = 0
+        #: the most recent bundle dict (also kept when ``dump_dir=None``).
+        self.last_bundle: Optional[Dict[str, object]] = None
+        self._ring: List[Optional[tuple]] = [None] * capacity
+        self._next = 0
+        self._seq = 0
+        self._snapshots: List[Dict[str, object]] = []
+        self._last_snapshot_tick: Optional[int] = None
+
+    def __len__(self) -> int:
+        return min(self.total_recorded, self.capacity)
+
+    # ------------------------------------------------------------- recording
+
+    def _append(self, tick: int, kind: str, rid, aux) -> None:
+        if self._ring[self._next] is not None:
+            self.dropped += 1
+        self._ring[self._next] = (self._seq, tick, kind, rid, aux)
+        self._seq += 1
+        self._next = (self._next + 1) % self.capacity
+        self.total_recorded += 1
+
+    def on_start(self, scheduler, timer) -> None:
+        self._append(scheduler.now, "start", timer.request_id, timer.deadline)
+
+    def on_stop(self, scheduler, timer) -> None:
+        self._append(scheduler.now, "stop", timer.request_id, timer.deadline)
+
+    def on_expire(self, scheduler, timer) -> None:
+        self._append(scheduler.now, "expire", timer.request_id, timer.deadline)
+
+    def on_migrate(self, scheduler, timer, from_level, to_level) -> None:
+        self._append(
+            scheduler.now, "migrate", timer.request_id, (from_level, to_level)
+        )
+
+    def on_callback_error(self, scheduler, timer, exc) -> None:
+        self._append(
+            scheduler.now, "callback_error", timer.request_id, repr(exc)
+        )
+
+    def on_retry(self, scheduler, timer, attempt, retry_at) -> None:
+        self._append(
+            scheduler.now, "retry", timer.request_id, (attempt, retry_at)
+        )
+
+    def on_shed(self, scheduler, timer, policy) -> None:
+        self._append(scheduler.now, "shed", timer.request_id, policy)
+
+    def on_clock_jump(self, scheduler, from_tick, to_tick) -> None:
+        self._append(scheduler.now, "clock_jump", None, (from_tick, to_tick))
+
+    def on_tick_end(self, scheduler, expired_count) -> None:
+        if expired_count:
+            self._append(scheduler.now, "tick", None, expired_count)
+        self._maybe_snapshot(scheduler)
+
+    def on_bulk_advance(self, scheduler, start_tick, end_tick) -> None:
+        self._append(
+            scheduler.now, "bulk_advance", None, (start_tick, end_tick)
+        )
+        self._maybe_snapshot(scheduler)
+
+    # -------------------------------------------------------------- triggers
+
+    def on_quarantine(self, scheduler, timer, attempts, exc) -> None:
+        self._append(
+            scheduler.now, "quarantine", timer.request_id, (attempts, repr(exc))
+        )
+        if "quarantine" in self.triggers:
+            self.dump(
+                "quarantine",
+                scheduler,
+                {
+                    "request_id": str(timer.request_id),
+                    "attempts": attempts,
+                    "error": repr(exc),
+                },
+            )
+
+    def on_anomaly(self, scheduler, kind, detail=None) -> None:
+        self._append(scheduler.now, f"anomaly:{kind}", None, detail)
+        if kind in self.triggers:
+            self.dump(kind, scheduler, detail)
+
+    # ------------------------------------------------------------- snapshots
+
+    def _maybe_snapshot(self, scheduler) -> None:
+        now = scheduler.now
+        last = self._last_snapshot_tick
+        if last is not None and now - last < self.snapshot_every:
+            return
+        self._last_snapshot_tick = now
+        try:
+            info = scheduler.introspect()
+        except Exception as exc:  # noqa: BLE001 — never break the tick
+            info = {"error": repr(exc)}
+        self._snapshots.append({"tick": now, "introspection": info})
+        if len(self._snapshots) > self.snapshot_keep:
+            del self._snapshots[: len(self._snapshots) - self.snapshot_keep]
+
+    @property
+    def snapshots(self) -> List[Dict[str, object]]:
+        """Retained periodic snapshots, oldest first."""
+        return list(self._snapshots)
+
+    # ------------------------------------------------------------- read side
+
+    def events(self) -> List[Dict[str, object]]:
+        """Retained events as dicts, oldest first."""
+        if self.total_recorded < self.capacity:
+            raw = [e for e in self._ring[: self._next] if e is not None]
+        else:
+            tail = self._ring[self._next :] + self._ring[: self._next]
+            raw = [e for e in tail if e is not None]
+        out = []
+        for seq, tick, kind, rid, aux in raw:
+            event: Dict[str, object] = {"seq": seq, "tick": tick, "event": kind}
+            if rid is not None:
+                event["request_id"] = str(rid)
+            if aux is not None:
+                event["detail"] = aux if _jsonable(aux) else repr(aux)
+            out.append(event)
+        return out
+
+    # ----------------------------------------------------------------- dumps
+
+    def dump(
+        self,
+        reason: str,
+        scheduler=None,
+        detail: Optional[Dict[str, object]] = None,
+    ) -> Optional[str]:
+        """Build a post-mortem bundle; write it to ``dump_dir`` if set.
+
+        Returns the file path (``None`` when dumping to disk is disabled
+        or ``max_dumps`` was reached). Callable directly for operator-
+        initiated dumps.
+        """
+        if len(self.dump_paths) >= self.max_dumps:
+            self.dumps_suppressed += 1
+            return None
+        bundle: Dict[str, object] = {
+            "reason": reason,
+            "detail": detail,
+            "dumped_at_tick": None if scheduler is None else scheduler.now,
+            "events_retained": len(self),
+            "events_dropped": self.dropped,
+            "events_total": self.total_recorded,
+            "events": self.events(),
+            "snapshots": self.snapshots,
+        }
+        if scheduler is not None:
+            try:
+                bundle["introspection"] = scheduler.introspect()
+            except Exception as exc:  # noqa: BLE001 — best effort
+                bundle["introspection"] = {"error": repr(exc)}
+        self.last_bundle = bundle
+        if self.dump_dir is None:
+            return None
+        os.makedirs(self.dump_dir, exist_ok=True)
+        name = f"flight-{len(self.dump_paths):03d}-{reason}.json"
+        path = os.path.join(self.dump_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True, default=repr)
+        self.dump_paths.append(path)
+        return path
+
+
+def _jsonable(value) -> bool:
+    if isinstance(value, (str, int, float, bool)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and _jsonable(v) for k, v in value.items()
+        )
+    return False

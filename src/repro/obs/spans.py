@@ -1,0 +1,530 @@
+"""End-to-end timer spans assembled from the observer hook stream.
+
+After supervision (PR 4) and sharding/async dispatch (PR 5), one logical
+timer's life crosses up to four layers: the wheel scheme that holds it,
+the :class:`~repro.core.supervision.SupervisedScheduler` that may re-arm
+it under a :class:`~repro.core.supervision.RearmId`, the shard it hashed
+to, and the event loop that runs its coroutine action. Each layer already
+emits hooks; none of them shows where a *single timer's* latency went.
+
+A :class:`SpanAssembler` stitches that stream back together into one
+:class:`TimerSpan` per logical timer. The correlation key is the client
+``request_id``: supervision re-arms carry a ``RearmId`` whose
+``origin_of`` recovers the client id, and a sharded service fans one
+observer into every shard, so retries and shard hops land on the same
+span without any extra plumbing. Latency decomposes into the terms the
+paper's LATENCY cost model prices, plus the wall-clock terms the model
+abstracts away:
+
+``armed_wait_ticks``
+    first firing minus START_TIMER tick — the interval the client asked
+    for plus any structural delay.
+``drift_ticks``
+    ``fired_at - deadline`` at the first firing: the wheel's own error
+    (nonzero only for the lossy Scheme 7 variants).
+``retry_ticks``
+    last firing minus first firing: time spent in supervision
+    retry/backoff re-arms.
+``callback_seconds`` / ``async_seconds``
+    wall time in the synchronous Expiry_Action bracket, and in the
+    coroutine action the async runtime dispatched (reported out-of-band
+    by :meth:`~repro.core.observer.TimerObserver.on_async_action`, after
+    the span completed — the assembler back-fills the finished span).
+
+The assembler measures wall time itself (``perf_counter`` between
+``on_callback_begin`` and ``on_callback_end``); schedulers never read the
+wall clock on behalf of an observer. Completed spans are kept in a
+bounded ring (oldest evicted, counted in :attr:`SpanAssembler.dropped`)
+and exported as JSONL or folded into ``timer_span_*`` histograms on a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from time import perf_counter
+from typing import Deque, Dict, Hashable, IO, List, Optional
+
+from repro.core.observer import TimerObserver
+from repro.core.supervision import RearmId, origin_of
+from repro.obs.metrics import MetricsRegistry
+
+#: Tick-valued span phases (armed wait, retry time, total).
+SPAN_TICK_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096, 16384)
+
+#: First-firing drift; mirrors the collector's drift buckets.
+SPAN_DRIFT_BUCKETS = (-256, -64, -16, -4, -1, 0, 1, 4, 16, 64, 256)
+
+#: Callback wall-time bounds, seconds.
+SPAN_SECONDS_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0,
+)
+
+#: Every terminal state a span can reach.
+SPAN_OUTCOMES = ("expired", "failed", "stopped", "quarantined", "shed", "superseded")
+
+
+class TimerSpan:
+    """One logical timer's life, from START_TIMER to its terminal state."""
+
+    __slots__ = (
+        "span_id",
+        "request_id",
+        "started_at",
+        "interval",
+        "deadline",
+        "first_fired_at",
+        "last_fired_at",
+        "end_tick",
+        "attempts",
+        "retries",
+        "callback_seconds",
+        "async_seconds",
+        "callback_kind",
+        "outcome",
+        "error",
+        "shed_policy",
+        "shard",
+        # transient assembly state
+        "_marks",
+        "_cb_started",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        request_id: Hashable,
+        started_at: int,
+        interval: int,
+        deadline: int,
+    ) -> None:
+        self.span_id = span_id
+        self.request_id = request_id
+        self.started_at = started_at
+        self.interval = interval
+        self.deadline = deadline
+        self.first_fired_at: Optional[int] = None
+        self.last_fired_at: Optional[int] = None
+        self.end_tick: Optional[int] = None
+        self.attempts = 0  # failed tries seen (on_retry's attempt counter)
+        self.retries = 0  # re-arms observed
+        self.callback_seconds = 0.0
+        self.async_seconds: Optional[float] = None
+        self.callback_kind = "none"
+        self.outcome: Optional[str] = None
+        self.error: Optional[str] = None
+        self.shed_policy: Optional[str] = None
+        self.shard: Optional[str] = None
+        self._marks: set = set()
+        self._cb_started: Optional[float] = None
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def completed(self) -> bool:
+        """Whether the span has reached a terminal outcome."""
+        return self.outcome is not None
+
+    @property
+    def armed_wait_ticks(self) -> Optional[int]:
+        """Ticks from START_TIMER to the first firing."""
+        if self.first_fired_at is None:
+            return None
+        return self.first_fired_at - self.started_at
+
+    @property
+    def drift_ticks(self) -> Optional[int]:
+        """First-firing error against the requested deadline."""
+        if self.first_fired_at is None:
+            return None
+        return self.first_fired_at - self.deadline
+
+    @property
+    def retry_ticks(self) -> int:
+        """Ticks between the first and last firing (retry/backoff time)."""
+        if self.first_fired_at is None or self.last_fired_at is None:
+            return 0
+        return self.last_fired_at - self.first_fired_at
+
+    @property
+    def total_ticks(self) -> Optional[int]:
+        """START_TIMER to terminal state, in ticks."""
+        if self.end_tick is None:
+            return None
+        return self.end_tick - self.started_at
+
+    def to_dict(self) -> Dict[str, object]:
+        """Dense dict form: ``None`` fields are omitted."""
+        out: Dict[str, object] = {
+            "span_id": self.span_id,
+            "request_id": str(self.request_id),
+            "started_at": self.started_at,
+            "interval": self.interval,
+            "deadline": self.deadline,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "callback_kind": self.callback_kind,
+            "callback_seconds": self.callback_seconds,
+        }
+        for field in (
+            "first_fired_at",
+            "last_fired_at",
+            "end_tick",
+            "outcome",
+            "error",
+            "shed_policy",
+            "shard",
+            "async_seconds",
+        ):
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
+        for field in (
+            "armed_wait_ticks",
+            "drift_ticks",
+            "total_ticks",
+        ):
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
+        out["retry_ticks"] = self.retry_ticks
+        return out
+
+    def to_json(self) -> str:
+        """One JSONL line."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __repr__(self) -> str:
+        state = self.outcome if self.completed else "open"
+        return (
+            f"TimerSpan({self.request_id!r}, started_at={self.started_at}, "
+            f"{state})"
+        )
+
+
+class SpanAssembler(TimerObserver):
+    """Observer that folds the hook stream into per-timer spans.
+
+    >>> spans = SpanAssembler()
+    >>> scheduler.attach_observer(spans)
+    >>> ...run the workload...
+    >>> for span in spans.completed:
+    ...     print(span.to_json())
+
+    Supervision re-arms (``RearmId``) merge into the origin timer's span;
+    a sharded service's fan-in observer correlates across shards because
+    the key is the client ``request_id``, which shard routing preserves.
+    When ``registry`` is given, every completed span is also folded into
+    ``timer_span_*`` histograms and counters.
+    """
+
+    per_tick_fidelity = False
+
+    __slots__ = (
+        "capacity",
+        "registry",
+        "dropped",
+        "total_completed",
+        "superseded",
+        "_open",
+        "_completed",
+        "_recent",
+        "_next_span_id",
+        "_shard_labels",
+        "_span_total",
+        "_span_armed_wait",
+        "_span_drift",
+        "_span_retry",
+        "_span_callback",
+        "_span_async",
+        "_spans_completed",
+        "_spans_open",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 8192,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.registry = registry
+        #: completed spans evicted from the ring.
+        self.dropped = 0
+        #: spans ever completed (retained + dropped).
+        self.total_completed = 0
+        #: open spans displaced by a client reusing a live request_id.
+        self.superseded = 0
+        self._open: Dict[Hashable, TimerSpan] = {}
+        self._completed: Deque[TimerSpan] = deque()
+        self._recent: Dict[Hashable, TimerSpan] = {}
+        self._next_span_id = 0
+        self._shard_labels: Dict[int, str] = {}
+        if registry is not None:
+            self._span_total = registry.histogram(
+                "timer_span_total_ticks",
+                SPAN_TICK_BUCKETS,
+                "start to terminal state, per logical timer",
+            )
+            self._span_armed_wait = registry.histogram(
+                "timer_span_armed_wait_ticks",
+                SPAN_TICK_BUCKETS,
+                "START_TIMER to first firing",
+            )
+            self._span_drift = registry.histogram(
+                "timer_span_drift_ticks",
+                SPAN_DRIFT_BUCKETS,
+                "first firing minus requested deadline",
+            )
+            self._span_retry = registry.histogram(
+                "timer_span_retry_ticks",
+                SPAN_TICK_BUCKETS,
+                "first to last firing (supervision retry/backoff time)",
+            )
+            self._span_callback = registry.histogram(
+                "timer_span_callback_seconds",
+                SPAN_SECONDS_BUCKETS,
+                "wall time inside the synchronous Expiry_Action bracket",
+            )
+            self._span_async = registry.histogram(
+                "timer_span_async_seconds",
+                SPAN_SECONDS_BUCKETS,
+                "wall time of the dispatched coroutine action",
+            )
+            self._spans_completed = registry.counter(
+                "timer_spans_completed_total", "spans reaching a terminal state"
+            )
+            self._spans_open = registry.gauge(
+                "timer_spans_open", "spans currently being assembled"
+            )
+        else:
+            self._span_total = None
+            self._span_armed_wait = None
+            self._span_drift = None
+            self._span_retry = None
+            self._span_callback = None
+            self._span_async = None
+            self._spans_completed = None
+            self._spans_open = None
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    # ----------------------------------------------------------- hook points
+
+    def on_start(self, scheduler, timer) -> None:
+        rid = timer.request_id
+        key = origin_of(rid)
+        span = self._open.get(key)
+        if isinstance(rid, RearmId):
+            # A supervision re-arm of an existing span: the retry timer
+            # is part of the same logical life.
+            if span is not None:
+                span.retries += 1
+                span._marks.add("rearmed")
+                return
+            # Re-arm for a span we never saw open (observer attached
+            # mid-life): fall through and open one keyed on the origin.
+        if span is not None:
+            # The client reused a live id; the old span will never see
+            # its terminal hooks. Close it out explicitly.
+            self.superseded += 1
+            span.outcome = "superseded"
+            span.end_tick = scheduler.now
+            self._finish(span, key)
+        new_span = TimerSpan(
+            span_id=self._next_span_id,
+            request_id=key,
+            started_at=scheduler.now,
+            interval=timer.interval,
+            deadline=timer.deadline,
+        )
+        self._next_span_id += 1
+        self._open[key] = new_span
+        if self._spans_open is not None:
+            self._spans_open.set(len(self._open))
+
+    def on_stop(self, scheduler, timer) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        span.outcome = "stopped"
+        span.end_tick = scheduler.now
+        self._finish(span, key)
+
+    def on_expire(self, scheduler, timer) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        fired_at = timer.fired_at if timer.fired_at is not None else scheduler.now
+        if span.first_fired_at is None:
+            span.first_fired_at = fired_at
+        span.last_fired_at = fired_at
+        if self._shard_labels:
+            span.shard = self._shard_labels.get(id(scheduler))
+        if timer.callback is None:
+            # No Expiry_Action, so no begin/end bracket will arrive.
+            span.outcome = "expired"
+            span.end_tick = scheduler.now
+            self._finish(span, key)
+
+    def on_callback_begin(self, scheduler, timer) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        span.callback_kind = "sync"
+        span._marks.clear()
+        span._cb_started = perf_counter()
+
+    def on_callback_end(self, scheduler, timer, error) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        if span._cb_started is not None:
+            span.callback_seconds += perf_counter() - span._cb_started
+            span._cb_started = None
+        marks = span._marks
+        if "retry" in marks or "rearmed" in marks:
+            # Supervision re-armed the timer inside this bracket; the
+            # span stays open until the retry fires.
+            marks.clear()
+            return
+        span.end_tick = scheduler.now
+        if "quarantine" in marks:
+            span.outcome = "quarantined"
+        elif "shed-drop" in marks:
+            span.outcome = "shed"
+        elif error is not None:
+            span.outcome = "failed"
+            span.error = repr(error)
+        else:
+            span.outcome = "expired"
+        marks.clear()
+        self._finish(span, key)
+
+    def on_callback_error(self, scheduler, timer, exc) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is not None:
+            span.error = repr(exc)
+
+    def on_retry(self, scheduler, timer, attempt, retry_at) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        span.attempts = max(span.attempts, attempt)
+        span._marks.add("retry")
+
+    def on_quarantine(self, scheduler, timer, attempts, exc) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        span.attempts = max(span.attempts, attempts)
+        span.error = repr(exc)
+        span._marks.add("quarantine")
+
+    def on_shed(self, scheduler, timer, policy) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        span.shed_policy = policy
+        if policy == "drop":
+            span._marks.add("shed-drop")
+        else:
+            # defer/degrade re-arm the timer; the span stays open.
+            span._marks.add("rearmed")
+
+    def on_async_action(self, scheduler, timer, seconds, error) -> None:
+        key = origin_of(timer.request_id)
+        span = self._open.get(key) or self._recent.get(key)
+        if span is None:
+            return
+        span.callback_kind = "async"
+        span.async_seconds = (span.async_seconds or 0.0) + seconds
+        if error is not None:
+            span.error = repr(error)
+            if span.completed and span.outcome == "expired":
+                span.outcome = "failed"
+        if span.completed and self._span_async is not None:
+            self._span_async.observe(seconds)
+
+    # -------------------------------------------------------------- plumbing
+
+    def label_shards(self, service) -> "SpanAssembler":
+        """Teach the assembler shard names for a sharded service.
+
+        Hooks arrive with the *shard* scheduler as their first argument;
+        after ``assembler.label_shards(service)`` each span records which
+        shard it fired on (``shard-<index>``). Returns self for chaining.
+        """
+        for index, shard in enumerate(service.shards):
+            self._shard_labels[id(shard)] = f"shard-{index}"
+        return self
+
+    def _finish(self, span: TimerSpan, key: Hashable) -> None:
+        self._open.pop(key, None)
+        span._cb_started = None
+        self.total_completed += 1
+        if len(self._completed) >= self.capacity:
+            evicted = self._completed.popleft()
+            self.dropped += 1
+            if self._recent.get(evicted.request_id) is evicted:
+                del self._recent[evicted.request_id]
+        self._completed.append(span)
+        self._recent[key] = span
+        if self.registry is not None:
+            self._observe(span)
+
+    def _observe(self, span: TimerSpan) -> None:
+        self._spans_completed.inc()
+        self._spans_open.set(len(self._open))
+        if span.total_ticks is not None:
+            self._span_total.observe(span.total_ticks)
+        if span.armed_wait_ticks is not None:
+            self._span_armed_wait.observe(span.armed_wait_ticks)
+        if span.drift_ticks is not None:
+            self._span_drift.observe(span.drift_ticks)
+        if span.retries:
+            self._span_retry.observe(span.retry_ticks)
+        if span.callback_kind != "none":
+            self._span_callback.observe(span.callback_seconds)
+
+    # -------------------------------------------------------------- read side
+
+    @property
+    def completed(self) -> List[TimerSpan]:
+        """Retained completed spans, oldest first."""
+        return list(self._completed)
+
+    @property
+    def open_spans(self) -> List[TimerSpan]:
+        """Spans still being assembled, in no particular order."""
+        return list(self._open.values())
+
+    def to_jsonl(self) -> str:
+        """All retained completed spans as JSON Lines."""
+        return "\n".join(span.to_json() for span in self._completed)
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Stream retained completed spans to ``stream``; returns count."""
+        count = 0
+        for span in self._completed:
+            stream.write(span.to_json() + "\n")
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Drop retained completed spans (open spans keep assembling)."""
+        self._completed.clear()
+        self._recent = {
+            k: v for k, v in self._recent.items() if not v.completed
+        }

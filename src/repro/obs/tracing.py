@@ -285,3 +285,30 @@ class TraceRecorder(TimerObserver):
     def to_jsonl(self) -> str:
         """All retained events as JSON Lines (one event per line)."""
         return "\n".join(event.to_json() for event in self.events())
+
+
+def publish_trace_metrics(recorder, registry) -> None:
+    """Fold a ring's loss accounting into Prometheus counters.
+
+    Ring overflow is otherwise invisible in the exposition: a saturated
+    recorder keeps serving its window and silently forgets the rest.
+    Publishing ``timer_trace_events_total`` and
+    ``timer_trace_dropped_total`` makes the loss rate scrapeable —
+    ``dropped/events`` near 1 means the window is far too small for the
+    event rate. Counters are monotone, so the sync is increment-by-delta
+    and safe to call before every scrape. Works for any recorder exposing
+    ``total_recorded``/``dropped`` (a
+    :class:`~repro.obs.recorder.FlightRecorder` counts the same way).
+    """
+    events = registry.counter(
+        "timer_trace_events_total",
+        "lifecycle events captured by the trace ring (retained + dropped)",
+    )
+    dropped = registry.counter(
+        "timer_trace_dropped_total",
+        "trace events overwritten after the ring filled",
+    )
+    if recorder.total_recorded > events.value:
+        events.inc(recorder.total_recorded - events.value)
+    if recorder.dropped > dropped.value:
+        dropped.inc(recorder.dropped - dropped.value)

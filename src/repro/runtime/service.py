@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+from time import perf_counter
 from typing import Hashable, List, Optional, Set, Union
 
 from repro.core.errors import SchedulerShutdownError
 from repro.core.interface import BoundedErrorLog, ExpiryAction, Timer
+from repro.core.observer import NULL_OBSERVER
 from repro.runtime.clock import ClockSource, LoopClock
 
 #: Service lifecycle: NEW -> RUNNING -> (DRAINING ->) CLOSED.
@@ -81,6 +83,7 @@ class AsyncTimerService:
         clock: Optional[ClockSource] = None,
         max_concurrency: int = 64,
         max_pending: Optional[int] = None,
+        oversleep_alarm_ticks: Optional[int] = None,
     ) -> None:
         if tick_duration <= 0:
             raise ValueError(
@@ -94,11 +97,19 @@ class AsyncTimerService:
             raise ValueError(
                 f"max_pending must be >= 1 or None, got {max_pending}"
             )
+        if oversleep_alarm_ticks is not None and oversleep_alarm_ticks < 1:
+            raise ValueError(
+                "oversleep_alarm_ticks must be >= 1 or None, got "
+                f"{oversleep_alarm_ticks}"
+            )
         self.scheduler = scheduler
         self.tick_duration = float(tick_duration)
         self.clock: ClockSource = clock if clock is not None else LoopClock()
         self.max_concurrency = max_concurrency
         self.max_pending = max_pending
+        #: single oversleep (in ticks) at which an ``"oversleep"`` anomaly
+        #: is reported to the observer; ``None`` disables the alarm.
+        self.oversleep_alarm_ticks = oversleep_alarm_ticks
         #: failures raised by *coroutine* expiry actions (sync-callback
         #: failures follow the scheduler's own error policy unchanged).
         self.callback_errors = BoundedErrorLog()
@@ -133,6 +144,8 @@ class AsyncTimerService:
         self.oversleep_ticks = 0
         #: coroutine expiry actions dispatched as tasks.
         self.dispatched = 0
+        #: start_timer calls that had to wait on ``max_pending``.
+        self.backpressure_blocks = 0
         #: high-water mark of concurrently running coroutine actions.
         self.max_observed_concurrency = 0
         self._running_actions = 0
@@ -247,6 +260,19 @@ class AsyncTimerService:
         """
         self._require_open()
         if self.max_pending is not None:
+            if self.scheduler.pending_count >= self.max_pending:
+                self.backpressure_blocks += 1
+                observer = self._observer()
+                if observer is not NULL_OBSERVER:
+                    observer.on_anomaly(
+                        self.scheduler,
+                        "backpressure",
+                        {
+                            "pending": self.scheduler.pending_count,
+                            "max_pending": self.max_pending,
+                            "blocks": self.backpressure_blocks,
+                        },
+                    )
             while self.scheduler.pending_count >= self.max_pending:
                 if self._state != RUNNING:
                     raise RuntimeError(
@@ -396,6 +422,8 @@ class AsyncTimerService:
             "max_observed_concurrency": self.max_observed_concurrency,
             "max_concurrency": self.max_concurrency,
             "max_pending": self.max_pending,
+            "backpressure_blocks": self.backpressure_blocks,
+            "oversleep_alarm_ticks": self.oversleep_alarm_ticks,
             "async_callback_errors": len(self.callback_errors),
         }
         return data
@@ -439,7 +467,23 @@ class AsyncTimerService:
                 continue
             self.wakeups += 1
             if tick > target:
-                self.oversleep_ticks += tick - target
+                lag = tick - target
+                self.oversleep_ticks += lag
+                alarm = self.oversleep_alarm_ticks
+                if alarm is not None and lag >= alarm:
+                    observer = self._observer()
+                    if observer is not NULL_OBSERVER:
+                        observer.on_anomaly(
+                            self.scheduler,
+                            "oversleep",
+                            {
+                                "lag_ticks": lag,
+                                "alarm_ticks": alarm,
+                                "target": target,
+                                "tick": tick,
+                                "oversleep_ticks": self.oversleep_ticks,
+                            },
+                        )
             self._advance(tick)
 
     def _sync_to_wall(self) -> None:
@@ -503,14 +547,29 @@ class AsyncTimerService:
             self.max_observed_concurrency = max(
                 self.max_observed_concurrency, self._running_actions
             )
+            observer = self._observer()
+            started = (
+                perf_counter() if observer is not NULL_OBSERVER else 0.0
+            )
+            error: Optional[BaseException] = None
             try:
                 await coro_fn(timer)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 — the ring is the contract
+                error = exc
                 self.callback_errors.append((timer, exc))
             finally:
                 self._running_actions -= 1
+                if observer is not NULL_OBSERVER:
+                    observer.on_async_action(
+                        self.scheduler, timer, perf_counter() - started, error
+                    )
+
+    def _observer(self):
+        """The underlying scheduler's observer (NULL_OBSERVER when the
+        scheduler does not expose one, e.g. a sharded facade)."""
+        return getattr(self.scheduler, "observer", NULL_OBSERVER)
 
     # ------------------------------------------------------------ plumbing
 

@@ -67,6 +67,7 @@ from typing import (
 
 from repro.core.errors import TimerLivelockError
 from repro.core.interface import ExpiryAction, Timer, TimerScheduler
+from repro.core.observer import NULL_OBSERVER
 from repro.core.registry import make_scheduler
 from repro.cost.counters import OpCounter
 from repro.sharding.partition import shard_of
@@ -377,6 +378,14 @@ class ShardedTimerService:
             cap = start_now + max_ticks
             while self.pending_count:
                 if self._now - start_now >= max_ticks:
+                    self._fire_anomaly(
+                        "livelock",
+                        {
+                            "pending": self.pending_count,
+                            "max_ticks": max_ticks,
+                            "now": self._now,
+                        },
+                    )
                     raise TimerLivelockError(
                         f"{self.pending_count} timer(s) still pending after "
                         f"{max_ticks} ticks (now={self._now}); raise "
@@ -502,6 +511,22 @@ class ShardedTimerService:
     def attach_shard_observer(self, index: int, observer):
         """Attach ``observer`` to shard ``index`` only."""
         return self._shards[index].attach_observer(observer)
+
+    def _fire_anomaly(self, kind: str, detail) -> None:
+        """Fan a service-level anomaly out to every distinct observer.
+
+        A fan-in observer shared by all shards (``attach_observer``) sees
+        the anomaly exactly once, with shard 0's scheduler as the source;
+        dedicated per-shard observers each see it once with their own
+        shard.
+        """
+        seen = set()
+        for shard in self._shards:
+            observer = shard.observer
+            if observer is NULL_OBSERVER or id(observer) in seen:
+                continue
+            seen.add(id(observer))
+            observer.on_anomaly(shard, kind, detail)
 
     # ------------------------------------------------------------- inspection
 

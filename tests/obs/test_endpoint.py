@@ -1,0 +1,182 @@
+"""TelemetryEndpoint: scrape a *running* service over real sockets.
+
+The acceptance bar from the issue: a curl-style test must fetch
+``/metrics`` from a live :class:`~repro.runtime.service.AsyncTimerService`
+and the body must parse under the exposition-grammar validator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core import make_scheduler
+from repro.obs import (
+    CompositeObserver,
+    FlightRecorder,
+    MetricsCollector,
+    SpanAssembler,
+    TelemetryEndpoint,
+    TraceRecorder,
+    assert_valid_exposition,
+    http_get,
+)
+from repro.runtime import AsyncTimerService, FakeClock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(clock=None):
+    scheduler = make_scheduler("scheme6", table_size=256)
+    return AsyncTimerService(
+        scheduler,
+        tick_duration=1.0,
+        clock=clock if clock is not None else FakeClock(),
+    )
+
+
+def full_stack():
+    collector = MetricsCollector(per_tick_fidelity=False)
+    spans = SpanAssembler(registry=collector.registry)
+    trace = TraceRecorder(capacity=1024)
+    recorder = FlightRecorder(dump_dir=None)
+    observer = CompositeObserver([collector, spans, trace, recorder])
+    return collector, spans, trace, observer
+
+
+async def _serve_with_workload():
+    """A running service with a drained workload and a live endpoint."""
+    clock = FakeClock()
+    service = make_service(clock)
+    collector, spans, trace, observer = full_stack()
+    service.attach_observer(observer)
+    await service.start()
+    for i in range(10):
+        await service.start_timer(1 + i, request_id=f"t{i}")
+    await clock.advance(20.0)
+    await service.drain()
+    endpoint = TelemetryEndpoint(
+        service,
+        registry=collector.registry,
+        spans=spans,
+        trace=trace,
+        labels={"scheme": "scheme6"},
+    )
+    await endpoint.start()
+    return service, endpoint
+
+
+def test_metrics_scrape_parses_under_the_grammar_validator():
+    async def main():
+        service, endpoint = await _serve_with_workload()
+        try:
+            status, body = await http_get(
+                endpoint.host, endpoint.port, "/metrics"
+            )
+        finally:
+            await endpoint.close()
+            await service.aclose()
+        assert status == 200
+        assert_valid_exposition(body)
+        assert 'timer_expiries_total{scheme="scheme6"}' in body
+        assert "timer_span_total_ticks_bucket" in body
+        assert "timer_trace_events_total" in body
+        assert "timer_trace_dropped_total" in body
+
+    run(main())
+
+
+def test_metrics_json_and_introspect_routes():
+    async def main():
+        service, endpoint = await _serve_with_workload()
+        try:
+            status, body = await http_get(
+                endpoint.host, endpoint.port, "/metrics.json"
+            )
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["counters"]["timer_expiries_total"]["value"] == 10
+            assert doc["introspection"]["runtime"]["state"] == "running"
+
+            status, body = await http_get(
+                endpoint.host, endpoint.port, "/introspect"
+            )
+            assert status == 200
+            intro = json.loads(body)
+            assert intro["pending"] == 0
+            assert intro["total_expired"] == 10
+        finally:
+            await endpoint.close()
+            await service.aclose()
+
+    run(main())
+
+
+def test_spans_route_serves_jsonl():
+    async def main():
+        service, endpoint = await _serve_with_workload()
+        try:
+            status, body = await http_get(
+                endpoint.host, endpoint.port, "/spans"
+            )
+        finally:
+            await endpoint.close()
+            await service.aclose()
+        assert status == 200
+        lines = [line for line in body.splitlines() if line]
+        assert len(lines) == 10
+        outcomes = {json.loads(line)["outcome"] for line in lines}
+        assert outcomes == {"expired"}
+
+    run(main())
+
+
+def test_healthz_unknown_route_and_method():
+    async def main():
+        service = make_service()
+        await service.start()
+        endpoint = TelemetryEndpoint(service)
+        await endpoint.start()
+        try:
+            status, body = await http_get(
+                endpoint.host, endpoint.port, "/healthz"
+            )
+            assert status == 200
+            assert "state=running" in body
+
+            status, _ = await http_get(
+                endpoint.host, endpoint.port, "/nope"
+            )
+            assert status == 404
+
+            reader, writer = await asyncio.open_connection(
+                endpoint.host, endpoint.port
+            )
+            writer.write(b"POST /metrics HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            head = await reader.readline()
+            assert b"405" in head
+            writer.close()
+        finally:
+            await endpoint.close()
+            await service.aclose()
+
+    run(main())
+
+
+def test_context_manager_and_resolved_port():
+    async def main():
+        service = make_service()
+        await service.start()
+        async with TelemetryEndpoint(service) as endpoint:
+            assert endpoint.port != 0
+            assert endpoint.url.startswith("http://127.0.0.1:")
+            status, _ = await http_get(
+                endpoint.host, endpoint.port, "/healthz"
+            )
+            assert status == 200
+        await service.aclose()
+
+    run(main())

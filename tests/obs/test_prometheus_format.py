@@ -1,0 +1,226 @@
+"""Exposition line-grammar validator, and our exporters under it.
+
+Two directions:
+
+* every Prometheus rendering this repo produces — plain collector,
+  sharded fan-in, async runtime, span histograms, escaped labels — must
+  pass :func:`~repro.obs.promcheck.validate_exposition`;
+* hand-built violations of the grammar (HELP after samples, broken
+  escapes, non-cumulative buckets, missing ``+Inf``) must be caught, so
+  the validator is known to actually bite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.core.supervision import RetryPolicy, SupervisedScheduler
+from repro.obs import (
+    MetricsCollector,
+    SpanAssembler,
+    TraceRecorder,
+    assert_valid_exposition,
+    publish_trace_metrics,
+    to_prometheus,
+    validate_exposition,
+)
+from repro.sharding import ShardedTimerService
+
+
+def drive(scheduler, n=16):
+    for i in range(n):
+        scheduler.start_timer(1 + (i % 7), request_id=i, callback=lambda t: None)
+    scheduler.advance(16)
+    return scheduler
+
+
+# ------------------------------------------------------------ our exporters
+
+
+def test_plain_collector_snapshot_is_valid():
+    sched = make_scheduler("scheme6", table_size=128)
+    collector = sched.attach_observer(MetricsCollector())
+    drive(sched)
+    collector.sample_structure(sched)
+    text = to_prometheus(collector.registry.snapshot())
+    assert validate_exposition(text) == []
+
+
+def test_labelled_snapshot_with_spans_is_valid():
+    sched = make_scheduler("scheme7", slot_counts=(16, 16, 16))
+    collector = MetricsCollector(per_tick_fidelity=False)
+    sched.attach_observer(collector)
+    sched.detach_observer()
+    spans = SpanAssembler(registry=collector.registry)
+    sched.attach_observer(spans)
+    drive(sched)
+    text = to_prometheus(
+        collector.registry.snapshot(), labels={"scheme": "scheme7"}
+    )
+    assert validate_exposition(text) == []
+    assert 'timer_span_total_ticks_bucket{le="0",scheme="scheme7"}' in text
+
+
+def test_sharded_fanin_snapshot_is_valid():
+    service = ShardedTimerService(shards=4, scheme="scheme6", table_size=64)
+    collector = service.attach_observer(MetricsCollector(per_tick_fidelity=False))
+    for i in range(32):
+        service.start_timer(1 + (i % 9), request_id=f"s{i}")
+    service.run_until_idle()
+    text = to_prometheus(collector.registry.snapshot(), labels={"tier": "smp"})
+    assert validate_exposition(text) == []
+
+
+def test_supervised_retry_metrics_are_valid():
+    sup = SupervisedScheduler(
+        make_scheduler("scheme6", table_size=64),
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff=1),
+    )
+    collector = sup.attach_observer(MetricsCollector())
+
+    def flaky(timer):
+        raise RuntimeError("once")
+
+    sup.start_timer(2, request_id="f", callback=flaky)
+    sup.run_until_idle()
+    text = to_prometheus(collector.registry.snapshot())
+    assert validate_exposition(text) == []
+    assert "timer_retries_total" in text
+
+
+def test_trace_counters_fold_in_and_stay_valid():
+    sched = make_scheduler("scheme6", table_size=64)
+    collector = MetricsCollector(per_tick_fidelity=False)
+    trace = TraceRecorder(capacity=8)
+    from repro.core import CompositeObserver
+
+    sched.attach_observer(CompositeObserver([collector, trace]))
+    drive(sched, n=24)
+    publish_trace_metrics(trace, collector.registry)
+    text = to_prometheus(collector.registry.snapshot())
+    assert validate_exposition(text) == []
+    snap = collector.registry.snapshot()
+    assert (
+        snap["counters"]["timer_trace_events_total"]["value"]
+        == trace.total_recorded
+    )
+    assert (
+        snap["counters"]["timer_trace_dropped_total"]["value"]
+        == trace.dropped
+    )
+    assert trace.dropped > 0  # capacity 8 with 24 timers must overflow
+
+
+def test_publish_trace_metrics_is_monotone_across_scrapes():
+    sched = make_scheduler("scheme6", table_size=64)
+    collector = MetricsCollector(per_tick_fidelity=False)
+    trace = TraceRecorder(capacity=1024)
+    from repro.core import CompositeObserver
+
+    sched.attach_observer(CompositeObserver([collector, trace]))
+    sched.start_timer(1, request_id="a")
+    sched.advance(1)
+    publish_trace_metrics(trace, collector.registry)
+    first = collector.registry.snapshot()["counters"][
+        "timer_trace_events_total"
+    ]["value"]
+    # Scraping twice with no new events must not double-count.
+    publish_trace_metrics(trace, collector.registry)
+    again = collector.registry.snapshot()["counters"][
+        "timer_trace_events_total"
+    ]["value"]
+    assert again == first == trace.total_recorded
+    sched.start_timer(1, request_id="b")
+    sched.advance(1)
+    publish_trace_metrics(trace, collector.registry)
+    assert (
+        collector.registry.snapshot()["counters"][
+            "timer_trace_events_total"
+        ]["value"]
+        == trace.total_recorded
+    )
+
+
+def test_label_escaping_round_trips():
+    sched = make_scheduler("scheme6", table_size=64)
+    collector = sched.attach_observer(MetricsCollector(per_tick_fidelity=False))
+    drive(sched, n=2)
+    text = to_prometheus(
+        collector.registry.snapshot(),
+        labels={"path": 'we"ird\\dir\nline'},
+    )
+    assert validate_exposition(text) == []
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+
+# ------------------------------------------------------- the validator bites
+
+
+GOOD = (
+    "# HELP x_total things\n"
+    "# TYPE x_total counter\n"
+    "x_total 3\n"
+)
+
+
+def test_good_minimal_exposition():
+    assert validate_exposition(GOOD) == []
+
+
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        # HELP after the family's samples started.
+        (
+            "# TYPE x_total counter\nx_total 1\n# HELP x_total late\n",
+            "HELP",
+        ),
+        # Unknown TYPE.
+        ("# TYPE x_total widget\nx_total 1\n", "type"),
+        # Unescaped quote inside a label value.
+        ('# TYPE x_total counter\nx_total{a="b"c"} 1\n', "label"),
+        # Bad metric name.
+        ("# TYPE 9bad counter\n9bad 1\n", "name"),
+        # Not a number.
+        ("# TYPE x_total counter\nx_total banana\n", "value"),
+        # Interleaved families.
+        (
+            "# TYPE a_total counter\na_total 1\n"
+            "# TYPE b_total counter\nb_total 1\n"
+            "a_total 2\n",
+            "contiguous",
+        ),
+        # Histogram buckets not cumulative.
+        (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\nh_sum 9\nh_count 5\n',
+            "cumulative",
+        ),
+        # Histogram missing the +Inf bucket.
+        (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\nh_sum 2\nh_count 2\n',
+            "+Inf",
+        ),
+        # _count disagrees with the +Inf bucket.
+        (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\nh_bucket{le="+Inf"} 4\n'
+            "h_sum 2\nh_count 5\n",
+            "count",
+        ),
+    ],
+)
+def test_violations_are_reported(text, fragment):
+    problems = validate_exposition(text)
+    assert problems, f"expected a violation for {text!r}"
+    assert any(fragment.lower() in p.lower() for p in problems), problems
+
+
+def test_assert_helper_raises_with_all_problems():
+    bad = "# TYPE x_total widget\nx_total banana\n"
+    with pytest.raises(AssertionError) as err:
+        assert_valid_exposition(bad)
+    assert "widget" in str(err.value) or "type" in str(err.value).lower()

@@ -1,0 +1,208 @@
+"""FlightRecorder: bounded ring, snapshots, anomaly-triggered dumps.
+
+The acceptance bar from the issue: the recorder must dump a readable
+post-mortem bundle when a chaos-plan quarantine fires and when the
+scheduler declares :class:`~repro.core.errors.TimerLivelockError`, and a
+test must read the bundle back.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import TimerLivelockError, make_scheduler
+from repro.core.supervision import RetryPolicy, SupervisedScheduler
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import FlightRecorder
+
+
+def build(**kwargs):
+    return make_scheduler("scheme6", table_size=256, **kwargs)
+
+
+# ------------------------------------------------------------------- ring
+
+
+def test_ring_records_lifecycle_events_in_order():
+    sched = build()
+    recorder = sched.attach_observer(FlightRecorder(dump_dir=None))
+    t = sched.start_timer(3, request_id="a")
+    sched.start_timer(7, request_id="b")
+    sched.stop_timer(t)
+    sched.advance(7)
+    kinds = [e["event"] for e in recorder.events()]
+    assert kinds[:3] == ["start", "start", "stop"]
+    assert "expire" in kinds
+    assert "tick" in kinds  # only non-empty ticks are recorded
+    seqs = [e["seq"] for e in recorder.events()]
+    assert seqs == sorted(seqs)
+
+
+def test_ring_is_bounded_and_counts_drops():
+    sched = build()
+    recorder = sched.attach_observer(FlightRecorder(capacity=8, dump_dir=None))
+    for i in range(20):
+        sched.start_timer(1, request_id=i)
+        sched.advance(1)
+    assert len(recorder) == 8
+    assert recorder.dropped == recorder.total_recorded - 8
+    assert recorder.total_recorded > 8
+    # The retained window is the *newest* events.
+    last = recorder.events()[-1]
+    assert last["seq"] == recorder.total_recorded - 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(snapshot_every=0)
+
+
+# -------------------------------------------------------------- snapshots
+
+
+def test_periodic_snapshots_are_rate_limited_and_bounded():
+    sched = build()
+    recorder = sched.attach_observer(
+        FlightRecorder(snapshot_every=10, snapshot_keep=3, dump_dir=None)
+    )
+    for i in range(100):
+        sched.start_timer(1, request_id=i)
+        sched.advance(1)
+    snaps = recorder.snapshots
+    assert 1 <= len(snaps) <= 3
+    for snap in snaps:
+        assert "structure" in snap["introspection"]
+    ticks = [snap["tick"] for snap in snaps]
+    assert ticks == sorted(ticks)
+    assert all(b - a >= 10 for a, b in zip(ticks, ticks[1:]))
+
+
+# --------------------------------------------------- quarantine-triggered
+
+
+def test_chaos_plan_quarantine_dumps_bundle_to_disk(tmp_path):
+    # A scripted FaultPlan fails "victim" on every attempt; supervision
+    # exhausts its retries and quarantines; the recorder must dump.
+    plan = FaultPlan(scripted={"victim": ("fail", "fail")})
+    injector = FaultInjector(plan)
+    sup = SupervisedScheduler(
+        build(),
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff=1),
+    )
+    recorder = sup.attach_observer(FlightRecorder(dump_dir=str(tmp_path)))
+    injector.start_timer(sup, 3, request_id="victim")
+    sup.start_timer(5, request_id="healthy")
+    sup.run_until_idle()
+
+    assert len(recorder.dump_paths) == 1
+    path = recorder.dump_paths[0]
+    assert path.endswith("-quarantine.json")
+    with open(path, encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    assert bundle["reason"] == "quarantine"
+    # The last attempt ran under a supervision re-arm id; the raw id is
+    # recorded verbatim and still names its origin.
+    assert bundle["detail"]["request_id"] == "rearm:1:victim"
+    assert bundle["detail"]["attempts"] == 2
+    kinds = [e["event"] for e in bundle["events"]]
+    assert "quarantine" in kinds
+    assert "retry" in kinds
+    assert "callback_error" in kinds
+    assert bundle["introspection"]["structure"]["kind"]
+    # Recording continued after the dump (the healthy timer still fired).
+    assert bundle["events_total"] <= recorder.total_recorded
+
+
+def test_dump_dir_none_keeps_bundle_in_memory():
+    sup = SupervisedScheduler(
+        build(),
+        retry_policy=RetryPolicy(max_attempts=1),
+    )
+    recorder = sup.attach_observer(FlightRecorder(dump_dir=None))
+
+    def fails(timer):
+        raise RuntimeError("nope")
+
+    sup.start_timer(2, request_id="q", callback=fails)
+    sup.run_until_idle()
+    assert recorder.dump_paths == []
+    assert recorder.last_bundle is not None
+    assert recorder.last_bundle["reason"] == "quarantine"
+
+
+# ----------------------------------------------------- livelock-triggered
+
+
+def test_livelock_declaration_dumps_before_raising():
+    sched = build()
+    recorder = sched.attach_observer(FlightRecorder(dump_dir=None))
+
+    def rearm_now(timer):
+        sched.start_timer(1, callback=rearm_now)
+
+    sched.start_timer(1, callback=rearm_now)
+    with pytest.raises(TimerLivelockError):
+        sched.run_until_idle(max_ticks=50)
+    bundle = recorder.last_bundle
+    assert bundle is not None
+    assert bundle["reason"] == "livelock"
+    assert bundle["detail"]["max_ticks"] == 50
+    assert bundle["detail"]["pending"] >= 1
+    assert any(
+        e["event"] == "anomaly:livelock" for e in bundle["events"]
+    )
+
+
+# ------------------------------------------------------- anomaly plumbing
+
+
+def test_backpressure_and_oversleep_anomalies_trigger_dumps():
+    sched = build()
+    recorder = sched.attach_observer(FlightRecorder(dump_dir=None))
+    recorder.on_anomaly(sched, "backpressure", {"pending": 9, "max_pending": 8})
+    assert recorder.last_bundle["reason"] == "backpressure"
+    recorder.on_anomaly(sched, "oversleep", {"lag_ticks": 12})
+    assert recorder.last_bundle["reason"] == "oversleep"
+    kinds = [e["event"] for e in recorder.events()]
+    assert "anomaly:backpressure" in kinds
+    assert "anomaly:oversleep" in kinds
+
+
+def test_untriggered_anomaly_kind_records_but_does_not_dump():
+    sched = build()
+    recorder = sched.attach_observer(
+        FlightRecorder(dump_dir=None, triggers=("quarantine",))
+    )
+    recorder.on_anomaly(sched, "oversleep", {"lag_ticks": 3})
+    assert recorder.last_bundle is None
+    assert [e["event"] for e in recorder.events()] == ["anomaly:oversleep"]
+
+
+def test_max_dumps_suppresses_flapping_triggers(tmp_path):
+    sched = build()
+    recorder = sched.attach_observer(
+        FlightRecorder(dump_dir=str(tmp_path), max_dumps=2)
+    )
+    for i in range(5):
+        recorder.on_anomaly(sched, "oversleep", {"round": i})
+    assert len(recorder.dump_paths) == 2
+    assert recorder.dumps_suppressed == 3
+    names = sorted(p.rsplit("/", 1)[-1] for p in recorder.dump_paths)
+    assert names == ["flight-000-oversleep.json", "flight-001-oversleep.json"]
+
+
+def test_operator_initiated_dump(tmp_path):
+    sched = build()
+    recorder = sched.attach_observer(FlightRecorder(dump_dir=str(tmp_path)))
+    sched.start_timer(4, request_id="x")
+    sched.advance(4)
+    path = recorder.dump("operator", sched, {"ticket": "INC-42"})
+    with open(path, encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    assert bundle["reason"] == "operator"
+    assert bundle["detail"]["ticket"] == "INC-42"
+    assert bundle["dumped_at_tick"] == sched.now

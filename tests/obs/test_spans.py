@@ -1,0 +1,225 @@
+"""SpanAssembler: one end-to-end span per logical timer.
+
+The assembler's contract is correlation: however many scheduler-level
+events a timer produces (supervision re-arms under fresh ``RearmId``s,
+shard-local expiry, async dispatch completing out-of-band), the client
+sees exactly one :class:`~repro.obs.spans.TimerSpan` keyed by the
+*original* request id, with latency decomposed into armed-wait, drift,
+retry/backoff, and callback time.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.core.supervision import RetryPolicy, SupervisedScheduler
+from repro.obs import MetricsRegistry, SpanAssembler
+from repro.sharding import ShardedTimerService
+
+
+def build(**kwargs):
+    return make_scheduler("scheme6", table_size=256, **kwargs)
+
+
+# ----------------------------------------------------------- plain lifecycle
+
+
+def test_bare_expiry_produces_one_completed_span():
+    sched = build()
+    spans = sched.attach_observer(SpanAssembler())
+    sched.start_timer(5, request_id="req-1")
+    sched.advance(5)
+    assert len(spans.completed) == 1
+    span = spans.completed[0]
+    assert span.request_id == "req-1"
+    assert span.outcome == "expired"
+    assert span.started_at == 0
+    assert span.deadline == 5
+    assert span.first_fired_at == 5
+    assert span.armed_wait_ticks == 5
+    assert span.drift_ticks == 0
+    assert span.retry_ticks == 0
+    assert span.attempts == 0  # bare timer: no callback ran
+    assert spans.open_spans == []
+
+
+def test_sync_callback_span_records_kind_and_duration():
+    sched = build()
+    spans = sched.attach_observer(SpanAssembler())
+    sched.start_timer(3, request_id="cb", callback=lambda t: None)
+    sched.advance(3)
+    (span,) = spans.completed
+    assert span.callback_kind == "sync"
+    assert span.callback_seconds >= 0.0
+    assert span.outcome == "expired"
+
+
+def test_stop_closes_span_with_stopped_outcome():
+    sched = build()
+    spans = sched.attach_observer(SpanAssembler())
+    timer = sched.start_timer(10, request_id="s")
+    sched.advance(4)
+    sched.stop_timer(timer)
+    (span,) = spans.completed
+    assert span.outcome == "stopped"
+    assert span.first_fired_at is None
+    assert span.total_ticks == 4
+
+
+def test_reused_request_id_supersedes_open_span():
+    # Schedulers reject a duplicate *live* id, so the supersede branch
+    # defends against event loss across layers (observer attached to a
+    # scheduler that restarted an id whose stop we never saw). Drive the
+    # hooks directly to pin that defensive behaviour.
+    sched = build()
+    spans = SpanAssembler()
+    first = sched.start_timer(50, request_id="dup")
+    spans.on_start(sched, first)
+    sched.stop_timer(first)  # spans never sees this stop
+    second = sched.start_timer(3, request_id="dup")
+    spans.on_start(sched, second)
+    assert spans.superseded == 1
+    (old,) = spans.completed
+    assert old.outcome == "superseded"
+    assert [s.request_id for s in spans.open_spans] == ["dup"]
+
+
+# ------------------------------------------------------- supervised retries
+
+
+def _flaky(failures):
+    calls = {"n": 0}
+
+    def action(timer):
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise RuntimeError(f"boom {calls['n']}")
+
+    return action
+
+
+def test_retry_chain_is_one_span_keyed_by_origin_id():
+    sup = SupervisedScheduler(
+        build(),
+        retry_policy=RetryPolicy(max_attempts=3, base_backoff=2),
+    )
+    spans = sup.attach_observer(SpanAssembler())
+    sup.start_timer(4, request_id="flaky", callback=_flaky(failures=2))
+    sup.run_until_idle()
+    (span,) = spans.completed
+    assert span.request_id == "flaky"
+    assert span.outcome == "expired"
+    assert span.attempts == 2  # failed tries; the third run succeeded
+    assert span.retries == 2
+    assert span.retry_ticks > 0
+    assert span.error is not None  # last failure retained for context
+    assert spans.open_spans == []
+
+
+def test_exhausted_retries_close_span_as_quarantined():
+    sup = SupervisedScheduler(
+        build(),
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff=1),
+    )
+    spans = sup.attach_observer(SpanAssembler())
+
+    def always_fails(timer):
+        raise ValueError("persistent")
+
+    sup.start_timer(2, request_id="doomed", callback=always_fails)
+    sup.run_until_idle()
+    (span,) = spans.completed
+    assert span.outcome == "quarantined"
+    assert span.attempts == 2
+    assert "persistent" in span.error
+
+
+# --------------------------------------------------------- latency breakdown
+
+
+def test_decomposition_sums_to_total():
+    sup = SupervisedScheduler(
+        build(),
+        retry_policy=RetryPolicy(max_attempts=4, base_backoff=3),
+    )
+    spans = sup.attach_observer(SpanAssembler())
+    sup.start_timer(6, request_id="x", callback=_flaky(failures=1))
+    sup.run_until_idle()
+    (span,) = spans.completed
+    assert span.total_ticks == span.armed_wait_ticks + span.retry_ticks
+    assert span.armed_wait_ticks == 6
+    d = span.to_dict()
+    assert d["request_id"] == "x"
+    assert d["outcome"] == "expired"
+    assert d["retry_ticks"] == span.retry_ticks
+    json.loads(span.to_json())  # round-trips
+
+
+# ----------------------------------------------------------- shard labelling
+
+
+def test_sharded_fanin_labels_spans_per_shard():
+    service = ShardedTimerService(shards=2, scheme="scheme6", table_size=128)
+    spans = service.attach_observer(SpanAssembler())
+    spans.label_shards(service)
+    for i in range(8):
+        service.start_timer(3 + i, request_id=f"t{i}")
+    service.run_until_idle()
+    assert len(spans.completed) == 8
+    shards_seen = {s.shard for s in spans.completed}
+    assert shards_seen <= {"shard-0", "shard-1"}
+    assert len(shards_seen) == 2  # 8 ids spread over 2 shards
+
+
+# ----------------------------------------------------------- metrics folding
+
+
+def test_registry_histograms_and_counters_populate():
+    registry = MetricsRegistry()
+    sched = build()
+    sched.attach_observer(SpanAssembler(registry=registry))
+    for i in range(5):
+        sched.start_timer(2 + i, request_id=i, callback=lambda t: None)
+    sched.advance(10)
+    snap = registry.snapshot()
+    assert snap["counters"]["timer_spans_completed_total"]["value"] == 5
+    assert snap["gauges"]["timer_spans_open"]["value"] == 0
+    total = snap["histograms"]["timer_span_total_ticks"]
+    assert total["count"] == 5
+    assert snap["histograms"]["timer_span_callback_seconds"]["count"] == 5
+
+
+# ------------------------------------------------------------------ bounds
+
+
+def test_completed_ring_is_bounded():
+    sched = build()
+    spans = sched.attach_observer(SpanAssembler(capacity=4))
+    for i in range(10):
+        sched.start_timer(1, request_id=i)
+        sched.advance(1)
+    assert len(spans.completed) == 4
+    assert [s.request_id for s in spans.completed] == [6, 7, 8, 9]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SpanAssembler(capacity=0)
+
+
+def test_jsonl_export_one_line_per_span():
+    sched = build()
+    spans = sched.attach_observer(SpanAssembler())
+    for i in range(3):
+        sched.start_timer(1 + i, request_id=i)
+    sched.advance(5)
+    lines = spans.to_jsonl().strip().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        doc = json.loads(line)
+        assert doc["outcome"] == "expired"
+    spans.clear()
+    assert spans.completed == []

@@ -209,3 +209,109 @@ def test_chaos_json_fingerprints(tmp_path, capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_trace_event_type_filter(capsys):
+    assert main(
+        ["trace", "--scenario", "retransmit_heavy", "--ticks", "300",
+         "--event", "expire", "--event", "retry"]
+    ) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines
+    assert {json.loads(line)["event"] for line in lines} <= {"expire", "retry"}
+
+
+def test_trace_request_id_filter_follows_rearms(tmp_path, capsys):
+    # First pass, unfiltered: learn one request id the scenario produced.
+    all_file = tmp_path / "all.jsonl"
+    assert main(
+        ["trace", "--scenario", "retransmit_heavy", "--ticks", "300",
+         "--out", str(all_file)]
+    ) == 0
+    rids = [
+        json.loads(line).get("request_id")
+        for line in all_file.read_text().splitlines()
+    ]
+    target = next(r for r in rids if r is not None and not r.startswith("rearm:"))
+    capsys.readouterr()
+    # Second pass: the filter must keep only that timer's life, including
+    # supervision re-arms ("rearm:<seq>:<origin>").
+    assert main(
+        ["trace", "--scenario", "retransmit_heavy", "--ticks", "300",
+         "--request-id", target]
+    ) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines
+    for line in lines:
+        rid = json.loads(line)["request_id"]
+        assert rid == target or (
+            rid.startswith("rearm:") and rid.endswith(f":{target}")
+        )
+
+
+def test_trace_filter_reports_filtered_count(tmp_path, capsys):
+    out_file = tmp_path / "expires.jsonl"
+    assert main(
+        ["trace", "--scenario", "expiry_heavy", "--ticks", "200",
+         "--event", "expire", "--out", str(out_file)]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "filtered out" in err
+    events = {
+        json.loads(line)["event"]
+        for line in out_file.read_text().splitlines()
+    }
+    assert events == {"expire"}
+
+
+def test_trace_spans_out_writes_span_jsonl(tmp_path, capsys):
+    spans_file = tmp_path / "spans.jsonl"
+    trace_file = tmp_path / "events.jsonl"
+    assert main(
+        ["trace", "--scenario", "expiry_heavy", "--ticks", "300",
+         "--out", str(trace_file), "--spans-out", str(spans_file)]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "completed spans" in err
+    lines = spans_file.read_text().splitlines()
+    assert lines
+    for line in lines:
+        span = json.loads(line)
+        assert span["outcome"] in (
+            "expired", "failed", "stopped", "quarantined", "shed", "superseded"
+        )
+
+
+def test_trace_request_id_filter_applies_to_spans_out(tmp_path):
+    spans_file = tmp_path / "spans.jsonl"
+    assert main(
+        ["trace", "--scenario", "expiry_heavy", "--ticks", "300",
+         "--request-id", "auto-0", "--spans-out", str(spans_file),
+         "--out", str(tmp_path / "events.jsonl")]
+    ) == 0
+    spans = [json.loads(line) for line in spans_file.read_text().splitlines()]
+    assert spans
+    assert {span["request_id"] for span in spans} == {"auto-0"}
+
+
+def test_serve_with_metrics_endpoint(capsys):
+    assert main(
+        ["serve", "--timers", "5", "--tick", "0.001", "--horizon", "60",
+         "--metrics-port", "0", "--quiet"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "telemetry: http://127.0.0.1:" in captured.err
+    assert "served 5 timers" in captured.out
+
+
+def test_top_demo_renders_frames(capsys):
+    assert main(["top", "--demo", "--once", "--interval", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top: 127.0.0.1:" in out
+    assert "spans completed" in out
+    assert "pending timers" in out or "pending" in out
+
+
+def test_top_without_port_or_demo_exits_2(capsys):
+    assert main(["top"]) == 2
+    assert "--port is required" in capsys.readouterr().err
