@@ -1,6 +1,6 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test lint bench bench-full bench-json bench-sharded bench-async bench-observe chaos docs-check experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full bench-json bench-sharded bench-async bench-observe bench-millions chaos docs-check experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -46,6 +46,12 @@ bench-async:
 # fingerprints bit-identical across pipelines, full stack <=15% on service rows.
 bench-observe:
 	PYTHONPATH=src python -m repro.bench OBSERVE --json BENCH_observer_overhead.json
+
+# Regenerate the checked-in million-timer baseline (docs/performance.md):
+# n=1M rows for schemes 4/6/7 under both stores plus Lawn, fingerprints
+# identical, SoA >=3x bytes/timer reduction and >=1.5x insert throughput.
+bench-millions:
+	PYTHONPATH=src python -m repro.bench MILLIONS --json BENCH_millions.json
 
 # Validate every relative link in *.md / docs/*.md and smoke-run all
 # fenced python blocks extracted from the docs (docs/README.md).

@@ -1,0 +1,127 @@
+"""Bench target + checked-in-baseline gate for experiment MILLIONS.
+
+Two layers of defence:
+
+* ``test_millions_experiment`` regenerates the MILLIONS table live under
+  pytest-benchmark (fast mode by default — fingerprint identity and the
+  bytes/timer gate on every row; REPRO_BENCH_FULL=1 additionally
+  enforces the insert-throughput floors at n=1M);
+* the ``TestCheckedInBaseline`` class statically validates the committed
+  ``BENCH_millions.json`` (the artefact ``make bench-millions``
+  regenerates), so a baseline refreshed on a machine where the gates
+  failed — or hand-edited into passing — cannot land unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_experiment_bench
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_millions.json"
+
+#: Every (scheme, store) row the baseline must carry.
+EXPECTED_ROWS = {
+    ("scheme4", "object"),
+    ("scheme4", "soa"),
+    ("scheme6", "object"),
+    ("scheme6", "soa"),
+    ("scheme7", "object"),
+    ("scheme7", "soa"),
+    ("lawn", "object"),
+}
+
+
+def test_millions_experiment(benchmark):
+    run_experiment_bench(benchmark, "MILLIONS")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    assert BASELINE.exists(), (
+        f"{BASELINE.name} missing - run `make bench-millions` and commit it"
+    )
+    with BASELINE.open(encoding="utf-8") as handle:
+        doc = json.load(handle)
+    experiments = [
+        exp
+        for exp in doc.get("experiments", [])
+        if exp.get("experiment_id") == "MILLIONS"
+    ]
+    assert len(experiments) == 1, "baseline must hold exactly one MILLIONS run"
+    return experiments[0]
+
+
+class TestCheckedInBaseline:
+    """Static gates over the committed BENCH_millions.json."""
+
+    def test_full_mode_at_million_scale_and_passed(self, baseline):
+        assert baseline["data"]["mode"] == "full", (
+            "baseline must be regenerated with `make bench-millions`, "
+            "not the --fast smoke variant"
+        )
+        assert baseline["data"]["timers"] >= 1_000_000
+        assert baseline["passed"] is True
+        assert all(check["passed"] for check in baseline["checks"])
+
+    def test_covers_every_scheme_store_row(self, baseline):
+        rows = baseline["data"]["measurements"]
+        assert {(m["scheme"], m["store"]) for m in rows} == EXPECTED_ROWS
+
+    def test_fingerprints_identical_on_every_row(self, baseline):
+        rows = baseline["data"]["measurements"]
+        fingerprints = {m["fingerprint"] for m in rows}
+        assert len(fingerprints) == 1, "expiry fingerprints diverged"
+        for m in rows:
+            where = f"{m['scheme']}/{m['store']}"
+            assert m["identical_fingerprint"] is True, where
+            assert m["expiries"] == m["timers"], (
+                f"{where}: drain lost or duplicated expiries"
+            )
+
+    def test_soa_memory_gate(self, baseline):
+        floor = baseline["data"]["memory_ratio_floor"]
+        assert floor >= 3.0
+        rows = {
+            (m["scheme"], m["store"]): m
+            for m in baseline["data"]["measurements"]
+        }
+        for scheme in baseline["data"]["gated_schemes"]:
+            obj = rows[(scheme, "object")]
+            soa = rows[(scheme, "soa")]
+            ratio = obj["bytes_per_timer"] / soa["bytes_per_timer"]
+            assert ratio >= floor, (
+                f"{scheme}: SoA memory reduction {ratio:.2f}x below "
+                f"{floor:.0f}x floor"
+            )
+            assert soa["memory_ratio_vs_object"] == pytest.approx(ratio)
+
+    def test_soa_insert_throughput_gate(self, baseline):
+        floor = baseline["data"]["insert_ratio_floor"]
+        assert floor >= 1.5
+        rows = {
+            (m["scheme"], m["store"]): m
+            for m in baseline["data"]["measurements"]
+        }
+        for scheme in baseline["data"]["gated_schemes"]:
+            obj = rows[(scheme, "object")]
+            soa = rows[(scheme, "soa")]
+            ratio = soa["inserts_per_second"] / obj["inserts_per_second"]
+            assert ratio >= floor, (
+                f"{scheme}: SoA insert speedup {ratio:.2f}x below "
+                f"{floor:.1f}x floor"
+            )
+
+    def test_rows_carry_all_phases(self, baseline):
+        for m in baseline["data"]["measurements"]:
+            where = f"{m['scheme']}/{m['store']}"
+            assert m["bytes_per_timer"] > 0, where
+            assert m["inserts_per_second"] > 0, where
+            assert m["churn_ops_per_second"] > 0, where
+            assert m["expiries_per_second"] > 0, where
+            assert m["churn_ops"] > m["timers"] // 5, (
+                f"{where}: churn phase did not mix stops into starts"
+            )

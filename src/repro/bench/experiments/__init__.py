@@ -32,6 +32,7 @@ from repro.bench.experiments.exp_ablations import xtra3_hybrid_and_placement
 from repro.bench.experiments.exp_burstiness import xtra4_hash_burstiness
 from repro.bench.experiments.exp_arq import xtra5_arq_timer_pressure
 from repro.bench.experiments.exp_sparse import wheelperf_sparse_advance
+from repro.bench.experiments.exp_millions import millions_scale
 from repro.bench.experiments.exp_sharded import sharded_throughput
 from repro.bench.experiments.exp_async import async_idle_cost
 from repro.bench.experiments.exp_observe import observer_overhead
@@ -56,6 +57,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "XTRA4": xtra4_hash_burstiness,
     "XTRA5": xtra5_arq_timer_pressure,
     "WHEELPERF": wheelperf_sparse_advance,
+    "MILLIONS": millions_scale,
     "SHARDED": sharded_throughput,
     "ASYNCIDLE": async_idle_cost,
     "OBSERVE": observer_overhead,

@@ -43,6 +43,19 @@ class UnknownTimerError(TimerError):
     """STOP_TIMER was called with a ``request_id`` the module has no record of."""
 
 
+class StaleTimerHandleError(TimerStateError):
+    """A generation-tagged handle outlived the timer record it named.
+
+    Raised when a :class:`~repro.core.interface.TimerHandle` (or a
+    struct-of-arrays handle) is used after its record was finalised and
+    recycled into a *different* timer. Distinct from plain
+    :class:`TimerStateError` because the record the caller would have
+    addressed is not "their timer in the wrong state" — it is somebody
+    else's timer entirely, and silently operating on it is the
+    use-after-free bug the generation tag exists to catch.
+    """
+
+
 class SchedulerShutdownError(TimerError):
     """An operation was attempted on a scheduler after :meth:`shutdown`."""
 

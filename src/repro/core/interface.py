@@ -31,6 +31,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Union
 
 from repro.core.errors import (
     SchedulerShutdownError,
+    StaleTimerHandleError,
     TimerLivelockError,
     TimerStateError,
     UnknownTimerError,
@@ -136,6 +137,12 @@ class Timer(DNode):
         Actual expiry tick. Normally equals ``deadline``; the lossy
         hierarchical variants (Scheme 7 + Nichols) may fire early or late,
         and the precision experiments read this field.
+    ``generation``
+        Incarnation counter for the record. 0 on allocation; bumped each
+        time the ``recycle=True`` free list re-issues the record as a new
+        timer. :attr:`handle` captures it so a reference held across a
+        free-and-reuse raises :class:`StaleTimerHandleError` instead of
+        silently addressing the recycled timer.
     """
 
     __slots__ = (
@@ -149,6 +156,7 @@ class Timer(DNode):
         "stopped_at",
         "expired_at",
         "fired_at",
+        "generation",
         # scheme-private scratch fields (documented in each scheme):
         "_remaining",
         "_rounds",
@@ -178,6 +186,7 @@ class Timer(DNode):
         self.stopped_at: Optional[int] = None
         self.expired_at: Optional[int] = None
         self.fired_at: Optional[int] = None
+        self.generation = 0
         self._remaining = interval
         self._rounds = 0
         self._level = -1
@@ -199,8 +208,11 @@ class Timer(DNode):
         The free-list path of :class:`TimerScheduler` (``recycle=True``)
         calls this instead of allocating; every field is restored to its
         ``__init__`` state except the DNode links, which are already
-        detached on any finalised record.
+        detached on any finalised record, and :attr:`generation`, which is
+        bumped so handles captured against the previous incarnation go
+        stale instead of aliasing the new timer.
         """
+        self.generation += 1
         self.request_id = request_id
         self.interval = interval
         self.deadline = started_at + interval
@@ -224,10 +236,71 @@ class Timer(DNode):
         """True while the timer is outstanding."""
         return self.state is TimerState.PENDING
 
+    @property
+    def handle(self) -> "TimerHandle":
+        """A generation-tagged reference to *this incarnation* of the record.
+
+        Safe to hold across a ``recycle=True`` free-and-reuse: once the
+        record is re-issued as a different timer, resolving the handle
+        raises :class:`StaleTimerHandleError` instead of silently
+        addressing the recycled timer.
+        """
+        return TimerHandle(self, self.generation)
+
     def __repr__(self) -> str:
         return (
             f"Timer(id={self.request_id!r}, interval={self.interval}, "
             f"deadline={self.deadline}, state={self.state.value})"
+        )
+
+
+class TimerHandle:
+    """An immutable ``(record, generation)`` pair naming one timer incarnation.
+
+    The raw :class:`Timer` object is an ambiguous reference under
+    ``recycle=True``: after the record is finalised and reused, the same
+    object *is* a different timer, so ``stop_timer(stale_record)`` would
+    silently cancel somebody else's timer. A handle captures the
+    generation at hand-out; every resolution checks it, and a mismatch
+    raises :class:`StaleTimerHandleError`. ``stop_timer``, ``get_timer``
+    and ``is_pending`` all accept handles.
+    """
+
+    __slots__ = ("record", "generation")
+
+    def __init__(self, record: Timer, generation: int) -> None:
+        self.record = record
+        self.generation = generation
+
+    @property
+    def request_id(self) -> Hashable:
+        """The request id the record carried when the handle was taken.
+
+        Only meaningful while the handle is live; resolve through the
+        scheduler to find out.
+        """
+        return self.record.request_id
+
+    @property
+    def stale(self) -> bool:
+        """True once the record has been recycled into a newer incarnation."""
+        return self.record.generation != self.generation
+
+    def resolve(self) -> Timer:
+        """The record, if this handle still names its live incarnation."""
+        if self.record.generation != self.generation:
+            raise StaleTimerHandleError(
+                f"handle (generation {self.generation}) is stale: the record "
+                f"was recycled and now holds generation "
+                f"{self.record.generation} "
+                f"(currently {self.record.request_id!r})"
+            )
+        return self.record
+
+    def __repr__(self) -> str:
+        return (
+            f"TimerHandle(id={self.record.request_id!r}, "
+            f"generation={self.generation}, stale={self.stale})"
         )
 
 
@@ -413,12 +486,15 @@ class TimerScheduler(abc.ABC):
         return len(self._free_timers)
 
     def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
-        """STOP_TIMER: cancel a pending timer by record or by request id.
+        """STOP_TIMER: cancel a pending timer by record, handle, or id.
 
         Returns the stopped record. Raises
-        :class:`~repro.core.errors.UnknownTimerError` for an unknown id and
+        :class:`~repro.core.errors.UnknownTimerError` for an unknown id,
         :class:`~repro.core.errors.TimerStateError` when the timer already
-        expired or was already stopped.
+        expired or was already stopped, and
+        :class:`~repro.core.errors.StaleTimerHandleError` when a
+        :class:`TimerHandle` outlived its incarnation (the record was
+        recycled into a different timer).
         """
         timer = self._resolve(timer_or_id)
         if timer.state is not TimerState.PENDING:
@@ -649,7 +725,13 @@ class TimerScheduler(abc.ABC):
         return list(self._active.values())
 
     def is_pending(self, request_id: Hashable) -> bool:
-        """True when ``request_id`` names an outstanding timer."""
+        """True when ``request_id`` names an outstanding timer.
+
+        Accepts a :class:`TimerHandle` too; a stale handle is simply not
+        pending (no exception — this is the non-throwing probe).
+        """
+        if isinstance(request_id, TimerHandle):
+            return not request_id.stale and request_id.record.pending
         return request_id in self._active
 
     def get_timer(self, request_id: Hashable) -> Timer:
@@ -729,6 +811,7 @@ class TimerScheduler(abc.ABC):
         """
         info: Dict[str, object] = {
             "scheme": self.scheme_name,
+            "store": "object",
             "now": self._now,
             "pending": len(self._active),
             "total_started": self.total_started,
@@ -767,6 +850,8 @@ class TimerScheduler(abc.ABC):
     def _resolve(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
         if isinstance(timer_or_id, Timer):
             return timer_or_id
+        if isinstance(timer_or_id, TimerHandle):
+            return timer_or_id.resolve()
         return self.get_timer(timer_or_id)
 
     def _mark_expired(self, timer: Timer) -> None:

@@ -36,6 +36,19 @@ class PeriodicTimer:
     >>> beat.start()
     """
 
+    __slots__ = (
+        "scheduler",
+        "period",
+        "action",
+        "fixed_delay",
+        "max_firings",
+        "request_id",
+        "firings",
+        "fire_times",
+        "_current",
+        "_next_deadline",
+    )
+
     def __init__(
         self,
         scheduler: TimerScheduler,

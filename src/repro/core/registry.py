@@ -31,6 +31,7 @@ from repro.core.scheme7_variants import (
     LossyHierarchicalScheduler,
     SingleMigrationHierarchicalScheduler,
 )
+from repro.core.scheme8_lawn import LawnScheduler
 from repro.structures.sorted_list import SearchDirection
 
 _FACTORIES: Dict[str, Callable[..., TimerScheduler]] = {
@@ -51,6 +52,7 @@ _FACTORIES: Dict[str, Callable[..., TimerScheduler]] = {
     "scheme7": HierarchicalWheelScheduler,
     "scheme7-lossy": LossyHierarchicalScheduler,
     "scheme7-onemigration": SingleMigrationHierarchicalScheduler,
+    "lawn": LawnScheduler,
 }
 
 #: One-line complexity summary per registered name. Kept beside the
@@ -72,6 +74,7 @@ _SUMMARIES: Dict[str, str] = {
     "scheme7": "hierarchical wheels: O(m) START, <=m migrations",
     "scheme7-lossy": "Nichols: no migration, rounded firing",
     "scheme7-onemigration": "Nichols: one migration, fires early < one slot",
+    "lawn": "per-TTL FIFO buckets: O(1) ops, O(B) tick, no MaxInterval",
 }
 
 if set(_SUMMARIES) != set(_FACTORIES):  # pragma: no cover - import guard

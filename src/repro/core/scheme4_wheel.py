@@ -32,15 +32,41 @@ from repro.structures.dlist import DLinkedList
 
 
 class TimingWheelScheduler(TimerScheduler):
-    """Scheme 4: circular buffer of ``max_interval`` slots, one tick each."""
+    """Scheme 4: circular buffer of ``max_interval`` slots, one tick each.
+
+    ``store`` selects the timer representation: ``"object"`` (default)
+    keeps per-timer :class:`Timer` records on intrusive lists;
+    ``"soa"`` returns the struct-of-arrays twin
+    (:class:`~repro.core.soa_schemes.SoATimingWheelScheduler`) — same
+    scheme, same OpCounter charges and expiry order, a fraction of the
+    memory per timer (see ``docs/performance.md``).
+    """
 
     scheme_name = "scheme4"
+
+    def __new__(cls, *args, store: str = "object", **kwargs):
+        if store not in ("object", "soa"):
+            raise TimerConfigurationError(
+                f"store must be 'object' or 'soa', got {store!r}"
+            )
+        if store == "soa":
+            if cls is not TimingWheelScheduler:
+                raise TimerConfigurationError(
+                    f"store='soa' is not available on {cls.__name__}; "
+                    "construct TimingWheelScheduler directly"
+                )
+            from repro.core.soa_schemes import SoATimingWheelScheduler
+
+            # Not a subclass, so __init__ below is skipped: build it whole.
+            return SoATimingWheelScheduler(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,
         max_interval: int,
         counter: Optional[OpCounter] = None,
         recycle: bool = False,
+        store: str = "object",
     ) -> None:
         super().__init__(counter, recycle=recycle)
         check_positive_int("max_interval", max_interval)

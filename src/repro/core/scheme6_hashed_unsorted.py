@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.errors import TimerConfigurationError
 from repro.core.interface import Timer, TimerScheduler
 from repro.core.introspect import occupancy_summary
 from repro.core.validation import check_positive_int
@@ -46,11 +47,32 @@ class HashedWheelUnsortedScheduler(TimerScheduler):
     _DECREMENT_CHARGE = dict(reads=3, writes=1, compares=1, links=1)  # = 6
     _EXPIRE_CHARGE = dict(reads=3, writes=3, compares=1, links=2)  # = 9
 
+    def __new__(cls, *args, store: str = "object", **kwargs):
+        """``store="soa"`` returns the struct-of-arrays twin (same scheme,
+        same charges, a fraction of the memory; see ``docs/performance.md``).
+        """
+        if store not in ("object", "soa"):
+            raise TimerConfigurationError(
+                f"store must be 'object' or 'soa', got {store!r}"
+            )
+        if store == "soa":
+            if cls is not HashedWheelUnsortedScheduler:
+                raise TimerConfigurationError(
+                    f"store='soa' is not available on {cls.__name__}; "
+                    "construct HashedWheelUnsortedScheduler directly"
+                )
+            from repro.core.soa_schemes import SoAHashedWheelUnsortedScheduler
+
+            # Not a subclass, so __init__ below is skipped: build it whole.
+            return SoAHashedWheelUnsortedScheduler(*args, **kwargs)
+        return super().__new__(cls)
+
     def __init__(
         self,
         table_size: int = 256,
         counter: Optional[OpCounter] = None,
         recycle: bool = False,
+        store: str = "object",
     ) -> None:
         super().__init__(counter, recycle=recycle)
         check_positive_int("table_size", table_size)

@@ -98,12 +98,35 @@ class HierarchicalWheelScheduler(TimerScheduler):
 
     scheme_name = "scheme7"
 
+    def __new__(cls, *args, store: str = "object", **kwargs):
+        """``store="soa"`` returns the struct-of-arrays twin (same scheme,
+        same charges, a fraction of the memory; see ``docs/performance.md``).
+        Only the base hierarchy supports it — the Nichols variants keep
+        their object records.
+        """
+        if store not in ("object", "soa"):
+            raise TimerConfigurationError(
+                f"store must be 'object' or 'soa', got {store!r}"
+            )
+        if store == "soa":
+            if cls is not HierarchicalWheelScheduler:
+                raise TimerConfigurationError(
+                    f"store='soa' is not available on {cls.__name__}; "
+                    "construct HierarchicalWheelScheduler directly"
+                )
+            from repro.core.soa_schemes import SoAHierarchicalWheelScheduler
+
+            # Not a subclass, so __init__ below is skipped: build it whole.
+            return SoAHierarchicalWheelScheduler(*args, **kwargs)
+        return super().__new__(cls)
+
     def __init__(
         self,
         slot_counts: Sequence[int] = PAPER_LEVELS,
         counter: Optional[OpCounter] = None,
         placement: str = "paper",
         recycle: bool = False,
+        store: str = "object",
     ) -> None:
         """``placement`` selects the insertion rule (an ablation knob):
 

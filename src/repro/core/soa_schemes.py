@@ -1,0 +1,516 @@
+"""Schemes 4, 6 and 7 over the struct-of-arrays store.
+
+Each class here is the row-oriented twin of one hot wheel scheme —
+:class:`~repro.core.scheme4_wheel.TimingWheelScheduler`,
+:class:`~repro.core.scheme6_hashed_unsorted.HashedWheelUnsortedScheduler`
+and :class:`~repro.core.scheme7_hierarchical.HierarchicalWheelScheduler`
+— selected by passing ``store="soa"`` to the object class's constructor
+(the ``__new__`` dispatch lives there, so registry names and client code
+never change). Wheel slots are ``array('q')`` head tables; chains run
+through the store's ``next``/``prev`` columns; the scheme-private word
+(Scheme 6's rounds count, Scheme 7's level) lives in the ``aux`` column.
+
+Equivalence contract (enforced by ``tests/core/test_soa_store.py`` and
+the chaos differential): for any operation sequence, an SoA scheme and
+its object twin produce **bit-identical** OpCounter totals, expiry order,
+occupancy-bitmap state and sparse-tick events. Every ``charge`` call
+below is copied literally from the twin, including Scheme 6's calibrated
+Section 7 instruction mixes; intra-slot expiry order is preserved because
+``link_front`` + front-to-back drain is exactly ``push_front`` +
+``drain()``. What differs is only memory: no per-timer objects, no
+pointer-chased lists — the regime the MILLIONS bench prices.
+
+Slot indices are *derived*, not stored: scheme 4's wheel keeps the
+invariant ``cursor == now % max_interval``, so a pending row's slot is
+``deadline % max_interval`` (likewise ``deadline % table_size`` for
+scheme 6 and ``(deadline // granularity) % slot_count`` per level for
+scheme 7). That is what frees the store from a per-timer slot field.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import TimerConfigurationError
+from repro.core.interface import Timer
+from repro.core.introspect import occupancy_summary
+from repro.core.observer import NULL_OBSERVER
+from repro.core.soa_base import SoATimerScheduler
+from repro.core.validation import check_positive_int
+from repro.cost.counters import OpCounter
+from repro.structures.bitmap import SlotBitmap
+from repro.structures.soa import NIL, SoATimerView
+
+
+class SoATimingWheelScheduler(SoATimerScheduler):
+    """Scheme 4 on the SoA store: circular head table, one tick per slot."""
+
+    scheme_name = "scheme4"
+
+    def __init__(
+        self,
+        max_interval: int,
+        counter: Optional[OpCounter] = None,
+        recycle: bool = False,
+    ) -> None:
+        super().__init__(counter, recycle=recycle)
+        check_positive_int("max_interval", max_interval)
+        if max_interval < 2:
+            raise TimerConfigurationError("max_interval must be at least 2")
+        self.max_interval = max_interval
+        self._heads = array("q", [NIL]) * max_interval
+        self._cursor = 0  # invariant: cursor == now % max_interval
+        self._occupancy = SlotBitmap(max_interval)
+
+    def max_start_interval(self) -> Optional[int]:
+        return self.max_interval
+
+    @property
+    def cursor(self) -> int:
+        """Current time pointer (index into the circular head table)."""
+        return self._cursor
+
+    def slot_sizes(self) -> List[int]:
+        """Occupancy of each slot, for inspection and tests."""
+        store = self._store
+        return [store.chain_length(head) for head in self._heads]
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "wheel",
+            "max_interval": self.max_interval,
+            "cursor": self._cursor,
+            "slot_occupancy": occupancy_summary(self.slot_sizes()),
+        }
+        return info
+
+    def next_expiry(self) -> Optional[int]:
+        """Exact: every occupied slot's visit tick *is* a deadline here."""
+        index = self._occupancy.next_set_circular(
+            (self._cursor + 1) % self.max_interval
+        )
+        if index is None:
+            return None
+        distance = (index - self._cursor - 1) % self.max_interval + 1
+        return self._now + distance
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        # Per empty tick: pointer increment (write), slot load (read),
+        # zero check (compare); the cursor advances with the clock.
+        self._cursor = (self._cursor + count) % self.max_interval
+        self.counter.charge(writes=count, reads=count, compares=count)
+
+    def _insert_row(self, row: int) -> None:
+        store = self._store
+        index = store.deadline_col[row] % self.max_interval
+        # Index computation + push at the head of the slot chain.
+        self.counter.charge(reads=1, writes=1, links=1)
+        store.link_front(self._heads, index, row)
+        self._occupancy.set(index)
+
+    def _remove_row(self, row: int) -> None:
+        store = self._store
+        index = store.deadline_col[row] % self.max_interval
+        store.unlink(self._heads, index, row)
+        self.counter.link(1)
+        if self._heads[index] == NIL:
+            self._occupancy.clear(index)
+
+    def _collect_expired(self) -> List[Timer]:
+        self._cursor = (self._cursor + 1) % self.max_interval
+        counter = self.counter
+        counter.write(1)  # pointer increment
+        heads = self._heads
+        head = heads[self._cursor]
+        counter.read(1)  # load slot head
+        counter.compare(1)  # zero check
+        if head == NIL:
+            return []
+        self._occupancy.clear(self._cursor)  # the drain empties the slot
+        heads[self._cursor] = NIL
+        expired: List[Timer] = []
+        next_col = self._store.next_col
+        row = head
+        while row != NIL:
+            nxt = next_col[row]
+            counter.charge(reads=1, links=1)
+            expired.append(self._finalize_expired(row))
+            row = nxt
+        return expired
+
+
+class SoAHashedWheelUnsortedScheduler(SoATimerScheduler):
+    """Scheme 6 on the SoA store: hashed head table, rounds in ``aux``."""
+
+    scheme_name = "scheme6"
+
+    # Identical calibrated Section 7 instruction mixes as the object twin.
+    _INSERT_CHARGE = dict(reads=4, writes=4, compares=1, links=4)  # = 13
+    _DELETE_CHARGE = dict(reads=2, writes=1, links=4)  # = 7
+    _EMPTY_TICK_CHARGE = dict(reads=2, writes=1, compares=1)  # = 4
+    _DECREMENT_CHARGE = dict(reads=3, writes=1, compares=1, links=1)  # = 6
+    _EXPIRE_CHARGE = dict(reads=3, writes=3, compares=1, links=2)  # = 9
+
+    def __init__(
+        self,
+        table_size: int = 256,
+        counter: Optional[OpCounter] = None,
+        recycle: bool = False,
+    ) -> None:
+        super().__init__(counter, recycle=recycle)
+        check_positive_int("table_size", table_size)
+        self.table_size = table_size
+        self._heads = array("q", [NIL]) * table_size
+        self._cursor = 0  # invariant: cursor == now % table_size
+        self._occupancy = SlotBitmap(table_size)
+        #: bucket entries visited (decremented or expired) across all ticks.
+        self.entry_visits = 0
+
+    @property
+    def cursor(self) -> int:
+        """Current time pointer (index into the hash array)."""
+        return self._cursor
+
+    def bucket_sizes(self) -> List[int]:
+        """Occupancy of each bucket, for inspection and tests."""
+        store = self._store
+        return [store.chain_length(head) for head in self._heads]
+
+    def bucket_index_for(self, interval: int) -> int:
+        """The slot an interval hashes to: ``(cursor + interval) mod size``."""
+        return (self._cursor + interval) % self.table_size
+
+    def rounds_for(self, interval: int) -> int:
+        """Remaining full revolutions (see the object twin's derivation)."""
+        return (interval - 1) // self.table_size
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "hashed-wheel-unsorted",
+            "table_size": self.table_size,
+            "cursor": self._cursor,
+            "chains": occupancy_summary(self.bucket_sizes()),
+            "entry_visits": self.entry_visits,
+        }
+        return info
+
+    def next_expiry(self) -> Optional[int]:
+        """Next occupied-bucket visit: a lower bound on the next firing."""
+        index = self._occupancy.next_set_circular(
+            (self._cursor + 1) % self.table_size
+        )
+        if index is None:
+            return None
+        distance = (index - self._cursor - 1) % self.table_size + 1
+        return self._now + distance
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        self._cursor = (self._cursor + count) % self.table_size
+        self.counter.charge(
+            reads=self._EMPTY_TICK_CHARGE["reads"] * count,
+            writes=self._EMPTY_TICK_CHARGE["writes"] * count,
+            compares=self._EMPTY_TICK_CHARGE["compares"] * count,
+        )
+
+    def _insert_row(self, row: int) -> None:
+        store = self._store
+        interval = store.deadline_col[row] - store.started_col[row]
+        index = store.deadline_col[row] % self.table_size
+        store.aux_col[row] = self.rounds_for(interval)
+        self.counter.charge(**self._INSERT_CHARGE)
+        store.link_front(self._heads, index, row)
+        self._occupancy.set(index)
+
+    def _remove_row(self, row: int) -> None:
+        store = self._store
+        index = store.deadline_col[row] % self.table_size
+        store.unlink(self._heads, index, row)
+        self.counter.charge(**self._DELETE_CHARGE)
+        if self._heads[index] == NIL:
+            self._occupancy.clear(index)
+
+    def _collect_expired(self) -> List[Timer]:
+        # Walk the whole bucket, expiring zero-count entries and
+        # decrementing the rest — "exactly as in Scheme 1", per bucket.
+        self._cursor = (self._cursor + 1) % self.table_size
+        counter = self.counter
+        counter.charge(**self._EMPTY_TICK_CHARGE)
+        heads = self._heads
+        cursor = self._cursor
+        if heads[cursor] == NIL:
+            return []
+        expired: List[Timer] = []
+        store = self._store
+        aux = store.aux_col
+        next_col = store.next_col
+        row = heads[cursor]
+        while row != NIL:
+            nxt = next_col[row]
+            counter.charge(**self._DECREMENT_CHARGE)
+            self.entry_visits += 1
+            if aux[row] == 0:
+                store.unlink(heads, cursor, row)
+                counter.charge(**self._EXPIRE_CHARGE)
+                expired.append(self._finalize_expired(row))
+            else:
+                aux[row] -= 1
+            row = nxt
+        if heads[cursor] == NIL:
+            self._occupancy.clear(cursor)
+        return expired
+
+
+class _SoALevel:
+    """One wheel of the SoA hierarchy: a head table plus its bitmap."""
+
+    __slots__ = (
+        "index", "slot_count", "granularity", "span", "heads", "occupancy"
+    )
+
+    def __init__(self, index: int, slot_count: int, granularity: int) -> None:
+        self.index = index
+        self.slot_count = slot_count
+        self.granularity = granularity
+        self.span = granularity * slot_count
+        self.heads = array("q", [NIL]) * slot_count
+        self.occupancy = SlotBitmap(slot_count)
+
+    def slot_for(self, deadline: int) -> int:
+        return (deadline // self.granularity) % self.slot_count
+
+
+class SoAHierarchicalWheelScheduler(SoATimerScheduler):
+    """Scheme 7 on the SoA store: per-level head tables, level in ``aux``."""
+
+    scheme_name = "scheme7"
+
+    def __init__(
+        self,
+        slot_counts: Sequence[int] = (60, 60, 24, 100),
+        counter: Optional[OpCounter] = None,
+        placement: str = "paper",
+        recycle: bool = False,
+    ) -> None:
+        super().__init__(counter, recycle=recycle)
+        if placement not in ("paper", "span"):
+            raise TimerConfigurationError(
+                f"placement must be 'paper' or 'span', got {placement!r}"
+            )
+        self.placement = placement
+        if not slot_counts:
+            raise TimerConfigurationError("at least one level is required")
+        self._levels: List[_SoALevel] = []
+        granularity = 1
+        for index, count in enumerate(slot_counts):
+            check_positive_int(f"slot_counts[{index}]", count)
+            if count < 2:
+                raise TimerConfigurationError(
+                    f"slot_counts[{index}] must be >= 2 to be a wheel"
+                )
+            self._levels.append(_SoALevel(index, count, granularity))
+            granularity *= count
+        self.total_span = granularity
+        self.total_slots = sum(level.slot_count for level in self._levels)
+        self.migrations = 0
+        self.cascades = 0
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def levels(self) -> int:
+        """Number of wheels (the paper's ``m``)."""
+        return len(self._levels)
+
+    def level_granularities(self) -> List[int]:
+        """Tick width of one slot at each level."""
+        return [level.granularity for level in self._levels]
+
+    def level_spans(self) -> List[int]:
+        """Total ticks covered by each level's wheel."""
+        return [level.span for level in self._levels]
+
+    def cursor_positions(self) -> List[int]:
+        """Current slot index of each level's conceptual cursor."""
+        return [
+            (self._now // level.granularity) % level.slot_count
+            for level in self._levels
+        ]
+
+    def slot_sizes(self, level: int) -> List[int]:
+        """Occupancy of each slot at ``level``, for inspection and tests."""
+        store = self._store
+        return [store.chain_length(h) for h in self._levels[level].heads]
+
+    def max_start_interval(self) -> Optional[int]:
+        return self.total_span
+
+    def introspect(self) -> Dict[str, object]:
+        info = super().introspect()
+        info["structure"] = {
+            "kind": "hierarchy",
+            "levels": [
+                {
+                    "index": level.index,
+                    "slot_count": level.slot_count,
+                    "granularity": level.granularity,
+                    "span": level.span,
+                    "cursor": (self._now // level.granularity)
+                    % level.slot_count,
+                    "occupancy": occupancy_summary(
+                        self.slot_sizes(level.index)
+                    ),
+                }
+                for level in self._levels
+            ],
+            "placement": self.placement,
+            "migrations": self.migrations,
+            "cascades": self.cascades,
+        }
+        return info
+
+    def level_for_remaining(self, remaining: int) -> int:
+        """Lowest level whose span covers ``remaining`` (O(m) search)."""
+        for level in self._levels:
+            self.counter.compare(1)
+            if remaining < level.span:
+                return level.index
+        raise AssertionError("interval validated against total_span")
+
+    # ------------------------------------------------------------- internals
+
+    def _level_by_digits(self, deadline: int) -> _SoALevel:
+        """The paper's rule: highest level whose unit digit changes."""
+        now = self._now
+        for level in reversed(self._levels):
+            self.counter.compare(1)
+            if deadline // level.granularity != now // level.granularity:
+                return level
+        raise AssertionError("placement requires deadline > now")
+
+    def _place(self, row: int) -> None:
+        store = self._store
+        deadline = store.deadline_col[row]
+        if self.placement == "paper":
+            level = self._level_by_digits(deadline)
+        else:
+            level = self._levels[self.level_for_remaining(deadline - self._now)]
+        slot_index = level.slot_for(deadline)
+        store.aux_col[row] = level.index
+        self.counter.charge(reads=1, writes=1, links=1)
+        store.link_front(level.heads, slot_index, row)
+        level.occupancy.set(slot_index)
+
+    def _insert_row(self, row: int) -> None:
+        self._place(row)
+
+    def _remove_row(self, row: int) -> None:
+        store = self._store
+        level = self._levels[store.aux_col[row]]
+        slot_index = level.slot_for(store.deadline_col[row])
+        store.unlink(level.heads, slot_index, row)
+        if level.heads[slot_index] == NIL:
+            level.occupancy.clear(slot_index)
+        self.counter.link(1)
+
+    def _handle_cascaded(self, row: int, expired: List[Timer]) -> None:
+        """One row drained from a cascading coarse slot: expire or migrate."""
+        store = self._store
+        if store.deadline_col[row] == self._now:
+            expired.append(self._finalize_expired(row))
+        else:
+            self.migrations += 1
+            from_level = store.aux_col[row]
+            self._place(row)
+            observer = self.observer
+            if observer is not NULL_OBSERVER:
+                observer.on_migrate(
+                    self,
+                    SoATimerView(store, row, store.meta_col[row] >> 1),
+                    from_level,
+                    store.aux_col[row],
+                )
+
+    def next_expiry(self) -> Optional[int]:
+        """Next tick that visits an occupied slot on any level."""
+        best: Optional[int] = None
+        now = self._now
+        for level in self._levels:
+            if not level.occupancy.any():
+                continue
+            unit_now = now // level.granularity
+            index = level.occupancy.next_set_circular(
+                (unit_now + 1) % level.slot_count
+            )
+            if index is None:
+                continue
+            unit_distance = (index - unit_now - 1) % level.slot_count + 1
+            visit = (unit_now + unit_distance) * level.granularity
+            if best is None or visit < best:
+                best = visit
+        return best
+
+    def _next_event(self) -> Optional[int]:
+        return self.next_expiry()
+
+    def _charge_empty_ticks(self, count: int) -> None:
+        now = self._now
+        crossings = 0
+        for level in self._levels[1:]:
+            g = level.granularity
+            crossings += (now + count) // g - now // g
+        self.cascades += crossings
+        self.counter.charge(
+            writes=2 * count,
+            reads=count + crossings,
+            compares=count + crossings,
+        )
+
+    def _collect_expired(self) -> List[Timer]:
+        expired: List[Timer] = []
+        now = self._now
+        counter = self.counter
+        store = self._store
+        next_col = store.next_col
+        counter.write(1)  # advance the clock
+
+        # Coarse levels first: every boundary crossing cascades its slot —
+        # each row either expires now or migrates to a finer wheel.
+        for level in reversed(self._levels[1:]):
+            if now % level.granularity != 0:
+                continue
+            self.cascades += 1
+            counter.charge(reads=1, compares=1)
+            slot_index = level.slot_for(now)
+            head = level.heads[slot_index]
+            level.occupancy.clear(slot_index)  # the drain empties the slot
+            level.heads[slot_index] = NIL
+            row = head
+            while row != NIL:
+                nxt = next_col[row]
+                counter.charge(reads=1, links=1)
+                self._handle_cascaded(row, expired)
+                row = nxt
+
+        # Level 0 advances every tick and expires with exact precision.
+        base = self._levels[0]
+        counter.charge(writes=1, reads=1, compares=1)
+        slot_index = base.slot_for(now)
+        head = base.heads[slot_index]
+        base.occupancy.clear(slot_index)
+        base.heads[slot_index] = NIL
+        row = head
+        while row != NIL:
+            nxt = next_col[row]
+            counter.charge(reads=1, links=1)
+            expired.append(self._finalize_expired(row))
+            row = nxt
+        return expired

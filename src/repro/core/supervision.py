@@ -144,6 +144,11 @@ class RetryPolicy:
 class QuarantineRecord:
     """Why and when a timer was parked (JSON-friendly via ``as_dict``)."""
 
+    __slots__ = (
+        "request_id", "attempts", "reason", "error",
+        "quarantined_at", "deadline",
+    )
+
     request_id: Hashable
     attempts: int
     reason: str  #: "attempts" (budget exhausted) or "deadline"

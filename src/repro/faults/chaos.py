@@ -171,6 +171,7 @@ def run_chaos(
     tick_budget: Optional[int] = None,
     overload_policy: str = "defer",
     drain_ticks: int = 100_000,
+    scheme_kwargs: Optional[Dict[str, object]] = None,
 ) -> ChaosResult:
     """Replay one fault plan + workload against one scheme, supervised.
 
@@ -180,13 +181,21 @@ def run_chaos(
     is identical whatever scheme sits underneath. After the drive, the
     run drains until idle so every retry chain resolves to a survivor or
     a quarantine entry.
+
+    ``scheme_kwargs`` overlays extra constructor kwargs on the scheme's
+    :data:`SCHEME_KWARGS` defaults — e.g. ``{"store": "soa"}`` replays
+    the plan against a struct-of-arrays-backed wheel, whose fingerprint
+    must match the object store's exactly.
     """
     plan = plan if plan is not None else DEFAULT_PLAN
     workload = workload if workload is not None else ChaosWorkload()
     policy = retry_policy if retry_policy is not None else RetryPolicy(
         max_attempts=3, base_backoff=1, backoff_multiplier=2.0, max_backoff=48
     )
-    inner = make_scheduler(scheme, **SCHEME_KWARGS.get(scheme, {}))
+    build_kwargs = dict(SCHEME_KWARGS.get(scheme, {}))
+    if scheme_kwargs:
+        build_kwargs.update(scheme_kwargs)
+    inner = make_scheduler(scheme, **build_kwargs)
     injector = FaultInjector(plan)
     supervised = SupervisedScheduler(
         inner,
@@ -396,6 +405,7 @@ def run_differential(
     retry_policy: Optional[RetryPolicy] = None,
     tick_budget: Optional[int] = None,
     overload_policy: str = "defer",
+    scheme_kwargs: Optional[Dict[str, object]] = None,
 ) -> DifferentialReport:
     """Replay one plan over many schemes and diff the fingerprints.
 
@@ -403,7 +413,8 @@ def run_differential(
     everywhere and the full fingerprint must match; with a finite budget
     shedding depends on each scheme's per-tick burstiness, so shed-derived
     fields are excluded from the identity check (they remain in the
-    per-scheme results for inspection).
+    per-scheme results for inspection). ``scheme_kwargs`` overlays extra
+    constructor kwargs on every scheme (see :func:`run_chaos`).
     """
     names = list(schemes) if schemes else scheme_names()
     if not names:
@@ -417,6 +428,7 @@ def run_differential(
             retry_policy=retry_policy,
             tick_budget=tick_budget,
             overload_policy=overload_policy,
+            scheme_kwargs=scheme_kwargs,
         )
         for name in names
     ]

@@ -1,0 +1,400 @@
+"""Struct-of-arrays timer storage for million-timer populations.
+
+Every armed timer in the object store costs one heap-allocated
+:class:`~repro.core.interface.Timer` (a ``DNode`` subclass, ~200 bytes of
+slotted object plus allocator churn) and the pointer-chased doubly linked
+slot lists the wheel schemes thread through it. At the paper's asymptotic
+regime — 10\\ :sup:`6`–10\\ :sup:`7` concurrent timers — that per-object
+overhead dominates everything the algorithms do.
+
+:class:`SoATimerStore` replaces the records with **parallel columns**:
+six ``array('q')`` machine-word columns (deadline, start tick, intrusive
+prev/next links, one scheme-private aux word, and a packed
+generation+state word) plus three object columns (request id, callback,
+user data). A timer is an **int row handle**; wheel slot lists become
+``array('q')`` head tables whose chains run through the ``next``/``prev``
+columns — the same intrusive-dlist shape as the object store, minus the
+objects. ~72 bytes per armed timer instead of ~300.
+
+Handles are generation-tagged: the packed public handle is
+``(generation << 36) | row``, and every decode checks the row's current
+generation, so a handle held across a free-and-reuse raises
+:class:`~repro.core.errors.StaleTimerHandleError` instead of silently
+addressing the recycled timer — the same contract
+:class:`~repro.core.interface.TimerHandle` gives the object store's
+``recycle=True`` free list, enforced natively here (the free list *is*
+the allocator).
+
+Live rows are exposed to clients as :class:`SoATimerView` flyweights
+(materialised on demand, never retained per armed timer); finalised
+timers are materialised as ordinary :class:`~repro.core.interface.Timer`
+records so everything downstream of EXPIRY_PROCESSING — supervision,
+spans, chaos fingerprints — sees exactly what the object store produces.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Hashable, Iterator, List, Optional
+
+from array import array
+
+from repro.core.errors import StaleTimerHandleError
+
+#: Sentinel row index for "no row" in link columns and head tables.
+NIL = -1
+
+#: Bits of a packed handle reserved for the row index (64 G rows).
+ROW_BITS = 36
+ROW_MASK = (1 << ROW_BITS) - 1
+
+#: meta column layout: ``(generation << 1) | live_bit``.
+_LIVE = 1
+
+
+def pack_handle(row: int, generation: int) -> int:
+    """The public int handle for ``row`` at ``generation``."""
+    return (generation << ROW_BITS) | row
+
+
+def unpack_handle(handle: int) -> "tuple[int, int]":
+    """``(row, generation)`` from a packed handle (no validation)."""
+    return handle & ROW_MASK, handle >> ROW_BITS
+
+
+class SoATimerStore:
+    """Parallel-column timer records addressed by generation-tagged rows.
+
+    The store owns allocation (a row free list — the recycle free-list
+    idea promoted to *the* allocator), the per-row fields, and the
+    intrusive linked-list plumbing that wheel schemes run through the
+    ``next``/``prev`` columns. It knows nothing about wheels: schemes own
+    their head tables and cursors and call :meth:`link_front` /
+    :meth:`unlink` / :meth:`pop_front` with them.
+    """
+
+    __slots__ = (
+        "deadline_col",
+        "started_col",
+        "next_col",
+        "prev_col",
+        "aux_col",
+        "meta_col",
+        "request_ids",
+        "callbacks",
+        "user_datas",
+        "_free_rows",
+        "_live",
+    )
+
+    def __init__(self) -> None:
+        self.deadline_col = array("q")
+        self.started_col = array("q")
+        self.next_col = array("q")
+        self.prev_col = array("q")
+        #: one scheme-private word per row (scheme 6 rounds, scheme 7 level).
+        self.aux_col = array("q")
+        #: ``(generation << 1) | live`` per row.
+        self.meta_col = array("q")
+        self.request_ids: List[object] = []
+        self.callbacks: List[object] = []
+        self.user_datas: List[object] = []
+        self._free_rows: List[int] = []
+        self._live = 0
+
+    # ------------------------------------------------------------ allocation
+
+    def alloc(
+        self,
+        started_at: int,
+        interval: int,
+        request_id: Optional[Hashable],
+        callback: Optional[Callable],
+        user_data: object,
+    ) -> int:
+        """Claim a row for a new pending timer; returns the row index.
+
+        ``request_id=None`` marks the row auto-addressed: its public id
+        *is* the packed handle, so no per-timer id object exists at all.
+        """
+        free = self._free_rows
+        if free:
+            row = free.pop()
+            self.deadline_col[row] = started_at + interval
+            self.started_col[row] = started_at
+            self.next_col[row] = NIL
+            self.prev_col[row] = NIL
+            self.aux_col[row] = 0
+            self.meta_col[row] |= _LIVE
+            self.request_ids[row] = request_id
+            self.callbacks[row] = callback
+            self.user_datas[row] = user_data
+        else:
+            row = len(self.meta_col)
+            self.deadline_col.append(started_at + interval)
+            self.started_col.append(started_at)
+            self.next_col.append(NIL)
+            self.prev_col.append(NIL)
+            self.aux_col.append(0)
+            self.meta_col.append(_LIVE)
+            self.request_ids.append(request_id)
+            self.callbacks.append(callback)
+            self.user_datas.append(user_data)
+        self._live += 1
+        return row
+
+    def free(self, row: int) -> None:
+        """Release a row: bump its generation, drop refs, pool it.
+
+        The generation bump is what turns every outstanding handle and
+        view of this row stale — the use-after-free guard.
+        """
+        self.meta_col[row] = ((self.meta_col[row] >> 1) + 1) << 1
+        self.request_ids[row] = None
+        self.callbacks[row] = None
+        self.user_datas[row] = None
+        self._free_rows.append(row)
+        self._live -= 1
+
+    # ------------------------------------------------------------- row state
+
+    @property
+    def live_count(self) -> int:
+        """Rows currently holding a pending timer."""
+        return self._live
+
+    @property
+    def free_count(self) -> int:
+        """Rows pooled in the free list (the handle allocator's depth)."""
+        return len(self._free_rows)
+
+    @property
+    def capacity(self) -> int:
+        """Total rows ever allocated (live + free)."""
+        return len(self.meta_col)
+
+    def is_live(self, row: int) -> bool:
+        """True while ``row`` holds a pending timer."""
+        return 0 <= row < len(self.meta_col) and bool(self.meta_col[row] & _LIVE)
+
+    def generation(self, row: int) -> int:
+        """Current generation of ``row``."""
+        return self.meta_col[row] >> 1
+
+    def handle_of(self, row: int) -> int:
+        """The packed generation-tagged handle for (live) ``row``."""
+        return (self.meta_col[row] >> 1 << ROW_BITS) | row
+
+    def interval(self, row: int) -> int:
+        """Requested duration of the timer in ``row``."""
+        return self.deadline_col[row] - self.started_col[row]
+
+    def request_id_of(self, row: int) -> Hashable:
+        """Public id of ``row``: the stored one, or the handle when auto."""
+        stored = self.request_ids[row]
+        return self.handle_of(row) if stored is None else stored
+
+    def resolve_handle(self, handle: int) -> Optional[int]:
+        """Row for ``handle`` if it still names a live incarnation.
+
+        Returns ``None`` when the handle never named a row here (out of
+        range); raises :class:`StaleTimerHandleError` when it named a row
+        that has since been freed or recycled.
+        """
+        row = handle & ROW_MASK
+        generation = handle >> ROW_BITS
+        if not 0 <= row < len(self.meta_col):
+            return None
+        meta = self.meta_col[row]
+        if meta >> 1 != generation or not meta & _LIVE:
+            raise StaleTimerHandleError(
+                f"handle for row {row} (generation {generation}) is stale: "
+                f"the row now holds generation {meta >> 1}"
+                + ("" if meta & _LIVE else " and is free")
+            )
+        return row
+
+    def live_rows(self) -> Iterator[int]:
+        """Every live row, in row order (inspection; O(capacity))."""
+        meta = self.meta_col
+        for row in range(len(meta)):
+            if meta[row] & _LIVE:
+                yield row
+
+    # --------------------------------------------------- intrusive slot lists
+
+    def link_front(self, heads: array, index: int, row: int) -> None:
+        """Push ``row`` at the head of the chain rooted at ``heads[index]``."""
+        head = heads[index]
+        self.next_col[row] = head
+        self.prev_col[row] = NIL
+        if head != NIL:
+            self.prev_col[head] = row
+        heads[index] = row
+
+    def unlink(self, heads: array, index: int, row: int) -> None:
+        """Remove ``row`` from the chain rooted at ``heads[index]`` in O(1)."""
+        nxt = self.next_col[row]
+        prv = self.prev_col[row]
+        if prv != NIL:
+            self.next_col[prv] = nxt
+        else:
+            heads[index] = nxt
+        if nxt != NIL:
+            self.prev_col[nxt] = prv
+        self.next_col[row] = NIL
+        self.prev_col[row] = NIL
+
+    def chain(self, head: int) -> Iterator[int]:
+        """Yield the rows of a chain front-to-back.
+
+        The successor is captured before each yield, so the caller may
+        unlink (or free) the yielded row — the same tolerance the object
+        store's ``DLinkedList.__iter__`` gives expiry loops.
+        """
+        next_col = self.next_col
+        row = head
+        while row != NIL:
+            nxt = next_col[row]
+            yield row
+            row = nxt
+
+    def chain_length(self, head: int) -> int:
+        """Length of a chain (inspection only)."""
+        count = 0
+        for _ in self.chain(head):
+            count += 1
+        return count
+
+    # ------------------------------------------------------------- accounting
+
+    def bytes_estimate(self) -> int:
+        """Approximate heap bytes held by the store's own columns.
+
+        ``sys.getsizeof`` over every column plus the free list — the
+        quantity the MILLIONS bench divides by the live count to report
+        ``bytes_per_timer``. Per-timer *payload* objects (client ids,
+        callbacks) are the client's to account, exactly as in the object
+        store.
+        """
+        total = (
+            sys.getsizeof(self.deadline_col)
+            + sys.getsizeof(self.started_col)
+            + sys.getsizeof(self.next_col)
+            + sys.getsizeof(self.prev_col)
+            + sys.getsizeof(self.aux_col)
+            + sys.getsizeof(self.meta_col)
+            + sys.getsizeof(self.request_ids)
+            + sys.getsizeof(self.callbacks)
+            + sys.getsizeof(self.user_datas)
+            + sys.getsizeof(self._free_rows)
+        )
+        return total
+
+    def bytes_per_timer(self) -> Optional[float]:
+        """Store bytes per live timer, or ``None`` when empty."""
+        if self._live == 0:
+            return None
+        return self.bytes_estimate() / self._live
+
+
+# The view deliberately mirrors Timer's public read surface; import late to
+# keep this module importable from repro.core.interface if ever needed.
+from repro.core.interface import TimerState  # noqa: E402
+
+
+class SoATimerView(object):
+    """Flyweight read view of one live store row.
+
+    What ``start_timer`` returns on an SoA-backed scheme: three slots
+    (store, row, generation) instead of a 20-slot record. Attribute reads
+    resolve against the columns; once the row is finalised or recycled
+    every access raises :class:`StaleTimerHandleError` — hold the
+    finalised :class:`~repro.core.interface.Timer` that ``stop_timer``
+    and ``tick`` return if you need post-mortem fields.
+    """
+
+    __slots__ = ("_store", "_row", "_generation")
+
+    def __init__(self, store: SoATimerStore, row: int, generation: int) -> None:
+        self._store = store
+        self._row = row
+        self._generation = generation
+
+    def _live_row(self) -> int:
+        store = self._store
+        row = self._row
+        meta = store.meta_col[row]
+        if meta >> 1 != self._generation or not meta & _LIVE:
+            raise StaleTimerHandleError(
+                f"view of row {row} (generation {self._generation}) is "
+                "stale: the timer was finalised or its row recycled; use "
+                "the finalised Timer returned by stop_timer()/tick()"
+            )
+        return row
+
+    @property
+    def handle(self) -> int:
+        """The packed generation-tagged handle (valid even when stale)."""
+        return pack_handle(self._row, self._generation)
+
+    @property
+    def stale(self) -> bool:
+        """True once the row was finalised or recycled past this view."""
+        store = self._store
+        meta = store.meta_col[self._row]
+        return meta >> 1 != self._generation or not meta & _LIVE
+
+    @property
+    def request_id(self) -> Hashable:
+        """Public id: the client's, or the packed handle for auto rows."""
+        return self._store.request_id_of(self._live_row())
+
+    @property
+    def interval(self) -> int:
+        """Requested duration in ticks."""
+        return self._store.interval(self._live_row())
+
+    @property
+    def deadline(self) -> int:
+        """Absolute tick the timer is due (``started_at + interval``)."""
+        return self._store.deadline_col[self._live_row()]
+
+    @property
+    def started_at(self) -> int:
+        """Absolute tick START_TIMER ran."""
+        return self._store.started_col[self._live_row()]
+
+    @property
+    def callback(self) -> Optional[Callable]:
+        """The Expiry_Action, if any."""
+        return self._store.callbacks[self._live_row()]
+
+    @property
+    def user_data(self) -> object:
+        """The client payload passed to START_TIMER."""
+        return self._store.user_datas[self._live_row()]
+
+    @property
+    def generation(self) -> int:
+        """Row incarnation this view was taken against."""
+        return self._generation
+
+    @property
+    def state(self) -> TimerState:
+        """Always PENDING — a live view *is* a pending timer."""
+        self._live_row()
+        return TimerState.PENDING
+
+    @property
+    def pending(self) -> bool:
+        """True while the row still holds this incarnation (non-throwing)."""
+        return not self.stale
+
+    def __repr__(self) -> str:
+        if self.stale:
+            return f"SoATimerView(row={self._row}, stale=True)"
+        return (
+            f"SoATimerView(id={self.request_id!r}, "
+            f"interval={self.interval}, deadline={self.deadline})"
+        )

@@ -1,0 +1,178 @@
+"""Unit tests for the struct-of-arrays timer store."""
+
+import sys
+
+import pytest
+
+from repro.core.errors import StaleTimerHandleError
+from repro.core.interface import TimerState
+from repro.structures.soa import (
+    NIL,
+    ROW_BITS,
+    SoATimerStore,
+    SoATimerView,
+    pack_handle,
+    unpack_handle,
+)
+
+from array import array
+
+
+def test_alloc_populates_columns():
+    store = SoATimerStore()
+    row = store.alloc(10, 7, "a", None, {"k": 1})
+    assert store.deadline_col[row] == 17
+    assert store.started_col[row] == 10
+    assert store.interval(row) == 7
+    assert store.request_ids[row] == "a"
+    assert store.user_datas[row] == {"k": 1}
+    assert store.next_col[row] == NIL and store.prev_col[row] == NIL
+    assert store.is_live(row)
+    assert store.live_count == 1 and store.free_count == 0
+
+
+def test_free_recycles_row_and_bumps_generation():
+    store = SoATimerStore()
+    row = store.alloc(0, 5, None, None, None)
+    g0 = store.generation(row)
+    store.free(row)
+    assert not store.is_live(row)
+    assert store.free_count == 1 and store.live_count == 0
+    row2 = store.alloc(3, 9, None, None, None)
+    assert row2 == row  # the free list is the allocator
+    assert store.generation(row2) == g0 + 1
+    assert store.capacity == 1  # no second row was ever created
+
+
+def test_handle_roundtrip_and_packing():
+    store = SoATimerStore()
+    row = store.alloc(0, 5, None, None, None)
+    handle = store.handle_of(row)
+    assert unpack_handle(handle) == (row, store.generation(row))
+    assert pack_handle(*unpack_handle(handle)) == handle
+    assert store.resolve_handle(handle) == row
+    # Generation occupies the bits above ROW_BITS.
+    store.free(row)
+    store.alloc(0, 5, None, None, None)
+    assert store.handle_of(row) == handle + (1 << ROW_BITS)
+
+
+def test_stale_handle_raises_after_reuse():
+    store = SoATimerStore()
+    row = store.alloc(0, 5, None, None, None)
+    handle = store.handle_of(row)
+    store.free(row)
+    with pytest.raises(StaleTimerHandleError):
+        store.resolve_handle(handle)
+    store.alloc(0, 9, None, None, None)  # reuse the row as a new timer
+    with pytest.raises(StaleTimerHandleError):
+        store.resolve_handle(handle)
+
+
+def test_out_of_range_handle_is_none_not_an_error():
+    store = SoATimerStore()
+    assert store.resolve_handle(pack_handle(3, 0)) is None
+
+
+def test_auto_request_id_is_the_handle():
+    store = SoATimerStore()
+    row = store.alloc(0, 5, None, None, None)
+    assert store.request_id_of(row) == store.handle_of(row)
+    explicit = store.alloc(0, 5, "mine", None, None)
+    assert store.request_id_of(explicit) == "mine"
+
+
+def test_link_front_unlink_and_chain_order():
+    store = SoATimerStore()
+    heads = array("q", [NIL, NIL])
+    rows = [store.alloc(0, i + 1, None, None, None) for i in range(3)]
+    for row in rows:
+        store.link_front(heads, 0, row)
+    # push_front + front-to-back walk = LIFO, same as DLinkedList.drain().
+    assert list(store.chain(heads[0])) == rows[::-1]
+    assert store.chain_length(heads[0]) == 3
+    store.unlink(heads, 0, rows[1])  # middle
+    assert list(store.chain(heads[0])) == [rows[2], rows[0]]
+    store.unlink(heads, 0, rows[2])  # head
+    assert heads[0] == rows[0]
+    store.unlink(heads, 0, rows[0])  # last
+    assert heads[0] == NIL
+
+
+def test_chain_tolerates_unlink_of_yielded_row():
+    store = SoATimerStore()
+    heads = array("q", [NIL])
+    rows = [store.alloc(0, i + 1, None, None, None) for i in range(4)]
+    for row in rows:
+        store.link_front(heads, 0, row)
+    seen = []
+    for row in store.chain(heads[0]):
+        store.unlink(heads, 0, row)
+        seen.append(row)
+    assert seen == rows[::-1]
+    assert heads[0] == NIL
+
+
+def test_free_drops_object_references():
+    store = SoATimerStore()
+    payload = object()
+    row = store.alloc(0, 5, "id", lambda t: None, payload)
+    store.free(row)
+    assert store.request_ids[row] is None
+    assert store.callbacks[row] is None
+    assert store.user_datas[row] is None
+
+
+def test_bytes_accounting_small_per_timer():
+    store = SoATimerStore()
+    for i in range(10_000):
+        store.alloc(0, i + 1, None, None, None)
+    per = store.bytes_per_timer()
+    # Six 8-byte words + three pointers + growth slack: far under the
+    # ~300 B/timer the object store costs (see docs/performance.md).
+    assert per is not None and per < 150
+    assert store.bytes_estimate() >= 10_000 * (6 * 8 + 3 * 8)
+    empty = SoATimerStore()
+    assert empty.bytes_per_timer() is None
+
+
+class TestView:
+    def _one(self):
+        store = SoATimerStore()
+        row = store.alloc(4, 6, "x", None, "payload")
+        return store, row, SoATimerView(store, row, store.generation(row))
+
+    def test_live_reads(self):
+        store, row, view = self._one()
+        assert view.request_id == "x"
+        assert view.interval == 6
+        assert view.deadline == 10
+        assert view.started_at == 4
+        assert view.user_data == "payload"
+        assert view.state is TimerState.PENDING
+        assert view.pending and not view.stale
+        assert view.handle == store.handle_of(row)
+        assert view.generation == store.generation(row)
+        assert "x" in repr(view)
+
+    def test_stale_after_free(self):
+        store, row, view = self._one()
+        store.free(row)
+        assert view.stale and not view.pending
+        assert "stale" in repr(view)
+        for attr in ("request_id", "interval", "deadline", "state"):
+            with pytest.raises(StaleTimerHandleError):
+                getattr(view, attr)
+
+    def test_stale_after_reuse(self):
+        store, row, view = self._one()
+        store.free(row)
+        store.alloc(0, 99, "other", None, None)
+        assert view.stale
+        with pytest.raises(StaleTimerHandleError):
+            view.deadline
+
+    def test_view_is_slotted_flyweight(self):
+        _, _, view = self._one()
+        assert not hasattr(view, "__dict__")
+        assert sys.getsizeof(view) <= 64

@@ -63,6 +63,9 @@ def test_docs_index_lists_every_document():
         ("robustness.md", "run_chaos_sharded"),
         ("robustness.md", "run_chaos_async"),
         ("paper_map.md", "AsyncTimerService"),
+        ("paper_map.md", "scheme8_lawn"),
+        ("performance.md", "BENCH_millions.json"),
+        ("performance.md", "SoATimerStore"),
         ("async_runtime.md", "BENCH_async_idle.json"),
         ("api.md", "scheme_names"),
     ],
