@@ -1,6 +1,6 @@
 # Convenience targets; everything works with plain pytest too.
 
-.PHONY: install test lint bench bench-full bench-json bench-sharded bench-async bench-observe bench-millions chaos docs-check experiments experiments-fast examples clean
+.PHONY: install test lint bench bench-full bench-json bench-sharded bench-async bench-observe bench-millions bench-durable chaos crashtest docs-check experiments experiments-fast examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -58,11 +58,24 @@ bench-millions:
 docs-check:
 	PYTHONPATH=src python tools/docs_check.py
 
+# Regenerate the checked-in durability baseline (docs/durability.md):
+# journal overhead per fsync policy, recovery replay throughput, and
+# kill/recover fingerprint identity on every row.
+bench-durable:
+	PYTHONPATH=src python -m repro.bench DURABLE --json BENCH_durable.json
+
 # Differential chaos: one deterministic fault plan replayed across every
 # scheme must yield identical surviving-expiry sequences (docs/robustness.md).
 chaos:
 	PYTHONPATH=src python -m repro chaos
 	PYTHONPATH=src python -m pytest tests/faults/ -q
+
+# Crash the durable service mid-plan, recover, and demand a bit-identical
+# fingerprint; then run the full durability test suite (docs/durability.md).
+crashtest:
+	PYTHONPATH=src python -m repro chaos --kill-at 150 --crash-mode torn --journal .crashtest-journal
+	rm -rf .crashtest-journal
+	PYTHONPATH=src python -m pytest tests/durability/ -q
 
 experiments:
 	python -m repro.bench

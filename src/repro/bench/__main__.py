@@ -11,11 +11,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.bench.experiments import ALL_EXPERIMENTS, get_experiment
 from repro.bench.tables import render_experiment
+from repro.io import atomic_write_json
 
 
 def main(argv=None) -> int:
@@ -58,9 +58,9 @@ def main(argv=None) -> int:
             "passed": failures == 0,
             "experiments": [result.to_dict() for result in results],
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=False)
-            handle.write("\n")
+        # atomic + fsync'd: a crash mid-write can never tear a checked-in
+        # BENCH_*.json baseline (see repro.io).
+        atomic_write_json(args.json, document, indent=2, sort_keys=False)
         print(f"wrote {args.json}")
     print(f"{len(ids)} experiments, {failures} failed")
     return 1 if failures else 0

@@ -36,6 +36,7 @@ from repro.bench.experiments.exp_millions import millions_scale
 from repro.bench.experiments.exp_sharded import sharded_throughput
 from repro.bench.experiments.exp_async import async_idle_cost
 from repro.bench.experiments.exp_observe import observer_overhead
+from repro.bench.experiments.exp_durable import durable_service
 
 #: Experiment id -> callable(fast: bool) -> ExperimentResult
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -61,6 +62,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "SHARDED": sharded_throughput,
     "ASYNCIDLE": async_idle_cost,
     "OBSERVE": observer_overhead,
+    "DURABLE": durable_service,
 }
 
 

@@ -47,6 +47,18 @@ Subcommands
     yields the identical surviving-expiry sequence and identical
     retry/quarantine/shed counts. Exits 1 on divergence (see
     ``docs/robustness.md``).
+``chaos --kill-at SEQ [--crash-mode M] [--journal DIR] [--sync S]``
+    The crash-recovery oracle: run the plan durably (write-ahead journal
+    + snapshots) on one scheme, kill the service at journal sequence
+    ``SEQ`` leaving the log in ``--crash-mode`` (``before`` | ``torn`` |
+    ``corrupt`` | ``after``), recover from disk, and assert the recovered
+    fingerprint is bit-identical to an uninterrupted run (see
+    ``docs/durability.md``).
+``recover DIR [--limit N]``
+    Inspect a durable service directory offline: reduce the newest valid
+    snapshot plus the journal tail (no callbacks run) and print the
+    state a recovery would rebuild, including integrity findings —
+    skipped torn-tail lines, rejected snapshots, corruption.
 """
 
 from __future__ import annotations
@@ -564,6 +576,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         jitter=args.jitter,
         seed=plan.seed,
     )
+    if args.kill_at is not None or args.journal:
+        return _chaos_durable(args, plan, workload, policy, schemes)
     report = run_differential(
         plan=plan,
         schemes=schemes,
@@ -659,6 +673,141 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1
+
+
+def _chaos_durable(args, plan, workload, policy, schemes) -> int:
+    """``chaos --kill-at SEQ [--journal DIR]``: the crash-recovery oracle.
+
+    Runs the plan durably on one scheme, kills the service at the given
+    journal sequence number, recovers from disk, and requires the
+    recovered fingerprint to be bit-identical to an uninterrupted run.
+    """
+    from repro.faults.chaos import run_chaos
+    from repro.faults.chaos_durable import run_chaos_durable
+
+    scheme = schemes[0] if args.schemes else "scheme6"
+    reference = run_chaos(
+        scheme, plan=plan, workload=workload, retry_policy=policy
+    )
+    run = run_chaos_durable(
+        scheme,
+        plan=plan,
+        workload=workload,
+        retry_policy=policy,
+        kill_at_seq=args.kill_at,
+        crash_mode=args.crash_mode,
+        journal_dir=args.journal,
+        sync=args.sync,
+    )
+    print(f"scheme    : {scheme} (sync={args.sync})")
+    print("fault plan: " + "; ".join(plan.describe()))
+    if run.crashed:
+        print(
+            f"crash     : killed at journal seq {run.crash.at_seq} "
+            f"({run.crash.mode}); recovered from "
+            f"{run.journal_dir or 'a temp directory'}"
+        )
+        for line in run.recovery.describe():
+            print("  " + line)
+    else:
+        print(
+            "crash     : none "
+            + (
+                f"(seq {run.crash.at_seq} never reached; "
+                f"{run.records_appended} records appended)"
+                if run.crash is not None
+                else "(no kill point configured)"
+            )
+        )
+    print(
+        f"journal   : {run.records_appended} records, {run.fsyncs} fsyncs, "
+        f"{run.snapshots_kept} snapshots kept"
+    )
+    if run.result.fingerprint() == reference.fingerprint():
+        print(
+            "OK: recovered fingerprint is bit-identical to the "
+            "uninterrupted run"
+        )
+        return 0
+    print("DIVERGENCE:", file=sys.stderr)
+    reference_fp = reference.fingerprint()
+    for key, value in run.result.fingerprint().items():
+        if value != reference_fp[key]:
+            print(
+                f"  {key}: recovered {value!r} != uninterrupted "
+                f"{reference_fp[key]!r}",
+                file=sys.stderr,
+            )
+    return 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """``recover DIR``: inspect a durable service directory offline.
+
+    Reduces the newest valid snapshot plus the journal tail — without
+    constructing a scheduler or invoking any callbacks — and prints what
+    a recovery would rebuild, including journal integrity findings.
+    """
+    from pathlib import Path
+
+    from repro.durability.journal import JournalCorruptionError, read_journal
+    from repro.durability.service import JOURNAL_NAME
+    from repro.durability.snapshot import load_latest_snapshot
+    from repro.durability.state import DurableState
+
+    directory = Path(args.directory)
+    journal_path = directory / JOURNAL_NAME
+    if not journal_path.exists() and load_latest_snapshot(directory) is None:
+        print(f"no journal or snapshot found in {directory}", file=sys.stderr)
+        return 1
+    loaded = load_latest_snapshot(directory)
+    if loaded is not None:
+        state = DurableState.from_dict(loaded.state)
+        start_after, offset = loaded.seq, loaded.journal_offset
+        print(f"snapshot  : seq {loaded.seq} ({loaded.path.name})")
+        for name, reason in loaded.rejected:
+            print(f"  rejected {name}: {reason}")
+    else:
+        state = DurableState()
+        start_after, offset = 0, None
+        print("snapshot  : none (full journal replay)")
+    try:
+        read = read_journal(journal_path, start_after=start_after, offset=offset)
+        for seq, op, data in read.records:
+            state.apply(seq, op, data)
+    except JournalCorruptionError as exc:
+        print(f"CORRUPT: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"journal   : {len(read.records)} tail records replayed "
+        f"(through seq {read.last_seq})"
+    )
+    for lineno, reason in read.skipped:
+        print(f"  skipped tail line {lineno}: {reason}")
+    print(
+        f"clock     : now={state.now} wall={state.wall} "
+        f"jumps={state.clock_jumps} syncs={state.syncs}"
+    )
+    print(
+        f"state     : {len(state.pending)} pending, "
+        f"{len(state.survivors)} survivors, "
+        f"{len(state.quarantine)} quarantined, "
+        f"{len(state.stopped)} stopped"
+    )
+    counters = {k: v for k, v in state.counters.items() if v}
+    if counters:
+        print(
+            "counters  : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    for key, entry in list(state.pending.items())[: args.limit]:
+        print(
+            f"  pending {key}: due {entry['due']} "
+            f"(deadline {entry['deadline']}, attempts {entry['attempts']})"
+        )
+    if len(state.pending) > args.limit:
+        print(f"  ... and {len(state.pending) - args.limit} more")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -826,6 +975,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the plan through an N-shard service over the first "
         "scheme and require its fingerprint to match",
     )
+    p_cha.add_argument(
+        "--kill-at", type=int, default=None, metavar="SEQ",
+        help="run durably and kill the service at this journal sequence "
+        "number, then recover and compare against an uninterrupted run",
+    )
+    p_cha.add_argument(
+        "--crash-mode",
+        choices=["before", "torn", "corrupt", "after"],
+        default="after",
+        help="state the kill leaves the journal tail in (with --kill-at)",
+    )
+    p_cha.add_argument(
+        "--journal", metavar="DIR",
+        help="durable service directory (default: a temp directory); "
+        "implies the durable single-scheme run",
+    )
+    p_cha.add_argument(
+        "--sync", choices=["always", "batch", "never"], default="batch",
+        help="journal fsync discipline for the durable run",
+    )
+
+    p_rcv = sub.add_parser(
+        "recover",
+        help="inspect a durable service directory (snapshot + journal tail)",
+    )
+    p_rcv.add_argument("directory", metavar="DIR")
+    p_rcv.add_argument(
+        "--limit", type=int, default=10,
+        help="pending timers to list in detail (default 10)",
+    )
 
     return parser
 
@@ -841,6 +1020,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "top": _cmd_top,
     "chaos": _cmd_chaos,
+    "recover": _cmd_recover,
 }
 
 

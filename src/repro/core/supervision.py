@@ -253,6 +253,10 @@ class SupervisedScheduler:
         self._budget_used = 0
         self._last_sync = scheduler.now
         self._synced = False
+        #: optional durability seam: ``ledger(op, data)`` is called after
+        #: each supervision outcome (expire/rearm/shed/quarantine) so a
+        #: write-ahead journal can persist it. ``None`` costs nothing.
+        self._ledger: Optional[Callable[[str, Dict[str, object]], object]] = None
 
     # ------------------------------------------------------------ client API
 
@@ -398,6 +402,16 @@ class SupervisedScheduler:
         else:
             del self._entries[origin]
             self.survivors.append((origin, entry.deadline, entry.attempts))
+            if self._ledger is not None:
+                self._ledger(
+                    "expire",
+                    {
+                        "id": str(origin),
+                        "deadline": entry.deadline,
+                        "attempts": entry.attempts,
+                        "now": inner.now,
+                    },
+                )
 
     def _admit(self, entry: _Entry, timer: Timer) -> bool:
         """Charge the tick budget; shed per policy when exhausted.
@@ -433,6 +447,11 @@ class SupervisedScheduler:
             del self._entries[entry.origin]
             if observer is not NULL_OBSERVER:
                 observer.on_shed(inner, timer, policy)
+            if self._ledger is not None:
+                self._ledger(
+                    "shed",
+                    {"id": str(entry.origin), "policy": policy, "now": inner.now},
+                )
             return
         if policy == "defer":
             self.deferred += 1
@@ -444,6 +463,17 @@ class SupervisedScheduler:
         self._rearm(entry, interval)
         if observer is not NULL_OBSERVER:
             observer.on_shed(inner, timer, policy)
+        if self._ledger is not None:
+            self._ledger(
+                "shed",
+                {
+                    "id": str(entry.origin),
+                    "policy": policy,
+                    "due": inner.now + interval,
+                    "rearm_seq": entry.rearm_seq,
+                    "now": inner.now,
+                },
+            )
 
     def _retry_or_quarantine(
         self, entry: _Entry, timer: Timer, exc: BaseException
@@ -466,6 +496,17 @@ class SupervisedScheduler:
         observer = inner.observer
         if observer is not NULL_OBSERVER:
             observer.on_retry(inner, timer, entry.attempts, retry_at)
+        if self._ledger is not None:
+            self._ledger(
+                "rearm",
+                {
+                    "id": str(entry.origin),
+                    "attempt": entry.attempts,
+                    "rearm_seq": entry.rearm_seq,
+                    "due": retry_at,
+                    "now": inner.now,
+                },
+            )
 
     def _rearm(self, entry: _Entry, interval: int) -> None:
         """Re-arm ``entry`` as a fresh wheel timer ``interval`` ticks out."""
@@ -500,6 +541,108 @@ class SupervisedScheduler:
         observer = inner.observer
         if observer is not NULL_OBSERVER:
             observer.on_quarantine(inner, timer, entry.attempts, exc)
+        if self._ledger is not None:
+            self._ledger(
+                "quarantine",
+                {
+                    "id": str(entry.origin),
+                    "attempts": entry.attempts,
+                    "reason": reason,
+                    "error": repr(exc),
+                    "at": inner.now,
+                    "deadline": entry.deadline,
+                },
+            )
+
+    # ------------------------------------------------------------ durability
+
+    def set_ledger(
+        self, ledger: Optional[Callable[[str, Dict[str, object]], object]]
+    ) -> None:
+        """Install (or clear) the durability ledger seam.
+
+        ``ledger(op, data)`` is invoked after every supervision outcome —
+        ``expire`` (a survivor), ``rearm``, ``shed``, ``quarantine`` —
+        with a JSON-ready payload. The durable service journals these so
+        crash recovery can reduce the log back to this supervisor's
+        state without re-running any client callback.
+        """
+        self._ledger = ledger
+
+    def adopt_timer(
+        self,
+        origin: Hashable,
+        *,
+        callback: Optional[ExpiryAction],
+        user_data: object,
+        deadline: int,
+        due: int,
+        attempts: int = 0,
+        rearm_seq: int = 0,
+    ) -> None:
+        """Re-create one supervised timer from recovered journal state.
+
+        ``deadline`` is the client deadline the survivor record will
+        carry; ``due`` is the *inner* deadline (the original deadline or
+        the latest retry/shed re-arm target). The timer is armed for
+        ``max(1, due - now)`` ticks — a deadline already in the past
+        fires one tick from now: late, never skipped. ``rearm_seq``
+        restores the retry lineage so the inner id matches what the
+        journal will name next.
+        """
+        if origin in self._entries:
+            raise TimerStateError(
+                f"request_id {origin!r} already names a supervised timer"
+            )
+        inner = self._inner
+        entry = _Entry(origin, callback, user_data, deadline)
+        entry.attempts = attempts
+        entry.rearm_seq = rearm_seq
+        interval = max(1, due - inner.now)
+        bound = inner.max_start_interval()
+        if bound is not None and interval >= bound:
+            interval = bound - 1
+        inner_id: Hashable = origin if rearm_seq == 0 else RearmId(origin, rearm_seq)
+        entry.inner_id = inner_id
+        inner.start_timer(
+            interval,
+            request_id=inner_id,
+            callback=self._dispatch,
+            user_data=user_data,
+        )
+        self._entries[origin] = entry
+
+    def restore_outcomes(
+        self,
+        survivors: List[Tuple[Hashable, int, int]],
+        quarantine: Dict[Hashable, QuarantineRecord],
+    ) -> None:
+        """Reload resolved history (survivor log + quarantine set)."""
+        self.survivors.extend(survivors)
+        self.quarantine.update(quarantine)
+
+    def restore_counters(self, **counts: int) -> None:
+        """Reload supervision counters (names as in :meth:`counters`)."""
+        mapping = {
+            "retries": "retries",
+            "quarantined": "quarantined_total",
+            "shed": "shed_total",
+            "deferred": "deferred",
+            "dropped": "dropped",
+            "degraded": "degraded",
+            "clock_jumps": "clock_jumps",
+            "overruns": "overruns",
+        }
+        for name, value in counts.items():
+            if name not in mapping:
+                raise ValueError(f"unknown supervision counter {name!r}")
+            setattr(self, mapping[name], value)
+
+    def restore_clock(self, wall_tick: Optional[int], synced: bool) -> None:
+        """Reload the external-clock baseline (see :meth:`sync_clock`)."""
+        if wall_tick is not None:
+            self._last_sync = wall_tick
+        self._synced = synced
 
     def release_quarantined(self, request_id: Hashable) -> QuarantineRecord:
         """Remove and return one quarantine record (raises if unknown)."""
@@ -534,6 +677,14 @@ class SupervisedScheduler:
     def next_expiry(self) -> Optional[int]:
         """Delegate to the inner scheme (re-arms count as pending work)."""
         return self._inner.next_expiry()
+
+    def max_start_interval(self) -> Optional[int]:
+        """The inner scheme's interval bound (``None`` when unbounded)."""
+        return self._inner.max_start_interval()
+
+    def pending_timers(self):
+        """The inner scheme's live timers (retry re-arms included)."""
+        return self._inner.pending_timers()
 
     @property
     def counter(self):

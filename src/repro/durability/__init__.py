@@ -1,0 +1,73 @@
+"""Durable timer service: write-ahead journal, snapshots, recovery.
+
+Every scheme in this repo keeps its timers in memory; this package adds
+the layer that lets them survive process death:
+
+* :mod:`repro.durability.journal` — the append-only JSONL WAL:
+  per-record CRC-32, monotone sequence numbers, fsync group commit
+  (``sync="always" | "batch" | "never"``), and torn-tail-aware replay.
+* :mod:`repro.durability.snapshot` — periodic atomic state snapshots
+  (tmp + fsync + ``os.replace``) bounding replay to the journal tail.
+* :mod:`repro.durability.state` — the reduction both replay and the
+  live service share: journal in, scheduler state out.
+* :mod:`repro.durability.service` — :class:`DurableScheduler` (journal
+  before mutate, over any scheme or supervised stack) and
+  :func:`recover` (snapshot + tail → fresh stack, missed deadlines
+  fired late-never-skip).
+
+The crash-chaos oracle proving all of this bit-identical to an
+uninterrupted run lives in :mod:`repro.faults.chaos_durable`; the
+format and semantics are documented in ``docs/durability.md``.
+"""
+
+from repro.durability.journal import (
+    DEFAULT_BATCH_SIZE,
+    SYNC_MODES,
+    Journal,
+    JournalCorruptionError,
+    JournalError,
+    JournalWriteError,
+    ReadResult,
+    decode_record,
+    encode_record,
+    read_journal,
+    truncate_to,
+)
+from repro.durability.service import (
+    JOURNAL_NAME,
+    DurableScheduler,
+    RecoveryReport,
+    recover,
+)
+from repro.durability.snapshot import (
+    LoadedSnapshot,
+    list_snapshots,
+    load_latest_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.durability.state import DurableState
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DurableScheduler",
+    "DurableState",
+    "JOURNAL_NAME",
+    "Journal",
+    "JournalCorruptionError",
+    "JournalError",
+    "JournalWriteError",
+    "LoadedSnapshot",
+    "ReadResult",
+    "RecoveryReport",
+    "SYNC_MODES",
+    "decode_record",
+    "encode_record",
+    "list_snapshots",
+    "load_latest_snapshot",
+    "read_journal",
+    "recover",
+    "snapshot_path",
+    "truncate_to",
+    "write_snapshot",
+]

@@ -15,6 +15,11 @@ The harness has four layers, each usable on its own:
 * :mod:`repro.faults.chaos` — the differential suite: one plan replayed
   across all nine scheme modules must yield identical surviving-expiry
   sequences and identical retry/quarantine/shed counts.
+* :mod:`repro.faults.crash` / :mod:`repro.faults.chaos_durable` — the
+  crash layer: :class:`CrashPoint` kills the durable service at a seeded
+  journal seq (log left missing / torn / corrupt / durable) and
+  :func:`run_chaos_durable` proves recovery reproduces the
+  uninterrupted fingerprint bit-for-bit.
 """
 
 from repro.faults.chaos import (
@@ -27,7 +32,9 @@ from repro.faults.chaos import (
     run_chaos_sharded,
     run_differential,
 )
+from repro.faults.chaos_durable import DurableChaosRun, run_chaos_durable
 from repro.faults.clock import SkewedClock, drive, jump_offsets
+from repro.faults.crash import CRASH_MODES, CrashPoint, SimulatedCrash
 from repro.faults.injector import (
     AllocationPressure,
     FaultInjector,
@@ -40,10 +47,13 @@ from repro.faults.plan import OUTCOMES, FaultPlan
 
 __all__ = [
     "AllocationPressure",
+    "CRASH_MODES",
     "ChaosResult",
     "ChaosWorkload",
+    "CrashPoint",
     "DEFAULT_PLAN",
     "DifferentialReport",
+    "DurableChaosRun",
     "FaultInjector",
     "FaultPlan",
     "HangingCallbackError",
@@ -51,11 +61,13 @@ __all__ = [
     "InjectedFault",
     "OUTCOMES",
     "SCHEME_KWARGS",
+    "SimulatedCrash",
     "SkewedClock",
     "TransientStopRace",
     "drive",
     "jump_offsets",
     "run_chaos",
+    "run_chaos_durable",
     "run_chaos_sharded",
     "run_differential",
 ]

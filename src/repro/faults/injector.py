@@ -115,6 +115,35 @@ class FaultInjector:
         """Expiry_Action invocations seen so far for this client id."""
         return self._attempts.get(str(origin_of(request_id)), 0)
 
+    def reset_service_state(self, attempts: Dict[str, int]) -> None:
+        """Rebuild the service-side half of the injector after a crash.
+
+        The *service* died: its attempt counters must be re-derived from
+        what the journal made durable (``DurableState.attempts_map()``),
+        and the injected-outcome counters recomputed by re-evaluating
+        the pure plan over that attempt history — any attempt whose
+        outcome record was lost will re-execute and be re-counted live.
+        The *client-side* half survives untouched: ``_starts`` ordinals
+        (allocator-pressure decisions), observed stop races, and their
+        counters belong to callers that outlive the process.
+        """
+        self._attempts = {
+            str(key): int(count) for key, count in attempts.items() if count
+        }
+        failures = hangs = slow = 0
+        for key, count in self._attempts.items():
+            for attempt in range(1, count + 1):
+                outcome = self.plan.outcome(key, attempt)
+                if outcome == "fail":
+                    failures += 1
+                elif outcome == "hang":
+                    hangs += 1
+                elif outcome == "slow":
+                    slow += 1
+        self.injected_failures = failures
+        self.injected_hangs = hangs
+        self.slow_invocations = slow
+
     def cost_of(self, timer: Timer) -> int:
         """Budget cost of the timer's *next* attempt (supervisor cost hook).
 

@@ -36,7 +36,10 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TimerConfigurationError
+from repro.faults.crash import CRASH_MODES, CrashPoint
 
 #: Every outcome :meth:`FaultPlan.outcome` may return.
 OUTCOMES = ("ok", "fail", "slow", "hang")
@@ -77,6 +80,14 @@ class FaultPlan:
     alloc_failure_every: int = 0
     clock_jumps: Tuple[Tuple[int, int], ...] = ()
     scripted: Dict[str, Sequence[str]] = field(default_factory=dict)
+    #: journal-I/O faults (durable service only; see repro.durability):
+    #: kill the process when journal record ``crash_at_seq`` is appended,
+    #: leaving the log in ``crash_mode`` ("before" | "torn" | "corrupt"
+    #: | "after"); ``fsync_fail_at_seq`` makes the group commit covering
+    #: that seq fail cleanly (the op is rejected, nothing is lost).
+    crash_at_seq: Optional[int] = None
+    crash_mode: str = "after"
+    fsync_fail_at_seq: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("fail_rate", "slow_rate", "hang_rate", "stop_race_rate"):
@@ -100,6 +111,30 @@ class FaultPlan:
                     f"scripted[{key!r}] has unknown outcomes {bad}; "
                     f"valid: {OUTCOMES}"
                 )
+        # Journal-I/O fault fields are newer; they reject bad values with
+        # TimerConfigurationError (the documented configuration contract).
+        if self.crash_at_seq is not None:
+            CrashPoint(self.crash_at_seq, self.crash_mode)  # validates both
+        elif self.crash_mode not in CRASH_MODES:
+            raise TimerConfigurationError(
+                f"crash_mode must be one of {CRASH_MODES}, "
+                f"got {self.crash_mode!r}"
+            )
+        if self.fsync_fail_at_seq is not None and (
+            isinstance(self.fsync_fail_at_seq, bool)
+            or not isinstance(self.fsync_fail_at_seq, int)
+            or self.fsync_fail_at_seq < 1
+        ):
+            raise TimerConfigurationError(
+                "fsync_fail_at_seq must be a positive int or None, "
+                f"got {self.fsync_fail_at_seq!r}"
+            )
+
+    def crash_point(self) -> Optional["CrashPoint"]:
+        """The plan's :class:`~repro.faults.crash.CrashPoint`, if any."""
+        if self.crash_at_seq is None:
+            return None
+        return CrashPoint(self.crash_at_seq, self.crash_mode)
 
     # ------------------------------------------------------------- decisions
 
@@ -158,6 +193,9 @@ class FaultPlan:
             "alloc_failure_every": self.alloc_failure_every,
             "clock_jumps": [list(jump) for jump in self.clock_jumps],
             "scripted": {k: list(v) for k, v in self.scripted.items()},
+            "crash_at_seq": self.crash_at_seq,
+            "crash_mode": self.crash_mode,
+            "fsync_fail_at_seq": self.fsync_fail_at_seq,
         }
 
     @classmethod
@@ -174,6 +212,9 @@ class FaultPlan:
             "alloc_failure_every",
             "clock_jumps",
             "scripted",
+            "crash_at_seq",
+            "crash_mode",
+            "fsync_fail_at_seq",
         }
         unknown = set(data) - known
         if unknown:
@@ -215,4 +256,10 @@ class FaultPlan:
             )
         if self.scripted:
             lines.append(f"scripted ids: {sorted(self.scripted)}")
+        if self.crash_at_seq is not None:
+            lines.append(
+                f"crash at journal seq {self.crash_at_seq} ({self.crash_mode})"
+            )
+        if self.fsync_fail_at_seq is not None:
+            lines.append(f"fsync failure covering seq {self.fsync_fail_at_seq}")
         return lines

@@ -1,0 +1,42 @@
+"""The shared crash-safe write primitives (``repro.io``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io import atomic_write_json, atomic_write_text
+
+
+def test_atomic_write_creates_and_replaces(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_json(target, {"a": 1})
+    atomic_write_json(target, {"a": 2})
+    assert json.loads(target.read_text()) == {"a": 2}
+    assert target.read_text().endswith("\n")
+
+
+def test_failed_serialisation_leaves_the_old_file_intact(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_json(target, {"a": 1})
+    with pytest.raises(TypeError):
+        atomic_write_json(target, {"bad": object()})
+    assert json.loads(target.read_text()) == {"a": 1}
+
+
+def test_no_tmp_files_left_behind(tmp_path):
+    target = tmp_path / "doc.txt"
+    atomic_write_text(target, "hello")
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.txt"]
+
+
+def test_bench_json_writer_goes_through_the_atomic_path(tmp_path):
+    # the checked-in BENCH_*.json baselines use the same recipe
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "BENCH_smoke.json"
+    assert main(["FIG3", "--fast", "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["mode"] == "fast"
+    assert [p.name for p in tmp_path.iterdir()] == ["BENCH_smoke.json"]

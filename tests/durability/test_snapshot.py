@@ -1,0 +1,66 @@
+"""Atomic snapshots: round trip, pruning, and rejection of damage."""
+
+from __future__ import annotations
+
+import json
+
+from repro.durability.snapshot import (
+    list_snapshots,
+    load_latest_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.durability.state import DurableState
+
+
+def _state(n: int) -> dict:
+    state = DurableState()
+    state.apply(1, "start", {"id": f"t{n}", "interval": 5, "deadline": 5, "now": 0})
+    return state.to_dict()
+
+
+def test_round_trip(tmp_path):
+    path = write_snapshot(tmp_path, _state(1), seq=12, journal_offset=340)
+    assert path == snapshot_path(tmp_path, 12)
+    loaded = load_latest_snapshot(tmp_path)
+    assert loaded is not None
+    assert loaded.seq == 12
+    assert loaded.journal_offset == 340
+    assert "t1" in loaded.state["pending"]
+    assert loaded.rejected == []
+
+
+def test_latest_wins_and_keep_prunes(tmp_path):
+    for seq in (5, 10, 15, 20):
+        write_snapshot(tmp_path, _state(seq), seq=seq, journal_offset=0, keep=2)
+    names = [p.name for p in list_snapshots(tmp_path)]
+    assert names == ["snapshot-000000000015.json", "snapshot-000000000020.json"]
+    assert load_latest_snapshot(tmp_path).seq == 20
+
+
+def test_corrupt_newest_falls_back_to_older(tmp_path):
+    write_snapshot(tmp_path, _state(1), seq=5, journal_offset=0)
+    newest = write_snapshot(tmp_path, _state(2), seq=9, journal_offset=0)
+    newest.write_text(newest.read_text().replace('"crc"', '"cRc"'))
+    loaded = load_latest_snapshot(tmp_path)
+    assert loaded.seq == 5
+    assert loaded.rejected and loaded.rejected[0][0] == newest.name
+
+
+def test_checksum_rejects_payload_tampering(tmp_path):
+    path = write_snapshot(tmp_path, _state(1), seq=5, journal_offset=0)
+    doc = json.loads(path.read_text())
+    doc["seq"] = 6  # stored crc no longer matches
+    path.write_text(json.dumps(doc))
+    assert load_latest_snapshot(tmp_path) is None
+
+
+def test_empty_directory_loads_none(tmp_path):
+    assert load_latest_snapshot(tmp_path) is None
+    assert list_snapshots(tmp_path) == []
+
+
+def test_no_tmp_files_left_behind(tmp_path):
+    write_snapshot(tmp_path, _state(1), seq=3, journal_offset=0)
+    leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+    assert leftovers == []

@@ -118,3 +118,55 @@ def test_outcomes_constant_matches_implementation():
 def test_describe_mentions_active_faults():
     text = " ".join(FaultPlan(seed=2, fail_rate=0.5, clock_jumps=((5, -3),)).describe())
     assert "fail_rate" in text and "5:-3" in text
+
+
+# ----------------------------- journal-I/O fault fields (durable service)
+
+
+def test_crash_fields_round_trip_through_json():
+    plan = FaultPlan(
+        seed=3, crash_at_seq=77, crash_mode="torn", fsync_fail_at_seq=12
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    point = restored.crash_point()
+    assert point.at_seq == 77 and point.mode == "torn"
+
+
+def test_crash_point_is_none_when_unset():
+    assert FaultPlan(seed=1).crash_point() is None
+
+
+def test_crash_field_validation_uses_the_configuration_error():
+    from repro.core.errors import TimerConfigurationError
+
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan(seed=1, crash_at_seq=0)
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan(seed=1, crash_at_seq=True)
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan(seed=1, crash_at_seq=5, crash_mode="sideways")
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan(seed=1, crash_mode="sideways")  # even without a seq
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan(seed=1, fsync_fail_at_seq=0)
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan(seed=1, fsync_fail_at_seq="soon")
+
+
+def test_malformed_crash_fields_are_rejected_on_from_dict():
+    from repro.core.errors import TimerConfigurationError
+
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan.from_dict({"seed": 1, "crash_at_seq": -3})
+    with pytest.raises(TimerConfigurationError):
+        FaultPlan.from_dict({"seed": 1, "crash_mode": "nope"})
+
+
+def test_describe_mentions_crash_and_fsync_faults():
+    text = " ".join(
+        FaultPlan(
+            seed=1, crash_at_seq=9, crash_mode="corrupt", fsync_fail_at_seq=4
+        ).describe()
+    )
+    assert "seq 9" in text and "corrupt" in text and "fsync" in text

@@ -315,3 +315,65 @@ def test_top_demo_renders_frames(capsys):
 def test_top_without_port_or_demo_exits_2(capsys):
     assert main(["top"]) == 2
     assert "--port is required" in capsys.readouterr().err
+
+
+def test_chaos_kill_at_recovers_bit_identical(tmp_path, capsys):
+    directory = tmp_path / "svc"
+    assert main(
+        [
+            "chaos",
+            "--schemes",
+            "scheme6",
+            "--kill-at",
+            "150",
+            "--crash-mode",
+            "torn",
+            "--journal",
+            str(directory),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "killed at journal seq 150 (torn)" in out
+    assert "bit-identical" in out
+    assert (directory / "journal.jsonl").exists()
+
+
+def test_chaos_kill_at_uses_a_temp_directory_by_default(capsys):
+    assert main(["chaos", "--schemes", "scheme6", "--kill-at", "64"]) == 0
+    assert "bit-identical" in capsys.readouterr().out
+
+
+def test_recover_inspects_a_service_directory(tmp_path, capsys):
+    directory = tmp_path / "svc"
+    assert main(
+        ["chaos", "--schemes", "scheme6", "--kill-at", "200",
+         "--journal", str(directory)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["recover", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "snapshot" in out and "journal" in out
+    assert "survivors" in out
+
+
+def test_recover_reports_missing_directory(tmp_path, capsys):
+    assert main(["recover", str(tmp_path / "nothing")]) == 1
+    assert "no journal" in capsys.readouterr().err
+
+
+def test_recover_flags_mid_journal_corruption(tmp_path, capsys):
+    from repro.core import make_scheduler
+    from repro.durability.service import DurableScheduler
+
+    directory = tmp_path / "svc"
+    with DurableScheduler(
+        make_scheduler("scheme1"), directory, sync="always", snapshot_every=None
+    ) as durable:
+        for i in range(4):
+            durable.start_timer(50, request_id=f"t{i}")
+    journal = directory / "journal.jsonl"
+    lines = journal.read_bytes().splitlines(keepends=True)
+    lines[1] = b"#" * 30 + b"\n"
+    journal.write_bytes(b"".join(lines))
+    assert main(["recover", str(directory)]) == 1
+    assert "CORRUPT" in capsys.readouterr().err

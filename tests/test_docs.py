@@ -68,6 +68,10 @@ def test_docs_index_lists_every_document():
         ("performance.md", "SoATimerStore"),
         ("async_runtime.md", "BENCH_async_idle.json"),
         ("api.md", "scheme_names"),
+        ("durability.md", "run_chaos_durable"),
+        ("durability.md", "BENCH_durable.json"),
+        ("robustness.md", "durability.md"),
+        ("paper_map.md", "DurableScheduler"),
     ],
 )
 def test_docs_cover_the_newer_subsystems(doc, must_mention):
