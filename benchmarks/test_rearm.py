@@ -1,0 +1,121 @@
+"""Bench target + checked-in-baseline gate for experiment REARM.
+
+Two layers of defence:
+
+* ``test_rearm_experiment`` regenerates the REARM table live under
+  pytest-benchmark (fast mode by default; the gates are op-count based
+  and deterministic, so they bind identically in fast and full modes);
+* the ``TestCheckedInBaseline`` class statically validates the committed
+  ``BENCH_rearm.json`` (the artefact ``make bench-rearm`` regenerates),
+  so a baseline refreshed on a machine where the ≥2x update-vs-stop+start
+  gates failed — or hand-edited into passing — cannot land unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_experiment_bench
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_rearm.json"
+
+#: Every (scheme, store) row the baseline must carry.
+EXPECTED_ROWS = {
+    ("scheme4", "object"),
+    ("scheme4", "soa"),
+    ("scheme6", "object"),
+    ("scheme6", "soa"),
+    ("scheme7", "object"),
+    ("scheme7", "soa"),
+    ("gsq", "object"),
+    ("scheme2", "object"),
+    ("lawn", "object"),
+}
+
+
+def test_rearm_experiment(benchmark):
+    run_experiment_bench(benchmark, "REARM")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    assert BASELINE.exists(), (
+        f"{BASELINE.name} missing - run `make bench-rearm` and commit it"
+    )
+    with BASELINE.open(encoding="utf-8") as handle:
+        doc = json.load(handle)
+    experiments = [
+        exp
+        for exp in doc.get("experiments", [])
+        if exp.get("experiment_id") == "REARM"
+    ]
+    assert len(experiments) == 1, "baseline must hold exactly one REARM run"
+    return experiments[0]
+
+
+class TestCheckedInBaseline:
+    """Static gates over the committed BENCH_rearm.json."""
+
+    def test_full_mode_and_passed(self, baseline):
+        assert baseline["data"]["mode"] == "full", (
+            "baseline must be regenerated with `make bench-rearm`, "
+            "not the --fast smoke variant"
+        )
+        assert baseline["passed"] is True
+        assert all(check["passed"] for check in baseline["checks"])
+
+    def test_covers_every_scheme_store_row(self, baseline):
+        rows = baseline["data"]["measurements"]
+        assert {(m["scheme"], m["store"]) for m in rows} == EXPECTED_ROWS
+
+    def test_storm_is_update_dominated(self, baseline):
+        data = baseline["data"]
+        # ~99% of pending timers are touched (re-armed or cancelled)
+        # per round — the defining property of the storm.
+        assert data["update_p"] + data["cancel_p"] >= 0.99
+        assert data["rearm_or_cancel_events"] > data["n_timers"]
+        for m in data["measurements"]:
+            where = f"{m['scheme']}/{m['store']}"
+            assert m["rearm_calls"] > m["expiries"], (
+                f"{where}: storm fired more than it re-armed"
+            )
+
+    def test_native_update_at_least_twice_as_cheap(self, baseline):
+        floor = baseline["data"]["ratio_floor"]
+        assert floor >= 2.0
+        gated = set(baseline["data"]["gated_schemes"])
+        assert gated == {"scheme4", "scheme6", "scheme7"}
+        for m in baseline["data"]["measurements"]:
+            if m["scheme"] not in gated:
+                continue
+            where = f"{m['scheme']}/{m['store']}"
+            assert m["ratio"] >= floor, (
+                f"{where}: update speedup {m['ratio']:.2f}x below "
+                f"{floor:.0f}x floor"
+            )
+            assert m["update_ops"] * floor <= m["control_ops"], where
+
+    def test_fingerprints_identical_on_every_row(self, baseline):
+        rows = baseline["data"]["measurements"]
+        fingerprints = {m["fingerprint_update"] for m in rows}
+        assert len(fingerprints) == 1, "expiry fingerprints diverged"
+        for m in rows:
+            where = f"{m['scheme']}/{m['store']}"
+            assert m["identical_fingerprint"] is True, where
+            assert m["fingerprint_update"] == m["fingerprint_control"], (
+                f"{where}: update arm changed what fired or when"
+            )
+
+    def test_soa_twins_charge_object_store_ops(self, baseline):
+        rows = {
+            (m["scheme"], m["store"]): m
+            for m in baseline["data"]["measurements"]
+        }
+        for scheme in baseline["data"]["gated_schemes"]:
+            obj = rows[(scheme, "object")]
+            soa = rows[(scheme, "soa")]
+            assert soa["update_ops"] == obj["update_ops"], scheme
+            assert soa["control_ops"] == obj["control_ops"], scheme

@@ -37,6 +37,7 @@ from repro.bench.experiments.exp_sharded import sharded_throughput
 from repro.bench.experiments.exp_async import async_idle_cost
 from repro.bench.experiments.exp_observe import observer_overhead
 from repro.bench.experiments.exp_durable import durable_service
+from repro.bench.experiments.exp_rearm import rearm_storm
 
 #: Experiment id -> callable(fast: bool) -> ExperimentResult
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -63,6 +64,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ASYNCIDLE": async_idle_cost,
     "OBSERVE": observer_overhead,
     "DURABLE": durable_service,
+    "REARM": rearm_storm,
 }
 
 

@@ -52,8 +52,10 @@ SCHEME_PARAMS: Dict[str, Dict[str, object]] = {
     "scheme7-onemigration": {"slot_counts": (64, 64, 64)},
 }
 
-#: Schemes whose wake count includes deterministic cascade instants.
-HIERARCHICAL = ("scheme7", "scheme7-onemigration")
+#: Schemes whose wake count includes deterministic cascade instants —
+#: level-migration hops for the hierarchies, group-boundary promotions
+#: for the grouped sorting queue (both arrive via ``on_migrate``).
+HIERARCHICAL = ("scheme7", "scheme7-onemigration", "gsq")
 
 IDLE_TIMERS = 8
 TIMELINE = TimelineWorkload()

@@ -70,6 +70,8 @@ from repro.core.scheme7_variants import (
     LossyHierarchicalScheduler,
     SingleMigrationHierarchicalScheduler,
 )
+from repro.core.scheme8_lawn import LawnScheduler
+from repro.core.scheme_gsq import GroupedSortingQueueScheduler
 
 __all__ = [
     "Timer",
@@ -113,6 +115,8 @@ __all__ = [
     "HierarchicalWheelScheduler",
     "LossyHierarchicalScheduler",
     "SingleMigrationHierarchicalScheduler",
+    "LawnScheduler",
+    "GroupedSortingQueueScheduler",
     "PAPER_LEVELS",
     "BINARY_LEVELS",
     "make_scheduler",

@@ -9,6 +9,19 @@ Section 2 defines the interface every scheme implements:
 * ``EXPIRY_PROCESSING`` → the scheduler invoking ``timer.callback`` when a
   timer expires.
 
+The dynamic-update literature (arXiv:2508.10283, arXiv:2601.09081) adds a
+fifth routine the paper's model lacks — real workloads are dominated by
+*re-arm*, not expiry (TCP retransmit timers are updated or cancelled far
+more often than they fire):
+
+* ``UPDATE_TIMER(Request_ID, New_Interval)`` →
+  :meth:`TimerScheduler.update_timer` — reschedule a pending timer
+  wheel-natively (unlink → recompute slot → relink), same record, same
+  request id, instead of the classical STOP+START round trip.
+* :meth:`TimerScheduler.restart_timer` is the finalised-record flavour:
+  periodic cycles and supervised retries re-arm the record they were
+  handed instead of allocating a fresh one per leg.
+
 Time is a virtual integer tick counter owned by the scheduler (the paper's
 granularity-``T`` clock); nothing here touches the wall clock, which makes
 every experiment deterministic and lets the discrete-event substrates drive
@@ -334,6 +347,7 @@ class TimerScheduler(abc.ABC):
         self.total_started = 0
         self.total_stopped = 0
         self.total_expired = 0
+        self.total_updated = 0
         self._error_policy = "propagate"
         #: (timer, exception) pairs captured under the "collect" policy —
         #: a bounded ring (see :class:`BoundedErrorLog`) so long runs keep
@@ -513,6 +527,128 @@ class TimerScheduler(abc.ABC):
             self._free_timers.append(timer)
         return timer
 
+    def update_timer(
+        self, timer_or_id: Union[Timer, Hashable], new_interval: int
+    ) -> Timer:
+        """UPDATE_TIMER: reschedule a pending timer ``new_interval`` ticks out.
+
+        The dynamic-update fifth routine (arXiv:2508.10283): the record is
+        unlinked from its current position, its deadline recomputed as
+        ``now + new_interval``, and relinked — same record, same request
+        id, one UPDATE charge instead of the classical STOP+START round
+        trip. Wheel schemes override :meth:`_update` to recompute the slot
+        natively; the default composes the scheme's own remove + insert.
+
+        Accepts a record, handle, or id like :meth:`stop_timer` and raises
+        the same errors for unknown/finalised timers and stale handles.
+        Returns the (still pending) record.
+        """
+        self._check_open()
+        check_interval(new_interval, self.max_start_interval())
+        timer = self._resolve(timer_or_id)
+        if timer.state is not TimerState.PENDING:
+            raise TimerStateError(
+                f"timer {timer.request_id!r} is {timer.state.value}, not pending"
+            )
+        old_deadline = timer.deadline
+        self._update(timer, new_interval)
+        self.total_updated += 1
+        observer = self.observer
+        if observer is not NULL_OBSERVER:
+            observer.on_update(self, timer, old_deadline)
+        return timer
+
+    def _update(self, timer: Timer, new_interval: int) -> None:
+        """Re-place a pending ``timer`` at ``now + new_interval``.
+
+        Default: the scheme's own unlink → field reset → relink. ``_remove``
+        runs *first* (slot/bucket derivation reads the old deadline), then
+        every deadline-derived field is reset exactly as ``_reinit`` would,
+        and ``_insert`` re-places the record. Wheel schemes override this to
+        charge a single cheaper UPDATE instead of DELETE + INSERT.
+        """
+        self._remove(timer)
+        now = self._now
+        timer.interval = new_interval
+        timer.started_at = now
+        timer.deadline = now + new_interval
+        timer._remaining = new_interval
+        timer._rounds = 0
+        timer._level = -1
+        timer._slot_index = -1
+        timer._fire_at = timer.deadline
+        timer._migrated = False
+        self._insert(timer)
+
+    def restart_timer(
+        self,
+        timer: Union[Timer, TimerHandle],
+        interval: Optional[int] = None,
+        request_id: Optional[Hashable] = None,
+    ) -> Timer:
+        """Re-arm a finalised (expired or stopped) record in place.
+
+        The re-arm flavour of UPDATE_TIMER: periodic cycles and supervised
+        retries hand back the record they were given and get the *same*
+        record re-armed — one ``_reinit`` + one INSERT charge, no STOP
+        round trip and no fresh allocation per leg. ``interval`` defaults
+        to the record's previous interval and ``request_id`` to its
+        previous id, which is what preserves id stability across periodic
+        repeats.
+
+        Counts as a start (``total_started``, ``on_start``): a restart arms
+        a new timer leg, keeping the lifecycle conservation invariant
+        ``started == stopped + expired + pending`` intact.
+        """
+        self._check_open()
+        if isinstance(timer, TimerHandle):
+            timer = timer.resolve()
+        if timer.state is TimerState.PENDING:
+            raise TimerStateError(
+                f"timer {timer.request_id!r} is still pending; use "
+                "update_timer to reschedule a live timer"
+            )
+        if timer.linked or timer._pq_node is not None:
+            raise TimerStateError(
+                f"timer {timer.request_id!r} is finalised but still linked "
+                "into a structure; cannot restart it"
+            )
+        new_interval = timer.interval if interval is None else interval
+        check_interval(new_interval, self.max_start_interval())
+        new_id = timer.request_id if request_id is None else request_id
+        if new_id in self._active:
+            raise TimerStateError(
+                f"request_id {new_id!r} already names a pending timer"
+            )
+        # Drop the record from the free pool if stop_timer already pooled
+        # it — restarting must not leave an aliased copy behind.
+        if self._recycle and self._free_timers:
+            try:
+                self._free_timers.remove(timer)
+            except ValueError:
+                pass
+        stopped_at, expired_at, fired_at = (
+            timer.stopped_at, timer.expired_at, timer.fired_at,
+        )
+        timer._reinit(
+            new_id, new_interval, self._now, timer.callback, timer.user_data
+        )
+        # Keep the previous leg's finalisation stamps: a record restarted
+        # from inside its own expiry callback still sits in the caller's
+        # expired batch, and batch consumers (the sharded merge, span
+        # assembly, fingerprints) key on when that leg actually fired.
+        # _mark_expired overwrites them at the next finalisation.
+        timer.stopped_at = stopped_at
+        timer.expired_at = expired_at
+        timer.fired_at = fired_at
+        self._insert(timer)
+        self._active[new_id] = timer
+        self.total_started += 1
+        observer = self.observer
+        if observer is not NULL_OBSERVER:
+            observer.on_start(self, timer)
+        return timer
+
     def tick(self) -> List[Timer]:
         """PER_TICK_BOOKKEEPING: advance the clock one tick, expire what's due.
 
@@ -562,9 +698,13 @@ class TimerScheduler(abc.ABC):
         sink.extend(expired)
         # Records are pooled only after every callback of the tick has run,
         # so a re-entrant start_timer can never alias a record that is
-        # still being processed this tick.
+        # still being processed this tick. A callback may have restarted
+        # the very record that just expired — a record that is PENDING
+        # again is live and must not be pooled.
         if self._recycle and expired:
-            self._free_timers.extend(expired)
+            self._free_timers.extend(
+                t for t in expired if t.state is not TimerState.PENDING
+            )
         return len(expired)
 
     def advance(self, ticks: int) -> List[Timer]:
@@ -817,6 +957,7 @@ class TimerScheduler(abc.ABC):
             "total_started": self.total_started,
             "total_stopped": self.total_stopped,
             "total_expired": self.total_expired,
+            "total_updated": self.total_updated,
             "callback_errors": len(self.callback_errors),
             "dropped_errors": self.callback_errors.dropped,
             "shut_down": self._shut_down,
@@ -858,8 +999,9 @@ class TimerScheduler(abc.ABC):
         """First phase of EXPIRY_PROCESSING: state + bookkeeping."""
         timer.state = TimerState.EXPIRED
         timer.expired_at = self._now
-        if timer.fired_at is None:
-            timer.fired_at = self._now
+        # Unconditional: a restarted record carries its previous leg's
+        # stamp until this new finalisation supersedes it.
+        timer.fired_at = self._now
         # The record leaves the pending map before any callback runs, so
         # re-entrant start_timer may reuse the id.
         self._active.pop(timer.request_id, None)

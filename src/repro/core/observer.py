@@ -18,6 +18,8 @@ or a concrete scheme):
 
 * ``on_start`` — after START_TIMER inserts the record.
 * ``on_stop`` — after STOP_TIMER (and per cancelled timer at shutdown).
+* ``on_update`` — after UPDATE_TIMER relinked a pending timer at a new
+  deadline (carries the superseded old deadline).
 * ``on_tick_begin`` / ``on_tick_end`` — bracketing PER_TICK_BOOKKEEPING,
   so a collector can meter wall-clock tick latency itself (the scheduler
   never reads the wall clock on behalf of a no-op observer).
@@ -90,6 +92,17 @@ class TimerObserver:
 
     def on_stop(self, scheduler: "TimerScheduler", timer: "Timer") -> None:
         """STOP_TIMER completed for ``timer`` (also fired per shutdown cancel)."""
+
+    def on_update(
+        self,
+        scheduler: "TimerScheduler",
+        timer: "Timer",
+        old_deadline: int,
+    ) -> None:
+        """UPDATE_TIMER rescheduled ``timer``: its previous deadline
+        ``old_deadline`` was superseded and the record now reads the new
+        interval/deadline. Same record, same request id — no start/stop
+        pair is fired for an update."""
 
     def on_tick_begin(self, scheduler: "TimerScheduler", now: int) -> None:
         """PER_TICK_BOOKKEEPING is starting; ``now`` is the tick being run."""
@@ -236,6 +249,10 @@ class CompositeObserver(TimerObserver):
     def on_stop(self, scheduler, timer) -> None:
         for obs in self.observers:
             obs.on_stop(scheduler, timer)
+
+    def on_update(self, scheduler, timer, old_deadline) -> None:
+        for obs in self.observers:
+            obs.on_update(scheduler, timer, old_deadline)
 
     def on_tick_begin(self, scheduler, now) -> None:
         for obs in self.observers:

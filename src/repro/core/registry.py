@@ -32,6 +32,7 @@ from repro.core.scheme7_variants import (
     SingleMigrationHierarchicalScheduler,
 )
 from repro.core.scheme8_lawn import LawnScheduler
+from repro.core.scheme_gsq import GroupedSortingQueueScheduler
 from repro.structures.sorted_list import SearchDirection
 
 _FACTORIES: Dict[str, Callable[..., TimerScheduler]] = {
@@ -53,6 +54,7 @@ _FACTORIES: Dict[str, Callable[..., TimerScheduler]] = {
     "scheme7-lossy": LossyHierarchicalScheduler,
     "scheme7-onemigration": SingleMigrationHierarchicalScheduler,
     "lawn": LawnScheduler,
+    "gsq": GroupedSortingQueueScheduler,
 }
 
 #: One-line complexity summary per registered name. Kept beside the
@@ -75,6 +77,7 @@ _SUMMARIES: Dict[str, str] = {
     "scheme7-lossy": "Nichols: no migration, rounded firing",
     "scheme7-onemigration": "Nichols: one migration, fires early < one slot",
     "lawn": "per-TTL FIFO buckets: O(1) ops, O(B) tick, no MaxInterval",
+    "gsq": "grouped sorting queue: O(1) far ops, sort deferred to promotion",
 }
 
 if set(_SUMMARIES) != set(_FACTORIES):  # pragma: no cover - import guard

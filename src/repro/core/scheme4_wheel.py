@@ -138,6 +138,29 @@ class TimingWheelScheduler(TimerScheduler):
         if not self._slots[index]:
             self._occupancy.clear(index)
 
+    # UPDATE_TIMER is two pointer splices on a wheel: unlink from the old
+    # slot, relink at the recomputed one. The index arithmetic rides the
+    # cursor the per-tick bookkeeping already maintains, so the whole
+    # re-arm costs half the STOP+START round trip (1 + 3 charged ops).
+    _UPDATE_CHARGE = dict(links=2)  # = 2
+
+    def _update(self, timer: Timer, new_interval: int) -> None:
+        old_index = timer._slot_index
+        self._slots[old_index].remove(timer)
+        if not self._slots[old_index]:
+            self._occupancy.clear(old_index)
+        now = self._now
+        timer.interval = new_interval
+        timer.started_at = now
+        timer.deadline = now + new_interval
+        timer._remaining = new_interval
+        timer._fire_at = timer.deadline
+        index = (self._cursor + new_interval) % self.max_interval
+        timer._slot_index = index
+        self.counter.charge(**self._UPDATE_CHARGE)
+        self._slots[index].push_front(timer)
+        self._occupancy.set(index)
+
     def _collect_expired(self) -> List[Timer]:
         # "Each tick we increment the current timer pointer (mod
         # MaxInterval) and check the array element being pointed to."

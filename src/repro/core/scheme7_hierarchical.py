@@ -293,6 +293,40 @@ class HierarchicalWheelScheduler(TimerScheduler):
         timer._slot_index = -1
         self.counter.link(1)
 
+    # UPDATE_TIMER on a hierarchy is two splices plus one level read: the
+    # destination level search reuses the digit arithmetic the cascade
+    # bookkeeping already pays, so one fused charge replaces the DELETE (1)
+    # + placement-scan + INSERT (3) bill of a STOP+START round trip.
+    _UPDATE_CHARGE = dict(reads=1, links=2)  # = 3
+
+    def _update(self, timer: Timer, new_interval: int) -> None:
+        self._levels[timer._level].unlink(timer._slot_index, timer)
+        now = self._now
+        timer.interval = new_interval
+        timer.started_at = now
+        deadline = now + new_interval
+        timer.deadline = deadline
+        timer._remaining = new_interval
+        timer._rounds = 0
+        timer._fire_at = deadline
+        timer._migrated = False
+        # Uncharged placement search (the fused charge below prices it):
+        # same destination rule as _place, so expiry behaviour is
+        # bit-identical to a remove + reinsert.
+        if self.placement == "paper":
+            for level in reversed(self._levels):
+                if deadline // level.granularity != now // level.granularity:
+                    break
+        else:
+            for level in self._levels:
+                if new_interval < level.span:
+                    break
+        slot_index = level.slot_for(deadline)
+        timer._level = level.index
+        timer._slot_index = slot_index
+        self.counter.charge(**self._UPDATE_CHARGE)
+        level.link(slot_index, timer)
+
     def next_expiry(self) -> Optional[int]:
         """Next tick that visits an occupied slot on any level.
 

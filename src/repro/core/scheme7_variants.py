@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import TimerConfigurationError
-from repro.core.interface import Timer
+from repro.core.interface import Timer, TimerScheduler
 from repro.core.scheme7_hierarchical import (
     PAPER_LEVELS,
     HierarchicalWheelScheduler,
@@ -62,6 +62,11 @@ class LossyHierarchicalScheduler(HierarchicalWheelScheduler):
         info = super().introspect()
         info["structure"]["rounding"] = self.rounding  # type: ignore[index]
         return info
+
+    # Re-arm through the generic remove + reinsert path, not the parent's
+    # fused wheel update: the rounding rule in _insert must re-run so the
+    # new deadline gets its own (possibly different) firing slot.
+    _update = TimerScheduler._update
 
     def _insert(self, timer: Timer) -> None:
         # The paper's own example rounds "to the nearest hour" for a timer
@@ -113,6 +118,10 @@ class SingleMigrationHierarchicalScheduler(HierarchicalWheelScheduler):
     """Scheme 7 with at most one migration, to the adjacent finer level."""
 
     scheme_name = "scheme7-onemigration"
+
+    # Same opt-out as the lossy variant: re-arm via remove + reinsert so
+    # _insert resets the migration budget for the new deadline.
+    _update = TimerScheduler._update
 
     def _insert(self, timer: Timer) -> None:
         timer._migrated = False

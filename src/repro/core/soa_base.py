@@ -101,6 +101,94 @@ class SoATimerScheduler(TimerScheduler):
             observer.on_start(self, view)
         return view
 
+    def update_timer(
+        self,
+        timer_or_id: Union[SoATimerView, Timer, Hashable],
+        new_interval: int,
+    ) -> SoATimerView:
+        """UPDATE_TIMER on the row store: same row, same generation.
+
+        The row is unlinked, its deadline/started columns rewritten, and
+        relinked at the recomputed slot — the handle stays valid (the
+        generation does not advance; only finalisation or free recycles a
+        row). A stale view or handle raises
+        :class:`~repro.core.errors.StaleTimerHandleError`, exactly like
+        :meth:`stop_timer`.
+        """
+        self._check_open()
+        check_interval(new_interval, self.max_start_interval())
+        row = self._resolve_row(timer_or_id)
+        store = self._store
+        old_deadline = store.deadline_col[row]
+        self._update_row(row, new_interval)
+        self.total_updated += 1
+        view = SoATimerView(store, row, store.meta_col[row] >> 1)
+        observer = self.observer
+        if observer is not NULL_OBSERVER:
+            observer.on_update(self, view, old_deadline)
+        return view
+
+    def _update_row(self, row: int, new_interval: int) -> None:
+        """Re-place ``row`` at ``now + new_interval``.
+
+        Default: the scheme's own unlink → column rewrite → relink (slots
+        are derived from the *old* deadline, so the removal runs first).
+        The wheel twins override this with the same fused UPDATE charge as
+        their object twins.
+        """
+        self._remove_row(row)
+        store = self._store
+        now = self._now
+        store.started_col[row] = now
+        store.deadline_col[row] = now + new_interval
+        store.aux_col[row] = 0
+        self._insert_row(row)
+
+    def restart_timer(
+        self,
+        timer: Timer,
+        interval: Optional[int] = None,
+        request_id: Optional[Hashable] = None,
+    ) -> SoATimerView:
+        """Re-arm a finalised (materialised) record as a fresh row.
+
+        The row-store twin of the base class's in-place restart: finalised
+        SoA timers are materialised records whose row was already freed,
+        so the re-arm allocates a row (from the store's free list) but
+        keeps the record's public id by default — the id stability the
+        periodic and supervision re-arm paths rely on. Counts as a start.
+        """
+        self._check_open()
+        if isinstance(timer, SoATimerView):
+            raise TimerStateError(
+                f"timer {timer!r} is a live view; use update_timer to "
+                "reschedule a pending timer"
+            )
+        if timer.state is TimerState.PENDING:
+            raise TimerStateError(
+                f"timer {timer.request_id!r} is still pending; use "
+                "update_timer to reschedule a live timer"
+            )
+        new_interval = timer.interval if interval is None else interval
+        check_interval(new_interval, self.max_start_interval())
+        new_id = timer.request_id if request_id is None else request_id
+        if self.is_pending(new_id):
+            raise TimerStateError(
+                f"request_id {new_id!r} already names a pending timer"
+            )
+        store = self._store
+        row = store.alloc(
+            self._now, new_interval, new_id, timer.callback, timer.user_data
+        )
+        self._insert_row(row)
+        self._id_rows[new_id] = row
+        self.total_started += 1
+        view = SoATimerView(store, row, store.meta_col[row] >> 1)
+        observer = self.observer
+        if observer is not NULL_OBSERVER:
+            observer.on_start(self, view)
+        return view
+
     def stop_timer(
         self, timer_or_id: Union[SoATimerView, Timer, Hashable]
     ) -> Timer:
@@ -279,8 +367,7 @@ class SoATimerScheduler(TimerScheduler):
         """Row-store twin of the base marking: no ``_active`` map to pop."""
         timer.state = TimerState.EXPIRED
         timer.expired_at = self._now
-        if timer.fired_at is None:
-            timer.fired_at = self._now
+        timer.fired_at = self._now
         # Explicit ids leave the map before any callback runs, so a
         # re-entrant start_timer may reuse the id (auto handles are
         # self-retiring: the row's generation already advanced).

@@ -121,6 +121,24 @@ class SoATimingWheelScheduler(SoATimerScheduler):
         if self._heads[index] == NIL:
             self._occupancy.clear(index)
 
+    # Same fused two-splice UPDATE charge as the object twin.
+    _UPDATE_CHARGE = dict(links=2)  # = 2
+
+    def _update_row(self, row: int, new_interval: int) -> None:
+        store = self._store
+        old_index = store.deadline_col[row] % self.max_interval
+        store.unlink(self._heads, old_index, row)
+        if self._heads[old_index] == NIL:
+            self._occupancy.clear(old_index)
+        now = self._now
+        store.started_col[row] = now
+        deadline = now + new_interval
+        store.deadline_col[row] = deadline
+        index = deadline % self.max_interval
+        self.counter.charge(**self._UPDATE_CHARGE)
+        store.link_front(self._heads, index, row)
+        self._occupancy.set(index)
+
     def _collect_expired(self) -> List[Timer]:
         self._cursor = (self._cursor + 1) % self.max_interval
         counter = self.counter
@@ -155,6 +173,7 @@ class SoAHashedWheelUnsortedScheduler(SoATimerScheduler):
     _EMPTY_TICK_CHARGE = dict(reads=2, writes=1, compares=1)  # = 4
     _DECREMENT_CHARGE = dict(reads=3, writes=1, compares=1, links=1)  # = 6
     _EXPIRE_CHARGE = dict(reads=3, writes=3, compares=1, links=2)  # = 9
+    _UPDATE_CHARGE = dict(reads=3, writes=2, compares=1, links=4)  # = 10
 
     def __init__(
         self,
@@ -237,6 +256,22 @@ class SoAHashedWheelUnsortedScheduler(SoATimerScheduler):
         self.counter.charge(**self._DELETE_CHARGE)
         if self._heads[index] == NIL:
             self._occupancy.clear(index)
+
+    def _update_row(self, row: int, new_interval: int) -> None:
+        store = self._store
+        old_index = store.deadline_col[row] % self.table_size
+        store.unlink(self._heads, old_index, row)
+        if self._heads[old_index] == NIL:
+            self._occupancy.clear(old_index)
+        now = self._now
+        store.started_col[row] = now
+        deadline = now + new_interval
+        store.deadline_col[row] = deadline
+        index = deadline % self.table_size
+        store.aux_col[row] = self.rounds_for(new_interval)
+        self.counter.charge(**self._UPDATE_CHARGE)
+        store.link_front(self._heads, index, row)
+        self._occupancy.set(index)
 
     def _collect_expired(self) -> List[Timer]:
         # Walk the whole bucket, expiring zero-count entries and
@@ -420,6 +455,36 @@ class SoAHierarchicalWheelScheduler(SoATimerScheduler):
         if level.heads[slot_index] == NIL:
             level.occupancy.clear(slot_index)
         self.counter.link(1)
+
+    # Same fused UPDATE charge as the object twin (two splices + level read).
+    _UPDATE_CHARGE = dict(reads=1, links=2)  # = 3
+
+    def _update_row(self, row: int, new_interval: int) -> None:
+        store = self._store
+        level = self._levels[store.aux_col[row]]
+        slot_index = level.slot_for(store.deadline_col[row])
+        store.unlink(level.heads, slot_index, row)
+        if level.heads[slot_index] == NIL:
+            level.occupancy.clear(slot_index)
+        now = self._now
+        store.started_col[row] = now
+        deadline = now + new_interval
+        store.deadline_col[row] = deadline
+        # Uncharged placement search, mirroring the object twin's fused
+        # update: same destination rule as _place, one UPDATE charge.
+        if self.placement == "paper":
+            for level in reversed(self._levels):
+                if deadline // level.granularity != now // level.granularity:
+                    break
+        else:
+            for level in self._levels:
+                if new_interval < level.span:
+                    break
+        slot_index = level.slot_for(deadline)
+        store.aux_col[row] = level.index
+        self.counter.charge(**self._UPDATE_CHARGE)
+        store.link_front(level.heads, slot_index, row)
+        level.occupancy.set(slot_index)
 
     def _handle_cascaded(self, row: int, expired: List[Timer]) -> None:
         """One row drained from a cascading coarse slot: expire or migrate."""

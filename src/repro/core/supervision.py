@@ -311,6 +311,35 @@ class SupervisedScheduler:
         del self._entries[origin]
         return stopped
 
+    def update_timer(
+        self, timer_or_id: Union[Timer, Hashable], new_interval: int
+    ) -> Timer:
+        """UPDATE_TIMER by client id, resolving through any pending re-arm.
+
+        The native in-place re-arm of the inner scheme: the record (and
+        its current inner id, RearmId or not) is kept, only its deadline
+        moves. The supervisor's client deadline follows the update, so
+        retry-deadline accounting measures lateness from the *new* due
+        tick.
+        """
+        if isinstance(timer_or_id, Timer):
+            origin = origin_of(timer_or_id.request_id)
+        else:
+            origin = origin_of(timer_or_id)
+        entry = self._entries.get(origin)
+        if entry is None:
+            if origin in self.quarantine:
+                raise TimerStateError(
+                    f"timer {origin!r} is quarantined, not pending; "
+                    "release_quarantined() to inspect or clear it"
+                )
+            raise UnknownTimerError(
+                f"no supervised timer with request_id {origin!r}"
+            )
+        updated = self._inner.update_timer(entry.inner_id, new_interval)
+        entry.deadline = updated.deadline
+        return updated
+
     def tick(self) -> List[Timer]:
         """Supervised PER_TICK_BOOKKEEPING (one tick)."""
         return self._inner.tick()
@@ -460,7 +489,7 @@ class SupervisedScheduler:
             self.degraded += 1
             quantum = self.degrade_quantum
             interval = quantum - inner.now % quantum or quantum
-        self._rearm(entry, interval)
+        self._rearm(entry, interval, timer)
         if observer is not NULL_OBSERVER:
             observer.on_shed(inner, timer, policy)
         if self._ledger is not None:
@@ -491,7 +520,7 @@ class SupervisedScheduler:
         ):
             self._quarantine(entry, timer, exc, "deadline")
             return
-        self._rearm(entry, backoff)
+        self._rearm(entry, backoff, timer)
         self.retries += 1
         observer = inner.observer
         if observer is not NULL_OBSERVER:
@@ -508,8 +537,14 @@ class SupervisedScheduler:
                 },
             )
 
-    def _rearm(self, entry: _Entry, interval: int) -> None:
-        """Re-arm ``entry`` as a fresh wheel timer ``interval`` ticks out."""
+    def _rearm(self, entry: _Entry, interval: int, timer: Timer) -> None:
+        """Re-arm the just-expired record ``interval`` ticks out.
+
+        Formerly this allocated a *fresh* inner timer per retry, leaving a
+        dead record behind each attempt; now the expired record itself is
+        restarted under the next :class:`RearmId`, so one client timer is
+        exactly one record for its whole retry chain.
+        """
         inner = self._inner
         bound = inner.max_start_interval()
         if bound is not None and interval >= bound:
@@ -517,12 +552,7 @@ class SupervisedScheduler:
         entry.rearm_seq += 1
         rearm_id = RearmId(entry.origin, entry.rearm_seq)
         entry.inner_id = rearm_id
-        inner.start_timer(
-            interval,
-            request_id=rearm_id,
-            callback=self._dispatch,
-            user_data=entry.user_data,
-        )
+        inner.restart_timer(timer, interval=interval, request_id=rearm_id)
 
     def _quarantine(
         self, entry: _Entry, timer: Timer, exc: BaseException, reason: str

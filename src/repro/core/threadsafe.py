@@ -71,6 +71,31 @@ class ThreadSafeScheduler:
         finally:
             self._lock.release()
 
+    def update_timer(
+        self, timer_or_id: Union[Timer, Hashable], new_interval: int
+    ) -> Timer:
+        """Serialised UPDATE_TIMER (wheel-native re-arm, one lock hold)."""
+        self._acquire()
+        try:
+            return self._scheduler.update_timer(timer_or_id, new_interval)
+        finally:
+            self._lock.release()
+
+    def restart_timer(
+        self,
+        timer: Timer,
+        interval: Optional[int] = None,
+        request_id: Optional[Hashable] = None,
+    ) -> Timer:
+        """Serialised restart of a fired/stopped record."""
+        self._acquire()
+        try:
+            return self._scheduler.restart_timer(
+                timer, interval=interval, request_id=request_id
+            )
+        finally:
+            self._lock.release()
+
     def tick(self) -> List[Timer]:
         """Serialised PER_TICK_BOOKKEEPING (callbacks run under the lock)."""
         self._acquire()

@@ -217,6 +217,39 @@ class DurableScheduler:
         self._maybe_snapshot()
         return stopped
 
+    def update_timer(
+        self, timer_or_id: Union[Timer, Hashable], new_interval: int
+    ) -> Timer:
+        """UPDATE_TIMER, journaled before the stack is touched.
+
+        One ``update`` record per re-arm — replayed on recovery as a
+        deadline move on the same pending entry, never a stop+start pair,
+        so the journal stays one line per client op and the recovered id
+        is the original one.
+        """
+        stack = self.stack
+        if isinstance(timer_or_id, Timer):
+            origin = origin_of(timer_or_id.request_id)
+        else:
+            origin = origin_of(timer_or_id)
+        if not stack.is_pending(origin):
+            # Delegate so the stack raises its own unknown/stale error
+            # without a phantom record reaching the journal first.
+            return stack.update_timer(timer_or_id, new_interval)
+        check_interval(new_interval, stack.max_start_interval())
+        self._append(
+            "update",
+            {
+                "id": str(origin),
+                "interval": new_interval,
+                "deadline": stack.now + new_interval,
+                "now": stack.now,
+            },
+        )
+        updated = stack.update_timer(timer_or_id, new_interval)
+        self._maybe_snapshot()
+        return updated
+
     def tick(self) -> List[Timer]:
         """One supervised tick, with its clock motion journaled."""
         return self._advance_to(self.stack.now + 1)

@@ -16,6 +16,7 @@ Record vocabulary (one ``op`` per journal line; schemas in
 ========== ==============================================================
 ``start``   client START_TIMER: id, interval, client deadline, user_data
 ``stop``    client STOP_TIMER
+``update``  client UPDATE_TIMER: same id, new interval and deadline
 ``sync``    client clock reading handed to ``sync_clock``
 ``advance`` explicit clock advance (plain, unsupervised stacks)
 ``expire``  a *successful* expiry — the supervisor's survivor event
@@ -119,6 +120,15 @@ class DurableState:
         elif op == "stop":
             self._take(seq, op, data["id"])
             self.stopped.append(data["id"])
+            self._saw(data["now"])
+        elif op == "update":
+            # A deadline move on the same pending entry: the id, arrival
+            # order, and attempt history all survive the re-arm.
+            entry = self._entry(seq, op, data["id"])
+            entry["interval"] = data["interval"]
+            entry["started_at"] = data["now"]
+            entry["deadline"] = data["deadline"]
+            entry["due"] = data["deadline"]
             self._saw(data["now"])
         elif op == "sync":
             wall = data["wall"]

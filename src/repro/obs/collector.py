@@ -13,7 +13,7 @@ argues about:
   as both a live gauge and a distribution;
 * ``timer_firing_drift_ticks`` — ``fired_at - deadline``, nonzero only
   for the lossy Scheme 7 / Nichols variants;
-* lifecycle totals (starts, stops, expiries, migrations, callback
+* lifecycle totals (starts, stops, updates, expiries, migrations, callback
   errors, ticks) and supervision totals (retries, quarantines, shed
   expiries, clock jumps) when the scheduler is wrapped in a
   :class:`~repro.core.supervision.SupervisedScheduler`.
@@ -55,6 +55,7 @@ class MetricsCollector(TimerObserver):
         "registry",
         "starts",
         "stops",
+        "updates",
         "expiries",
         "migrations",
         "callback_errors",
@@ -96,6 +97,9 @@ class MetricsCollector(TimerObserver):
         self._per_tick_fidelity = bool(per_tick_fidelity)
         self.starts = reg.counter("timer_starts_total", "START_TIMER calls")
         self.stops = reg.counter("timer_stops_total", "STOP_TIMER calls")
+        self.updates = reg.counter(
+            "timer_updates_total", "UPDATE_TIMER in-place re-arms"
+        )
         self.expiries = reg.counter("timer_expiries_total", "timers expired")
         self.migrations = reg.counter(
             "timer_migrations_total", "inter-level migrations / promotions"
@@ -164,6 +168,9 @@ class MetricsCollector(TimerObserver):
 
     def on_stop(self, scheduler, timer) -> None:
         self.stops.inc()
+
+    def on_update(self, scheduler, timer, old_deadline) -> None:
+        self.updates.inc()
 
     def on_tick_begin(self, scheduler, now) -> None:
         self._tick_started_at = perf_counter()

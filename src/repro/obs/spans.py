@@ -74,6 +74,7 @@ class TimerSpan:
         "started_at",
         "interval",
         "deadline",
+        "updates",
         "first_fired_at",
         "last_fired_at",
         "end_tick",
@@ -104,6 +105,7 @@ class TimerSpan:
         self.started_at = started_at
         self.interval = interval
         self.deadline = deadline
+        self.updates = 0  # in-place UPDATE_TIMER re-arms observed
         self.first_fired_at: Optional[int] = None
         self.last_fired_at: Optional[int] = None
         self.end_tick: Optional[int] = None
@@ -167,6 +169,8 @@ class TimerSpan:
             "callback_kind": self.callback_kind,
             "callback_seconds": self.callback_seconds,
         }
+        if self.updates:
+            out["updates"] = self.updates
         for field in (
             "first_fired_at",
             "last_fired_at",
@@ -345,6 +349,17 @@ class SpanAssembler(TimerObserver):
         self._open[key] = new_span
         if self._spans_open is not None:
             self._spans_open.set(len(self._open))
+
+    def on_update(self, scheduler, timer, old_deadline) -> None:
+        # An in-place re-arm: same logical life, new target. Drift and
+        # wait metrics are judged against the *latest* schedule.
+        key = origin_of(timer.request_id)
+        span = self._open.get(key)
+        if span is None:
+            return
+        span.updates += 1
+        span.interval = timer.interval
+        span.deadline = timer.deadline
 
     def on_stop(self, scheduler, timer) -> None:
         key = origin_of(timer.request_id)

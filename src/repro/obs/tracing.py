@@ -51,6 +51,7 @@ from repro.core.observer import TimerObserver
 EVENT_TYPES = (
     "start",
     "stop",
+    "update",
     "expire",
     "tick",
     "migrate",
@@ -175,6 +176,18 @@ class TraceRecorder(TimerObserver):
                 etype="stop",
                 request_id=str(timer.request_id),
                 deadline=timer.deadline,
+            )
+        )
+
+    def on_update(self, scheduler, timer, old_deadline) -> None:
+        self._record(
+            dict(
+                tick=scheduler.now,
+                etype="update",
+                request_id=str(timer.request_id),
+                interval=timer.interval,
+                deadline=timer.deadline,
+                detail={"old_deadline": old_deadline},
             )
         )
 

@@ -304,6 +304,26 @@ class AsyncTimerService:
         self._notify()
         return timer
 
+    async def update_timer(
+        self, timer_or_id: Union[Timer, Hashable], new_interval: int
+    ) -> Timer:
+        """UPDATE_TIMER; re-plans the sleeping ticker around the new deadline.
+
+        The wheel-native re-arm moves the deadline in either direction, so
+        the ticker is kicked both ways: an update to an *earlier* tick
+        wakes the sleeper that was parked on the old (later) deadline, and
+        an update to a *later* tick lets the replanned sleep skip the now
+        vacated tick. No backpressure wait: the timer already holds its
+        capacity slot.
+        """
+        if self._state == CLOSED:
+            raise SchedulerShutdownError("service is closed")
+        self._sync_to_wall()
+        timer = self.scheduler.update_timer(timer_or_id, new_interval)
+        self._kick()
+        self._notify()
+        return timer
+
     async def sleep_until(self, tick: int) -> int:
         """Await wheel time reaching ``tick``; returns the actual tick.
 

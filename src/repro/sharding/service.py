@@ -69,6 +69,7 @@ from repro.core.errors import TimerLivelockError
 from repro.core.interface import ExpiryAction, Timer, TimerScheduler
 from repro.core.observer import NULL_OBSERVER
 from repro.core.registry import make_scheduler
+from repro.core.supervision import origin_of
 from repro.cost.counters import OpCounter
 from repro.sharding.partition import shard_of
 
@@ -172,7 +173,10 @@ class ShardedTimerService:
             if isinstance(timer_or_id, Timer)
             else timer_or_id
         )
-        return self.shard_index_of(rid)
+        # Shard placement is decided at START by the *client* id. A timer
+        # pending under a supervisor RearmId must route by its origin, or
+        # stop/update through the record would hash to the wrong shard.
+        return self.shard_index_of(origin_of(rid))
 
     def _acquire(self, index: int) -> None:
         lock = self._locks[index]
@@ -210,6 +214,39 @@ class ShardedTimerService:
         self._acquire(index)
         try:
             return self._shards[index].stop_timer(timer_or_id)
+        finally:
+            self._locks[index].release()
+
+    def update_timer(
+        self, timer_or_id: Union[Timer, Hashable], new_interval: int
+    ) -> Timer:
+        """UPDATE_TIMER routed to the owning shard by the stable hash."""
+        index = self._resolve_index(timer_or_id)
+        self._acquire(index)
+        try:
+            return self._shards[index].update_timer(timer_or_id, new_interval)
+        finally:
+            self._locks[index].release()
+
+    def restart_timer(
+        self,
+        timer: Timer,
+        interval: Optional[int] = None,
+        request_id: Optional[Hashable] = None,
+    ) -> Timer:
+        """Restart a finalised record on the shard that owns its id.
+
+        When ``request_id`` renames the record, the *new* id decides the
+        shard — the restart is a fresh START as far as routing goes, so
+        the record must live where later stops/updates will look for it.
+        """
+        new_id = timer.request_id if request_id is None else request_id
+        index = self.shard_index_of(origin_of(new_id))
+        self._acquire(index)
+        try:
+            return self._shards[index].restart_timer(
+                timer, interval=interval, request_id=request_id
+            )
         finally:
             self._locks[index].release()
 
@@ -275,6 +312,46 @@ class ShardedTimerService:
                 for position in by_shard[index]:
                     try:
                         results[position] = shard.stop_timer(items[position])
+                    except Exception:
+                        if on_missing == "raise":
+                            raise
+            finally:
+                self._locks[index].release()
+        return results
+
+    def update_many(
+        self,
+        updates: Iterable[Tuple[Union[Timer, Hashable], int]],
+        on_missing: str = "raise",
+    ) -> List[Optional[Timer]]:
+        """Batched UPDATE_TIMER: group by shard, one lock hold per shard.
+
+        ``updates`` are ``(timer_or_id, new_interval)`` pairs; updated
+        records come back in input order. ``on_missing="skip"`` leaves
+        ``None`` where the id is unknown or no longer pending instead of
+        raising — the right mode when a re-arm storm races expiry
+        processing. The batch is not transactional: with ``"raise"``,
+        earlier updates in the batch stick.
+        """
+        if on_missing not in ("raise", "skip"):
+            raise ValueError(
+                f'on_missing must be "raise" or "skip", got {on_missing!r}'
+            )
+        items = list(updates)
+        by_shard: Dict[int, List[int]] = {}
+        for position, (target, _interval) in enumerate(items):
+            by_shard.setdefault(self._resolve_index(target), []).append(position)
+        results: List[Optional[Timer]] = [None] * len(items)
+        for index in sorted(by_shard):
+            shard = self._shards[index]
+            self._acquire(index)
+            try:
+                for position in by_shard[index]:
+                    target, new_interval = items[position]
+                    try:
+                        results[position] = shard.update_timer(
+                            target, new_interval
+                        )
                     except Exception:
                         if on_missing == "raise":
                             raise
@@ -630,6 +707,7 @@ class ShardedTimerService:
             "pending": total_pending,
             "total_started": sum(int(i.get("total_started", 0)) for i in per_shard),
             "total_stopped": sum(int(i.get("total_stopped", 0)) for i in per_shard),
+            "total_updated": sum(int(i.get("total_updated", 0)) for i in per_shard),
             "total_expired": sum(int(i.get("total_expired", 0)) for i in per_shard),
             "callback_errors": sum(int(i.get("callback_errors", 0)) for i in per_shard),
             "dropped_errors": sum(int(i.get("dropped_errors", 0)) for i in per_shard),

@@ -105,6 +105,20 @@ def _scenario_registry() -> Dict[str, Scenario]:
             target_outstanding=100.0,
         ),
         Scenario(
+            name="rearm_storm",
+            description=(
+                "Keepalive / retransmit re-arm storm: nearly every timer "
+                "is rescheduled (UPDATE_TIMER) or acked away before it can "
+                "fire — ~99% of timers never expire. The workload the "
+                "grouped sorting queue and the wheels' native UPDATE are "
+                "built for; the REARM bench drives its deterministic twin."
+            ),
+            arrivals=lambda: PoissonArrivals(rate=8.0),
+            intervals=lambda: ExponentialIntervals(mean=250.0),
+            stop_fraction=0.99,
+            target_outstanding=1000.0,
+        ),
+        Scenario(
             name="fine_grained",
             description=(
                 "High-rate, short timers: the fine-granularity regime of "

@@ -25,6 +25,6 @@ def test_registry_covers_design_index():
         "FIG3", "SEC32", "FIG4", "FIG6", "FIG7", "FIG8", "FIG9",
         "FIG10", "SEC62", "SEC7", "APXA1", "APXA2", "XTRA1", "XTRA2",
         "XTRA3", "XTRA4", "XTRA5", "WHEELPERF", "SHARDED", "ASYNCIDLE",
-        "OBSERVE", "MILLIONS", "DURABLE",
+        "OBSERVE", "MILLIONS", "DURABLE", "REARM",
     }
     assert set(ALL_EXPERIMENTS) == expected

@@ -1,0 +1,174 @@
+"""Grouped sorting queue (scheme #17) specifics.
+
+Conformance, chaos, and UPDATE differential coverage come free from the
+registry-parametrised suites; these tests pin what is *particular* to
+the grouped sorting queue: far timers are unsorted FIFO appends, the
+sort is deferred to group promotion, promotions are reported as
+migrations (the async ticker counts them as real wake work), and the
+near queue's order invariant survives arbitrary churn.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import TimerConfigurationError
+from repro.core.observer import TimerObserver
+from repro.core.scheme_gsq import GroupedSortingQueueScheduler
+from repro.cost.counters import OpCounter
+from tests.conftest import build
+
+
+def test_registered_in_the_registry():
+    sched = build("gsq")
+    assert isinstance(sched, GroupedSortingQueueScheduler)
+    assert sched.scheme_name == "gsq"
+    assert sched.introspect()["structure"]["kind"] == "grouped-sorting-queue"
+
+
+def test_group_span_validation():
+    with pytest.raises(TimerConfigurationError):
+        GroupedSortingQueueScheduler(group_span=1)
+    with pytest.raises(TimerConfigurationError):
+        GroupedSortingQueueScheduler(group_span=0)
+    with pytest.raises(TimerConfigurationError):
+        GroupedSortingQueueScheduler(group_span="64")
+
+
+def test_far_timers_are_unsorted_fifo_appends():
+    sched = GroupedSortingQueueScheduler(group_span=64)
+    # Same future group, wildly out of order: no comparisons happen at
+    # start time — the FIFO keeps arrival order until promotion.
+    for interval in (200, 150, 190, 130):
+        sched.start_timer(interval)
+    assert sched.near_size() == 0
+    assert sched.group_sizes() == {2: 3, 3: 1}  # 150,190,130 -> grp2; 200 -> grp3
+    # Current-group timers go straight to the sorted near queue.
+    sched.start_timer(10)
+    assert sched.near_size() == 1
+
+
+def test_start_of_a_far_timer_never_compares():
+    counter = OpCounter()
+    sched = GroupedSortingQueueScheduler(group_span=64, counter=counter)
+    before = counter.snapshot()
+    for i in range(50):
+        sched.start_timer(100 + i)
+    delta = counter.since(before)
+    assert delta.compares == 0, "far-group insert must be comparison-free"
+
+
+def test_promotion_sorts_survivors_once():
+    sched = GroupedSortingQueueScheduler(group_span=64)
+    intervals = [200, 150, 190, 130, 170]
+    for i, interval in enumerate(intervals):
+        sched.start_timer(interval, request_id=f"t{i}")
+    sched.stop_timer("t2")  # 190 never pays its sort
+    fired = sched.run_until_idle()
+    assert [t.fired_at for t in fired] == [130, 150, 170, 200]
+    assert sched.is_sorted()
+    assert sched.promotions == 4, "only survivors are ever sorted"
+    assert sched.group_count == 0, "emptied groups must leave the dict"
+
+
+def test_promotions_are_reported_as_migrations():
+    hops = []
+
+    class Recorder(TimerObserver):
+        def on_migrate(self, scheduler, timer, from_level, to_level):
+            hops.append((timer.request_id, from_level, to_level))
+
+    sched = GroupedSortingQueueScheduler(group_span=64)
+    sched.attach_observer(Recorder())
+    sched.start_timer(100, request_id="far")  # group 1
+    sched.start_timer(10, request_id="near")  # current group: no hop ever
+    sched.run_until_idle()
+    assert hops == [("far", 1, -1)]
+
+
+def test_next_expiry_is_exact_after_updates_in_both_directions():
+    sched = GroupedSortingQueueScheduler(group_span=64)
+    sched.start_timer(100, request_id="a")
+    sched.update_timer("a", 5)  # far -> near
+    assert sched.next_expiry() == 5
+    sched.start_timer(7, request_id="b")
+    sched.update_timer("b", 300)  # near -> far: boundary lower bound
+    fired = sched.run_until_idle()
+    assert [(t.request_id, t.fired_at) for t in fired] == [("a", 5), ("b", 300)]
+
+
+def test_far_stop_and_update_are_constant_ops():
+    counter = OpCounter()
+    sched = GroupedSortingQueueScheduler(group_span=64, counter=counter)
+    for i in range(200):
+        sched.start_timer(500 + (i % 50), request_id=f"t{i}")
+    before = counter.snapshot()
+    sched.update_timer("t0", 700)
+    one = counter.since(before).total
+    before = counter.snapshot()
+    sched.update_timer("t199", 900)
+    other = counter.since(before).total
+    assert one == other, "far re-arm cost must not depend on population"
+    before = counter.snapshot()
+    sched.stop_timer("t100")
+    assert counter.since(before).compares == 0
+
+
+def test_unbounded_horizon():
+    sched = GroupedSortingQueueScheduler(group_span=64)
+    assert sched.max_start_interval() is None
+    sched.start_timer(10_000_000, request_id="far")
+    assert sched.next_expiry() == (10_000_000 // 64) * 64
+    sched.stop_timer("far")
+    assert sched.next_expiry() is None
+
+
+def test_introspect_reports_structure():
+    sched = GroupedSortingQueueScheduler(group_span=32)
+    for interval in (5, 40, 41, 80):
+        sched.start_timer(interval)
+    info = sched.introspect()["structure"]
+    assert info["group_span"] == 32
+    assert info["near_size"] == 1
+    assert info["future_groups"] == 2
+    assert info["promotions"] == 0
+
+
+def test_matches_scheme2_under_random_churn():
+    rng = random.Random(20260808)
+    gsq = build("gsq")
+    ordered = build("scheme2")
+    fired = {"gsq": [], "scheme2": []}
+    live = set()
+    for step in range(1500):
+        u = rng.random()
+        if u < 0.45:
+            rid = f"t{step}"
+            interval = rng.randint(1, 300)
+            for sched in (gsq, ordered):
+                sched.start_timer(interval, request_id=rid)
+            live.add(rid)
+        elif u < 0.65 and live:
+            rid = rng.choice(sorted(live))
+            interval = rng.randint(1, 300)
+            for sched in (gsq, ordered):
+                sched.update_timer(rid, interval)
+        elif u < 0.75 and live:
+            rid = rng.choice(sorted(live))
+            for sched in (gsq, ordered):
+                sched.stop_timer(rid)
+            live.discard(rid)
+        else:
+            dt = rng.randint(1, 10)
+            for name, sched in (("gsq", gsq), ("scheme2", ordered)):
+                fired[name].extend(sched.advance(dt))
+            live -= {t.request_id for t in fired["gsq"][-32:]}
+            live = {rid for rid in live if gsq.is_pending(rid)}
+    for name, sched in (("gsq", gsq), ("scheme2", ordered)):
+        fired[name].extend(sched.run_until_idle())
+    assert [
+        (t.request_id, t.fired_at) for t in fired["gsq"]
+    ] == [(t.request_id, t.fired_at) for t in fired["scheme2"]]
+    assert gsq.is_sorted()

@@ -96,3 +96,70 @@ def test_mirrors_the_papers_internal_hierarchy_timer():
     every(sched, 60, action=lambda i, t: minutes.append(sched.now))
     sched.advance(600)
     assert minutes == [60 * k for k in range(1, 11)]
+
+
+# --------------------------------------------------- native re-arm regression
+
+
+def test_rearm_keeps_one_record_and_one_id_across_legs():
+    """The stop+start-era bug: every leg allocated a fresh record under a
+    fresh auto id, so span assembly and introspection saw N unrelated
+    timers instead of one periodic cycle."""
+    sched = HashedWheelUnsortedScheduler(table_size=32)
+    records = []
+    beat = PeriodicTimer(
+        sched, 10, action=lambda i, t: records.append(t), max_firings=4
+    )
+    beat.start()
+    pinned = beat.request_id
+    assert pinned is not None, "auto id must be pinned at the first arm"
+    sched.advance(40)
+    assert len(records) == 4
+    assert {t.request_id for t in records} == {pinned}
+    assert len({id(t) for t in records}) == 1, "legs must reuse one record"
+
+
+def test_rearm_charges_a_bare_insert_not_a_stop_plus_start():
+    from repro.cost.counters import OpCounter
+
+    counter = OpCounter()
+    sched = HashedWheelUnsortedScheduler(table_size=32, counter=counter)
+    marks = []
+    beat = PeriodicTimer(
+        sched, 10, action=lambda i, t: marks.append(counter.snapshot()),
+        max_firings=3,
+    )
+    beat.start()
+    rearm_costs = []
+    for leg in range(1, 3):
+        # Snapshot lands inside the expiry callback, *before* _rearm; by
+        # the time advance_to returns, only the re-arm has charged.
+        sched.advance_to(10 * leg)
+        rearm_costs.append(counter.since(marks[-1]).total)
+    # Control: a bare START_TIMER insert on an otherwise idle scheduler
+    # at the same clock position.
+    control_counter = OpCounter()
+    control = HashedWheelUnsortedScheduler(
+        table_size=32, counter=control_counter
+    )
+    control.advance(10)
+    before = control_counter.snapshot()
+    control.start_timer(10)
+    insert_cost = control_counter.since(before).total
+    assert rearm_costs == [insert_cost] * 2, (
+        "periodic re-arm must cost exactly one INSERT — no stop, no "
+        "search, no extra record bookkeeping"
+    )
+
+
+def test_rearm_is_native_on_every_scheme():
+    from tests.conftest import EXACT_SCHEMES, build
+
+    for scheme in EXACT_SCHEMES:
+        sched = build(scheme)
+        beat = every(sched, 9, action=lambda i, t: None, max_firings=5)
+        sched.advance(45)
+        assert beat.fire_times == [9, 18, 27, 36, 45], scheme
+        assert sched.total_stopped == 0, (
+            f"{scheme}: periodic legs must never stop+start"
+        )

@@ -275,3 +275,33 @@ def test_new_passthroughs_are_serialised_and_functional():
     assert "collect" in wrapped.ERROR_POLICIES
     wrapped.shutdown()
     assert wrapped.is_shut_down is True
+
+
+def test_update_timer_is_serialised_through_the_facade():
+    wrapped = ThreadSafeScheduler(HashedWheelUnsortedScheduler(table_size=64))
+    fired = []
+    wrapped.start_timer(
+        200, request_id="a", callback=lambda t: fired.append(wrapped.now)
+    )
+    # Hammer update_timer from several threads while the ticker runs; the
+    # lock must serialise every re-arm against the wheel's slot surgery.
+    def storm(seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            try:
+                wrapped.update_timer("a", rng.randint(150, 400))
+            except Exception:  # noqa: BLE001 - may lose the race to expiry
+                return
+
+    ticker = threading.Thread(target=lambda: wrapped.advance(100))
+    clients = [threading.Thread(target=storm, args=(s,)) for s in range(4)]
+    for t in clients + [ticker]:
+        t.start()
+    for t in clients + [ticker]:
+        t.join()
+    assert fired == []  # every re-arm kept the deadline beyond the horizon
+    assert wrapped.pending_count == 1
+    assert wrapped.introspect()["total_updated"] == 200
+    wrapped.update_timer("a", 3)
+    wrapped.advance(5)
+    assert len(fired) == 1

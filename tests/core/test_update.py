@@ -1,0 +1,301 @@
+"""UPDATE_TIMER semantics: the fifth routine, on every scheme.
+
+Three layers:
+
+* direct semantics on every registry scheme (deadline moves both ways,
+  identity/charge accounting, error policy, observer hook);
+* the staleness regressions — ``next_expiry()`` must track an update in
+  either direction, on the flat wheel, the hashed wheel, the hierarchy,
+  and their SoA twins (the bug class: slot bitmaps / head caches left
+  pointing at the *old* slot after the sole earliest timer moved);
+* a differential sweep: a seeded re-arm workload driven once through
+  ``update_timer`` and once through the stop+start idiom must produce
+  the identical expiry stream on every scheme, while the lifecycle
+  totals tell the two arms apart (update conserves records; stop+start
+  churns them).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.core.errors import (
+    StaleTimerHandleError,
+    TimerIntervalError,
+    TimerStateError,
+    UnknownTimerError,
+)
+from repro.core.observer import TimerObserver
+from tests.conftest import ALL_SCHEMES, build
+
+#: (scheme, store) pairs whose next_expiry bookkeeping has scheme-private
+#: caches (slot bitmaps, cursor heads) that an update must invalidate.
+WHEELS = [
+    ("scheme4", "object"),
+    ("scheme4", "soa"),
+    ("scheme6", "object"),
+    ("scheme6", "soa"),
+    ("scheme7", "object"),
+    ("scheme7", "soa"),
+]
+
+
+def _build(scheme: str, store: str):
+    if store == "soa":
+        return build(scheme, store="soa")
+    return build(scheme)
+
+
+# ------------------------------------------------------------- semantics
+
+
+def test_update_moves_the_deadline_earlier(exact_scheduler):
+    sched = exact_scheduler
+    sched.start_timer(50, request_id="a")
+    updated = sched.update_timer("a", 7)
+    assert updated.deadline == 7
+    fired = sched.advance(7)
+    assert [t.request_id for t in fired] == ["a"]
+    assert fired[0].fired_at == 7
+    assert fired[0].interval == 7
+    assert sched.advance(60) == []
+
+
+def test_update_moves_the_deadline_later(exact_scheduler):
+    sched = exact_scheduler
+    sched.start_timer(5, request_id="a")
+    sched.update_timer("a", 400)
+    assert sched.advance(5) == [], "updated timer fired at its OLD deadline"
+    fired = sched.advance(395)
+    assert [t.request_id for t in fired] == ["a"]
+    assert fired[0].fired_at == 400
+
+
+def test_update_rebases_on_now_not_on_start(exact_scheduler):
+    sched = exact_scheduler
+    sched.start_timer(100, request_id="a")
+    sched.advance(30)
+    updated = sched.update_timer("a", 50)
+    assert updated.deadline == 80  # now(30) + 50, not started_at + 50
+    fired = sched.advance(50)
+    assert [t.request_id for t in fired] == ["a"]
+
+
+def test_update_preserves_identity_and_counts_once(any_scheduler):
+    sched = any_scheduler
+    timer = sched.start_timer(60, request_id="a")
+    updated = sched.update_timer("a", 90)
+    # Same record, same public id, one UPDATE — never a stop+start pair.
+    assert updated.request_id == "a"
+    assert updated is timer or updated == timer  # SoA views compare by row
+    assert sched.total_started == 1
+    assert sched.total_updated == 1
+    assert sched.total_stopped == 0
+    assert sched.pending_count == 1
+
+
+def test_update_accepts_the_record_itself(exact_scheduler):
+    sched = exact_scheduler
+    timer = sched.start_timer(60, request_id="a")
+    sched.update_timer(timer, 10)
+    assert [t.request_id for t in sched.advance(10)] == ["a"]
+
+
+def test_update_errors(any_scheduler):
+    sched = any_scheduler
+    with pytest.raises(UnknownTimerError):
+        sched.update_timer("ghost", 10)
+    timer = sched.start_timer(5, request_id="a")
+    with pytest.raises(TimerIntervalError):
+        sched.update_timer("a", 0)
+    (expired,) = sched.advance(5) if timer.deadline == 5 else (
+        sched.run_until_idle()
+    )
+    with pytest.raises((TimerStateError, UnknownTimerError)):
+        sched.update_timer(expired, 10)
+
+
+def test_update_fires_the_observer_hook(exact_scheduler):
+    events = []
+
+    class Recorder(TimerObserver):
+        def on_update(self, scheduler, timer, old_deadline):
+            events.append((timer.request_id, old_deadline, timer.deadline))
+
+    sched = exact_scheduler
+    sched.attach_observer(Recorder())
+    sched.start_timer(40, request_id="a")
+    sched.update_timer("a", 15)
+    assert events == [("a", 40, 15)]
+
+
+def test_conservation_invariant_counts_updates_separately(exact_scheduler):
+    sched = exact_scheduler
+    for i in range(6):
+        sched.start_timer(20 + i, request_id=f"t{i}")
+    for i in range(4):
+        sched.update_timer(f"t{i}", 50)
+    sched.stop_timer("t4")
+    sched.run_until_idle()
+    assert sched.total_started == 6
+    assert sched.total_updated == 4
+    assert (
+        sched.total_started
+        == sched.total_stopped + sched.total_expired + sched.pending_count
+    )
+
+
+# ------------------------------------------ next_expiry staleness regressions
+
+
+@pytest.mark.parametrize("scheme,store", WHEELS)
+def test_sole_timer_updated_later_does_not_leave_a_stale_next_expiry(
+    scheme, store
+):
+    sched = _build(scheme, store)
+    sched.start_timer(10, request_id="a")
+    sched.update_timer("a", 500)
+    # The bug class: the slot bitmap / head cache still claims tick 10.
+    nxt = sched.next_expiry()
+    assert nxt is not None and nxt > 10, f"stale next_expiry {nxt}"
+    assert sched.advance(10) == []
+    fired = sched.advance(490)
+    assert [(t.request_id, t.fired_at) for t in fired] == [("a", 500)]
+    assert sched.next_expiry() is None
+
+
+@pytest.mark.parametrize("scheme,store", WHEELS)
+def test_late_timer_updated_earlier_pulls_next_expiry_in(scheme, store):
+    sched = _build(scheme, store)
+    sched.start_timer(500, request_id="a")
+    sched.update_timer("a", 3)
+    nxt = sched.next_expiry()
+    assert nxt is not None and nxt <= 3, f"next_expiry {nxt} missed the pull-in"
+    fired = sched.advance(3)
+    assert [(t.request_id, t.fired_at) for t in fired] == [("a", 3)]
+
+
+@pytest.mark.parametrize("scheme,store", WHEELS)
+def test_update_between_other_timers_keeps_order(scheme, store):
+    sched = _build(scheme, store)
+    sched.start_timer(100, request_id="early")
+    sched.start_timer(300, request_id="late")
+    sched.start_timer(200, request_id="moved")
+    sched.update_timer("moved", 50)  # now the earliest
+    fired = [t.request_id for t in sched.run_until_idle()]
+    assert fired == ["moved", "early", "late"]
+
+
+# ----------------------------------------------------- SoA handle semantics
+
+
+def test_soa_update_is_generation_stable():
+    sched = make_scheduler("scheme6", table_size=64, store="soa")
+    view = sched.start_timer(40)
+    handle = view.handle
+    sched.update_timer(view, 90)
+    # The row was re-placed, not freed: every pre-update reference —
+    # the view, the packed handle — still resolves.
+    assert not view.stale
+    assert sched.is_pending(handle)
+    assert sched.get_timer(handle).deadline == 90
+    sched.update_timer(handle, 5)
+    assert [t.fired_at for t in sched.advance(5)] == [5]
+
+
+def test_soa_update_raises_on_superseded_generation():
+    sched = make_scheduler("scheme6", table_size=64, store="soa")
+    first = sched.start_timer(40)
+    stale_handle = first.handle
+    sched.stop_timer(first)  # frees the row...
+    victim = sched.start_timer(70)  # ...which the free list hands back
+    with pytest.raises(StaleTimerHandleError):
+        sched.update_timer(stale_handle, 5)
+    # The reborn row is untouched — the stale update hit nobody.
+    assert victim.deadline == 70
+    assert sched.pending_count == 1
+
+
+def test_soa_update_rejects_materialised_records():
+    sched = make_scheduler("scheme6", table_size=64, store="soa")
+    sched.start_timer(5, request_id="a")
+    (expired,) = sched.advance(5)
+    with pytest.raises(TimerStateError):
+        sched.update_timer(expired, 10)
+
+
+# ------------------------------------------------------- differential sweep
+
+SWEEP_SEED = 1987
+SWEEP_TIMERS = 40
+SWEEP_ROUNDS = 6
+
+
+def _drive(sched, arm):
+    """Seeded re-arm storm; decisions depend only on the pending id set.
+
+    Both arms draw the same rng stream over the same (sorted) pending
+    ids, so equivalent arms see identical decision sequences — and a
+    non-equivalent re-arm path shows up as diverging expiry streams.
+    """
+    rng = random.Random(SWEEP_SEED)
+    ids = [f"t{i:03d}" for i in range(SWEEP_TIMERS)]
+    fired = []
+    for rid in ids:
+        sched.start_timer(rng.randint(1, 120), request_id=rid)
+    for _ in range(SWEEP_ROUNDS):
+        fired.extend(sched.advance(rng.randint(5, 20)))
+        for rid in ids:
+            if not sched.is_pending(rid):
+                continue
+            u = rng.random()
+            if u < 0.70:
+                interval = rng.randint(1, 120)
+                if arm == "update":
+                    sched.update_timer(rid, interval)
+                else:
+                    sched.stop_timer(rid)
+                    sched.start_timer(interval, request_id=rid)
+            elif u < 0.80:
+                sched.stop_timer(rid)
+    fired.extend(sched.run_until_idle())
+    return [(t.request_id, t.fired_at, t.interval) for t in fired]
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_update_is_observably_stop_plus_start(scheme):
+    update_arm = build(scheme)
+    control_arm = build(scheme)
+    update_stream = _drive(update_arm, "update")
+    control_stream = _drive(control_arm, "stop+start")
+    assert update_stream == control_stream, (
+        f"{scheme}: update_timer changed what fired or when"
+    )
+    assert update_stream, "sweep degenerated: nothing fired"
+    # Same observable behaviour, different books: the update arm kept
+    # one record per id while the control arm churned a start+stop pair
+    # per re-arm.
+    assert update_arm.total_updated > 0
+    assert control_arm.total_updated == 0
+    rearms = update_arm.total_updated
+    assert control_arm.total_started == update_arm.total_started + rearms
+    assert control_arm.total_stopped == update_arm.total_stopped + rearms
+    for sched in (update_arm, control_arm):
+        assert (
+            sched.total_started
+            == sched.total_stopped + sched.total_expired + sched.pending_count
+        )
+
+
+@pytest.mark.parametrize("scheme", ["scheme4", "scheme6", "scheme7"])
+def test_update_is_observably_stop_plus_start_on_soa(scheme):
+    update_stream = _drive(build(scheme, store="soa"), "update")
+    control_stream = _drive(build(scheme, store="soa"), "stop+start")
+    object_stream = _drive(build(scheme), "update")
+    assert update_stream == control_stream
+    assert update_stream == object_stream, (
+        f"{scheme}: SoA twin diverged from the object store"
+    )

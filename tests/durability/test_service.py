@@ -241,3 +241,42 @@ def test_introspect_exposes_the_durability_section(tmp_path):
     assert section["journal_seq"] == 1
     assert section["sync"] == "always"
     assert section["pending_in_state"] == 1
+
+
+# ------------------------------------------------------------- UPDATE_TIMER
+
+
+def test_update_is_journaled_and_replayed(tmp_path):
+    with _plain(tmp_path) as durable:
+        durable.start_timer(10, request_id="a")
+        durable.update_timer("a", 40)
+    ops = [(op, data.get("id")) for _, op, data in
+           read_journal(tmp_path / JOURNAL_NAME).records]
+    assert ops == [("start", "a"), ("update", "a")]
+    recovered = recover(tmp_path, lambda: make_scheduler("scheme1"))
+    assert recovered.is_pending("a")
+    fired = recovered.advance(40)
+    assert [t.request_id for t in fired] == ["a"]
+    recovered.close()
+
+
+def test_update_preserves_id_and_arrival_order_across_recovery(tmp_path):
+    with _plain(tmp_path) as durable:
+        durable.start_timer(10, request_id="a")
+        durable.start_timer(20, request_id="b")
+        durable.update_timer("a", 100)  # rescheduled AFTER b now
+    recovered = recover(tmp_path, lambda: make_scheduler("scheme1"))
+    fired = recovered.run_until_idle()
+    assert [(t.request_id, t.fired_at) for t in fired] == [("b", 20), ("a", 100)]
+    recovered.close()
+
+
+def test_update_of_unknown_id_leaves_no_phantom_record(tmp_path):
+    with _plain(tmp_path) as durable:
+        durable.start_timer(10, request_id="a")
+        before = durable.journal.last_seq
+        with pytest.raises(UnknownTimerError):
+            durable.update_timer("ghost", 5)
+        with pytest.raises(TimerIntervalError):
+            durable.update_timer("a", 0)
+        assert durable.journal.last_seq == before

@@ -236,3 +236,41 @@ def test_shutdown_cancels_rearms():
     cancelled = sup.shutdown()
     assert len(cancelled) == 1
     assert sup.supervised_count == 0
+
+
+# ------------------------------------------------ native re-arm regression
+
+
+def test_retry_chain_is_one_record_under_one_rearm_id_chain():
+    """Formerly each retry allocated a fresh inner timer and left the
+    expired attempt's record behind; the whole chain must now be one
+    record restarted under successive RearmIds of the same origin."""
+    from repro.core.observer import TimerObserver
+
+    inner = build("scheme6")
+    started = []
+
+    class Recorder(TimerObserver):
+        def on_start(self, scheduler, timer):
+            # The id is captured eagerly: the re-arm mutates the record
+            # in place, so by the end the object shows only the last id.
+            started.append((id(timer), timer.request_id))
+
+    inner.attach_observer(Recorder())
+    sup = SupervisedScheduler(
+        inner, retry_policy=RetryPolicy(max_attempts=4, base_backoff=2)
+    )
+    action = FailTimes(3)
+    sup.start_timer(5, request_id="t", callback=action)
+    sup.run_until_idle()
+    assert action.calls == 4
+    assert sup.survivors == [("t", 5, 4)]
+    # Four starts (original + three re-arms) ...
+    ids = [rid for _, rid in started]
+    assert ids[0] == "t"
+    assert [
+        (origin_of(rid), rid.seq) for rid in ids[1:]
+    ] == [("t", 1), ("t", 2), ("t", 3)]
+    # ... but exactly ONE record: every retry re-armed the same object.
+    assert len({obj for obj, _ in started}) == 1
+    assert inner.pending_count == 0

@@ -392,3 +392,58 @@ def test_close_cancels_parked_sleepers_and_running_actions():
         assert service.introspect()["runtime"]["running_actions"] == 0
 
     run(main())
+
+
+# ---------------------------------------------------- UPDATE_TIMER replanning
+
+
+def test_update_earlier_wakes_the_ticker_before_its_old_deadline():
+    """The staleness bug, async edition: the ticker was asleep until the
+    OLD deadline, so a timer updated earlier fired late by the full
+    difference unless the update kicked a replan."""
+
+    async def main():
+        clock = FakeClock()
+        fired = []
+        async with make_service(clock) as service:
+            await service.start_timer(
+                100,
+                request_id="far",
+                callback=lambda t: fired.append(t.request_id),
+            )
+            await clock.advance(1.0)  # ticker is now parked on tick 100
+            await service.update_timer("far", 3)
+            await clock.advance(3.0)
+            assert fired == ["far"], "ticker slept through the pulled-in deadline"
+            assert service.now == 4
+
+    run(main())
+
+
+def test_update_later_keeps_the_old_deadline_silent():
+    async def main():
+        clock = FakeClock()
+        fired = []
+        async with make_service(clock) as service:
+            await service.start_timer(
+                5, request_id="a", callback=lambda t: fired.append(service.now)
+            )
+            updated = await service.update_timer("a", 50)
+            assert updated.deadline == 50
+            await clock.advance(10.0)
+            assert fired == [], "update left a stale firing at the old deadline"
+            await clock.advance(40.0)
+            assert fired == [50]
+
+    run(main())
+
+
+def test_update_on_a_closed_service_raises():
+    async def main():
+        service = make_service()
+        async with service:
+            await service.start_timer(5, request_id="a")
+        with pytest.raises(SchedulerShutdownError):
+            await service.update_timer("a", 10)
+
+    run(main())

@@ -245,3 +245,72 @@ def test_bounded_shards_report_tightest_interval_bound():
 def test_shard_count_validation():
     with pytest.raises(ValueError):
         ShardedTimerService("scheme6", 0)
+
+
+# ------------------------------------------------------------- UPDATE_TIMER
+
+
+def test_update_timer_routes_to_the_owning_shard():
+    service = _service()
+    service.start_many([(50, f"t{i}") for i in range(12)])
+    updated = service.update_timer("t3", 7)
+    assert updated.deadline == 7
+    index = shard_of("t3", 4)
+    assert service.shards[index].get_timer("t3").deadline == 7
+    fired = service.advance(7)
+    assert [t.request_id for t in fired] == ["t3"]
+    assert service.introspect()["total_updated"] == 1
+
+
+def test_update_many_batches_per_shard_in_input_order():
+    service = _service()
+    service.start_many([(50, f"t{i}") for i in range(10)])
+    updates = [(f"t{i}", 5 + i) for i in range(10)]
+    results = service.update_many(updates)
+    assert [t.request_id for t in results] == [f"t{i}" for i in range(10)]
+    assert [t.deadline for t in results] == [5 + i for i in range(10)]
+    fired = service.run_until_idle()
+    assert [t.request_id for t in fired] == [f"t{i}" for i in range(10)]
+
+
+def test_update_many_missing_modes():
+    service = _service()
+    service.start_many([(50, "a"), (50, "b")])
+    with pytest.raises(UnknownTimerError):
+        service.update_many([("a", 5), ("ghost", 5)])
+    results = service.update_many(
+        [("a", 5), ("ghost", 5), ("b", 6)], on_missing="skip"
+    )
+    assert results[1] is None
+    assert [t.request_id for t in (results[0], results[2])] == ["a", "b"]
+    with pytest.raises(ValueError):
+        service.update_many([("a", 9)], on_missing="ignore")
+
+
+def test_update_routes_supervised_rearm_ids_by_origin():
+    """A RearmId-named retry still lives on the shard chosen by the
+    client id at START; routing by the raw RearmId hash would miss it."""
+    from repro.core import RetryPolicy, SupervisedScheduler
+    from repro.core.supervision import origin_of
+
+    service = ShardedTimerService(
+        shards=4,
+        shard_factory=lambda index: SupervisedScheduler(
+            make_scheduler("scheme6", table_size=256),
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff=50),
+        ),
+    )
+    boom = [True]
+
+    def action(timer):
+        if boom[0]:
+            boom[0] = False
+            raise RuntimeError("first attempt fails")
+
+    service.start_timer(5, request_id="t", callback=action)
+    service.advance(5)  # fails -> re-armed under RearmId("t", 1)
+    assert service.is_pending("t")
+    updated = service.update_timer("t", 2)
+    assert origin_of(updated.request_id) == "t"
+    service.advance(2)
+    assert not service.is_pending("t")

@@ -72,6 +72,11 @@ def test_docs_index_lists_every_document():
         ("durability.md", "BENCH_durable.json"),
         ("robustness.md", "durability.md"),
         ("paper_map.md", "DurableScheduler"),
+        ("paper_map.md", "scheme_gsq"),
+        ("paper_map.md", "BENCH_rearm.json"),
+        ("performance.md", "BENCH_rearm.json"),
+        ("api.md", "update_timer"),
+        ("api.md", "restart_timer"),
     ],
 )
 def test_docs_cover_the_newer_subsystems(doc, must_mention):
