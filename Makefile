@@ -34,8 +34,11 @@ bench-json:
 	PYTHONPATH=src python -m repro.bench WHEELPERF --json BENCH_sparse_advance.json
 
 # Regenerate the checked-in sharded-service baseline (docs/sharding.md).
+# BACKEND= narrows the execution-backend sweep, e.g.
+#   make bench-sharded BACKEND=inprocess,multiprocessing
+BACKEND ?=
 bench-sharded:
-	PYTHONPATH=src python -m repro.bench SHARDED --json BENCH_sharded.json
+	REPRO_SHARDED_BACKENDS=$(BACKEND) PYTHONPATH=src python -m repro.bench SHARDED --json BENCH_sharded.json
 
 # Regenerate the checked-in async idle-cost baseline (docs/async_runtime.md):
 # ticker wakeups == distinct expiry instants, enforced per row.

@@ -2,10 +2,15 @@
 
 Regenerates the Appendix B comparison (global-semaphore facade vs the
 hash-partitioned sharded service at 1/2/4/8 shards under 4 client
-threads), prints it, and asserts every configuration's merged expiry
-fingerprint is identical to the global-lock run — plus the ≥2× scheme2
-speedup floor at 4 shards in full mode. Set REPRO_BENCH_FULL=1 for the
-full workload used by ``make bench-sharded``.
+threads, plus the execution-backend sweep: scheme6 + SoA columns at 4
+shards on every backend the host can run), prints it, and asserts every
+configuration's merged expiry fingerprint is identical to the
+global-lock run — plus, in full mode, the ≥2× scheme2 speedup floor at
+4 shards and the ≥2× multiprocessing-vs-inprocess backend floor (the
+latter only on hosts with ≥2 usable CPUs; single-core runners record
+the measured ratio as a note instead). Set REPRO_BENCH_FULL=1 for the
+full workload used by ``make bench-sharded``; narrow the backend sweep
+with REPRO_SHARDED_BACKENDS or the ``BACKEND=`` make knob.
 """
 
 from benchmarks.conftest import run_experiment_bench

@@ -34,6 +34,17 @@ and what the locks cost, never what fires when. (Sorted, not sequence,
 comparison: same-tick global ordering legitimately differs between a
 single queue and a shard merge.)
 
+**The backend axis.** The rows above all run in one interpreter, where
+the GIL caps scheme6 at ~1x. The sweep's second half re-runs the
+scheme6 service at 4 shards with ``store="soa"`` across every
+*execution backend* available on the host (``REPRO_SHARDED_BACKENDS``
+narrows the sweep): in-process locks, one worker process per shard with
+the timer columns in shared memory, and per-shard sub-interpreters on
+3.12+. Fingerprint identity is asserted on every row; the ≥ 2x
+multiprocessing-vs-inprocess throughput bar is enforced only when the
+host actually has ≥ 2 usable CPUs (the JSON records ``cpus`` so a
+reader can tell a genuine regression from a single-core runner).
+
 All configurations meter with ``NULL_COUNTER``: this is the one
 wall-clock bench where the abstract cost model would add shared-counter
 traffic that the sharded service would then have to serialise.
@@ -45,6 +56,7 @@ is asserted (wall-clock ratios are noise at smoke scale).
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 from time import perf_counter
@@ -54,6 +66,7 @@ from repro.bench.result import ExperimentResult
 from repro.core import make_scheduler
 from repro.core.threadsafe import ThreadSafeScheduler
 from repro.cost.counters import NULL_COUNTER
+from repro.sharding.backends import BACKEND_NAMES, backend_availability
 from repro.sharding.service import ShardedTimerService
 
 #: Configuration label -> shard count (None = global-lock facade).
@@ -78,6 +91,39 @@ SPEEDUP_FLOOR = 2.0
 SPEEDUP_SCHEME = "scheme2"
 SPEEDUP_CONFIG = "sharded-4"
 
+#: The backend sweep: scheme6 + SoA columns at this shard count, one row
+#: per execution backend. The ≥ 2x bar compares multiprocessing against
+#: the in-process backend — and only where the host can actually run
+#: shards on separate CPUs.
+BACKEND_SCHEME = "scheme6"
+BACKEND_SHARDS = 4
+BACKEND_SPEEDUP_FLOOR = 2.0
+BACKEND_BASELINE = "inprocess"
+BACKEND_CONTENDER = "multiprocessing"
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _backend_sweep() -> List[str]:
+    """Backends to bench: ``REPRO_SHARDED_BACKENDS`` (comma-separated)
+    filtered to what the host can run, else everything available."""
+    raw = os.environ.get("REPRO_SHARDED_BACKENDS", "")
+    wanted = [name.strip() for name in raw.split(",") if name.strip()] or list(
+        BACKEND_NAMES
+    )
+    report = backend_availability()
+    return [
+        name
+        for name in wanted
+        if report.get(name, (False, "unknown"))[0]
+    ]
+
 
 def _make_plan(n_timers: int, horizon: int, seed: int) -> List[Tuple[str, int]]:
     """The shared workload: ``(request_id, interval)`` per timer.
@@ -93,7 +139,13 @@ def _make_plan(n_timers: int, horizon: int, seed: int) -> List[Tuple[str, int]]:
     ]
 
 
-def _build(scheme: str, shards: Optional[int], horizon: int):
+def _build(
+    scheme: str,
+    shards: Optional[int],
+    horizon: int,
+    backend: Optional[str] = None,
+    n_timers: int = 0,
+):
     # Each shard gets the same full-resolution structure as the global
     # config (Appendix B gives every processor its own complete queue):
     # a wheel of horizon/shards slots would wrap k times per horizon and
@@ -106,8 +158,24 @@ def _build(scheme: str, shards: Optional[int], horizon: int):
         return ThreadSafeScheduler(
             make_scheduler(scheme, counter=NULL_COUNTER, **kwargs)
         )
+    if backend is None:
+        return ShardedTimerService(
+            scheme, shards, counter=NULL_COUNTER, **kwargs
+        )
+    # Backend rows carry the timer state in SoA columns so the
+    # multiprocessing backend gets its shared-memory data plane; blocks
+    # are sized to the full population landing on one shard.
+    shm_rows = 1 << max(10, (2 * n_timers).bit_length())
     return ShardedTimerService(
-        scheme, shards, counter=NULL_COUNTER, **kwargs
+        scheme,
+        shards,
+        counter=NULL_COUNTER,
+        store="soa",
+        backend=backend,
+        backend_options=(
+            {"shm_rows": shm_rows} if backend == "multiprocessing" else None
+        ),
+        **kwargs,
     )
 
 
@@ -116,6 +184,7 @@ def _drive(
     shards: Optional[int],
     plan: List[Tuple[str, int]],
     horizon: int,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """One configuration's measured run.
 
@@ -126,7 +195,7 @@ def _drive(
     START_TIMER + PER_TICK_BOOKKEEPING traffic for one maintenance
     cycle.
     """
-    scheduler = _build(scheme, shards, horizon)
+    scheduler = _build(scheme, shards, horizon, backend, len(plan))
     partitions = [plan[t::N_CLIENT_THREADS] for t in range(N_CLIENT_THREADS)]
     barrier = threading.Barrier(N_CLIENT_THREADS + 1)
     errors: List[BaseException] = []
@@ -175,7 +244,7 @@ def _drive(
     else:
         contended = list(scheduler.contended_acquisitions)
         imbalance = scheduler.introspect()["imbalance"]
-    return {
+    outcome = {
         "fingerprint": fingerprint,
         "expiries": len(expired),
         "pending_left": scheduler.pending_count,
@@ -185,6 +254,117 @@ def _drive(
         "contended_acquisitions": contended,
         "imbalance": imbalance,
     }
+    if shards is not None:
+        scheduler.close()  # remote backends hold workers + shared memory
+    return outcome
+
+
+def _backend_axis(
+    result: ExperimentResult,
+    plan: List[Tuple[str, int]],
+    horizon: int,
+    n_timers: int,
+    total_ops: int,
+    reference_fingerprint: List[Tuple[str, int]],
+    fast: bool,
+) -> List[Dict[str, object]]:
+    """One row per execution backend: scheme6 + SoA columns, 4 shards.
+
+    Every row's expiry fingerprint must equal the global-lock facade's
+    regardless of backend; the ≥ 2x multiprocessing bar is enforced only
+    on hosts with ≥ 2 usable CPUs (and never in ``--fast`` mode).
+    """
+    sweep = _backend_sweep()
+    cpus = _usable_cpus()
+    runs: Dict[str, Dict[str, object]] = {}
+    rows: List[Dict[str, object]] = []
+    for backend in sweep:
+        run = _drive(
+            BACKEND_SCHEME, BACKEND_SHARDS, plan, horizon, backend=backend
+        )
+        runs[backend] = run
+        label = f"sharded-{BACKEND_SHARDS}-soa@{backend}"
+        same = run["fingerprint"] == reference_fingerprint
+        ops_per_s = total_ops / run["total_seconds"]
+        baseline = runs.get(BACKEND_BASELINE)
+        speedup = (
+            baseline["total_seconds"] / run["total_seconds"]
+            if baseline is not None
+            else None
+        )
+        result.add_row(
+            BACKEND_SCHEME,
+            label,
+            f"{run['start_seconds']:.4f}",
+            f"{run['tick_seconds']:.4f}",
+            f"{run['total_seconds']:.4f}",
+            f"{ops_per_s:,.0f}",
+            f"{speedup:.2f}x" if speedup is not None else "—",
+            "yes" if same else "NO",
+        )
+        result.check(
+            f"{BACKEND_SCHEME}/{label}: expiry fingerprint identical to "
+            "global-lock",
+            same,
+        )
+        result.check(
+            f"{BACKEND_SCHEME}/{label}: every timer fired by the horizon",
+            run["expiries"] == n_timers and run["pending_left"] == 0,
+        )
+        rows.append(
+            {
+                "scheme": BACKEND_SCHEME,
+                "config": label,
+                "shards": BACKEND_SHARDS,
+                "backend": backend,
+                "store": "soa",
+                "cpus": cpus,
+                "n_timers": n_timers,
+                "start_seconds": run["start_seconds"],
+                "tick_seconds": run["tick_seconds"],
+                "total_seconds": run["total_seconds"],
+                "ops_per_second": ops_per_s,
+                "speedup_vs_inprocess_backend": speedup,
+                "expiries": run["expiries"],
+                "contended_acquisitions": run["contended_acquisitions"],
+                "imbalance": run["imbalance"],
+                "identical_fingerprint": same,
+            }
+        )
+    if (
+        not fast
+        and BACKEND_BASELINE in runs
+        and BACKEND_CONTENDER in runs
+    ):
+        ratio = (
+            runs[BACKEND_BASELINE]["total_seconds"]
+            / runs[BACKEND_CONTENDER]["total_seconds"]
+        )
+        if cpus >= 2:
+            result.check(
+                f"{BACKEND_SCHEME}/soa@{BACKEND_CONTENDER}: throughput ≥ "
+                f"{BACKEND_SPEEDUP_FLOOR:.0f}x the {BACKEND_BASELINE} "
+                f"backend at {BACKEND_SHARDS} shards",
+                ratio >= BACKEND_SPEEDUP_FLOOR,
+            )
+        else:
+            result.note(
+                f"backend ≥{BACKEND_SPEEDUP_FLOOR:.0f}x gate skipped: the "
+                f"host exposes {cpus} usable CPU(s), so cross-process "
+                "wall-clock parallelism is physically impossible here; "
+                "fingerprint identity is still asserted on every backend "
+                f"row (measured {BACKEND_CONTENDER}/{BACKEND_BASELINE} "
+                f"ratio: {ratio:.2f}x)"
+            )
+    missing = [name for name in BACKEND_NAMES if name not in sweep]
+    if missing:
+        report = backend_availability()
+        for name in missing:
+            result.note(
+                f"backend row skipped: {name} — "
+                f"{report.get(name, (False, 'not in sweep'))[1]}"
+            )
+    return rows
 
 
 def sharded_throughput(fast: bool = False) -> ExperimentResult:
@@ -250,6 +430,8 @@ def sharded_throughput(fast: bool = False) -> ExperimentResult:
                     "scheme": scheme,
                     "config": label,
                     "shards": shards,
+                    "backend": None if shards is None else "inprocess",
+                    "store": "object",
                     "n_timers": n_timers,
                     "start_seconds": run["start_seconds"],
                     "tick_seconds": run["tick_seconds"],
@@ -270,6 +452,12 @@ def sharded_throughput(fast: bool = False) -> ExperimentResult:
                 "facade",
                 sharded >= SPEEDUP_FLOOR * baseline_ops_per_s,
             )
+        if scheme == BACKEND_SCHEME:
+            backend_rows = _backend_axis(
+                result, plan, horizon, n_timers, total_ops,
+                reference["fingerprint"], fast,
+            )
+            measurements.extend(backend_rows)
     if fast:
         result.note(
             "fast mode: the ≥2x throughput check is skipped (wall-clock "
@@ -292,6 +480,12 @@ def sharded_throughput(fast: bool = False) -> ExperimentResult:
         f"start_many batches of {BATCH_SIZE} against the service: one "
         "lock hold per shard per batch"
     )
+    result.note(
+        "backend rows re-run scheme6/store=soa at "
+        f"{BACKEND_SHARDS} shards across execution backends; the "
+        "multiprocessing rows carry timer state in per-shard "
+        "shared-memory blocks and cross one pipe per shard per batch"
+    )
     result.data = {
         "mode": "fast" if fast else "full",
         "horizon_ticks": horizon,
@@ -300,6 +494,11 @@ def sharded_throughput(fast: bool = False) -> ExperimentResult:
         "speedup_floor": SPEEDUP_FLOOR,
         "speedup_scheme": SPEEDUP_SCHEME,
         "speedup_config": SPEEDUP_CONFIG,
+        "cpus": _usable_cpus(),
+        "backend_sweep": _backend_sweep(),
+        "backend_speedup_floor": BACKEND_SPEEDUP_FLOOR,
+        "backend_scheme": BACKEND_SCHEME,
+        "backend_shards": BACKEND_SHARDS,
         "measurements": measurements,
     }
     return result

@@ -40,12 +40,16 @@ Subcommands
     :class:`~repro.obs.endpoint.TelemetryEndpoint`) and render a compact
     health summary per frame; ``--demo`` runs a self-contained service +
     endpoint in-process and polls it over loopback HTTP.
-``chaos [--schemes S,S,...] [--plan FILE] [--budget N] [--shards N] [--json FILE]``
+``chaos [--schemes S,S,...] [--plan FILE] [--budget N] [--shards N] [--backend B] [--json FILE]``
     Replay one deterministic fault plan (callback failures, slow/hanging
     callbacks, stop races, allocator pressure, clock jumps) across the
     selected schemes under supervised expiry and assert that every scheme
     yields the identical surviving-expiry sequence and identical
-    retry/quarantine/shed counts. Exits 1 on divergence (see
+    retry/quarantine/shed counts. With ``--shards N`` the plan also runs
+    through an N-shard service; ``--backend`` picks its execution
+    backend(s) — a name, a comma list, or ``all`` for every backend the
+    host can run (see ``docs/backends.md``) — and each one must produce
+    the same fingerprint. Exits 1 on divergence (see
     ``docs/robustness.md``).
 ``chaos --kill-at SEQ [--crash-mode M] [--journal DIR] [--sync S]``
     The crash-recovery oracle: run the plan durably (write-ahead journal
@@ -586,34 +590,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         tick_budget=args.budget,
         overload_policy=args.overload,
     )
-    sharded_result = None
-    sharded_divergence: list = []
+    sharded_results: list = []
+    sharded_divergences: list = []
+    skipped_backends: list = []
     if args.shards:
         from repro.faults.chaos import run_chaos_sharded
+        from repro.sharding.backends import BACKEND_NAMES, backend_availability
 
-        sharded_result = run_chaos_sharded(
-            scheme=schemes[0],
-            shards=args.shards,
-            plan=plan,
-            workload=workload,
-            retry_policy=policy,
-            tick_budget=args.budget,
-            overload_policy=args.overload,
-        )
+        if args.backend == "all":
+            availability = backend_availability()
+            backends = [n for n in BACKEND_NAMES if availability[n][0]]
+            skipped_backends = [
+                (n, availability[n][1])
+                for n in BACKEND_NAMES
+                if not availability[n][0]
+            ]
+        else:
+            backends = [b.strip() for b in args.backend.split(",") if b.strip()]
         reference_fp = report.reference.fingerprint()
-        sharded_fp = sharded_result.fingerprint()
         # With a finite budget the per-shard budgets legitimately shed
         # differently; mirror run_differential's exclusions.
         budget_dependent = {
             "shed", "retries", "injected_failures", "injected_hangs",
             "slow_invocations", "survivors", "quarantined",
         }
-        sharded_divergence = [
-            key
-            for key in reference_fp
-            if sharded_fp[key] != reference_fp[key]
-            and not (args.budget is not None and key in budget_dependent)
-        ]
+        for backend in backends:
+            sharded_result = run_chaos_sharded(
+                scheme=schemes[0],
+                shards=args.shards,
+                plan=plan,
+                workload=workload,
+                retry_policy=policy,
+                tick_budget=args.budget,
+                overload_policy=args.overload,
+                backend=backend,
+            )
+            sharded_results.append(sharded_result)
+            sharded_fp = sharded_result.fingerprint()
+            diverging = [
+                key
+                for key in reference_fp
+                if sharded_fp[key] != reference_fp[key]
+                and not (args.budget is not None and key in budget_dependent)
+            ]
+            if diverging:
+                sharded_divergences.append((sharded_result.scheme, diverging))
     print("fault plan: " + "; ".join(plan.describe()))
     print(
         f"workload  : {args.timers} timers over {args.horizon} steps "
@@ -621,8 +642,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         + (f"; tick budget {args.budget} ({args.overload})" if args.budget else "")
     )
     rows = [r.summary_row() for r in report.results]
-    if sharded_result is not None:
-        rows.append(sharded_result.summary_row())
+    rows.extend(r.summary_row() for r in sharded_results)
     print(
         render_table(
             [
@@ -638,6 +658,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    for name, reason in skipped_backends:
+        print(f"backend {name} skipped: {reason}", file=sys.stderr)
     if args.json:
         payload = {
             "plan": plan.to_dict(),
@@ -645,15 +667,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "divergences": report.divergences,
             "results": [
                 {"scheme": r.scheme, **r.fingerprint()}
-                for r in report.results
-                + ([sharded_result] if sharded_result is not None else [])
+                for r in report.results + sharded_results
             ],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True, default=list)
         print(f"wrote fingerprints to {args.json}", file=sys.stderr)
-    if report.identical and not sharded_divergence:
-        configs = len(report.results) + (1 if sharded_result is not None else 0)
+    if report.identical and not sharded_divergences:
+        configs = len(report.results) + len(sharded_results)
         print(
             f"OK: {configs} configurations agree on the surviving-expiry "
             "sequence and all fault counters"
@@ -666,10 +687,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"in: {', '.join(fields)}",
             file=sys.stderr,
         )
-    if sharded_divergence:
+    for label, fields in sharded_divergences:
         print(
-            f"  {sharded_result.scheme} differs from "
-            f"{report.reference.scheme} in: {', '.join(sharded_divergence)}",
+            f"  {label} differs from "
+            f"{report.reference.scheme} in: {', '.join(fields)}",
             file=sys.stderr,
         )
     return 1
@@ -974,6 +995,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None,
         help="also run the plan through an N-shard service over the first "
         "scheme and require its fingerprint to match",
+    )
+    p_cha.add_argument(
+        "--backend", default="inprocess",
+        help="execution backend(s) for the --shards run: a backend name, "
+        "a comma-separated list, or 'all' for every backend this host "
+        "can run (default: inprocess; see docs/backends.md)",
     )
     p_cha.add_argument(
         "--kill-at", type=int, default=None, metavar="SEQ",

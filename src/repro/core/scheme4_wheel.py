@@ -67,8 +67,13 @@ class TimingWheelScheduler(TimerScheduler):
         counter: Optional[OpCounter] = None,
         recycle: bool = False,
         store: str = "object",
+        soa_store=None,
     ) -> None:
         super().__init__(counter, recycle=recycle)
+        if soa_store is not None:
+            raise TimerConfigurationError(
+                "soa_store requires store='soa'"
+            )
         check_positive_int("max_interval", max_interval)
         if max_interval < 2:
             # A 1-slot wheel can hold no interval (they must be < max).

@@ -77,8 +77,13 @@ class HashedWheelUnsortedScheduler(TimerScheduler):
         counter: Optional[OpCounter] = None,
         recycle: bool = False,
         store: str = "object",
+        soa_store=None,
     ) -> None:
         super().__init__(counter, recycle=recycle)
+        if soa_store is not None:
+            raise TimerConfigurationError(
+                "soa_store requires store='soa'"
+            )
         check_positive_int("table_size", table_size)
         self.table_size = table_size
         self._buckets = [DLinkedList() for _ in range(table_size)]

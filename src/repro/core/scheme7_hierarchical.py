@@ -127,6 +127,7 @@ class HierarchicalWheelScheduler(TimerScheduler):
         placement: str = "paper",
         recycle: bool = False,
         store: str = "object",
+        soa_store=None,
     ) -> None:
         """``placement`` selects the insertion rule (an ablation knob):
 
@@ -141,6 +142,10 @@ class HierarchicalWheelScheduler(TimerScheduler):
           difference.
         """
         super().__init__(counter, recycle=recycle)
+        if soa_store is not None:
+            raise TimerConfigurationError(
+                "soa_store requires store='soa'"
+            )
         if placement not in ("paper", "span"):
             raise TimerConfigurationError(
                 f"placement must be 'paper' or 'span', got {placement!r}"

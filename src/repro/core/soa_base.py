@@ -59,13 +59,26 @@ class SoATimerScheduler(TimerScheduler):
     """
 
     def __init__(
-        self, counter: Optional[OpCounter] = None, recycle: bool = False
+        self,
+        counter: Optional[OpCounter] = None,
+        recycle: bool = False,
+        soa_store: Optional[SoATimerStore] = None,
     ) -> None:
         # ``recycle`` is accepted for constructor parity with the object
         # schemes and ignored: SoA rows are *always* pooled — the free
         # list is the allocator, not an opt-in cache.
+        #
+        # ``soa_store`` injects a pre-built store — the shard backends use
+        # it to hand a scheduler a shared-memory-backed
+        # :class:`~repro.structures.soa.SharedSoATimerStore` so the timer
+        # state lives in an OS shm block instead of process-private heap.
         super().__init__(counter, recycle=False)
-        self._store = SoATimerStore()
+        if soa_store is not None and soa_store.live_count:
+            raise ValueError(
+                "injected store already holds live rows; schedulers must "
+                "start from an empty store"
+            )
+        self._store = soa_store if soa_store is not None else SoATimerStore()
         #: explicit client id -> row; auto-id rows appear in no dict at all.
         self._id_rows: Dict[Hashable, int] = {}
 

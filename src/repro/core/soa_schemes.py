@@ -53,8 +53,9 @@ class SoATimingWheelScheduler(SoATimerScheduler):
         max_interval: int,
         counter: Optional[OpCounter] = None,
         recycle: bool = False,
+        soa_store=None,
     ) -> None:
-        super().__init__(counter, recycle=recycle)
+        super().__init__(counter, recycle=recycle, soa_store=soa_store)
         check_positive_int("max_interval", max_interval)
         if max_interval < 2:
             raise TimerConfigurationError("max_interval must be at least 2")
@@ -180,8 +181,9 @@ class SoAHashedWheelUnsortedScheduler(SoATimerScheduler):
         table_size: int = 256,
         counter: Optional[OpCounter] = None,
         recycle: bool = False,
+        soa_store=None,
     ) -> None:
-        super().__init__(counter, recycle=recycle)
+        super().__init__(counter, recycle=recycle, soa_store=soa_store)
         check_positive_int("table_size", table_size)
         self.table_size = table_size
         self._heads = array("q", [NIL]) * table_size
@@ -334,8 +336,9 @@ class SoAHierarchicalWheelScheduler(SoATimerScheduler):
         counter: Optional[OpCounter] = None,
         placement: str = "paper",
         recycle: bool = False,
+        soa_store=None,
     ) -> None:
-        super().__init__(counter, recycle=recycle)
+        super().__init__(counter, recycle=recycle, soa_store=soa_store)
         if placement not in ("paper", "span"):
             raise TimerConfigurationError(
                 f"placement must be 'paper' or 'span', got {placement!r}"

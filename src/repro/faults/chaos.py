@@ -22,9 +22,10 @@ diverge between exact and lossy hierarchies.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import TimerStateError, UnknownTimerError
 from repro.core.registry import make_scheduler, scheme_names
@@ -266,6 +267,103 @@ def run_chaos(
     )
 
 
+class ChaosSupervisedShard(SupervisedScheduler):
+    """One shard of a sharded chaos run: supervision + fault wrapping.
+
+    Owns its *own* :class:`FaultInjector` so the whole assembly lives on
+    whichever side of a backend boundary the shard scheduler does — in
+    this process (inprocess backend) or inside a worker
+    (multiprocessing / subinterpreter backends). Every STARTed callback
+    is wrapped at this seam; supervisor re-arms go through the inner
+    scheduler directly, so the wrap happens exactly once per client
+    timer.
+
+    Determinism across backends: the service routes each request id to
+    exactly one shard, so the per-shard attempt maps partition the
+    single shared map an unsharded run keeps — and every plan decision
+    is a pure function of ``(request_id, attempt)``, so *where* the
+    shard executes cannot change any outcome. Summing the per-shard
+    injected counters therefore reproduces the shared-injector totals
+    exactly. Order-*dependent* seams (allocator pressure, stop races)
+    never reach this class — the driver keeps them client-side via
+    :meth:`FaultInjector.check_alloc` / ``check_stop_race``.
+    """
+
+    def __init__(
+        self,
+        inner,
+        injector: FaultInjector,
+        retry_policy: Optional[RetryPolicy] = None,
+        tick_budget: Optional[int] = None,
+        overload_policy: str = "defer",
+    ) -> None:
+        self.chaos_injector = injector
+        super().__init__(
+            inner,
+            retry_policy=retry_policy,
+            tick_budget=tick_budget,
+            overload_policy=overload_policy,
+            cost_hook=injector.cost_of,
+        )
+
+    def start_timer(
+        self,
+        interval: int,
+        request_id: Optional[Hashable] = None,
+        callback=None,
+        user_data: object = None,
+    ):
+        # key=None: the plan key resolves from the fired timer's origin,
+        # so re-arm attempts continue the same per-id series.
+        return super().start_timer(
+            interval,
+            request_id=request_id,
+            callback=self.chaos_injector.wrap_action(callback, key=None),
+            user_data=user_data,
+        )
+
+    def chaos_stats(self) -> Dict[str, object]:
+        """This shard's contribution to the run fingerprint (picklable)."""
+        return {
+            "survivors": [
+                (str(origin), deadline, attempts)
+                for origin, deadline, attempts in self.survivors
+            ],
+            "quarantined": [
+                (str(rec.request_id), rec.attempts, rec.reason)
+                for rec in self.quarantine.values()
+            ],
+            "retries": self.retries,
+            "shed": self.shed_total,
+            "deferred": self.deferred,
+            "dropped": self.dropped,
+            "degraded": self.degraded,
+            "clock_jumps": self.clock_jumps,
+            "overruns": self.overruns,
+            "pending_left": self.supervised_count,
+            "injected": self.chaos_injector.counters(),
+        }
+
+
+def build_chaos_shard(
+    index: int,
+    scheme: str,
+    scheme_kwargs: Dict[str, object],
+    plan: FaultPlan,
+    retry_policy: RetryPolicy,
+    tick_budget: Optional[int],
+    overload_policy: str,
+) -> ChaosSupervisedShard:
+    """Module-level shard factory — picklable, so every backend can use it."""
+    return ChaosSupervisedShard(
+        make_scheduler(scheme, **scheme_kwargs),
+        FaultInjector(plan),
+        retry_policy=retry_policy,
+        tick_budget=tick_budget,
+        overload_policy=overload_policy,
+    )
+
+
 def run_chaos_sharded(
     scheme: str = "scheme6",
     shards: int = 4,
@@ -275,19 +373,26 @@ def run_chaos_sharded(
     tick_budget: Optional[int] = None,
     overload_policy: str = "defer",
     drain_ticks: int = 100_000,
+    backend: str = "inprocess",
+    backend_options: Optional[Dict[str, object]] = None,
 ) -> ChaosResult:
     """Replay one fault plan + workload through a sharded service.
 
-    Every shard is a :class:`SupervisedScheduler` over the scheme (built
-    via ``shard_factory``), all sharing one :class:`FaultInjector` and
-    one retry policy; client ops route through the service so each
-    request id lands on its stable shard. Because the op stream is the
-    same serial sequence :func:`run_chaos` issues — and every injector
-    decision is keyed on ``(request_id, attempt)`` except allocator
-    pressure, which is order-dependent and sees the identical order —
-    the fingerprint must match the unsharded run's exactly: partitioning
-    may move timers between queues, never change what survives or how
-    hard it was retried.
+    Every shard is a :class:`ChaosSupervisedShard` — a supervised
+    scheme with its own fault injector — hosted wherever ``backend``
+    puts it (this process, a worker process, a sub-interpreter). Client
+    ops route through the service so each request id lands on its
+    stable shard; the order-dependent fault seams (allocator pressure,
+    stop races) run client-side through one shared injector, exactly as
+    the unsharded driver issues them.
+
+    Because the op stream is the same serial sequence :func:`run_chaos`
+    issues — and every remaining injector decision is a pure function
+    of ``(request_id, attempt)`` — the fingerprint must match the
+    unsharded run's exactly, *for every backend*: partitioning may move
+    timers between queues, and backends may move queues between address
+    spaces, but neither may change what survives or how hard it was
+    retried.
 
     Per-shard supervisors each count the *same* external clock-jump
     sequence, so ``clock_jumps`` is read from one shard, not summed;
@@ -303,82 +408,103 @@ def run_chaos_sharded(
     policy = retry_policy if retry_policy is not None else RetryPolicy(
         max_attempts=3, base_backoff=1, backoff_multiplier=2.0, max_backoff=48
     )
-    injector = FaultInjector(plan)
-
-    def shard_factory(index: int) -> SupervisedScheduler:
-        return SupervisedScheduler(
-            make_scheduler(scheme, **SCHEME_KWARGS.get(scheme, {})),
-            retry_policy=policy,
-            tick_budget=tick_budget,
-            overload_policy=overload_policy,
-            cost_hook=injector.cost_of,
-        )
-
-    service = ShardedTimerService(shards=shards, shard_factory=shard_factory)
-    schedule = workload.ops()
-    stopped = 0
-    alloc_skipped = 0
-    clock = SkewedClock(plan.clock_jumps)
-    for step, reading in enumerate(clock.ticks(workload.horizon), start=1):
-        for op, key, interval in schedule.get(step, ()):
-            if op == "start":
-                try:
-                    injector.start_timer(service, interval, request_id=key)
-                except AllocationPressure:
-                    alloc_skipped += 1
-            else:
-                if not service.is_pending(key):
-                    continue
-                try:
-                    injector.stop_timer(service, key)
-                except TransientStopRace:
-                    # The race is transient by construction: retry once.
+    injector = FaultInjector(plan)  # client-side seams only
+    factory = functools.partial(
+        build_chaos_shard,
+        scheme=scheme,
+        scheme_kwargs=dict(SCHEME_KWARGS.get(scheme, {})),
+        plan=plan,
+        retry_policy=policy,
+        tick_budget=tick_budget,
+        overload_policy=overload_policy,
+    )
+    service = ShardedTimerService(
+        shards=shards,
+        shard_factory=factory,
+        backend=backend,
+        backend_options=backend_options,
+    )
+    try:
+        schedule = workload.ops()
+        stopped = 0
+        alloc_skipped = 0
+        clock = SkewedClock(plan.clock_jumps)
+        for step, reading in enumerate(clock.ticks(workload.horizon), start=1):
+            for op, key, interval in schedule.get(step, ()):
+                if op == "start":
                     try:
-                        injector.stop_timer(service, key)
-                    except (UnknownTimerError, TimerStateError):
+                        injector.check_alloc()
+                    except AllocationPressure:
+                        alloc_skipped += 1
                         continue
-                stopped += 1
-        service.sync_clock(reading)
-    service.run_until_idle(max_ticks=drain_ticks)
-    supervisors = service.shards
+                    service.start_timer(interval, request_id=key)
+                else:
+                    if not service.is_pending(key):
+                        continue
+                    try:
+                        injector.check_stop_race(key)
+                    except TransientStopRace:
+                        # The race is transient by construction: retry once.
+                        try:
+                            service.stop_timer(key)
+                        except (UnknownTimerError, TimerStateError):
+                            continue
+                    else:
+                        service.stop_timer(key)
+                    stopped += 1
+            service.sync_clock(reading)
+        service.run_until_idle(max_ticks=drain_ticks)
+        gathered = service.backend.scatter([("call", "chaos_stats", (), {})])
+        stats: List[Dict[str, object]] = []
+        for per_shard in gathered:
+            status, value = per_shard[0]
+            if status == "err":
+                raise value
+            stats.append(value)
+        introspection = service.introspect()
+    finally:
+        service.close()
     survivors = tuple(
         sorted(
             (
-                (str(origin), deadline, attempts)
-                for shard in supervisors
-                for origin, deadline, attempts in shard.survivors
+                tuple(row)
+                for shard_stats in stats
+                for row in shard_stats["survivors"]
             ),
             key=lambda row: (row[1], row[0]),
         )
     )
     quarantined = tuple(
         sorted(
-            (str(rec.request_id), rec.attempts, rec.reason)
-            for shard in supervisors
-            for rec in shard.quarantine.values()
+            tuple(row)
+            for shard_stats in stats
+            for row in shard_stats["quarantined"]
         )
     )
+    label = f"sharded[{shards}x{scheme}]"
+    if backend != "inprocess":
+        label = f"sharded[{shards}x{scheme}@{backend}]"
     return ChaosResult(
-        scheme=f"sharded[{shards}x{scheme}]",
+        scheme=label,
         survivors=survivors,
         quarantined=quarantined,
-        retries=sum(shard.retries for shard in supervisors),
-        shed=sum(shard.shed_total for shard in supervisors),
-        deferred=sum(shard.deferred for shard in supervisors),
-        dropped=sum(shard.dropped for shard in supervisors),
-        degraded=sum(shard.degraded for shard in supervisors),
+        retries=sum(s["retries"] for s in stats),
+        shed=sum(s["shed"] for s in stats),
+        deferred=sum(s["deferred"] for s in stats),
+        dropped=sum(s["dropped"] for s in stats),
+        degraded=sum(s["degraded"] for s in stats),
         # every supervisor sees the identical reading sequence, so each
         # counts the same jumps: read one, do not sum shards times over.
-        clock_jumps=supervisors[0].clock_jumps,
-        overruns=sum(shard.overruns for shard in supervisors),
+        clock_jumps=stats[0]["clock_jumps"],
+        overruns=sum(s["overruns"] for s in stats),
         stopped=stopped,
         alloc_skipped=alloc_skipped,
         stop_races=injector.stop_races,
-        injected_failures=injector.injected_failures,
-        injected_hangs=injector.injected_hangs,
-        slow_invocations=injector.slow_invocations,
-        pending_left=sum(shard.supervised_count for shard in supervisors),
-        introspection=service.introspect(),
+        injected_failures=sum(s["injected"]["injected_failures"] for s in stats),
+        injected_hangs=sum(s["injected"]["injected_hangs"] for s in stats),
+        slow_invocations=sum(s["injected"]["slow_invocations"] for s in stats),
+        pending_left=sum(s["pending_left"] for s in stats),
+        introspection=introspection,
     )
 
 

@@ -156,6 +156,41 @@ class FaultInjector:
 
     # ------------------------------------------------------ client-op faults
 
+    def check_alloc(self) -> None:
+        """The allocator-pressure seam, on its own.
+
+        Counts a START attempt and raises :class:`AllocationPressure` on
+        every ``plan.alloc_failure_every``-th one. Split out from
+        :meth:`start_timer` because the decision is ordinal (it depends
+        on the *client's* serial start order, not on the request id), so
+        in a sharded run it must execute client-side even when the
+        schedulers themselves live in worker processes.
+        """
+        self._starts += 1
+        every = self.plan.alloc_failure_every
+        if every and self._starts % every == 0:
+            self.alloc_failures += 1
+            raise AllocationPressure(
+                f"injected allocation failure on start #{self._starts}"
+            )
+
+    def check_stop_race(self, request_id: Hashable) -> None:
+        """The stop-race seam, on its own.
+
+        The first stop of an id the plan marks raises
+        :class:`TransientStopRace` before any scheduler is touched; a
+        retry passes. Client-side for the same reason as
+        :meth:`check_alloc`: the race simulates the *caller* colliding
+        with expiry processing, wherever the queue lives.
+        """
+        k = str(origin_of(request_id))
+        if k not in self._stop_raced and self.plan.should_stop_race(k):
+            self._stop_raced.add(k)
+            self.stop_races += 1
+            raise TransientStopRace(
+                f"injected STOP_TIMER race on {request_id!r}; retry the stop"
+            )
+
     def start_timer(
         self,
         scheduler,
@@ -170,13 +205,7 @@ class FaultInjector:
         ``plan.alloc_failure_every``-th start (the allocator-pressure
         hook); otherwise starts the timer with its callback wrapped.
         """
-        self._starts += 1
-        every = self.plan.alloc_failure_every
-        if every and self._starts % every == 0:
-            self.alloc_failures += 1
-            raise AllocationPressure(
-                f"injected allocation failure on start #{self._starts}"
-            )
+        self.check_alloc()
         return scheduler.start_timer(
             interval,
             request_id=request_id,
@@ -191,13 +220,7 @@ class FaultInjector:
         :class:`TransientStopRace` without touching the timer — the
         caller's retry (the race resolved) goes through normally.
         """
-        k = str(origin_of(request_id))
-        if k not in self._stop_raced and self.plan.should_stop_race(k):
-            self._stop_raced.add(k)
-            self.stop_races += 1
-            raise TransientStopRace(
-                f"injected STOP_TIMER race on {request_id!r}; retry the stop"
-            )
+        self.check_stop_race(request_id)
         return scheduler.stop_timer(request_id)
 
     # -------------------------------------------------------------- reporting

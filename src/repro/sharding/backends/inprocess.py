@@ -1,0 +1,151 @@
+"""The in-process backend: today's per-shard-lock service, as a backend.
+
+Every shard scheduler lives in the calling interpreter behind its own
+``RLock`` — Appendix A.2's semaphore discipline applied per queue. This
+is the control configuration: zero marshalling, the full object surface
+(live ``Timer`` records, observers, a shared ``OpCounter``), and one
+GIL, so wall-clock parallelism only ever comes from shrinking the work
+*under* each lock (scheme2's O(n) scans), never from running shards
+simultaneously.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interface import Timer
+from repro.sharding.backends.base import (
+    OpResult,
+    ShardBackend,
+    ShardPlane,
+    apply_ops,
+)
+
+
+class InProcessBackend(ShardBackend):
+    """Shard schedulers in this process, one lock per shard.
+
+    ``parallel=True`` drives :meth:`advance_to` on a thread pool (one
+    worker per shard) — per-shard locks still serialise each shard, but
+    shards overlap wherever the schemes release the GIL.
+    """
+
+    name = "inprocess"
+
+    def __init__(
+        self,
+        shard_count: int,
+        plane: ShardPlane,
+        *,
+        parallel: bool = False,
+    ) -> None:
+        self.shard_count = shard_count
+        self.parallel = bool(parallel)
+        self._shards = [plane.factory(index) for index in range(shard_count)]
+        self._locks = [threading.RLock() for _ in range(shard_count)]
+        self._contended = [0] * shard_count
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pending_drain: Optional[List[List[Timer]]] = None
+        self._closed = False
+
+    # ----------------------------------------------------------- the protocol
+
+    @property
+    def local_shards(self) -> Tuple:  # type: ignore[override]
+        """The live shard schedulers — this backend's shards are local
+        objects, so live surfaces (observers, ``service.shards``) work."""
+        return tuple(self._shards)
+
+    def _acquire(self, index: int) -> None:
+        lock = self._locks[index]
+        if not lock.acquire(blocking=False):
+            self._contended[index] += 1
+            lock.acquire()
+
+    def submit_batch(
+        self, index: int, ops: Sequence[tuple], stop_on_error: bool = True
+    ) -> List[OpResult]:
+        """One lock hold per batch — the service's batching contract."""
+        self._acquire(index)
+        try:
+            return apply_ops(self._shards[index], ops, stop_on_error)
+        finally:
+            self._locks[index].release()
+
+    def advance_to(self, deadline: int) -> None:
+        per_shard: List[List[Timer]] = [[] for _ in range(self.shard_count)]
+        if self.parallel and self.shard_count > 1:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(self._advance_shard, index, deadline, per_shard[index])
+                for index in range(self.shard_count)
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for index in range(self.shard_count):
+                self._advance_shard(index, deadline, per_shard[index])
+        self._pending_drain = per_shard
+
+    def _advance_shard(
+        self, index: int, deadline: int, sink: List[Timer]
+    ) -> None:
+        """Drive one shard to ``deadline`` under one lock hold.
+
+        Appendix B's discipline: each processor drives its *own* queue
+        under its *own* lock, so only this shard's clients wait out the
+        advance — every other shard stays fully available. Taking the
+        lock once per advance instead of once per event hop keeps the
+        drive cost comparable to an unsharded scheduler's.
+        """
+        self._acquire(index)
+        try:
+            if self._shards[index].now < deadline:
+                sink.extend(self._shards[index].advance_to(deadline))
+        finally:
+            self._locks[index].release()
+
+    def drain_expired(self) -> List[List[Timer]]:
+        drained = self._pending_drain
+        if drained is None:
+            raise RuntimeError("drain_expired without a preceding advance_to")
+        self._pending_drain = None
+        return drained
+
+    def introspect(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "parallel": self.parallel,
+            "contended_acquisitions": list(self._contended),
+        }
+
+    def close(self) -> None:
+        """Release the advance pool. Idempotent; shards need no teardown."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------- extensions
+
+    @property
+    def contended_acquisitions(self) -> List[int]:
+        return self._contended
+
+    def shutdown_hook(self) -> None:
+        """Called by the service after SHUTDOWN: retire the pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.shard_count,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool

@@ -1,0 +1,357 @@
+"""One **sub-interpreter** per shard: per-interpreter GIL without processes.
+
+PEP 684 (Python 3.12) gives each sub-interpreter its own GIL, so shard
+schedulers hosted one-per-interpreter advance concurrently like the
+multiprocessing backend's workers — but inside one OS process: no fork,
+no shared-memory blocks, cheaper spawn. The trade-off is a harder
+isolation boundary: nothing is shared except what crosses the wire, so
+builders must be picklable (fork inheritance is not available).
+
+Transport: a pair of OS pipes per shard carrying length-prefixed pickle
+frames; the interpreter runs the very same
+:func:`~repro.sharding.backends.worker.shard_loop` as a multiprocessing
+worker, driven from a host thread (``run_string`` blocks that thread
+for the interpreter's lifetime).
+
+On interpreters without the support module — or before 3.12, where
+sub-interpreters still share one GIL and would reproduce the in-process
+backend at higher cost — the backend reports itself unavailable and
+everything downstream (tests, benches, chaos sweeps) skips cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import struct
+import sys
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.interface import Timer
+from repro.sharding.backends.base import (
+    BackendCapabilityError,
+    BackendUnavailableError,
+    OpResult,
+    ShardBackend,
+    ShardFaultError,
+    ShardPlane,
+    decode_value,
+)
+from repro.sharding.backends.worker import shard_loop
+
+#: Seconds between liveness checks while waiting on an interpreter.
+_POLL_INTERVAL = 0.05
+
+_LEN = struct.Struct(">Q")
+
+
+def _interp_module():
+    try:
+        import _interpreters as mod  # Python 3.13+
+
+        return mod
+    except ImportError:
+        try:
+            import _xxsubinterpreters as mod  # Python 3.12
+
+            return mod
+        except ImportError:
+            return None
+
+
+def availability() -> Tuple[bool, str]:
+    """``(usable, reason)`` — why (not) this backend on this interpreter."""
+    if sys.version_info < (3, 12):
+        return (
+            False,
+            "requires Python 3.12+ (PEP 684 per-interpreter GIL; "
+            f"running {sys.version_info.major}.{sys.version_info.minor})",
+        )
+    if _interp_module() is None:
+        return False, "no sub-interpreter support module in this build"
+    return True, "ok"
+
+
+# ------------------------------------------------------------ frame transport
+
+
+def write_frame(fd: int, payload: bytes) -> None:
+    """Write one length-prefixed frame (8-byte big-endian size + payload)."""
+    data = _LEN.pack(len(payload)) + payload
+    while data:
+        written = os.write(fd, data)
+        data = data[written:]
+
+
+def read_frame(fd: int) -> bytes:
+    """Read one length-prefixed frame; raises EOFError on a closed pipe."""
+    header = _read_exact(fd, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    return _read_exact(fd, length)
+
+
+def _read_exact(fd: int, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = os.read(fd, n)
+        if not chunk:
+            raise EOFError("shard channel closed")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def fd_shard_server(rfd: int, wfd: int, index: int) -> None:
+    """Entry point *inside* the sub-interpreter.
+
+    The first inbound frame is the pickled ``builder(index)`` callable;
+    every later frame is a worker-loop message.
+    """
+    build = pickle.loads(read_frame(rfd))
+    shard_loop(
+        index,
+        build,
+        lambda: read_frame(rfd),
+        lambda payload: write_frame(wfd, payload),
+    )
+
+
+_BOOTSTRAP = """\
+import sys
+sys.path[:0] = {path!r}
+from repro.sharding.backends.subinterp import fd_shard_server
+fd_shard_server({rfd}, {wfd}, {index})
+"""
+
+
+class SubinterpreterBackend(ShardBackend):
+    """Shard schedulers in per-shard sub-interpreters (Python 3.12+)."""
+
+    name = "subinterpreters"
+
+    def __init__(self, shard_count: int, plane: ShardPlane) -> None:
+        usable, reason = availability()
+        if not usable:
+            raise BackendUnavailableError(
+                f"subinterpreters backend unavailable: {reason}"
+            )
+        self._mod = _interp_module()
+        self._run = getattr(self._mod, "run_string", None) or getattr(
+            self._mod, "exec"
+        )
+        self.shard_count = shard_count
+        self._contended = [0] * shard_count
+        self._closed = False
+        self._interps: List[object] = []
+        self._threads: List[threading.Thread] = []
+        self._to_worker: List[int] = []  # parent-side write fds
+        self._from_worker: List[int] = []  # parent-side read fds
+        self._pipe_locks = [threading.Lock() for _ in range(shard_count)]
+        self._worker_fds: List[Tuple[int, int]] = []
+        try:
+            builder = plane.builder(None)
+            try:
+                builder_payload = pickle.dumps(builder)
+            except Exception as exc:
+                raise BackendCapabilityError(
+                    "subinterpreters backend needs a picklable shard "
+                    f"factory (module-level function or partial): {exc}"
+                ) from exc
+            for index in range(shard_count):
+                cmd_r, cmd_w = os.pipe()
+                res_r, res_w = os.pipe()
+                interp = self._mod.create()
+                self._interps.append(interp)
+                self._to_worker.append(cmd_w)
+                self._from_worker.append(res_r)
+                self._worker_fds.append((cmd_r, res_w))
+                script = _BOOTSTRAP.format(
+                    path=list(sys.path), rfd=cmd_r, wfd=res_w, index=index
+                )
+                thread = threading.Thread(
+                    target=self._host,
+                    args=(interp, script, index),
+                    name=f"repro-subinterp-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+                write_frame(cmd_w, builder_payload)
+            for index in range(shard_count):
+                kind, value = self._recv(index)
+                if kind != "ready":
+                    raise ShardFaultError(
+                        index, f"interpreter failed to build its shard: {value!r}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    def _host(self, interp, script: str, index: int) -> None:
+        """Host thread: blocks in the interpreter until its loop returns."""
+        try:
+            self._run(interp, script)
+        except Exception:  # surfaces to the parent as a dead channel
+            pass
+
+    # --------------------------------------------------------------- plumbing
+
+    def _send(self, index: int, message: object) -> None:
+        try:
+            payload = pickle.dumps(message)
+        except Exception as exc:
+            raise BackendCapabilityError(
+                f"operation cannot cross the interpreter boundary to shard "
+                f"{index} (unpicklable callback or payload): {exc}"
+            ) from exc
+        try:
+            write_frame(self._to_worker[index], payload)
+        except OSError as exc:
+            raise ShardFaultError(
+                index, f"interpreter channel broken: {exc}"
+            ) from exc
+
+    def _recv(self, index: int):
+        fd = self._from_worker[index]
+        while True:
+            ready, _, _ = select.select([fd], [], [], _POLL_INTERVAL)
+            if ready:
+                break
+            if not self._threads[index].is_alive():
+                raise ShardFaultError(index, "interpreter thread died")
+        try:
+            message = pickle.loads(read_frame(fd))
+        except EOFError as exc:
+            raise ShardFaultError(
+                index, "interpreter closed its channel"
+            ) from exc
+        if message[0] == "fatal":
+            raise ShardFaultError(index, f"shard build failed: {message[1]!r}")
+        return message
+
+    def _acquire_pipe(self, index: int) -> None:
+        lock = self._pipe_locks[index]
+        if not lock.acquire(blocking=False):
+            self._contended[index] += 1
+            lock.acquire()
+
+    # ----------------------------------------------------------- the protocol
+
+    def submit_batch(
+        self, index: int, ops: Sequence[tuple], stop_on_error: bool = True
+    ) -> List[OpResult]:
+        self._acquire_pipe(index)
+        try:
+            self._send(index, ("ops", list(ops), stop_on_error))
+            _, results = self._recv(index)
+            return [
+                (status, decode_value(value)) for status, value in results
+            ]
+        finally:
+            self._pipe_locks[index].release()
+
+    def advance_to(self, deadline: int) -> None:
+        for index in range(self.shard_count):
+            self._acquire_pipe(index)
+        try:
+            for index in range(self.shard_count):
+                self._send(index, ("advance", deadline))
+        except BaseException:
+            for index in range(self.shard_count):
+                self._pipe_locks[index].release()
+            raise
+
+    def drain_expired(self) -> List[List[Timer]]:
+        per_shard: List[List[Timer]] = []
+        try:
+            for index in range(self.shard_count):
+                _, (status, value) = self._recv(index)
+                if status == "err":
+                    raise value
+                per_shard.append([decode_value(wire) for wire in value])
+        finally:
+            for index in range(self.shard_count):
+                self._pipe_locks[index].release()
+        return per_shard
+
+    def scatter(
+        self, ops: Sequence[tuple], stop_on_error: bool = True
+    ) -> List[List[OpResult]]:
+        for index in range(self.shard_count):
+            self._acquire_pipe(index)
+        try:
+            message = ("ops", list(ops), stop_on_error)
+            for index in range(self.shard_count):
+                self._send(index, message)
+            gathered: List[List[OpResult]] = []
+            for index in range(self.shard_count):
+                _, results = self._recv(index)
+                gathered.append(
+                    [
+                        (status, decode_value(value))
+                        for status, value in results
+                    ]
+                )
+            return gathered
+        finally:
+            for index in range(self.shard_count):
+                self._pipe_locks[index].release()
+
+    def introspect(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "parallel": True,
+            "contended_acquisitions": list(self._contended),
+            "workers": [
+                {"interpreter": int(interp) if not isinstance(interp, int) else interp,
+                 "alive": thread.is_alive()}
+                for interp, thread in zip(self._interps, self._threads)
+            ],
+            "shared_memory": [None] * self.shard_count,
+        }
+
+    def close(self) -> None:
+        """Close channels, join host threads, destroy interpreters."""
+        if self._closed:
+            return
+        self._closed = True
+        for index in range(len(self._to_worker)):
+            if (
+                index < len(self._threads)
+                and self._threads[index].is_alive()
+            ):
+                try:
+                    write_frame(
+                        self._to_worker[index], pickle.dumps(("close",))
+                    )
+                except OSError:
+                    pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        for interp in self._interps:
+            try:
+                self._mod.destroy(interp)
+            except Exception:
+                pass
+        for fd in (
+            self._to_worker
+            + self._from_worker
+            + [fd for pair in self._worker_fds for fd in pair]
+        ):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._interps = []
+        self._threads = []
+        self._to_worker = []
+        self._from_worker = []
+        self._worker_fds = []
+
+    # ------------------------------------------------------------- extensions
+
+    @property
+    def contended_acquisitions(self) -> List[int]:
+        return self._contended

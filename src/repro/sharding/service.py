@@ -1,4 +1,4 @@
-"""``ShardedTimerService``: per-shard timer queues with per-shard locks.
+"""``ShardedTimerService``: per-shard timer queues behind pluggable backends.
 
 Appendix B of the paper sketches timer maintenance on a symmetric
 multiprocessor: instead of guarding one timer module with one global
@@ -11,26 +11,34 @@ the real version of that sketch: a service that partitions timers across
 (:mod:`repro.core.registry`), Scheme 6's hashed wheel by default — by a
 stable hash of the request id (:mod:`repro.sharding.partition`).
 
-What each layer buys:
+The service owns the *policy*: routing, batching, merge order, auto ids,
+and the virtual clock. Where the shard schedulers *execute* is a
+:class:`~repro.sharding.backends.base.ShardBackend`
+(``backend="inprocess" | "multiprocessing" | "subinterpreters"``):
 
-* **Per-shard locks** — START/STOP for different request ids contend
-  only when the ids hash to the same shard; the global semaphore's
-  serialisation cost drops by roughly the shard count.
-* **Batched ``start_many``/``stop_many``** — a batch is grouped by shard
-  and each shard's lock is taken *once* per batch, not once per timer;
-  under client threads this removes almost all lock traffic.
-* **Coherent ``advance_to``** — the virtual clock advances every shard
-  to the same deadline through each shard's sparse fast path, each shard
-  under its own lock (clients of the *other* shards never wait),
-  optionally in parallel via a worker pool, and the per-shard expiry
-  lists are merge-sorted into one deterministic global order:
-  ``(firing tick, shard index, within-shard firing order)``.
+* **inprocess** (default) — per-shard locks in this interpreter.
+  START/STOP for different request ids contend only when the ids hash to
+  the same shard; batches take each shard's lock once. One GIL: the
+  paper's per-processor *work* shrink is real, the parallelism is not.
+* **multiprocessing** — one worker process per shard, machine-word timer
+  state in a shared-memory SoA block per shard, batched ops crossing
+  each pipe once. Appendix B's "one processor per shard", literally.
+* **subinterpreters** — one per-shard sub-interpreter (own GIL each,
+  Python 3.12+), same wire protocol, no processes.
+
+Whatever the backend, the client surface and every fingerprint are
+identical; backends may only change where time is spent. Remote backends
+cannot hold live client objects, so callbacks must be picklable (or
+``None``), observers and the shared ``OpCounter`` raise
+:class:`~repro.sharding.backends.base.BackendCapabilityError`, and
+returned :class:`Timer` records carry ``callback=None``.
 
 Ordering guarantees — what is and is not preserved:
 
 * The *returned* expiry sequence of ``tick``/``advance``/``advance_to``
   is deterministic and globally tick-ordered (ties broken by shard
-  index).
+  index), for any backend and any worker schedule, because merging
+  happens after every shard has reached the deadline.
 * Expiry *actions* run while each shard advances, so their side-effect
   order across shards is shard-major within an advance — Appendix B's
   per-processor semantics. Same-shard ordering is exactly the underlying
@@ -39,20 +47,18 @@ Ordering guarantees — what is and is not preserved:
   shards cross-locking each other mid-advance can deadlock — the
   appendix's inter-processor-interrupt caveat).
 
-Each shard composes with the rest of the stack: pass ``shard_factory``
-to wrap every shard in a
-:class:`~repro.core.supervision.SupervisedScheduler` and/or route it
-through a :class:`~repro.faults.injector.FaultInjector`, attach one
-observer to all shards (``attach_observer``) or a dedicated one per
-shard (``attach_shard_observer``), and read merged bookkeeping through
-``introspect()``/``pending_count``/``callback_errors``.
+Lifecycle: the service is a context manager; :meth:`close` (idempotent)
+tears down whatever the backend holds — worker processes, pipes,
+shared-memory blocks, thread pools. A worker killed out from under the
+service surfaces as
+:class:`~repro.sharding.backends.base.ShardFaultError` on the next
+operation touching that shard, never as a hang.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from heapq import merge as _heap_merge
 from typing import (
     Callable,
@@ -70,7 +76,13 @@ from repro.core.interface import ExpiryAction, Timer, TimerScheduler
 from repro.core.observer import NULL_OBSERVER
 from repro.core.registry import make_scheduler
 from repro.core.supervision import origin_of
-from repro.cost.counters import OpCounter
+from repro.cost.counters import NULL_COUNTER, OpCounter
+from repro.sharding.backends import (
+    BackendCapabilityError,
+    ShardPlane,
+    make_backend,
+)
+from repro.sharding.backends.base import COUNTER_NULL, COUNTER_OP
 from repro.sharding.partition import shard_of
 
 #: A batched START_TIMER spec: ``interval`` alone, or a tuple
@@ -111,57 +123,113 @@ class ShardedTimerService:
         shard_factory: Optional[Callable[[int], TimerScheduler]] = None,
         parallel: bool = False,
         counter: Optional[OpCounter] = None,
+        backend: str = "inprocess",
+        backend_options: Optional[Dict[str, object]] = None,
         **scheme_kwargs,
     ) -> None:
-        """Build ``shards`` independent shard schedulers.
+        """Build ``shards`` independent shard schedulers on ``backend``.
 
         ``scheme``/``scheme_kwargs`` construct each shard from the
-        registry, all charging one shared ``counter`` (the service is a
-        single timer module in the paper's cost model; pass
-        ``NULL_COUNTER`` for wall-clock benchmarking). ``shard_factory``
-        overrides construction entirely — ``shard_factory(index)`` must
-        return the scheduler for shard ``index`` (use this to wrap each
-        shard in supervision or fault injection).
+        registry. In-process, all shards charge one shared ``counter``
+        (the service is a single timer module in the paper's cost model;
+        pass ``NULL_COUNTER`` for wall-clock benchmarking); remote
+        backends meter per worker (``NULL_COUNTER`` propagates as "do
+        not meter"). ``shard_factory`` overrides construction entirely —
+        ``shard_factory(index)`` must return the scheduler for shard
+        ``index`` (use this to wrap each shard in supervision or fault
+        injection; the subinterpreters backend additionally requires it
+        to be picklable).
 
-        ``parallel=True`` advances shards via a worker pool (one worker
-        per shard); see the module docstring for the callback caveat.
+        ``parallel=True`` advances in-process shards via a worker pool
+        (see the module docstring for the callback caveat); remote
+        backends always advance shards concurrently.
+        ``backend_options`` passes backend-specific knobs through (e.g.
+        ``shm_rows`` sizing the multiprocessing backend's per-shard
+        shared-memory block).
         """
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shard_count = shards
-        self.parallel = bool(parallel)
         if shard_factory is None:
             self._counter = counter if counter is not None else OpCounter()
-            self._shards: List[TimerScheduler] = [
-                make_scheduler(scheme, counter=self._counter, **scheme_kwargs)
-                for _ in range(shards)
-            ]
+            shared_counter = self._counter
+
+            def factory(index: int) -> TimerScheduler:
+                return make_scheduler(
+                    scheme, counter=shared_counter, **scheme_kwargs
+                )
+
+            plane = ShardPlane(
+                factory,
+                scheme=scheme,
+                scheme_kwargs=scheme_kwargs,
+                counter_kind=(
+                    COUNTER_NULL if counter is NULL_COUNTER else COUNTER_OP
+                ),
+            )
         else:
             self._counter = counter
-            self._shards = [shard_factory(index) for index in range(shards)]
-        nows = {shard.now for shard in self._shards}
-        if len(nows) != 1:
-            raise ValueError(
-                f"shard clocks disagree at construction: {sorted(nows)}"
+            plane = ShardPlane(shard_factory)
+        options = dict(backend_options or {})
+        if backend == "inprocess":
+            options.setdefault("parallel", parallel)
+        self._backend = make_backend(backend, shards, plane, **options)
+        try:
+            self.parallel = bool(getattr(self._backend, "parallel", True))
+            first = self._backend.scatter(
+                [("get", "now"), ("get", "scheme_name")]
             )
-        self._now = self._shards[0].now
-        self._locks = [threading.RLock() for _ in range(shards)]
+            nows = {self._unwrap(per_shard[0]) for per_shard in first}
+            if len(nows) != 1:
+                raise ValueError(
+                    f"shard clocks disagree at construction: {sorted(nows)}"
+                )
+            self._now = next(iter(nows))
+            self._inner_scheme_name = self._unwrap(first[0][1])
+        except BaseException:
+            self._backend.close()
+            raise
         #: one advance/tick/drain at a time; client START/STOP never take it.
         self._clock_lock = threading.RLock()
         self._id_lock = threading.Lock()
         self._auto_ids = itertools.count()
-        #: per-shard count of lock acquisitions that had to wait (best
-        #: effort, same non-blocking probe as the global-lock facade).
-        self.contended_acquisitions: List[int] = [0] * shards
-        self._pool: Optional[ThreadPoolExecutor] = None
         self._shut_down = False
+        self._closed = False
+        self._error_policies: Optional[tuple] = None
 
     # ----------------------------------------------------------------- shards
 
     @property
+    def backend(self):
+        """The :class:`ShardBackend` executing the shard schedulers."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """The executing backend's registry name."""
+        return self._backend.name
+
+    @property
     def shards(self) -> Tuple[TimerScheduler, ...]:
-        """The shard schedulers, by index (inspection only — do not drive)."""
-        return tuple(self._shards)
+        """The shard schedulers, by index (inspection only — do not drive).
+
+        Only the in-process backend hosts live scheduler objects; remote
+        backends raise :class:`BackendCapabilityError` — go through
+        :meth:`introspect` or the op surface instead.
+        """
+        local = self._backend.local_shards
+        if local is None:
+            raise BackendCapabilityError(
+                f"backend {self._backend.name!r} runs shards out of "
+                "process; live shard objects are not reachable (use "
+                "introspect())"
+            )
+        return tuple(local)
+
+    @property
+    def contended_acquisitions(self) -> List[int]:
+        """Per-shard count of submissions that had to wait (best effort)."""
+        return self._backend.contended_acquisitions
 
     def shard_index_of(self, request_id: Hashable) -> int:
         """The shard that owns ``request_id`` (stable across processes)."""
@@ -178,11 +246,34 @@ class ShardedTimerService:
         # stop/update through the record would hash to the wrong shard.
         return self.shard_index_of(origin_of(rid))
 
-    def _acquire(self, index: int) -> None:
-        lock = self._locks[index]
-        if not lock.acquire(blocking=False):
-            self.contended_acquisitions[index] += 1
-            lock.acquire()
+    # ------------------------------------------------------------ op plumbing
+
+    @staticmethod
+    def _unwrap(result: Tuple[str, object]):
+        status, value = result
+        if status == "err":
+            raise value
+        return value
+
+    def _one(self, index: int, op: tuple):
+        """Submit a single op to one shard and unwrap its result."""
+        return self._unwrap(self._backend.submit_batch(index, [op])[0])
+
+    def _target(self, timer_or_id: Union[Timer, Hashable]):
+        """What a stop/update op carries: the record in-process, the
+        (stable, picklable) request id across a boundary."""
+        if self._backend.remote and isinstance(timer_or_id, Timer):
+            return timer_or_id.request_id
+        return timer_or_id
+
+    def _scatter_call(self, method: str, *args):
+        """Call ``method`` on every shard; unwrapped results by index."""
+        results = self._backend.scatter([("call", method, args, {})])
+        return [self._unwrap(per_shard[0]) for per_shard in results]
+
+    def _scatter_get(self, attribute: str):
+        results = self._backend.scatter([("get", attribute)])
+        return [self._unwrap(per_shard[0]) for per_shard in results]
 
     # ------------------------------------------------------------- client API
 
@@ -193,40 +284,27 @@ class ShardedTimerService:
         callback: Optional[ExpiryAction] = None,
         user_data: object = None,
     ) -> Timer:
-        """START_TIMER on the owning shard (only that shard's lock is taken)."""
+        """START_TIMER on the owning shard (only that shard is touched)."""
         if request_id is None:
             request_id = self._make_auto_id()
         index = self.shard_index_of(request_id)
-        self._acquire(index)
-        try:
-            return self._shards[index].start_timer(
-                interval,
-                request_id=request_id,
-                callback=callback,
-                user_data=user_data,
-            )
-        finally:
-            self._locks[index].release()
+        return self._one(
+            index, ("start", interval, request_id, callback, user_data)
+        )
 
     def stop_timer(self, timer_or_id: Union[Timer, Hashable]) -> Timer:
         """STOP_TIMER routed to the owning shard by the stable hash."""
         index = self._resolve_index(timer_or_id)
-        self._acquire(index)
-        try:
-            return self._shards[index].stop_timer(timer_or_id)
-        finally:
-            self._locks[index].release()
+        return self._one(index, ("stop", self._target(timer_or_id)))
 
     def update_timer(
         self, timer_or_id: Union[Timer, Hashable], new_interval: int
     ) -> Timer:
         """UPDATE_TIMER routed to the owning shard by the stable hash."""
         index = self._resolve_index(timer_or_id)
-        self._acquire(index)
-        try:
-            return self._shards[index].update_timer(timer_or_id, new_interval)
-        finally:
-            self._locks[index].release()
+        return self._one(
+            index, ("update", self._target(timer_or_id), new_interval)
+        )
 
     def restart_timer(
         self,
@@ -242,22 +320,23 @@ class ShardedTimerService:
         """
         new_id = timer.request_id if request_id is None else request_id
         index = self.shard_index_of(origin_of(new_id))
-        self._acquire(index)
-        try:
-            return self._shards[index].restart_timer(
-                timer, interval=interval, request_id=request_id
-            )
-        finally:
-            self._locks[index].release()
+        target: object = timer
+        if self._backend.remote:
+            from repro.sharding.backends.base import encode_timer
+
+            target = encode_timer(timer)
+        return self._one(index, ("restart", target, interval, request_id))
 
     def start_many(self, specs: Iterable[StartSpec]) -> List[Timer]:
-        """Batched START_TIMER: group by shard, one lock hold per shard.
+        """Batched START_TIMER: group by shard, one submission per shard.
 
         ``specs`` are :data:`StartSpec` entries; timers are returned in
         input order. Within a shard, timers start in input order. The
         batch is not transactional: if one start raises (duplicate
         pending id, interval out of range), earlier timers in the batch
-        stay started and the exception propagates.
+        stay started and the exception propagates. Under a remote
+        backend one submission is one pipe crossing — the batch is the
+        unit of marshalling, not the timer.
         """
         entries: List[Tuple[int, int, Optional[Hashable], Optional[ExpiryAction], object]] = []
         for position, spec in enumerate(specs):
@@ -270,18 +349,14 @@ class ShardedTimerService:
             by_shard.setdefault(self.shard_index_of(entry[2]), []).append(entry)
         results: List[Optional[Timer]] = [None] * len(entries)
         for index in sorted(by_shard):
-            shard = self._shards[index]
-            self._acquire(index)
-            try:
-                for position, interval, request_id, callback, user_data in by_shard[index]:
-                    results[position] = shard.start_timer(
-                        interval,
-                        request_id=request_id,
-                        callback=callback,
-                        user_data=user_data,
-                    )
-            finally:
-                self._locks[index].release()
+            group = by_shard[index]
+            ops = [
+                ("start", interval, request_id, callback, user_data)
+                for _, interval, request_id, callback, user_data in group
+            ]
+            outcome = self._backend.submit_batch(index, ops, stop_on_error=True)
+            for (position, *_rest), result in zip(group, outcome):
+                results[position] = self._unwrap(result)
         return results  # type: ignore[return-value]
 
     def stop_many(
@@ -289,7 +364,7 @@ class ShardedTimerService:
         timers_or_ids: Iterable[Union[Timer, Hashable]],
         on_missing: str = "raise",
     ) -> List[Optional[Timer]]:
-        """Batched STOP_TIMER: group by shard, one lock hold per shard.
+        """Batched STOP_TIMER: group by shard, one submission per shard.
 
         Returns the stopped records in input order. ``on_missing="skip"``
         leaves ``None`` at the positions of ids that are unknown or no
@@ -305,18 +380,20 @@ class ShardedTimerService:
         for position, item in enumerate(items):
             by_shard.setdefault(self._resolve_index(item), []).append(position)
         results: List[Optional[Timer]] = [None] * len(items)
+        stop_on_error = on_missing == "raise"
         for index in sorted(by_shard):
-            shard = self._shards[index]
-            self._acquire(index)
-            try:
-                for position in by_shard[index]:
-                    try:
-                        results[position] = shard.stop_timer(items[position])
-                    except Exception:
-                        if on_missing == "raise":
-                            raise
-            finally:
-                self._locks[index].release()
+            positions = by_shard[index]
+            ops = [
+                ("stop", self._target(items[position]))
+                for position in positions
+            ]
+            outcome = self._backend.submit_batch(index, ops, stop_on_error)
+            for position, result in zip(positions, outcome):
+                if result[0] == "err":
+                    if on_missing == "raise":
+                        raise result[1]
+                    continue
+                results[position] = result[1]
         return results
 
     def update_many(
@@ -324,7 +401,7 @@ class ShardedTimerService:
         updates: Iterable[Tuple[Union[Timer, Hashable], int]],
         on_missing: str = "raise",
     ) -> List[Optional[Timer]]:
-        """Batched UPDATE_TIMER: group by shard, one lock hold per shard.
+        """Batched UPDATE_TIMER: group by shard, one submission per shard.
 
         ``updates`` are ``(timer_or_id, new_interval)`` pairs; updated
         records come back in input order. ``on_missing="skip"`` leaves
@@ -342,21 +419,24 @@ class ShardedTimerService:
         for position, (target, _interval) in enumerate(items):
             by_shard.setdefault(self._resolve_index(target), []).append(position)
         results: List[Optional[Timer]] = [None] * len(items)
+        stop_on_error = on_missing == "raise"
         for index in sorted(by_shard):
-            shard = self._shards[index]
-            self._acquire(index)
-            try:
-                for position in by_shard[index]:
-                    target, new_interval = items[position]
-                    try:
-                        results[position] = shard.update_timer(
-                            target, new_interval
-                        )
-                    except Exception:
-                        if on_missing == "raise":
-                            raise
-            finally:
-                self._locks[index].release()
+            positions = by_shard[index]
+            ops = [
+                (
+                    "update",
+                    self._target(items[position][0]),
+                    items[position][1],
+                )
+                for position in positions
+            ]
+            outcome = self._backend.submit_batch(index, ops, stop_on_error)
+            for position, result in zip(positions, outcome):
+                if result[0] == "err":
+                    if on_missing == "raise":
+                        raise result[1]
+                    continue
+                results[position] = result[1]
         return results
 
     # ------------------------------------------------------------ clock drive
@@ -374,14 +454,12 @@ class ShardedTimerService:
     def advance_to(self, deadline: int) -> List[Timer]:
         """Drive every shard to ``deadline``; merge expiries globally.
 
-        Each shard advances through its own sparse fast path under its
-        own lock; while one shard is being driven, clients of every
-        other shard proceed without waiting. Shards run in index order,
-        or concurrently on the worker pool when the service was built
-        with ``parallel=True``. The merged result is ordered by
-        ``(firing tick, shard index, within-shard order)`` — deterministic
-        for any worker schedule, because merging happens after every
-        shard has reached ``deadline``.
+        The backend launches the drive on every shard — serially or on a
+        thread pool in-process, genuinely concurrently on the remote
+        backends — then the per-shard expiry lists are merge-sorted into
+        ``(firing tick, shard index, within-shard order)``: deterministic
+        for any backend and any worker schedule, because merging happens
+        after every shard has reached ``deadline``.
         """
         with self._clock_lock:
             if deadline < self._now:
@@ -390,39 +468,10 @@ class ShardedTimerService:
                 )
             if deadline == self._now:
                 return []
-            per_shard: List[List[Timer]] = [[] for _ in range(self.shard_count)]
-            if self.parallel and self.shard_count > 1:
-                pool = self._ensure_pool()
-                futures = [
-                    pool.submit(self._advance_shard, index, deadline, per_shard[index])
-                    for index in range(self.shard_count)
-                ]
-                for future in futures:
-                    future.result()
-            else:
-                for index in range(self.shard_count):
-                    self._advance_shard(index, deadline, per_shard[index])
+            self._backend.advance_to(deadline)
+            per_shard = self._backend.drain_expired()
             self._now = deadline
             return self._merge(per_shard)
-
-    def _advance_shard(
-        self, index: int, deadline: int, sink: List[Timer]
-    ) -> None:
-        """Advance one shard to ``deadline`` under one lock hold.
-
-        Appendix B's discipline: each processor drives its *own* queue
-        under its *own* lock, so only this shard's clients wait out the
-        advance — every other shard stays fully available. The shard's
-        sparse fast path does its own event hopping internally; taking
-        the lock once per advance instead of once per hop is what keeps
-        the drive cost comparable to an unsharded scheduler's.
-        """
-        self._acquire(index)
-        try:
-            if self._shards[index].now < deadline:
-                sink.extend(self._shards[index].advance_to(deadline))
-        finally:
-            self._locks[index].release()
 
     @staticmethod
     def _merge(per_shard: List[List[Timer]]) -> List[Timer]:
@@ -434,14 +483,6 @@ class ShardedTimerService:
 
         streams = [keyed(i, expiries) for i, expiries in enumerate(per_shard)]
         return [entry[3] for entry in _heap_merge(*streams)]
-
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.shard_count,
-                thread_name_prefix="repro-shard",
-            )
-        return self._pool
 
     def run_until_idle(self, max_ticks: int = 1_000_000) -> List[Timer]:
         """Advance event-to-event until every shard is idle.
@@ -483,30 +524,23 @@ class ShardedTimerService:
         merged like :meth:`advance_to`.
         """
         with self._clock_lock:
-            per_shard: List[List[Timer]] = []
-            for index, shard in enumerate(self._shards):
-                self._acquire(index)
-                try:
-                    per_shard.append(list(shard.sync_clock(wall_tick)))
-                finally:
-                    self._locks[index].release()
-            self._now = self._shards[0].now
+            per_shard = [
+                list(expiries)
+                for expiries in self._scatter_call("sync_clock", wall_tick)
+            ]
+            self._now = self._one(0, ("get", "now"))
             return self._merge(per_shard)
 
     def shutdown(self) -> List[Timer]:
         """Shut every shard down; merged cancelled records, shard order."""
         with self._clock_lock:
             cancelled: List[Timer] = []
-            for index, shard in enumerate(self._shards):
-                self._acquire(index)
-                try:
-                    cancelled.extend(shard.shutdown())
-                finally:
-                    self._locks[index].release()
+            for records in self._scatter_call("shutdown"):
+                cancelled.extend(records)
             self._shut_down = True
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+            hook = getattr(self._backend, "shutdown_hook", None)
+            if callable(hook):
+                hook()
             return cancelled
 
     @property
@@ -514,80 +548,104 @@ class ShardedTimerService:
         """True after :meth:`shutdown`."""
         return self._shut_down
 
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release everything the backend holds. Idempotent.
+
+        Worker processes are stopped, pipes and shared-memory blocks
+        released, thread pools retired. Timers pending on remote shards
+        are simply gone — call :meth:`shutdown` first for an orderly
+        cancel. The service must not be used after ``close``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._backend.close()
+
+    @property
+    def is_closed(self) -> bool:
+        """True after :meth:`close` (or leaving a ``with`` block)."""
+        return self._closed
+
+    def __enter__(self) -> "ShardedTimerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ---------------------------------------------------------- error surface
 
     @property
     def ERROR_POLICIES(self):
         """The shard schedulers' accepted error-policy names."""
-        return self._shards[0].ERROR_POLICIES
+        if self._error_policies is None:
+            self._error_policies = self._one(0, ("get", "ERROR_POLICIES"))
+        return self._error_policies
 
     def set_error_policy(self, policy: str) -> None:
         """Switch the Expiry_Action error policy on every shard."""
-        for index, shard in enumerate(self._shards):
-            self._acquire(index)
-            try:
-                shard.set_error_policy(policy)
-            finally:
-                self._locks[index].release()
+        self._scatter_call("set_error_policy", policy)
 
     def set_error_capacity(self, capacity: int) -> None:
         """Resize every shard's bounded error ring."""
-        for index, shard in enumerate(self._shards):
-            self._acquire(index)
-            try:
-                shard.set_error_capacity(capacity)
-            finally:
-                self._locks[index].release()
+        self._scatter_call("set_error_capacity", capacity)
 
     @property
     def callback_errors(self) -> List[tuple]:
         """Merged snapshot of every shard's collected-failure ring."""
         merged: List[tuple] = []
-        for index, shard in enumerate(self._shards):
-            self._acquire(index)
-            try:
-                merged.extend(shard.callback_errors)
-            finally:
-                self._locks[index].release()
+        for ring in self._scatter_get("callback_errors"):
+            merged.extend(ring)
         return merged
 
     @property
     def dropped_errors(self) -> int:
         """Collected failures evicted across all shard rings."""
-        return sum(shard.dropped_errors for shard in self._shards)
+        return sum(self._scatter_get("dropped_errors"))
 
     def clear_callback_errors(self) -> List[tuple]:
         """Drain every shard's collected-failure ring; merged, shard order."""
         drained: List[tuple] = []
-        for index, shard in enumerate(self._shards):
-            self._acquire(index)
-            try:
-                drained.extend(shard.clear_callback_errors())
-            finally:
-                self._locks[index].release()
+        for ring in self._scatter_call("clear_callback_errors"):
+            drained.extend(ring)
         return drained
 
     # ------------------------------------------------------------ observation
 
+    def _local_shards_for(self, what: str) -> Tuple[TimerScheduler, ...]:
+        local = self._backend.local_shards
+        if local is None:
+            raise BackendCapabilityError(
+                f"{what} needs live shard objects; backend "
+                f"{self._backend.name!r} runs shards out of process"
+            )
+        return local
+
     def attach_observer(self, observer):
-        """Attach one observer to every shard (fan-in).
+        """Attach one observer to every shard (fan-in; in-process only).
 
         The observer's hooks receive the *shard* scheduler as their first
         argument; map it back to an index via :attr:`shards` when
         per-shard attribution matters, or use
         :meth:`attach_shard_observer` for dedicated per-shard observers.
         """
-        for shard in self._shards:
+        for shard in self._local_shards_for("attach_observer"):
             shard.attach_observer(observer)
         return observer
 
     def detach_observer(self):
         """Detach the observer from every shard; returns them by shard."""
-        return [shard.detach_observer() for shard in self._shards]
+        return [
+            shard.detach_observer()
+            for shard in self._local_shards_for("detach_observer")
+        ]
 
     def attach_shard_observer(self, index: int, observer):
-        """Attach ``observer`` to shard ``index`` only."""
-        return self._shards[index].attach_observer(observer)
+        """Attach ``observer`` to shard ``index`` only (in-process only)."""
+        return self._local_shards_for("attach_shard_observer")[
+            index
+        ].attach_observer(observer)
 
     def _fire_anomaly(self, kind: str, detail) -> None:
         """Fan a service-level anomaly out to every distinct observer.
@@ -595,10 +653,14 @@ class ShardedTimerService:
         A fan-in observer shared by all shards (``attach_observer``) sees
         the anomaly exactly once, with shard 0's scheduler as the source;
         dedicated per-shard observers each see it once with their own
-        shard.
+        shard. Remote backends host no client observers: nothing to fan
+        out to.
         """
+        local = self._backend.local_shards
+        if local is None:
+            return
         seen = set()
-        for shard in self._shards:
+        for shard in local:
             observer = shard.observer
             if observer is NULL_OBSERVER or id(observer) in seen:
                 continue
@@ -615,51 +677,51 @@ class ShardedTimerService:
     @property
     def scheme_name(self) -> str:
         """``sharded[<N>x<inner scheme>]``."""
-        return f"sharded[{self.shard_count}x{self._shards[0].scheme_name}]"
+        return f"sharded[{self.shard_count}x{self._inner_scheme_name}]"
 
     @property
     def counter(self):
-        """The shared :class:`OpCounter` (shard 0's under ``shard_factory``)."""
-        return self._counter if self._counter is not None else self._shards[0].counter
+        """The shared :class:`OpCounter` (in-process backend only).
+
+        Remote backends meter inside each worker (the shared counter
+        object in this process is never charged), so reading it here
+        would silently report zeros — refuse instead.
+        """
+        if self._backend.remote:
+            raise BackendCapabilityError(
+                f"backend {self._backend.name!r} meters per worker; the "
+                "client-side counter object is never charged"
+            )
+        if self._counter is not None:
+            return self._counter
+        return self._backend.local_shards[0].counter
 
     @property
     def pending_count(self) -> int:
         """Outstanding timers across all shards."""
-        return sum(shard.pending_count for shard in self._shards)
+        return sum(self._scatter_get("pending_count"))
 
     @property
     def free_record_count(self) -> int:
         """Pooled recycled records across all shards."""
-        return sum(shard.free_record_count for shard in self._shards)
+        return sum(self._scatter_get("free_record_count"))
 
     def pending_timers(self) -> List[Timer]:
         """Snapshot of outstanding records across shards (shard order)."""
         merged: List[Timer] = []
-        for index, shard in enumerate(self._shards):
-            self._acquire(index)
-            try:
-                merged.extend(shard.pending_timers())
-            finally:
-                self._locks[index].release()
+        for snapshot in self._scatter_call("pending_timers"):
+            merged.extend(snapshot)
         return merged
 
     def is_pending(self, request_id: Hashable) -> bool:
         """True when ``request_id`` is outstanding on its owning shard."""
         index = self.shard_index_of(request_id)
-        self._acquire(index)
-        try:
-            return self._shards[index].is_pending(request_id)
-        finally:
-            self._locks[index].release()
+        return self._one(index, ("call", "is_pending", (request_id,), {}))
 
     def get_timer(self, request_id: Hashable) -> Timer:
         """Look up a pending timer on its owning shard."""
         index = self.shard_index_of(request_id)
-        self._acquire(index)
-        try:
-            return self._shards[index].get_timer(request_id)
-        finally:
-            self._locks[index].release()
+        return self._one(index, ("call", "get_timer", (request_id,), {}))
 
     def max_start_interval(self) -> Optional[int]:
         """The tightest shard bound (``None`` when every shard is unbounded).
@@ -669,7 +731,7 @@ class ShardedTimerService:
         """
         bounds = [
             bound
-            for bound in (shard.max_start_interval() for shard in self._shards)
+            for bound in self._scatter_call("max_start_interval")
             if bound is not None
         ]
         return min(bounds) if bounds else None
@@ -677,33 +739,30 @@ class ShardedTimerService:
     def next_expiry(self) -> Optional[int]:
         """Earliest lower bound across shards (``None`` iff all idle)."""
         earliest: Optional[int] = None
-        for index, shard in enumerate(self._shards):
-            self._acquire(index)
-            try:
-                candidate = shard.next_expiry()
-            finally:
-                self._locks[index].release()
+        for candidate in self._scatter_call("next_expiry"):
             if candidate is not None and (earliest is None or candidate < earliest):
                 earliest = candidate
         return earliest
 
     def introspect(self) -> Dict[str, object]:
-        """Merged snapshot: service aggregates plus per-shard detail."""
-        per_shard: List[Dict[str, object]] = []
-        for index, shard in enumerate(self._shards):
-            self._acquire(index)
-            try:
-                per_shard.append(shard.introspect())
-            finally:
-                self._locks[index].release()
+        """Merged snapshot: service aggregates plus per-shard detail.
+
+        Always includes ``backend`` facts; the multiprocessing backend
+        adds worker liveness and the shared-memory residency of each
+        shard's SoA block (read straight out of the blocks, no worker
+        round trip).
+        """
+        per_shard = self._scatter_call("introspect")
+        backend_info = self._backend.introspect()
         pending = [int(info.get("pending", 0)) for info in per_shard]
         total_pending = sum(pending)
         mean = total_pending / self.shard_count
-        return {
+        merged = {
             "scheme": self.scheme_name,
             "now": self._now,
             "shards": self.shard_count,
             "parallel": self.parallel,
+            "backend": self._backend.name,
             "pending": total_pending,
             "total_started": sum(int(i.get("total_started", 0)) for i in per_shard),
             "total_stopped": sum(int(i.get("total_stopped", 0)) for i in per_shard),
@@ -712,12 +771,17 @@ class ShardedTimerService:
             "callback_errors": sum(int(i.get("callback_errors", 0)) for i in per_shard),
             "dropped_errors": sum(int(i.get("dropped_errors", 0)) for i in per_shard),
             "shut_down": self._shut_down,
+            "closed": self._closed,
             "pending_per_shard": pending,
             "contended_acquisitions": list(self.contended_acquisitions),
             #: worst shard's pending over the mean — 1.0 is a perfect split.
             "imbalance": (max(pending) / mean) if mean else 0.0,
             "per_shard": per_shard,
         }
+        for key in ("workers", "shared_memory"):
+            if key in backend_info:
+                merged[key] = backend_info[key]
+        return merged
 
     # --------------------------------------------------------------- plumbing
 
@@ -731,6 +795,7 @@ class ShardedTimerService:
     def __repr__(self) -> str:
         return (
             f"ShardedTimerService(shards={self.shard_count}, "
-            f"scheme={self._shards[0].scheme_name!r}, now={self._now}, "
+            f"scheme={self._inner_scheme_name!r}, "
+            f"backend={self._backend.name!r}, now={self._now}, "
             f"pending={self.pending_count})"
         )

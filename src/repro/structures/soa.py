@@ -298,6 +298,223 @@ class SoATimerStore:
         return self.bytes_estimate() / self._live
 
 
+class SoAStoreFullError(MemoryError):
+    """A fixed-capacity store has no free rows left for :meth:`alloc`."""
+
+
+#: Header magic for shared-memory store blocks ("SOATW" packed into an i64).
+_SHM_MAGIC = 0x534F415457
+#: Header words before the columns: magic, capacity.
+_SHM_HEADER_WORDS = 2
+#: Machine-word columns a shared block carries (deadline/started/next/
+#: prev/aux/meta, in that order).
+_SHM_COLUMNS = 6
+
+
+def shared_store_bytes(capacity: int) -> int:
+    """Size in bytes of the shared-memory block backing ``capacity`` rows."""
+    return (_SHM_HEADER_WORDS + _SHM_COLUMNS * capacity) * 8
+
+
+#: Every open SharedSoATimerStore in this process. A forked child inherits
+#: the parent's mappings (with live memoryview exports that would make
+#: ``SharedMemory.__del__`` raise at child exit); the at-fork hook below
+#: releases them in the child, which then attaches its own store by name.
+_OPEN_SHARED_STORES: "weakref.WeakSet" = None  # type: ignore[assignment]
+
+
+def _release_inherited_mappings() -> None:
+    for store in list(_OPEN_SHARED_STORES or ()):
+        try:
+            store.close()
+        except Exception:
+            pass
+
+
+def _track_shared_store(store: "SharedSoATimerStore") -> None:
+    global _OPEN_SHARED_STORES
+    if _OPEN_SHARED_STORES is None:
+        import os
+        import weakref
+
+        _OPEN_SHARED_STORES = weakref.WeakSet()
+        if hasattr(os, "register_at_fork"):
+            os.register_at_fork(after_in_child=_release_inherited_mappings)
+    _OPEN_SHARED_STORES.add(store)
+
+
+class SharedSoATimerStore(SoATimerStore):
+    """An :class:`SoATimerStore` whose machine-word columns live in one
+    :class:`multiprocessing.shared_memory.SharedMemory` block.
+
+    This is the shard-backend data plane: a worker process owns the rows
+    (alloc/free/link) while the parent that created the block can attach
+    read-only to count live rows, read deadlines, or salvage state after
+    the worker dies — without a single byte crossing a pipe. The three
+    *object* columns (request id, callback, user data) cannot live in
+    shared memory and stay process-local Python lists; everything the
+    wheel algorithms touch per tick — deadlines, links, aux, meta — is in
+    the block.
+
+    Layout (little-endian ``q`` words)::
+
+        [magic][capacity][deadline x cap][started x cap][next x cap]
+                         [prev x cap]   [aux x cap]    [meta x cap]
+
+    Capacity is fixed at creation: :meth:`alloc` on a full store raises
+    :class:`SoAStoreFullError` instead of growing (a shared mapping
+    cannot be resized in place). Row-allocation order is identical to the
+    growable store's — the free list is pre-seeded so a fresh store hands
+    out rows 0, 1, 2, … — which keeps packed auto-id handles, and
+    therefore expiry fingerprints, bit-identical across store kinds.
+
+    Construct with ``create=True`` to allocate and initialise a new
+    block, or ``create=False`` (the **attach-to-existing-buffer**
+    constructor) to adopt a block by name, re-deriving the free list from
+    the live bits already in the ``meta`` column.
+    """
+
+    __slots__ = (
+        "_shm", "_owns", "capacity_rows", "_attached_readonly", "__weakref__",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 0,
+        *,
+        name: Optional[str] = None,
+        create: bool = True,
+        readonly: bool = False,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        if create:
+            if capacity < 1:
+                raise ValueError(f"capacity must be >= 1, got {capacity}")
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=shared_store_bytes(capacity)
+            )
+            words = shm.buf.cast("q")
+            words[0] = _SHM_MAGIC
+            words[1] = capacity
+            del words
+        else:
+            if name is None:
+                raise ValueError("attach (create=False) requires a block name")
+            shm = shared_memory.SharedMemory(name=name, create=False)
+            header = shm.buf.cast("q")
+            if header[0] != _SHM_MAGIC:
+                magic = header[0]
+                del header
+                shm.close()
+                raise ValueError(
+                    f"block {name!r} is not an SoA store (magic {magic:#x})"
+                )
+            capacity = header[1]
+            del header
+            # Python <= 3.11 registers *attached* blocks with the
+            # resource tracker as if this process created them. Under
+            # the fork start method the attacher shares the creator's
+            # tracker process, whose cache is a set keyed by name — the
+            # duplicate registration dedups, and only destroy() (via
+            # unlink) ever unregisters, exactly once. Do NOT "fix" this
+            # by unregistering here: that removes the creator's entry
+            # from the shared tracker and breaks leak protection.
+        self._shm = shm
+        self._owns = create
+        self.capacity_rows = capacity
+        self._attached_readonly = readonly
+        words = shm.buf.cast("q")
+        columns = []
+        offset = _SHM_HEADER_WORDS
+        for _ in range(_SHM_COLUMNS):
+            columns.append(words[offset:offset + capacity])
+            offset += capacity
+        (
+            self.deadline_col,
+            self.started_col,
+            self.next_col,
+            self.prev_col,
+            self.aux_col,
+            self.meta_col,
+        ) = columns
+        # Object columns are process-local: ids/callbacks/payloads cannot
+        # cross an shm mapping. An attached reader sees None here.
+        self.request_ids = [None] * capacity
+        self.callbacks = [None] * capacity
+        self.user_datas = [None] * capacity
+        # Free rows in descending order so pop() hands out 0, 1, 2, … —
+        # the growable store's append order. Attach mode re-derives the
+        # list from the live bits (descending scan keeps fresh-block
+        # order identical to create mode).
+        self._free_rows = [
+            row
+            for row in range(capacity - 1, -1, -1)
+            if not self.meta_col[row] & _LIVE
+        ]
+        self._live = capacity - len(self._free_rows)
+        _track_shared_store(self)
+
+    # ------------------------------------------------------------ allocation
+
+    def alloc(self, started_at, interval, request_id, callback, user_data):
+        if self._attached_readonly:
+            raise TypeError("store was attached read-only")
+        if not self._free_rows:
+            raise SoAStoreFullError(
+                f"shared store is full ({self.capacity_rows} rows); "
+                "size the backend's shm_rows for the peak population"
+            )
+        return super().alloc(
+            started_at, interval, request_id, callback, user_data
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def name(self) -> str:
+        """The shared-memory block's name (pass to the attach constructor)."""
+        return self._shm.name
+
+    def bytes_estimate(self) -> int:
+        """Block size plus the process-local object columns and free list."""
+        return (
+            self._shm.size
+            + sys.getsizeof(self.request_ids)
+            + sys.getsizeof(self.callbacks)
+            + sys.getsizeof(self.user_datas)
+            + sys.getsizeof(self._free_rows)
+        )
+
+    def close(self) -> None:
+        """Release this process's mapping (the block itself survives).
+
+        Idempotent: safe to call twice, and safe in a forked child that
+        inherited the mapping.
+        """
+        # memoryview slices pin the buffer; drop them before closing.
+        for column in (
+            "deadline_col", "started_col", "next_col",
+            "prev_col", "aux_col", "meta_col",
+        ):
+            view = getattr(self, column, None)
+            if view is not None:
+                view.release()
+                setattr(self, column, None)
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+    def destroy(self) -> None:
+        """Destroy the block system-wide (creator's responsibility).
+
+        Named ``destroy`` — not ``unlink`` — because :meth:`unlink` is
+        already the chain-splicing primitive inherited from the base
+        store."""
+        self._shm.unlink()
+
+
 # The view deliberately mirrors Timer's public read surface; import late to
 # keep this module importable from repro.core.interface if ever needed.
 from repro.core.interface import TimerState  # noqa: E402

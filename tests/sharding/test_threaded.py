@@ -20,6 +20,7 @@ import pytest
 from repro.core import make_scheduler
 from repro.core.threadsafe import ThreadSafeScheduler
 from repro.sharding import ShardedTimerService
+from repro.sharding.backends import backend_availability
 
 N_CLIENTS = 4
 OPS_PER_CLIENT = 120
@@ -142,6 +143,88 @@ def _build(surface):
     if surface == "facade":
         return ThreadSafeScheduler(make_scheduler("scheme6", table_size=256))
     return ShardedTimerService("scheme6", 4, table_size=256)
+
+
+def _remote_backend_params():
+    report = backend_availability()
+    params = []
+    for name in ("multiprocessing", "subinterpreters"):
+        usable, reason = report[name]
+        marks = [] if usable else [pytest.mark.skip(reason=reason)]
+        params.append(pytest.param(name, marks=marks))
+    return params
+
+
+def _run_plans_threaded_remote(service, plans, fired):
+    """The racing driver for remote backends.
+
+    Callbacks cannot cross an address-space boundary, so the fired set
+    is collected from the expiry lists ``tick``/``advance`` *return* —
+    which is the remote contract anyway. One lock guards the shared
+    ``fired`` list against the ticker thread.
+    """
+    barrier = threading.Barrier(len(plans) + 1)
+    errors = []
+    fired_lock = threading.Lock()
+
+    def record(expired):
+        with fired_lock:
+            fired.extend(t.request_id for t in expired)
+
+    def client(ops):
+        try:
+            barrier.wait()
+            for op in ops:
+                if op[0] == "start":
+                    _, rid, interval = op
+                    service.start_timer(interval, request_id=rid)
+                else:
+                    service.stop_timer(op[1])
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def ticker():
+        try:
+            barrier.wait()
+            for _ in range(RACE_TICKS):
+                record(service.tick())
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(ops,)) for ops in plans]
+    threads.append(threading.Thread(target=ticker))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    record(service.advance(DRAIN))
+
+
+@pytest.mark.parametrize("backend", _remote_backend_params())
+def test_racing_clients_over_remote_backend(backend):
+    """The racing invariants hold when every client op crosses a process
+    (or interpreter) boundary: no lost expiries, no double fires, and
+    bookkeeping identical to an in-process control run of the same plan."""
+    plans = _make_plans()
+    started, stopped = _expected_outcome(plans)
+
+    fired = []
+    with ShardedTimerService(
+        "scheme6", 4, table_size=256, backend=backend
+    ) as service:
+        _run_plans_threaded_remote(service, plans, fired)
+        remote_books = _bookkeeping(service)
+
+    counts = Counter(fired)
+    assert not [rid for rid, n in counts.items() if n > 1], "double fire"
+    assert set(counts) == started - stopped, "lost or phantom expiry"
+
+    control = _build("sharded")
+    control_fired = []
+    _run_plans_serial(control, plans, control_fired)
+    assert remote_books == _bookkeeping(control)
+    assert sorted(fired) == sorted(control_fired)
 
 
 @pytest.mark.parametrize("surface", ["facade", "sharded"])

@@ -77,6 +77,14 @@ def test_docs_index_lists_every_document():
         ("performance.md", "BENCH_rearm.json"),
         ("api.md", "update_timer"),
         ("api.md", "restart_timer"),
+        ("backends.md", "ShardBackend"),
+        ("backends.md", "SharedSoATimerStore"),
+        ("backends.md", "ShardFaultError"),
+        ("backends.md", "backend_availability"),
+        ("sharding.md", "ShardBackend"),
+        ("sharding.md", "backends.md"),
+        ("paper_map.md", "MultiprocessingBackend"),
+        ("api.md", "ShardBackend"),
     ],
 )
 def test_docs_cover_the_newer_subsystems(doc, must_mention):
